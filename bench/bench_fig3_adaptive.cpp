@@ -1,0 +1,65 @@
+// Figure 3 reproduction on the real renderer: full-resolution rendering vs
+// adaptive rendering two octree levels coarser. The paper reports the
+// adaptive image is generated 3-4x faster while revealing almost the same
+// detail. We measure actual raycasting time and image RMSE/PSNR on a
+// synthetic wavefield dataset (scaled to this machine).
+#include <cstdio>
+
+#include "core/serial.hpp"
+#include "io/dataset.hpp"
+#include "quake/synthetic.hpp"
+#include "util/stats.hpp"
+
+#include <filesystem>
+
+int main() {
+  using namespace qv;
+
+  auto dir = (std::filesystem::temp_directory_path() / "qv_bench_fig3").string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  const Box3 unit{{0, 0, 0}, {1, 1, 1}};
+  // Fine mesh at level 5 (32^3 = 32768 cells), coarse render at level 3.
+  mesh::HexMesh fine(mesh::LinearOctree::uniform(unit, 5));
+  io::DatasetWriter writer(dir, fine, 3, 3, 0.25f);
+  quake::SyntheticQuake q;
+  writer.write_step(q.sample_nodes(fine, 1.5f));
+  writer.finish();
+
+  io::DatasetReader reader(dir);
+  auto cam = render::Camera::overview(unit, 512, 512);
+  auto tf = render::TransferFunction::seismic();
+
+  std::printf("Figure 3: full vs adaptive rendering (real raycaster, 512x512)\n");
+  std::printf("(paper: adaptive at level 8 of 13 is 3-4x faster, same detail)\n\n");
+  std::printf("%-10s %-14s %-14s %-14s\n", "level", "time (s)", "samples",
+              "RMSE vs full");
+
+  img::Image full;
+  double full_time = 0;
+  for (int level : {5, 4, 3}) {
+    core::SerialRenderConfig cfg;
+    cfg.level = level;
+    cfg.render.value_hi = 3.0f;
+    render::RenderStats stats;
+    WallTimer timer;
+    img::Image im = core::render_step(reader, 0, cam, tf, cfg, &stats);
+    double secs = timer.seconds();
+    double err = 0.0;
+    if (level == 5) {
+      full = im;
+      full_time = secs;
+    } else {
+      err = img::rmse(full, im);
+    }
+    std::printf("%-10d %-14.2f %-14llu %-14.4f\n", level, secs,
+                static_cast<unsigned long long>(stats.samples), err);
+    if (level == 3) {
+      std::printf("\nspeedup level %d vs full: %.1fx (paper: 3-4x)\n", level,
+                  full_time / secs);
+    }
+  }
+  std::filesystem::remove_all(dir);
+  return 0;
+}

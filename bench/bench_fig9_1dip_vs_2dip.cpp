@@ -1,0 +1,43 @@
+// Figure 9 reproduction: 128 rendering processors (render time ~1 s),
+// 512x512. The send time of a full step (~2 s) exceeds the render time, so
+// 1DIP plateaus above it no matter how many input processors are used;
+// 2DIP splits each step across a group (Ts' = Ts/m) and reaches ~Tr.
+#include <cstdio>
+
+#include "pipesim/pipeline_model.hpp"
+
+int main() {
+  using namespace qv::pipesim;
+
+  Machine mc;
+  const double tr = RenderModel{}.seconds(128, 512 * 512, false);
+  Plan pl = plan(mc, tr);
+
+  std::printf("Figure 9: 1DIP vs 2DIP, 128 rendering processors, 512x512\n");
+  std::printf("(paper: only 2DIP overlaps I/O when Tr < Ts; render ~1 s)\n\n");
+  std::printf("%-10s %-22s %-22s %-16s\n", "groups n", "1DIP interframe (s)",
+              "2DIP interframe (s)", "avg render (s)");
+
+  for (int n : {1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22}) {
+    PipelineParams p1;
+    p1.input_procs = n;  // 1DIP: n input processors total
+    p1.num_steps = 50;
+    p1.render_seconds = tr;
+    auto r1 = simulate_1dip(p1);
+
+    PipelineParams p2;
+    p2.input_procs = pl.m_2dip;  // group width m = ceil(Ts/Tr)
+    p2.groups = n;
+    p2.num_steps = 50;
+    p2.render_seconds = tr;
+    auto r2 = simulate_2dip(p2);
+
+    std::printf("%-10d %-22.2f %-22.2f %-16.2f\n", n, r1.avg_interframe,
+                r2.avg_interframe, tr);
+  }
+  std::printf(
+      "\nanalytic plan: m=%d per group, n=%d groups hides I/O (Ts'=Ts/m "
+      "<= Tr)\n",
+      pl.m_2dip, pl.n_2dip);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Simulation-time visualization overhead (§7): how much does concurrent
+// monitoring cost the solver? We time the bare parallel solver, then the
+// full in-situ configuration (solver + renderers + output), and report the
+// slowdown and the achieved frame cadence.
+#include <cstdio>
+
+#include "core/insitu.hpp"
+#include "quake/parallel_solver.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace qv;
+
+  core::InsituConfig cfg;
+  cfg.domain = {{0, 0, 0}, {2000, 2000, 2000}};
+  cfg.basin.basin_center = {1000, 1000, 2000};
+  cfg.basin.basin_radius = 800;
+  cfg.basin.basin_depth = 500;
+  cfg.basin.surface_z = 2000;
+  cfg.mesh_max_freq_hz = 4.0f;
+  cfg.mesh_min_level = 2;
+  cfg.mesh_max_level = 6;
+  cfg.source.position = {1000, 1000, 1400};
+  cfg.source.peak_freq_hz = 1.2f;
+  cfg.source.delay_s = 2.4f;
+  cfg.source.amplitude = 5e12f;
+  cfg.steps_per_snapshot = 12;
+  cfg.snapshots = 6;
+  cfg.sim_procs = 2;
+  cfg.render_procs = 2;
+  cfg.width = 192;
+  cfg.height = 144;
+  cfg.render.value_hi = 0.05f;
+
+  mesh::HexMesh mesh = core::build_insitu_mesh(cfg);
+  std::printf("in-situ overhead study: %zu cells, %d solver steps/frame\n\n",
+              mesh.cell_count(), cfg.steps_per_snapshot);
+
+  // Bare simulation (same rank count, no visualization attached).
+  double bare_seconds = 0;
+  {
+    WallTimer t;
+    vmpi::Runtime::run(cfg.sim_procs, [&](vmpi::Comm& comm) {
+      quake::ParallelWaveSolver solver(mesh, cfg.basin.field(), cfg.solver,
+                                       comm);
+      solver.add_source(cfg.source);
+      for (int i = 0; i < cfg.steps_per_snapshot * cfg.snapshots; ++i) {
+        solver.step();
+      }
+    });
+    bare_seconds = t.seconds();
+  }
+  std::printf("bare simulation:            %.2f s wall\n", bare_seconds);
+
+  // Full in-situ pipeline.
+  WallTimer t;
+  auto report = core::run_insitu(cfg);
+  double insitu_seconds = t.seconds();
+  std::printf("simulation + visualization: %.2f s wall (solver itself %.2f s)\n",
+              insitu_seconds, report.sim_seconds);
+  std::printf("frames: %d; simulated %.1f s of shaking\n", report.snapshots,
+              report.sim_time_reached);
+  if (report.frame_seconds.size() >= 2) {
+    double cadence =
+        (report.frame_seconds.back() - report.frame_seconds.front()) /
+        double(report.frame_seconds.size() - 1);
+    std::printf("frame cadence while simulating: %.3f s\n", cadence);
+  }
+  std::printf("\nmonitoring overhead on the solver: %.0f%% wall-clock "
+              "(visualization runs on its own processors; on one physical "
+              "core the work serializes — on a real machine the overlap is "
+              "free, which is the design's point)\n",
+              100.0 * (insitu_seconds - bare_seconds) /
+                  std::max(bare_seconds, 1e-9));
+  return 0;
+}

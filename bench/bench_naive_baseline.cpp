@@ -1,0 +1,64 @@
+// The introduction's motivating numbers: the previous system's primitive
+// I/O made the interframe delay for 100M cells 15-20 s (totally dominated
+// by I/O), while the earlier 10M-cell runs rendered at ~2 s/frame on up to
+// 128 processors. This bench reproduces the baseline and contrasts it with
+// the pipelined 1DIP/2DIP configurations on the same machine model.
+#include <cstdio>
+
+#include "pipesim/pipeline_model.hpp"
+
+int main() {
+  using namespace qv::pipesim;
+
+  Machine mc;
+  RenderModel rm;
+
+  std::printf("Baseline vs pipelined interframe delay (100M cells, 512x512)\n\n");
+  std::printf("%-44s %-18s\n", "configuration", "interframe (s)");
+
+  {
+    // Naive: one reader, no overlap (the previous system at 100M cells).
+    PipelineParams p;
+    p.num_steps = 10;
+    p.render_seconds = rm.seconds(64, 512 * 512, false);
+    auto r = simulate_naive(p);
+    std::printf("%-44s %-18.1f\n",
+                "naive single-reader, no overlap (paper: 15-20+)",
+                r.avg_interframe);
+  }
+  {
+    // 10M cells on the same naive path: 1/10 the data and render cost.
+    PipelineParams p;
+    p.num_steps = 10;
+    p.machine.step_bytes = 40e6;
+    p.render_seconds = rm.seconds(128, 512 * 512, false) * 0.1 * 10.0;
+    // 10M cells at 128 procs rendered in ~2 s in the prior work [16].
+    p.render_seconds = 2.0;
+    auto r = simulate_naive(p);
+    std::printf("%-44s %-18.1f\n", "naive, 10M cells, 128 PEs (paper: ~2 + I/O)",
+                r.avg_interframe);
+  }
+  {
+    PipelineParams p;
+    p.num_steps = 40;
+    p.input_procs = 12;
+    p.render_seconds = rm.seconds(64, 512 * 512, false);
+    auto r = simulate_1dip(p);
+    std::printf("%-44s %-18.1f\n", "pipelined 1DIP, m=12, 64 PEs",
+                r.avg_interframe);
+  }
+  {
+    Plan pl = plan(mc, 1.0);
+    PipelineParams p;
+    p.num_steps = 40;
+    p.input_procs = pl.m_2dip;
+    p.groups = pl.n_2dip;
+    p.render_seconds = 1.0;
+    auto r = simulate_2dip(p);
+    std::printf("%-44s %-18.1f\n", "pipelined 2DIP, 128 PEs", r.avg_interframe);
+  }
+  std::printf(
+      "\nthe pipeline removes the I/O bottleneck: interframe delay becomes "
+      "the rendering cost\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 1 workload: run the FULL parallel pipeline (input + rendering +
+// output processors over the in-process message-passing runtime) on a
+// synthetic Northridge-style dataset and write an animation of velocity
+// magnitude — with temporal-domain enhancement on, as the paper's late
+// time steps need (Figure 4).
+//
+//   ./northridge_movie [output_dir] [steps]
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "io/dataset.hpp"
+#include "quake/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qv;
+  std::string out = argc > 1 ? argv[1] : "northridge_out";
+  int steps = argc > 2 ? std::atoi(argv[2]) : 10;
+  std::filesystem::create_directories(out);
+  std::string dataset_dir = out + "/dataset";
+  std::filesystem::create_directories(dataset_dir);
+  std::string frames_dir = out + "/frames";
+  std::filesystem::create_directories(frames_dir);
+
+  // Synthetic basin-response wavefield on an adaptive mesh, dense enough to
+  // exercise the distributed path but laptop-sized.
+  const Box3 unit{{0, 0, 0}, {1, 1, 1}};
+  auto size = [](Vec3 p) { return p.z > 0.6f ? 0.08f : 0.2f; };
+  mesh::HexMesh fine(mesh::LinearOctree::build(unit, size, 2, 4));
+  std::printf("dataset mesh: %zu cells, %zu nodes\n", fine.cell_count(),
+              fine.node_count());
+
+  io::DatasetWriter writer(dataset_dir, fine, 2, 3, 0.25f);
+  quake::SyntheticQuake q;
+  for (int s = 0; s < steps; ++s) {
+    writer.write_step(q.sample_nodes(fine, 0.4f + 0.35f * float(s)));
+  }
+  writer.finish();
+
+  // The parallel pipeline: 3 input processors (1DIP), 4 renderers, SLIC
+  // compositing, enhancement preprocessing on the input processors.
+  core::PipelineConfig cfg;
+  cfg.dataset_dir = dataset_dir;
+  cfg.strategy = core::IoStrategy::kOneDip;
+  cfg.input_procs = 3;
+  cfg.render_procs = 4;
+  cfg.width = 512;
+  cfg.height = 384;
+  cfg.render.value_hi = 3.0f;
+  cfg.enhancement = true;
+  cfg.enhancement_gain = 1.5f;
+  cfg.output_dir = frames_dir;
+
+  auto report = core::run_pipeline(cfg);
+
+  std::printf("\nrendered %d frames -> %s/frame_****.ppm\n", report.steps,
+              frames_dir.c_str());
+  std::printf("avg interframe delay %.3f s | fetch %.3f s, preprocess %.3f s, "
+              "send %.3f s, render %.3f s, composite %.3f s\n",
+              report.avg_interframe, report.avg_fetch, report.avg_preprocess,
+              report.avg_send, report.avg_render, report.avg_composite);
+  return 0;
+}

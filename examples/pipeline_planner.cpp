@@ -1,0 +1,65 @@
+// Interactive use of the paper's analytic pipeline planner (§5): given a
+// machine description and a renderer configuration, print how many input
+// processors (1DIP) or groups x width (2DIP) are needed to make interframe
+// delay equal the rendering time — and verify the prediction against the
+// discrete-event simulator.
+//
+//   ./pipeline_planner [render_procs] [image_width]
+#include <cstdio>
+#include <cstdlib>
+
+#include "pipesim/calibration.hpp"
+#include "pipesim/pipeline_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qv::pipesim;
+  int render_procs = argc > 1 ? std::atoi(argv[1]) : 64;
+  int width = argc > 2 ? std::atoi(argv[2]) : 512;
+
+  Machine mc;
+  RenderModel rm;
+  double tr = rm.seconds(render_procs, width * width, false);
+
+  std::printf("machine: %.0f MB/step, %.1f MB/s per disk stream, %.0f MB/s "
+              "links, Tc=%.2fs\n",
+              mc.step_bytes / 1e6, mc.disk_stream_bw / 1e6, mc.link_bw / 1e6,
+              mc.composite_seconds);
+  std::printf("renderer: %d processors at %dx%d -> Tr = %.2f s\n\n",
+              render_procs, width, width, tr);
+
+  Plan pl = plan(mc, tr);
+  std::printf("plan (paper formulas):\n");
+  std::printf("  Tf = %.2f s, Tp = %.2f s, Ts = %.2f s\n", pl.tf, pl.tp, pl.ts);
+  std::printf("  1DIP: m = (Tf+Tp)/max(Ts,Tr) + 1 = %d input processors\n",
+              pl.m_1dip);
+  std::printf("  2DIP: m = ceil(Ts/Tr) = %d wide, n = %d groups\n", pl.m_2dip,
+              pl.n_2dip);
+
+  // Validate against the simulator.
+  PipelineParams p;
+  p.num_steps = 40;
+  p.render_seconds = tr;
+  p.input_procs = pl.m_1dip;
+  auto r1 = simulate_1dip(p);
+  p.input_procs = pl.m_2dip;
+  p.groups = pl.n_2dip;
+  auto r2 = simulate_2dip(p);
+  std::printf("\nsimulated interframe with the planned configuration:\n");
+  std::printf("  1DIP(m=%d):       %.2f s (floor Tr+Tc = %.2f s)\n", pl.m_1dip,
+              r1.avg_interframe, tr + mc.composite_seconds);
+  std::printf("  2DIP(%dx%d):      %.2f s\n", pl.n_2dip, pl.m_2dip,
+              r2.avg_interframe);
+
+  // Host-kernel calibration (documents how the model maps onto real code).
+  auto rates = measure_kernel_rates();
+  std::printf("\nthis host's measured kernels: %.2e render samples/s, "
+              "%.0f MB/s quantization, %.2e LIC pixels/s\n",
+              rates.render_samples_per_sec, rates.quantize_bytes_per_sec / 1e6,
+              rates.lic_pixels_per_sec);
+  std::printf("e.g. %dx%d at depth ~300 samples/ray on THIS host, %d procs: "
+              "Tr ~ %.2f s\n",
+              width, width, render_procs,
+              render_seconds_from_rate(rates, render_procs, width * width,
+                                       300.0));
+  return 0;
+}

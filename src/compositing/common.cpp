@@ -1,0 +1,104 @@
+#include "compositing/common.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "img/rle.hpp"
+
+namespace qv::compositing {
+
+namespace {
+
+struct PieceHeader {
+  std::uint32_t order;
+  std::int32_t x0, y0, x1, y1;
+  std::uint8_t compressed;
+  std::uint8_t pad[3];
+  std::uint64_t payload_bytes;
+};
+static_assert(sizeof(PieceHeader) == 32);
+
+}  // namespace
+
+Piece extract_piece(const PartialImage& partial, ScreenRect rect) {
+  Piece p;
+  p.order = partial.order;
+  p.rect = rect;
+  p.pixels.resize(std::size_t(rect.width()) * std::size_t(rect.height()));
+  for (int y = rect.y0; y < rect.y1; ++y) {
+    for (int x = rect.x0; x < rect.x1; ++x) {
+      p.pixels[std::size_t(y - rect.y0) * std::size_t(rect.width()) +
+               std::size_t(x - rect.x0)] = partial.at_screen(x, y);
+    }
+  }
+  return p;
+}
+
+void pack_piece(const Piece& piece, bool compress,
+                std::vector<std::uint8_t>& buf) {
+  PieceHeader h{};
+  h.order = piece.order;
+  h.x0 = piece.rect.x0;
+  h.y0 = piece.rect.y0;
+  h.x1 = piece.rect.x1;
+  h.y1 = piece.rect.y1;
+  h.compressed = compress ? 1 : 0;
+
+  std::size_t header_pos = buf.size();
+  buf.resize(buf.size() + sizeof(PieceHeader));
+  std::size_t payload_pos = buf.size();
+  if (compress) {
+    img::rle_encode(piece.pixels, buf);
+  } else {
+    std::size_t bytes = piece.pixels.size() * sizeof(img::Rgba);
+    buf.resize(buf.size() + bytes);
+    std::memcpy(buf.data() + payload_pos, piece.pixels.data(), bytes);
+  }
+  h.payload_bytes = buf.size() - payload_pos;
+  std::memcpy(buf.data() + header_pos, &h, sizeof(h));
+}
+
+std::vector<Piece> unpack_pieces(std::span<const std::uint8_t> buf) {
+  std::vector<Piece> out;
+  std::size_t pos = 0;
+  while (pos + sizeof(PieceHeader) <= buf.size()) {
+    PieceHeader h;
+    std::memcpy(&h, buf.data() + pos, sizeof(h));
+    pos += sizeof(h);
+    Piece p;
+    p.order = h.order;
+    p.rect = {h.x0, h.y0, h.x1, h.y1};
+    std::size_t count = std::size_t(p.rect.width()) * std::size_t(p.rect.height());
+    p.pixels.resize(count);
+    if (h.compressed) {
+      std::size_t used = img::rle_decode(buf, pos, p.pixels);
+      if (used == 0 && count > 0)
+        throw std::runtime_error("compositing: corrupt RLE piece");
+      pos += h.payload_bytes;
+    } else {
+      std::memcpy(p.pixels.data(), buf.data() + pos, count * sizeof(img::Rgba));
+      pos += h.payload_bytes;
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+void composite_pieces(std::vector<Piece>& pieces, img::Image& out, int ox,
+                      int oy) {
+  std::sort(pieces.begin(), pieces.end(),
+            [](const Piece& a, const Piece& b) { return a.order < b.order; });
+  for (const Piece& p : pieces) {
+    for (int y = p.rect.y0; y < p.rect.y1; ++y) {
+      for (int x = p.rect.x0; x < p.rect.x1; ++x) {
+        const img::Rgba& src =
+            p.pixels[std::size_t(y - p.rect.y0) * std::size_t(p.rect.width()) +
+                     std::size_t(x - p.rect.x0)];
+        if (src.transparent()) continue;
+        out.at(x - ox, y - oy).blend_under(src);
+      }
+    }
+  }
+}
+
+}  // namespace qv::compositing

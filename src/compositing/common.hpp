@@ -1,0 +1,65 @@
+// Shared machinery for the sort-last parallel compositing algorithms
+// (§4.4): the wire format for exchanged image pieces (optionally
+// RLE-compressed — the paper's conclusion measures ~50% savings), piece
+// extraction from partial images, and statistics counters.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "img/image.hpp"
+#include "render/partial_image.hpp"
+#include "vmpi/comm.hpp"
+
+namespace qv::compositing {
+
+using render::PartialImage;
+using render::ScreenRect;
+
+// A rectangle of pixels with its global compositing order.
+struct Piece {
+  std::uint32_t order = 0;
+  ScreenRect rect;
+  std::vector<img::Rgba> pixels;  // row-major, rect.width() * rect.height()
+};
+
+struct CompositeStats {
+  std::uint64_t messages = 0;        // point-to-point messages sent
+  std::uint64_t bytes_sent = 0;      // total payload sent by this rank
+  std::uint64_t pixels_sent = 0;     // pre-compression pixel count
+  double schedule_seconds = 0.0;     // SLIC schedule computation time
+  double composite_seconds = 0.0;    // local compositing work
+
+  void merge(const CompositeStats& o) {
+    messages += o.messages;
+    bytes_sent += o.bytes_sent;
+    pixels_sent += o.pixels_sent;
+    schedule_seconds += o.schedule_seconds;
+    composite_seconds += o.composite_seconds;
+  }
+};
+
+// Extract `rect` (screen coordinates, must be inside partial.rect) from a
+// partial image as a Piece.
+Piece extract_piece(const PartialImage& partial, ScreenRect rect);
+
+// Append a serialized piece to `buf`; `compress` selects RLE pixel payload.
+void pack_piece(const Piece& piece, bool compress, std::vector<std::uint8_t>& buf);
+
+// Unpack all pieces in a message.
+std::vector<Piece> unpack_pieces(std::span<const std::uint8_t> buf);
+
+// Composite `pieces` (sorted by order internally, front-to-back) into `out`
+// over the region each piece covers. `out` is in screen coordinates
+// starting at (ox, oy).
+void composite_pieces(std::vector<Piece>& pieces, img::Image& out, int ox, int oy);
+
+// The result of a collective compositing call: rank `root` holds the final
+// image; other ranks hold an empty image.
+struct CompositeResult {
+  img::Image image;
+  CompositeStats stats;
+};
+
+}  // namespace qv::compositing

@@ -1,0 +1,21 @@
+// Direct-send compositing: every processor owns a horizontal strip of the
+// final image; every renderer sends each of its partial-image pieces
+// directly to the strip owners, who composite and forward to the root
+// (output processor). The n(n-1) worst-case message pattern the paper
+// describes (§4.4) — the baseline SLIC improves upon.
+#pragma once
+
+#include "compositing/common.hpp"
+
+namespace qv::compositing {
+
+// Collective over `comm`: every rank passes its local partials.
+// Returns the composited image on `root` (empty elsewhere).
+CompositeResult direct_send(vmpi::Comm& comm,
+                            std::span<const PartialImage> partials, int width,
+                            int height, bool compress, int root = 0);
+
+// Strip of rows owned by `rank` in an `height`-row image over `size` ranks.
+ScreenRect strip_rows(int rank, int size, int width, int height);
+
+}  // namespace qv::compositing

@@ -1,0 +1,81 @@
+// Configuration of the parallel visualization pipeline (§4, Figure 2):
+// processor partitioning (input / rendering / output roles), I/O staging
+// strategy, rendering options, and optional preprocessing stages.
+#pragma once
+
+#include <string>
+
+#include "io/preprocess.hpp"
+#include "octree/blocks.hpp"
+#include "render/raycast.hpp"
+
+namespace qv::core {
+
+enum class IoStrategy {
+  kOneDip,            // §5.1: m input procs, each reads a complete step
+  kTwoDipCollective,  // §5.2 + §5.3.1: groups; collective noncontiguous read
+  kTwoDipIndependent, // §5.2 + §5.3.2: groups; independent contiguous read
+};
+
+enum class Compositor {
+  kSlic,        // §4.4: scheduled linear image compositing
+  kDirectSend,  // baseline
+};
+
+enum class Colormap {
+  kSeismic,    // the velocity-magnitude look of the paper's figures
+  kGrayscale,  // simple ramp (hand-checkable compositing in tests)
+};
+
+struct PipelineConfig {
+  std::string dataset_dir;
+
+  IoStrategy strategy = IoStrategy::kOneDip;
+  int input_procs = 2;   // m: total input procs (1DIP) or group width (2DIP)
+  int groups = 1;        // n: number of 2DIP groups (ignored for 1DIP)
+  int render_procs = 4;
+
+  int width = 256;
+  int height = 256;
+  int adaptive_level = -1;  // octree level to fetch/render; -1 = finest
+  int block_level = 2;      // subtree depth of the block decomposition
+  octree::AssignStrategy assign = octree::AssignStrategy::kMortonContiguous;
+
+  render::RenderOptions render;   // lighting, step size, value window
+  Colormap colormap = Colormap::kSeismic;
+  std::string tf_file;            // custom colormap file (overrides colormap)
+  io::Variable variable = io::Variable::kMagnitude;  // §1 variable domain
+  bool enhancement = false;       // §4.2 temporal-domain enhancement
+  float enhancement_gain = 2.0f;
+  bool lic_overlay = false;       // §4.3 surface LIC, computed on input procs
+  int lic_resolution = 256;       // LIC texture size (square)
+
+  // Spatial exploration: rotate the viewpoint this many degrees per step
+  // (0 = fixed camera). Each new view re-runs the view-dependent
+  // preprocessing (§4: visibility order; §4.4: the SLIC schedule).
+  float orbit_deg_per_step = 0.0f;
+
+  // Fine-grain dynamic load redistribution (§7 future work): when > 0,
+  // every `rebalance_every` steps the renderers' measured per-block costs
+  // are gathered and blocks are reassigned (largest-first on real costs)
+  // for the next epoch. Requires kOneDip.
+  int rebalance_every = 0;
+
+  Compositor compositor = Compositor::kSlic;
+  bool compress_compositing = false;
+  // RLE-compress the quantized block payloads the input processors ship
+  // (quiet ground quantizes to zero runs, so this usually wins big).
+  bool compress_blocks = false;
+
+  int num_steps = -1;          // -1: every step in the dataset
+  std::string output_dir;      // when set, the output proc writes PPM frames
+
+  // Total world size the pipeline occupies.
+  int total_input_procs() const {
+    return strategy == IoStrategy::kOneDip ? input_procs
+                                           : input_procs * groups;
+  }
+  int world_size() const { return total_input_procs() + render_procs + 1; }
+};
+
+}  // namespace qv::core

@@ -1,0 +1,48 @@
+#include "core/ground_overlay.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qv::core {
+
+img::Image render_ground_overlay(const render::Camera& camera,
+                                 const Box3& domain,
+                                 std::span<const float> lic_gray, int gw,
+                                 int gh) {
+  img::Image out(camera.width(), camera.height());
+  const float plane_z = domain.hi.z;
+  Vec3 ext = domain.extent();
+
+  for (int py = 0; py < camera.height(); ++py) {
+    for (int px = 0; px < camera.width(); ++px) {
+      render::Ray ray = camera.pixel_ray(px, py);
+      if (std::fabs(ray.dir.z) < 1e-8f) continue;
+      float t = (plane_z - ray.origin.z) / ray.dir.z;
+      if (t <= 0.0f) continue;
+      Vec3 p = ray.origin + ray.dir * t;
+      float u = (p.x - domain.lo.x) / ext.x;
+      float v = (p.y - domain.lo.y) / ext.y;
+      if (u < 0.0f || u > 1.0f || v < 0.0f || v > 1.0f) continue;
+      // Bilinear texture lookup.
+      float gx = u * float(gw - 1);
+      float gy = v * float(gh - 1);
+      int x0 = std::min(int(gx), gw - 2);
+      int y0 = std::min(int(gy), gh - 2);
+      if (gw == 1) x0 = 0;
+      if (gh == 1) y0 = 0;
+      float fx = gx - float(x0);
+      float fy = gy - float(y0);
+      auto tex = [&](int x, int y) {
+        return lic_gray[std::size_t(y) * std::size_t(gw) + std::size_t(x)];
+      };
+      float g = tex(x0, y0) * (1 - fx) * (1 - fy) +
+                tex(std::min(x0 + 1, gw - 1), y0) * fx * (1 - fy) +
+                tex(x0, std::min(y0 + 1, gh - 1)) * (1 - fx) * fy +
+                tex(std::min(x0 + 1, gw - 1), std::min(y0 + 1, gh - 1)) * fx * fy;
+      out.at(px, py) = {g, g, g, 1.0f};
+    }
+  }
+  return out;
+}
+
+}  // namespace qv::core

@@ -1,0 +1,23 @@
+// Projects a surface LIC texture onto the ground plane under the camera so
+// the output processors can composite it beneath the volume rendering —
+// the "simultaneous volume rendering and surface LIC" of Figures 13/14.
+#pragma once
+
+#include <span>
+
+#include "img/image.hpp"
+#include "render/camera.hpp"
+#include "util/vec.hpp"
+
+namespace qv::core {
+
+// Ray-cast the camera's pixels against the z = domain.hi.z ground plane,
+// bounded by the domain's footprint, sampling the LIC gray texture
+// (gw x gh, spanning the domain's x/y extent). Returns an opaque layer
+// where the plane is visible and transparent elsewhere.
+img::Image render_ground_overlay(const render::Camera& camera,
+                                 const Box3& domain,
+                                 std::span<const float> lic_gray, int gw,
+                                 int gh);
+
+}  // namespace qv::core

@@ -1,0 +1,239 @@
+#include "core/insitu.hpp"
+
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "compositing/slic.hpp"
+#include "io/block_index.hpp"
+#include "io/preprocess.hpp"
+#include "quake/parallel_solver.hpp"
+#include "render/order.hpp"
+#include "render/raycast.hpp"
+#include "util/stats.hpp"
+#include "vmpi/comm.hpp"
+
+namespace qv::core {
+
+namespace {
+
+int tag_block(int snap) { return snap * 8 + 0; }
+int tag_frame(int snap) { return snap * 8 + 1; }
+
+struct SnapHeader {
+  std::int32_t snapshot;
+  std::int32_t block;
+  float lo, hi;
+  float sim_time;
+  std::uint32_t count;
+};
+
+struct Shared {
+  const InsituConfig& cfg;
+  std::vector<img::Image>* frames_out;
+  InsituReport report;
+  std::mutex mu;
+};
+
+// Deterministic decomposition shared by every role.
+struct Setup {
+  mesh::HexMesh mesh;
+  std::vector<octree::Block> blocks;
+  std::vector<int> owners;
+  io::BlockNodeIndex index;
+  render::TransferFunction tf;
+
+  explicit Setup(const InsituConfig& cfg)
+      : mesh(build_insitu_mesh(cfg)),
+        tf(cfg.colormap == Colormap::kSeismic
+               ? render::TransferFunction::seismic()
+               : render::TransferFunction::grayscale()) {
+    blocks = octree::decompose(mesh.octree(), cfg.block_level);
+    octree::estimate_workloads(mesh.octree(), blocks,
+                               octree::WorkloadModel::kCellCount);
+    owners = octree::assign_blocks(blocks, cfg.render_procs, cfg.assign);
+    index = io::BlockNodeIndex(mesh, blocks);
+  }
+
+  render::Camera camera(const InsituConfig& cfg, int snap) const {
+    return render::Camera::orbit(mesh.domain(), cfg.width, cfg.height,
+                                 cfg.orbit_deg_per_step * float(snap));
+  }
+};
+
+void run_sim(Shared& sh, const Setup& st, vmpi::Comm& world,
+             vmpi::Comm& sim_comm) {
+  const InsituConfig& cfg = sh.cfg;
+  // The simulation itself runs distributed across the sim group (the
+  // element work is partitioned; one force reduction per step), mirroring
+  // the paper's simulation side running on its own processor set.
+  quake::ParallelWaveSolver solver(st.mesh, cfg.basin.field(), cfg.solver,
+                                   sim_comm);
+  solver.add_source(cfg.source);
+  const bool streamer = sim_comm.rank() == 0;
+
+  double sim_seconds = 0.0;
+  double sim_time = 0.0;
+  for (int snap = 0; snap < cfg.snapshots; ++snap) {
+    WallTimer t;
+    for (int k = 0; k < cfg.steps_per_snapshot; ++k) solver.step();
+    sim_seconds += t.seconds();
+    sim_time = solver.time();
+
+    if (!streamer) continue;  // only the sim group's root streams
+    // Preprocess and stream the snapshot to the renderers (monitoring taps
+    // straight off the solver's state — no file system in the path).
+    auto vel = solver.velocity_interleaved();
+    auto scalar = io::derive_scalar(vel, 3, cfg.variable);
+    auto q = io::quantize(scalar, cfg.render.value_lo, cfg.render.value_hi);
+    std::vector<std::uint8_t> msg;
+    for (std::size_t b = 0; b < st.blocks.size(); ++b) {
+      auto nodes = st.index.block_nodes(b);
+      msg.resize(sizeof(SnapHeader) + nodes.size());
+      SnapHeader hdr{snap,          std::int32_t(b), q.lo, q.hi,
+                     float(solver.time()), std::uint32_t(nodes.size())};
+      std::memcpy(msg.data(), &hdr, sizeof(hdr));
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        msg[sizeof(hdr) + i] = q.values[nodes[i]];
+      }
+      world.isend(cfg.sim_procs + st.owners[b], tag_block(snap), msg);
+    }
+  }
+  if (streamer) {
+    std::lock_guard lk(sh.mu);
+    sh.report.sim_seconds = sim_seconds;
+    sh.report.sim_time_reached = sim_time;
+  }
+}
+
+void run_render(Shared& sh, const Setup& st, vmpi::Comm& world,
+                vmpi::Comm& render_comm) {
+  const InsituConfig& cfg = sh.cfg;
+  const int rr = render_comm.rank();
+  const int out_rank = cfg.sim_procs + cfg.render_procs;
+
+  std::vector<std::size_t> owned;
+  std::map<int, std::size_t> local_of;
+  for (std::size_t b = 0; b < st.blocks.size(); ++b) {
+    if (st.owners[b] == rr) {
+      local_of[int(b)] = owned.size();
+      owned.push_back(b);
+    }
+  }
+  std::vector<render::RenderBlock> rblocks;
+  std::vector<std::vector<float>> values(owned.size());
+  for (std::size_t i = 0; i < owned.size(); ++i) {
+    rblocks.emplace_back(st.mesh, st.blocks[owned[i]],
+                         st.index.block_nodes(owned[i]));
+    values[i].resize(st.index.block_nodes(owned[i]).size());
+  }
+
+  render::Raycaster rc(st.tf, cfg.render, st.mesh.domain().extent().x);
+  std::vector<std::uint32_t> rank_of(st.blocks.size());
+
+  for (int snap = 0; snap < cfg.snapshots; ++snap) {
+    for (std::size_t k = 0; k < owned.size(); ++k) {
+      std::vector<std::uint8_t> msg;
+      world.recv(vmpi::kAnySource, tag_block(snap), msg);
+      SnapHeader hdr;
+      std::memcpy(&hdr, msg.data(), sizeof(hdr));
+      std::size_t li = local_of.at(hdr.block);
+      if (values[li].size() != hdr.count)
+        throw std::runtime_error("insitu: block message size mismatch");
+      const float scale = (hdr.hi - hdr.lo) / 255.0f;
+      for (std::size_t i = 0; i < hdr.count; ++i) {
+        values[li][i] = hdr.lo + scale * float(msg[sizeof(hdr) + i]);
+      }
+    }
+
+    render::Camera camera = st.camera(cfg, snap);
+    auto order = render::visibility_order(st.blocks, st.mesh.domain(),
+                                          camera.eye());
+    for (std::size_t i = 0; i < order.size(); ++i)
+      rank_of[order[i]] = std::uint32_t(i);
+
+    std::vector<render::PartialImage> partials;
+    for (std::size_t i = 0; i < owned.size(); ++i) {
+      rblocks[i].set_values(values[i]);
+      partials.push_back(rc.render_block(camera, rblocks[i],
+                                         rank_of[owned[i]]));
+    }
+    auto comp = compositing::slic(render_comm, partials, cfg.width,
+                                  cfg.height, false, 0);
+    if (rr == 0) {
+      auto px = comp.image.pixels();
+      world.isend(out_rank, tag_frame(snap),
+                  {reinterpret_cast<const std::uint8_t*>(px.data()),
+                   px.size_bytes()});
+    }
+  }
+}
+
+void run_output(Shared& sh, const Setup&, vmpi::Comm& world) {
+  const InsituConfig& cfg = sh.cfg;
+  WallTimer clock;
+  std::vector<double> frame_seconds;
+  for (int snap = 0; snap < cfg.snapshots; ++snap) {
+    std::vector<std::uint8_t> msg;
+    world.recv(vmpi::kAnySource, tag_frame(snap), msg);
+    img::Image frame(cfg.width, cfg.height);
+    if (msg.size() != frame.pixels().size_bytes())
+      throw std::runtime_error("insitu: frame size mismatch");
+    std::memcpy(frame.pixels().data(), msg.data(), msg.size());
+    frame_seconds.push_back(clock.seconds());
+    if (!cfg.output_dir.empty()) {
+      char name[64];
+      std::snprintf(name, sizeof(name), "/insitu_%04d.ppm", snap);
+      img::write_ppm(cfg.output_dir + name,
+                     img::to_8bit(frame, {0.02f, 0.02f, 0.05f}));
+    }
+    if (sh.frames_out) sh.frames_out->push_back(std::move(frame));
+  }
+  std::lock_guard lk(sh.mu);
+  sh.report.frame_seconds = std::move(frame_seconds);
+  sh.report.snapshots = cfg.snapshots;
+}
+
+}  // namespace
+
+mesh::HexMesh build_insitu_mesh(const InsituConfig& config) {
+  auto tree = mesh::LinearOctree::build(
+      config.domain,
+      config.basin.size_field(config.mesh_max_freq_hz,
+                              config.mesh_points_per_wavelength),
+      config.mesh_min_level, config.mesh_max_level);
+  return mesh::HexMesh(std::move(tree));
+}
+
+InsituReport run_insitu(const InsituConfig& config,
+                        std::vector<img::Image>* frames_out) {
+  if (config.render_procs < 1 || config.snapshots < 1 ||
+      config.sim_procs < 1)
+    throw std::runtime_error("insitu: bad configuration");
+  Shared sh{config, frames_out, {}, {}};
+
+  vmpi::Runtime::run(config.world_size(), [&sh, &config](vmpi::Comm& world) {
+    Setup st(config);
+    const int r = world.rank();
+    const int role = r < config.sim_procs
+                         ? 0
+                         : (r < config.sim_procs + config.render_procs ? 1 : 2);
+    vmpi::Comm sub = world.split(role, r);
+    world.barrier();
+    switch (role) {
+      case 0:
+        run_sim(sh, st, world, sub);
+        break;
+      case 1:
+        run_render(sh, st, world, sub);
+        break;
+      default:
+        run_output(sh, st, world);
+        break;
+    }
+  });
+  return sh.report;
+}
+
+}  // namespace qv::core

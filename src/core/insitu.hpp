@@ -1,0 +1,66 @@
+// Simulation-time visualization — the paper's stated ultimate goal (§7):
+// "perform simulation-time visualization allowing scientists to monitor
+// the simulation ... the parallel simulation and renderer will run
+// simultaneously". Here the FEM wave solver runs on a simulation
+// processor and streams velocity snapshots directly to the rendering
+// processors over the message-passing runtime — no disk in the loop —
+// while the output processor emits frames as the earthquake unfolds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "img/image.hpp"
+#include "quake/material.hpp"
+#include "quake/solver.hpp"
+
+namespace qv::core {
+
+struct InsituConfig {
+  // --- the simulation ------------------------------------------------------
+  Box3 domain{{0, 0, 0}, {2000, 2000, 2000}};
+  quake::LayeredBasin basin;
+  float mesh_max_freq_hz = 0.5f;       // mesh refinement target
+  float mesh_points_per_wavelength = 4.0f;
+  int mesh_min_level = 2;
+  int mesh_max_level = 4;
+  quake::RickerSource source;
+  quake::WaveSolver::Options solver;
+
+  int steps_per_snapshot = 8;   // solver steps between rendered frames
+  int snapshots = 8;
+  int sim_procs = 1;            // ranks running the parallel wave solver
+
+  // --- the visualization -----------------------------------------------------
+  int render_procs = 2;
+  int width = 256;
+  int height = 192;
+  int block_level = 2;
+  octree::AssignStrategy assign = octree::AssignStrategy::kMortonContiguous;
+  render::RenderOptions render;
+  Colormap colormap = Colormap::kSeismic;
+  io::Variable variable = io::Variable::kMagnitude;
+  float orbit_deg_per_step = 0.0f;
+  std::string output_dir;  // when set, frames are written as PPM
+
+  int world_size() const { return sim_procs + render_procs + 1; }
+};
+
+struct InsituReport {
+  std::vector<double> frame_seconds;  // wall-clock completion per snapshot
+  double sim_seconds = 0.0;           // time the solver spent stepping
+  double sim_time_reached = 0.0;      // simulated seconds at the last frame
+  int snapshots = 0;
+};
+
+// Runs solver + renderers + output concurrently in-process. When
+// `frames_out` is non-null the output processor stores every frame there.
+InsituReport run_insitu(const InsituConfig& config,
+                        std::vector<img::Image>* frames_out = nullptr);
+
+// The deterministic mesh every rank (and any offline check) reconstructs
+// from the configuration.
+mesh::HexMesh build_insitu_mesh(const InsituConfig& config);
+
+}  // namespace qv::core

@@ -1,0 +1,771 @@
+#include "core/pipeline.hpp"
+
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+
+#include "compositing/direct_send.hpp"
+#include "compositing/slic.hpp"
+#include "core/ground_overlay.hpp"
+#include "img/image.hpp"
+#include "io/block_index.hpp"
+#include "io/codec.hpp"
+#include "io/dataset.hpp"
+#include "io/preprocess.hpp"
+#include "lic/lic.hpp"
+#include "render/order.hpp"
+#include "render/raycast.hpp"
+#include "util/stats.hpp"
+#include "vmpi/comm.hpp"
+#include "vmpi/file.hpp"
+
+namespace qv::core {
+
+namespace {
+
+// Per-step message tags: step * 8 + kind keeps the spaces disjoint.
+// (Epoch-indexed assignment messages reuse the same scheme with kind 3.)
+int tag_block(int step) { return step * 8 + 0; }
+int tag_frame(int step) { return step * 8 + 1; }
+int tag_lic(int step) { return step * 8 + 2; }
+int tag_assign(int epoch) { return epoch * 8 + 3; }
+
+struct BlockMsgHeader {
+  std::int32_t step;
+  std::int32_t block;
+  float lo, hi;          // quantization range
+  std::uint32_t count;   // quantized value count
+  std::uint32_t payload; // bytes that follow (== count when uncompressed)
+  std::uint8_t compressed;
+  std::uint8_t pad[3];
+};
+
+struct SliceMsgHeader {
+  std::int32_t step;
+  std::int32_t member;
+  float lo, hi;
+  std::uint32_t count;
+  std::uint32_t payload;
+  std::uint8_t compressed;
+  std::uint8_t pad[3];
+};
+
+// Append `values` to `msg` after its header, RLE-compressed when that wins
+// and `allow` is set. Fills payload/compressed in the header at `hdr_pos`.
+template <typename Header>
+void pack_values(std::vector<std::uint8_t>& msg, std::size_t hdr_pos,
+                 std::span<const std::uint8_t> values, bool allow,
+                 std::uint64_t* raw_bytes, std::uint64_t* sent_bytes) {
+  std::size_t payload_pos = msg.size();
+  bool compressed = false;
+  if (allow) {
+    io::rle8_encode(values, msg);
+    if (msg.size() - payload_pos < values.size()) {
+      compressed = true;
+    } else {
+      msg.resize(payload_pos);  // compression did not pay off
+    }
+  }
+  if (!compressed) {
+    msg.insert(msg.end(), values.begin(), values.end());
+  }
+  Header hdr;
+  std::memcpy(&hdr, msg.data() + hdr_pos, sizeof(hdr));
+  hdr.payload = std::uint32_t(msg.size() - payload_pos);
+  hdr.compressed = compressed ? 1 : 0;
+  std::memcpy(msg.data() + hdr_pos, &hdr, sizeof(hdr));
+  if (raw_bytes) *raw_bytes += values.size();
+  if (sent_bytes) *sent_bytes += msg.size() - payload_pos;
+}
+
+// Dequantize a header's payload into `dst` through `scatter(i, value)`.
+template <typename Header, typename Fn>
+void unpack_values(const Header& hdr, std::span<const std::uint8_t> msg,
+                   std::vector<std::uint8_t>& scratch, Fn&& store) {
+  std::span<const std::uint8_t> values;
+  if (hdr.compressed) {
+    scratch.resize(hdr.count);
+    if (io::rle8_decode(msg, sizeof(Header), scratch) == 0 && hdr.count > 0)
+      throw std::runtime_error("pipeline: corrupt compressed block payload");
+    values = scratch;
+  } else {
+    values = msg.subspan(sizeof(Header), hdr.count);
+  }
+  const float scale = (hdr.hi - hdr.lo) / 255.0f;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    store(i, hdr.lo + scale * float(values[i]));
+  }
+}
+
+// Stats shared across the rank threads (joined before run_pipeline returns).
+struct Shared {
+  const PipelineConfig& config;
+  std::vector<img::Image>* frames_out;
+  PipelineReport report;
+  std::mutex mu;
+  double fetch = 0, preprocess = 0, send = 0;
+  double render = 0, composite = 0;
+  std::uint64_t composite_bytes = 0;
+  std::uint64_t block_bytes_raw = 0, block_bytes_sent = 0;
+  int input_steps = 0, render_steps = 0;
+};
+
+// Deterministic per-rank setup computed from the dataset alone — the
+// "one-time preprocessing" every processor can reproduce because the mesh
+// is static.
+struct Setup {
+  const PipelineConfig& cfg;
+  io::DatasetReader reader;
+  int level;
+  const mesh::HexMesh* mesh;
+  std::vector<octree::Block> blocks;
+  std::vector<int> owners;  // initial block -> render proc assignment
+  io::BlockNodeIndex index;
+  render::TransferFunction tf;
+  int num_steps;
+
+  explicit Setup(const PipelineConfig& config)
+      : cfg(config),
+        reader(config.dataset_dir),
+        level(config.adaptive_level < 0 ? reader.meta().finest_level
+                                        : config.adaptive_level),
+        mesh(&reader.level_mesh(level)),
+        tf(!config.tf_file.empty()
+               ? render::TransferFunction::from_file(config.tf_file)
+               : (config.colormap == Colormap::kSeismic
+                      ? render::TransferFunction::seismic()
+                      : render::TransferFunction::grayscale())) {
+    blocks = octree::decompose(mesh->octree(), cfg.block_level);
+    octree::estimate_workloads(mesh->octree(), blocks,
+                               octree::WorkloadModel::kCellCount);
+    owners = octree::assign_blocks(blocks, cfg.render_procs, cfg.assign);
+    index = io::BlockNodeIndex(*mesh, blocks);
+    num_steps = cfg.num_steps < 0
+                    ? reader.meta().num_steps
+                    : std::min(cfg.num_steps, reader.meta().num_steps);
+  }
+
+  render::Camera camera(int step) const {
+    return render::Camera::orbit(reader.meta().domain, cfg.width, cfg.height,
+                                 cfg.orbit_deg_per_step * float(step));
+  }
+  int epoch_of(int step) const {
+    return cfg.rebalance_every > 0 ? step / cfg.rebalance_every : 0;
+  }
+
+  std::uint64_t level_offset() const { return reader.level_offset_bytes(level); }
+  std::uint64_t level_floats() const {
+    return reader.level_bytes(level) / sizeof(float);
+  }
+};
+
+std::vector<float> read_level_at(vmpi::Comm& comm, const Setup& st,
+                                 const std::string& path, std::uint64_t first,
+                                 std::uint64_t count_floats) {
+  vmpi::File f(comm, path);
+  std::vector<float> data(count_floats);
+  f.read_at(st.level_offset() + first * sizeof(float),
+            {reinterpret_cast<std::uint8_t*>(data.data()),
+             count_floats * sizeof(float)});
+  return data;
+}
+
+// ---------------------------------------------------------------------------
+// Input processors
+// ---------------------------------------------------------------------------
+
+// Ship per-block quantized values to the renderers under the given
+// assignment (1DIP and 2DIP-collective use the same message format).
+void send_blocks(vmpi::Comm& world, Shared& sh, const Setup& st, int step,
+                 const io::QuantizedField& q,
+                 std::span<const std::size_t> block_ids,
+                 std::span<const int> owners) {
+  const PipelineConfig& cfg = sh.config;
+  const int I = cfg.total_input_procs();
+  std::vector<std::uint8_t> msg, values;
+  std::uint64_t raw = 0, sent = 0;
+  for (std::size_t b : block_ids) {
+    auto nodes = st.index.block_nodes(b);
+    msg.resize(sizeof(BlockMsgHeader));
+    BlockMsgHeader hdr{step,
+                       std::int32_t(b),
+                       q.lo,
+                       q.hi,
+                       std::uint32_t(nodes.size()),
+                       0,
+                       0,
+                       {}};
+    std::memcpy(msg.data(), &hdr, sizeof(hdr));
+    values.resize(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) values[i] = q.values[nodes[i]];
+    pack_values<BlockMsgHeader>(msg, 0, values, cfg.compress_blocks, &raw,
+                                &sent);
+    world.isend(I + owners[b], tag_block(step), msg);
+  }
+  std::lock_guard lk(sh.mu);
+  sh.block_bytes_raw += raw;
+  sh.block_bytes_sent += sent;
+}
+
+// Scalar derivation from interleaved records, with optional temporal
+// enhancement from neighbor-step buffers.
+std::vector<float> make_scalar(const PipelineConfig& cfg, const Setup& st,
+                               std::span<const float> cur,
+                               std::span<const float> prev,
+                               std::span<const float> next) {
+  const int comps = st.reader.meta().components;
+  auto scalar = io::derive_scalar(cur, comps, cfg.variable);
+  if (!cfg.enhancement) return scalar;
+  std::vector<float> pm, nm;
+  if (!prev.empty()) pm = io::derive_scalar(prev, comps, cfg.variable);
+  if (!next.empty()) nm = io::derive_scalar(next, comps, cfg.variable);
+  return io::temporal_enhance(scalar, pm, nm, cfg.enhancement_gain);
+}
+
+void input_lic(vmpi::Comm& world, const PipelineConfig& cfg, const Setup& st,
+               int step, std::span<const float> interleaved,
+               std::optional<lic::Quadtree>& qt) {
+  auto field = lic::extract_surface_field(*st.mesh, interleaved);
+  if (!qt) qt.emplace(field.positions);
+  int res = cfg.lic_resolution;
+  auto grid = lic::resample(field, *qt, res, res);
+  auto noise = lic::make_noise(res, res, 0xABCD1234u);
+  lic::LicOptions lopt;
+  lopt.periodic_kernel = true;
+  lopt.phase = float(step % 8) / 8.0f;
+  auto gray = lic::compute_lic(grid, noise, res, res, lopt);
+  int out_rank = cfg.total_input_procs() + cfg.render_procs;
+  world.isend(out_rank, tag_lic(step),
+              {reinterpret_cast<const std::uint8_t*>(gray.data()),
+               gray.size() * sizeof(float)});
+}
+
+void run_input_1dip(Shared& sh, const Setup& st, vmpi::Comm& world,
+                    int input_index) {
+  const PipelineConfig& cfg = sh.config;
+  const int m = cfg.input_procs;
+  const int render_root = cfg.total_input_procs();  // world rank of renderer 0
+  std::optional<lic::Quadtree> qt;
+  std::vector<std::size_t> all_blocks(st.blocks.size());
+  for (std::size_t b = 0; b < all_blocks.size(); ++b) all_blocks[b] = b;
+
+  std::vector<int> owners = st.owners;
+  int cur_epoch = 0;
+
+  double fetch = 0, preprocess = 0, send = 0;
+  int steps = 0;
+  for (int s = input_index; s < st.num_steps; s += m) {
+    // Dynamic redistribution: pick up the assignment of this step's epoch
+    // (the render group publishes one per epoch boundary).
+    while (st.epoch_of(s) > cur_epoch) {
+      ++cur_epoch;
+      owners = world.recv_vec<int>(render_root, tag_assign(cur_epoch));
+    }
+
+    WallTimer t;
+    auto cur = read_level_at(world, st, st.reader.step_path(s), 0,
+                             st.level_floats());
+    std::vector<float> prev, next;
+    if (cfg.enhancement) {
+      if (s > 0)
+        prev = read_level_at(world, st, st.reader.step_path(s - 1), 0,
+                             st.level_floats());
+      if (s + 1 < st.reader.meta().num_steps)
+        next = read_level_at(world, st, st.reader.step_path(s + 1), 0,
+                             st.level_floats());
+    }
+    fetch += t.seconds();
+    t.reset();
+    auto scalar = make_scalar(cfg, st, cur, prev, next);
+    auto q = io::quantize(scalar, cfg.render.value_lo, cfg.render.value_hi);
+    if (cfg.lic_overlay) input_lic(world, cfg, st, s, cur, qt);
+    preprocess += t.seconds();
+    t.reset();
+    send_blocks(world, sh, st, s, q, all_blocks, owners);
+    send += t.seconds();
+    ++steps;
+  }
+  std::lock_guard lk(sh.mu);
+  sh.fetch += fetch;
+  sh.preprocess += preprocess;
+  sh.send += send;
+  sh.input_steps += steps;
+}
+
+// 2DIP group member. `group_comm` spans the m members of this group.
+void run_input_2dip(Shared& sh, const Setup& st, vmpi::Comm& world,
+                    vmpi::Comm& group_comm, int group) {
+  const PipelineConfig& cfg = sh.config;
+  const int n = cfg.groups;
+  const int m = cfg.input_procs;
+  const int mi = group_comm.rank();
+  const int comps = st.reader.meta().components;
+  const bool collective = cfg.strategy == IoStrategy::kTwoDipCollective;
+
+  double fetch = 0, preprocess = 0, send = 0;
+  int steps = 0;
+
+  // --- static request patterns (computed once; the mesh never changes) ----
+  // Collective: this member serves render procs {r : r % m == mi}; its view
+  // is their merged node list.
+  std::vector<std::size_t> my_blocks;
+  std::vector<mesh::NodeId> my_nodes;
+  vmpi::IndexedBlockView view;
+  // node id -> position within my_nodes (for per-block extraction).
+  std::map<mesh::NodeId, std::uint32_t> node_pos;
+  // Independent: my contiguous slice and its forwarding map.
+  mesh::NodeId slice_lo = 0, slice_hi = 0;
+  // Per render proc: ordered value positions within my slice.
+  std::vector<std::vector<std::uint32_t>> fwd_slice_pos(
+      std::size_t(cfg.render_procs));
+
+  if (collective) {
+    for (std::size_t b = 0; b < st.blocks.size(); ++b) {
+      if (st.owners[b] % m == mi) my_blocks.push_back(b);
+    }
+    my_nodes = io::merged_nodes(st.index, my_blocks);
+    for (std::uint32_t i = 0; i < my_nodes.size(); ++i)
+      node_pos[my_nodes[i]] = i;
+    view.elem_bytes = std::size_t(comps) * sizeof(float);
+    view.block_elems = 1;
+    std::uint64_t base_elems = st.level_offset() / view.elem_bytes;
+    for (auto nid : my_nodes) view.block_offsets.push_back(base_elems + nid);
+  } else {
+    auto [lo, hi] = io::slice_bounds(st.level_floats() / std::size_t(comps),
+                                     mi, m);
+    slice_lo = lo;
+    slice_hi = hi;
+    auto entries = io::build_forward_map(st.index, lo, hi);
+    // entries are grouped by block ascending then block_pos; split by owner.
+    for (const auto& e : entries) {
+      fwd_slice_pos[std::size_t(st.owners[e.block])].push_back(e.slice_pos);
+    }
+  }
+
+  for (int s = group; s < st.num_steps; s += n) {
+    WallTimer t;
+    std::vector<float> cur, prev, next;
+    if (collective) {
+      auto read_step = [&](int step_id) {
+        vmpi::File f(group_comm, st.reader.step_path(step_id));
+        f.set_view(view);
+        std::vector<float> data(my_nodes.size() * std::size_t(comps));
+        f.read_all({reinterpret_cast<std::uint8_t*>(data.data()),
+                    data.size() * sizeof(float)});
+        return data;
+      };
+      cur = read_step(s);
+      if (cfg.enhancement) {
+        if (s > 0) prev = read_step(s - 1);
+        if (s + 1 < st.reader.meta().num_steps) next = read_step(s + 1);
+      }
+    } else {
+      std::uint64_t first = std::uint64_t(slice_lo) * std::uint64_t(comps);
+      std::uint64_t count =
+          std::uint64_t(slice_hi - slice_lo) * std::uint64_t(comps);
+      cur = read_level_at(world, st, st.reader.step_path(s), first, count);
+      if (cfg.enhancement) {
+        if (s > 0)
+          prev = read_level_at(world, st, st.reader.step_path(s - 1), first,
+                               count);
+        if (s + 1 < st.reader.meta().num_steps)
+          next = read_level_at(world, st, st.reader.step_path(s + 1), first,
+                               count);
+      }
+    }
+    fetch += t.seconds();
+    t.reset();
+    auto scalar = make_scalar(cfg, st, cur, prev, next);
+    auto q = io::quantize(scalar, cfg.render.value_lo, cfg.render.value_hi);
+    preprocess += t.seconds();
+    t.reset();
+
+    std::uint64_t raw = 0, sent_bytes = 0;
+    if (collective) {
+      // Per-block messages, values indexed through the merged node list.
+      std::vector<std::uint8_t> msg, values;
+      for (std::size_t b : my_blocks) {
+        auto nodes = st.index.block_nodes(b);
+        msg.resize(sizeof(BlockMsgHeader));
+        BlockMsgHeader hdr{s,  std::int32_t(b), q.lo, q.hi,
+                           std::uint32_t(nodes.size()), 0, 0, {}};
+        std::memcpy(msg.data(), &hdr, sizeof(hdr));
+        values.resize(nodes.size());
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+          values[i] = q.values[node_pos.at(nodes[i])];
+        }
+        pack_values<BlockMsgHeader>(msg, 0, values, cfg.compress_blocks, &raw,
+                                    &sent_bytes);
+        world.isend(cfg.total_input_procs() + st.owners[b], tag_block(s), msg);
+      }
+    } else {
+      // One slice message per render proc, values in forward-map order.
+      std::vector<std::uint8_t> msg, values;
+      for (int r = 0; r < cfg.render_procs; ++r) {
+        const auto& positions = fwd_slice_pos[std::size_t(r)];
+        msg.resize(sizeof(SliceMsgHeader));
+        SliceMsgHeader hdr{s,  mi, q.lo, q.hi,
+                           std::uint32_t(positions.size()), 0, 0, {}};
+        std::memcpy(msg.data(), &hdr, sizeof(hdr));
+        values.resize(positions.size());
+        for (std::size_t i = 0; i < positions.size(); ++i) {
+          values[i] = q.values[positions[i]];
+        }
+        pack_values<SliceMsgHeader>(msg, 0, values, cfg.compress_blocks, &raw,
+                                    &sent_bytes);
+        world.isend(cfg.total_input_procs() + r, tag_block(s), msg);
+      }
+    }
+    {
+      std::lock_guard lk(sh.mu);
+      sh.block_bytes_raw += raw;
+      sh.block_bytes_sent += sent_bytes;
+    }
+    send += t.seconds();
+    ++steps;
+  }
+  std::lock_guard lk(sh.mu);
+  sh.fetch += fetch;
+  sh.preprocess += preprocess;
+  sh.send += send;
+  sh.input_steps += steps;
+}
+
+// ---------------------------------------------------------------------------
+// Rendering processors
+// ---------------------------------------------------------------------------
+
+// Renderer-side view of the current block assignment.
+struct RenderAssignment {
+  std::vector<int> owners;
+  std::vector<std::size_t> owned;         // my global block ids
+  std::map<int, std::size_t> local_of;    // global block id -> owned index
+  std::vector<render::RenderBlock> rblocks;
+  std::vector<std::vector<float>> block_values;
+
+  void rebuild(const Setup& st, int my_rank, std::vector<int> new_owners) {
+    owners = std::move(new_owners);
+    owned.clear();
+    local_of.clear();
+    rblocks.clear();
+    for (std::size_t b = 0; b < st.blocks.size(); ++b) {
+      if (owners[b] == my_rank) {
+        local_of[int(b)] = owned.size();
+        owned.push_back(b);
+      }
+    }
+    rblocks.reserve(owned.size());
+    block_values.assign(owned.size(), {});
+    for (std::size_t i = 0; i < owned.size(); ++i) {
+      rblocks.emplace_back(*st.mesh, st.blocks[owned[i]],
+                           st.index.block_nodes(owned[i]));
+      block_values[i].resize(st.index.block_nodes(owned[i]).size());
+    }
+  }
+};
+
+void run_render(Shared& sh, const Setup& st, vmpi::Comm& world,
+                vmpi::Comm& render_comm) {
+  const PipelineConfig& cfg = sh.config;
+  const int rr = render_comm.rank();
+  const int out_rank = cfg.total_input_procs() + cfg.render_procs;
+  const bool independent = cfg.strategy == IoStrategy::kTwoDipIndependent;
+  const bool orbiting = cfg.orbit_deg_per_step != 0.0f;
+
+  RenderAssignment assign;
+  assign.rebuild(st, rr, st.owners);
+
+  // View-dependent preprocessing (§4): global visibility ranks, recomputed
+  // whenever the viewpoint moves.
+  render::Camera camera = st.camera(0);
+  std::vector<std::uint32_t> rank_of(st.blocks.size());
+  auto recompute_order = [&]() {
+    auto order = render::visibility_order(st.blocks, st.mesh->domain(),
+                                          camera.eye());
+    for (std::size_t i = 0; i < order.size(); ++i)
+      rank_of[order[i]] = std::uint32_t(i);
+  };
+  recompute_order();
+
+  // Independent-contiguous reads: precompute, per group member, the scatter
+  // list of (owned block, position) matching the member's value order.
+  const int m = cfg.input_procs;
+  struct Scatter {
+    std::size_t local_block;
+    std::uint32_t pos;
+  };
+  std::vector<std::vector<Scatter>> member_scatter;
+  if (independent) {
+    const int comps = st.reader.meta().components;
+    member_scatter.resize(std::size_t(m));
+    for (int mi = 0; mi < m; ++mi) {
+      auto [lo, hi] = io::slice_bounds(st.level_floats() / std::size_t(comps),
+                                       mi, m);
+      auto entries = io::build_forward_map(st.index, lo, hi);
+      for (const auto& e : entries) {
+        if (st.owners[e.block] != rr) continue;
+        member_scatter[std::size_t(mi)].push_back(
+            {assign.local_of.at(int(e.block)), e.block_pos});
+      }
+    }
+  }
+
+  render::Raycaster rc(st.tf, cfg.render, st.mesh->domain().extent().x);
+
+  double render_time = 0, composite_time = 0;
+  std::uint64_t composite_bytes = 0;
+  // Measured per-block costs of the current epoch (dynamic redistribution).
+  std::map<int, double> epoch_costs;
+
+  for (int s = 0; s < st.num_steps; ++s) {
+    // --- receive this step's data (later steps keep arriving in the
+    //     background into the mailbox — that's the §4 overlap) -------------
+    if (independent) {
+      std::vector<std::uint8_t> scratch;
+      for (int k = 0; k < m; ++k) {
+        std::vector<std::uint8_t> msg;
+        world.recv(vmpi::kAnySource, tag_block(s), msg);
+        SliceMsgHeader hdr;
+        std::memcpy(&hdr, msg.data(), sizeof(hdr));
+        const auto& scatter = member_scatter[std::size_t(hdr.member)];
+        if (scatter.size() != hdr.count)
+          throw std::runtime_error("pipeline: slice message size mismatch");
+        unpack_values(hdr, msg, scratch, [&](std::size_t i, float v) {
+          assign.block_values[scatter[i].local_block][scatter[i].pos] = v;
+        });
+      }
+    } else {
+      std::vector<std::uint8_t> scratch;
+      for (std::size_t k = 0; k < assign.owned.size(); ++k) {
+        std::vector<std::uint8_t> msg;
+        world.recv(vmpi::kAnySource, tag_block(s), msg);
+        BlockMsgHeader hdr;
+        std::memcpy(&hdr, msg.data(), sizeof(hdr));
+        std::size_t li = assign.local_of.at(hdr.block);
+        if (assign.block_values[li].size() != hdr.count)
+          throw std::runtime_error("pipeline: block message size mismatch");
+        auto& dst = assign.block_values[li];
+        unpack_values(hdr, msg, scratch,
+                      [&](std::size_t i, float v) { dst[i] = v; });
+      }
+    }
+
+    // --- local rendering ----------------------------------------------------
+    if (orbiting && s > 0) {
+      camera = st.camera(s);
+      recompute_order();
+    }
+    WallTimer t;
+    std::vector<render::PartialImage> partials;
+    partials.reserve(assign.owned.size());
+    for (std::size_t i = 0; i < assign.owned.size(); ++i) {
+      WallTimer bt;
+      assign.rblocks[i].set_values(assign.block_values[i]);
+      partials.push_back(rc.render_block(camera, assign.rblocks[i],
+                                         rank_of[assign.owned[i]]));
+      epoch_costs[int(assign.owned[i])] += bt.seconds();
+    }
+    render_time += t.seconds();
+    t.reset();
+
+    // --- parallel compositing ----------------------------------------------
+    compositing::CompositeResult comp;
+    if (cfg.compositor == Compositor::kSlic) {
+      comp = compositing::slic(render_comm, partials, cfg.width, cfg.height,
+                               cfg.compress_compositing, 0);
+    } else {
+      comp = compositing::direct_send(render_comm, partials, cfg.width,
+                                      cfg.height, cfg.compress_compositing, 0);
+    }
+    composite_time += t.seconds();
+    composite_bytes += comp.stats.bytes_sent;
+
+    // --- image delivery ----------------------------------------------------
+    if (rr == 0) {
+      auto px = comp.image.pixels();
+      world.isend(out_rank, tag_frame(s),
+                  {reinterpret_cast<const std::uint8_t*>(px.data()),
+                   px.size_bytes()});
+    }
+
+    // --- fine-grain dynamic load redistribution (§7) -----------------------
+    if (cfg.rebalance_every > 0 && s + 1 < st.num_steps &&
+        st.epoch_of(s + 1) > st.epoch_of(s)) {
+      int next_epoch = st.epoch_of(s + 1);
+      // Gather (block, cost) pairs at the render root.
+      std::vector<std::uint8_t> packed;
+      for (const auto& [block, cost] : epoch_costs) {
+        double rec[2] = {double(block), cost};
+        const auto* p = reinterpret_cast<const std::uint8_t*>(rec);
+        packed.insert(packed.end(), p, p + sizeof(rec));
+      }
+      auto gathered = render_comm.gather(packed, 0);
+      std::vector<int> new_owners;
+      if (rr == 0) {
+        // Reassign blocks largest-first on the MEASURED costs.
+        std::vector<octree::Block> costed = st.blocks;
+        for (const auto& blob : gathered) {
+          for (std::size_t off = 0; off + 16 <= blob.size(); off += 16) {
+            double rec[2];
+            std::memcpy(rec, blob.data() + off, sizeof(rec));
+            costed[std::size_t(rec[0])].workload = rec[1];
+          }
+        }
+        new_owners = octree::assign_blocks(costed, cfg.render_procs,
+                                           octree::AssignStrategy::kLargestFirst);
+        // Record the imbalance the old assignment showed this epoch.
+        std::vector<double> old_load(std::size_t(cfg.render_procs), 0.0);
+        std::vector<double> new_load(std::size_t(cfg.render_procs), 0.0);
+        for (std::size_t b = 0; b < costed.size(); ++b) {
+          old_load[std::size_t(assign.owners[b])] += costed[b].workload;
+          new_load[std::size_t(new_owners[b])] += costed[b].workload;
+        }
+        {
+          std::lock_guard lk(sh.mu);
+          sh.report.epoch_imbalance.push_back(load_imbalance(old_load));
+          sh.report.epoch_imbalance_replanned.push_back(
+              load_imbalance(new_load));
+        }
+        // Publish to the other renderers and to every input processor.
+        std::vector<std::uint8_t> wire(new_owners.size() * sizeof(int));
+        std::memcpy(wire.data(), new_owners.data(), wire.size());
+        render_comm.bcast(wire, 0);
+        for (int ip = 0; ip < cfg.total_input_procs(); ++ip) {
+          world.isend(ip, tag_assign(next_epoch),
+                      {reinterpret_cast<const std::uint8_t*>(new_owners.data()),
+                       new_owners.size() * sizeof(int)});
+        }
+      } else {
+        std::vector<std::uint8_t> wire;
+        render_comm.bcast(wire, 0);
+        new_owners.resize(wire.size() / sizeof(int));
+        std::memcpy(new_owners.data(), wire.data(), wire.size());
+      }
+      assign.rebuild(st, rr, std::move(new_owners));
+      epoch_costs.clear();
+    }
+  }
+  std::lock_guard lk(sh.mu);
+  sh.render += render_time;
+  sh.composite += composite_time;
+  sh.composite_bytes += composite_bytes;
+  sh.render_steps += st.num_steps;
+}
+
+// ---------------------------------------------------------------------------
+// Output processor
+// ---------------------------------------------------------------------------
+
+void run_output(Shared& sh, const Setup& st, vmpi::Comm& world) {
+  const PipelineConfig& cfg = sh.config;
+  WallTimer clock;
+  std::vector<double> frame_seconds;
+  for (int s = 0; s < st.num_steps; ++s) {
+    std::vector<std::uint8_t> msg;
+    world.recv(vmpi::kAnySource, tag_frame(s), msg);
+    img::Image frame(cfg.width, cfg.height);
+    if (msg.size() != frame.pixels().size_bytes())
+      throw std::runtime_error("pipeline: frame size mismatch");
+    std::memcpy(frame.pixels().data(), msg.data(), msg.size());
+
+    if (cfg.lic_overlay) {
+      std::vector<std::uint8_t> lmsg;
+      world.recv(vmpi::kAnySource, tag_lic(s), lmsg);
+      std::vector<float> gray(lmsg.size() / sizeof(float));
+      std::memcpy(gray.data(), lmsg.data(), lmsg.size());
+      img::Image ground = render_ground_overlay(
+          st.camera(s), st.mesh->domain(), gray, cfg.lic_resolution,
+          cfg.lic_resolution);
+      ground.composite_over(frame);  // volume image in front of LIC plane
+      frame = std::move(ground);
+    }
+    frame_seconds.push_back(clock.seconds());
+
+    if (!cfg.output_dir.empty()) {
+      char name[64];
+      std::snprintf(name, sizeof(name), "/frame_%04d.ppm", s);
+      img::write_ppm(cfg.output_dir + name,
+                     img::to_8bit(frame, {0.02f, 0.02f, 0.05f}));
+    }
+    if (sh.frames_out) sh.frames_out->push_back(std::move(frame));
+  }
+  std::lock_guard lk(sh.mu);
+  sh.report.frame_seconds = std::move(frame_seconds);
+}
+
+}  // namespace
+
+PipelineReport run_pipeline(const PipelineConfig& config,
+                            std::vector<img::Image>* frames_out) {
+  if (config.lic_overlay && config.strategy != IoStrategy::kOneDip)
+    throw std::runtime_error(
+        "pipeline: the LIC overlay path requires the 1DIP strategy (as in "
+        "the paper's Figure 12 configuration)");
+  if (config.rebalance_every > 0 && config.strategy != IoStrategy::kOneDip)
+    throw std::runtime_error(
+        "pipeline: dynamic load redistribution requires the 1DIP strategy");
+  if (config.render_procs < 1 || config.input_procs < 1 || config.groups < 1)
+    throw std::runtime_error("pipeline: bad processor counts");
+
+  Shared sh{config, frames_out, {}, {}, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+
+  vmpi::Runtime::run(config.world_size(), [&sh, &config](vmpi::Comm& world) {
+    Setup st(config);
+    const int I = config.total_input_procs();
+    const int R = config.render_procs;
+    const int r = world.rank();
+    const int role = r < I ? 0 : (r < I + R ? 1 : 2);
+
+    vmpi::Comm sub = world.split(role, r);
+    std::optional<vmpi::Comm> group_comm;
+    if (role == 0 && config.strategy != IoStrategy::kOneDip) {
+      int group = r / config.input_procs;
+      group_comm.emplace(sub.split(group, r % config.input_procs));
+    }
+    world.barrier();  // synchronized start: frame clocks begin here
+
+    switch (role) {
+      case 0:
+        if (config.strategy == IoStrategy::kOneDip) {
+          run_input_1dip(sh, st, world, r);
+        } else {
+          run_input_2dip(sh, st, world, *group_comm, r / config.input_procs);
+        }
+        break;
+      case 1:
+        run_render(sh, st, world, sub);
+        break;
+      default:
+        run_output(sh, st, world);
+        break;
+    }
+  });
+
+  PipelineReport& rep = sh.report;
+  rep.steps = sh.render_steps > 0 ? sh.render_steps / config.render_procs : 0;
+  int in_steps = std::max(sh.input_steps, 1);
+  int rn_steps = std::max(rep.steps, 1);
+  rep.avg_fetch = sh.fetch / in_steps;
+  rep.avg_preprocess = sh.preprocess / in_steps;
+  rep.avg_send = sh.send / in_steps;
+  rep.avg_render = sh.render / (rn_steps * config.render_procs);
+  rep.avg_composite = sh.composite / (rn_steps * config.render_procs);
+  rep.composite_bytes = sh.composite_bytes;
+  rep.block_bytes_raw = sh.block_bytes_raw;
+  rep.block_bytes_sent = sh.block_bytes_sent;
+  if (rep.frame_seconds.size() >= 2) {
+    std::size_t first = std::max<std::size_t>(rep.frame_seconds.size() / 2, 1);
+    double sum = 0;
+    std::size_t n = 0;
+    for (std::size_t i = first; i < rep.frame_seconds.size(); ++i) {
+      sum += rep.frame_seconds[i] - rep.frame_seconds[i - 1];
+      ++n;
+    }
+    rep.avg_interframe = n ? sum / double(n) : 0.0;
+  }
+  return rep;
+}
+
+}  // namespace qv::core

@@ -1,0 +1,64 @@
+// The parallel visualization pipeline (the paper's primary contribution).
+//
+// Processor roles (Figure 2): ranks [0, I) are input processors, ranks
+// [I, I+R) rendering processors, and the last rank the output processor.
+//
+//   input:  fetch each time step from disk (1DIP whole-step reads or 2DIP
+//           group reads, collective-noncontiguous or independent-contiguous
+//           per §5.3), run the preprocessing calculations (magnitude,
+//           quantization to 8 bits, optional temporal enhancement, optional
+//           surface LIC), and ship per-block node values to the renderers
+//           with buffered (non-blocking) sends.
+//   render: receive block values for the next step in the background while
+//           rendering the current one, raycast owned blocks, composite
+//           (SLIC or direct-send) across the render communicator, and send
+//           the finished frame to the output processor.
+//   output: composite the optional LIC ground layer under the volume image,
+//           record interframe delay, optionally write PPM frames.
+//
+// The block decomposition, workload estimation, and block->renderer
+// assignment are computed identically on every rank from the dataset's
+// octree (the "one-time preprocessing" of §4; the mesh never changes).
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "img/image.hpp"
+
+namespace qv::core {
+
+struct PipelineReport {
+  // Completion time of each frame, seconds since the pipeline start barrier
+  // (recorded by the output processor).
+  std::vector<double> frame_seconds;
+  double avg_interframe = 0.0;  // steady-state (second half) mean
+
+  // Per-step averages across the whole run.
+  double avg_fetch = 0.0;       // input: disk time
+  double avg_preprocess = 0.0;  // input: magnitude/quantize/enhance/LIC
+  double avg_send = 0.0;        // input: shipping blocks
+  double avg_render = 0.0;      // render: raycasting
+  double avg_composite = 0.0;   // render: parallel compositing
+  std::uint64_t composite_bytes = 0;  // total compositing traffic
+  // Input -> renderer data-distribution traffic, before and after the
+  // optional RLE compression of quantized block payloads.
+  std::uint64_t block_bytes_raw = 0;
+  std::uint64_t block_bytes_sent = 0;
+
+  // Dynamic redistribution (rebalance_every > 0): per epoch boundary, the
+  // measured render-cost imbalance of the assignment that just ran and of
+  // the replanned assignment that replaces it.
+  std::vector<double> epoch_imbalance;
+  std::vector<double> epoch_imbalance_replanned;
+
+  int steps = 0;
+};
+
+// Run the full pipeline in-process (spawns config.world_size() vmpi ranks).
+// When `frames_out` is non-null the output processor also stores every
+// final frame there (in step order) for inspection by tests and examples.
+PipelineReport run_pipeline(const PipelineConfig& config,
+                            std::vector<img::Image>* frames_out = nullptr);
+
+}  // namespace qv::core

@@ -1,0 +1,48 @@
+// Serial (single-process) rendering of a dataset step: the reference
+// implementation the distributed pipeline must agree with, and the simplest
+// way to make a picture with this library (see examples/quickstart.cpp).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "img/image.hpp"
+#include "io/dataset.hpp"
+#include "render/camera.hpp"
+#include "render/raycast.hpp"
+#include "io/preprocess.hpp"
+#include "render/transfer.hpp"
+
+namespace qv::core {
+
+struct SerialRenderConfig {
+  int level = -1;            // -1: finest
+  int block_level = 2;
+  io::Variable variable = io::Variable::kMagnitude;
+  bool enhancement = false;
+  float enhancement_gain = 2.0f;
+  bool quantize = false;     // push values through the 8-bit path the
+                             // pipeline uses, for bit-comparable output
+  render::RenderOptions render;
+};
+
+// Load the interleaved node records of `level` for `step` (plain file read).
+std::vector<float> load_step_level(io::DatasetReader& reader, int step,
+                                   int level);
+
+// The chosen scalar variable of `step` at `level`, optionally temporally
+// enhanced (which loads the neighbor steps too).
+std::vector<float> load_scalar_field(io::DatasetReader& reader, int step,
+                                     int level, bool enhancement,
+                                     float enhancement_gain,
+                                     io::Variable variable = io::Variable::kMagnitude);
+
+// Render one step of the dataset.
+img::Image render_step(io::DatasetReader& reader, int step,
+                       const render::Camera& camera,
+                       const render::TransferFunction& tf,
+                       const SerialRenderConfig& config,
+                       render::RenderStats* stats = nullptr);
+
+}  // namespace qv::core

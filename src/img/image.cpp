@@ -1,0 +1,111 @@
+#include "img/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+namespace qv::img {
+
+void Image::composite_over(const Image& front) {
+  for (std::size_t i = 0; i < px_.size(); ++i) {
+    px_[i] = front.px_[i].over(px_[i]);
+  }
+}
+
+Image Image::flattened(Vec3 background) const {
+  Image out(w_, h_);
+  for (std::size_t i = 0; i < px_.size(); ++i) {
+    const Rgba& p = px_[i];
+    float t = 1.0f - p.a;
+    out.px_[i] = {p.r + t * background.x, p.g + t * background.y,
+                  p.b + t * background.z, 1.0f};
+  }
+  return out;
+}
+
+namespace {
+std::uint8_t quantize_channel(float v) {
+  float c = std::clamp(v, 0.0f, 1.0f);
+  return static_cast<std::uint8_t>(std::lround(c * 255.0f));
+}
+}  // namespace
+
+Image8 to_8bit(const Image& src, Vec3 background) {
+  Image8 out(src.width(), src.height());
+  for (int y = 0; y < src.height(); ++y) {
+    for (int x = 0; x < src.width(); ++x) {
+      const Rgba& p = src.at(x, y);
+      float t = 1.0f - p.a;
+      out.set(x, y, quantize_channel(p.r + t * background.x),
+              quantize_channel(p.g + t * background.y),
+              quantize_channel(p.b + t * background.z));
+    }
+  }
+  return out;
+}
+
+bool write_ppm(const std::string& path, const Image8& image) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  os << "P6\n" << image.width() << ' ' << image.height() << "\n255\n";
+  os.write(reinterpret_cast<const char*>(image.data()),
+           static_cast<std::streamsize>(image.byte_count()));
+  return static_cast<bool>(os);
+}
+
+bool read_ppm(const std::string& path, Image8& image) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  std::string magic;
+  int w = 0, h = 0, maxval = 0;
+  is >> magic >> w >> h >> maxval;
+  if (magic != "P6" || w <= 0 || h <= 0 || maxval != 255) return false;
+  is.get();  // single whitespace after header
+  image = Image8(w, h);
+  is.read(reinterpret_cast<char*>(image.data()),
+          static_cast<std::streamsize>(image.byte_count()));
+  return static_cast<bool>(is);
+}
+
+bool write_pgm(const std::string& path, std::span<const float> gray, int width,
+               int height) {
+  if (gray.size() != std::size_t(width) * height) return false;
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  os << "P5\n" << width << ' ' << height << "\n255\n";
+  std::vector<std::uint8_t> row(static_cast<std::size_t>(width));
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      row[std::size_t(x)] = quantize_channel(gray[std::size_t(y) * width + x]);
+    }
+    os.write(reinterpret_cast<const char*>(row.data()), width);
+  }
+  return static_cast<bool>(os);
+}
+
+double rmse(const Image& a, const Image& b) {
+  if (a.width() != b.width() || a.height() != b.height() || a.pixel_count() == 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double sum = 0.0;
+  auto pa = a.pixels();
+  auto pb = b.pixels();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    double dr = pa[i].r - pb[i].r;
+    double dg = pa[i].g - pb[i].g;
+    double db = pa[i].b - pb[i].b;
+    double da = pa[i].a - pb[i].a;
+    sum += dr * dr + dg * dg + db * db + da * da;
+  }
+  return std::sqrt(sum / (4.0 * static_cast<double>(pa.size())));
+}
+
+double psnr(const Image& a, const Image& b) {
+  double e = rmse(a, b);
+  if (e <= 0.0) return std::numeric_limits<double>::infinity();
+  return 20.0 * std::log10(1.0 / e);
+}
+
+}  // namespace qv::img

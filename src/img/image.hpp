@@ -1,0 +1,116 @@
+// Framebuffer types for the sort-last renderer and the compositing module.
+//
+// The renderer produces premultiplied-alpha RGBA float images; compositing
+// combines them front-to-back with the "over" operator; the output
+// processors convert to 8-bit and write PPM files (the display path of the
+// paper's output processors).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/vec.hpp"
+
+namespace qv::img {
+
+// One premultiplied-alpha RGBA sample.
+struct Rgba {
+  float r = 0.0f;
+  float g = 0.0f;
+  float b = 0.0f;
+  float a = 0.0f;
+
+  // Porter-Duff "over": *this is in front of `back`.
+  constexpr Rgba over(Rgba back) const {
+    float t = 1.0f - a;
+    return {r + t * back.r, g + t * back.g, b + t * back.b, a + t * back.a};
+  }
+  // Accumulate `back` behind *this in place (front-to-back ray marching).
+  constexpr void blend_under(Rgba back) {
+    float t = 1.0f - a;
+    r += t * back.r;
+    g += t * back.g;
+    b += t * back.b;
+    a += t * back.a;
+  }
+  constexpr bool transparent(float eps = 1e-6f) const { return a <= eps; }
+};
+
+// Premultiplied RGBA float image, row-major, origin at top-left.
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height) : w_(width), h_(height), px_(size_t(width) * height) {}
+
+  int width() const { return w_; }
+  int height() const { return h_; }
+  std::size_t pixel_count() const { return px_.size(); }
+  bool empty() const { return px_.empty(); }
+
+  Rgba& at(int x, int y) { return px_[std::size_t(y) * w_ + x]; }
+  const Rgba& at(int x, int y) const { return px_[std::size_t(y) * w_ + x]; }
+  std::span<Rgba> row(int y) { return {px_.data() + std::size_t(y) * w_, std::size_t(w_)}; }
+  std::span<const Rgba> row(int y) const {
+    return {px_.data() + std::size_t(y) * w_, std::size_t(w_)};
+  }
+  std::span<Rgba> pixels() { return px_; }
+  std::span<const Rgba> pixels() const { return px_; }
+
+  void clear(Rgba value = {}) { std::fill(px_.begin(), px_.end(), value); }
+
+  // Composite `front` over *this for every pixel (sizes must match).
+  void composite_over(const Image& front);
+
+  // Blend against an opaque background color and return a displayable image.
+  Image flattened(Vec3 background) const;
+
+ private:
+  int w_ = 0;
+  int h_ = 0;
+  std::vector<Rgba> px_;
+};
+
+// 8-bit RGB image for file output.
+class Image8 {
+ public:
+  Image8() = default;
+  Image8(int width, int height) : w_(width), h_(height), px_(std::size_t(width) * height * 3) {}
+
+  int width() const { return w_; }
+  int height() const { return h_; }
+  std::uint8_t* data() { return px_.data(); }
+  const std::uint8_t* data() const { return px_.data(); }
+  std::size_t byte_count() const { return px_.size(); }
+
+  void set(int x, int y, std::uint8_t r, std::uint8_t g, std::uint8_t b) {
+    auto i = (std::size_t(y) * w_ + x) * 3;
+    px_[i] = r;
+    px_[i + 1] = g;
+    px_[i + 2] = b;
+  }
+
+ private:
+  int w_ = 0;
+  int h_ = 0;
+  std::vector<std::uint8_t> px_;
+};
+
+// Tone-map a premultiplied float image (already flattened or not) to 8-bit.
+Image8 to_8bit(const Image& src, Vec3 background = {0, 0, 0});
+
+// Binary PPM (P6) writer / reader. Returns false on I/O failure.
+bool write_ppm(const std::string& path, const Image8& image);
+bool read_ppm(const std::string& path, Image8& image);
+
+// Grayscale PGM writer used by the LIC module.
+bool write_pgm(const std::string& path, std::span<const float> gray, int width,
+               int height);
+
+// Root-mean-square error between two float images (all four channels).
+double rmse(const Image& a, const Image& b);
+// Peak signal-to-noise ratio in dB (infinite when identical).
+double psnr(const Image& a, const Image& b);
+
+}  // namespace qv::img

@@ -1,0 +1,84 @@
+#include "img/rle.hpp"
+
+#include <cstring>
+
+namespace qv::img {
+
+namespace {
+
+constexpr std::uint32_t kZeroRunFlag = 0x80000000u;
+constexpr std::uint32_t kMaxCount = 0x7fffffffu;
+
+void append_u32(RleBuffer& out, std::uint32_t v) {
+  std::uint8_t b[4] = {static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v >> 8),
+                       static_cast<std::uint8_t>(v >> 16),
+                       static_cast<std::uint8_t>(v >> 24)};
+  out.insert(out.end(), b, b + 4);
+}
+
+bool read_u32(std::span<const std::uint8_t> in, std::size_t& offset,
+              std::uint32_t& v) {
+  if (offset + 4 > in.size()) return false;
+  v = std::uint32_t(in[offset]) | (std::uint32_t(in[offset + 1]) << 8) |
+      (std::uint32_t(in[offset + 2]) << 16) | (std::uint32_t(in[offset + 3]) << 24);
+  offset += 4;
+  return true;
+}
+
+}  // namespace
+
+std::size_t rle_encode(std::span<const Rgba> pixels, RleBuffer& out) {
+  const std::size_t start = out.size();
+  std::size_t i = 0;
+  while (i < pixels.size()) {
+    if (pixels[i].transparent()) {
+      std::size_t j = i;
+      while (j < pixels.size() && pixels[j].transparent() && j - i < kMaxCount) ++j;
+      append_u32(out, static_cast<std::uint32_t>(j - i) | kZeroRunFlag);
+      i = j;
+    } else {
+      std::size_t j = i;
+      while (j < pixels.size() && !pixels[j].transparent() && j - i < kMaxCount) ++j;
+      append_u32(out, static_cast<std::uint32_t>(j - i));
+      std::size_t bytes = (j - i) * sizeof(Rgba);
+      std::size_t off = out.size();
+      out.resize(off + bytes);
+      std::memcpy(out.data() + off, pixels.data() + i, bytes);
+      i = j;
+    }
+  }
+  return out.size() - start;
+}
+
+std::size_t rle_decode(std::span<const std::uint8_t> in, std::size_t offset,
+                       std::span<Rgba> out_pixels) {
+  const std::size_t start = offset;
+  std::size_t produced = 0;
+  while (produced < out_pixels.size()) {
+    std::uint32_t header = 0;
+    if (!read_u32(in, offset, header)) return 0;
+    std::uint32_t count = header & kMaxCount;
+    if (produced + count > out_pixels.size()) return 0;
+    if (header & kZeroRunFlag) {
+      std::fill_n(out_pixels.begin() + static_cast<std::ptrdiff_t>(produced),
+                  count, Rgba{});
+    } else {
+      std::size_t bytes = std::size_t(count) * sizeof(Rgba);
+      if (offset + bytes > in.size()) return 0;
+      std::memcpy(out_pixels.data() + produced, in.data() + offset, bytes);
+      offset += bytes;
+    }
+    produced += count;
+  }
+  return offset - start;
+}
+
+double rle_ratio(std::span<const Rgba> pixels) {
+  if (pixels.empty()) return 1.0;
+  RleBuffer buf;
+  std::size_t enc = rle_encode(pixels, buf);
+  return static_cast<double>(enc) /
+         static_cast<double>(pixels.size() * sizeof(Rgba));
+}
+
+}  // namespace qv::img

@@ -1,0 +1,58 @@
+#include "io/block_index.hpp"
+
+#include <algorithm>
+
+namespace qv::io {
+
+BlockNodeIndex::BlockNodeIndex(const mesh::HexMesh& mesh,
+                               std::span<const octree::Block> blocks) {
+  nodes_.resize(blocks.size());
+  auto cells = mesh.cells();
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    auto& list = nodes_[b];
+    list.reserve((blocks[b].cell_count() * 8) / 2);
+    for (std::size_t c = blocks[b].cell_begin; c < blocks[b].cell_end; ++c) {
+      for (mesh::NodeId n : cells[c]) list.push_back(n);
+    }
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    total_ += list.size();
+  }
+}
+
+std::vector<mesh::NodeId> merged_nodes(const BlockNodeIndex& index,
+                                       std::span<const std::size_t> block_ids) {
+  std::vector<mesh::NodeId> out;
+  for (std::size_t b : block_ids) {
+    auto nodes = index.block_nodes(b);
+    out.insert(out.end(), nodes.begin(), nodes.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<ForwardEntry> build_forward_map(const BlockNodeIndex& index,
+                                            mesh::NodeId first, mesh::NodeId last) {
+  std::vector<ForwardEntry> out;
+  for (std::size_t b = 0; b < index.block_count(); ++b) {
+    auto nodes = index.block_nodes(b);
+    // Sorted: binary search the window [first, last).
+    auto lo = std::lower_bound(nodes.begin(), nodes.end(), first);
+    auto hi = std::lower_bound(lo, nodes.end(), last);
+    for (auto it = lo; it != hi; ++it) {
+      out.push_back({std::uint32_t(b), std::uint32_t(it - nodes.begin()),
+                     std::uint32_t(*it - first)});
+    }
+  }
+  return out;
+}
+
+std::pair<mesh::NodeId, mesh::NodeId> slice_bounds(std::uint64_t node_count,
+                                                   int reader, int readers) {
+  auto lo = node_count * std::uint64_t(reader) / std::uint64_t(readers);
+  auto hi = node_count * std::uint64_t(reader + 1) / std::uint64_t(readers);
+  return {mesh::NodeId(lo), mesh::NodeId(hi)};
+}
+
+}  // namespace qv::io

@@ -1,0 +1,64 @@
+#include "io/codec.hpp"
+
+#include <cstring>
+
+namespace qv::io {
+
+std::size_t rle8_encode(std::span<const std::uint8_t> data,
+                        std::vector<std::uint8_t>& out) {
+  const std::size_t start = out.size();
+  std::size_t i = 0;
+  while (i < data.size()) {
+    if (data[i] == 0) {
+      std::size_t j = i;
+      while (j < data.size() && data[j] == 0 && j - i < 0x80) ++j;
+      out.push_back(std::uint8_t(j - i - 1));
+      i = j;
+    } else {
+      std::size_t j = i;
+      // A literal run ends at a stretch of zeros long enough to be worth a
+      // packet (>= 2), or at the max literal length.
+      while (j < data.size() && j - i < 0x80) {
+        if (data[j] == 0 && j + 1 < data.size() && data[j + 1] == 0) break;
+        if (data[j] == 0 && j + 1 == data.size()) break;
+        ++j;
+      }
+      out.push_back(std::uint8_t(0x7f + (j - i)));
+      out.insert(out.end(), data.begin() + std::ptrdiff_t(i),
+                 data.begin() + std::ptrdiff_t(j));
+      i = j;
+    }
+  }
+  return out.size() - start;
+}
+
+std::size_t rle8_decode(std::span<const std::uint8_t> in, std::size_t offset,
+                        std::span<std::uint8_t> out) {
+  const std::size_t start = offset;
+  std::size_t produced = 0;
+  while (produced < out.size()) {
+    if (offset >= in.size()) return 0;
+    std::uint8_t h = in[offset++];
+    if (h < 0x80) {
+      std::size_t n = std::size_t(h) + 1;
+      if (produced + n > out.size()) return 0;
+      std::memset(out.data() + produced, 0, n);
+      produced += n;
+    } else {
+      std::size_t n = std::size_t(h) - 0x7f;
+      if (produced + n > out.size() || offset + n > in.size()) return 0;
+      std::memcpy(out.data() + produced, in.data() + offset, n);
+      offset += n;
+      produced += n;
+    }
+  }
+  return offset - start;
+}
+
+double rle8_ratio(std::span<const std::uint8_t> data) {
+  if (data.empty()) return 1.0;
+  std::vector<std::uint8_t> buf;
+  return double(rle8_encode(data, buf)) / double(data.size());
+}
+
+}  // namespace qv::io

@@ -1,0 +1,32 @@
+// Byte-level run-length codec for quantized node data.
+//
+// Quantized wavefields are mostly zero away from the wavefront (quiet
+// ground), so the block payloads the input processors ship to the
+// renderers compress extremely well — the same "compress before
+// delivering" idea the paper's related work applies to images (Ma & Camp
+// [18]), applied to the data-distribution traffic.
+//
+// Format: repeated packets, header = one byte
+//   0x00 .. 0x7f : run of (header + 1) zero bytes
+//   0x80 .. 0xff : (header - 0x7f) literal bytes follow
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace qv::io {
+
+// Append the encoding of `data` to `out`; returns encoded byte count.
+std::size_t rle8_encode(std::span<const std::uint8_t> data,
+                        std::vector<std::uint8_t>& out);
+
+// Decode exactly `out.size()` bytes from `in` starting at `offset`.
+// Returns bytes consumed, or 0 on malformed input.
+std::size_t rle8_decode(std::span<const std::uint8_t> in, std::size_t offset,
+                        std::span<std::uint8_t> out);
+
+// encoded/raw size for `data` (< 1 is a win).
+double rle8_ratio(std::span<const std::uint8_t> data);
+
+}  // namespace qv::io

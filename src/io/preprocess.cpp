@@ -1,0 +1,140 @@
+#include "io/preprocess.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qv::io {
+
+QuantizedField quantize(std::span<const float> values, float lo, float hi) {
+  QuantizedField q;
+  if (lo >= hi) {
+    lo = values.empty() ? 0.0f : *std::min_element(values.begin(), values.end());
+    hi = values.empty() ? 1.0f : *std::max_element(values.begin(), values.end());
+    if (hi <= lo) hi = lo + 1.0f;
+  }
+  q.lo = lo;
+  q.hi = hi;
+  q.values.resize(values.size());
+  const float scale = 255.0f / (hi - lo);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    float t = (values[i] - lo) * scale;
+    q.values[i] = std::uint8_t(std::clamp(t, 0.0f, 255.0f));
+  }
+  return q;
+}
+
+std::vector<float> magnitude(std::span<const float> interleaved, int components) {
+  if (components <= 0 || interleaved.size() % std::size_t(components) != 0)
+    throw std::runtime_error("magnitude: bad component count");
+  std::size_t n = interleaved.size() / std::size_t(components);
+  std::vector<float> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    float s = 0.0f;
+    for (int c = 0; c < components; ++c) {
+      float v = interleaved[i * std::size_t(components) + std::size_t(c)];
+      s += v * v;
+    }
+    out[i] = std::sqrt(s);
+  }
+  return out;
+}
+
+std::vector<float> derive_scalar(std::span<const float> interleaved,
+                                 int components, Variable variable) {
+  if (variable == Variable::kMagnitude) return magnitude(interleaved, components);
+  if (components <= 0 || interleaved.size() % std::size_t(components) != 0)
+    throw std::runtime_error("derive_scalar: bad component count");
+  std::size_t n = interleaved.size() / std::size_t(components);
+  std::vector<float> out(n);
+  auto comp = [&](std::size_t i, int c) {
+    return c < components ? interleaved[i * std::size_t(components) + std::size_t(c)]
+                          : 0.0f;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (variable) {
+      case Variable::kComponentX:
+        out[i] = std::fabs(comp(i, 0));
+        break;
+      case Variable::kComponentY:
+        out[i] = std::fabs(comp(i, 1));
+        break;
+      case Variable::kComponentZ:
+        out[i] = std::fabs(comp(i, 2));
+        break;
+      case Variable::kHorizontal: {
+        float x = comp(i, 0), y = comp(i, 1);
+        out[i] = std::sqrt(x * x + y * y);
+        break;
+      }
+      case Variable::kMagnitude:
+        break;  // handled above
+    }
+  }
+  return out;
+}
+
+std::vector<float> temporal_enhance(std::span<const float> value,
+                                    std::span<const float> prev,
+                                    std::span<const float> next, float gain) {
+  std::vector<float> out(value.size());
+  const bool has_prev = prev.size() == value.size();
+  const bool has_next = next.size() == value.size();
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    float back = has_prev ? std::fabs(value[i] - prev[i]) : 0.0f;
+    float fwd = has_next ? std::fabs(next[i] - value[i]) : 0.0f;
+    out[i] = value[i] + gain * std::max(back, fwd);
+  }
+  return out;
+}
+
+std::vector<Vec3> node_gradients(const mesh::HexMesh& mesh,
+                                 std::span<const float> values) {
+  std::vector<Vec3> out(mesh.node_count());
+  auto positions = mesh.node_positions();
+  auto coords = mesh.node_grid_coords();
+  const Box3& dom = mesh.domain();
+  Vec3 ext = dom.extent();
+  // Step: half the finest cell edge around each node. Estimate the local
+  // cell size from the containing leaf; fall back to 1/2^maxlevel.
+  for (std::size_t n = 0; n < out.size(); ++n) {
+    Vec3 p = positions[n];
+    (void)coords;
+    mesh::HexMesh::CellSample cs;
+    float h;
+    if (mesh.locate(p, cs)) {
+      h = mesh.cell_box(cs.cell).extent().x * 0.5f;
+    } else {
+      h = ext.x / float(1u << mesh::kMaxLevel);
+    }
+    Vec3 g{};
+    for (int a = 0; a < 3; ++a) {
+      Vec3 d{};
+      if (a == 0) d.x = h;
+      if (a == 1) d.y = h;
+      if (a == 2) d.z = h;
+      float fp, fm;
+      bool okp = mesh.sample(values, p + d, fp);
+      bool okm = mesh.sample(values, p - d, fm);
+      float grad = 0.0f;
+      if (okp && okm) {
+        grad = (fp - fm) / (2.0f * h);
+      } else if (okp) {
+        float f0;
+        mesh.sample(values, p, f0);
+        grad = (fp - f0) / h;
+      } else if (okm) {
+        float f0;
+        mesh.sample(values, p, f0);
+        grad = (f0 - fm) / h;
+      }
+      if (a == 0) g.x = grad;
+      if (a == 1) g.y = grad;
+      if (a == 2) g.z = grad;
+    }
+    out[n] = g;
+  }
+  return out;
+}
+
+}  // namespace qv::io

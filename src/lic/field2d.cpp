@@ -1,0 +1,79 @@
+#include "lic/field2d.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qv::lic {
+
+Vec2 VectorGrid::sample_grid(float gx, float gy) const {
+  gx = std::clamp(gx, 0.0f, float(w_ - 1));
+  gy = std::clamp(gy, 0.0f, float(h_ - 1));
+  int x0 = std::min(int(gx), w_ - 2);
+  int y0 = std::min(int(gy), h_ - 2);
+  if (w_ == 1) x0 = 0;
+  if (h_ == 1) y0 = 0;
+  float fx = gx - float(x0);
+  float fy = gy - float(y0);
+  Vec2 a = at(x0, y0);
+  Vec2 b = at(std::min(x0 + 1, w_ - 1), y0);
+  Vec2 c = at(x0, std::min(y0 + 1, h_ - 1));
+  Vec2 d = at(std::min(x0 + 1, w_ - 1), std::min(y0 + 1, h_ - 1));
+  Vec2 top = a * (1.0f - fx) + b * fx;
+  Vec2 bot = c * (1.0f - fx) + d * fx;
+  return top * (1.0f - fy) + bot * fy;
+}
+
+SurfaceField extract_surface_field(const mesh::HexMesh& mesh,
+                                   std::span<const float> interleaved3) {
+  SurfaceField f;
+  auto surface = mesh.surface_nodes();
+  auto positions = mesh.node_positions();
+  f.positions.reserve(surface.size());
+  f.vectors.reserve(surface.size());
+  for (mesh::NodeId n : surface) {
+    f.positions.push_back({positions[n].x, positions[n].y});
+    f.vectors.push_back(
+        {interleaved3[3 * std::size_t(n)], interleaved3[3 * std::size_t(n) + 1]});
+  }
+  return f;
+}
+
+VectorGrid resample(const SurfaceField& field, const Quadtree& tree, int width,
+                    int height) {
+  Rect b = tree.bounds();
+  VectorGrid grid(width, height, b);
+  const float dx = b.width() / float(std::max(width - 1, 1));
+  const float dy = b.height() / float(std::max(height - 1, 1));
+  const float base_radius = 1.5f * std::max(dx, dy);
+
+  std::vector<std::uint32_t> hits;
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      Vec2 p{b.x0 + dx * float(x), b.y0 + dy * float(y)};
+      float radius = base_radius;
+      tree.query_radius(p, radius, hits);
+      for (int grow = 0; hits.empty() && grow < 8; ++grow) {
+        radius *= 2.0f;
+        tree.query_radius(p, radius, hits);
+      }
+      Vec2 acc{};
+      if (hits.empty()) {
+        std::uint32_t n = tree.nearest(p);
+        acc = field.vectors[n];
+      } else {
+        float wsum = 0.0f;
+        for (std::uint32_t i : hits) {
+          Vec2 d = field.positions[i] - p;
+          float w = 1.0f / (d.dot(d) + 1e-12f);
+          acc += field.vectors[i] * w;
+          wsum += w;
+        }
+        acc = acc / wsum;
+      }
+      grid.at(x, y) = acc;
+    }
+  }
+  return grid;
+}
+
+}  // namespace qv::lic

@@ -1,0 +1,57 @@
+// Surface vector-field extraction and resampling (§4.3): the 2D velocity
+// field at the irregular ground-surface nodes is extracted from the raw 3D
+// vectors and resampled onto a regular grid (via the quadtree) whose
+// resolution follows the image size / adaptive level.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "lic/quadtree.hpp"
+#include "mesh/hex_mesh.hpp"
+
+namespace qv::lic {
+
+// Regular-grid 2D vector field.
+class VectorGrid {
+ public:
+  VectorGrid() = default;
+  VectorGrid(int w, int h, Rect bounds)
+      : w_(w), h_(h), bounds_(bounds), v_(std::size_t(w) * std::size_t(h)) {}
+
+  int width() const { return w_; }
+  int height() const { return h_; }
+  const Rect& bounds() const { return bounds_; }
+
+  Vec2& at(int x, int y) { return v_[std::size_t(y) * w_ + x]; }
+  Vec2 at(int x, int y) const { return v_[std::size_t(y) * w_ + x]; }
+
+  // Bilinear sample at grid coordinates (gx, gy) in [0, w) x [0, h).
+  Vec2 sample_grid(float gx, float gy) const;
+
+  std::span<const Vec2> data() const { return v_; }
+  std::span<Vec2> data() { return v_; }
+
+ private:
+  int w_ = 0, h_ = 0;
+  Rect bounds_;
+  std::vector<Vec2> v_;
+};
+
+// The scattered surface field of one time step.
+struct SurfaceField {
+  std::vector<Vec2> positions;  // (x, y) of surface nodes
+  std::vector<Vec2> vectors;    // (vx, vy) at those nodes
+};
+
+// Extract (x, y, vx, vy) at the mesh's top-surface nodes from interleaved
+// 3-component node data.
+SurfaceField extract_surface_field(const mesh::HexMesh& mesh,
+                                   std::span<const float> interleaved3);
+
+// Resample a scattered field to a regular grid by inverse-distance weighting
+// of the points within an adaptive radius (grown until samples are found).
+VectorGrid resample(const SurfaceField& field, const Quadtree& tree, int width,
+                    int height);
+
+}  // namespace qv::lic

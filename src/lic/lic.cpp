@@ -1,0 +1,150 @@
+#include "lic/lic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qv::lic {
+
+std::vector<float> make_noise(int width, int height, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> noise(std::size_t(width) * std::size_t(height));
+  for (auto& v : noise) v = rng.next_float();
+  return noise;
+}
+
+namespace {
+
+float noise_at(std::span<const float> noise, int w, int h, float gx, float gy) {
+  int x = std::clamp(int(gx + 0.5f), 0, w - 1);
+  int y = std::clamp(int(gy + 0.5f), 0, h - 1);
+  return noise[std::size_t(y) * std::size_t(w) + std::size_t(x)];
+}
+
+// RK2 (midpoint) streamline step through the grid; dir = +1 / -1.
+bool advance(const VectorGrid& field, float& gx, float& gy, float step,
+             float dir) {
+  Vec2 v1 = field.sample_grid(gx, gy);
+  float n1 = v1.norm();
+  if (n1 < 1e-12f) return false;
+  Vec2 d1 = v1 / n1;
+  float mx = gx + dir * 0.5f * step * d1.x;
+  float my = gy + dir * 0.5f * step * d1.y;
+  Vec2 v2 = field.sample_grid(mx, my);
+  float n2 = v2.norm();
+  if (n2 < 1e-12f) return false;
+  Vec2 d2 = v2 / n2;
+  gx += dir * step * d2.x;
+  gy += dir * step * d2.y;
+  return true;
+}
+
+}  // namespace
+
+std::vector<float> compute_lic(const VectorGrid& field,
+                               std::span<const float> noise, int width,
+                               int height, const LicOptions& options) {
+  if (noise.size() != std::size_t(width) * std::size_t(height))
+    throw std::runtime_error("lic: noise size mismatch");
+  if (field.width() != width || field.height() != height)
+    throw std::runtime_error("lic: field size mismatch");
+
+  std::vector<float> out(noise.size(), 0.0f);
+  const int L = options.kernel_half_length;
+
+  // Precompute magnitude normalization if requested.
+  float max_mag = 0.0f;
+  if (options.magnitude_modulation) {
+    for (Vec2 v : field.data()) max_mag = std::max(max_mag, v.norm());
+    if (max_mag <= 0.0f) max_mag = 1.0f;
+  }
+
+  auto kernel = [&](int k) {
+    if (!options.periodic_kernel) return 1.0f;
+    // Ripple kernel: a raised cosine whose phase advances per frame,
+    // giving the impression of flow direction when animated.
+    float t = (float(k + L) / float(2 * L)) + options.phase;
+    return 0.5f + 0.5f * std::cos(2.0f * float(M_PI) * (t - std::floor(t)));
+  };
+
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      float acc = noise_at(noise, width, height, float(x), float(y)) * kernel(0);
+      float wsum = kernel(0);
+      // Forward.
+      float gx = float(x), gy = float(y);
+      for (int k = 1; k <= L; ++k) {
+        if (!advance(field, gx, gy, options.step, +1.0f)) break;
+        float w = kernel(k);
+        acc += noise_at(noise, width, height, gx, gy) * w;
+        wsum += w;
+      }
+      // Backward.
+      gx = float(x);
+      gy = float(y);
+      for (int k = 1; k <= L; ++k) {
+        if (!advance(field, gx, gy, options.step, -1.0f)) break;
+        float w = kernel(-k);
+        acc += noise_at(noise, width, height, gx, gy) * w;
+        wsum += w;
+      }
+      float v = wsum > 0.0f ? acc / wsum : 0.0f;
+      if (options.magnitude_modulation) {
+        float mag = field.at(x, y).norm() / max_mag;
+        v *= 0.35f + 0.65f * std::sqrt(mag);
+      }
+      out[std::size_t(y) * std::size_t(width) + std::size_t(x)] = v;
+    }
+  }
+  return out;
+}
+
+std::vector<float> advect_lic_frame(const VectorGrid& field,
+                                    std::span<const float> prev,
+                                    std::span<const float> noise, int width,
+                                    int height, float step_cells,
+                                    float injection) {
+  if (prev.size() != std::size_t(width) * std::size_t(height) ||
+      noise.size() != prev.size())
+    throw std::runtime_error("lic: advect frame size mismatch");
+  if (field.width() != width || field.height() != height)
+    throw std::runtime_error("lic: field size mismatch");
+
+  auto bilinear = [&](std::span<const float> im, float gx, float gy) {
+    gx = std::clamp(gx, 0.0f, float(width - 1));
+    gy = std::clamp(gy, 0.0f, float(height - 1));
+    int x0 = std::min(int(gx), width - 2);
+    int y0 = std::min(int(gy), height - 2);
+    if (width == 1) x0 = 0;
+    if (height == 1) y0 = 0;
+    float fx = gx - float(x0);
+    float fy = gy - float(y0);
+    auto at = [&](int x, int y) {
+      return im[std::size_t(y) * std::size_t(width) + std::size_t(x)];
+    };
+    return at(x0, y0) * (1 - fx) * (1 - fy) +
+           at(std::min(x0 + 1, width - 1), y0) * fx * (1 - fy) +
+           at(x0, std::min(y0 + 1, height - 1)) * (1 - fx) * fy +
+           at(std::min(x0 + 1, width - 1), std::min(y0 + 1, height - 1)) * fx *
+               fy;
+  };
+
+  std::vector<float> out(prev.size());
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      // Semi-Lagrangian: the pattern at (x, y) came from upstream.
+      Vec2 v = field.at(x, y);
+      float n = v.norm();
+      Vec2 d = n > 1e-12f ? v / n : Vec2{};
+      float sx = float(x) - step_cells * d.x;
+      float sy = float(y) - step_cells * d.y;
+      float warped = bilinear(prev, sx, sy);
+      float fresh = noise[std::size_t(y) * std::size_t(width) + std::size_t(x)];
+      out[std::size_t(y) * std::size_t(width) + std::size_t(x)] =
+          (1.0f - injection) * warped + injection * fresh;
+    }
+  }
+  return out;
+}
+
+}  // namespace qv::lic

@@ -1,0 +1,49 @@
+// Line Integral Convolution (Cabral & Leedom '93), the texture-based vector
+// field visualization the paper overlays on the ground surface (§4.3).
+// Streamlines are traced forward and backward with RK2 through the regular
+// vector grid and a noise texture is convolved along them. A periodic
+// filter phase animates flow direction across frames.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lic/field2d.hpp"
+#include "util/rng.hpp"
+
+namespace qv::lic {
+
+struct LicOptions {
+  int kernel_half_length = 16;  // convolution samples each direction
+  float step = 0.6f;            // integration step, in grid cells
+  float phase = 0.0f;           // periodic kernel phase in [0,1) (animation)
+  bool periodic_kernel = false; // ripple kernel for animation frames
+  // Modulate output intensity by normalized vector magnitude so strong
+  // motion reads brighter (common practice for flow over scalar context).
+  bool magnitude_modulation = true;
+};
+
+// White-noise input texture, values in [0,1].
+std::vector<float> make_noise(int width, int height, std::uint64_t seed);
+
+// Compute the LIC gray image (width*height floats in [0,1]).
+std::vector<float> compute_lic(const VectorGrid& field,
+                               std::span<const float> noise, int width,
+                               int height, const LicOptions& options);
+
+// One frame of a time-coherent LIC animation (the IBFV / Lagrangian-
+// Eulerian advection family the paper cites for time-dependent fields,
+// §2.5): semi-Lagrangian back-advection of the previous frame along the
+// flow blended with `injection` of fresh noise. Successive frames move
+// WITH the flow instead of re-randomizing, so animations read as motion.
+//   prev       previous frame (or the initial noise for frame 0)
+//   step_cells how far the pattern travels per frame, in grid cells
+//   injection  fresh-noise blend weight in [0, 1]
+std::vector<float> advect_lic_frame(const VectorGrid& field,
+                                    std::span<const float> prev,
+                                    std::span<const float> noise, int width,
+                                    int height, float step_cells,
+                                    float injection);
+
+}  // namespace qv::lic

@@ -1,0 +1,156 @@
+#include "lic/quadtree.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace qv::lic {
+
+float Rect::dist2(Vec2 p) const {
+  float dx = p.x < x0 ? x0 - p.x : (p.x > x1 ? p.x - x1 : 0.0f);
+  float dy = p.y < y0 ? y0 - p.y : (p.y > y1 ? p.y - y1 : 0.0f);
+  return dx * dx + dy * dy;
+}
+
+Quadtree::Quadtree(std::span<const Vec2> points, int leaf_capacity,
+                   int max_depth)
+    : points_(points.begin(), points.end()) {
+  if (points_.empty()) throw std::runtime_error("quadtree: empty point set");
+  bounds_ = {points_[0].x, points_[0].y, points_[0].x, points_[0].y};
+  for (const Vec2& p : points_) {
+    bounds_.x0 = std::min(bounds_.x0, p.x);
+    bounds_.y0 = std::min(bounds_.y0, p.y);
+    bounds_.x1 = std::max(bounds_.x1, p.x);
+    bounds_.y1 = std::max(bounds_.y1, p.y);
+  }
+  order_.resize(points_.size());
+  for (std::uint32_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  nodes_.push_back({bounds_, -1, 0, std::uint32_t(points_.size())});
+  build(0, 0, std::uint32_t(points_.size()), 0, leaf_capacity, max_depth);
+}
+
+void Quadtree::build(std::uint32_t node, std::uint32_t begin, std::uint32_t end,
+                     int depth, int leaf_capacity, int max_depth) {
+  if (end - begin <= std::uint32_t(leaf_capacity) || depth >= max_depth) {
+    nodes_[node].begin = begin;
+    nodes_[node].end = end;
+    return;
+  }
+  Rect r = nodes_[node].rect;
+  float cx = (r.x0 + r.x1) * 0.5f;
+  float cy = (r.y0 + r.y1) * 0.5f;
+
+  // Partition order_[begin, end) into the four quadrants (x-major).
+  auto mid_x = std::partition(order_.begin() + begin, order_.begin() + end,
+                              [&](std::uint32_t i) { return points_[i].x < cx; });
+  auto lo_mid_y = std::partition(order_.begin() + begin, mid_x,
+                                 [&](std::uint32_t i) { return points_[i].y < cy; });
+  auto hi_mid_y = std::partition(mid_x, order_.begin() + end,
+                                 [&](std::uint32_t i) { return points_[i].y < cy; });
+
+  std::uint32_t b0 = begin;
+  std::uint32_t b1 = std::uint32_t(lo_mid_y - order_.begin());
+  std::uint32_t b2 = std::uint32_t(mid_x - order_.begin());
+  std::uint32_t b3 = std::uint32_t(hi_mid_y - order_.begin());
+  std::uint32_t b4 = end;
+
+  std::int32_t first = std::int32_t(nodes_.size());
+  nodes_[node].first_child = first;
+  nodes_[node].begin = begin;
+  nodes_[node].end = end;
+  Rect quads[4] = {{r.x0, r.y0, cx, cy},
+                   {r.x0, cy, cx, r.y1},
+                   {cx, r.y0, r.x1, cy},
+                   {cx, cy, r.x1, r.y1}};
+  std::uint32_t ranges[5] = {b0, b1, b2, b3, b4};
+  for (int q = 0; q < 4; ++q) {
+    nodes_.push_back({quads[q], -1, ranges[q], ranges[q + 1]});
+  }
+  for (int q = 0; q < 4; ++q) {
+    build(std::uint32_t(first + q), ranges[q], ranges[q + 1], depth + 1,
+          leaf_capacity, max_depth);
+  }
+}
+
+void Quadtree::query_radius(Vec2 p, float radius,
+                            std::vector<std::uint32_t>& out) const {
+  out.clear();
+  float r2 = radius * radius;
+  std::vector<std::uint32_t> stack{0};
+  while (!stack.empty()) {
+    std::uint32_t ni = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[ni];
+    if (node.rect.dist2(p) > r2) continue;
+    if (node.first_child < 0) {
+      for (std::uint32_t i = node.begin; i < node.end; ++i) {
+        std::uint32_t idx = order_[i];
+        Vec2 d = points_[idx] - p;
+        if (d.dot(d) <= r2) out.push_back(idx);
+      }
+    } else {
+      for (int q = 0; q < 4; ++q)
+        stack.push_back(std::uint32_t(node.first_child + q));
+    }
+  }
+}
+
+std::uint32_t Quadtree::nearest(Vec2 p) const {
+  float best2 = std::numeric_limits<float>::max();
+  std::uint32_t best = 0;
+  // Best-first descent with pruning.
+  std::vector<std::uint32_t> stack{0};
+  while (!stack.empty()) {
+    std::uint32_t ni = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[ni];
+    if (node.rect.dist2(p) >= best2) continue;
+    if (node.first_child < 0) {
+      for (std::uint32_t i = node.begin; i < node.end; ++i) {
+        std::uint32_t idx = order_[i];
+        Vec2 d = points_[idx] - p;
+        float d2 = d.dot(d);
+        if (d2 < best2) {
+          best2 = d2;
+          best = idx;
+        }
+      }
+    } else {
+      // Push children farthest-first so the nearest is processed first.
+      std::pair<float, std::uint32_t> kids[4];
+      for (int q = 0; q < 4; ++q) {
+        std::uint32_t c = std::uint32_t(node.first_child + q);
+        kids[q] = {nodes_[c].rect.dist2(p), c};
+      }
+      std::sort(kids, kids + 4,
+                [](const auto& a, const auto& b) { return a.first > b.first; });
+      for (const auto& [d2, c] : kids) {
+        if (d2 < best2) stack.push_back(c);
+      }
+    }
+  }
+  return best;
+}
+
+int Quadtree::depth() const {
+  int max_d = 0;
+  // Recompute by walking: depth of node i is implicit; track via DFS.
+  struct Item {
+    std::uint32_t node;
+    int depth;
+  };
+  std::vector<Item> stack{{0, 0}};
+  while (!stack.empty()) {
+    auto [ni, d] = stack.back();
+    stack.pop_back();
+    max_d = std::max(max_d, d);
+    const Node& node = nodes_[ni];
+    if (node.first_child >= 0) {
+      for (int q = 0; q < 4; ++q)
+        stack.push_back({std::uint32_t(node.first_child + q), d + 1});
+    }
+  }
+  return max_d;
+}
+
+}  // namespace qv::lic

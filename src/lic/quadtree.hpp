@@ -1,0 +1,60 @@
+// Point quadtree over the ground-surface mesh nodes (§4.3): "a quadtree is
+// first constructed to organize all nodes on the top surface". Supports the
+// scattered-to-regular resampling that precedes LIC.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/vec.hpp"
+
+namespace qv::lic {
+
+struct Rect {
+  float x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+  float width() const { return x1 - x0; }
+  float height() const { return y1 - y0; }
+  bool contains(Vec2 p) const {
+    return p.x >= x0 && p.x <= x1 && p.y >= y0 && p.y <= y1;
+  }
+  // Squared distance from p to this rectangle (0 when inside).
+  float dist2(Vec2 p) const;
+};
+
+class Quadtree {
+ public:
+  // Build over `points`; leaves hold at most `leaf_capacity` points.
+  Quadtree(std::span<const Vec2> points, int leaf_capacity = 16,
+           int max_depth = 16);
+
+  std::size_t size() const { return points_.size(); }
+  const Rect& bounds() const { return bounds_; }
+
+  // Indices (into the original span) of all points within `radius` of `p`.
+  void query_radius(Vec2 p, float radius, std::vector<std::uint32_t>& out) const;
+
+  // Index of the nearest point to `p` (the tree must be non-empty).
+  std::uint32_t nearest(Vec2 p) const;
+
+  // Depth statistics (tests).
+  int depth() const;
+
+ private:
+  struct Node {
+    Rect rect;
+    std::int32_t first_child = -1;  // children at [first_child, first_child+4)
+    std::uint32_t begin = 0;        // leaf point range in order_
+    std::uint32_t end = 0;
+  };
+
+  void build(std::uint32_t node, std::uint32_t begin, std::uint32_t end,
+             int depth, int leaf_capacity, int max_depth);
+
+  std::vector<Vec2> points_;           // copy of input (original indexing)
+  std::vector<std::uint32_t> order_;   // permutation grouping leaf points
+  std::vector<Node> nodes_;
+  Rect bounds_;
+};
+
+}  // namespace qv::lic

@@ -1,0 +1,63 @@
+#include "mesh/octkey.hpp"
+
+namespace qv::mesh {
+
+namespace {
+
+// Spread the low 21 bits of v so there are two zero bits between each.
+std::uint64_t spread3(std::uint64_t v) {
+  v &= 0x1fffffULL;
+  v = (v | (v << 32)) & 0x1f00000000ffffULL;
+  v = (v | (v << 16)) & 0x1f0000ff0000ffULL;
+  v = (v | (v << 8)) & 0x100f00f00f00f00fULL;
+  v = (v | (v << 4)) & 0x10c30c30c30c30c3ULL;
+  v = (v | (v << 2)) & 0x1249249249249249ULL;
+  return v;
+}
+
+std::uint32_t compact3(std::uint64_t v) {
+  v &= 0x1249249249249249ULL;
+  v = (v ^ (v >> 2)) & 0x10c30c30c30c30c3ULL;
+  v = (v ^ (v >> 4)) & 0x100f00f00f00f00fULL;
+  v = (v ^ (v >> 8)) & 0x1f0000ff0000ffULL;
+  v = (v ^ (v >> 16)) & 0x1f00000000ffffULL;
+  v = (v ^ (v >> 32)) & 0x1fffffULL;
+  return static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
+
+std::uint64_t morton_encode(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+  return spread3(x) | (spread3(y) << 1) | (spread3(z) << 2);
+}
+
+void morton_decode(std::uint64_t code, std::uint32_t& x, std::uint32_t& y,
+                   std::uint32_t& z) {
+  x = compact3(code);
+  y = compact3(code >> 1);
+  z = compact3(code >> 2);
+}
+
+bool OctKey::face_neighbor(int axis, int dir, OctKey& out) const {
+  std::uint32_t c[3] = {x, y, z};
+  std::uint32_t limit = 1u << level;
+  if (dir < 0) {
+    if (c[axis] == 0) return false;
+    c[axis] -= 1;
+  } else {
+    if (c[axis] + 1 >= limit) return false;
+    c[axis] += 1;
+  }
+  out = {c[0], c[1], c[2], level};
+  return true;
+}
+
+Box3 OctKey::box(const Box3& domain) const {
+  float inv = 1.0f / static_cast<float>(1u << level);
+  Vec3 ext = domain.extent();
+  Vec3 lo = domain.lo + Vec3{ext.x * x * inv, ext.y * y * inv, ext.z * z * inv};
+  Vec3 cell{ext.x * inv, ext.y * inv, ext.z * inv};
+  return {lo, lo + cell};
+}
+
+}  // namespace qv::mesh

@@ -1,0 +1,71 @@
+// Octant addressing for linear octrees.
+//
+// An OctKey names one octant of the unit cube: `level` (0 = root) plus
+// integer coordinates (x, y, z) in the 2^level-per-side grid of that level.
+// Keys sort in depth-first (Morton) order, which is the storage order for
+// linear octrees throughout the library — the same organization the quake
+// team's etree mesher uses.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+#include "util/vec.hpp"
+
+namespace qv::mesh {
+
+// Deepest level we can address: 3*20 = 60 Morton bits fit in 64.
+inline constexpr int kMaxLevel = 20;
+
+// Interleave the low 20 bits of x, y, z (x in bit 0, y in bit 1, z in bit 2).
+std::uint64_t morton_encode(std::uint32_t x, std::uint32_t y, std::uint32_t z);
+void morton_decode(std::uint64_t code, std::uint32_t& x, std::uint32_t& y,
+                   std::uint32_t& z);
+
+struct OctKey {
+  std::uint32_t x = 0;
+  std::uint32_t y = 0;
+  std::uint32_t z = 0;
+  std::uint8_t level = 0;
+
+  bool operator==(const OctKey&) const = default;
+
+  // Morton code of the octant anchor expressed at kMaxLevel resolution.
+  std::uint64_t morton_at_max() const {
+    int shift = kMaxLevel - level;
+    return morton_encode(x << shift, y << shift, z << shift);
+  }
+
+  // Depth-first order: ancestors sort before their descendants.
+  std::strong_ordering operator<=>(const OctKey& o) const {
+    auto ma = morton_at_max();
+    auto mb = o.morton_at_max();
+    if (ma != mb) return ma <=> mb;
+    return level <=> o.level;
+  }
+
+  OctKey child(int octant) const {
+    return {(x << 1) | std::uint32_t(octant & 1),
+            (y << 1) | std::uint32_t((octant >> 1) & 1),
+            (z << 1) | std::uint32_t((octant >> 2) & 1),
+            std::uint8_t(level + 1)};
+  }
+  OctKey parent() const { return {x >> 1, y >> 1, z >> 1, std::uint8_t(level - 1)}; }
+  // Ancestor at the given (shallower or equal) level.
+  OctKey ancestor(int at_level) const {
+    int shift = level - at_level;
+    return {x >> shift, y >> shift, z >> shift, std::uint8_t(at_level)};
+  }
+  bool is_ancestor_of(const OctKey& o) const {
+    return o.level >= level && o.ancestor(level) == *this;
+  }
+
+  // Face neighbor along axis (0=x,1=y,2=z) in direction dir (-1 or +1).
+  // Returns false when the neighbor would fall outside the root cube.
+  bool face_neighbor(int axis, int dir, OctKey& out) const;
+
+  // Geometric extent within `domain` (the root cube mapped onto `domain`).
+  Box3 box(const Box3& domain) const;
+};
+
+}  // namespace qv::mesh

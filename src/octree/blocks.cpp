@@ -1,0 +1,137 @@
+#include "octree/blocks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+namespace qv::octree {
+
+std::vector<Block> decompose(const mesh::LinearOctree& tree, int block_level) {
+  std::vector<Block> blocks;
+  auto leaves = tree.leaves();
+  std::size_t i = 0;
+  while (i < leaves.size()) {
+    Block b;
+    if (int(leaves[i].level) <= block_level) {
+      // Shallow leaf: it is its own block.
+      b.root = leaves[i];
+      b.cell_begin = i;
+      b.cell_end = i + 1;
+    } else {
+      b.root = leaves[i].ancestor(block_level);
+      b.cell_begin = i;
+      std::size_t j = i;
+      while (j < leaves.size() && int(leaves[j].level) > block_level &&
+             leaves[j].ancestor(block_level) == b.root) {
+        ++j;
+      }
+      b.cell_end = j;
+    }
+    b.bounds = b.root.box(tree.domain());
+    blocks.push_back(b);
+    i = b.cell_end;
+  }
+  return blocks;
+}
+
+void estimate_workloads(const mesh::LinearOctree& tree, std::span<Block> blocks,
+                        WorkloadModel model) {
+  auto leaves = tree.leaves();
+  for (Block& b : blocks) {
+    switch (model) {
+      case WorkloadModel::kCellCount:
+        b.workload = double(b.cell_count());
+        break;
+      case WorkloadModel::kDepthWeighted: {
+        // A ray marching at a fixed world-space step takes more samples per
+        // cell volume in finer regions; weight by 2^level.
+        double w = 0.0;
+        for (std::size_t c = b.cell_begin; c < b.cell_end; ++c) {
+          w += double(1u << leaves[c].level);
+        }
+        b.workload = w;
+        break;
+      }
+    }
+  }
+}
+
+std::vector<int> assign_blocks(std::span<const Block> blocks, int num_procs,
+                               AssignStrategy strategy) {
+  std::vector<int> owners(blocks.size(), 0);
+  if (num_procs <= 1 || blocks.empty()) return owners;
+
+  switch (strategy) {
+    case AssignStrategy::kRoundRobin: {
+      for (std::size_t i = 0; i < blocks.size(); ++i) {
+        owners[i] = int(i % std::size_t(num_procs));
+      }
+      break;
+    }
+    case AssignStrategy::kMortonContiguous: {
+      double total = 0.0;
+      for (const Block& b : blocks) total += b.workload;
+      double target = total / num_procs;
+      double acc = 0.0;
+      int proc = 0;
+      for (std::size_t i = 0; i < blocks.size(); ++i) {
+        owners[i] = proc;
+        acc += blocks[i].workload;
+        // Advance when this processor reached its share, keeping enough
+        // blocks for the remaining processors.
+        if (acc >= target * (proc + 1) && proc + 1 < num_procs &&
+            blocks.size() - i - 1 >= std::size_t(num_procs - proc - 1)) {
+          ++proc;
+        }
+      }
+      break;
+    }
+    case AssignStrategy::kLargestFirst: {
+      std::vector<std::size_t> order(blocks.size());
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return blocks[a].workload > blocks[b].workload;
+      });
+      // Min-heap of (load, proc).
+      using Entry = std::pair<double, int>;
+      std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+      for (int p = 0; p < num_procs; ++p) heap.push({0.0, p});
+      for (std::size_t idx : order) {
+        auto [load, p] = heap.top();
+        heap.pop();
+        owners[idx] = p;
+        heap.push({load + blocks[idx].workload, p});
+      }
+      break;
+    }
+  }
+  return owners;
+}
+
+std::vector<double> per_proc_load(std::span<const Block> blocks,
+                                  std::span<const int> owners, int num_procs) {
+  std::vector<double> load(std::size_t(num_procs), 0.0);
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    load[std::size_t(owners[i])] += blocks[i].workload;
+  }
+  return load;
+}
+
+int adaptive_level(int image_width, int data_level, double max_elems_per_pixel,
+                   int coarsest_level) {
+  // At level L the data is 2^L cells across; the image is image_width pixels
+  // across; a pixel column covers (2^L / image_width) cells per axis, i.e.
+  // roughly that squared elements project into one pixel.
+  int level = data_level;
+  while (level > coarsest_level) {
+    double cells_per_pixel_axis = std::ldexp(1.0, level) / double(image_width);
+    double elems_per_pixel =
+        cells_per_pixel_axis * cells_per_pixel_axis;
+    if (elems_per_pixel <= max_elems_per_pixel) break;
+    --level;
+  }
+  return level;
+}
+
+}  // namespace qv::octree

@@ -1,0 +1,64 @@
+// Block decomposition and static load balancing (§4 of the paper).
+//
+// The input processors split the global octree into blocks of hexahedral
+// elements — each block is a subtree rooted at a fixed "block level" — and
+// assign blocks to rendering processors using a workload estimate. The
+// subtree structure is shipped to each renderer once (the mesh is static);
+// only node values flow per time step.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mesh/hex_mesh.hpp"
+#include "mesh/linear_octree.hpp"
+
+namespace qv::octree {
+
+struct Block {
+  mesh::OctKey root;          // subtree root octant
+  std::size_t cell_begin = 0; // contiguous cell range in the Morton-ordered mesh
+  std::size_t cell_end = 0;
+  Box3 bounds;                // geometric extent
+  double workload = 0.0;      // estimated rendering cost
+
+  std::size_t cell_count() const { return cell_end - cell_begin; }
+};
+
+// Split `tree` into subtree blocks at `block_level`. Leaves shallower than
+// block_level become single-cell blocks. Returns blocks in Morton order.
+std::vector<Block> decompose(const mesh::LinearOctree& tree, int block_level);
+
+// Workload estimation strategies for a block.
+enum class WorkloadModel {
+  kCellCount,       // #cells — the paper's static estimate
+  kDepthWeighted,   // finer cells cost more per unit volume (more samples hit)
+};
+
+void estimate_workloads(const mesh::LinearOctree& tree, std::span<Block> blocks,
+                        WorkloadModel model);
+
+// Assignment of blocks to rendering processors.
+enum class AssignStrategy {
+  kRoundRobin,       // naive baseline
+  kMortonContiguous, // contiguous Morton ranges with ~equal workload
+  kLargestFirst,     // LPT greedy: best balance, scattered locality
+};
+
+// Returns owner[i] in [0, num_procs) for each block.
+std::vector<int> assign_blocks(std::span<const Block> blocks, int num_procs,
+                               AssignStrategy strategy);
+
+// Per-processor total workload under an assignment (for imbalance metrics).
+std::vector<double> per_proc_load(std::span<const Block> blocks,
+                                  std::span<const int> owners, int num_procs);
+
+// Adaptive rendering level (§4.1): pick the coarsest octree level that still
+// gives at most `max_elems_per_pixel` elements projecting onto one pixel at
+// the given image resolution, clamped to [coarsest_level, finest data level].
+// `data_level` is the finest leaf level of the dataset.
+int adaptive_level(int image_width, int data_level, double max_elems_per_pixel,
+                   int coarsest_level = 4);
+
+}  // namespace qv::octree

@@ -1,0 +1,193 @@
+#include "pipesim/pipeline_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "sim/engine.hpp"
+
+namespace qv::pipesim {
+
+namespace {
+
+// Shared state of one simulation run.
+struct Ctx {
+  sim::Engine engine;
+  sim::SharedBandwidth disk;
+  // The delivery channel into the renderer group: one time step's blocks
+  // stream in at a time (Figure 5's staggered sends — a later step's send
+  // waits until the renderers have ingested the previous one). This is what
+  // bounds 1DIP at Ts and makes 2DIP's Ts/m division worthwhile.
+  sim::Resource ingest;
+  sim::Queue<int> arrivals;  // step ids whose data reached the renderers
+  PipelineParams params;
+  std::vector<double> frame_times;
+  double render_busy = 0.0;
+
+  explicit Ctx(const PipelineParams& p)
+      : disk(engine, p.machine.disk_total_bw, p.machine.disk_stream_bw),
+        ingest(engine, 1),
+        arrivals(engine),
+        params(p) {}
+
+  double fetch_bytes() const {
+    return params.machine.step_bytes * params.fetch_fraction;
+  }
+};
+
+// --- 1DIP -------------------------------------------------------------------
+
+sim::Process input_proc_1dip(Ctx& ctx, int id) {
+  const auto& mc = ctx.params.machine;
+  for (int s = id; s < ctx.params.num_steps; s += ctx.params.input_procs) {
+    co_await ctx.disk.transfer(ctx.fetch_bytes());
+    co_await sim::delay(ctx.engine,
+                        mc.preprocess_seconds(ctx.fetch_bytes()) +
+                            ctx.params.extra_input_seconds);
+    // One processor ships the whole step; deliveries into the renderers are
+    // serialized step by step.
+    co_await ctx.ingest.acquire();
+    co_await sim::delay(ctx.engine,
+                        mc.send_seconds(ctx.fetch_bytes()) + mc.latency);
+    ctx.ingest.release();
+    ctx.arrivals.push(s);
+  }
+}
+
+// --- 2DIP -------------------------------------------------------------------
+
+// One member of a 2DIP group: fetches and preprocesses its 1/m share; the
+// driver joins the members, then streams the step's blocks to the
+// renderers over m concurrent links (so the ingest channel is held for
+// only Ts' = Ts/m).
+sim::Process group_member_2dip(Ctx& ctx, double share_bytes,
+                               sim::JoinCounter& join) {
+  const auto& mc = ctx.params.machine;
+  co_await ctx.disk.transfer(share_bytes);
+  co_await sim::delay(
+      ctx.engine, mc.preprocess_seconds(share_bytes) +
+                      ctx.params.extra_input_seconds / ctx.params.input_procs);
+  (void)mc;
+  join.arrive();
+}
+
+sim::Process group_driver_2dip(Ctx& ctx, int group) {
+  const auto& mc = ctx.params.machine;
+  const int m = ctx.params.input_procs;
+  for (int s = group; s < ctx.params.num_steps; s += ctx.params.groups) {
+    sim::JoinCounter join(ctx.engine, m);
+    double share = ctx.fetch_bytes() / m;
+    for (int i = 0; i < m; ++i) group_member_2dip(ctx, share, join);
+    co_await join.wait();
+    co_await ctx.ingest.acquire();
+    co_await sim::delay(ctx.engine, mc.send_seconds(share) + mc.latency);
+    ctx.ingest.release();
+    ctx.arrivals.push(s);
+  }
+}
+
+// --- renderer group ----------------------------------------------------------
+
+sim::Process render_group(Ctx& ctx) {
+  const auto& mc = ctx.params.machine;
+  std::map<int, bool> buffered;
+  int expected = 0;
+  while (expected < ctx.params.num_steps) {
+    int s = co_await ctx.arrivals.pop();
+    buffered[s] = true;
+    while (buffered.count(expected)) {
+      buffered.erase(expected);
+      co_await sim::delay(ctx.engine, ctx.params.render_seconds);
+      co_await sim::delay(ctx.engine, mc.composite_seconds);
+      ctx.render_busy += ctx.params.render_seconds + mc.composite_seconds;
+      ctx.frame_times.push_back(ctx.engine.now());
+      ++expected;
+    }
+  }
+}
+
+// --- naive baseline ----------------------------------------------------------
+
+sim::Process naive_loop(Ctx& ctx) {
+  const auto& mc = ctx.params.machine;
+  for (int s = 0; s < ctx.params.num_steps; ++s) {
+    co_await ctx.disk.transfer(ctx.fetch_bytes());
+    co_await sim::delay(ctx.engine,
+                        mc.preprocess_seconds(ctx.fetch_bytes()) +
+                            ctx.params.extra_input_seconds);
+    co_await sim::delay(ctx.engine, ctx.params.render_seconds);
+    co_await sim::delay(ctx.engine, mc.composite_seconds);
+    ctx.render_busy += ctx.params.render_seconds + mc.composite_seconds;
+    ctx.frame_times.push_back(ctx.engine.now());
+  }
+}
+
+PipelineResult finish(Ctx& ctx) {
+  PipelineResult r;
+  r.frame_times = std::move(ctx.frame_times);
+  r.total_seconds = ctx.engine.now();
+  if (r.frame_times.size() >= 2) {
+    // Steady state: second half of the animation.
+    std::size_t first = r.frame_times.size() / 2;
+    if (first == 0) first = 1;
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = std::max<std::size_t>(first, 1);
+         i < r.frame_times.size(); ++i) {
+      sum += r.frame_times[i] - r.frame_times[i - 1];
+      ++n;
+    }
+    r.avg_interframe = n ? sum / double(n) : 0.0;
+  }
+  r.render_busy_fraction =
+      r.total_seconds > 0.0 ? ctx.render_busy / r.total_seconds : 0.0;
+  return r;
+}
+
+}  // namespace
+
+PipelineResult simulate_1dip(const PipelineParams& params) {
+  Ctx ctx(params);
+  for (int i = 0; i < params.input_procs; ++i) input_proc_1dip(ctx, i);
+  render_group(ctx);
+  ctx.engine.run();
+  return finish(ctx);
+}
+
+PipelineResult simulate_2dip(const PipelineParams& params) {
+  Ctx ctx(params);
+  for (int g = 0; g < params.groups; ++g) group_driver_2dip(ctx, g);
+  render_group(ctx);
+  ctx.engine.run();
+  return finish(ctx);
+}
+
+PipelineResult simulate_naive(const PipelineParams& params) {
+  Ctx ctx(params);
+  naive_loop(ctx);
+  ctx.engine.run();
+  return finish(ctx);
+}
+
+Plan plan(const Machine& machine, double render_seconds,
+          double extra_input_seconds, double fetch_fraction) {
+  Plan p;
+  double bytes = machine.step_bytes * fetch_fraction;
+  p.tf = machine.fetch_seconds(bytes);
+  p.tp = machine.preprocess_seconds(bytes) + extra_input_seconds;
+  p.ts = machine.send_seconds(bytes);
+  // 1DIP: hide Tf + Tp behind sends when Ts >= Tr; behind renders otherwise
+  // ("when Ts is smaller than the rendering time ... we can let
+  //  m = (Tf+Tp)/Tr + 1 instead" — §5.1).
+  double denom = std::max(p.ts, render_seconds);
+  p.m_1dip = int(std::ceil((p.tf + p.tp) / denom)) + 1;
+  // 2DIP: group width so the per-group send fits under the render time.
+  p.m_2dip = std::max(1, int(std::ceil(p.ts / render_seconds)));
+  double tsp = p.ts / p.m_2dip;
+  double tfp = p.tf / p.m_2dip;
+  double tpp = p.tp / p.m_2dip;
+  p.n_2dip = int(std::ceil((tfp + tpp) / tsp)) + 1;
+  return p;
+}
+
+}  // namespace qv::pipesim

@@ -1,0 +1,64 @@
+// Discrete-event models of the paper's pipeline configurations (§5):
+//
+//   1DIP  — m input processors, each fetching + preprocessing + sending one
+//           COMPLETE time step (m steps in flight);
+//   2DIP  — n groups of m input processors, each group fetching one step,
+//           every member handling 1/m of it (so Ts' = Ts/m, Tp' = Tp/m);
+//   naive — the pre-pipeline baseline of the earlier system [16]: one
+//           reader, no overlap between I/O, preprocessing and rendering
+//           (the 15-20 s interframe delay the introduction reports).
+//
+// The renderers are modeled as a synchronized group that consumes steps in
+// order, renders for Tr, composites for Tc, and emits one frame; data for
+// later steps continues to arrive in the background exactly as in §4
+// ("new data blocks ... are continuously transferred ... in the background").
+#pragma once
+
+#include <vector>
+
+#include "pipesim/machine.hpp"
+
+namespace qv::pipesim {
+
+struct PipelineParams {
+  Machine machine;
+  int input_procs = 12;     // m: total (1DIP) or per-group (2DIP)
+  int groups = 4;           // n: 2DIP group count
+  int num_steps = 40;       // simulated animation length
+  double render_seconds = 2.0;           // Tr of the renderer configuration
+  double extra_input_seconds = 0.0;      // added per-step input-side work
+                                         // (e.g. LIC synthesis), before the
+                                         // 1/m split in 2DIP
+  double fetch_fraction = 1.0;           // adaptive fetching reduction
+};
+
+struct PipelineResult {
+  std::vector<double> frame_times;  // completion time of every frame
+  double avg_interframe = 0.0;      // steady-state (2nd half) mean delay
+  double total_seconds = 0.0;
+  double render_busy_fraction = 0.0;  // renderer utilization
+
+  // Interframe delay between frames i-1 and i.
+  double interframe(std::size_t i) const {
+    return frame_times[i] - frame_times[i - 1];
+  }
+};
+
+PipelineResult simulate_1dip(const PipelineParams& params);
+PipelineResult simulate_2dip(const PipelineParams& params);
+PipelineResult simulate_naive(const PipelineParams& params);
+
+// The paper's analytic processor-count formulas (§5.1, §5.2).
+//   m_1dip = (Tf + Tp) / Ts + 1        (input processors to hide I/O, 1DIP)
+//   m_2dip = Ts / Tr                   (group width so Ts' <= Tr)
+//   n_2dip = (Tf' + Tp') / Ts' + 1     (groups to keep the pipe full)
+struct Plan {
+  int m_1dip = 0;
+  int m_2dip = 0;
+  int n_2dip = 0;
+  double tf = 0.0, tp = 0.0, ts = 0.0;
+};
+Plan plan(const Machine& machine, double render_seconds,
+          double extra_input_seconds = 0.0, double fetch_fraction = 1.0);
+
+}  // namespace qv::pipesim

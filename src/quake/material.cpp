@@ -1,0 +1,39 @@
+#include "quake/material.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qv::quake {
+
+Material LayeredBasin::operator()(Vec3 p) const {
+  // Normalized ellipsoidal coordinate of p w.r.t. the basin bowl.
+  float dx = (p.x - basin_center.x) / basin_radius;
+  float dy = (p.y - basin_center.y) / basin_radius;
+  float depth = surface_z - p.z;  // meters below the ground surface
+  float dz = depth / basin_depth;
+  float q = dx * dx + dy * dy + dz * dz;
+
+  Material m;
+  if (depth >= 0.0f && q < 1.0f) {
+    // Inside the sediments: vs rises from sediment_vs at the surface toward
+    // rock_vs at the basin boundary (smooth gradient with depth).
+    float t = std::sqrt(q);  // 0 at basin center/surface, 1 at boundary
+    m.vs = sediment_vs + (rock_vs - sediment_vs) * t * t;
+    m.rho = sediment_rho + (rock_rho - sediment_rho) * t;
+  } else {
+    m.vs = rock_vs;
+    m.rho = rock_rho;
+  }
+  m.vp = vp_over_vs * m.vs;
+  return m;
+}
+
+std::function<float(Vec3)> LayeredBasin::size_field(
+    float max_freq_hz, float points_per_wavelength) const {
+  return [basin = *this, max_freq_hz, points_per_wavelength](Vec3 p) {
+    Material m = basin(p);
+    return m.vs / (max_freq_hz * points_per_wavelength);
+  };
+}
+
+}  // namespace qv::quake

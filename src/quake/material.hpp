@@ -1,0 +1,51 @@
+// Material models for basin ground-motion simulation (§3 of the paper):
+// heterogeneous soil with soft, slow sediments near the surface of a basin
+// and stiff rock below. The local shear-wave velocity drives both the
+// octree mesh refinement ("mesh size is tailored to the local wavelength")
+// and the element stiffness.
+#pragma once
+
+#include <functional>
+
+#include "util/vec.hpp"
+
+namespace qv::quake {
+
+struct Material {
+  float rho = 2700.0f;  // density, kg/m^3
+  float vs = 2500.0f;   // shear-wave velocity, m/s
+  float vp = 4330.0f;   // compressional-wave velocity, m/s
+
+  float mu() const { return rho * vs * vs; }
+  float lambda() const { return rho * (vp * vp - 2.0f * vs * vs); }
+};
+
+using MaterialField = std::function<Material(Vec3)>;
+
+// An idealized sedimentary basin: an ellipsoidal bowl of slow sediments
+// embedded in the top of a rock halfspace (z up; the ground surface is the
+// domain's +z face). Velocity grows with depth inside the sediments.
+struct LayeredBasin {
+  Vec3 basin_center;     // center of the basin at the surface
+  float basin_radius;    // horizontal semi-axis
+  float basin_depth;     // vertical semi-axis (how deep sediments reach)
+  float sediment_vs = 600.0f;
+  float sediment_rho = 2000.0f;
+  float rock_vs = 3200.0f;
+  float rock_rho = 2700.0f;
+  float vp_over_vs = 1.8f;
+  float surface_z;       // z of the ground surface
+
+  Material operator()(Vec3 p) const;
+
+  MaterialField field() const {
+    return [basin = *this](Vec3 p) { return basin(p); };
+  }
+
+  // Mesh refinement oracle: desired cell edge = vs / (freq * ppw)
+  // ("points per wavelength", typically 8-10 for FEM wave propagation).
+  std::function<float(Vec3)> size_field(float max_freq_hz,
+                                        float points_per_wavelength) const;
+};
+
+}  // namespace qv::quake

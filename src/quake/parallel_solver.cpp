@@ -1,0 +1,184 @@
+#include "quake/parallel_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qv::quake {
+
+ParallelWaveSolver::ParallelWaveSolver(const mesh::HexMesh& mesh,
+                                       const MaterialField& material,
+                                       WaveSolver::Options options,
+                                       vmpi::Comm& comm)
+    : mesh_(&mesh), opt_(options), comm_(&comm) {
+  const std::size_t ncells = mesh.cell_count();
+  const std::size_t nnodes = mesh.node_count();
+
+  // Morton-contiguous equal-count cell partition (the Morton order keeps
+  // each rank's cells spatially compact — cache- and, in a memory-
+  // distributed variant, communication-friendly).
+  const int P = comm.size();
+  const int me = comm.rank();
+  cell_begin_ = ncells * std::size_t(me) / std::size_t(P);
+  cell_end_ = ncells * std::size_t(me + 1) / std::size_t(P);
+
+  lam_h_.resize(cell_end_ - cell_begin_);
+  mu_h_.resize(cell_end_ - cell_begin_);
+  std::vector<float> mass(nnodes, 0.0f);
+
+  // Mass, dt and boundary flags are global quantities: every rank computes
+  // them over the whole mesh (cheap, and keeps the replicated update
+  // bitwise identical across ranks).
+  float min_dt = 1e30f;
+  for (std::size_t c = 0; c < ncells; ++c) {
+    Box3 b = mesh.cell_box(c);
+    float h = b.extent().x;
+    Material m = material(b.center());
+    if (c >= cell_begin_ && c < cell_end_) {
+      lam_h_[c - cell_begin_] = m.lambda() * h;
+      mu_h_[c - cell_begin_] = m.mu() * h;
+    }
+    float corner_mass = m.rho * h * h * h / 8.0f;
+    for (mesh::NodeId n : mesh.cell_nodes(c)) mass[n] += corner_mass;
+    min_dt = std::min(min_dt, h / m.vp);
+  }
+  dt_ = opt_.cfl * min_dt;
+
+  for (auto it = mesh.constraints().rbegin(); it != mesh.constraints().rend();
+       ++it) {
+    float share = mass[it->node] / float(it->parent_count);
+    for (int i = 0; i < it->parent_count; ++i)
+      mass[it->parents[std::size_t(i)]] += share;
+    mass[it->node] = 0.0f;
+  }
+  inv_mass_.resize(nnodes);
+  for (std::size_t n = 0; n < nnodes; ++n) {
+    inv_mass_[n] = mass[n] > 0.0f ? 1.0f / mass[n] : 0.0f;
+  }
+
+  fixed_.assign(nnodes, 0);
+  if (opt_.fix_boundary) {
+    const std::uint32_t top = 1u << mesh::kMaxLevel;
+    auto coords = mesh.node_grid_coords();
+    for (std::size_t n = 0; n < nnodes; ++n) {
+      const auto& gc = coords[n];
+      if (gc.x == 0 || gc.x == top || gc.y == 0 || gc.y == top || gc.z == 0) {
+        fixed_[n] = 1;
+      }
+    }
+  }
+
+  u_.assign(nnodes, Vec3{});
+  u_prev_.assign(nnodes, Vec3{});
+  v_.assign(nnodes, Vec3{});
+}
+
+void ParallelWaveSolver::add_source(const RickerSource& src) {
+  ActiveSource as;
+  as.src = src;
+  mesh::HexMesh::CellSample cs;
+  if (!mesh_->locate(src.position, cs))
+    throw std::runtime_error("quake: source outside the mesh");
+  const auto& conn = mesh_->cell_nodes(cs.cell);
+  float wx[2] = {1.0f - cs.u, cs.u};
+  float wy[2] = {1.0f - cs.v, cs.v};
+  float wz[2] = {1.0f - cs.w, cs.w};
+  for (int i = 0; i < 8; ++i) {
+    float w = wx[i & 1] * wy[(i >> 1) & 1] * wz[(i >> 2) & 1];
+    if (w > 0.0f) as.weights.emplace_back(conn[std::size_t(i)], w);
+  }
+  sources_.push_back(std::move(as));
+}
+
+void ParallelWaveSolver::step() {
+  const std::size_t nnodes = mesh_->node_count();
+  const auto& KA = WaveSolver::unit_stiffness_lambda();
+  const auto& KB = WaveSolver::unit_stiffness_mu();
+
+  // 1. Partial internal forces from MY cells.
+  std::vector<float> force(nnodes * 3, 0.0f);
+  for (std::size_t c = cell_begin_; c < cell_end_; ++c) {
+    const auto& conn = mesh_->cell_nodes(c);
+    float ue[24];
+    for (int i = 0; i < 8; ++i) {
+      const Vec3& u = u_[conn[std::size_t(i)]];
+      ue[3 * i + 0] = u.x;
+      ue[3 * i + 1] = u.y;
+      ue[3 * i + 2] = u.z;
+    }
+    const double lam = lam_h_[c - cell_begin_];
+    const double mu = mu_h_[c - cell_begin_];
+    for (int r = 0; r < 24; ++r) {
+      double acc = 0.0;
+      const auto& ka_row = KA[std::size_t(r)];
+      const auto& kb_row = KB[std::size_t(r)];
+      for (int s = 0; s < 24; ++s) {
+        acc += (lam * ka_row[std::size_t(s)] + mu * kb_row[std::size_t(s)]) *
+               double(ue[s]);
+      }
+      force[std::size_t(conn[std::size_t(r / 3)]) * 3 + std::size_t(r % 3)] -=
+          float(acc);
+    }
+  }
+
+  // 2. Assemble globally: the one communication step per time step.
+  comm_->allreduce_sum_f(force);
+
+  // 3. Redundant, replicated nodal update (identical on every rank).
+  std::vector<Vec3> f(nnodes);
+  for (std::size_t n = 0; n < nnodes; ++n) {
+    f[n] = {force[3 * n], force[3 * n + 1], force[3 * n + 2]};
+  }
+  for (const auto& as : sources_) {
+    float s = as.src.wavelet(float(time_));
+    Vec3 dir = as.src.direction.normalized();
+    for (const auto& [node, w] : as.weights) f[node] += dir * (s * w);
+  }
+  mesh_->distribute_hanging_forces(f);
+
+  const float dt = dt_;
+  const float damp = opt_.damping * dt;
+  std::vector<Vec3> u_next(nnodes);
+  for (std::size_t n = 0; n < nnodes; ++n) {
+    if (fixed_[n] || mesh_->is_hanging(mesh::NodeId(n))) {
+      u_next[n] = Vec3{};
+      continue;
+    }
+    Vec3 accel = f[n] * inv_mass_[n];
+    Vec3 du = u_[n] - u_prev_[n];
+    u_next[n] = u_[n] + du * (1.0f - damp) + accel * (dt * dt);
+  }
+  for (const auto& hc : mesh_->constraints()) {
+    Vec3 sum{};
+    for (int i = 0; i < hc.parent_count; ++i)
+      sum += u_next[hc.parents[std::size_t(i)]];
+    u_next[hc.node] = sum / float(hc.parent_count);
+  }
+  for (std::size_t n = 0; n < nnodes; ++n) {
+    v_[n] = (u_next[n] - u_[n]) / dt;
+  }
+  u_prev_ = std::move(u_);
+  u_ = std::move(u_next);
+  time_ += dt;
+}
+
+std::vector<float> ParallelWaveSolver::velocity_interleaved() const {
+  std::vector<float> out(v_.size() * 3);
+  for (std::size_t n = 0; n < v_.size(); ++n) {
+    out[3 * n + 0] = v_[n].x;
+    out[3 * n + 1] = v_[n].y;
+    out[3 * n + 2] = v_[n].z;
+  }
+  return out;
+}
+
+double ParallelWaveSolver::kinetic_energy() const {
+  double e = 0.0;
+  for (std::size_t n = 0; n < v_.size(); ++n) {
+    float im = inv_mass_[n];
+    if (im > 0.0f) e += 0.5 / double(im) * double(v_[n].norm2());
+  }
+  return e;
+}
+
+}  // namespace qv::quake

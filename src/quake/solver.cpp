@@ -1,0 +1,260 @@
+#include "quake/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qv::quake {
+
+namespace {
+
+using Mat24 = std::array<std::array<double, 24>, 24>;
+
+// Trilinear shape function derivative tables on the unit cube; corner i is
+// bit-coded (bit0 -> x, bit1 -> y, bit2 -> z).
+void shape_gradients(double xi, double eta, double zeta, double dN[8][3]) {
+  for (int i = 0; i < 8; ++i) {
+    double sx = (i & 1) ? 1.0 : -1.0;
+    double sy = (i & 2) ? 1.0 : -1.0;
+    double sz = (i & 4) ? 1.0 : -1.0;
+    double fx = (i & 1) ? xi : 1.0 - xi;
+    double fy = (i & 2) ? eta : 1.0 - eta;
+    double fz = (i & 4) ? zeta : 1.0 - zeta;
+    dN[i][0] = sx * fy * fz;
+    dN[i][1] = fx * sy * fz;
+    dN[i][2] = fx * fy * sz;
+  }
+}
+
+struct UnitStiffness {
+  Mat24 ka{};  // lambda part
+  Mat24 kb{};  // mu part
+};
+
+UnitStiffness compute_unit_stiffness() {
+  UnitStiffness K;
+  // 2-point Gauss on [0,1]: 0.5 +- 1/(2*sqrt(3)), weight 0.5 each axis.
+  const double g = 0.5 / std::sqrt(3.0);
+  const double pts[2] = {0.5 - g, 0.5 + g};
+  for (int a = 0; a < 2; ++a)
+    for (int b = 0; b < 2; ++b)
+      for (int c = 0; c < 2; ++c) {
+        double dN[8][3];
+        shape_gradients(pts[a], pts[b], pts[c], dN);
+        // Strain-displacement rows: exx eyy ezz gxy gyz gzx.
+        double B[6][24] = {};
+        for (int i = 0; i < 8; ++i) {
+          B[0][3 * i + 0] = dN[i][0];
+          B[1][3 * i + 1] = dN[i][1];
+          B[2][3 * i + 2] = dN[i][2];
+          B[3][3 * i + 0] = dN[i][1];
+          B[3][3 * i + 1] = dN[i][0];
+          B[4][3 * i + 1] = dN[i][2];
+          B[4][3 * i + 2] = dN[i][1];
+          B[5][3 * i + 0] = dN[i][2];
+          B[5][3 * i + 2] = dN[i][0];
+        }
+        const double w = 1.0 / 8.0;
+        // D_A: ones in the top-left 3x3 (lambda tr(e) I);
+        // D_B: diag(2,2,2,1,1,1) (2 mu e).
+        for (int r = 0; r < 24; ++r) {
+          for (int s = 0; s < 24; ++s) {
+            double ka = 0.0, kb = 0.0;
+            // lambda part: (sum_k B[k][r]) * (sum_k B[k][s]) over k in 0..2
+            double tr_r = B[0][r] + B[1][r] + B[2][r];
+            double tr_s = B[0][s] + B[1][s] + B[2][s];
+            ka = tr_r * tr_s;
+            for (int k = 0; k < 3; ++k) kb += 2.0 * B[k][r] * B[k][s];
+            for (int k = 3; k < 6; ++k) kb += B[k][r] * B[k][s];
+            K.ka[std::size_t(r)][std::size_t(s)] += w * ka;
+            K.kb[std::size_t(r)][std::size_t(s)] += w * kb;
+          }
+        }
+      }
+  return K;
+}
+
+const UnitStiffness& unit_stiffness() {
+  static const UnitStiffness K = compute_unit_stiffness();
+  return K;
+}
+
+}  // namespace
+
+float RickerSource::wavelet(float t) const {
+  float tau = float(M_PI) * peak_freq_hz * (t - delay_s);
+  float tau2 = tau * tau;
+  return amplitude * (1.0f - 2.0f * tau2) * std::exp(-tau2);
+}
+
+const Mat24& WaveSolver::unit_stiffness_lambda() { return unit_stiffness().ka; }
+const Mat24& WaveSolver::unit_stiffness_mu() { return unit_stiffness().kb; }
+
+WaveSolver::WaveSolver(const mesh::HexMesh& mesh, const MaterialField& material,
+                       Options options)
+    : mesh_(&mesh), opt_(options) {
+  const std::size_t ncells = mesh.cell_count();
+  const std::size_t nnodes = mesh.node_count();
+  lam_h_.resize(ncells);
+  mu_h_.resize(ncells);
+  std::vector<float> mass(nnodes, 0.0f);
+
+  float min_dt = 1e30f;
+  for (std::size_t c = 0; c < ncells; ++c) {
+    Box3 b = mesh.cell_box(c);
+    float h = b.extent().x;
+    Material m = material(b.center());
+    lam_h_[c] = m.lambda() * h;
+    mu_h_[c] = m.mu() * h;
+    float corner_mass = m.rho * h * h * h / 8.0f;
+    for (mesh::NodeId n : mesh.cell_nodes(c)) mass[n] += corner_mass;
+    min_dt = std::min(min_dt, h / m.vp);
+  }
+  dt_ = opt_.cfl * min_dt;
+
+  // Fold hanging-node mass into parents (slaved DOFs carry no mass).
+  for (auto it = mesh.constraints().rbegin(); it != mesh.constraints().rend();
+       ++it) {
+    float share = mass[it->node] / float(it->parent_count);
+    for (int i = 0; i < it->parent_count; ++i)
+      mass[it->parents[std::size_t(i)]] += share;
+    mass[it->node] = 0.0f;
+  }
+
+  inv_mass_.resize(nnodes);
+  for (std::size_t n = 0; n < nnodes; ++n) {
+    inv_mass_[n] = mass[n] > 0.0f ? 1.0f / mass[n] : 0.0f;
+  }
+
+  // Dirichlet sides and bottom; +z (ground surface) stays free.
+  fixed_.assign(nnodes, 0);
+  if (opt_.fix_boundary) {
+    const std::uint32_t top = 1u << mesh::kMaxLevel;
+    auto coords = mesh.node_grid_coords();
+    for (std::size_t n = 0; n < nnodes; ++n) {
+      const auto& gc = coords[n];
+      if (gc.x == 0 || gc.x == top || gc.y == 0 || gc.y == top || gc.z == 0) {
+        fixed_[n] = 1;
+      }
+    }
+  }
+
+  u_.assign(nnodes, Vec3{});
+  u_prev_.assign(nnodes, Vec3{});
+  v_.assign(nnodes, Vec3{});
+}
+
+void WaveSolver::add_source(const RickerSource& src) {
+  ActiveSource as;
+  as.src = src;
+  mesh::HexMesh::CellSample cs;
+  if (!mesh_->locate(src.position, cs))
+    throw std::runtime_error("quake: source outside the mesh");
+  const auto& conn = mesh_->cell_nodes(cs.cell);
+  float wx[2] = {1.0f - cs.u, cs.u};
+  float wy[2] = {1.0f - cs.v, cs.v};
+  float wz[2] = {1.0f - cs.w, cs.w};
+  for (int i = 0; i < 8; ++i) {
+    float w = wx[i & 1] * wy[(i >> 1) & 1] * wz[(i >> 2) & 1];
+    if (w > 0.0f) as.weights.emplace_back(conn[std::size_t(i)], w);
+  }
+  sources_.push_back(std::move(as));
+}
+
+void WaveSolver::apply_element_forces(std::vector<Vec3>& force) const {
+  const auto& KA = unit_stiffness().ka;
+  const auto& KB = unit_stiffness().kb;
+  const std::size_t ncells = mesh_->cell_count();
+  for (std::size_t c = 0; c < ncells; ++c) {
+    const auto& conn = mesh_->cell_nodes(c);
+    float ue[24];
+    for (int i = 0; i < 8; ++i) {
+      const Vec3& u = u_[conn[std::size_t(i)]];
+      ue[3 * i + 0] = u.x;
+      ue[3 * i + 1] = u.y;
+      ue[3 * i + 2] = u.z;
+    }
+    const double lam = lam_h_[c];
+    const double mu = mu_h_[c];
+    float fe[24];
+    for (int r = 0; r < 24; ++r) {
+      double acc = 0.0;
+      const auto& ka_row = KA[std::size_t(r)];
+      const auto& kb_row = KB[std::size_t(r)];
+      for (int s = 0; s < 24; ++s) {
+        acc += (lam * ka_row[std::size_t(s)] + mu * kb_row[std::size_t(s)]) *
+               double(ue[s]);
+      }
+      fe[r] = float(-acc);  // internal restoring force
+    }
+    for (int i = 0; i < 8; ++i) {
+      Vec3& f = force[conn[std::size_t(i)]];
+      f.x += fe[3 * i + 0];
+      f.y += fe[3 * i + 1];
+      f.z += fe[3 * i + 2];
+    }
+  }
+}
+
+void WaveSolver::step() {
+  const std::size_t nnodes = mesh_->node_count();
+  std::vector<Vec3> force(nnodes, Vec3{});
+
+  for (const auto& as : sources_) {
+    float f = as.src.wavelet(float(time_));
+    Vec3 dir = as.src.direction.normalized();
+    for (const auto& [node, w] : as.weights) {
+      force[node] += dir * (f * w);
+    }
+  }
+  apply_element_forces(force);
+  mesh_->distribute_hanging_forces(force);
+
+  const float dt = dt_;
+  const float damp = opt_.damping * dt;
+  std::vector<Vec3> u_next(nnodes);
+  for (std::size_t n = 0; n < nnodes; ++n) {
+    if (fixed_[n] || mesh_->is_hanging(mesh::NodeId(n))) {
+      u_next[n] = Vec3{};
+      continue;
+    }
+    Vec3 accel = force[n] * inv_mass_[n];
+    Vec3 du = u_[n] - u_prev_[n];
+    u_next[n] = u_[n] + du * (1.0f - damp) + accel * (dt * dt);
+  }
+  // Slave hanging nodes to their parents.
+  for (const auto& hc : mesh_->constraints()) {
+    Vec3 sum{};
+    for (int i = 0; i < hc.parent_count; ++i)
+      sum += u_next[hc.parents[std::size_t(i)]];
+    u_next[hc.node] = sum / float(hc.parent_count);
+  }
+
+  for (std::size_t n = 0; n < nnodes; ++n) {
+    v_[n] = (u_next[n] - u_[n]) / dt;
+  }
+  u_prev_ = std::move(u_);
+  u_ = std::move(u_next);
+  time_ += dt;
+}
+
+std::vector<float> WaveSolver::velocity_interleaved() const {
+  std::vector<float> out(v_.size() * 3);
+  for (std::size_t n = 0; n < v_.size(); ++n) {
+    out[3 * n + 0] = v_[n].x;
+    out[3 * n + 1] = v_[n].y;
+    out[3 * n + 2] = v_[n].z;
+  }
+  return out;
+}
+
+double WaveSolver::kinetic_energy() const {
+  double e = 0.0;
+  for (std::size_t n = 0; n < v_.size(); ++n) {
+    float im = inv_mass_[n];
+    if (im > 0.0f) e += 0.5 / double(im) * double(v_[n].norm2());
+  }
+  return e;
+}
+
+}  // namespace qv::quake

@@ -1,0 +1,96 @@
+#include "quake/synthetic.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace qv::quake {
+
+namespace {
+
+// Ricker-like pulse centered at 0.
+float pulse(float t, float freq) {
+  float tau = float(M_PI) * freq * t;
+  float tau2 = tau * tau;
+  return (1.0f - 2.0f * tau2) * std::exp(-tau2);
+}
+
+}  // namespace
+
+Vec3 SyntheticQuake::velocity_at(Vec3 p, float t) const {
+  Vec3 d = p - hypocenter;
+  float r = d.norm();
+  const float r0 = 0.02f;  // softening radius near the source
+  float att = 1.0f / (r + r0);
+  Vec3 radial = r > 1e-6f ? d / r : Vec3{0, 0, 1};
+
+  // P wave: radial particle motion.
+  float p_arr = r / vp;
+  Vec3 v = radial * (amplitude * att * pulse(t - p_arr, peak_freq));
+
+  // S wave: transverse particle motion (horizontal component orthogonal to
+  // the radial direction), stronger than P as in real ground motion.
+  Vec3 up{0, 0, 1};
+  Vec3 trans = radial.cross(up);
+  if (trans.norm2() < 1e-8f) trans = Vec3{1, 0, 0};
+  trans = trans.normalized();
+  float s_arr = r / vs;
+  v += trans * (1.8f * amplitude * att * pulse(t - s_arr, peak_freq * 0.8f));
+
+  // Free-surface reflection: image source mirrored above the surface.
+  Vec3 image = hypocenter;
+  image.z = 2.0f * surface_z - hypocenter.z;
+  Vec3 di = p - image;
+  float ri = di.norm();
+  float refl_arr = ri / vp;
+  Vec3 radial_i = ri > 1e-6f ? di / ri : Vec3{0, 0, -1};
+  v += radial_i * (0.6f * amplitude / (ri + r0) * pulse(t - refl_arr, peak_freq));
+
+  // Basin resonance: standing oscillation that rings after the S arrival,
+  // strongest near the surface (depth factor).
+  float depth = surface_z - p.z;
+  if (depth >= 0.0f && t > s_arr) {
+    float ring = std::exp(-resonance_decay * (t - s_arr)) *
+                 std::sin(2.0f * float(M_PI) * resonance_freq * (t - s_arr));
+    float depth_factor = std::exp(-4.0f * depth);
+    v.z += 0.5f * amplitude * att * ring * depth_factor;
+  }
+  return v;
+}
+
+std::vector<float> SyntheticQuake::sample_nodes(const mesh::HexMesh& mesh,
+                                                float t) const {
+  auto positions = mesh.node_positions();
+  std::vector<float> out(positions.size() * 3);
+  for (std::size_t n = 0; n < positions.size(); ++n) {
+    Vec3 v = velocity_at(positions[n], t);
+    out[3 * n + 0] = v.x;
+    out[3 * n + 1] = v.y;
+    out[3 * n + 2] = v.z;
+  }
+  return out;
+}
+
+void write_linear_array(const std::string& path, std::uint64_t node_count,
+                        int components,
+                        const std::function<float(std::uint64_t, int)>& gen) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("synthetic: cannot write " + path);
+  constexpr std::uint64_t kChunkRecords = 1u << 16;
+  std::vector<float> buf;
+  for (std::uint64_t base = 0; base < node_count; base += kChunkRecords) {
+    std::uint64_t n = std::min(kChunkRecords, node_count - base);
+    buf.resize(n * std::uint64_t(components));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      for (int c = 0; c < components; ++c) {
+        buf[i * std::uint64_t(components) + std::uint64_t(c)] = gen(base + i, c);
+      }
+    }
+    os.write(reinterpret_cast<const char*>(buf.data()),
+             std::streamsize(buf.size() * sizeof(float)));
+  }
+  if (!os) throw std::runtime_error("synthetic: write failed " + path);
+}
+
+}  // namespace qv::quake

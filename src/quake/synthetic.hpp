@@ -1,0 +1,48 @@
+// Procedural (analytic) earthquake wavefield.
+//
+// The paper's input is terabytes of Northridge simulation output we do not
+// have. The FEM solver (solver.hpp) generates genuinely simulated data at
+// small scale; this module generates *arbitrarily large* wave-like data at
+// negligible cost, so the I/O-path experiments can run on files with the
+// paper's size characteristics (e.g. 400 MB per time step). The model is an
+// expanding P/S double wavefront from a hypocenter with geometric
+// attenuation, a free-surface reflection (image source), and a decaying
+// basin resonance — enough structure that renderings and LIC images look
+// like ground motion, while each sample costs O(1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "mesh/hex_mesh.hpp"
+#include "util/vec.hpp"
+
+namespace qv::quake {
+
+struct SyntheticQuake {
+  Vec3 hypocenter{0.5f, 0.5f, 0.2f};  // in domain units
+  float vp = 0.35f;                   // wavefront speeds, domain units / s
+  float vs = 0.20f;
+  float peak_freq = 1.0f;             // Hz of the source wavelet
+  float surface_z = 1.0f;             // free surface height (reflections)
+  float resonance_freq = 0.4f;        // basin ringing
+  float resonance_decay = 0.35f;      // 1/s
+  float amplitude = 1.0f;
+
+  // Velocity vector at point p and time t.
+  Vec3 velocity_at(Vec3 p, float t) const;
+
+  // Interleaved (vx, vy, vz) samples at every node of `mesh`.
+  std::vector<float> sample_nodes(const mesh::HexMesh& mesh, float t) const;
+};
+
+// Stream a raw linear node array of `node_count` records x `components`
+// float32 to `path` — the on-disk shape of one time step — without any mesh
+// in memory. `gen(record, component)` supplies each value. Used to create
+// multi-hundred-MB step files for I/O benchmarks.
+void write_linear_array(const std::string& path, std::uint64_t node_count,
+                        int components,
+                        const std::function<float(std::uint64_t, int)>& gen);
+
+}  // namespace qv::quake

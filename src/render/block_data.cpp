@@ -1,0 +1,88 @@
+#include "render/block_data.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qv::render {
+
+RenderBlock::RenderBlock(const mesh::HexMesh& mesh, const octree::Block& block,
+                         std::span<const mesh::NodeId> nodes)
+    : mesh_(&mesh), block_(block), nodes_(nodes.begin(), nodes.end()) {
+  conn_.resize(block.cell_count());
+  auto cells = mesh.cells();
+  auto leaves = mesh.octree().leaves();
+  float min_edge = 1e30f;
+  for (std::size_t c = block.cell_begin; c < block.cell_end; ++c) {
+    for (int i = 0; i < 8; ++i) {
+      mesh::NodeId g = cells[c][std::size_t(i)];
+      auto it = std::lower_bound(nodes_.begin(), nodes_.end(), g);
+      if (it == nodes_.end() || *it != g)
+        throw std::runtime_error("RenderBlock: node missing from block list");
+      conn_[c - block.cell_begin][std::size_t(i)] =
+          std::uint32_t(it - nodes_.begin());
+    }
+    min_edge = std::min(min_edge, leaves[c].box(mesh.domain()).extent().x);
+  }
+  min_edge_ = block.cell_count() ? min_edge : block.bounds.extent().x;
+  values_.assign(nodes_.size(), 0.0f);
+}
+
+void RenderBlock::set_values(std::vector<float> values) {
+  if (values.size() != nodes_.size())
+    throw std::runtime_error("RenderBlock: value count mismatch");
+  values_ = std::move(values);
+}
+
+bool RenderBlock::sample(Vec3 p, float& out, std::size_t* hint) const {
+  mesh::HexMesh::CellSample cs;
+  if (hint && *hint >= block_.cell_begin && *hint < block_.cell_end) {
+    Box3 b = mesh_->cell_box(*hint);
+    if (b.contains(p)) {
+      cs.cell = *hint;
+      Vec3 ext = b.extent();
+      cs.u = (p.x - b.lo.x) / ext.x;
+      cs.v = (p.y - b.lo.y) / ext.y;
+      cs.w = (p.z - b.lo.z) / ext.z;
+    } else if (!mesh_->locate(p, cs)) {
+      return false;
+    }
+  } else if (!mesh_->locate(p, cs)) {
+    return false;
+  }
+  if (cs.cell < block_.cell_begin || cs.cell >= block_.cell_end) return false;
+  if (hint) *hint = cs.cell;
+  const auto& n = conn_[cs.cell - block_.cell_begin];
+  float u = cs.u, v = cs.v, w = cs.w;
+  float c00 = values_[n[0]] * (1 - u) + values_[n[1]] * u;
+  float c10 = values_[n[2]] * (1 - u) + values_[n[3]] * u;
+  float c01 = values_[n[4]] * (1 - u) + values_[n[5]] * u;
+  float c11 = values_[n[6]] * (1 - u) + values_[n[7]] * u;
+  float c0 = c00 * (1 - v) + c10 * v;
+  float c1 = c01 * (1 - v) + c11 * v;
+  out = c0 * (1 - w) + c1 * w;
+  return true;
+}
+
+bool RenderBlock::sample_gradient(Vec3 p, float h, Vec3& out) const {
+  float center;
+  if (!sample(p, center)) return false;
+  Vec3 g{};
+  for (int a = 0; a < 3; ++a) {
+    Vec3 d{};
+    if (a == 0) d.x = h;
+    if (a == 1) d.y = h;
+    if (a == 2) d.z = h;
+    float fp = center, fm = center;
+    bool okp = sample(p + d, fp);
+    bool okm = sample(p - d, fm);
+    float denom = (okp && okm) ? 2.0f * h : h;
+    float grad = (okp || okm) ? (fp - fm) / denom : 0.0f;
+    if (a == 0) g.x = grad;
+    if (a == 1) g.y = grad;
+    if (a == 2) g.z = grad;
+  }
+  out = g;
+  return true;
+}
+
+}  // namespace qv::render

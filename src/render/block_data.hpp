@@ -1,0 +1,55 @@
+// Renderer-side block storage: a subtree's cells with connectivity remapped
+// to a block-local node array. The structure is built once per block when
+// the input processors ship the subtree at startup ("the subtree is
+// delivered ... only once at the beginning" — §4); per-step node values are
+// swapped in as each time step arrives.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mesh/hex_mesh.hpp"
+#include "octree/blocks.hpp"
+
+namespace qv::render {
+
+class RenderBlock {
+ public:
+  // `nodes` is the block's sorted unique global node list (from
+  // io::BlockNodeIndex); connectivity is remapped against it.
+  RenderBlock(const mesh::HexMesh& mesh, const octree::Block& block,
+              std::span<const mesh::NodeId> nodes);
+
+  const octree::Block& block() const { return block_; }
+  const Box3& bounds() const { return block_.bounds; }
+  std::size_t local_node_count() const { return nodes_.size(); }
+  std::span<const mesh::NodeId> global_nodes() const { return nodes_; }
+  float finest_cell_edge() const { return min_edge_; }
+
+  // Install this time step's scalar values (size == local_node_count()).
+  void set_values(std::vector<float> values);
+  std::span<const float> values() const { return values_; }
+
+  // Trilinear scalar sample at p. False when p is not inside this block.
+  // `hint` (optional) caches the containing cell between calls: rays take
+  // many samples inside one cell before crossing into the next, so the
+  // O(log n) octree descent is skipped whenever the cached cell still
+  // contains p. Pass the same variable across consecutive samples of a ray.
+  bool sample(Vec3 p, float& out, std::size_t* hint = nullptr) const;
+
+  // Central-difference gradient at p with probe distance h. Probes falling
+  // outside the block clamp to the center value (one-sided estimate).
+  bool sample_gradient(Vec3 p, float h, Vec3& out) const;
+
+ private:
+  const mesh::HexMesh* mesh_;
+  octree::Block block_;
+  std::vector<mesh::NodeId> nodes_;
+  std::vector<std::array<std::uint32_t, 8>> conn_;  // per cell in block
+  std::vector<float> values_;
+  float min_edge_ = 0.0f;
+};
+
+}  // namespace qv::render

@@ -1,0 +1,25 @@
+#include "render/lod.hpp"
+
+#include <cmath>
+
+namespace qv::render {
+
+int adaptive_level_for_view(const Camera& camera, const Box3& domain,
+                            int data_level, double max_elems_per_pixel,
+                            int coarsest_level) {
+  Vec3 c = domain.center();
+  float edge_world = domain.extent().x;
+  int level = data_level;
+  while (level > coarsest_level) {
+    float cell_edge = edge_world / float(1u << level);
+    float px = camera.projected_pixels(c, cell_edge);
+    if (px <= 0.0f) break;  // degenerate view: keep the data level
+    // elems/pixel ~ (1/px)^2 when a cell covers px pixels per axis.
+    double elems_per_pixel = 1.0 / (double(px) * double(px));
+    if (elems_per_pixel <= max_elems_per_pixel) break;
+    --level;
+  }
+  return level;
+}
+
+}  // namespace qv::render

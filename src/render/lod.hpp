@@ -1,0 +1,21 @@
+// View-dependent adaptive level selection (§4.1): "the appropriate level to
+// use is computed based on the image resolution, data resolution, and a
+// user-specified limit to the number of elements that project to the same
+// pixel ... unless a close-up view is selected". The image-resolution-only
+// heuristic lives in octree::adaptive_level; this variant accounts for the
+// actual viewpoint, so close-up views keep full resolution while overviews
+// coarsen.
+#pragma once
+
+#include "render/camera.hpp"
+#include "util/vec.hpp"
+
+namespace qv::render {
+
+// Pick the coarsest octree level whose cells, projected at the domain
+// center's depth, still cover at least 1/sqrt(max_elems_per_pixel) pixels.
+int adaptive_level_for_view(const Camera& camera, const Box3& domain,
+                            int data_level, double max_elems_per_pixel,
+                            int coarsest_level = 4);
+
+}  // namespace qv::render

@@ -1,0 +1,24 @@
+// Exact front-to-back visibility ordering of octree blocks for a viewpoint.
+//
+// Disjoint octants of one octree always admit a correct visibility order:
+// at every internal node, visit the child octant containing (or nearest to)
+// the eye first, then its face/edge neighbors by the number of axes on
+// which they differ from the eye's octant. This is the classical octree
+// traversal used by volume renderers; we apply it recursively to the block
+// set (blocks are octants at mixed levels).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "octree/blocks.hpp"
+#include "util/vec.hpp"
+
+namespace qv::render {
+
+// Returns a permutation of block indices, front-to-back as seen from `eye`.
+// `domain` is the octree's root box.
+std::vector<std::size_t> visibility_order(std::span<const octree::Block> blocks,
+                                          const Box3& domain, Vec3 eye);
+
+}  // namespace qv::render

@@ -1,0 +1,31 @@
+#include "render/partial_image.hpp"
+
+#include <algorithm>
+
+namespace qv::render {
+
+img::Image compose_reference(std::vector<const PartialImage*> partials,
+                             int width, int height) {
+  // Sort whole partials by order; since blocks are disjoint in the global
+  // visibility order, per-pixel front-to-back equals partial-by-partial
+  // "under" accumulation in that order.
+  std::sort(partials.begin(), partials.end(),
+            [](const PartialImage* a, const PartialImage* b) {
+              return a->order < b->order;
+            });
+  img::Image out(width, height);
+  for (const PartialImage* p : partials) {
+    if (!p || p->rect.empty()) continue;
+    ScreenRect r = p->rect.clipped(width, height);
+    for (int y = r.y0; y < r.y1; ++y) {
+      for (int x = r.x0; x < r.x1; ++x) {
+        const img::Rgba& src = p->at_screen(x, y);
+        if (src.transparent()) continue;
+        out.at(x, y).blend_under(src);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace qv::render

@@ -1,0 +1,36 @@
+// The unit of sort-last compositing: a block's rendered footprint together
+// with its position in the global front-to-back visibility order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "img/image.hpp"
+#include "render/camera.hpp"
+
+namespace qv::render {
+
+struct PartialImage {
+  ScreenRect rect;         // screen-space footprint
+  std::uint32_t order = 0; // global front-to-back rank (0 = frontmost)
+  img::Image pixels;       // rect.width() x rect.height(), premultiplied
+
+  // Pixel accessor in screen coordinates (caller guarantees containment).
+  img::Rgba& at_screen(int x, int y) {
+    return pixels.at(x - rect.x0, y - rect.y0);
+  }
+  const img::Rgba& at_screen(int x, int y) const {
+    return pixels.at(x - rect.x0, y - rect.y0);
+  }
+  bool contains(int x, int y) const {
+    return x >= rect.x0 && x < rect.x1 && y >= rect.y0 && y < rect.y1;
+  }
+};
+
+// Reference compositor: combine partials (any order) into a full image by
+// sorting front-to-back per pixel on `order`. O(P log P + pixels); used for
+// correctness baselines and by the serial renderer.
+img::Image compose_reference(std::vector<const PartialImage*> partials, int width,
+                             int height);
+
+}  // namespace qv::render

@@ -1,0 +1,106 @@
+#include "render/raycast.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "render/order.hpp"
+
+namespace qv::render {
+
+Raycaster::Raycaster(const TransferFunction& tf, RenderOptions options,
+                     float domain_extent_x)
+    : tf_(&tf), opt_(options) {
+  ref_length_ =
+      opt_.ref_length > 0.0f ? opt_.ref_length : domain_extent_x / 256.0f;
+}
+
+PartialImage Raycaster::render_block(const Camera& camera,
+                                     const RenderBlock& block,
+                                     std::uint32_t order,
+                                     RenderStats* stats) const {
+  PartialImage out;
+  out.order = order;
+  out.rect = camera.footprint(block.bounds());
+  if (out.rect.empty()) {
+    out.pixels = img::Image(0, 0);
+    return out;
+  }
+  out.pixels = img::Image(out.rect.width(), out.rect.height());
+
+  const float ds = block.finest_cell_edge() * opt_.step_scale;
+  const float inv_range =
+      1.0f / std::max(opt_.value_hi - opt_.value_lo, 1e-20f);
+  const float grad_h = block.finest_cell_edge() * 0.5f;
+
+  for (int py = out.rect.y0; py < out.rect.y1; ++py) {
+    for (int px = out.rect.x0; px < out.rect.x1; ++px) {
+      Ray ray = camera.pixel_ray(px, py);
+      float t_in, t_out;
+      if (!block.bounds().intersect(ray.origin, ray.inv_dir, t_in, t_out))
+        continue;
+      t_in = std::max(t_in, 0.0f);
+      if (t_in >= t_out) continue;
+      if (stats) ++stats->rays;
+
+      img::Rgba acc{};
+      // Global step phase so block boundaries do not introduce seams:
+      // sample positions are multiples of ds along the ray from the eye.
+      float t = (std::floor(t_in / ds) + 0.5f) * ds;
+      if (t < t_in) t += ds;
+      std::size_t cell_hint = std::size_t(-1);
+      for (; t < t_out && acc.a < opt_.early_exit_alpha; t += ds) {
+        Vec3 p = ray.origin + ray.dir * t;
+        float v;
+        if (!block.sample(p, v, &cell_hint)) continue;
+        if (stats) ++stats->samples;
+        float nv = std::clamp((v - opt_.value_lo) * inv_range, 0.0f, 1.0f);
+        TfSample tf = tf_->sample(nv);
+        if (tf.opacity <= 0.0f) continue;
+        if (stats) ++stats->shaded_samples;
+        float alpha = 1.0f - std::pow(1.0f - tf.opacity, ds / ref_length_);
+        Vec3 color = tf.color;
+        if (opt_.lighting) {
+          Vec3 g;
+          if (block.sample_gradient(p, grad_h, g) && g.norm2() > 1e-12f) {
+            Vec3 n = g.normalized();
+            // Headlight: light direction is the reversed ray direction.
+            float lambert = std::fabs(n.dot(ray.dir));
+            color = color * (opt_.ambient + opt_.diffuse * lambert);
+          } else {
+            color = color * (opt_.ambient + opt_.diffuse);
+          }
+        }
+        img::Rgba contrib{color.x * alpha, color.y * alpha, color.z * alpha,
+                          alpha};
+        acc.blend_under(contrib);
+      }
+      if (acc.a > 0.0f) out.at_screen(px, py) = acc;
+    }
+  }
+  return out;
+}
+
+img::Image render_frame(const Camera& camera, const TransferFunction& tf,
+                        RenderOptions options,
+                        std::span<const RenderBlock> blocks,
+                        std::span<const octree::Block> block_descs,
+                        const Box3& domain, RenderStats* stats) {
+  Raycaster rc(tf, options, domain.extent().x);
+  auto order = visibility_order(block_descs, domain, camera.eye());
+  // Map block index -> order rank.
+  std::vector<std::uint32_t> rank(block_descs.size());
+  for (std::size_t i = 0; i < order.size(); ++i)
+    rank[order[i]] = std::uint32_t(i);
+
+  std::vector<PartialImage> partials;
+  partials.reserve(blocks.size());
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    partials.push_back(rc.render_block(camera, blocks[b], rank[b], stats));
+  }
+  std::vector<const PartialImage*> ptrs;
+  ptrs.reserve(partials.size());
+  for (const auto& p : partials) ptrs.push_back(&p);
+  return compose_reference(std::move(ptrs), camera.width(), camera.height());
+}
+
+}  // namespace qv::render

@@ -1,0 +1,62 @@
+// The parallel renderer's per-block raycasting kernel and a serial
+// whole-frame driver (used as the single-processor reference and by tests).
+//
+// Sort-last: every block renders independently into a footprint-bounded
+// partial image; compositing (here the reference compositor, in production
+// the compositing module) merges partials in global visibility order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "render/block_data.hpp"
+#include "render/camera.hpp"
+#include "render/partial_image.hpp"
+#include "render/transfer.hpp"
+
+namespace qv::render {
+
+struct RenderOptions {
+  float step_scale = 0.5f;   // ray step as a fraction of the finest cell edge
+  float ref_length = 0.0f;   // opacity reference length; 0 = domain_x / 256
+  bool lighting = false;
+  float ambient = 0.35f;
+  float diffuse = 0.65f;
+  float early_exit_alpha = 0.98f;
+  float value_lo = 0.0f;  // scalar normalization window mapped onto the TF
+  float value_hi = 1.0f;
+};
+
+struct RenderStats {
+  std::uint64_t rays = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t shaded_samples = 0;  // samples that hit non-zero opacity
+};
+
+class Raycaster {
+ public:
+  Raycaster(const TransferFunction& tf, RenderOptions options, float domain_extent_x);
+
+  // Render one block; `order` is the block's global front-to-back rank.
+  PartialImage render_block(const Camera& camera, const RenderBlock& block,
+                            std::uint32_t order, RenderStats* stats = nullptr) const;
+
+  const RenderOptions& options() const { return opt_; }
+
+ private:
+  const TransferFunction* tf_;
+  RenderOptions opt_;
+  float ref_length_;
+};
+
+// Serial reference: order the blocks, render each, compose. This is what a
+// 1-processor configuration computes; the distributed pipeline must produce
+// the same image (a key integration-test invariant).
+img::Image render_frame(const Camera& camera, const TransferFunction& tf,
+                        RenderOptions options,
+                        std::span<const RenderBlock> blocks,
+                        std::span<const octree::Block> block_descs,
+                        const Box3& domain, RenderStats* stats = nullptr);
+
+}  // namespace qv::render

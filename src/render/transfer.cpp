@@ -1,0 +1,90 @@
+#include "render/transfer.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <span>
+#include <vector>
+
+namespace qv::render {
+
+TransferFunction::TransferFunction(std::span<const ControlPoint> points) {
+  std::vector<ControlPoint> cp(points.begin(), points.end());
+  std::sort(cp.begin(), cp.end(),
+            [](const ControlPoint& a, const ControlPoint& b) {
+              return a.value < b.value;
+            });
+  for (int i = 0; i < kTableSize; ++i) {
+    float v = float(i) / float(kTableSize - 1);
+    if (cp.empty()) {
+      table_[std::size_t(i)] = {Vec3{v, v, v}, v};
+      continue;
+    }
+    if (v <= cp.front().value) {
+      table_[std::size_t(i)] = {cp.front().color, cp.front().opacity};
+      continue;
+    }
+    if (v >= cp.back().value) {
+      table_[std::size_t(i)] = {cp.back().color, cp.back().opacity};
+      continue;
+    }
+    for (std::size_t k = 0; k + 1 < cp.size(); ++k) {
+      if (v >= cp[k].value && v <= cp[k + 1].value) {
+        float span = cp[k + 1].value - cp[k].value;
+        float f = span > 0.0f ? (v - cp[k].value) / span : 0.0f;
+        table_[std::size_t(i)] = {
+            cp[k].color * (1.0f - f) + cp[k + 1].color * f,
+            cp[k].opacity * (1.0f - f) + cp[k + 1].opacity * f};
+        break;
+      }
+    }
+  }
+}
+
+TransferFunction TransferFunction::seismic() {
+  const ControlPoint pts[] = {
+      {0.00f, {0.05f, 0.05f, 0.30f}, 0.000f},
+      {0.08f, {0.10f, 0.20f, 0.60f}, 0.004f},
+      {0.25f, {0.05f, 0.55f, 0.75f}, 0.030f},
+      {0.45f, {0.20f, 0.80f, 0.35f}, 0.090f},
+      {0.65f, {0.95f, 0.90f, 0.20f}, 0.250f},
+      {0.85f, {0.95f, 0.45f, 0.10f}, 0.600f},
+      {1.00f, {0.90f, 0.05f, 0.05f}, 0.900f},
+  };
+  return TransferFunction(pts);
+}
+
+TransferFunction TransferFunction::from_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("transfer: cannot open " + path);
+  std::vector<ControlPoint> pts;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream ss(line);
+    ControlPoint cp;
+    if (!(ss >> cp.value)) continue;  // blank / comment-only line
+    if (!(ss >> cp.color.x >> cp.color.y >> cp.color.z >> cp.opacity)) {
+      throw std::runtime_error("transfer: malformed line " +
+                               std::to_string(line_no) + " in " + path);
+    }
+    pts.push_back(cp);
+  }
+  if (pts.empty())
+    throw std::runtime_error("transfer: no control points in " + path);
+  return TransferFunction(pts);
+}
+
+TransferFunction TransferFunction::grayscale() {
+  const ControlPoint pts[] = {
+      {0.0f, {0.0f, 0.0f, 0.0f}, 0.0f},
+      {1.0f, {1.0f, 1.0f, 1.0f}, 0.5f},
+  };
+  return TransferFunction(pts);
+}
+
+}  // namespace qv::render

@@ -1,0 +1,62 @@
+// Transfer functions: scalar value in [0,1] -> color and opacity.
+// Opacity is expressed per reference length so the raycaster can correct
+// for its actual step size (standard opacity correction).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "util/vec.hpp"
+
+namespace qv::render {
+
+struct TfSample {
+  Vec3 color;           // non-premultiplied RGB
+  float opacity = 0.0f; // opacity accumulated over one reference length
+};
+
+class TransferFunction {
+ public:
+  static constexpr int kTableSize = 256;
+
+  // Piecewise-linear construction from control points (value in [0,1]).
+  struct ControlPoint {
+    float value;
+    Vec3 color;
+    float opacity;
+  };
+  explicit TransferFunction(std::span<const ControlPoint> points);
+
+  TfSample sample(float v) const {
+    float t = v * float(kTableSize - 1);
+    if (t <= 0.0f) return table_[0];
+    if (t >= float(kTableSize - 1)) return table_[kTableSize - 1];
+    int i = int(t);
+    float f = t - float(i);
+    const TfSample& a = table_[std::size_t(i)];
+    const TfSample& b = table_[std::size_t(i) + 1];
+    return {a.color * (1.0f - f) + b.color * f,
+            a.opacity * (1.0f - f) + b.opacity * f};
+  }
+
+  // The colormap used for the velocity-magnitude renderings: transparent
+  // blue for quiet ground through cyan/green to opaque yellow/red where the
+  // ground moves hardest (Figure 1 look).
+  static TransferFunction seismic();
+  // Low-opacity grayscale (useful in tests: compositing math is easy to
+  // verify by hand).
+  static TransferFunction grayscale();
+
+  // Load control points from a text file: one "value r g b opacity" line
+  // per point ('#' comments and blank lines ignored); values in [0,1].
+  // Throws std::runtime_error on unreadable/malformed input. This is the
+  // user-editable colormap hook the CLI exposes.
+  static TransferFunction from_file(const std::string& path);
+
+ private:
+  std::array<TfSample, kTableSize> table_;
+};
+
+}  // namespace qv::render

@@ -1,0 +1,15 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace qv {
+
+double Rng::normal() {
+  // Box-Muller; guard against log(0).
+  double u1 = next_double();
+  double u2 = next_double();
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+}  // namespace qv

@@ -1,0 +1,61 @@
+// Deterministic, fast pseudo-random generation (splitmix64 / xoshiro256**).
+// Every stochastic component in the library (noise textures, synthetic
+// workloads, property tests) takes an explicit seed so runs reproduce.
+#pragma once
+
+#include <cstdint>
+
+namespace qv {
+
+// splitmix64: used to expand a single seed into generator state.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** — the workhorse generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B9u) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double next_double() { return (next_u64() >> 11) * 0x1.0p-53; }
+  float next_float() { return static_cast<float>(next_double()); }
+
+  // Uniform integer in [0, n).
+  std::uint64_t next_below(std::uint64_t n) {
+    return n == 0 ? 0 : next_u64() % n;
+  }
+
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  // Standard normal via Box-Muller (cached second value discarded for
+  // simplicity; callers here never need bulk normals).
+  double normal();
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace qv

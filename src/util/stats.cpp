@@ -1,0 +1,45 @@
+#include "util/stats.hpp"
+
+#include <cstdio>
+#include <numeric>
+
+namespace qv {
+
+double Samples::percentile(double p) {
+  if (xs_.empty()) return 0.0;
+  std::sort(xs_.begin(), xs_.end());
+  double rank = (p / 100.0) * static_cast<double>(xs_.size() - 1);
+  auto lo = static_cast<std::size_t>(rank);
+  auto hi = std::min(lo + 1, xs_.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return xs_[lo] * (1.0 - frac) + xs_[hi] * frac;
+}
+
+double Samples::mean() const {
+  if (xs_.empty()) return 0.0;
+  return std::accumulate(xs_.begin(), xs_.end(), 0.0) /
+         static_cast<double>(xs_.size());
+}
+
+double load_imbalance(const std::vector<double>& per_proc_work) {
+  if (per_proc_work.empty()) return 0.0;
+  double total = std::accumulate(per_proc_work.begin(), per_proc_work.end(), 0.0);
+  double mean = total / static_cast<double>(per_proc_work.size());
+  if (mean <= 0.0) return 0.0;
+  double mx = *std::max_element(per_proc_work.begin(), per_proc_work.end());
+  return mx / mean - 1.0;
+}
+
+std::string format_seconds(double s) {
+  char buf[64];
+  if (s >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", s);
+  } else if (s >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f us", s * 1e6);
+  }
+  return buf;
+}
+
+}  // namespace qv

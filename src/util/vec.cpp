@@ -1,0 +1,37 @@
+#include "util/vec.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace qv {
+
+bool Box3::intersect(Vec3 origin, Vec3 inv_dir, float& t_in, float& t_out) const {
+  float t0 = -1e30f;
+  float t1 = 1e30f;
+  for (int a = 0; a < 3; ++a) {
+    float o = origin[a];
+    float inv = inv_dir[a];
+    float lo_a = lo[a];
+    float hi_a = hi[a];
+    if (std::isinf(inv)) {
+      // Ray parallel to this slab: reject if origin is outside it.
+      if (o < lo_a || o > hi_a) return false;
+      continue;
+    }
+    float ta = (lo_a - o) * inv;
+    float tb = (hi_a - o) * inv;
+    if (ta > tb) std::swap(ta, tb);
+    t0 = std::max(t0, ta);
+    t1 = std::min(t1, tb);
+    if (t0 > t1) return false;
+  }
+  t_in = t0;
+  t_out = t1;
+  return true;
+}
+
+std::ostream& operator<<(std::ostream& os, Vec3 v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+}  // namespace qv

@@ -1,0 +1,114 @@
+// Small fixed-size vector math used across the renderer, the wave solver,
+// and the LIC module. Deliberately minimal: only the operations the
+// pipeline needs, all constexpr-friendly and value-semantic.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <iosfwd>
+
+namespace qv {
+
+struct Vec2 {
+  float x = 0.0f;
+  float y = 0.0f;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(float x_, float y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(float s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(float s) const { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(Vec2 o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr float dot(Vec2 o) const { return x * o.x + y * o.y; }
+  float norm() const { return std::sqrt(dot(*this)); }
+  Vec2 normalized() const {
+    float n = norm();
+    return n > 0.0f ? Vec2{x / n, y / n} : Vec2{};
+  }
+};
+
+struct Vec3 {
+  float x = 0.0f;
+  float y = 0.0f;
+  float z = 0.0f;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(float x_, float y_, float z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3 operator+(Vec3 o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(Vec3 o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(float s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(float s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+  constexpr Vec3& operator+=(Vec3 o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(Vec3 o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(float s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+  constexpr float operator[](int i) const { return i == 0 ? x : (i == 1 ? y : z); }
+
+  constexpr float dot(Vec3 o) const { return x * o.x + y * o.y + z * o.z; }
+  constexpr Vec3 cross(Vec3 o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  float norm() const { return std::sqrt(dot(*this)); }
+  constexpr float norm2() const { return dot(*this); }
+  Vec3 normalized() const {
+    float n = norm();
+    return n > 0.0f ? Vec3{x / n, y / n, z / n} : Vec3{};
+  }
+  // Component-wise product (used for material scaling in the solver).
+  constexpr Vec3 cwise(Vec3 o) const { return {x * o.x, y * o.y, z * o.z}; }
+};
+
+constexpr Vec3 operator*(float s, Vec3 v) { return v * s; }
+constexpr Vec2 operator*(float s, Vec2 v) { return v * s; }
+
+constexpr Vec3 min(Vec3 a, Vec3 b) {
+  return {a.x < b.x ? a.x : b.x, a.y < b.y ? a.y : b.y, a.z < b.z ? a.z : b.z};
+}
+constexpr Vec3 max(Vec3 a, Vec3 b) {
+  return {a.x > b.x ? a.x : b.x, a.y > b.y ? a.y : b.y, a.z > b.z ? a.z : b.z};
+}
+
+// Axis-aligned box; the octree mesh makes every cell one of these.
+struct Box3 {
+  Vec3 lo;
+  Vec3 hi;
+
+  constexpr Vec3 extent() const { return hi - lo; }
+  constexpr Vec3 center() const { return (lo + hi) * 0.5f; }
+  constexpr bool contains(Vec3 p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+           p.z >= lo.z && p.z <= hi.z;
+  }
+  constexpr Box3 united(const Box3& o) const {
+    return {min(lo, o.lo), max(hi, o.hi)};
+  }
+  // Ray/box slab intersection. Returns false when the ray misses;
+  // otherwise [t_in, t_out] is the parametric overlap (may start negative).
+  bool intersect(Vec3 origin, Vec3 inv_dir, float& t_in, float& t_out) const;
+};
+
+std::ostream& operator<<(std::ostream& os, Vec3 v);
+
+}  // namespace qv

@@ -1,0 +1,221 @@
+// vmpi: an in-process message-passing runtime with MPI-like semantics.
+//
+// This is the reproduction's substitute for MPI on LeMieux (see DESIGN.md).
+// Ranks run as threads of one process; the API mirrors the MPI subset the
+// paper's pipeline uses: blocking and buffered-nonblocking point-to-point,
+// barriers, broadcast/gather/allgather/allreduce, communicator splitting
+// (the 2DIP input groups), and — in file.hpp — file views over indexed
+// block types with collective two-phase reads.
+//
+// Semantics notes:
+//  * send() is buffered: the payload is copied into the destination mailbox
+//    immediately, so isend() completes at call time (like MPI_Ibsend). This
+//    is exactly the overlap behaviour the pipeline relies on.
+//  * recv() matches on (source, tag) in arrival order; kAnySource/kAnyTag
+//    wildcards are supported.
+//  * Each communicator has a private context id, so traffic on split
+//    communicators never cross-matches.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace qv::vmpi {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+struct Status {
+  int source = 0;
+  int tag = 0;
+  std::size_t bytes = 0;
+};
+
+namespace detail {
+
+struct Message {
+  int context = 0;
+  int source = 0;  // world rank of sender
+  int tag = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+struct Mailbox {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Message> queue;
+};
+
+// Barrier usable by arbitrary subgroups: keyed by (context, generation).
+struct GroupBarrier {
+  std::mutex mu;
+  std::condition_variable cv;
+  int arrived = 0;
+  std::uint64_t generation = 0;
+};
+
+struct World {
+  explicit World(int nranks);
+  int size;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes;
+  std::mutex barrier_table_mu;
+  // One barrier state per context id (allocated lazily).
+  std::vector<std::unique_ptr<GroupBarrier>> barriers;
+  std::mutex context_mu;
+  int next_context = 1;  // 0 is the world communicator
+
+  GroupBarrier& barrier_for(int context);
+  int allocate_contexts(int count);
+};
+
+}  // namespace detail
+
+class Comm;
+
+// Handle for a nonblocking receive. Sends complete immediately (buffered),
+// so only receives need a real handle.
+class Request {
+ public:
+  Request() = default;
+  // Blocks until the message arrives; fills `out`.
+  Status wait(std::vector<std::uint8_t>& out);
+  // Non-blocking completion check; when true, wait() will not block.
+  bool test();
+
+ private:
+  friend class Comm;
+  Comm* comm_ = nullptr;
+  int source_ = kAnySource;
+  int tag_ = kAnyTag;
+};
+
+// A communicator: a subgroup of world ranks with a private message context.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const { return int(members_.size()); }
+
+  // --- point to point -----------------------------------------------------
+  void send(int dest, int tag, std::span<const std::uint8_t> data);
+  // Buffered nonblocking send: identical to send() (completes immediately).
+  void isend(int dest, int tag, std::span<const std::uint8_t> data) {
+    send(dest, tag, data);
+  }
+  Status recv(int source, int tag, std::vector<std::uint8_t>& out);
+  Request irecv(int source, int tag);
+  // True when a matching message is queued (non-blocking probe).
+  bool iprobe(int source, int tag, Status* status = nullptr);
+
+  // Typed convenience wrappers (trivially copyable payloads).
+  template <typename T>
+  void send_value(int dest, int tag, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send(dest, tag, {reinterpret_cast<const std::uint8_t*>(&v), sizeof(T)});
+  }
+  template <typename T>
+  T recv_value(int source, int tag, Status* st = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::uint8_t> buf;
+    Status s = recv(source, tag, buf);
+    if (buf.size() != sizeof(T)) throw std::runtime_error("recv_value: size mismatch");
+    if (st) *st = s;
+    T v;
+    std::memcpy(&v, buf.data(), sizeof(T));
+    return v;
+  }
+  template <typename T>
+  void send_vec(int dest, int tag, std::span<const T> v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send(dest, tag,
+         {reinterpret_cast<const std::uint8_t*>(v.data()), v.size_bytes()});
+  }
+  template <typename T>
+  std::vector<T> recv_vec(int source, int tag, Status* st = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::uint8_t> buf;
+    Status s = recv(source, tag, buf);
+    if (buf.size() % sizeof(T) != 0)
+      throw std::runtime_error("recv_vec: size mismatch");
+    if (st) *st = s;
+    std::vector<T> out(buf.size() / sizeof(T));
+    std::memcpy(out.data(), buf.data(), buf.size());
+    return out;
+  }
+
+  // --- collectives ----------------------------------------------------------
+  void barrier();
+  // Root's buffer is broadcast to everyone (resized on non-roots).
+  void bcast(std::vector<std::uint8_t>& buf, int root);
+  template <typename T>
+  void bcast_value(T& v, int root) {
+    std::vector<std::uint8_t> buf(sizeof(T));
+    if (rank_ == root) std::memcpy(buf.data(), &v, sizeof(T));
+    bcast(buf, root);
+    std::memcpy(&v, buf.data(), sizeof(T));
+  }
+  // Gather per-rank byte blobs to root (result valid on root only).
+  std::vector<std::vector<std::uint8_t>> gather(std::span<const std::uint8_t> mine,
+                                                int root);
+  // Allgather: everyone receives everyone's blob, indexed by rank.
+  std::vector<std::vector<std::uint8_t>> allgather(std::span<const std::uint8_t> mine);
+  template <typename T>
+  std::vector<T> allgather_value(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto blobs = allgather({reinterpret_cast<const std::uint8_t*>(&v), sizeof(T)});
+    std::vector<T> out(blobs.size());
+    for (std::size_t i = 0; i < blobs.size(); ++i)
+      std::memcpy(&out[i], blobs[i].data(), sizeof(T));
+    return out;
+  }
+  // Element-wise allreduce over arrays of doubles / floats.
+  void allreduce_sum(std::span<double> inout);
+  void allreduce_sum_f(std::span<float> inout);
+  double allreduce_max(double v);
+
+  // Split into sub-communicators by color (ranks with the same color form a
+  // new communicator ordered by `key`, ties broken by old rank). Mirrors
+  // MPI_Comm_split. Every member must call it. Returns a communicator whose
+  // rank() is the caller's position in its group.
+  Comm split(int color, int key);
+
+  // World rank of a member of this communicator.
+  int world_rank_of(int comm_rank) const { return members_[std::size_t(comm_rank)]; }
+  int world_rank() const { return members_[std::size_t(rank_)]; }
+
+ private:
+  friend class Runtime;
+  friend class Request;
+  friend class File;
+  Comm(std::shared_ptr<detail::World> world, int context, std::vector<int> members,
+       int rank)
+      : world_(std::move(world)),
+        context_(context),
+        members_(std::move(members)),
+        rank_(rank) {}
+
+  // Blocking receive matching (source, tag) in this context.
+  Status recv_match(int source, int tag, std::vector<std::uint8_t>& out, bool block,
+                    bool* found);
+
+  std::shared_ptr<detail::World> world_;
+  int context_ = 0;
+  std::vector<int> members_;  // world ranks, indexed by comm rank
+  int rank_ = 0;              // my rank within this communicator
+};
+
+// Spawns `nranks` threads, each running `fn` with its world communicator.
+// Rethrows the first rank exception after all threads join.
+class Runtime {
+ public:
+  static void run(int nranks, const std::function<void(Comm&)>& fn);
+};
+
+}  // namespace qv::vmpi

@@ -1,0 +1,89 @@
+// vmpi file I/O: the MPI-IO subset the paper's pipeline uses (§5.3).
+//
+//  * IndexedBlockView  — MPI_Type_create_indexed_block: fixed-size element
+//    blocks at arbitrary element offsets, describing one reading pattern.
+//  * File::set_view    — MPI_File_set_view with such a type.
+//  * File::read_all    — MPI_File_read_all: a collective two-phase read.
+//    Phase 1 partitions the requested byte span into per-rank chunks; each
+//    rank performs *data sieving* (one large contiguous read covering its
+//    chunk's requested ranges, holes included, when dense enough). Phase 2
+//    redistributes the pieces to the ranks whose views requested them.
+//  * File::read_at     — independent contiguous read (strategy §5.3.2).
+//
+// Statistics counters expose bytes-from-disk vs. bytes-exchanged so the
+// benches can compare the two reading strategies quantitatively.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "vmpi/comm.hpp"
+
+namespace qv::vmpi {
+
+// Analog of MPI_Type_create_indexed_block over a file of fixed-size elements.
+struct IndexedBlockView {
+  std::size_t elem_bytes = 1;               // bytes per element
+  std::size_t block_elems = 1;              // elements per block
+  std::vector<std::uint64_t> block_offsets; // block starts, in elements
+
+  std::size_t block_bytes() const { return elem_bytes * block_elems; }
+  std::size_t total_bytes() const { return block_bytes() * block_offsets.size(); }
+};
+
+class File {
+ public:
+  struct IoStats {
+    std::uint64_t disk_bytes = 0;      // bytes actually read from disk
+    std::uint64_t useful_bytes = 0;    // bytes the caller asked for
+    std::uint64_t exchanged_bytes = 0; // bytes moved between ranks (phase 2)
+    std::uint64_t disk_reads = 0;      // number of pread calls
+  };
+
+  // Open for reading. Every rank of `comm` that will participate in
+  // read_all must open the file with the same communicator.
+  // Throws std::runtime_error when the file cannot be opened.
+  File(Comm& comm, const std::string& path);
+  ~File();
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  std::uint64_t size_bytes() const { return size_; }
+
+  void set_view(IndexedBlockView view);
+  const IndexedBlockView& view() const { return view_; }
+
+  // Independent contiguous read at an absolute byte offset.
+  void read_at(std::uint64_t offset, std::span<std::uint8_t> out);
+
+  // Collective noncontiguous read: all ranks of the communicator must call.
+  // Fills `out` with this rank's view blocks concatenated in view order.
+  // `out.size()` must equal view().total_bytes().
+  // `sieve_threshold`: fraction of useful bytes within a covering extent
+  // above which one large sieving read replaces many small reads.
+  void read_all(std::span<std::uint8_t> out, double sieve_threshold = 0.35);
+
+  const IoStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  struct Range {
+    std::uint64_t begin = 0;  // absolute file offset
+    std::uint64_t end = 0;
+    std::uint64_t out_offset = 0;  // position within the caller's out buffer
+  };
+
+  // Coalesced, sorted ranges for the current view.
+  std::vector<Range> view_ranges() const;
+  void pread_exact(std::uint64_t offset, std::span<std::uint8_t> out);
+
+  Comm* comm_;
+  int fd_ = -1;
+  std::uint64_t size_ = 0;
+  IndexedBlockView view_;
+  IoStats stats_;
+};
+
+}  // namespace qv::vmpi

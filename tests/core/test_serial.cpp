@@ -1,0 +1,158 @@
+#include "core/serial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/ground_overlay.hpp"
+#include "quake/synthetic.hpp"
+
+namespace qv::core {
+namespace {
+
+const Box3 kUnit{{0, 0, 0}, {1, 1, 1}};
+
+// One small dataset on disk, shared by the whole suite.
+class SerialTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = (std::filesystem::temp_directory_path() / "qv_serial_ds").string();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    auto size = [](Vec3 p) { return p.z > 0.5f ? 0.12f : 0.3f; };
+    mesh::HexMesh fine(mesh::LinearOctree::build(kUnit, size, 1, 3));
+    io::DatasetWriter writer(dir_, fine, 2, 3, 0.25f);
+    quake::SyntheticQuake q;
+    for (int s = 0; s < 4; ++s) {
+      writer.write_step(q.sample_nodes(fine, 0.5f + 0.5f * float(s)));
+    }
+    writer.finish();
+  }
+  static void TearDownTestSuite() { std::filesystem::remove_all(dir_); }
+
+  static std::string dir_;
+};
+std::string SerialTest::dir_;
+
+TEST_F(SerialTest, LoadStepLevelSizes) {
+  io::DatasetReader reader(dir_);
+  for (int level = 2; level <= reader.meta().finest_level; ++level) {
+    auto data = load_step_level(reader, 0, level);
+    EXPECT_EQ(data.size(), reader.level_mesh(level).node_count() * 3);
+  }
+  // -1 means finest.
+  auto fine = load_step_level(reader, 0, -1);
+  EXPECT_EQ(fine.size(),
+            reader.level_mesh(reader.meta().finest_level).node_count() * 3);
+}
+
+TEST_F(SerialTest, ScalarFieldMatchesMagnitude) {
+  io::DatasetReader reader(dir_);
+  auto raw = load_step_level(reader, 1, -1);
+  auto scalar = load_scalar_field(reader, 1, -1, false, 0.0f);
+  ASSERT_EQ(scalar.size(), raw.size() / 3);
+  for (std::size_t n = 0; n < scalar.size(); n += 11) {
+    float m = std::sqrt(raw[3 * n] * raw[3 * n] + raw[3 * n + 1] * raw[3 * n + 1] +
+                        raw[3 * n + 2] * raw[3 * n + 2]);
+    EXPECT_FLOAT_EQ(scalar[n], m);
+  }
+}
+
+TEST_F(SerialTest, EnhancementRaisesValuesWhereFieldChanges) {
+  io::DatasetReader reader(dir_);
+  auto plain = load_scalar_field(reader, 1, -1, false, 0.0f);
+  auto enhanced = load_scalar_field(reader, 1, -1, true, 2.0f);
+  double sum_p = 0, sum_e = 0;
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_GE(enhanced[i], plain[i] - 1e-6f);  // never decreases
+    sum_p += plain[i];
+    sum_e += enhanced[i];
+  }
+  EXPECT_GT(sum_e, sum_p);  // the wave is moving, so something is enhanced
+}
+
+TEST_F(SerialTest, RenderStepProducesNonEmptyImage) {
+  io::DatasetReader reader(dir_);
+  auto cam = render::Camera::overview(reader.meta().domain, 80, 60);
+  auto tf = render::TransferFunction::seismic();
+  SerialRenderConfig cfg;
+  cfg.render.value_hi = 3.0f;
+  render::RenderStats stats;
+  img::Image im = render_step(reader, 1, cam, tf, cfg, &stats);
+  EXPECT_EQ(im.width(), 80);
+  EXPECT_GT(stats.samples, 0u);
+  double alpha = 0;
+  for (const auto& px : im.pixels()) alpha += px.a;
+  EXPECT_GT(alpha, 1.0);  // the wavefront is visible
+}
+
+TEST_F(SerialTest, CoarserLevelRendersFasterButSimilar) {
+  io::DatasetReader reader(dir_);
+  auto cam = render::Camera::overview(reader.meta().domain, 64, 64);
+  auto tf = render::TransferFunction::seismic();
+  SerialRenderConfig fine_cfg;
+  fine_cfg.render.value_hi = 3.0f;
+  SerialRenderConfig coarse_cfg = fine_cfg;
+  coarse_cfg.level = 2;
+
+  render::RenderStats fine_stats, coarse_stats;
+  img::Image fine = render_step(reader, 1, cam, tf, fine_cfg, &fine_stats);
+  img::Image coarse = render_step(reader, 1, cam, tf, coarse_cfg, &coarse_stats);
+  EXPECT_LT(coarse_stats.samples, fine_stats.samples);
+  // Figure 3's claim at this small scale: the images stay close.
+  EXPECT_LT(img::rmse(fine, coarse), 0.08);
+}
+
+TEST_F(SerialTest, QuantizedPathStaysCloseToFloatPath) {
+  io::DatasetReader reader(dir_);
+  auto cam = render::Camera::overview(reader.meta().domain, 64, 64);
+  auto tf = render::TransferFunction::seismic();
+  SerialRenderConfig cfg;
+  cfg.render.value_hi = 3.0f;
+  img::Image floats = render_step(reader, 1, cam, tf, cfg);
+  cfg.quantize = true;
+  img::Image quantized = render_step(reader, 1, cam, tf, cfg);
+  EXPECT_LT(img::rmse(floats, quantized), 0.02);
+  EXPECT_GT(img::rmse(floats, quantized), 0.0);  // quantization is real
+}
+
+TEST(GroundOverlay, ProjectsTextureOntoThePlane) {
+  Box3 domain{{0, 0, 0}, {1, 1, 1}};
+  auto cam = render::Camera::overview(domain, 64, 64);
+  // Constant white texture: covered pixels are opaque white.
+  std::vector<float> gray(16 * 16, 1.0f);
+  img::Image im = render_ground_overlay(cam, domain, gray, 16, 16);
+  int opaque = 0, transparent = 0;
+  for (const auto& px : im.pixels()) {
+    if (px.a > 0.99f) {
+      ++opaque;
+      EXPECT_NEAR(px.r, 1.0f, 1e-4f);
+    } else {
+      ++transparent;
+    }
+  }
+  EXPECT_GT(opaque, 100);       // the plane is visible...
+  EXPECT_GT(transparent, 100);  // ...but does not fill the frame
+}
+
+TEST(GroundOverlay, SamplesTextureOrientation) {
+  Box3 domain{{0, 0, 0}, {1, 1, 1}};
+  // Camera straight above the center looking down.
+  render::Camera cam({0.5f, 0.5f, 3.0f}, {0.5f, 0.5f, 1.0f}, {0, 1, 0}, 30.0f,
+                     64, 64);
+  // Texture black for x<0.5, white for x>=0.5.
+  const int g = 32;
+  std::vector<float> gray(g * g);
+  for (int y = 0; y < g; ++y)
+    for (int x = 0; x < g; ++x)
+      gray[std::size_t(y) * g + x] = x >= g / 2 ? 1.0f : 0.0f;
+  img::Image im = render_ground_overlay(cam, domain, gray, g, g);
+  // Left half of the image looks at x<0.5 (dark), right half bright.
+  float left = im.at(10, 32).r;
+  float right = im.at(53, 32).r;
+  EXPECT_LT(left, 0.3f);
+  EXPECT_GT(right, 0.7f);
+}
+
+}  // namespace
+}  // namespace qv::core

@@ -1,0 +1,141 @@
+#include "img/image.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+namespace qv::img {
+namespace {
+
+TEST(Rgba, OverWithOpaqueFrontIgnoresBack) {
+  Rgba front{0.8f, 0.2f, 0.1f, 1.0f};
+  Rgba back{0.0f, 1.0f, 0.0f, 1.0f};
+  Rgba r = front.over(back);
+  EXPECT_FLOAT_EQ(r.r, 0.8f);
+  EXPECT_FLOAT_EQ(r.g, 0.2f);
+  EXPECT_FLOAT_EQ(r.a, 1.0f);
+}
+
+TEST(Rgba, OverWithTransparentFrontKeepsBack) {
+  Rgba front{};
+  Rgba back{0.3f, 0.4f, 0.5f, 0.6f};
+  Rgba r = front.over(back);
+  EXPECT_FLOAT_EQ(r.r, 0.3f);
+  EXPECT_FLOAT_EQ(r.a, 0.6f);
+}
+
+TEST(Rgba, OverIsAssociative) {
+  // Premultiplied "over" must be associative: (a over b) over c ==
+  // a over (b over c). This is the property every compositing algorithm
+  // in this library leans on.
+  Rgba a{0.2f, 0.1f, 0.05f, 0.25f};
+  Rgba b{0.3f, 0.3f, 0.1f, 0.5f};
+  Rgba c{0.1f, 0.6f, 0.4f, 0.7f};
+  Rgba left = a.over(b).over(c);
+  Rgba right = a.over(b.over(c));
+  EXPECT_NEAR(left.r, right.r, 1e-6f);
+  EXPECT_NEAR(left.g, right.g, 1e-6f);
+  EXPECT_NEAR(left.b, right.b, 1e-6f);
+  EXPECT_NEAR(left.a, right.a, 1e-6f);
+}
+
+TEST(Rgba, BlendUnderMatchesOver) {
+  Rgba front{0.2f, 0.1f, 0.05f, 0.25f};
+  Rgba back{0.3f, 0.3f, 0.1f, 0.5f};
+  Rgba via_over = front.over(back);
+  Rgba acc = front;
+  acc.blend_under(back);
+  EXPECT_FLOAT_EQ(acc.r, via_over.r);
+  EXPECT_FLOAT_EQ(acc.a, via_over.a);
+}
+
+TEST(Image, CompositeOverFullImages) {
+  Image back(4, 4), front(4, 4);
+  back.clear({0.0f, 0.5f, 0.0f, 1.0f});
+  front.at(1, 2) = {1.0f, 0.0f, 0.0f, 1.0f};
+  back.composite_over(front);
+  EXPECT_FLOAT_EQ(back.at(1, 2).r, 1.0f);
+  EXPECT_FLOAT_EQ(back.at(0, 0).g, 0.5f);
+}
+
+TEST(Image, FlattenedFillsBackground) {
+  Image im(2, 1);
+  im.at(0, 0) = {0.5f, 0.0f, 0.0f, 0.5f};
+  Image flat = im.flattened({0.0f, 1.0f, 0.0f});
+  EXPECT_FLOAT_EQ(flat.at(0, 0).r, 0.5f);
+  EXPECT_FLOAT_EQ(flat.at(0, 0).g, 0.5f);  // 0 + 0.5 * 1.0
+  EXPECT_FLOAT_EQ(flat.at(0, 0).a, 1.0f);
+  EXPECT_FLOAT_EQ(flat.at(1, 0).g, 1.0f);  // pure background
+}
+
+TEST(Image, PpmRoundTrip) {
+  Image8 im(3, 2);
+  im.set(0, 0, 255, 0, 0);
+  im.set(2, 1, 1, 2, 3);
+  std::string path = (std::filesystem::temp_directory_path() / "qv_test.ppm").string();
+  ASSERT_TRUE(write_ppm(path, im));
+  Image8 back;
+  ASSERT_TRUE(read_ppm(path, back));
+  EXPECT_EQ(back.width(), 3);
+  EXPECT_EQ(back.height(), 2);
+  EXPECT_EQ(0, std::memcmp(im.data(), back.data(), im.byte_count()));
+  std::remove(path.c_str());
+}
+
+TEST(Image, ReadPpmRejectsGarbage) {
+  std::string path = (std::filesystem::temp_directory_path() / "qv_bad.ppm").string();
+  {
+    std::ofstream os(path);
+    os << "NOTAPPM";
+  }
+  Image8 im;
+  EXPECT_FALSE(read_ppm(path, im));
+  std::remove(path.c_str());
+}
+
+TEST(Image, PgmWrite) {
+  std::vector<float> gray = {0.0f, 0.5f, 1.0f, 2.0f};  // 2.0 clamps to 255
+  std::string path = (std::filesystem::temp_directory_path() / "qv_test.pgm").string();
+  ASSERT_TRUE(write_pgm(path, gray, 2, 2));
+  std::ifstream is(path, std::ios::binary);
+  std::string magic;
+  is >> magic;
+  EXPECT_EQ(magic, "P5");
+  std::remove(path.c_str());
+  // Size mismatch rejected.
+  EXPECT_FALSE(write_pgm(path, gray, 3, 2));
+}
+
+TEST(Metrics, RmseZeroForIdentical) {
+  Image a(8, 8);
+  a.at(3, 3) = {0.5f, 0.5f, 0.5f, 1.0f};
+  EXPECT_DOUBLE_EQ(rmse(a, a), 0.0);
+  EXPECT_TRUE(std::isinf(psnr(a, a)));
+}
+
+TEST(Metrics, RmseKnownValue) {
+  Image a(1, 1), b(1, 1);
+  b.at(0, 0) = {1.0f, 0.0f, 0.0f, 0.0f};
+  // Only the r channel differs by 1 over 4 channels: sqrt(1/4) = 0.5.
+  EXPECT_NEAR(rmse(a, b), 0.5, 1e-9);
+}
+
+TEST(Metrics, MismatchedSizesAreInfinite) {
+  Image a(2, 2), b(3, 3);
+  EXPECT_TRUE(std::isinf(rmse(a, b)));
+}
+
+TEST(To8Bit, QuantizesAndBlendsBackground) {
+  Image im(1, 1);
+  im.at(0, 0) = {0.5f, 0.25f, 0.0f, 0.5f};
+  Image8 out = to_8bit(im, {1.0f, 1.0f, 1.0f});
+  // r = 0.5 + 0.5*1 = 1.0 -> 255; g = 0.25 + 0.5 = 0.75 -> 191.
+  EXPECT_EQ(out.data()[0], 255);
+  EXPECT_EQ(out.data()[1], 191);
+}
+
+}  // namespace
+}  // namespace qv::img

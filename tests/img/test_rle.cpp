@@ -1,0 +1,95 @@
+#include "img/rle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "util/rng.hpp"
+
+namespace qv::img {
+namespace {
+
+std::vector<Rgba> random_pixels(std::size_t n, double transparent_fraction,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Rgba> px(n);
+  for (auto& p : px) {
+    if (rng.next_double() < transparent_fraction) {
+      p = {};
+    } else {
+      p = {rng.next_float(), rng.next_float(), rng.next_float(),
+           0.01f + 0.99f * rng.next_float()};
+    }
+  }
+  return px;
+}
+
+TEST(Rle, RoundTripAllTransparent) {
+  std::vector<Rgba> px(1000);
+  RleBuffer buf;
+  std::size_t enc = rle_encode(px, buf);
+  EXPECT_EQ(enc, 4u);  // a single zero-run header
+  std::vector<Rgba> out(px.size(), Rgba{1, 1, 1, 1});
+  EXPECT_EQ(rle_decode(buf, 0, out), enc);
+  for (const auto& p : out) EXPECT_TRUE(p.transparent());
+}
+
+TEST(Rle, RoundTripAllOpaque) {
+  auto px = random_pixels(512, 0.0, 21);
+  RleBuffer buf;
+  std::size_t enc = rle_encode(px, buf);
+  // One literal header + raw payload.
+  EXPECT_EQ(enc, 4u + px.size() * sizeof(Rgba));
+  std::vector<Rgba> out(px.size());
+  ASSERT_EQ(rle_decode(buf, 0, out), enc);
+  EXPECT_EQ(0, std::memcmp(px.data(), out.data(), px.size() * sizeof(Rgba)));
+}
+
+TEST(Rle, EmptyInput) {
+  RleBuffer buf;
+  EXPECT_EQ(rle_encode({}, buf), 0u);
+  std::vector<Rgba> out;
+  EXPECT_EQ(rle_decode(buf, 0, out), 0u);
+  EXPECT_DOUBLE_EQ(rle_ratio({}), 1.0);
+}
+
+TEST(Rle, DecodeRejectsTruncatedStream) {
+  auto px = random_pixels(64, 0.5, 22);
+  RleBuffer buf;
+  rle_encode(px, buf);
+  buf.resize(buf.size() / 2);
+  std::vector<Rgba> out(px.size());
+  EXPECT_EQ(rle_decode(buf, 0, out), 0u);
+}
+
+TEST(Rle, SparseImagesCompressWell) {
+  auto px = random_pixels(4096, 0.95, 23);
+  EXPECT_LT(rle_ratio(px), 0.2);
+}
+
+TEST(Rle, DenseImagesBarelyGrow) {
+  auto px = random_pixels(4096, 0.0, 24);
+  EXPECT_LT(rle_ratio(px), 1.01);
+}
+
+class RleRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(RleRoundTrip, LosslessAtEveryDensity) {
+  for (std::uint64_t seed = 100; seed < 110; ++seed) {
+    auto px = random_pixels(777, GetParam(), seed);
+    RleBuffer buf;
+    buf.push_back(0xEE);  // nonzero offset decode
+    std::size_t enc = rle_encode(px, buf);
+    std::vector<Rgba> out(px.size());
+    ASSERT_EQ(rle_decode(buf, 1, out), enc) << "seed " << seed;
+    ASSERT_EQ(0, std::memcmp(px.data(), out.data(), px.size() * sizeof(Rgba)))
+        << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, RleRoundTrip,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9,
+                                           0.99, 1.0));
+
+}  // namespace
+}  // namespace qv::img

@@ -1,0 +1,126 @@
+#include "io/block_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace qv::io {
+namespace {
+
+const Box3 kUnit{{0, 0, 0}, {1, 1, 1}};
+
+struct Fixture {
+  mesh::HexMesh mesh;
+  std::vector<octree::Block> blocks;
+  BlockNodeIndex index;
+
+  Fixture()
+      : mesh(mesh::LinearOctree::build(
+            kUnit,
+            [](Vec3 p) { return p.x + p.y > 1.0f ? 0.08f : 0.3f; }, 1, 4)),
+        blocks(octree::decompose(mesh.octree(), 1)),
+        index(mesh, blocks) {}
+};
+
+TEST(BlockNodeIndex, ListsAreSortedUniqueAndComplete) {
+  Fixture f;
+  for (std::size_t b = 0; b < f.blocks.size(); ++b) {
+    auto nodes = f.index.block_nodes(b);
+    ASSERT_FALSE(nodes.empty());
+    for (std::size_t i = 1; i < nodes.size(); ++i) {
+      EXPECT_LT(nodes[i - 1], nodes[i]);
+    }
+    // Every node of every cell in the block appears.
+    std::set<mesh::NodeId> s(nodes.begin(), nodes.end());
+    for (std::size_t c = f.blocks[b].cell_begin; c < f.blocks[b].cell_end; ++c) {
+      for (auto n : f.mesh.cell_nodes(c)) EXPECT_TRUE(s.count(n));
+    }
+  }
+}
+
+TEST(BlockNodeIndex, TotalEntriesMatches) {
+  Fixture f;
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < f.blocks.size(); ++b)
+    total += f.index.block_nodes(b).size();
+  EXPECT_EQ(f.index.total_entries(), total);
+}
+
+TEST(MergedNodes, DeduplicatesAcrossBlocks) {
+  Fixture f;
+  std::vector<std::size_t> all(f.blocks.size());
+  for (std::size_t b = 0; b < all.size(); ++b) all[b] = b;
+  auto merged = merged_nodes(f.index, all);
+  // Sorted unique, covering the whole mesh's used nodes (= all nodes).
+  for (std::size_t i = 1; i < merged.size(); ++i)
+    EXPECT_LT(merged[i - 1], merged[i]);
+  EXPECT_EQ(merged.size(), f.mesh.node_count());
+  // Merging a subset is smaller.
+  std::vector<std::size_t> one = {0};
+  EXPECT_LT(merged_nodes(f.index, one).size(), merged.size());
+}
+
+TEST(ForwardMap, SlicesPartitionEveryBlockEntry) {
+  // Union over m slices of the forward map must hit every (block, pos)
+  // exactly once — the §5.3.2 guarantee that renderer merges need no
+  // inter-processor coordination.
+  Fixture f;
+  const auto node_count = mesh::NodeId(f.mesh.node_count());
+  for (int m : {1, 2, 3, 5}) {
+    std::map<std::pair<std::uint32_t, std::uint32_t>, int> seen;
+    for (int mi = 0; mi < m; ++mi) {
+      auto [lo, hi] = slice_bounds(node_count, mi, m);
+      auto entries = build_forward_map(f.index, lo, hi);
+      for (const auto& e : entries) {
+        // slice_pos must be within the slice.
+        EXPECT_LT(e.slice_pos, hi - lo);
+        seen[{e.block, e.block_pos}]++;
+      }
+    }
+    std::uint64_t expect = f.index.total_entries();
+    EXPECT_EQ(seen.size(), expect) << "m=" << m;
+    for (const auto& [key, count] : seen) EXPECT_EQ(count, 1);
+  }
+}
+
+TEST(ForwardMap, EntriesPointAtTheRightNodes) {
+  Fixture f;
+  auto [lo, hi] = slice_bounds(mesh::NodeId(f.mesh.node_count()), 1, 3);
+  auto entries = build_forward_map(f.index, lo, hi);
+  for (const auto& e : entries) {
+    auto nodes = f.index.block_nodes(e.block);
+    EXPECT_EQ(nodes[e.block_pos], lo + e.slice_pos);
+  }
+}
+
+TEST(ForwardMap, GroupedByBlockThenPosition) {
+  Fixture f;
+  auto entries =
+      build_forward_map(f.index, 0, mesh::NodeId(f.mesh.node_count()));
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    if (entries[i - 1].block == entries[i].block) {
+      EXPECT_LT(entries[i - 1].block_pos, entries[i].block_pos);
+    } else {
+      EXPECT_LT(entries[i - 1].block, entries[i].block);
+    }
+  }
+}
+
+TEST(SliceBounds, ExactPartition) {
+  for (std::uint64_t n : {0ull, 1ull, 7ull, 100ull, 101ull}) {
+    for (int m : {1, 2, 3, 7}) {
+      mesh::NodeId prev_hi = 0;
+      for (int i = 0; i < m; ++i) {
+        auto [lo, hi] = slice_bounds(n, i, m);
+        EXPECT_EQ(lo, prev_hi);
+        EXPECT_LE(lo, hi);
+        prev_hi = hi;
+      }
+      EXPECT_EQ(prev_hi, n);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qv::io

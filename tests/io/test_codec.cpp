@@ -1,0 +1,98 @@
+#include "io/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "util/rng.hpp"
+
+namespace qv::io {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, double zero_fraction,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> data(n);
+  for (auto& b : data) {
+    b = rng.next_double() < zero_fraction
+            ? 0
+            : std::uint8_t(1 + rng.next_below(255));
+  }
+  return data;
+}
+
+TEST(Rle8, AllZeros) {
+  std::vector<std::uint8_t> data(1000, 0);
+  std::vector<std::uint8_t> buf;
+  std::size_t enc = rle8_encode(data, buf);
+  EXPECT_LE(enc, 8u);  // ceil(1000/128) headers
+  std::vector<std::uint8_t> out(data.size(), 0xFF);
+  EXPECT_EQ(rle8_decode(buf, 0, out), enc);
+  for (auto b : out) EXPECT_EQ(b, 0);
+}
+
+TEST(Rle8, AllLiterals) {
+  auto data = random_bytes(500, 0.0, 1);
+  std::vector<std::uint8_t> buf;
+  std::size_t enc = rle8_encode(data, buf);
+  // ~1 header per 128 literals of overhead.
+  EXPECT_LE(enc, data.size() + data.size() / 128 + 2);
+  std::vector<std::uint8_t> out(data.size());
+  ASSERT_EQ(rle8_decode(buf, 0, out), enc);
+  EXPECT_EQ(0, std::memcmp(out.data(), data.data(), data.size()));
+}
+
+TEST(Rle8, EmptyInput) {
+  std::vector<std::uint8_t> buf;
+  EXPECT_EQ(rle8_encode({}, buf), 0u);
+  std::vector<std::uint8_t> out;
+  EXPECT_EQ(rle8_decode(buf, 0, out), 0u);
+  EXPECT_DOUBLE_EQ(rle8_ratio({}), 1.0);
+}
+
+TEST(Rle8, TruncatedStreamRejected) {
+  auto data = random_bytes(300, 0.5, 2);
+  std::vector<std::uint8_t> buf;
+  rle8_encode(data, buf);
+  buf.resize(buf.size() / 2);
+  std::vector<std::uint8_t> out(data.size());
+  EXPECT_EQ(rle8_decode(buf, 0, out), 0u);
+}
+
+TEST(Rle8, NonzeroOffsetDecoding) {
+  auto data = random_bytes(200, 0.7, 3);
+  std::vector<std::uint8_t> buf = {0xAA, 0xBB};
+  std::size_t enc = rle8_encode(data, buf);
+  std::vector<std::uint8_t> out(data.size());
+  ASSERT_EQ(rle8_decode(buf, 2, out), enc);
+  EXPECT_EQ(0, std::memcmp(out.data(), data.data(), data.size()));
+}
+
+TEST(Rle8, QuietWavefieldCompressesHard) {
+  // A quantized quiet-ground field: long zero runs with a narrow band of
+  // activity — the pipeline's actual payload shape.
+  std::vector<std::uint8_t> data(10000, 0);
+  for (std::size_t i = 4000; i < 4400; ++i) data[i] = std::uint8_t(i % 250 + 1);
+  EXPECT_LT(rle8_ratio(data), 0.06);
+}
+
+class Rle8RoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(Rle8RoundTrip, LosslessAtEveryDensity) {
+  for (std::uint64_t seed = 10; seed < 18; ++seed) {
+    auto data = random_bytes(1537, GetParam(), seed);
+    std::vector<std::uint8_t> buf;
+    std::size_t enc = rle8_encode(data, buf);
+    std::vector<std::uint8_t> out(data.size());
+    ASSERT_EQ(rle8_decode(buf, 0, out), enc) << "seed " << seed;
+    ASSERT_EQ(0, std::memcmp(out.data(), data.data(), data.size()))
+        << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ZeroFractions, Rle8RoundTrip,
+                         ::testing::Values(0.0, 0.05, 0.3, 0.6, 0.9, 0.99,
+                                           1.0));
+
+}  // namespace
+}  // namespace qv::io

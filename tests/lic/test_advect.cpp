@@ -1,0 +1,112 @@
+#include "lic/lic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qv::lic {
+namespace {
+
+VectorGrid uniform_field(int n, Vec2 v) {
+  VectorGrid g(n, n, {0, 0, 1, 1});
+  for (int y = 0; y < n; ++y)
+    for (int x = 0; x < n; ++x) g.at(x, y) = v;
+  return g;
+}
+
+TEST(AdvectLic, UniformFlowShiftsThePattern) {
+  const int n = 64;
+  auto field = uniform_field(n, {1.0f, 0.0f});
+  auto noise = make_noise(n, n, 3);
+  // No injection: the frame is exactly the previous frame shifted by one
+  // cell along +x (up to boundary clamping).
+  auto next = advect_lic_frame(field, noise, noise, n, n, 1.0f, 0.0f);
+  int checked = 0;
+  for (int y = 2; y < n - 2; ++y) {
+    for (int x = 2; x < n - 2; ++x) {
+      ASSERT_NEAR(next[std::size_t(y) * n + x],
+                  noise[std::size_t(y) * n + (x - 1)], 1e-5f);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 1000);
+}
+
+TEST(AdvectLic, ZeroFieldWithFullInjectionIsNoise) {
+  const int n = 32;
+  auto field = uniform_field(n, {0, 0});
+  auto prev = make_noise(n, n, 4);
+  auto noise = make_noise(n, n, 5);
+  auto next = advect_lic_frame(field, prev, noise, n, n, 1.0f, 1.0f);
+  for (std::size_t i = 0; i < next.size(); ++i) {
+    EXPECT_FLOAT_EQ(next[i], noise[i]);
+  }
+}
+
+TEST(AdvectLic, PatternTravelsWithTheFlow) {
+  // Temporal coherence means frame t+1 equals frame t transported along
+  // the flow (up to noise injection) — NOT frame t pointwise. With a
+  // uniform +x flow, next[x] must correlate with cur[x-1], and much less
+  // with cur[x] (white noise decorrelates at one-pixel offsets).
+  const int n = 64;
+  auto field = uniform_field(n, {1.0f, 0.0f});
+  auto cur = make_noise(n, n, 6);
+  auto correlation = [&](std::span<const float> a, std::span<const float> b) {
+    double ma = 0, mb = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ma += a[i];
+      mb += b[i];
+    }
+    ma /= double(a.size());
+    mb /= double(b.size());
+    double num = 0, da = 0, db = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      num += (a[i] - ma) * (b[i] - mb);
+      da += (a[i] - ma) * (a[i] - ma);
+      db += (b[i] - mb) * (b[i] - mb);
+    }
+    return num / std::sqrt(da * db + 1e-30);
+  };
+  auto inject = make_noise(n, n, 7);
+  auto next = advect_lic_frame(field, cur, inject, n, n, 1.0f, 0.1f);
+  // Build shifted/unshifted interior views for correlation.
+  std::vector<float> next_in, cur_shifted, cur_same;
+  for (int y = 1; y < n - 1; ++y) {
+    for (int x = 1; x < n - 1; ++x) {
+      next_in.push_back(next[std::size_t(y) * n + x]);
+      cur_shifted.push_back(cur[std::size_t(y) * n + (x - 1)]);
+      cur_same.push_back(cur[std::size_t(y) * n + x]);
+    }
+  }
+  double along_flow = correlation(next_in, cur_shifted);
+  double static_corr = correlation(next_in, cur_same);
+  EXPECT_GT(along_flow, 0.9);
+  EXPECT_LT(std::fabs(static_corr), 0.25);
+}
+
+TEST(AdvectLic, OutputStaysInRange) {
+  const int n = 32;
+  auto field = uniform_field(n, {0.7f, -0.4f});
+  auto frame = make_noise(n, n, 9);
+  auto noise = make_noise(n, n, 10);
+  for (int k = 0; k < 20; ++k) {
+    frame = advect_lic_frame(field, frame, noise, n, n, 0.9f, 0.08f);
+  }
+  for (float v : frame) {
+    EXPECT_GE(v, -1e-5f);
+    EXPECT_LE(v, 1.0f + 1e-5f);
+  }
+}
+
+TEST(AdvectLic, SizeMismatchThrows) {
+  auto field = uniform_field(16, {1, 0});
+  auto small = make_noise(8, 8, 1);
+  auto good = make_noise(16, 16, 1);
+  EXPECT_THROW(advect_lic_frame(field, small, good, 16, 16, 1.0f, 0.1f),
+               std::runtime_error);
+  EXPECT_THROW(advect_lic_frame(field, good, good, 8, 8, 1.0f, 0.1f),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace qv::lic

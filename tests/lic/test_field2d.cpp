@@ -1,0 +1,93 @@
+#include "lic/field2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mesh/linear_octree.hpp"
+
+namespace qv::lic {
+namespace {
+
+const Box3 kUnit{{0, 0, 0}, {1, 1, 1}};
+
+TEST(VectorGrid, BilinearSampleInterpolates) {
+  VectorGrid g(2, 2, {0, 0, 1, 1});
+  g.at(0, 0) = {0, 0};
+  g.at(1, 0) = {2, 0};
+  g.at(0, 1) = {0, 2};
+  g.at(1, 1) = {2, 2};
+  Vec2 mid = g.sample_grid(0.5f, 0.5f);
+  EXPECT_NEAR(mid.x, 1.0f, 1e-5f);
+  EXPECT_NEAR(mid.y, 1.0f, 1e-5f);
+  // Clamping outside the grid.
+  Vec2 out = g.sample_grid(-1.0f, 5.0f);
+  EXPECT_NEAR(out.x, 0.0f, 1e-5f);
+  EXPECT_NEAR(out.y, 2.0f, 1e-5f);
+}
+
+TEST(ExtractSurfaceField, PullsTopNodesWithXYComponents) {
+  mesh::HexMesh mesh(mesh::LinearOctree::uniform(kUnit, 2));
+  std::vector<float> data(mesh.node_count() * 3);
+  auto positions = mesh.node_positions();
+  for (std::size_t n = 0; n < mesh.node_count(); ++n) {
+    data[3 * n + 0] = positions[n].x;        // vx = x
+    data[3 * n + 1] = -positions[n].y;       // vy = -y
+    data[3 * n + 2] = 99.0f;                 // vz ignored by the extraction
+  }
+  auto field = extract_surface_field(mesh, data);
+  ASSERT_EQ(field.positions.size(), mesh.surface_nodes().size());
+  ASSERT_EQ(field.vectors.size(), field.positions.size());
+  for (std::size_t i = 0; i < field.positions.size(); ++i) {
+    EXPECT_FLOAT_EQ(field.vectors[i].x, field.positions[i].x);
+    EXPECT_FLOAT_EQ(field.vectors[i].y, -field.positions[i].y);
+  }
+}
+
+TEST(Resample, ReproducesSmoothFieldOnRegularInput) {
+  // Scattered points on a regular lattice carrying a linear field: IDW
+  // resampling must reproduce it closely.
+  SurfaceField field;
+  for (int y = 0; y <= 10; ++y) {
+    for (int x = 0; x <= 10; ++x) {
+      Vec2 p{float(x) / 10.0f, float(y) / 10.0f};
+      field.positions.push_back(p);
+      field.vectors.push_back({p.x + 0.5f, p.y - 0.25f});
+    }
+  }
+  Quadtree qt(field.positions);
+  VectorGrid grid = resample(field, qt, 21, 21);
+  for (int y = 0; y < 21; ++y) {
+    for (int x = 0; x < 21; ++x) {
+      Vec2 p{float(x) / 20.0f, float(y) / 20.0f};
+      Vec2 v = grid.at(x, y);
+      EXPECT_NEAR(v.x, p.x + 0.5f, 0.05f) << x << "," << y;
+      EXPECT_NEAR(v.y, p.y - 0.25f, 0.05f);
+    }
+  }
+}
+
+TEST(Resample, ExactAtSamplePoints) {
+  // A grid node coinciding with a data point gets (nearly) its exact value
+  // (IDW weight diverges at distance 0).
+  SurfaceField field;
+  field.positions = {{0, 0}, {1, 0}, {0, 1}, {1, 1}};
+  field.vectors = {{5, 0}, {0, 5}, {-5, 0}, {0, -5}};
+  Quadtree qt(field.positions);
+  VectorGrid grid = resample(field, qt, 2, 2);
+  EXPECT_NEAR(grid.at(0, 0).x, 5.0f, 1e-2f);
+  EXPECT_NEAR(grid.at(1, 0).y, 5.0f, 1e-2f);
+  EXPECT_NEAR(grid.at(0, 1).x, -5.0f, 1e-2f);
+}
+
+TEST(Resample, SparseDataFallsBackToNearest) {
+  SurfaceField field;
+  field.positions = {{0, 0}, {10, 10}};
+  field.vectors = {{1, 0}, {0, 1}};
+  Quadtree qt(field.positions);
+  VectorGrid grid = resample(field, qt, 8, 8);
+  // Corner nearest (0,0) gets ~(1,0); corner nearest (10,10) gets ~(0,1).
+  EXPECT_GT(grid.at(0, 0).x, 0.5f);
+  EXPECT_GT(grid.at(7, 7).y, 0.5f);
+}
+
+}  // namespace
+}  // namespace qv::lic

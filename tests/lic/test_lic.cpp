@@ -1,0 +1,144 @@
+#include "lic/lic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace qv::lic {
+namespace {
+
+VectorGrid horizontal_field(int n) {
+  VectorGrid g(n, n, {0, 0, 1, 1});
+  for (int y = 0; y < n; ++y)
+    for (int x = 0; x < n; ++x) g.at(x, y) = {1.0f, 0.0f};
+  return g;
+}
+
+// Directional autocorrelation of an image: mean |I(x+1,y)-I(x,y)| vs
+// |I(x,y+1)-I(x,y)|. LIC smears noise ALONG streamlines, so variation along
+// the flow must be much smaller than across it.
+std::pair<double, double> directional_variation(std::span<const float> im,
+                                                int n) {
+  double along = 0, across = 0;
+  std::size_t count = 0;
+  for (int y = 1; y < n - 1; ++y) {
+    for (int x = 1; x < n - 1; ++x) {
+      float c = im[std::size_t(y) * n + x];
+      along += std::fabs(im[std::size_t(y) * n + x + 1] - c);
+      across += std::fabs(im[std::size_t(y + 1) * n + x] - c);
+      ++count;
+    }
+  }
+  return {along / double(count), across / double(count)};
+}
+
+TEST(Noise, DeterministicAndInRange) {
+  auto a = make_noise(32, 32, 9);
+  auto b = make_noise(32, 32, 9);
+  auto c = make_noise(32, 32, 10);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  for (float v : a) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(Lic, SmearsAlongHorizontalFlow) {
+  const int n = 96;
+  auto field = horizontal_field(n);
+  auto noise = make_noise(n, n, 5);
+  LicOptions opt;
+  opt.magnitude_modulation = false;
+  auto out = compute_lic(field, noise, n, n, opt);
+  auto [along, across] = directional_variation(out, n);
+  EXPECT_LT(along * 3.0, across)
+      << "along " << along << " across " << across;
+}
+
+TEST(Lic, VerticalFlowSmearsTheOtherWay) {
+  const int n = 96;
+  VectorGrid field(n, n, {0, 0, 1, 1});
+  for (int y = 0; y < n; ++y)
+    for (int x = 0; x < n; ++x) field.at(x, y) = {0.0f, 1.0f};
+  auto noise = make_noise(n, n, 6);
+  LicOptions opt;
+  opt.magnitude_modulation = false;
+  auto out = compute_lic(field, noise, n, n, opt);
+  auto [along, across] = directional_variation(out, n);
+  EXPECT_GT(along, across * 3.0);
+}
+
+TEST(Lic, ZeroFieldLeavesNoiseUnfiltered) {
+  const int n = 32;
+  VectorGrid field(n, n, {0, 0, 1, 1});  // all zero vectors
+  auto noise = make_noise(n, n, 7);
+  LicOptions opt;
+  opt.magnitude_modulation = false;
+  auto out = compute_lic(field, noise, n, n, opt);
+  // Streamlines cannot advance: output equals the (kernel-0-weighted)
+  // noise exactly.
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out[i], noise[i], 1e-5f);
+  }
+}
+
+TEST(Lic, OutputBoundedByNoiseRange) {
+  const int n = 64;
+  VectorGrid field(n, n, {0, 0, 1, 1});
+  for (int y = 0; y < n; ++y)
+    for (int x = 0; x < n; ++x)
+      field.at(x, y) = {float(y - n / 2), float(n / 2 - x)};  // vortex
+  auto noise = make_noise(n, n, 8);
+  LicOptions opt;
+  auto out = compute_lic(field, noise, n, n, opt);
+  for (float v : out) {
+    EXPECT_GE(v, -1e-5f);
+    EXPECT_LE(v, 1.0f + 1e-5f);
+  }
+}
+
+TEST(Lic, MagnitudeModulationDarkensSlowRegions) {
+  const int n = 48;
+  VectorGrid field(n, n, {0, 0, 1, 1});
+  for (int y = 0; y < n; ++y)
+    for (int x = 0; x < n; ++x)
+      field.at(x, y) = {x < n / 2 ? 0.05f : 1.0f, 0.0f};  // slow | fast
+  auto noise = make_noise(n, n, 12);
+  LicOptions opt;
+  opt.magnitude_modulation = true;
+  auto out = compute_lic(field, noise, n, n, opt);
+  double slow = 0, fast = 0;
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n / 2; ++x) slow += out[std::size_t(y) * n + x];
+    for (int x = n / 2; x < n; ++x) fast += out[std::size_t(y) * n + x];
+  }
+  EXPECT_LT(slow, fast * 0.8);
+}
+
+TEST(Lic, PeriodicKernelPhaseChangesImage) {
+  const int n = 48;
+  auto field = horizontal_field(n);
+  auto noise = make_noise(n, n, 13);
+  LicOptions a, b;
+  a.periodic_kernel = b.periodic_kernel = true;
+  a.phase = 0.0f;
+  b.phase = 0.5f;
+  auto ia = compute_lic(field, noise, n, n, a);
+  auto ib = compute_lic(field, noise, n, n, b);
+  double diff = 0;
+  for (std::size_t i = 0; i < ia.size(); ++i) diff += std::fabs(ia[i] - ib[i]);
+  EXPECT_GT(diff / double(ia.size()), 1e-3);
+}
+
+TEST(Lic, SizeMismatchThrows) {
+  auto field = horizontal_field(16);
+  auto noise = make_noise(8, 8, 1);
+  EXPECT_THROW(compute_lic(field, noise, 16, 16, {}), std::runtime_error);
+  EXPECT_THROW(compute_lic(field, make_noise(16, 16, 1), 8, 8, {}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace qv::lic

@@ -1,0 +1,111 @@
+#include "lic/quadtree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace qv::lic {
+namespace {
+
+std::vector<Vec2> random_points(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec2> pts(n);
+  for (auto& p : pts) p = {rng.next_float() * 10.0f, rng.next_float() * 5.0f};
+  return pts;
+}
+
+TEST(Quadtree, EmptyThrows) {
+  EXPECT_THROW(Quadtree(std::span<const Vec2>{}), std::runtime_error);
+}
+
+TEST(Quadtree, BoundsCoverAllPoints) {
+  auto pts = random_points(500, 1);
+  Quadtree qt(pts);
+  for (const auto& p : pts) EXPECT_TRUE(qt.bounds().contains(p));
+}
+
+TEST(Quadtree, RadiusQueryMatchesBruteForce) {
+  auto pts = random_points(800, 2);
+  Quadtree qt(pts);
+  Rng rng(3);
+  std::vector<std::uint32_t> hits;
+  for (int trial = 0; trial < 50; ++trial) {
+    Vec2 q{float(rng.uniform(-1, 11)), float(rng.uniform(-1, 6))};
+    float radius = float(rng.uniform(0.1, 2.0));
+    qt.query_radius(q, radius, hits);
+    std::set<std::uint32_t> got(hits.begin(), hits.end());
+    EXPECT_EQ(got.size(), hits.size());  // no duplicates
+    for (std::uint32_t i = 0; i < pts.size(); ++i) {
+      Vec2 d = pts[i] - q;
+      bool inside = d.dot(d) <= radius * radius;
+      EXPECT_EQ(got.count(i) > 0, inside) << "trial " << trial << " i " << i;
+    }
+  }
+}
+
+TEST(Quadtree, NearestMatchesBruteForce) {
+  auto pts = random_points(600, 4);
+  Quadtree qt(pts);
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    Vec2 q{float(rng.uniform(-2, 12)), float(rng.uniform(-2, 7))};
+    std::uint32_t got = qt.nearest(q);
+    float best = 1e30f;
+    for (const auto& p : pts) {
+      Vec2 d = p - q;
+      best = std::min(best, d.dot(d));
+    }
+    Vec2 d = pts[got] - q;
+    EXPECT_NEAR(d.dot(d), best, 1e-5f);
+  }
+}
+
+TEST(Quadtree, HandlesDuplicatePoints) {
+  std::vector<Vec2> pts(100, Vec2{1.0f, 1.0f});
+  pts.push_back({2.0f, 2.0f});
+  Quadtree qt(pts, /*leaf_capacity=*/4, /*max_depth=*/8);
+  // Max depth stops runaway splitting of identical points.
+  EXPECT_LE(qt.depth(), 8);
+  std::vector<std::uint32_t> hits;
+  qt.query_radius({1.0f, 1.0f}, 0.01f, hits);
+  EXPECT_EQ(hits.size(), 100u);
+  EXPECT_EQ(qt.nearest({2.1f, 2.1f}), 100u);
+}
+
+TEST(Quadtree, SinglePoint) {
+  std::vector<Vec2> pts = {{3.0f, 4.0f}};
+  Quadtree qt(pts);
+  EXPECT_EQ(qt.nearest({0, 0}), 0u);
+  std::vector<std::uint32_t> hits;
+  qt.query_radius({3, 4}, 0.5f, hits);
+  EXPECT_EQ(hits.size(), 1u);
+  qt.query_radius({0, 0}, 0.5f, hits);
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST(Quadtree, DepthGrowsWithClusteredData) {
+  // Tight cluster forces deeper subdivision than uniform data of same size.
+  Rng rng(6);
+  std::vector<Vec2> clustered;
+  for (int i = 0; i < 1000; ++i) {
+    clustered.push_back({0.5f + 1e-3f * rng.next_float(),
+                         0.5f + 1e-3f * rng.next_float()});
+    clustered.push_back({rng.next_float() * 100.0f, rng.next_float() * 100.0f});
+  }
+  Quadtree qt(clustered, 8, 16);
+  EXPECT_GT(qt.depth(), 4);
+}
+
+TEST(Rect, Dist2) {
+  Rect r{0, 0, 2, 2};
+  EXPECT_FLOAT_EQ(r.dist2({1, 1}), 0.0f);      // inside
+  EXPECT_FLOAT_EQ(r.dist2({3, 1}), 1.0f);      // right of
+  EXPECT_FLOAT_EQ(r.dist2({3, 3}), 2.0f);      // diagonal corner
+  EXPECT_FLOAT_EQ(r.dist2({-2, -2}), 8.0f);
+}
+
+}  // namespace
+}  // namespace qv::lic

@@ -1,0 +1,170 @@
+#include "mesh/hex_mesh.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace qv::mesh {
+namespace {
+
+const Box3 kUnit{{0, 0, 0}, {1, 1, 1}};
+
+HexMesh adaptive_mesh(int min_level, int max_level) {
+  auto size = [](Vec3 p) {
+    return (p - Vec3{0.25f, 0.25f, 0.75f}).norm() < 0.3f ? 0.06f : 0.5f;
+  };
+  return HexMesh(LinearOctree::build(kUnit, size, min_level, max_level));
+}
+
+TEST(HexMesh, UniformNodeAndCellCounts) {
+  for (int level = 1; level <= 3; ++level) {
+    HexMesh mesh(LinearOctree::uniform(kUnit, level));
+    std::size_t n = std::size_t(1) << level;
+    EXPECT_EQ(mesh.cell_count(), n * n * n);
+    EXPECT_EQ(mesh.node_count(), (n + 1) * (n + 1) * (n + 1));
+    EXPECT_TRUE(mesh.constraints().empty());  // no hanging nodes when uniform
+    EXPECT_EQ(mesh.surface_nodes().size(), (n + 1) * (n + 1));
+  }
+}
+
+TEST(HexMesh, NodesAreShared) {
+  HexMesh mesh(LinearOctree::uniform(kUnit, 2));
+  // Interior node (0.5, 0.5, 0.5) belongs to 8 cells; count its appearances.
+  auto idx = mesh.find_node({1u << (kMaxLevel - 1), 1u << (kMaxLevel - 1),
+                             1u << (kMaxLevel - 1)});
+  ASSERT_GE(idx, 0);
+  int appearances = 0;
+  for (const auto& cell : mesh.cells()) {
+    for (NodeId n : cell)
+      if (n == NodeId(idx)) ++appearances;
+  }
+  EXPECT_EQ(appearances, 8);
+}
+
+TEST(HexMesh, CellNodePositionsMatchCorners) {
+  HexMesh mesh = adaptive_mesh(1, 4);
+  auto positions = mesh.node_positions();
+  for (std::size_t c = 0; c < mesh.cell_count(); ++c) {
+    Box3 b = mesh.cell_box(c);
+    const auto& conn = mesh.cell_nodes(c);
+    for (int corner = 0; corner < 8; ++corner) {
+      Vec3 expect{(corner & 1) ? b.hi.x : b.lo.x, (corner & 2) ? b.hi.y : b.lo.y,
+                  (corner & 4) ? b.hi.z : b.lo.z};
+      Vec3 got = positions[conn[std::size_t(corner)]];
+      EXPECT_NEAR(got.x, expect.x, 1e-5f);
+      EXPECT_NEAR(got.y, expect.y, 1e-5f);
+      EXPECT_NEAR(got.z, expect.z, 1e-5f);
+    }
+  }
+}
+
+TEST(HexMesh, TrilinearInterpolationReproducesLinearField) {
+  HexMesh mesh = adaptive_mesh(1, 4);
+  // f(p) = 2x - 3y + z + 0.5 is reproduced exactly by trilinear interp.
+  std::vector<float> values(mesh.node_count());
+  auto positions = mesh.node_positions();
+  for (std::size_t n = 0; n < values.size(); ++n) {
+    Vec3 p = positions[n];
+    values[n] = 2 * p.x - 3 * p.y + p.z + 0.5f;
+  }
+  Rng rng(31);
+  for (int i = 0; i < 300; ++i) {
+    Vec3 p{rng.next_float(), rng.next_float(), rng.next_float()};
+    float out;
+    ASSERT_TRUE(mesh.sample(values, p, out));
+    EXPECT_NEAR(out, 2 * p.x - 3 * p.y + p.z + 0.5f, 1e-4f);
+  }
+  float out;
+  EXPECT_FALSE(mesh.sample(values, Vec3{2, 0, 0}, out));
+}
+
+TEST(HexMesh, HangingConstraintsExistAtLevelJumps) {
+  HexMesh mesh = adaptive_mesh(1, 4);
+  ASSERT_GT(mesh.constraints().size(), 0u);
+  // Hanging node values must equal their parent interpolation after apply.
+  std::vector<float> values(mesh.node_count());
+  Rng rng(5);
+  for (auto& v : values) v = rng.next_float();
+  mesh.apply_constraints(values);
+  for (const auto& hc : mesh.constraints()) {
+    float sum = 0;
+    for (int i = 0; i < hc.parent_count; ++i)
+      sum += values[hc.parents[std::size_t(i)]];
+    EXPECT_NEAR(values[hc.node], sum / float(hc.parent_count), 1e-6f);
+  }
+}
+
+TEST(HexMesh, ConstraintsPreserveLinearFields) {
+  // A linear field already satisfies hanging-node interpolation: applying
+  // constraints must be a no-op.
+  HexMesh mesh = adaptive_mesh(1, 5);
+  std::vector<float> values(mesh.node_count());
+  auto positions = mesh.node_positions();
+  for (std::size_t n = 0; n < values.size(); ++n) {
+    Vec3 p = positions[n];
+    values[n] = 1.5f * p.x + 0.25f * p.y - 2.0f * p.z;
+  }
+  auto before = values;
+  mesh.apply_constraints(values);
+  for (std::size_t n = 0; n < values.size(); ++n) {
+    EXPECT_NEAR(values[n], before[n], 1e-5f);
+  }
+}
+
+TEST(HexMesh, DistributeHangingForcesConservesTotal) {
+  HexMesh mesh = adaptive_mesh(1, 4);
+  std::vector<Vec3> forces(mesh.node_count());
+  Rng rng(6);
+  Vec3 total{};
+  for (auto& f : forces) {
+    f = {rng.next_float(), rng.next_float(), rng.next_float()};
+    total += f;
+  }
+  mesh.distribute_hanging_forces(forces);
+  Vec3 after{};
+  for (std::size_t n = 0; n < forces.size(); ++n) {
+    after += forces[n];
+    if (mesh.is_hanging(NodeId(n))) {
+      EXPECT_FLOAT_EQ(forces[n].x, 0.0f);  // slaved DOFs hold no force
+    }
+  }
+  EXPECT_NEAR(after.x, total.x, 1e-3f);
+  EXPECT_NEAR(after.y, total.y, 1e-3f);
+  EXPECT_NEAR(after.z, total.z, 1e-3f);
+}
+
+TEST(HexMesh, SurfaceNodesAreOnTopFace) {
+  HexMesh mesh = adaptive_mesh(1, 4);
+  EXPECT_GT(mesh.surface_nodes().size(), 0u);
+  auto positions = mesh.node_positions();
+  for (NodeId n : mesh.surface_nodes()) {
+    EXPECT_NEAR(positions[n].z, 1.0f, 1e-5f);
+  }
+  // Every node with z == top must be in the surface list.
+  std::set<NodeId> surf(mesh.surface_nodes().begin(),
+                        mesh.surface_nodes().end());
+  auto coords = mesh.node_grid_coords();
+  for (NodeId n = 0; n < mesh.node_count(); ++n) {
+    if (coords[n].z == (1u << kMaxLevel)) EXPECT_TRUE(surf.count(n));
+  }
+}
+
+TEST(HexMesh, LocateReturnsUnitLocalCoords) {
+  HexMesh mesh(LinearOctree::uniform(kUnit, 1));
+  HexMesh::CellSample s;
+  ASSERT_TRUE(mesh.locate(Vec3{0.25f, 0.25f, 0.25f}, s));
+  EXPECT_NEAR(s.u, 0.5f, 1e-5f);
+  EXPECT_NEAR(s.v, 0.5f, 1e-5f);
+  EXPECT_NEAR(s.w, 0.5f, 1e-5f);
+}
+
+TEST(HexMesh, FindNodeMissReturnsNegative) {
+  HexMesh mesh(LinearOctree::uniform(kUnit, 1));
+  // A grid coordinate not on the level-1 lattice has no node.
+  EXPECT_EQ(mesh.find_node({1, 1, 1}), -1);
+}
+
+}  // namespace
+}  // namespace qv::mesh

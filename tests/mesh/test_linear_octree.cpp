@@ -1,0 +1,170 @@
+#include "mesh/linear_octree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/rng.hpp"
+
+namespace qv::mesh {
+namespace {
+
+const Box3 kUnit{{0, 0, 0}, {1, 1, 1}};
+
+// Total volume of the leaves must tile the domain exactly once.
+double leaf_volume(const LinearOctree& t) {
+  double v = 0;
+  for (const auto& k : t.leaves()) {
+    Vec3 e = k.box(t.domain()).extent();
+    v += double(e.x) * e.y * e.z;
+  }
+  return v;
+}
+
+TEST(LinearOctree, UniformHasExpectedLeafCount) {
+  for (int level = 0; level <= 3; ++level) {
+    auto t = LinearOctree::uniform(kUnit, level);
+    EXPECT_EQ(t.leaf_count(), std::size_t(1) << (3 * level));
+    EXPECT_EQ(t.max_leaf_level(), level);
+    EXPECT_EQ(t.min_leaf_level(), level);
+    EXPECT_NEAR(leaf_volume(t), 1.0, 1e-6);
+  }
+}
+
+TEST(LinearOctree, AdaptiveBuildRefinesNearTarget) {
+  // Ask for fine cells near one corner only.
+  auto size = [](Vec3 p) {
+    float d = (p - Vec3{0, 0, 0}).norm();
+    return d < 0.3f ? 0.04f : 0.5f;
+  };
+  auto t = LinearOctree::build(kUnit, size, 1, 6);
+  EXPECT_GT(t.max_leaf_level(), t.min_leaf_level());
+  EXPECT_NEAR(leaf_volume(t), 1.0, 1e-5);
+  EXPECT_TRUE(t.is_balanced());
+  // The leaf containing the refined corner is deeper than the far corner's.
+  auto near_idx = t.find_leaf(Vec3{0.02f, 0.02f, 0.02f});
+  auto far_idx = t.find_leaf(Vec3{0.9f, 0.9f, 0.9f});
+  ASSERT_GE(near_idx, 0);
+  ASSERT_GE(far_idx, 0);
+  EXPECT_GT(int(t.leaves()[std::size_t(near_idx)].level),
+            int(t.leaves()[std::size_t(far_idx)].level));
+}
+
+TEST(LinearOctree, BalanceEnforcedOnPathologicalInput) {
+  // Point refinement to depth 7 in one corner: without balancing the corner
+  // leaf would neighbor level-1 cells.
+  auto size = [](Vec3 p) {
+    return (p - Vec3{0.01f, 0.01f, 0.01f}).norm() < 0.02f ? 0.01f : 1.0f;
+  };
+  auto t = LinearOctree::build(kUnit, size, 0, 7);
+  EXPECT_TRUE(t.is_balanced());
+  EXPECT_NEAR(leaf_volume(t), 1.0, 1e-5);
+}
+
+TEST(LinearOctree, FindLeafLocatesEveryCellCenter) {
+  auto size = [](Vec3 p) { return p.x < 0.5f ? 0.1f : 0.3f; };
+  auto t = LinearOctree::build(kUnit, size, 1, 5);
+  for (std::size_t i = 0; i < t.leaf_count(); ++i) {
+    Vec3 c = t.leaves()[i].box(kUnit).center();
+    EXPECT_EQ(t.find_leaf(c), std::ptrdiff_t(i));
+  }
+}
+
+TEST(LinearOctree, FindLeafOutsideDomain) {
+  auto t = LinearOctree::uniform(kUnit, 2);
+  EXPECT_EQ(t.find_leaf(Vec3{-0.1f, 0.5f, 0.5f}), -1);
+  EXPECT_EQ(t.find_leaf(Vec3{0.5f, 0.5f, 1.5f}), -1);
+}
+
+TEST(LinearOctree, ClippedCoarsensDeepLeaves) {
+  auto size = [](Vec3) { return 0.06f; };  // forces level >= 5 everywhere
+  auto t = LinearOctree::build(kUnit, size, 2, 5);
+  auto c = t.clipped(3);
+  EXPECT_EQ(c.max_leaf_level(), 3);
+  EXPECT_EQ(c.leaf_count(), std::size_t(1) << 9);  // uniform level 3
+  EXPECT_NEAR(leaf_volume(c), 1.0, 1e-6);
+}
+
+TEST(LinearOctree, ClippedKeepsShallowLeaves) {
+  auto size = [](Vec3 p) { return p.x < 0.5f ? 0.05f : 0.6f; };
+  auto t = LinearOctree::build(kUnit, size, 1, 5);
+  int shallow_before = 0;
+  for (const auto& k : t.leaves())
+    if (int(k.level) <= 2) ++shallow_before;
+  auto c = t.clipped(4);
+  int shallow_after = 0;
+  for (const auto& k : c.leaves())
+    if (int(k.level) <= 2) ++shallow_after;
+  EXPECT_EQ(shallow_before, shallow_after);
+  EXPECT_NEAR(leaf_volume(c), 1.0, 1e-5);
+}
+
+TEST(LinearOctree, SubtreeRangeCoversExactlyTheDescendants) {
+  auto t = LinearOctree::uniform(kUnit, 3);
+  OctKey block{1, 0, 1, 1};  // one octant at level 1
+  auto [lo, hi] = t.subtree_range(block);
+  EXPECT_EQ(hi - lo, 64u);  // 4^3 level-3 leaves per level-1 octant
+  for (std::size_t i = lo; i < hi; ++i) {
+    EXPECT_TRUE(block.is_ancestor_of(t.leaves()[i]));
+  }
+  // Leaves outside the range are not descendants.
+  if (lo > 0) EXPECT_FALSE(block.is_ancestor_of(t.leaves()[lo - 1]));
+  if (hi < t.leaf_count()) EXPECT_FALSE(block.is_ancestor_of(t.leaves()[hi]));
+}
+
+TEST(LinearOctree, SubtreeRangeOfBlockInsideShallowLeaf) {
+  auto t = LinearOctree::uniform(kUnit, 1);  // 8 leaves at level 1
+  OctKey deep_block{2, 2, 2, 2};             // level-2 octant inside leaf (1,1,1)
+  auto [lo, hi] = t.subtree_range(deep_block);
+  EXPECT_EQ(hi - lo, 1u);
+  EXPECT_TRUE(t.leaves()[lo].is_ancestor_of(deep_block));
+}
+
+TEST(LinearOctree, FromLeavesRoundTrip) {
+  auto size = [](Vec3 p) { return p.z < 0.4f ? 0.08f : 0.4f; };
+  auto t = LinearOctree::build(kUnit, size, 1, 5);
+  std::vector<OctKey> keys(t.leaves().begin(), t.leaves().end());
+  auto u = LinearOctree::from_leaves(kUnit, std::move(keys));
+  ASSERT_EQ(u.leaf_count(), t.leaf_count());
+  for (std::size_t i = 0; i < t.leaf_count(); ++i) {
+    EXPECT_EQ(u.leaves()[i], t.leaves()[i]);
+  }
+}
+
+TEST(LinearOctree, LeavesAreSortedAndDisjoint) {
+  auto size = [](Vec3 p) { return 0.05f + 0.4f * p.y; };
+  auto t = LinearOctree::build(kUnit, size, 1, 6);
+  for (std::size_t i = 1; i < t.leaf_count(); ++i) {
+    EXPECT_LT(t.leaves()[i - 1], t.leaves()[i]);
+    EXPECT_FALSE(t.leaves()[i - 1].is_ancestor_of(t.leaves()[i]));
+  }
+}
+
+// Property sweep: random size fields produce valid balanced octrees.
+class OctreeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(OctreeProperty, RandomFieldsYieldValidTrees) {
+  Rng rng(std::uint64_t(GetParam()) * 77 + 1);
+  Vec3 hot{rng.next_float(), rng.next_float(), rng.next_float()};
+  float fine = 0.03f + 0.05f * rng.next_float();
+  auto size = [hot, fine](Vec3 p) {
+    float d = (p - hot).norm();
+    return fine + 0.5f * d;
+  };
+  auto t = LinearOctree::build(kUnit, size, 1, 6);
+  EXPECT_TRUE(t.is_balanced());
+  EXPECT_NEAR(leaf_volume(t), 1.0, 1e-5);
+  // Every leaf found at its own center.
+  Rng probe(99);
+  for (int i = 0; i < 200; ++i) {
+    Vec3 p{probe.next_float(), probe.next_float(), probe.next_float()};
+    auto idx = t.find_leaf(p);
+    ASSERT_GE(idx, 0);
+    EXPECT_TRUE(t.leaves()[std::size_t(idx)].box(kUnit).contains(p));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OctreeProperty, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace qv::mesh

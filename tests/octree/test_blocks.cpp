@@ -1,0 +1,150 @@
+#include "octree/blocks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "util/stats.hpp"
+
+namespace qv::octree {
+namespace {
+
+const Box3 kUnit{{0, 0, 0}, {1, 1, 1}};
+
+mesh::LinearOctree adaptive_tree() {
+  auto size = [](Vec3 p) {
+    return (p - Vec3{0.2f, 0.8f, 0.8f}).norm() < 0.35f ? 0.05f : 0.4f;
+  };
+  return mesh::LinearOctree::build(kUnit, size, 1, 5);
+}
+
+TEST(Decompose, EveryCellInExactlyOneBlock) {
+  auto tree = adaptive_tree();
+  for (int block_level = 0; block_level <= 3; ++block_level) {
+    auto blocks = decompose(tree, block_level);
+    std::size_t covered = 0;
+    std::size_t prev_end = 0;
+    for (const auto& b : blocks) {
+      EXPECT_EQ(b.cell_begin, prev_end);  // contiguous, in order, no gaps
+      EXPECT_GT(b.cell_end, b.cell_begin);
+      covered += b.cell_count();
+      prev_end = b.cell_end;
+    }
+    EXPECT_EQ(covered, tree.leaf_count()) << "block_level " << block_level;
+  }
+}
+
+TEST(Decompose, BlockRootsAreAncestorsOfTheirCells) {
+  auto tree = adaptive_tree();
+  auto blocks = decompose(tree, 2);
+  for (const auto& b : blocks) {
+    for (std::size_t c = b.cell_begin; c < b.cell_end; ++c) {
+      const auto& leaf = tree.leaves()[c];
+      EXPECT_TRUE(b.root == leaf || b.root.is_ancestor_of(leaf));
+    }
+  }
+}
+
+TEST(Decompose, UniformTreeBlockCount) {
+  auto tree = mesh::LinearOctree::uniform(kUnit, 3);
+  auto blocks = decompose(tree, 1);
+  EXPECT_EQ(blocks.size(), 8u);
+  for (const auto& b : blocks) EXPECT_EQ(b.cell_count(), 64u);
+}
+
+TEST(Workloads, CellCountModel) {
+  auto tree = adaptive_tree();
+  auto blocks = decompose(tree, 1);
+  estimate_workloads(tree, blocks, WorkloadModel::kCellCount);
+  double total = 0;
+  for (const auto& b : blocks) {
+    EXPECT_DOUBLE_EQ(b.workload, double(b.cell_count()));
+    total += b.workload;
+  }
+  EXPECT_DOUBLE_EQ(total, double(tree.leaf_count()));
+}
+
+TEST(Workloads, DepthWeightedPrefersFineBlocks) {
+  auto tree = adaptive_tree();
+  auto blocks = decompose(tree, 1);
+  estimate_workloads(tree, blocks, WorkloadModel::kDepthWeighted);
+  for (const auto& b : blocks) EXPECT_GT(b.workload, 0.0);
+}
+
+class AssignTest : public ::testing::TestWithParam<AssignStrategy> {};
+
+TEST_P(AssignTest, AllBlocksAssignedWithinRange) {
+  auto tree = adaptive_tree();
+  auto blocks = decompose(tree, 2);
+  estimate_workloads(tree, blocks, WorkloadModel::kCellCount);
+  for (int procs : {1, 2, 3, 7, 16}) {
+    auto owners = assign_blocks(blocks, procs, GetParam());
+    ASSERT_EQ(owners.size(), blocks.size());
+    for (int o : owners) {
+      EXPECT_GE(o, 0);
+      EXPECT_LT(o, procs);
+    }
+    // Every processor that can get work gets some when blocks >= procs.
+    if (blocks.size() >= std::size_t(procs)) {
+      std::set<int> used(owners.begin(), owners.end());
+      EXPECT_EQ(used.size(), std::size_t(procs)) << "procs " << procs;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, AssignTest,
+                         ::testing::Values(AssignStrategy::kRoundRobin,
+                                           AssignStrategy::kMortonContiguous,
+                                           AssignStrategy::kLargestFirst));
+
+TEST(Assign, LargestFirstBeatsRoundRobinOnImbalance) {
+  auto tree = adaptive_tree();
+  auto blocks = decompose(tree, 2);
+  estimate_workloads(tree, blocks, WorkloadModel::kCellCount);
+  const int procs = 8;
+  auto rr = per_proc_load(blocks, assign_blocks(blocks, procs,
+                                                AssignStrategy::kRoundRobin),
+                          procs);
+  auto lf = per_proc_load(blocks, assign_blocks(blocks, procs,
+                                                AssignStrategy::kLargestFirst),
+                          procs);
+  EXPECT_LE(load_imbalance(lf), load_imbalance(rr) + 1e-9);
+}
+
+TEST(Assign, MortonContiguousIsContiguous) {
+  auto tree = adaptive_tree();
+  auto blocks = decompose(tree, 2);
+  estimate_workloads(tree, blocks, WorkloadModel::kCellCount);
+  auto owners = assign_blocks(blocks, 4, AssignStrategy::kMortonContiguous);
+  for (std::size_t i = 1; i < owners.size(); ++i) {
+    EXPECT_GE(owners[i], owners[i - 1]);  // non-decreasing = contiguous runs
+  }
+}
+
+TEST(AdaptiveLevel, CoarsensWithSmallImages) {
+  // 512-pixel image, level 13 data, at most 1 element per pixel:
+  // 2^9 = 512 cells across matches exactly 512 pixels.
+  EXPECT_EQ(adaptive_level(512, 13, 1.0), 9);
+  // Allowing 4 elements per pixel admits one more level.
+  EXPECT_EQ(adaptive_level(512, 13, 4.0), 10);
+  // A huge image keeps the full resolution.
+  EXPECT_EQ(adaptive_level(16384, 13, 1.0), 13);
+}
+
+TEST(AdaptiveLevel, RespectsBounds) {
+  EXPECT_EQ(adaptive_level(16, 13, 1.0, 6), 6);   // clamped at coarsest
+  EXPECT_EQ(adaptive_level(4096, 5, 1.0), 5);     // never exceeds data level
+}
+
+TEST(AdaptiveLevel, MonotonicInImageSize) {
+  int prev = 0;
+  for (int w : {64, 128, 256, 512, 1024, 2048}) {
+    int level = adaptive_level(w, 13, 1.0, 0);
+    EXPECT_GE(level, prev);
+    prev = level;
+  }
+}
+
+}  // namespace
+}  // namespace qv::octree

@@ -1,0 +1,170 @@
+#include "pipesim/pipeline_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qv::pipesim {
+namespace {
+
+// Paper-calibrated machine (see machine.hpp): Tf ~ 17.8 s, Tp ~ 4 s,
+// Ts ~ 2 s for a full 400 MB step.
+PipelineParams base_params() {
+  PipelineParams p;
+  p.num_steps = 40;
+  p.render_seconds = 2.0;  // 64 renderers at 512x512
+  return p;
+}
+
+TEST(Plan, MatchesThePaperFormulas) {
+  Machine mc;
+  Plan p = plan(mc, /*render_seconds=*/2.0);
+  EXPECT_NEAR(p.tf, 400e6 / 22.5e6, 0.1);
+  EXPECT_NEAR(p.tp, 4.0, 0.1);
+  EXPECT_NEAR(p.ts, 2.0, 0.01);
+  // m = (Tf + Tp)/Ts + 1 ~ 11.9 -> 12 input processors, the paper's Fig 8.
+  EXPECT_EQ(p.m_1dip, 12);
+}
+
+TEST(Plan, TwoDipWidthFollowsTsOverTr) {
+  Machine mc;
+  // 128 renderers: Tr = 1 s < Ts = 2 s -> m = 2 per group.
+  Plan p = plan(mc, 1.0);
+  EXPECT_EQ(p.m_2dip, 2);
+  EXPECT_GE(p.n_2dip, 2);
+}
+
+TEST(Naive, InterframeIsTheFullSerialSum) {
+  auto p = base_params();
+  p.num_steps = 6;
+  auto r = simulate_naive(p);
+  // Tf + Tp + Tr + Tc ~ 17.8 + 4 + 2 + 0.25 ~ 24 s: the 15-20+ s
+  // interframe delay of the pre-pipeline system (§1).
+  ASSERT_EQ(r.frame_times.size(), 6u);
+  EXPECT_NEAR(r.avg_interframe, 24.0, 1.0);
+}
+
+TEST(OneDip, SingleInputProcessorIsIoBound) {
+  auto p = base_params();
+  p.input_procs = 1;
+  auto r = simulate_1dip(p);
+  // One reader: interframe ~ Tf + Tp + Ts ~ 23.8 s (send is serialized
+  // behind the next fetch on the same processor).
+  EXPECT_GT(r.avg_interframe, 15.0);
+}
+
+TEST(OneDip, EnoughInputProcessorsHideIo) {
+  auto p = base_params();
+  p.input_procs = 12;  // the paper's knee for 64 renderers
+  auto r = simulate_1dip(p);
+  // Interframe collapses to ~ Tr + Tc.
+  EXPECT_NEAR(r.avg_interframe, 2.25, 0.4);
+}
+
+TEST(OneDip, InterframeMonotonicallyImprovesWithInputProcs) {
+  auto p = base_params();
+  double prev = 1e30;
+  for (int m : {1, 2, 4, 8, 12}) {
+    p.input_procs = m;
+    auto r = simulate_1dip(p);
+    EXPECT_LE(r.avg_interframe, prev + 0.2) << "m " << m;
+    prev = r.avg_interframe;
+  }
+}
+
+TEST(OneDip, CannotBeatTheSendTime) {
+  // Fig 9's lesson: with Tr = 1 s < Ts = 2 s, 1DIP plateaus at ~Ts while
+  // 2DIP reaches ~Tr.
+  auto p = base_params();
+  p.render_seconds = 1.0;  // 128 renderers
+  p.input_procs = 22;      // far beyond the knee
+  auto r1 = simulate_1dip(p);
+  EXPECT_GT(r1.avg_interframe, 1.8);  // stuck near Ts + Tc
+
+  PipelineParams p2 = p;
+  p2.input_procs = 2;  // group width m = Ts/Tr
+  p2.groups = 12;
+  auto r2 = simulate_2dip(p2);
+  EXPECT_LT(r2.avg_interframe, 1.5);  // ~ Tr + Tc
+  EXPECT_LT(r2.avg_interframe, r1.avg_interframe);
+}
+
+TEST(TwoDip, MatchesOneDipWhenGroupWidthIsOne) {
+  auto p = base_params();
+  p.input_procs = 1;  // m = 1: 2DIP degenerates to 1DIP with n readers
+  p.groups = 6;
+  auto r2 = simulate_2dip(p);
+  PipelineParams p1 = base_params();
+  p1.input_procs = 6;
+  auto r1 = simulate_1dip(p1);
+  EXPECT_NEAR(r2.avg_interframe, r1.avg_interframe, 0.5);
+}
+
+TEST(TwoDip, PlanIsSufficientToHideIo) {
+  Machine mc;
+  double tr = 1.0;
+  Plan pl = plan(mc, tr);
+  PipelineParams p = base_params();
+  p.render_seconds = tr;
+  p.input_procs = pl.m_2dip;
+  p.groups = pl.n_2dip;
+  auto r = simulate_2dip(p);
+  EXPECT_NEAR(r.avg_interframe, tr + p.machine.composite_seconds, 0.3);
+}
+
+TEST(AdaptiveFetching, ReducesRequiredInputProcs) {
+  // §6: fetching only level-8 data (a fraction of the bytes) needs ~4 input
+  // processors instead of 12 at 64 renderers.
+  auto p = base_params();
+  p.fetch_fraction = 0.3;
+  p.input_procs = 4;
+  auto r = simulate_1dip(p);
+  EXPECT_NEAR(r.avg_interframe, 2.25, 0.5);
+
+  Machine mc;
+  Plan pl = plan(mc, 2.0, 0.0, 0.3);
+  EXPECT_LE(pl.m_1dip, 5);
+  EXPECT_GE(pl.m_1dip, 3);
+}
+
+TEST(ExtraInputWork, LicRaisesTheKnee) {
+  // Fig 12: LIC synthesis on the input processors pushes the knee from 12
+  // to ~16 input processors.
+  Machine mc;
+  Plan without = plan(mc, 2.0, 0.0);
+  Plan with_lic = plan(mc, 2.0, 8.0);
+  EXPECT_EQ(without.m_1dip, 12);
+  EXPECT_GE(with_lic.m_1dip, 15);
+  EXPECT_LE(with_lic.m_1dip, 17);
+
+  auto p = base_params();
+  p.extra_input_seconds = 8.0;
+  p.input_procs = with_lic.m_1dip;
+  auto r = simulate_1dip(p);
+  EXPECT_NEAR(r.avg_interframe, 2.25, 0.5);
+}
+
+TEST(Result, FramesAreMonotone) {
+  auto p = base_params();
+  p.input_procs = 4;
+  p.num_steps = 10;
+  auto r = simulate_1dip(p);
+  ASSERT_EQ(r.frame_times.size(), 10u);
+  for (std::size_t i = 1; i < r.frame_times.size(); ++i) {
+    EXPECT_GT(r.frame_times[i], r.frame_times[i - 1]);
+  }
+  EXPECT_GT(r.render_busy_fraction, 0.0);
+  EXPECT_LE(r.render_busy_fraction, 1.0 + 1e-9);
+}
+
+TEST(DiskContention, AggregateBandwidthCapsConcurrentReaders) {
+  // With a deliberately tiny aggregate disk, adding readers stops helping.
+  auto p = base_params();
+  p.machine.disk_total_bw = 45e6;  // only ~2 streams' worth
+  p.input_procs = 12;
+  auto capped = simulate_1dip(p);
+  p.machine.disk_total_bw = 1.6e9;
+  auto roomy = simulate_1dip(p);
+  EXPECT_GT(capped.avg_interframe, roomy.avg_interframe * 2.0);
+}
+
+}  // namespace
+}  // namespace qv::pipesim

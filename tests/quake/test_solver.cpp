@@ -1,0 +1,200 @@
+#include "quake/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qv::quake {
+namespace {
+
+const Box3 kDomain{{0, 0, 0}, {1000, 1000, 1000}};  // a 1 km cube
+
+MaterialField homogeneous() {
+  return [](Vec3) {
+    Material m;
+    m.rho = 2000.0f;
+    m.vs = 500.0f;
+    m.vp = 900.0f;
+    return m;
+  };
+}
+
+TEST(UnitStiffness, MatricesAreSymmetric) {
+  const auto& ka = WaveSolver::unit_stiffness_lambda();
+  const auto& kb = WaveSolver::unit_stiffness_mu();
+  for (int r = 0; r < 24; ++r) {
+    for (int s = 0; s < 24; ++s) {
+      EXPECT_NEAR(ka[size_t(r)][size_t(s)], ka[size_t(s)][size_t(r)], 1e-12);
+      EXPECT_NEAR(kb[size_t(r)][size_t(s)], kb[size_t(s)][size_t(r)], 1e-12);
+    }
+  }
+}
+
+TEST(UnitStiffness, RigidTranslationIsNullSpace) {
+  // K * (uniform translation) = 0: no strain, no force.
+  const auto& ka = WaveSolver::unit_stiffness_lambda();
+  const auto& kb = WaveSolver::unit_stiffness_mu();
+  for (int d = 0; d < 3; ++d) {
+    double u[24] = {};
+    for (int i = 0; i < 8; ++i) u[3 * i + d] = 1.0;
+    for (int r = 0; r < 24; ++r) {
+      double fa = 0, fb = 0;
+      for (int s = 0; s < 24; ++s) {
+        fa += ka[size_t(r)][size_t(s)] * u[s];
+        fb += kb[size_t(r)][size_t(s)] * u[s];
+      }
+      EXPECT_NEAR(fa, 0.0, 1e-10);
+      EXPECT_NEAR(fb, 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(UnitStiffness, PositiveSemiDefiniteOnRandomVectors) {
+  const auto& ka = WaveSolver::unit_stiffness_lambda();
+  const auto& kb = WaveSolver::unit_stiffness_mu();
+  std::uint64_t state = 12345;
+  for (int trial = 0; trial < 20; ++trial) {
+    double u[24];
+    for (double& v : u) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      v = double(state >> 11) * 0x1.0p-53 - 0.5;
+    }
+    double qa = 0, qb = 0;
+    for (int r = 0; r < 24; ++r)
+      for (int s = 0; s < 24; ++s) {
+        qa += u[r] * ka[size_t(r)][size_t(s)] * u[s];
+        qb += u[r] * kb[size_t(r)][size_t(s)] * u[s];
+      }
+    EXPECT_GE(qa, -1e-10);
+    EXPECT_GE(qb, -1e-10);
+  }
+}
+
+TEST(Ricker, WaveletShape) {
+  RickerSource src;
+  src.peak_freq_hz = 1.0f;
+  src.delay_s = 1.2f;
+  src.amplitude = 1.0f;
+  // Peak value at t = delay is the amplitude.
+  EXPECT_NEAR(src.wavelet(1.2f), 1.0f, 1e-6f);
+  // Symmetric about the delay.
+  EXPECT_NEAR(src.wavelet(1.2f + 0.3f), src.wavelet(1.2f - 0.3f), 1e-6f);
+  // Decays to ~0 far away.
+  EXPECT_NEAR(src.wavelet(5.0f), 0.0f, 1e-6f);
+}
+
+TEST(WaveSolver, StableDtRespectsCfl) {
+  mesh::HexMesh mesh(mesh::LinearOctree::uniform(kDomain, 3));
+  WaveSolver solver(mesh, homogeneous());
+  // h = 125 m, vp = 900 m/s -> h/vp ~ 0.139 s; cfl 0.45 -> ~0.0625.
+  EXPECT_NEAR(solver.dt(), 0.45f * 125.0f / 900.0f, 1e-4f);
+}
+
+TEST(WaveSolver, QuietWithoutSource) {
+  mesh::HexMesh mesh(mesh::LinearOctree::uniform(kDomain, 2));
+  WaveSolver solver(mesh, homogeneous());
+  for (int i = 0; i < 10; ++i) solver.step();
+  EXPECT_DOUBLE_EQ(solver.kinetic_energy(), 0.0);
+}
+
+TEST(WaveSolver, SourceInjectsEnergyThenDampingDecays) {
+  mesh::HexMesh mesh(mesh::LinearOctree::uniform(kDomain, 3));
+  WaveSolver::Options opt;
+  opt.damping = 0.5f;
+  WaveSolver solver(mesh, homogeneous(), opt);
+  RickerSource src;
+  src.position = {500, 500, 500};
+  src.peak_freq_hz = 2.0f;
+  src.delay_s = 0.6f;
+  src.amplitude = 1e10f;
+  solver.add_source(src);
+
+  double peak = 0.0;
+  while (solver.time() < 2.0) {
+    solver.step();
+    peak = std::max(peak, solver.kinetic_energy());
+  }
+  EXPECT_GT(peak, 0.0);
+  // Long after the wavelet, with damping, energy is well below the peak.
+  while (solver.time() < 6.0) solver.step();
+  EXPECT_LT(solver.kinetic_energy(), 0.2 * peak);
+}
+
+TEST(WaveSolver, StaysFiniteOnAdaptiveMeshWithHangingNodes) {
+  LayeredBasin basin;
+  basin.basin_center = {500, 500, 1000};
+  basin.basin_radius = 400;
+  basin.basin_depth = 300;
+  basin.surface_z = 1000;
+  auto tree = mesh::LinearOctree::build(kDomain, basin.size_field(0.8f, 4.0f),
+                                        2, 4);
+  mesh::HexMesh mesh(std::move(tree));
+  ASSERT_GT(mesh.constraints().size(), 0u);  // the test needs hanging nodes
+
+  WaveSolver solver(mesh, basin.field());
+  RickerSource src;
+  src.position = {500, 500, 700};
+  src.peak_freq_hz = 0.8f;
+  src.delay_s = 1.5f;
+  src.amplitude = 1e11f;
+  solver.add_source(src);
+
+  for (int i = 0; i < 120; ++i) solver.step();
+  double e = solver.kinetic_energy();
+  EXPECT_TRUE(std::isfinite(e));
+  EXPECT_GT(e, 0.0);
+  for (Vec3 v : solver.velocity()) {
+    ASSERT_TRUE(std::isfinite(v.x));
+    ASSERT_TRUE(std::isfinite(v.y));
+    ASSERT_TRUE(std::isfinite(v.z));
+  }
+}
+
+TEST(WaveSolver, PWaveArrivesOnSchedule) {
+  // Drop a pulse in the middle and watch a probe node 250 m away: motion
+  // must not arrive meaningfully before r/vp and must arrive by ~r/vs + T.
+  mesh::HexMesh mesh(mesh::LinearOctree::uniform(kDomain, 4));
+  WaveSolver solver(mesh, homogeneous());
+  RickerSource src;
+  src.position = {500, 500, 500};
+  src.peak_freq_hz = 2.0f;
+  src.delay_s = 0.5f;
+  src.amplitude = 1e11f;
+  solver.add_source(src);
+
+  // Probe at (750, 500, 500): r = 250 m; vp = 900 -> arrival ~0.28 s after
+  // the wavelet onset (~delay - 1/f = 0).
+  auto probe = mesh.find_node(
+      {std::uint32_t(3) << (mesh::kMaxLevel - 2), 1u << (mesh::kMaxLevel - 1),
+       1u << (mesh::kMaxLevel - 1)});
+  ASSERT_GE(probe, 0);
+
+  double first_motion = -1.0;
+  while (solver.time() < 2.5) {
+    solver.step();
+    float v = solver.velocity()[std::size_t(probe)].norm();
+    if (first_motion < 0 && v > 1e-4f) first_motion = solver.time();
+  }
+  ASSERT_GT(first_motion, 0.0);
+  // Onset of the wavelet is around delay - 1/f = 0; P arrival at 250/900.
+  EXPECT_GT(first_motion, 0.1);   // no superluminal arrival
+  EXPECT_LT(first_motion, 1.5);   // and it does arrive
+}
+
+TEST(WaveSolver, VelocityInterleavedLayout) {
+  mesh::HexMesh mesh(mesh::LinearOctree::uniform(kDomain, 2));
+  WaveSolver solver(mesh, homogeneous());
+  auto v = solver.velocity_interleaved();
+  EXPECT_EQ(v.size(), mesh.node_count() * 3);
+}
+
+TEST(WaveSolver, SourceOutsideMeshThrows) {
+  mesh::HexMesh mesh(mesh::LinearOctree::uniform(kDomain, 2));
+  WaveSolver solver(mesh, homogeneous());
+  RickerSource src;
+  src.position = {5000, 0, 0};
+  EXPECT_THROW(solver.add_source(src), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace qv::quake

@@ -1,0 +1,92 @@
+#include "quake/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace qv::quake {
+namespace {
+
+TEST(Synthetic, QuietBeforeAnyArrival) {
+  SyntheticQuake q;
+  // A point 0.4 away: P arrival at 0.4/0.35 ~ 1.14 s; at t=0 it is quiet
+  // (the reflection travels even farther).
+  Vec3 v = q.velocity_at({0.9f, 0.5f, 0.2f}, 0.0f);
+  EXPECT_LT(v.norm(), 0.05f);
+}
+
+TEST(Synthetic, PWavePassesThroughOnSchedule) {
+  SyntheticQuake q;
+  Vec3 p{0.85f, 0.5f, 0.2f};  // r = 0.35 from the hypocenter
+  float arrival = 0.35f / q.vp;
+  float at_arrival = q.velocity_at(p, arrival).norm();
+  float long_before = q.velocity_at(p, arrival - 1.5f).norm();
+  EXPECT_GT(at_arrival, 4.0f * (long_before + 1e-4f));
+}
+
+TEST(Synthetic, AmplitudeDecaysWithDistance) {
+  SyntheticQuake q;
+  // Compare the P pulse magnitude at its arrival time at two distances.
+  auto peak_at = [&](float r) {
+    Vec3 p = q.hypocenter + Vec3{r, 0, 0};
+    return q.velocity_at(p, r / q.vp).norm();
+  };
+  EXPECT_GT(peak_at(0.1f), peak_at(0.4f));
+}
+
+TEST(Synthetic, FieldIsFiniteEverywhere) {
+  SyntheticQuake q;
+  for (float t : {0.0f, 0.5f, 1.0f, 3.0f, 10.0f}) {
+    for (float x : {0.0f, 0.5f, 1.0f}) {
+      for (float z : {0.0f, 0.5f, 1.0f}) {
+        Vec3 v = q.velocity_at({x, 0.3f, z}, t);
+        ASSERT_TRUE(std::isfinite(v.x) && std::isfinite(v.y) &&
+                    std::isfinite(v.z));
+      }
+    }
+  }
+  // Even exactly at the hypocenter (softening radius guards 1/r).
+  Vec3 v = q.velocity_at(q.hypocenter, 0.5f);
+  EXPECT_TRUE(std::isfinite(v.norm()));
+}
+
+TEST(Synthetic, SampleNodesMatchesPointEvaluation) {
+  Box3 unit{{0, 0, 0}, {1, 1, 1}};
+  mesh::HexMesh mesh(mesh::LinearOctree::uniform(unit, 2));
+  SyntheticQuake q;
+  auto data = q.sample_nodes(mesh, 1.5f);
+  ASSERT_EQ(data.size(), mesh.node_count() * 3);
+  auto positions = mesh.node_positions();
+  for (std::size_t n = 0; n < mesh.node_count(); n += 7) {
+    Vec3 v = q.velocity_at(positions[n], 1.5f);
+    EXPECT_FLOAT_EQ(data[3 * n + 0], v.x);
+    EXPECT_FLOAT_EQ(data[3 * n + 1], v.y);
+    EXPECT_FLOAT_EQ(data[3 * n + 2], v.z);
+  }
+}
+
+TEST(Synthetic, LinearArrayWriterProducesExactBytes) {
+  auto path =
+      (std::filesystem::temp_directory_path() / "qv_linear.bin").string();
+  const std::uint64_t records = 100000;  // crosses the writer's chunk size
+  write_linear_array(path, records, 2, [](std::uint64_t i, int c) {
+    return float(i) + 0.25f * float(c);
+  });
+  ASSERT_EQ(std::filesystem::file_size(path), records * 2 * sizeof(float));
+  std::ifstream is(path, std::ios::binary);
+  // Spot-check across the chunk boundary (chunk = 65536 records).
+  for (std::uint64_t i : {0ull, 65535ull, 65536ull, 99999ull}) {
+    is.seekg(std::streamoff(i * 2 * sizeof(float)));
+    float v[2];
+    is.read(reinterpret_cast<char*>(v), sizeof(v));
+    EXPECT_FLOAT_EQ(v[0], float(i));
+    EXPECT_FLOAT_EQ(v[1], float(i) + 0.25f);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace qv::quake

@@ -1,0 +1,110 @@
+#include "render/camera.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace qv::render {
+namespace {
+
+TEST(Camera, PixelRayProjectRoundTrip) {
+  Camera cam({5, -3, 4}, {0, 0, 0}, {0, 0, 1}, 40.0f, 320, 240);
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    int px = int(rng.next_below(320));
+    int py = int(rng.next_below(240));
+    Ray ray = cam.pixel_ray(px, py);
+    // A point along the ray must project back to the pixel center.
+    Vec3 p = ray.origin + ray.dir * float(rng.uniform(0.5, 20.0));
+    float sx, sy;
+    ASSERT_TRUE(cam.project(p, sx, sy));
+    EXPECT_NEAR(sx, float(px) + 0.5f, 0.03f);
+    EXPECT_NEAR(sy, float(py) + 0.5f, 0.03f);
+  }
+}
+
+TEST(Camera, RaysAreNormalizedWithValidInverse) {
+  Camera cam({1, 1, 1}, {0, 0, 0}, {0, 0, 1}, 45.0f, 64, 64);
+  for (int px : {0, 31, 63}) {
+    for (int py : {0, 31, 63}) {
+      Ray r = cam.pixel_ray(px, py);
+      EXPECT_NEAR(r.dir.norm(), 1.0f, 1e-5f);
+      for (int a = 0; a < 3; ++a) {
+        if (r.dir[a] != 0.0f) {
+          EXPECT_NEAR(r.inv_dir[a] * r.dir[a], 1.0f, 1e-5f);
+        }
+      }
+    }
+  }
+}
+
+TEST(Camera, PointBehindEyeFailsToProject) {
+  Camera cam({0, 0, 0}, {1, 0, 0}, {0, 0, 1}, 45.0f, 100, 100);
+  float sx, sy;
+  EXPECT_FALSE(cam.project({-5, 0, 0}, sx, sy));
+  EXPECT_TRUE(cam.project({5, 0, 0}, sx, sy));
+  EXPECT_NEAR(sx, 50.0f, 1e-3f);
+  EXPECT_NEAR(sy, 50.0f, 1e-3f);
+}
+
+TEST(Camera, FootprintContainsProjectedInteriorPoints) {
+  Box3 box{{-1, -1, -1}, {1, 1, 1}};
+  Camera cam({4, 5, 3}, {0, 0, 0}, {0, 0, 1}, 35.0f, 400, 300);
+  ScreenRect fp = cam.footprint(box);
+  ASSERT_FALSE(fp.empty());
+  Rng rng(8);
+  for (int i = 0; i < 300; ++i) {
+    Vec3 p{float(rng.uniform(-1, 1)), float(rng.uniform(-1, 1)),
+           float(rng.uniform(-1, 1))};
+    float sx, sy;
+    ASSERT_TRUE(cam.project(p, sx, sy));
+    if (sx < 0 || sx >= 400 || sy < 0 || sy >= 300) continue;  // offscreen
+    EXPECT_GE(sx, float(fp.x0) - 1.0f);
+    EXPECT_LE(sx, float(fp.x1) + 1.0f);
+    EXPECT_GE(sy, float(fp.y0) - 1.0f);
+    EXPECT_LE(sy, float(fp.y1) + 1.0f);
+  }
+}
+
+TEST(Camera, FootprintOfBoxBehindCameraIsEmpty) {
+  Camera cam({0, 0, 0}, {1, 0, 0}, {0, 0, 1}, 45.0f, 100, 100);
+  Box3 behind{{-5, -1, -1}, {-3, 1, 1}};
+  EXPECT_TRUE(cam.footprint(behind).empty());
+}
+
+TEST(Camera, FootprintOfBoxStraddlingEyePlaneIsConservative) {
+  Camera cam({0, 0, 0}, {1, 0, 0}, {0, 0, 1}, 45.0f, 100, 100);
+  // Some corners in front, some behind: full-image fallback.
+  Box3 straddle{{-1, -1, -1}, {2, 1, 1}};
+  ScreenRect fp = cam.footprint(straddle);
+  EXPECT_EQ(fp.x0, 0);
+  EXPECT_EQ(fp.x1, 100);
+}
+
+TEST(Camera, OffscreenBoxHasEmptyFootprint) {
+  Camera cam({0, 0, 0}, {1, 0, 0}, {0, 0, 1}, 20.0f, 100, 100);
+  Box3 side{{3, 40, -1}, {4, 42, 1}};  // far off to the +y side
+  EXPECT_TRUE(cam.footprint(side).empty());
+}
+
+TEST(Camera, OverviewSeesTheWholeDomain) {
+  Box3 domain{{0, 0, 0}, {100, 100, 30}};
+  Camera cam = Camera::overview(domain, 256, 256);
+  ScreenRect fp = cam.footprint(domain);
+  ASSERT_FALSE(fp.empty());
+  // The domain occupies a substantial part of the image.
+  EXPECT_GT(fp.width() * fp.height(), 256 * 256 / 8);
+}
+
+TEST(ScreenRect, ClippedAndEmpty) {
+  ScreenRect r{-5, 10, 50, 20};
+  ScreenRect c = r.clipped(40, 15);
+  EXPECT_EQ(c.x0, 0);
+  EXPECT_EQ(c.x1, 40);
+  EXPECT_EQ(c.y1, 15);
+  EXPECT_FALSE(c.empty());
+  EXPECT_TRUE((ScreenRect{5, 5, 5, 9}).empty());
+}
+
+}  // namespace
+}  // namespace qv::render

@@ -1,0 +1,61 @@
+#include "render/lod.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qv::render {
+namespace {
+
+const Box3 kDomain{{0, 0, 0}, {100, 100, 100}};
+
+Camera at_distance(float d) {
+  Vec3 c = kDomain.center();
+  return Camera(c + Vec3{0, -d, 0}, c, {0, 0, 1}, 40.0f, 512, 512);
+}
+
+TEST(ViewLod, CloseUpKeepsFullResolution) {
+  // Very close (camera hovering just off the region of interest): each
+  // fine cell covers at least a pixel, so no coarsening.
+  int level = adaptive_level_for_view(at_distance(6.0f), kDomain, 13, 1.0, 4);
+  EXPECT_EQ(level, 13);
+}
+
+TEST(ViewLod, OverviewCoarsens) {
+  int far_level =
+      adaptive_level_for_view(at_distance(5000.0f), kDomain, 13, 1.0, 4);
+  EXPECT_LT(far_level, 13);
+  EXPECT_GE(far_level, 4);
+}
+
+TEST(ViewLod, MonotoneInDistance) {
+  int prev = 99;
+  for (float d : {80.0f, 200.0f, 500.0f, 1500.0f, 5000.0f, 20000.0f}) {
+    int level = adaptive_level_for_view(at_distance(d), kDomain, 13, 1.0, 2);
+    EXPECT_LE(level, prev) << "distance " << d;
+    prev = level;
+  }
+  EXPECT_EQ(prev, 2);  // eventually clamped at the coarsest level
+}
+
+TEST(ViewLod, LooserElementLimitAllowsFinerLevels) {
+  // The limit bounds how many elements may project into one pixel:
+  // permitting more oversampling admits finer levels.
+  Camera cam = at_distance(800.0f);
+  int strict = adaptive_level_for_view(cam, kDomain, 13, 1.0, 2);
+  int loose = adaptive_level_for_view(cam, kDomain, 13, 16.0, 2);
+  EXPECT_GE(loose, strict);
+}
+
+TEST(ViewLod, ProjectedPixelsBehaviour) {
+  Camera cam = at_distance(100.0f);
+  float near_px = cam.projected_pixels(kDomain.center(), 10.0f);
+  EXPECT_GT(near_px, 0.0f);
+  // Twice the length projects to twice the pixels.
+  EXPECT_NEAR(cam.projected_pixels(kDomain.center(), 20.0f), 2.0f * near_px,
+              1e-3f);
+  // Behind the eye: zero.
+  EXPECT_FLOAT_EQ(cam.projected_pixels(kDomain.center() + Vec3{0, -500, 0}, 10.0f),
+                  0.0f);
+}
+
+}  // namespace
+}  // namespace qv::render

@@ -1,0 +1,98 @@
+#include "render/transfer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace qv::render {
+namespace {
+
+TEST(TransferFunction, InterpolatesBetweenControlPoints) {
+  const TransferFunction::ControlPoint pts[] = {
+      {0.0f, {0, 0, 0}, 0.0f},
+      {1.0f, {1, 0, 0}, 0.8f},
+  };
+  TransferFunction tf(pts);
+  TfSample mid = tf.sample(0.5f);
+  EXPECT_NEAR(mid.color.x, 0.5f, 0.01f);
+  EXPECT_NEAR(mid.opacity, 0.4f, 0.01f);
+}
+
+TEST(TransferFunction, ClampsOutsideDomain) {
+  const TransferFunction::ControlPoint pts[] = {
+      {0.2f, {0, 1, 0}, 0.1f},
+      {0.8f, {0, 0, 1}, 0.9f},
+  };
+  TransferFunction tf(pts);
+  EXPECT_NEAR(tf.sample(-5.0f).color.y, 1.0f, 1e-5f);
+  EXPECT_NEAR(tf.sample(0.0f).opacity, 0.1f, 1e-5f);
+  EXPECT_NEAR(tf.sample(2.0f).color.z, 1.0f, 1e-5f);
+}
+
+TEST(TransferFunction, UnsortedControlPointsAreSorted) {
+  const TransferFunction::ControlPoint pts[] = {
+      {1.0f, {1, 1, 1}, 1.0f},
+      {0.0f, {0, 0, 0}, 0.0f},
+  };
+  TransferFunction tf(pts);
+  EXPECT_NEAR(tf.sample(0.25f).opacity, 0.25f, 0.01f);
+}
+
+TEST(TransferFunction, SeismicIsMonotonicallyMoreOpaque) {
+  auto tf = TransferFunction::seismic();
+  float prev = -1.0f;
+  for (int i = 0; i <= 20; ++i) {
+    float v = float(i) / 20.0f;
+    float op = tf.sample(v).opacity;
+    EXPECT_GE(op, prev - 1e-4f) << "at " << v;
+    prev = op;
+  }
+  // Quiet ground is (nearly) invisible; peak motion is strongly opaque.
+  EXPECT_LT(tf.sample(0.0f).opacity, 0.01f);
+  EXPECT_GT(tf.sample(1.0f).opacity, 0.5f);
+}
+
+TEST(TransferFunction, GrayscaleRamp) {
+  auto tf = TransferFunction::grayscale();
+  EXPECT_NEAR(tf.sample(0.5f).color.x, 0.5f, 0.01f);
+  EXPECT_NEAR(tf.sample(0.5f).opacity, 0.25f, 0.01f);
+}
+
+TEST(TransferFunction, FromFileParsesControlPoints) {
+  auto path =
+      (std::filesystem::temp_directory_path() / "qv_tf.txt").string();
+  {
+    std::ofstream os(path);
+    os << "# seismic-ish test map\n";
+    os << "0.0  0 0 0   0.0\n";
+    os << "\n";
+    os << "1.0  1 0 0   0.8   # opaque red\n";
+  }
+  auto tf = TransferFunction::from_file(path);
+  EXPECT_NEAR(tf.sample(0.5f).color.x, 0.5f, 0.01f);
+  EXPECT_NEAR(tf.sample(0.5f).opacity, 0.4f, 0.01f);
+  std::remove(path.c_str());
+}
+
+TEST(TransferFunction, FromFileRejectsBadInput) {
+  EXPECT_THROW(TransferFunction::from_file("/nonexistent/qv_tf.txt"),
+               std::runtime_error);
+  auto path =
+      (std::filesystem::temp_directory_path() / "qv_tf_bad.txt").string();
+  {
+    std::ofstream os(path);
+    os << "0.5 1 0\n";  // too few fields
+  }
+  EXPECT_THROW(TransferFunction::from_file(path), std::runtime_error);
+  {
+    std::ofstream os(path);
+    os << "# only comments\n";
+  }
+  EXPECT_THROW(TransferFunction::from_file(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace qv::render

@@ -1,0 +1,65 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qv {
+namespace {
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.1380899, 1e-6);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+}
+
+TEST(Samples, Percentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(double(i));
+  EXPECT_NEAR(s.percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(s.percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.mean(), 50.5, 1e-9);
+}
+
+TEST(LoadImbalance, PerfectBalanceIsZero) {
+  EXPECT_DOUBLE_EQ(load_imbalance({5, 5, 5, 5}), 0.0);
+}
+
+TEST(LoadImbalance, KnownImbalance) {
+  // max 8, mean 5 -> 0.6
+  EXPECT_NEAR(load_imbalance({2, 8, 5, 5}), 0.6, 1e-12);
+}
+
+TEST(LoadImbalance, EdgeCases) {
+  EXPECT_DOUBLE_EQ(load_imbalance({}), 0.0);
+  EXPECT_DOUBLE_EQ(load_imbalance({0, 0}), 0.0);
+}
+
+TEST(FormatSeconds, Units) {
+  EXPECT_EQ(format_seconds(1.5), "1.500 s");
+  EXPECT_EQ(format_seconds(0.0025), "2.500 ms");
+  EXPECT_EQ(format_seconds(2.5e-6), "2.500 us");
+}
+
+TEST(WallTimer, MeasuresElapsed) {
+  WallTimer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(t.seconds(), 0.0);
+  t.reset();
+  EXPECT_LT(t.seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace qv

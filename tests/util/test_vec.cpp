@@ -1,0 +1,128 @@
+#include "util/vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/rng.hpp"
+
+namespace qv {
+namespace {
+
+TEST(Vec3, BasicArithmetic) {
+  Vec3 a{1, 2, 3}, b{4, 5, 6};
+  Vec3 s = a + b;
+  EXPECT_FLOAT_EQ(s.x, 5);
+  EXPECT_FLOAT_EQ(s.y, 7);
+  EXPECT_FLOAT_EQ(s.z, 9);
+  Vec3 d = b - a;
+  EXPECT_FLOAT_EQ(d.x, 3);
+  EXPECT_FLOAT_EQ(d.norm2(), 27);
+  EXPECT_FLOAT_EQ(a.dot(b), 32);
+}
+
+TEST(Vec3, CrossProductOrthogonality) {
+  Vec3 a{1, 0, 0}, b{0, 1, 0};
+  Vec3 c = a.cross(b);
+  EXPECT_FLOAT_EQ(c.x, 0);
+  EXPECT_FLOAT_EQ(c.y, 0);
+  EXPECT_FLOAT_EQ(c.z, 1);
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    Vec3 u{rng.next_float(), rng.next_float(), rng.next_float()};
+    Vec3 v{rng.next_float(), rng.next_float(), rng.next_float()};
+    Vec3 w = u.cross(v);
+    EXPECT_NEAR(w.dot(u), 0.0f, 1e-5f);
+    EXPECT_NEAR(w.dot(v), 0.0f, 1e-5f);
+  }
+}
+
+TEST(Vec3, NormalizedHasUnitLength) {
+  Vec3 v{3, 4, 0};
+  EXPECT_FLOAT_EQ(v.norm(), 5.0f);
+  EXPECT_NEAR(v.normalized().norm(), 1.0f, 1e-6f);
+  // Zero vector normalizes to zero, not NaN.
+  Vec3 z{};
+  EXPECT_FLOAT_EQ(z.normalized().norm(), 0.0f);
+}
+
+TEST(Box3, ContainsAndCenter) {
+  Box3 b{{0, 0, 0}, {2, 4, 6}};
+  EXPECT_TRUE(b.contains({1, 2, 3}));
+  EXPECT_TRUE(b.contains({0, 0, 0}));
+  EXPECT_FALSE(b.contains({-0.1f, 2, 3}));
+  Vec3 c = b.center();
+  EXPECT_FLOAT_EQ(c.x, 1);
+  EXPECT_FLOAT_EQ(c.y, 2);
+  EXPECT_FLOAT_EQ(c.z, 3);
+}
+
+TEST(Box3, RayIntersectThroughCenter) {
+  Box3 b{{0, 0, 0}, {1, 1, 1}};
+  Vec3 origin{-1, 0.5f, 0.5f};
+  Vec3 dir{1, 0, 0};
+  Vec3 inv{1.0f / dir.x, std::numeric_limits<float>::infinity(),
+           std::numeric_limits<float>::infinity()};
+  float t0, t1;
+  ASSERT_TRUE(b.intersect(origin, inv, t0, t1));
+  EXPECT_NEAR(t0, 1.0f, 1e-5f);
+  EXPECT_NEAR(t1, 2.0f, 1e-5f);
+}
+
+TEST(Box3, RayMisses) {
+  Box3 b{{0, 0, 0}, {1, 1, 1}};
+  Vec3 origin{-1, 2.0f, 0.5f};  // above the box, moving in +x
+  float t0, t1;
+  Vec3 inv{1.0f, std::numeric_limits<float>::infinity(),
+           std::numeric_limits<float>::infinity()};
+  EXPECT_FALSE(b.intersect(origin, inv, t0, t1));
+}
+
+TEST(Box3, RayInsideStartsNegative) {
+  Box3 b{{0, 0, 0}, {1, 1, 1}};
+  Vec3 dir = Vec3{1, 1, 1}.normalized();
+  Vec3 inv{1 / dir.x, 1 / dir.y, 1 / dir.z};
+  float t0, t1;
+  ASSERT_TRUE(b.intersect({0.5f, 0.5f, 0.5f}, inv, t0, t1));
+  EXPECT_LT(t0, 0.0f);
+  EXPECT_GT(t1, 0.0f);
+}
+
+TEST(Box3, RandomRaysEntryBeforeExit) {
+  Rng rng(17);
+  Box3 b{{-1, -2, -3}, {4, 3, 2}};
+  int hits = 0;
+  for (int i = 0; i < 500; ++i) {
+    Vec3 o{float(rng.uniform(-10, 10)), float(rng.uniform(-10, 10)),
+           float(rng.uniform(-10, 10))};
+    Vec3 d = Vec3{float(rng.uniform(-1, 1)), float(rng.uniform(-1, 1)),
+                  float(rng.uniform(-1, 1))}
+                 .normalized();
+    if (d.norm2() < 0.5f) continue;
+    Vec3 inv{1 / d.x, 1 / d.y, 1 / d.z};
+    float t0, t1;
+    if (b.intersect(o, inv, t0, t1)) {
+      ++hits;
+      EXPECT_LE(t0, t1);
+      // Midpoint of the overlap must be inside the box.
+      Vec3 mid = o + d * ((t0 + t1) * 0.5f);
+      EXPECT_TRUE(b.contains(mid))
+          << "mid " << mid.x << "," << mid.y << "," << mid.z;
+    }
+  }
+  EXPECT_GT(hits, 50);  // sanity: the sweep actually exercised hits
+}
+
+TEST(Box3, United) {
+  Box3 a{{0, 0, 0}, {1, 1, 1}};
+  Box3 b{{2, -1, 0}, {3, 0.5f, 4}};
+  Box3 u = a.united(b);
+  EXPECT_FLOAT_EQ(u.lo.x, 0);
+  EXPECT_FLOAT_EQ(u.lo.y, -1);
+  EXPECT_FLOAT_EQ(u.hi.x, 3);
+  EXPECT_FLOAT_EQ(u.hi.z, 4);
+}
+
+}  // namespace
+}  // namespace qv

@@ -1,0 +1,316 @@
+// quakeviz — command-line driver for the library, the tool a downstream
+// user actually runs:
+//
+//   quakeviz generate --out=DIR [--mode=solver|synthetic] [--steps=N]
+//            [--max-level=L] [--freq=HZ]
+//       Build a basin mesh, simulate (or synthesize) ground motion, and
+//       write a multiresolution dataset.
+//
+//   quakeviz info --dataset=DIR
+//       Print the dataset's metadata and per-level sizes.
+//
+//   quakeviz render --dataset=DIR --out=FILE.ppm [--step=K] [--level=L]
+//            [--width=W] [--height=H] [--lighting] [--enhance]
+//            [--variable=magnitude|vx|vy|vz|horizontal] [--vmax=X]
+//            [--orbit=DEG] [--tf=FILE]
+//       Serial render of one step (--tf: "value r g b opacity" lines).
+//
+//   quakeviz pipeline --dataset=DIR --out=DIR [--strategy=1dip|2dip-col|
+//            2dip-ind] [--inputs=M] [--groups=N] [--renderers=R]
+//            [--width=W] [--height=H] [--steps=K] [--level=L] [--lic]
+//            [--enhance] [--orbit=DEG] [--rebalance=E] [--compositor=
+//            slic|direct] [--compress] [--compress-blocks] [--tf=FILE]
+//            [--vmax=X]
+//       Run the full parallel pipeline and write frames + a timing report.
+//
+//   quakeviz insitu --out=DIR [--snapshots=N] [--renderers=R]
+//       Simulation-time visualization: solver + renderer concurrently.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "core/insitu.hpp"
+#include "core/pipeline.hpp"
+#include "core/serial.hpp"
+#include "io/dataset.hpp"
+#include "quake/solver.hpp"
+#include "quake/synthetic.hpp"
+
+namespace {
+
+using namespace qv;
+
+// --key=value / --flag argument map.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string a = argv[i];
+      if (a.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", a.c_str());
+        std::exit(2);
+      }
+      auto eq = a.find('=');
+      if (eq == std::string::npos) {
+        kv_[a.substr(2)] = "1";
+      } else {
+        kv_[a.substr(2, eq - 2)] = a.substr(eq + 1);
+      }
+    }
+  }
+  std::string str(const std::string& key, const std::string& fallback) const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? fallback : it->second;
+  }
+  int num(const std::string& key, int fallback) const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? fallback : std::atoi(it->second.c_str());
+  }
+  double real(const std::string& key, double fallback) const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  bool flag(const std::string& key) const { return kv_.count(key) > 0; }
+  std::string require(const std::string& key) const {
+    auto it = kv_.find(key);
+    if (it == kv_.end()) {
+      std::fprintf(stderr, "missing required --%s=...\n", key.c_str());
+      std::exit(2);
+    }
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+io::Variable parse_variable(const std::string& name) {
+  if (name == "magnitude") return io::Variable::kMagnitude;
+  if (name == "vx") return io::Variable::kComponentX;
+  if (name == "vy") return io::Variable::kComponentY;
+  if (name == "vz") return io::Variable::kComponentZ;
+  if (name == "horizontal") return io::Variable::kHorizontal;
+  std::fprintf(stderr, "unknown variable: %s\n", name.c_str());
+  std::exit(2);
+}
+
+quake::LayeredBasin default_basin(const Box3& domain) {
+  quake::LayeredBasin basin;
+  basin.basin_center = {domain.center().x, domain.center().y, domain.hi.z};
+  basin.basin_radius = 0.4f * domain.extent().x;
+  basin.basin_depth = 0.25f * domain.extent().z;
+  basin.surface_z = domain.hi.z;
+  return basin;
+}
+
+int cmd_generate(const Args& args) {
+  std::string out = args.require("out");
+  std::filesystem::create_directories(out);
+  const Box3 domain{{0, 0, 0}, {2000, 2000, 2000}};
+  auto basin = default_basin(domain);
+  float freq = float(args.real("freq", 0.5));
+  int max_level = args.num("max-level", 4);
+  int steps = args.num("steps", 8);
+
+  auto tree = mesh::LinearOctree::build(domain, basin.size_field(freq, 4.0f),
+                                        2, max_level);
+  mesh::HexMesh mesh(std::move(tree));
+  std::printf("mesh: %zu cells, %zu nodes (levels %d..%d)\n",
+              mesh.cell_count(), mesh.node_count(),
+              mesh.octree().min_leaf_level(), mesh.octree().max_leaf_level());
+
+  io::DatasetWriter writer(out, mesh, 2, 3, 0.5f);
+  if (args.str("mode", "solver") == "synthetic") {
+    quake::SyntheticQuake q;
+    q.hypocenter = {0.5f, 0.5f, 0.35f};
+    for (int s = 0; s < steps; ++s) {
+      // Synthetic quake works in unit coordinates: sample a scaled copy.
+      mesh::HexMesh unit_mesh(
+          mesh::LinearOctree::from_leaves(
+              {{0, 0, 0}, {1, 1, 1}},
+              {mesh.octree().leaves().begin(), mesh.octree().leaves().end()}));
+      writer.write_step(q.sample_nodes(unit_mesh, 0.5f + 0.4f * float(s)));
+      std::printf("  synthesized step %d\n", s);
+    }
+  } else {
+    quake::WaveSolver solver(mesh, basin.field());
+    quake::RickerSource source;
+    source.position = {domain.center().x, domain.center().y,
+                       0.7f * domain.hi.z};
+    source.peak_freq_hz = freq;
+    source.delay_s = 1.2f / freq;
+    source.amplitude = 5e12f;
+    solver.add_source(source);
+    double interval = args.real("interval", 0.5);
+    double next = interval;
+    int written = 0;
+    while (written < steps) {
+      solver.step();
+      if (solver.time() >= next) {
+        writer.write_step(solver.velocity_interleaved());
+        std::printf("  t=%6.2f s  step %d/%d  KE %.3e\n", solver.time(),
+                    ++written, steps, solver.kinetic_energy());
+        next += interval;
+      }
+    }
+  }
+  writer.finish();
+  std::printf("dataset written to %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  io::DatasetReader reader(args.require("dataset"));
+  const auto& m = reader.meta();
+  std::printf("domain     (%g %g %g) .. (%g %g %g)\n", m.domain.lo.x,
+              m.domain.lo.y, m.domain.lo.z, m.domain.hi.x, m.domain.hi.y,
+              m.domain.hi.z);
+  std::printf("steps      %d (dt %.3f s)\n", m.num_steps, m.step_dt);
+  std::printf("components %d\n", m.components);
+  std::printf("levels     %d..%d\n", m.coarsest_level, m.finest_level);
+  for (int level = m.coarsest_level; level <= m.finest_level; ++level) {
+    std::printf("  level %2d: %10llu nodes, %8.2f MB/step at offset %llu\n",
+                level,
+                static_cast<unsigned long long>(
+                    m.level_node_count[std::size_t(level - m.coarsest_level)]),
+                double(reader.level_bytes(level)) / 1e6,
+                static_cast<unsigned long long>(
+                    reader.level_offset_bytes(level)));
+  }
+  return 0;
+}
+
+int cmd_render(const Args& args) {
+  io::DatasetReader reader(args.require("dataset"));
+  std::string out = args.require("out");
+  core::SerialRenderConfig cfg;
+  cfg.level = args.num("level", -1);
+  cfg.render.lighting = args.flag("lighting");
+  cfg.enhancement = args.flag("enhance");
+  cfg.variable = parse_variable(args.str("variable", "magnitude"));
+  cfg.render.value_hi = float(args.real("vmax", 1.0));
+  int w = args.num("width", 512), h = args.num("height", 512);
+  int step = args.num("step", 0);
+  auto cam = render::Camera::orbit(reader.meta().domain, w, h,
+                                   float(args.real("orbit", 0.0)));
+  std::string tf_file = args.str("tf", "");
+  auto tf = tf_file.empty() ? render::TransferFunction::seismic()
+                            : render::TransferFunction::from_file(tf_file);
+  render::RenderStats stats;
+  img::Image im = core::render_step(reader, step, cam, tf, cfg, &stats);
+  if (!img::write_ppm(out, img::to_8bit(im, {0.02f, 0.02f, 0.05f}))) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("rendered step %d (%llu samples) -> %s\n", step,
+              static_cast<unsigned long long>(stats.samples), out.c_str());
+  return 0;
+}
+
+int cmd_pipeline(const Args& args) {
+  core::PipelineConfig cfg;
+  cfg.dataset_dir = args.require("dataset");
+  cfg.output_dir = args.str("out", "");
+  if (!cfg.output_dir.empty())
+    std::filesystem::create_directories(cfg.output_dir);
+  std::string strategy = args.str("strategy", "1dip");
+  if (strategy == "1dip") {
+    cfg.strategy = core::IoStrategy::kOneDip;
+  } else if (strategy == "2dip-col") {
+    cfg.strategy = core::IoStrategy::kTwoDipCollective;
+  } else if (strategy == "2dip-ind") {
+    cfg.strategy = core::IoStrategy::kTwoDipIndependent;
+  } else {
+    std::fprintf(stderr, "unknown strategy: %s\n", strategy.c_str());
+    return 2;
+  }
+  cfg.input_procs = args.num("inputs", 2);
+  cfg.groups = args.num("groups", 1);
+  cfg.render_procs = args.num("renderers", 4);
+  cfg.width = args.num("width", 512);
+  cfg.height = args.num("height", 384);
+  cfg.num_steps = args.num("steps", -1);
+  cfg.adaptive_level = args.num("level", -1);
+  cfg.lic_overlay = args.flag("lic");
+  cfg.enhancement = args.flag("enhance");
+  cfg.render.lighting = args.flag("lighting");
+  cfg.variable = parse_variable(args.str("variable", "magnitude"));
+  cfg.render.value_hi = float(args.real("vmax", 1.0));
+  cfg.orbit_deg_per_step = float(args.real("orbit", 0.0));
+  cfg.rebalance_every = args.num("rebalance", 0);
+  cfg.compress_compositing = args.flag("compress");
+  cfg.compress_blocks = args.flag("compress-blocks");
+  cfg.tf_file = args.str("tf", "");
+  if (args.str("compositor", "slic") == "direct")
+    cfg.compositor = core::Compositor::kDirectSend;
+
+  auto report = core::run_pipeline(cfg);
+  std::printf("frames: %d  interframe %.4f s\n", report.steps,
+              report.avg_interframe);
+  std::printf("per step: fetch %.4f s | preprocess %.4f s | send %.4f s | "
+              "render %.4f s | composite %.4f s (%.2f MB exchanged)\n",
+              report.avg_fetch, report.avg_preprocess, report.avg_send,
+              report.avg_render, report.avg_composite,
+              double(report.composite_bytes) / 1e6);
+  for (std::size_t e = 0; e < report.epoch_imbalance.size(); ++e) {
+    std::printf("epoch %zu imbalance %.3f -> replanned %.3f\n", e,
+                report.epoch_imbalance[e],
+                report.epoch_imbalance_replanned[e]);
+  }
+  return 0;
+}
+
+int cmd_insitu(const Args& args) {
+  core::InsituConfig cfg;
+  cfg.basin = default_basin(cfg.domain);
+  cfg.source.position = {1000, 1000, 1400};
+  cfg.source.peak_freq_hz = 0.5f;
+  cfg.source.delay_s = 2.4f;
+  cfg.source.amplitude = 5e12f;
+  cfg.snapshots = args.num("snapshots", 8);
+  cfg.render_procs = args.num("renderers", 2);
+  cfg.width = args.num("width", 384);
+  cfg.height = args.num("height", 288);
+  cfg.render.value_hi = float(args.real("vmax", 0.05));
+  cfg.orbit_deg_per_step = float(args.real("orbit", 0.0));
+  cfg.output_dir = args.str("out", "");
+  if (!cfg.output_dir.empty())
+    std::filesystem::create_directories(cfg.output_dir);
+  auto report = core::run_insitu(cfg);
+  std::printf("simulated %.1f s in %.2f s; %d frames\n",
+              report.sim_time_reached, report.sim_seconds, report.snapshots);
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: quakeviz <generate|info|render|pipeline|insitu> "
+               "[--key=value ...]\n"
+               "see the header of tools/quakeviz.cpp for every option\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  Args args(argc, argv, 2);
+  std::string cmd = argv[1];
+  try {
+    if (cmd == "generate") return cmd_generate(args);
+    if (cmd == "info") return cmd_info(args);
+    if (cmd == "render") return cmd_render(args);
+    if (cmd == "pipeline") return cmd_pipeline(args);
+    if (cmd == "insitu") return cmd_insitu(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+  return 2;
+}
