@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adaptive_fetch.dir/bench_adaptive_fetch.cpp.o"
+  "CMakeFiles/bench_adaptive_fetch.dir/bench_adaptive_fetch.cpp.o.d"
+  "bench_adaptive_fetch"
+  "bench_adaptive_fetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptive_fetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compositing.dir/bench_compositing.cpp.o"
+  "CMakeFiles/bench_compositing.dir/bench_compositing.cpp.o.d"
+  "bench_compositing"
+  "bench_compositing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compositing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

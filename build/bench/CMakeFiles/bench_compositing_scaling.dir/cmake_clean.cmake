@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compositing_scaling.dir/bench_compositing_scaling.cpp.o"
+  "CMakeFiles/bench_compositing_scaling.dir/bench_compositing_scaling.cpp.o.d"
+  "bench_compositing_scaling"
+  "bench_compositing_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compositing_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

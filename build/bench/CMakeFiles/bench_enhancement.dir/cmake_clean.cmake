@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_enhancement.dir/bench_enhancement.cpp.o"
+  "CMakeFiles/bench_enhancement.dir/bench_enhancement.cpp.o.d"
+  "bench_enhancement"
+  "bench_enhancement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_enhancement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

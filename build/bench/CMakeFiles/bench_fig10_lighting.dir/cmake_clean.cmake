@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_lighting.dir/bench_fig10_lighting.cpp.o"
+  "CMakeFiles/bench_fig10_lighting.dir/bench_fig10_lighting.cpp.o.d"
+  "bench_fig10_lighting"
+  "bench_fig10_lighting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_lighting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_lic.dir/bench_fig12_lic.cpp.o"
+  "CMakeFiles/bench_fig12_lic.dir/bench_fig12_lic.cpp.o.d"
+  "bench_fig12_lic"
+  "bench_fig12_lic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_lic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_1dip.dir/bench_fig8_1dip.cpp.o"
+  "CMakeFiles/bench_fig8_1dip.dir/bench_fig8_1dip.cpp.o.d"
+  "bench_fig8_1dip"
+  "bench_fig8_1dip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_1dip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

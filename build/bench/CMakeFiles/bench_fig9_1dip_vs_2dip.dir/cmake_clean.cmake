@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_1dip_vs_2dip.dir/bench_fig9_1dip_vs_2dip.cpp.o"
+  "CMakeFiles/bench_fig9_1dip_vs_2dip.dir/bench_fig9_1dip_vs_2dip.cpp.o.d"
+  "bench_fig9_1dip_vs_2dip"
+  "bench_fig9_1dip_vs_2dip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_1dip_vs_2dip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig9_1dip_vs_2dip.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_io_readers.dir/bench_io_readers.cpp.o"
+  "CMakeFiles/bench_io_readers.dir/bench_io_readers.cpp.o.d"
+  "bench_io_readers"
+  "bench_io_readers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_io_readers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pipeline_small.dir/bench_pipeline_small.cpp.o"
+  "CMakeFiles/bench_pipeline_small.dir/bench_pipeline_small.cpp.o.d"
+  "bench_pipeline_small"
+  "bench_pipeline_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pipeline_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

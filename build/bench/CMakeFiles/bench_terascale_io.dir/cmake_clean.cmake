@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_terascale_io.dir/bench_terascale_io.cpp.o"
+  "CMakeFiles/bench_terascale_io.dir/bench_terascale_io.cpp.o.d"
+  "bench_terascale_io"
+  "bench_terascale_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_terascale_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

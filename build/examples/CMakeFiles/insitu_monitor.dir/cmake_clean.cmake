@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insitu_monitor.dir/insitu_monitor.cpp.o"
+  "CMakeFiles/insitu_monitor.dir/insitu_monitor.cpp.o.d"
+  "insitu_monitor"
+  "insitu_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insitu_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lighting_demo.dir/lighting_demo.cpp.o"
+  "CMakeFiles/lighting_demo.dir/lighting_demo.cpp.o.d"
+  "lighting_demo"
+  "lighting_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lighting_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/northridge_movie.dir/northridge_movie.cpp.o"
+  "CMakeFiles/northridge_movie.dir/northridge_movie.cpp.o.d"
+  "northridge_movie"
+  "northridge_movie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/northridge_movie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for northridge_movie.
+# This may be replaced when dependencies are built.

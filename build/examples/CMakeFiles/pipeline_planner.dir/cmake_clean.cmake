@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_planner.dir/pipeline_planner.cpp.o"
+  "CMakeFiles/pipeline_planner.dir/pipeline_planner.cpp.o.d"
+  "pipeline_planner"
+  "pipeline_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

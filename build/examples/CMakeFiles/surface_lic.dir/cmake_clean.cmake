@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surface_lic.dir/surface_lic.cpp.o"
+  "CMakeFiles/surface_lic.dir/surface_lic.cpp.o.d"
+  "surface_lic"
+  "surface_lic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surface_lic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("img")
+subdirs("mesh")
+subdirs("octree")
+subdirs("quake")
+subdirs("vmpi")
+subdirs("io")
+subdirs("render")
+subdirs("compositing")
+subdirs("lic")
+subdirs("sim")
+subdirs("pipesim")
+subdirs("core")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compositing/binary_swap.cpp" "src/compositing/CMakeFiles/qv_compositing.dir/binary_swap.cpp.o" "gcc" "src/compositing/CMakeFiles/qv_compositing.dir/binary_swap.cpp.o.d"
+  "/root/repo/src/compositing/common.cpp" "src/compositing/CMakeFiles/qv_compositing.dir/common.cpp.o" "gcc" "src/compositing/CMakeFiles/qv_compositing.dir/common.cpp.o.d"
+  "/root/repo/src/compositing/direct_send.cpp" "src/compositing/CMakeFiles/qv_compositing.dir/direct_send.cpp.o" "gcc" "src/compositing/CMakeFiles/qv_compositing.dir/direct_send.cpp.o.d"
+  "/root/repo/src/compositing/slic.cpp" "src/compositing/CMakeFiles/qv_compositing.dir/slic.cpp.o" "gcc" "src/compositing/CMakeFiles/qv_compositing.dir/slic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/render/CMakeFiles/qv_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/img/CMakeFiles/qv_img.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmpi/CMakeFiles/qv_vmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/octree/CMakeFiles/qv_octree.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/qv_mesh.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

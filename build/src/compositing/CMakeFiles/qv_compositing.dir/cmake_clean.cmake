@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qv_compositing.dir/binary_swap.cpp.o"
+  "CMakeFiles/qv_compositing.dir/binary_swap.cpp.o.d"
+  "CMakeFiles/qv_compositing.dir/common.cpp.o"
+  "CMakeFiles/qv_compositing.dir/common.cpp.o.d"
+  "CMakeFiles/qv_compositing.dir/direct_send.cpp.o"
+  "CMakeFiles/qv_compositing.dir/direct_send.cpp.o.d"
+  "CMakeFiles/qv_compositing.dir/slic.cpp.o"
+  "CMakeFiles/qv_compositing.dir/slic.cpp.o.d"
+  "libqv_compositing.a"
+  "libqv_compositing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qv_compositing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qv_core.dir/ground_overlay.cpp.o"
+  "CMakeFiles/qv_core.dir/ground_overlay.cpp.o.d"
+  "CMakeFiles/qv_core.dir/insitu.cpp.o"
+  "CMakeFiles/qv_core.dir/insitu.cpp.o.d"
+  "CMakeFiles/qv_core.dir/pipeline.cpp.o"
+  "CMakeFiles/qv_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/qv_core.dir/serial.cpp.o"
+  "CMakeFiles/qv_core.dir/serial.cpp.o.d"
+  "libqv_core.a"
+  "libqv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

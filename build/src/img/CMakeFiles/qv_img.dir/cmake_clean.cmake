@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qv_img.dir/image.cpp.o"
+  "CMakeFiles/qv_img.dir/image.cpp.o.d"
+  "CMakeFiles/qv_img.dir/rle.cpp.o"
+  "CMakeFiles/qv_img.dir/rle.cpp.o.d"
+  "libqv_img.a"
+  "libqv_img.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qv_img.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/block_index.cpp" "src/io/CMakeFiles/qv_io.dir/block_index.cpp.o" "gcc" "src/io/CMakeFiles/qv_io.dir/block_index.cpp.o.d"
+  "/root/repo/src/io/codec.cpp" "src/io/CMakeFiles/qv_io.dir/codec.cpp.o" "gcc" "src/io/CMakeFiles/qv_io.dir/codec.cpp.o.d"
+  "/root/repo/src/io/dataset.cpp" "src/io/CMakeFiles/qv_io.dir/dataset.cpp.o" "gcc" "src/io/CMakeFiles/qv_io.dir/dataset.cpp.o.d"
+  "/root/repo/src/io/preprocess.cpp" "src/io/CMakeFiles/qv_io.dir/preprocess.cpp.o" "gcc" "src/io/CMakeFiles/qv_io.dir/preprocess.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/CMakeFiles/qv_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/octree/CMakeFiles/qv_octree.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmpi/CMakeFiles/qv_vmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

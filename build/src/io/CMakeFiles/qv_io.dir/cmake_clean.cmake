@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qv_io.dir/block_index.cpp.o"
+  "CMakeFiles/qv_io.dir/block_index.cpp.o.d"
+  "CMakeFiles/qv_io.dir/codec.cpp.o"
+  "CMakeFiles/qv_io.dir/codec.cpp.o.d"
+  "CMakeFiles/qv_io.dir/dataset.cpp.o"
+  "CMakeFiles/qv_io.dir/dataset.cpp.o.d"
+  "CMakeFiles/qv_io.dir/preprocess.cpp.o"
+  "CMakeFiles/qv_io.dir/preprocess.cpp.o.d"
+  "libqv_io.a"
+  "libqv_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qv_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lic/field2d.cpp" "src/lic/CMakeFiles/qv_lic.dir/field2d.cpp.o" "gcc" "src/lic/CMakeFiles/qv_lic.dir/field2d.cpp.o.d"
+  "/root/repo/src/lic/lic.cpp" "src/lic/CMakeFiles/qv_lic.dir/lic.cpp.o" "gcc" "src/lic/CMakeFiles/qv_lic.dir/lic.cpp.o.d"
+  "/root/repo/src/lic/quadtree.cpp" "src/lic/CMakeFiles/qv_lic.dir/quadtree.cpp.o" "gcc" "src/lic/CMakeFiles/qv_lic.dir/quadtree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/CMakeFiles/qv_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qv_lic.dir/field2d.cpp.o"
+  "CMakeFiles/qv_lic.dir/field2d.cpp.o.d"
+  "CMakeFiles/qv_lic.dir/lic.cpp.o"
+  "CMakeFiles/qv_lic.dir/lic.cpp.o.d"
+  "CMakeFiles/qv_lic.dir/quadtree.cpp.o"
+  "CMakeFiles/qv_lic.dir/quadtree.cpp.o.d"
+  "libqv_lic.a"
+  "libqv_lic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qv_lic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/hex_mesh.cpp" "src/mesh/CMakeFiles/qv_mesh.dir/hex_mesh.cpp.o" "gcc" "src/mesh/CMakeFiles/qv_mesh.dir/hex_mesh.cpp.o.d"
+  "/root/repo/src/mesh/linear_octree.cpp" "src/mesh/CMakeFiles/qv_mesh.dir/linear_octree.cpp.o" "gcc" "src/mesh/CMakeFiles/qv_mesh.dir/linear_octree.cpp.o.d"
+  "/root/repo/src/mesh/octkey.cpp" "src/mesh/CMakeFiles/qv_mesh.dir/octkey.cpp.o" "gcc" "src/mesh/CMakeFiles/qv_mesh.dir/octkey.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/qv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qv_mesh.dir/hex_mesh.cpp.o"
+  "CMakeFiles/qv_mesh.dir/hex_mesh.cpp.o.d"
+  "CMakeFiles/qv_mesh.dir/linear_octree.cpp.o"
+  "CMakeFiles/qv_mesh.dir/linear_octree.cpp.o.d"
+  "CMakeFiles/qv_mesh.dir/octkey.cpp.o"
+  "CMakeFiles/qv_mesh.dir/octkey.cpp.o.d"
+  "libqv_mesh.a"
+  "libqv_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qv_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qv_octree.dir/blocks.cpp.o"
+  "CMakeFiles/qv_octree.dir/blocks.cpp.o.d"
+  "libqv_octree.a"
+  "libqv_octree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qv_octree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqv_octree.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qv_pipesim.dir/calibration.cpp.o"
+  "CMakeFiles/qv_pipesim.dir/calibration.cpp.o.d"
+  "CMakeFiles/qv_pipesim.dir/pipeline_model.cpp.o"
+  "CMakeFiles/qv_pipesim.dir/pipeline_model.cpp.o.d"
+  "libqv_pipesim.a"
+  "libqv_pipesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qv_pipesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

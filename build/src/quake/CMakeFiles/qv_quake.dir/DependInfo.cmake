@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quake/material.cpp" "src/quake/CMakeFiles/qv_quake.dir/material.cpp.o" "gcc" "src/quake/CMakeFiles/qv_quake.dir/material.cpp.o.d"
+  "/root/repo/src/quake/parallel_solver.cpp" "src/quake/CMakeFiles/qv_quake.dir/parallel_solver.cpp.o" "gcc" "src/quake/CMakeFiles/qv_quake.dir/parallel_solver.cpp.o.d"
+  "/root/repo/src/quake/solver.cpp" "src/quake/CMakeFiles/qv_quake.dir/solver.cpp.o" "gcc" "src/quake/CMakeFiles/qv_quake.dir/solver.cpp.o.d"
+  "/root/repo/src/quake/synthetic.cpp" "src/quake/CMakeFiles/qv_quake.dir/synthetic.cpp.o" "gcc" "src/quake/CMakeFiles/qv_quake.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/CMakeFiles/qv_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmpi/CMakeFiles/qv_vmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

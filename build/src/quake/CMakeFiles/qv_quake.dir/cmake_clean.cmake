@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qv_quake.dir/material.cpp.o"
+  "CMakeFiles/qv_quake.dir/material.cpp.o.d"
+  "CMakeFiles/qv_quake.dir/parallel_solver.cpp.o"
+  "CMakeFiles/qv_quake.dir/parallel_solver.cpp.o.d"
+  "CMakeFiles/qv_quake.dir/solver.cpp.o"
+  "CMakeFiles/qv_quake.dir/solver.cpp.o.d"
+  "CMakeFiles/qv_quake.dir/synthetic.cpp.o"
+  "CMakeFiles/qv_quake.dir/synthetic.cpp.o.d"
+  "libqv_quake.a"
+  "libqv_quake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qv_quake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

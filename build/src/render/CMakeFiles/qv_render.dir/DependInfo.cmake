@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/render/block_data.cpp" "src/render/CMakeFiles/qv_render.dir/block_data.cpp.o" "gcc" "src/render/CMakeFiles/qv_render.dir/block_data.cpp.o.d"
+  "/root/repo/src/render/camera.cpp" "src/render/CMakeFiles/qv_render.dir/camera.cpp.o" "gcc" "src/render/CMakeFiles/qv_render.dir/camera.cpp.o.d"
+  "/root/repo/src/render/lod.cpp" "src/render/CMakeFiles/qv_render.dir/lod.cpp.o" "gcc" "src/render/CMakeFiles/qv_render.dir/lod.cpp.o.d"
+  "/root/repo/src/render/order.cpp" "src/render/CMakeFiles/qv_render.dir/order.cpp.o" "gcc" "src/render/CMakeFiles/qv_render.dir/order.cpp.o.d"
+  "/root/repo/src/render/partial_image.cpp" "src/render/CMakeFiles/qv_render.dir/partial_image.cpp.o" "gcc" "src/render/CMakeFiles/qv_render.dir/partial_image.cpp.o.d"
+  "/root/repo/src/render/raycast.cpp" "src/render/CMakeFiles/qv_render.dir/raycast.cpp.o" "gcc" "src/render/CMakeFiles/qv_render.dir/raycast.cpp.o.d"
+  "/root/repo/src/render/transfer.cpp" "src/render/CMakeFiles/qv_render.dir/transfer.cpp.o" "gcc" "src/render/CMakeFiles/qv_render.dir/transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/img/CMakeFiles/qv_img.dir/DependInfo.cmake"
+  "/root/repo/build/src/octree/CMakeFiles/qv_octree.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/qv_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qv_render.dir/block_data.cpp.o"
+  "CMakeFiles/qv_render.dir/block_data.cpp.o.d"
+  "CMakeFiles/qv_render.dir/camera.cpp.o"
+  "CMakeFiles/qv_render.dir/camera.cpp.o.d"
+  "CMakeFiles/qv_render.dir/lod.cpp.o"
+  "CMakeFiles/qv_render.dir/lod.cpp.o.d"
+  "CMakeFiles/qv_render.dir/order.cpp.o"
+  "CMakeFiles/qv_render.dir/order.cpp.o.d"
+  "CMakeFiles/qv_render.dir/partial_image.cpp.o"
+  "CMakeFiles/qv_render.dir/partial_image.cpp.o.d"
+  "CMakeFiles/qv_render.dir/raycast.cpp.o"
+  "CMakeFiles/qv_render.dir/raycast.cpp.o.d"
+  "CMakeFiles/qv_render.dir/transfer.cpp.o"
+  "CMakeFiles/qv_render.dir/transfer.cpp.o.d"
+  "libqv_render.a"
+  "libqv_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qv_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qv_util.dir/rng.cpp.o"
+  "CMakeFiles/qv_util.dir/rng.cpp.o.d"
+  "CMakeFiles/qv_util.dir/stats.cpp.o"
+  "CMakeFiles/qv_util.dir/stats.cpp.o.d"
+  "CMakeFiles/qv_util.dir/vec.cpp.o"
+  "CMakeFiles/qv_util.dir/vec.cpp.o.d"
+  "libqv_util.a"
+  "libqv_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qv_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

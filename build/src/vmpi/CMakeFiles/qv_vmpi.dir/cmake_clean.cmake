@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qv_vmpi.dir/comm.cpp.o"
+  "CMakeFiles/qv_vmpi.dir/comm.cpp.o.d"
+  "CMakeFiles/qv_vmpi.dir/file.cpp.o"
+  "CMakeFiles/qv_vmpi.dir/file.cpp.o.d"
+  "libqv_vmpi.a"
+  "libqv_vmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qv_vmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

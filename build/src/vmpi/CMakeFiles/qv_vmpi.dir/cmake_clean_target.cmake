@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqv_vmpi.a"
+)

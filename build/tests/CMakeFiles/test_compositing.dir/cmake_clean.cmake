@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compositing.dir/compositing/test_algorithms.cpp.o"
+  "CMakeFiles/test_compositing.dir/compositing/test_algorithms.cpp.o.d"
+  "CMakeFiles/test_compositing.dir/compositing/test_common.cpp.o"
+  "CMakeFiles/test_compositing.dir/compositing/test_common.cpp.o.d"
+  "test_compositing"
+  "test_compositing.pdb"
+  "test_compositing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compositing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_img.dir/img/test_image.cpp.o"
+  "CMakeFiles/test_img.dir/img/test_image.cpp.o.d"
+  "CMakeFiles/test_img.dir/img/test_rle.cpp.o"
+  "CMakeFiles/test_img.dir/img/test_rle.cpp.o.d"
+  "test_img"
+  "test_img.pdb"
+  "test_img[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_img.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

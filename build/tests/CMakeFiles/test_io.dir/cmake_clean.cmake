@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io.dir/io/test_block_index.cpp.o"
+  "CMakeFiles/test_io.dir/io/test_block_index.cpp.o.d"
+  "CMakeFiles/test_io.dir/io/test_codec.cpp.o"
+  "CMakeFiles/test_io.dir/io/test_codec.cpp.o.d"
+  "CMakeFiles/test_io.dir/io/test_dataset.cpp.o"
+  "CMakeFiles/test_io.dir/io/test_dataset.cpp.o.d"
+  "CMakeFiles/test_io.dir/io/test_preprocess.cpp.o"
+  "CMakeFiles/test_io.dir/io/test_preprocess.cpp.o.d"
+  "test_io"
+  "test_io.pdb"
+  "test_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lic.dir/lic/test_advect.cpp.o"
+  "CMakeFiles/test_lic.dir/lic/test_advect.cpp.o.d"
+  "CMakeFiles/test_lic.dir/lic/test_field2d.cpp.o"
+  "CMakeFiles/test_lic.dir/lic/test_field2d.cpp.o.d"
+  "CMakeFiles/test_lic.dir/lic/test_lic.cpp.o"
+  "CMakeFiles/test_lic.dir/lic/test_lic.cpp.o.d"
+  "CMakeFiles/test_lic.dir/lic/test_quadtree.cpp.o"
+  "CMakeFiles/test_lic.dir/lic/test_quadtree.cpp.o.d"
+  "test_lic"
+  "test_lic.pdb"
+  "test_lic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quake.dir/quake/test_parallel_solver.cpp.o"
+  "CMakeFiles/test_quake.dir/quake/test_parallel_solver.cpp.o.d"
+  "CMakeFiles/test_quake.dir/quake/test_solver.cpp.o"
+  "CMakeFiles/test_quake.dir/quake/test_solver.cpp.o.d"
+  "CMakeFiles/test_quake.dir/quake/test_synthetic.cpp.o"
+  "CMakeFiles/test_quake.dir/quake/test_synthetic.cpp.o.d"
+  "test_quake"
+  "test_quake.pdb"
+  "test_quake[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_render.dir/render/test_camera.cpp.o"
+  "CMakeFiles/test_render.dir/render/test_camera.cpp.o.d"
+  "CMakeFiles/test_render.dir/render/test_lod.cpp.o"
+  "CMakeFiles/test_render.dir/render/test_lod.cpp.o.d"
+  "CMakeFiles/test_render.dir/render/test_order.cpp.o"
+  "CMakeFiles/test_render.dir/render/test_order.cpp.o.d"
+  "CMakeFiles/test_render.dir/render/test_raycast.cpp.o"
+  "CMakeFiles/test_render.dir/render/test_raycast.cpp.o.d"
+  "CMakeFiles/test_render.dir/render/test_transfer.cpp.o"
+  "CMakeFiles/test_render.dir/render/test_transfer.cpp.o.d"
+  "test_render"
+  "test_render.pdb"
+  "test_render[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/test_rng.cpp" "tests/CMakeFiles/test_util.dir/util/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_rng.cpp.o.d"
+  "/root/repo/tests/util/test_stats.cpp" "tests/CMakeFiles/test_util.dir/util/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_stats.cpp.o.d"
+  "/root/repo/tests/util/test_vec.cpp" "tests/CMakeFiles/test_util.dir/util/test_vec.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_vec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/qv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipesim/CMakeFiles/qv_pipesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/compositing/CMakeFiles/qv_compositing.dir/DependInfo.cmake"
+  "/root/repo/build/src/render/CMakeFiles/qv_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/lic/CMakeFiles/qv_lic.dir/DependInfo.cmake"
+  "/root/repo/build/src/quake/CMakeFiles/qv_quake.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/qv_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmpi/CMakeFiles/qv_vmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/octree/CMakeFiles/qv_octree.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/qv_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/img/CMakeFiles/qv_img.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

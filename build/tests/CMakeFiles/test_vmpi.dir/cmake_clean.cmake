@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vmpi.dir/vmpi/test_comm.cpp.o"
+  "CMakeFiles/test_vmpi.dir/vmpi/test_comm.cpp.o.d"
+  "CMakeFiles/test_vmpi.dir/vmpi/test_file.cpp.o"
+  "CMakeFiles/test_vmpi.dir/vmpi/test_file.cpp.o.d"
+  "test_vmpi"
+  "test_vmpi.pdb"
+  "test_vmpi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quakeviz.dir/quakeviz.cpp.o"
+  "CMakeFiles/quakeviz.dir/quakeviz.cpp.o.d"
+  "quakeviz"
+  "quakeviz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quakeviz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
