@@ -1,0 +1,125 @@
+// Degraded-mode cost on the REAL pipeline plus a pipesim sweep of a
+// collapsing parallel file system.
+//
+// Part 1 runs the actual vmpi pipeline under escalating fault plans
+// (clean -> transient read errors -> payload corruption -> a lost step
+// file) and reports the recovery counters and the interframe cost of each
+// recovery mechanism (retries, NACK resends, frame repeats).
+//
+// Part 2 uses the discrete-event model to sweep disk outage intensity: the
+// paper sizes m so fetches hide behind rendering on a HEALTHY Ts; outages
+// eat the slack, and past a point the animation stalls with the disk.
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <unistd.h>
+
+#include "core/pipeline.hpp"
+#include "io/dataset.hpp"
+#include "pipesim/pipeline_model.hpp"
+#include "quake/synthetic.hpp"
+
+using namespace qv;
+
+namespace {
+
+core::PipelineConfig base_config(const std::string& dir) {
+  core::PipelineConfig cfg;
+  cfg.dataset_dir = dir;
+  cfg.input_procs = 2;
+  cfg.render_procs = 2;
+  cfg.width = 128;
+  cfg.height = 128;
+  cfg.render.value_hi = 3.0f;
+  return cfg;
+}
+
+void real_pipeline_part(const std::string& dir) {
+  std::printf("Real pipeline under fault plans (2 inputs, 2 renderers)\n\n");
+  std::printf("%-26s %-14s %-8s %-9s %-8s %-10s\n", "plan", "interframe (s)",
+              "retries", "corrupt", "resends", "degraded");
+
+  struct Case {
+    const char* name;
+    std::shared_ptr<vmpi::FaultPlan> plan;
+  };
+  auto transient = std::make_shared<vmpi::FaultPlan>();
+  transient->read_error_rate = 0.25;  // every 4th pread attempt, on average
+  auto corrupting = std::make_shared<vmpi::FaultPlan>();
+  corrupting->corrupt_rate = 0.10;
+  auto lossy = std::make_shared<vmpi::FaultPlan>();
+  lossy->fail_path_substrings = {"step_0003.bin"};
+
+  for (const Case& c :
+       {Case{"clean", nullptr}, Case{"transient reads 25%", transient},
+        Case{"corrupt sends 10%", corrupting},
+        Case{"one step file lost", lossy}}) {
+    auto cfg = base_config(dir);
+    cfg.fault_plan = c.plan;
+    cfg.io_retry.base_delay = std::chrono::microseconds(100);
+    auto rep = core::run_pipeline(cfg);
+    std::printf("%-26s %-14.4f %-8llu %-9llu %-8llu %d/%d\n", c.name,
+                rep.avg_interframe,
+                static_cast<unsigned long long>(rep.retries),
+                static_cast<unsigned long long>(rep.corrupt_blocks_detected),
+                static_cast<unsigned long long>(rep.resend_requests),
+                rep.degraded_frames, rep.steps);
+  }
+}
+
+void pipesim_part() {
+  std::printf(
+      "\nModeled terascale run: 1DIP sized for a healthy disk, disk then\n"
+      "suffers blackouts (mean 4 s) at increasing frequency\n\n");
+  pipesim::PipelineParams p;
+  p.machine.step_bytes = 11.5e9;  // the paper's ~11.5 GB step
+  p.num_steps = 30;
+  p.render_seconds = 2.0;
+  auto sized = pipesim::plan(p.machine, p.render_seconds);
+  p.input_procs = sized.m_1dip;
+
+  std::printf("%-18s %-16s %-14s %-9s %-14s\n", "mean up-time (s)",
+              "interframe (s)", "total (s)", "outages", "degraded (s)");
+  auto clean = pipesim::simulate_1dip(p);
+  std::printf("%-18s %-16.3f %-14.1f %-9d %-14.1f\n", "no faults",
+              clean.avg_interframe, clean.total_seconds, 0, 0.0);
+  for (double up : {120.0, 60.0, 30.0, 15.0}) {
+    p.disk_fault.enabled = true;
+    p.disk_fault.seed = 99;
+    p.disk_fault.mean_up_seconds = up;
+    p.disk_fault.mean_down_seconds = 4.0;
+    p.disk_fault.degraded_factor = 0.0;
+    p.disk_fault.horizon_seconds = 0.0;  // auto
+    auto r = pipesim::simulate_1dip(p);
+    std::printf("%-18.0f %-16.3f %-14.1f %-9d %-14.1f\n", up,
+                r.avg_interframe, r.total_seconds, r.disk_outages,
+                r.disk_degraded_seconds);
+  }
+}
+
+}  // namespace
+
+int main() {
+  auto dir = (std::filesystem::temp_directory_path() /
+              ("qv_bench_degraded." + std::to_string(::getpid())))
+                 .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  const Box3 unit{{0, 0, 0}, {1, 1, 1}};
+  mesh::HexMesh fine(mesh::LinearOctree::uniform(unit, 4));
+  io::DatasetWriter writer(dir, fine, 3, 3, 0.25f);
+  quake::SyntheticQuake q;
+  const int steps = 6;
+  for (int s = 0; s < steps; ++s) {
+    writer.write_step(q.sample_nodes(fine, 0.5f + 0.3f * float(s)));
+  }
+  writer.finish();
+
+  real_pipeline_part(dir);
+  pipesim_part();
+
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -3,11 +3,14 @@
 // strategy, rendering options, and optional preprocessing stages.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "io/preprocess.hpp"
+#include "io/retry.hpp"
 #include "octree/blocks.hpp"
 #include "render/raycast.hpp"
+#include "vmpi/fault.hpp"
 
 namespace qv::core {
 
@@ -69,6 +72,18 @@ struct PipelineConfig {
 
   int num_steps = -1;          // -1: every step in the dataset
   std::string output_dir;      // when set, the output proc writes PPM frames
+
+  // --- robustness ---------------------------------------------------------
+  // Deterministic fault injection (tests/benches); null = no faults and
+  // byte-identical behavior to a build without the fault layer.
+  std::shared_ptr<const vmpi::FaultPlan> fault_plan;
+  // Per-pread retry policy applied to every dataset File the pipeline opens.
+  io::RetryPolicy io_retry;
+  // Renderer-side receive timeout (ms) for block/slice data. After retries
+  // and resends are exhausted — or an input rank died — the step is dropped
+  // and the previous step's data is reused (frame repeat). 0 = block forever
+  // (the seed behavior; required if input ranks are assumed immortal).
+  int recv_timeout_ms = 0;
 
   // Total world size the pipeline occupies.
   int total_input_procs() const {

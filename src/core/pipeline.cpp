@@ -1,6 +1,8 @@
 #include "core/pipeline.hpp"
 
+#include <chrono>
 #include <cstring>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -17,6 +19,7 @@
 #include "lic/lic.hpp"
 #include "render/order.hpp"
 #include "render/raycast.hpp"
+#include "util/crc32.hpp"
 #include "util/stats.hpp"
 #include "vmpi/comm.hpp"
 #include "vmpi/file.hpp"
@@ -27,10 +30,19 @@ namespace {
 
 // Per-step message tags: step * 8 + kind keeps the spaces disjoint.
 // (Epoch-indexed assignment messages reuse the same scheme with kind 3.)
+// Every per-step tag is ≡ 0..3 (mod 8), so the constant control tags 4 and
+// 5 can never collide with them.
 int tag_block(int step) { return step * 8 + 0; }
 int tag_frame(int step) { return step * 8 + 1; }
 int tag_lic(int step) { return step * 8 + 2; }
 int tag_assign(int epoch) { return epoch * 8 + 3; }
+constexpr int kTagNack = 4;  // renderer -> input: resend a corrupt payload
+constexpr int kTagDone = 5;  // renderer -> input: no more NACKs will come
+
+constexpr std::uint8_t kFlagStepSkipped = 1;  // fetch failed; reuse old data
+// Re-requests per renderer per step before giving up on fresh data. Bounds
+// the worst case (every resend corrupted again) instead of looping forever.
+constexpr int kMaxNacksPerStep = 4;
 
 struct BlockMsgHeader {
   std::int32_t step;
@@ -38,8 +50,10 @@ struct BlockMsgHeader {
   float lo, hi;          // quantization range
   std::uint32_t count;   // quantized value count
   std::uint32_t payload; // bytes that follow (== count when uncompressed)
+  std::uint32_t crc;     // CRC-32 of the payload bytes
   std::uint8_t compressed;
-  std::uint8_t pad[3];
+  std::uint8_t flags;    // kFlagStepSkipped
+  std::uint8_t pad[2];
 };
 
 struct SliceMsgHeader {
@@ -48,8 +62,30 @@ struct SliceMsgHeader {
   float lo, hi;
   std::uint32_t count;
   std::uint32_t payload;
+  std::uint32_t crc;
   std::uint8_t compressed;
+  std::uint8_t flags;
+  std::uint8_t pad[2];
+};
+
+// The fault layer never corrupts the first FaultPlan::corrupt_offset_min
+// (default 32) bytes of a message — the trusted-header model. Both data
+// headers must fit in that prefix so step/block routing and the CRC itself
+// survive, which is what lets a renderer address its NACK.
+static_assert(sizeof(BlockMsgHeader) == 32);
+static_assert(sizeof(SliceMsgHeader) == 32);
+
+// Render root -> output processor; the frame pixels follow.
+struct FrameMsgHeader {
+  std::int32_t step;
+  std::uint8_t degraded;  // some renderer showed stale data this step
   std::uint8_t pad[3];
+};
+
+// Renderer -> input (kTagNack): please resend.
+struct NackMsg {
+  std::int32_t step;
+  std::int32_t block;  // global block id, or -1 for a 2DIP slice message
 };
 
 // Append `values` to `msg` after its header, RLE-compressed when that wins
@@ -75,9 +111,66 @@ void pack_values(std::vector<std::uint8_t>& msg, std::size_t hdr_pos,
   std::memcpy(&hdr, msg.data() + hdr_pos, sizeof(hdr));
   hdr.payload = std::uint32_t(msg.size() - payload_pos);
   hdr.compressed = compressed ? 1 : 0;
+  hdr.crc = util::crc32({msg.data() + payload_pos, msg.size() - payload_pos});
   std::memcpy(msg.data() + hdr_pos, &hdr, sizeof(hdr));
   if (raw_bytes) *raw_bytes += values.size();
   if (sent_bytes) *sent_bytes += msg.size() - payload_pos;
+}
+
+// Does the payload match its framing checksum?
+template <typename Header>
+bool payload_ok(const Header& hdr, std::span<const std::uint8_t> msg) {
+  if (msg.size() != sizeof(Header) + hdr.payload) return false;
+  return util::crc32(msg.subspan(sizeof(Header))) == hdr.crc;
+}
+
+std::vector<std::uint8_t> make_block_msg(int step, std::size_t block, float lo,
+                                         float hi,
+                                         std::span<const std::uint8_t> values,
+                                         bool compress, std::uint64_t* raw,
+                                         std::uint64_t* sent) {
+  std::vector<std::uint8_t> msg(sizeof(BlockMsgHeader));
+  BlockMsgHeader hdr{step, std::int32_t(block),        lo, hi,
+                     std::uint32_t(values.size()), 0,  0,  0,
+                     0,    {}};
+  std::memcpy(msg.data(), &hdr, sizeof(hdr));
+  pack_values<BlockMsgHeader>(msg, 0, values, compress, raw, sent);
+  return msg;
+}
+
+std::vector<std::uint8_t> make_slice_msg(int step, int member, float lo,
+                                         float hi,
+                                         std::span<const std::uint8_t> values,
+                                         bool compress, std::uint64_t* raw,
+                                         std::uint64_t* sent) {
+  std::vector<std::uint8_t> msg(sizeof(SliceMsgHeader));
+  SliceMsgHeader hdr{step, member,                       lo, hi,
+                     std::uint32_t(values.size()), 0,   0,  0,
+                     0,    {}};
+  std::memcpy(msg.data(), &hdr, sizeof(hdr));
+  pack_values<SliceMsgHeader>(msg, 0, values, compress, raw, sent);
+  return msg;
+}
+
+// Header-only "this step's data is not coming" marker.
+std::vector<std::uint8_t> make_skip_block_msg(int step, std::int32_t block = -1) {
+  BlockMsgHeader hdr{};
+  hdr.step = step;
+  hdr.block = block;
+  hdr.flags = kFlagStepSkipped;
+  std::vector<std::uint8_t> msg(sizeof(hdr));
+  std::memcpy(msg.data(), &hdr, sizeof(hdr));
+  return msg;
+}
+
+std::vector<std::uint8_t> make_skip_slice_msg(int step, int member) {
+  SliceMsgHeader hdr{};
+  hdr.step = step;
+  hdr.member = member;
+  hdr.flags = kFlagStepSkipped;
+  std::vector<std::uint8_t> msg(sizeof(hdr));
+  std::memcpy(msg.data(), &hdr, sizeof(hdr));
+  return msg;
 }
 
 // Dequantize a header's payload into `dst` through `scatter(i, value)`.
@@ -102,14 +195,19 @@ void unpack_values(const Header& hdr, std::span<const std::uint8_t> msg,
 // Stats shared across the rank threads (joined before run_pipeline returns).
 struct Shared {
   const PipelineConfig& config;
-  std::vector<img::Image>* frames_out;
-  PipelineReport report;
-  std::mutex mu;
+  std::vector<img::Image>* frames_out = nullptr;
+  PipelineReport report{};
+  std::mutex mu{};
   double fetch = 0, preprocess = 0, send = 0;
   double render = 0, composite = 0;
   std::uint64_t composite_bytes = 0;
   std::uint64_t block_bytes_raw = 0, block_bytes_sent = 0;
   int input_steps = 0, render_steps = 0;
+  // Fault handling.
+  std::uint64_t retries = 0;         // inputs: per-pread transient retries
+  std::uint64_t corrupt_blocks = 0;  // renderers: CRC mismatches seen
+  std::uint64_t resends = 0;         // inputs: NACKs serviced
+  int dropped_steps = 0;             // render root: steps run on stale data
 };
 
 // Deterministic per-rank setup computed from the dataset alone — the
@@ -163,12 +261,20 @@ struct Setup {
 
 std::vector<float> read_level_at(vmpi::Comm& comm, const Setup& st,
                                  const std::string& path, std::uint64_t first,
-                                 std::uint64_t count_floats) {
+                                 std::uint64_t count_floats,
+                                 std::uint64_t* retries = nullptr) {
   vmpi::File f(comm, path);
+  f.set_retry_policy(st.cfg.io_retry);
   std::vector<float> data(count_floats);
-  f.read_at(st.level_offset() + first * sizeof(float),
-            {reinterpret_cast<std::uint8_t*>(data.data()),
-             count_floats * sizeof(float)});
+  try {
+    f.read_at(st.level_offset() + first * sizeof(float),
+              {reinterpret_cast<std::uint8_t*>(data.data()),
+               count_floats * sizeof(float)});
+  } catch (...) {
+    if (retries) *retries += f.stats().retries;
+    throw;
+  }
+  if (retries) *retries += f.stats().retries;
   return data;
 }
 
@@ -184,25 +290,15 @@ void send_blocks(vmpi::Comm& world, Shared& sh, const Setup& st, int step,
                  std::span<const int> owners) {
   const PipelineConfig& cfg = sh.config;
   const int I = cfg.total_input_procs();
-  std::vector<std::uint8_t> msg, values;
+  std::vector<std::uint8_t> values;
   std::uint64_t raw = 0, sent = 0;
   for (std::size_t b : block_ids) {
     auto nodes = st.index.block_nodes(b);
-    msg.resize(sizeof(BlockMsgHeader));
-    BlockMsgHeader hdr{step,
-                       std::int32_t(b),
-                       q.lo,
-                       q.hi,
-                       std::uint32_t(nodes.size()),
-                       0,
-                       0,
-                       {}};
-    std::memcpy(msg.data(), &hdr, sizeof(hdr));
     values.resize(nodes.size());
     for (std::size_t i = 0; i < nodes.size(); ++i) values[i] = q.values[nodes[i]];
-    pack_values<BlockMsgHeader>(msg, 0, values, cfg.compress_blocks, &raw,
-                                &sent);
-    world.isend(I + owners[b], tag_block(step), msg);
+    world.isend(I + owners[b], tag_block(step),
+                make_block_msg(step, b, q.lo, q.hi, values, cfg.compress_blocks,
+                               &raw, &sent));
   }
   std::lock_guard lk(sh.mu);
   sh.block_bytes_raw += raw;
@@ -242,11 +338,64 @@ void input_lic(vmpi::Comm& world, const PipelineConfig& cfg, const Setup& st,
                gray.size() * sizeof(float)});
 }
 
+// Control-plane listener of an input rank. Everything an input ever
+// receives funnels through here: epoch assignments, NACK resend requests,
+// and the end-of-run DONE markers from the renderers. Centralizing the
+// dispatch is what keeps NACK servicing deadlock-free: an input blocked
+// waiting for an assignment (or for the renderers to finish) keeps
+// servicing resend requests from renderers that may themselves be blocked
+// waiting on it.
+struct InputControl {
+  vmpi::Comm& world;
+  // Regenerate and resend the payload a renderer NACKed. block < 0 means
+  // "your slice message" (2DIP-independent). Must not throw: a failed
+  // regeneration is answered with a skip marker instead.
+  std::function<void(int step, int block, int requester)> service_nack;
+  std::map<int, std::vector<int>> assignments{};  // epoch -> owners
+  int done_count = 0;
+  std::uint64_t resends = 0;
+
+  void dispatch_one() {
+    std::vector<std::uint8_t> buf;
+    vmpi::Status st = world.recv(vmpi::kAnySource, vmpi::kAnyTag, buf);
+    if (st.tag == kTagNack) {
+      NackMsg nack;
+      if (buf.size() != sizeof(nack))
+        throw std::runtime_error("pipeline: malformed NACK message");
+      std::memcpy(&nack, buf.data(), sizeof(nack));
+      service_nack(nack.step, nack.block, st.source);
+      ++resends;
+    } else if (st.tag == kTagDone) {
+      ++done_count;
+    } else if (st.tag >= 0 && st.tag % 8 == 3) {
+      std::vector<int> owners(buf.size() / sizeof(int));
+      std::memcpy(owners.data(), buf.data(), owners.size() * sizeof(int));
+      assignments[st.tag / 8] = std::move(owners);
+    } else {
+      throw std::runtime_error("pipeline: unexpected input-rank message, tag=" +
+                               std::to_string(st.tag));
+    }
+  }
+
+  std::vector<int> await_assignment(int epoch) {
+    while (!assignments.count(epoch)) dispatch_one();
+    std::vector<int> owners = std::move(assignments[epoch]);
+    assignments.erase(epoch);
+    return owners;
+  }
+
+  // Stay on the control plane until every renderer has declared it is done;
+  // exiting earlier could strand a renderer waiting for a resend forever.
+  void drain_until_done(int render_procs) {
+    while (done_count < render_procs) dispatch_one();
+  }
+};
+
 void run_input_1dip(Shared& sh, const Setup& st, vmpi::Comm& world,
                     int input_index) {
   const PipelineConfig& cfg = sh.config;
   const int m = cfg.input_procs;
-  const int render_root = cfg.total_input_procs();  // world rank of renderer 0
+  const int I = cfg.total_input_procs();
   std::optional<lic::Quadtree> qt;
   std::vector<std::size_t> all_blocks(st.blocks.size());
   for (std::size_t b = 0; b < all_blocks.size(); ++b) all_blocks[b] = b;
@@ -256,30 +405,88 @@ void run_input_1dip(Shared& sh, const Setup& st, vmpi::Comm& world,
 
   double fetch = 0, preprocess = 0, send = 0;
   int steps = 0;
+  std::uint64_t retries = 0;
+  // Quantization range of every step this rank shipped: NACK regeneration
+  // must reuse it to be bit-identical when the range was auto-derived.
+  std::map<int, std::pair<float, float>> sent_range;
+
+  auto read_step = [&](int s, std::vector<float>& cur, std::vector<float>& prev,
+                       std::vector<float>& next) {
+    cur = read_level_at(world, st, st.reader.step_path(s), 0,
+                        st.level_floats(), &retries);
+    if (cfg.enhancement) {
+      if (s > 0)
+        prev = read_level_at(world, st, st.reader.step_path(s - 1), 0,
+                             st.level_floats(), &retries);
+      if (s + 1 < st.reader.meta().num_steps)
+        next = read_level_at(world, st, st.reader.step_path(s + 1), 0,
+                             st.level_floats(), &retries);
+    }
+  };
+
+  InputControl ctl{world, [&](int rs, int block, int requester) {
+                     auto range = sent_range.find(rs);
+                     if (block < 0 || range == sent_range.end()) {
+                       world.isend(requester, tag_block(rs),
+                                   make_skip_block_msg(rs));
+                       return;
+                     }
+                     try {
+                       std::vector<float> cur, prev, next;
+                       read_step(rs, cur, prev, next);
+                       auto scalar = make_scalar(cfg, st, cur, prev, next);
+                       auto q = io::quantize(scalar, range->second.first,
+                                             range->second.second);
+                       auto nodes = st.index.block_nodes(std::size_t(block));
+                       std::vector<std::uint8_t> values(nodes.size());
+                       for (std::size_t i = 0; i < nodes.size(); ++i)
+                         values[i] = q.values[nodes[i]];
+                       world.isend(requester, tag_block(rs),
+                                   make_block_msg(rs, std::size_t(block), q.lo,
+                                                  q.hi, values,
+                                                  cfg.compress_blocks, nullptr,
+                                                  nullptr));
+                     } catch (const vmpi::IoError&) {
+                       // The data is gone for good; the renderer falls back
+                       // to its stale copy.
+                       world.isend(requester, tag_block(rs),
+                                   make_skip_block_msg(rs));
+                     }
+                   }};
+
   for (int s = input_index; s < st.num_steps; s += m) {
+    world.fault_checkpoint(s);
     // Dynamic redistribution: pick up the assignment of this step's epoch
     // (the render group publishes one per epoch boundary).
     while (st.epoch_of(s) > cur_epoch) {
       ++cur_epoch;
-      owners = world.recv_vec<int>(render_root, tag_assign(cur_epoch));
+      owners = ctl.await_assignment(cur_epoch);
     }
 
     WallTimer t;
-    auto cur = read_level_at(world, st, st.reader.step_path(s), 0,
-                             st.level_floats());
-    std::vector<float> prev, next;
-    if (cfg.enhancement) {
-      if (s > 0)
-        prev = read_level_at(world, st, st.reader.step_path(s - 1), 0,
-                             st.level_floats());
-      if (s + 1 < st.reader.meta().num_steps)
-        next = read_level_at(world, st, st.reader.step_path(s + 1), 0,
-                             st.level_floats());
+    std::vector<float> cur, prev, next;
+    bool fetched = true;
+    try {
+      read_step(s, cur, prev, next);
+    } catch (const vmpi::IoError&) {
+      fetched = false;
     }
     fetch += t.seconds();
     t.reset();
+    if (!fetched) {
+      // Permanent fetch failure after retries: one skip marker to each
+      // renderer expecting data from me, so nobody blocks on data that will
+      // never come; they will repeat the previous step's frame.
+      std::vector<char> serves(std::size_t(cfg.render_procs), 0);
+      for (int owner : owners) serves[std::size_t(owner)] = 1;
+      for (int r = 0; r < cfg.render_procs; ++r)
+        if (serves[std::size_t(r)])
+          world.isend(I + r, tag_block(s), make_skip_block_msg(s));
+      continue;
+    }
     auto scalar = make_scalar(cfg, st, cur, prev, next);
     auto q = io::quantize(scalar, cfg.render.value_lo, cfg.render.value_hi);
+    sent_range[s] = {q.lo, q.hi};
     if (cfg.lic_overlay) input_lic(world, cfg, st, s, cur, qt);
     preprocess += t.seconds();
     t.reset();
@@ -287,11 +494,14 @@ void run_input_1dip(Shared& sh, const Setup& st, vmpi::Comm& world,
     send += t.seconds();
     ++steps;
   }
+  ctl.drain_until_done(cfg.render_procs);
   std::lock_guard lk(sh.mu);
   sh.fetch += fetch;
   sh.preprocess += preprocess;
   sh.send += send;
   sh.input_steps += steps;
+  sh.retries += retries;
+  sh.resends += ctl.resends;
 }
 
 // 2DIP group member. `group_comm` spans the m members of this group.
@@ -344,78 +554,183 @@ void run_input_2dip(Shared& sh, const Setup& st, vmpi::Comm& world,
     }
   }
 
-  for (int s = group; s < st.num_steps; s += n) {
-    WallTimer t;
-    std::vector<float> cur, prev, next;
-    if (collective) {
-      auto read_step = [&](int step_id) {
-        vmpi::File f(group_comm, st.reader.step_path(step_id));
-        f.set_view(view);
-        std::vector<float> data(my_nodes.size() * std::size_t(comps));
-        f.read_all({reinterpret_cast<std::uint8_t*>(data.data()),
-                    data.size() * sizeof(float)});
+  const int I = cfg.total_input_procs();
+  std::uint64_t retries = 0;
+  std::map<int, std::pair<float, float>> sent_range;
+
+  // Renderers this member ships data to (collective: the blocks whose owner
+  // maps onto me; independent: everyone).
+  std::vector<char> serves(std::size_t(cfg.render_procs), collective ? 0 : 1);
+  if (collective)
+    for (std::size_t b : my_blocks) serves[std::size_t(st.owners[b])] = 1;
+
+  auto read_slice = [&](int step_id, std::vector<float>& cur,
+                        std::vector<float>& prev, std::vector<float>& next) {
+    std::uint64_t first = std::uint64_t(slice_lo) * std::uint64_t(comps);
+    std::uint64_t count =
+        std::uint64_t(slice_hi - slice_lo) * std::uint64_t(comps);
+    cur = read_level_at(world, st, st.reader.step_path(step_id), first, count,
+                        &retries);
+    if (cfg.enhancement) {
+      if (step_id > 0)
+        prev = read_level_at(world, st, st.reader.step_path(step_id - 1),
+                             first, count, &retries);
+      if (step_id + 1 < st.reader.meta().num_steps)
+        next = read_level_at(world, st, st.reader.step_path(step_id + 1),
+                             first, count, &retries);
+    }
+  };
+
+  // NACK servicing. The resend path must never enter a collective read (the
+  // rest of the group is not listening), so the collective strategy
+  // regenerates a single block with independent per-node reads instead.
+  auto regen_block = [&](int rs, int block, int requester) {
+    auto range = sent_range.find(rs);
+    if (block < 0 || range == sent_range.end()) {
+      world.isend(requester, tag_block(rs), make_skip_block_msg(rs));
+      return;
+    }
+    try {
+      auto nodes = st.index.block_nodes(std::size_t(block));
+      auto read_nodes = [&](int step_id) {
+        vmpi::File f(world, st.reader.step_path(step_id));
+        f.set_retry_policy(cfg.io_retry);
+        std::vector<float> data(nodes.size() * std::size_t(comps));
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+          f.read_at(st.level_offset() + std::uint64_t(nodes[i]) *
+                                            std::uint64_t(comps) *
+                                            sizeof(float),
+                    {reinterpret_cast<std::uint8_t*>(data.data() +
+                                                     i * std::size_t(comps)),
+                     std::size_t(comps) * sizeof(float)});
+        }
+        retries += f.stats().retries;
         return data;
       };
-      cur = read_step(s);
+      auto cur = read_nodes(rs);
+      std::vector<float> prev, next;
       if (cfg.enhancement) {
-        if (s > 0) prev = read_step(s - 1);
-        if (s + 1 < st.reader.meta().num_steps) next = read_step(s + 1);
+        if (rs > 0) prev = read_nodes(rs - 1);
+        if (rs + 1 < st.reader.meta().num_steps) next = read_nodes(rs + 1);
       }
-    } else {
-      std::uint64_t first = std::uint64_t(slice_lo) * std::uint64_t(comps);
-      std::uint64_t count =
-          std::uint64_t(slice_hi - slice_lo) * std::uint64_t(comps);
-      cur = read_level_at(world, st, st.reader.step_path(s), first, count);
-      if (cfg.enhancement) {
-        if (s > 0)
-          prev = read_level_at(world, st, st.reader.step_path(s - 1), first,
-                               count);
-        if (s + 1 < st.reader.meta().num_steps)
-          next = read_level_at(world, st, st.reader.step_path(s + 1), first,
-                               count);
+      auto scalar = make_scalar(cfg, st, cur, prev, next);
+      auto q =
+          io::quantize(scalar, range->second.first, range->second.second);
+      world.isend(requester, tag_block(rs),
+                  make_block_msg(rs, std::size_t(block), q.lo, q.hi, q.values,
+                                 cfg.compress_blocks, nullptr, nullptr));
+    } catch (const vmpi::IoError&) {
+      world.isend(requester, tag_block(rs), make_skip_block_msg(rs));
+    }
+  };
+
+  auto regen_slice = [&](int rs, int /*block*/, int requester) {
+    auto range = sent_range.find(rs);
+    if (range == sent_range.end()) {
+      world.isend(requester, tag_block(rs), make_skip_slice_msg(rs, mi));
+      return;
+    }
+    try {
+      std::vector<float> cur, prev, next;
+      read_slice(rs, cur, prev, next);
+      auto scalar = make_scalar(cfg, st, cur, prev, next);
+      auto q =
+          io::quantize(scalar, range->second.first, range->second.second);
+      const auto& positions = fwd_slice_pos[std::size_t(requester - I)];
+      std::vector<std::uint8_t> values(positions.size());
+      for (std::size_t i = 0; i < positions.size(); ++i)
+        values[i] = q.values[positions[i]];
+      world.isend(requester, tag_block(rs),
+                  make_slice_msg(rs, mi, q.lo, q.hi, values,
+                                 cfg.compress_blocks, nullptr, nullptr));
+    } catch (const vmpi::IoError&) {
+      world.isend(requester, tag_block(rs), make_skip_slice_msg(rs, mi));
+    }
+  };
+
+  InputControl ctl{world, collective
+                              ? std::function<void(int, int, int)>(regen_block)
+                              : std::function<void(int, int, int)>(regen_slice)};
+
+  for (int s = group; s < st.num_steps; s += n) {
+    world.fault_checkpoint(s);
+    WallTimer t;
+    std::vector<float> cur, prev, next;
+    bool fetched = true;
+    try {
+      if (collective) {
+        auto read_step = [&](int step_id) {
+          vmpi::File f(group_comm, st.reader.step_path(step_id));
+          f.set_retry_policy(cfg.io_retry);
+          f.set_view(view);
+          std::vector<float> data(my_nodes.size() * std::size_t(comps));
+          try {
+            f.read_all({reinterpret_cast<std::uint8_t*>(data.data()),
+                        data.size() * sizeof(float)});
+          } catch (...) {
+            retries += f.stats().retries;
+            throw;
+          }
+          retries += f.stats().retries;
+          return data;
+        };
+        cur = read_step(s);
+        if (cfg.enhancement) {
+          if (s > 0) prev = read_step(s - 1);
+          if (s + 1 < st.reader.meta().num_steps) next = read_step(s + 1);
+        }
+      } else {
+        read_slice(s, cur, prev, next);
       }
+    } catch (const vmpi::IoError&) {
+      // Permanent failure. Under the collective strategy read_all aborts on
+      // every group member together, so each member reaches this branch and
+      // each renderer receives exactly one skip marker.
+      fetched = false;
     }
     fetch += t.seconds();
     t.reset();
+    if (!fetched) {
+      for (int r = 0; r < cfg.render_procs; ++r) {
+        if (!serves[std::size_t(r)]) continue;
+        world.isend(I + r, tag_block(s),
+                    collective ? make_skip_block_msg(s)
+                               : make_skip_slice_msg(s, mi));
+      }
+      continue;
+    }
     auto scalar = make_scalar(cfg, st, cur, prev, next);
     auto q = io::quantize(scalar, cfg.render.value_lo, cfg.render.value_hi);
+    sent_range[s] = {q.lo, q.hi};
     preprocess += t.seconds();
     t.reset();
 
     std::uint64_t raw = 0, sent_bytes = 0;
     if (collective) {
       // Per-block messages, values indexed through the merged node list.
-      std::vector<std::uint8_t> msg, values;
+      std::vector<std::uint8_t> values;
       for (std::size_t b : my_blocks) {
         auto nodes = st.index.block_nodes(b);
-        msg.resize(sizeof(BlockMsgHeader));
-        BlockMsgHeader hdr{s,  std::int32_t(b), q.lo, q.hi,
-                           std::uint32_t(nodes.size()), 0, 0, {}};
-        std::memcpy(msg.data(), &hdr, sizeof(hdr));
         values.resize(nodes.size());
         for (std::size_t i = 0; i < nodes.size(); ++i) {
           values[i] = q.values[node_pos.at(nodes[i])];
         }
-        pack_values<BlockMsgHeader>(msg, 0, values, cfg.compress_blocks, &raw,
-                                    &sent_bytes);
-        world.isend(cfg.total_input_procs() + st.owners[b], tag_block(s), msg);
+        world.isend(I + st.owners[b], tag_block(s),
+                    make_block_msg(s, b, q.lo, q.hi, values,
+                                   cfg.compress_blocks, &raw, &sent_bytes));
       }
     } else {
       // One slice message per render proc, values in forward-map order.
-      std::vector<std::uint8_t> msg, values;
+      std::vector<std::uint8_t> values;
       for (int r = 0; r < cfg.render_procs; ++r) {
         const auto& positions = fwd_slice_pos[std::size_t(r)];
-        msg.resize(sizeof(SliceMsgHeader));
-        SliceMsgHeader hdr{s,  mi, q.lo, q.hi,
-                           std::uint32_t(positions.size()), 0, 0, {}};
-        std::memcpy(msg.data(), &hdr, sizeof(hdr));
         values.resize(positions.size());
         for (std::size_t i = 0; i < positions.size(); ++i) {
           values[i] = q.values[positions[i]];
         }
-        pack_values<SliceMsgHeader>(msg, 0, values, cfg.compress_blocks, &raw,
-                                    &sent_bytes);
-        world.isend(cfg.total_input_procs() + r, tag_block(s), msg);
+        world.isend(I + r, tag_block(s),
+                    make_slice_msg(s, mi, q.lo, q.hi, values,
+                                   cfg.compress_blocks, &raw, &sent_bytes));
       }
     }
     {
@@ -426,11 +741,14 @@ void run_input_2dip(Shared& sh, const Setup& st, vmpi::Comm& world,
     send += t.seconds();
     ++steps;
   }
+  ctl.drain_until_done(cfg.render_procs);
   std::lock_guard lk(sh.mu);
   sh.fetch += fetch;
   sh.preprocess += preprocess;
   sh.send += send;
   sh.input_steps += steps;
+  sh.retries += retries;
+  sh.resends += ctl.resends;
 }
 
 // ---------------------------------------------------------------------------
@@ -516,41 +834,118 @@ void run_render(Shared& sh, const Setup& st, vmpi::Comm& world,
 
   double render_time = 0, composite_time = 0;
   std::uint64_t composite_bytes = 0;
+  std::uint64_t corrupt = 0;
+  int dropped = 0;  // render root only: steps the group agreed were degraded
+  const auto timeout = std::chrono::milliseconds(
+      cfg.recv_timeout_ms > 0 ? cfg.recv_timeout_ms : 0);
   // Measured per-block costs of the current epoch (dynamic redistribution).
   std::map<int, double> epoch_costs;
 
   for (int s = 0; s < st.num_steps; ++s) {
     // --- receive this step's data (later steps keep arriving in the
     //     background into the mailbox — that's the §4 overlap) -------------
+    // A message can be a skip marker ("this step's data is not coming"), a
+    // timeout can fire (a dead input), and a payload can fail its CRC (then
+    // NACK the sender for a bit-identical regeneration). Whatever cannot be
+    // recovered leaves the previous step's values in place — frame repeat —
+    // and marks the step degraded.
+    bool degraded = false;
+    int nacks_left = kMaxNacksPerStep;
+    auto recv_step_msg = [&](std::vector<std::uint8_t>& msg,
+                             vmpi::Status& rst) {
+      if (cfg.recv_timeout_ms > 0)
+        return world.recv_timeout(vmpi::kAnySource, tag_block(s), msg, timeout,
+                                  &rst);
+      rst = world.recv(vmpi::kAnySource, tag_block(s), msg);
+      return true;
+    };
     if (independent) {
-      std::vector<std::uint8_t> scratch;
-      for (int k = 0; k < m; ++k) {
-        std::vector<std::uint8_t> msg;
-        world.recv(vmpi::kAnySource, tag_block(s), msg);
+      std::vector<std::uint8_t> scratch, msg;
+      int remaining = m;
+      while (remaining > 0) {
+        vmpi::Status rst;
+        if (!recv_step_msg(msg, rst)) {
+          degraded = true;  // a member died; render what we have
+          break;
+        }
         SliceMsgHeader hdr;
+        if (msg.size() < sizeof(hdr))
+          throw std::runtime_error("pipeline: truncated slice message");
         std::memcpy(&hdr, msg.data(), sizeof(hdr));
+        if (hdr.flags & kFlagStepSkipped) {
+          // Only this member's share is stale; the others still count.
+          degraded = true;
+          --remaining;
+          continue;
+        }
+        if (!payload_ok(hdr, msg)) {
+          ++corrupt;
+          if (nacks_left-- > 0) {
+            NackMsg nack{s, -1};
+            world.isend(rst.source, kTagNack,
+                        {reinterpret_cast<const std::uint8_t*>(&nack),
+                         sizeof(nack)});
+          } else {
+            degraded = true;
+            --remaining;
+          }
+          continue;
+        }
         const auto& scatter = member_scatter[std::size_t(hdr.member)];
         if (scatter.size() != hdr.count)
           throw std::runtime_error("pipeline: slice message size mismatch");
         unpack_values(hdr, msg, scratch, [&](std::size_t i, float v) {
           assign.block_values[scatter[i].local_block][scatter[i].pos] = v;
         });
+        --remaining;
       }
     } else {
-      std::vector<std::uint8_t> scratch;
-      for (std::size_t k = 0; k < assign.owned.size(); ++k) {
-        std::vector<std::uint8_t> msg;
-        world.recv(vmpi::kAnySource, tag_block(s), msg);
+      std::vector<std::uint8_t> scratch, msg;
+      std::size_t remaining = assign.owned.size();
+      while (remaining > 0) {
+        vmpi::Status rst;
+        if (!recv_step_msg(msg, rst)) {
+          degraded = true;
+          break;
+        }
         BlockMsgHeader hdr;
+        if (msg.size() < sizeof(hdr))
+          throw std::runtime_error("pipeline: truncated block message");
         std::memcpy(&hdr, msg.data(), sizeof(hdr));
+        if (hdr.flags & kFlagStepSkipped) {
+          // All my blocks for this step come from the one sender that just
+          // gave up, so nothing further is in flight.
+          degraded = true;
+          break;
+        }
+        if (!payload_ok(hdr, msg)) {
+          ++corrupt;
+          if (nacks_left-- > 0) {
+            NackMsg nack{s, hdr.block};
+            world.isend(rst.source, kTagNack,
+                        {reinterpret_cast<const std::uint8_t*>(&nack),
+                         sizeof(nack)});
+          } else {
+            degraded = true;
+            --remaining;  // give up on this block; keep its stale values
+          }
+          continue;
+        }
         std::size_t li = assign.local_of.at(hdr.block);
         if (assign.block_values[li].size() != hdr.count)
           throw std::runtime_error("pipeline: block message size mismatch");
         auto& dst = assign.block_values[li];
         unpack_values(hdr, msg, scratch,
                       [&](std::size_t i, float v) { dst[i] = v; });
+        --remaining;
       }
     }
+
+    // The whole group must agree on the degraded flag — the output
+    // processor needs one consistent answer per frame.
+    const bool step_degraded =
+        render_comm.allreduce_max(degraded ? 1.0 : 0.0) > 0.0;
+    if (rr == 0 && step_degraded) ++dropped;
 
     // --- local rendering ----------------------------------------------------
     if (orbiting && s > 0) {
@@ -585,9 +980,11 @@ void run_render(Shared& sh, const Setup& st, vmpi::Comm& world,
     // --- image delivery ----------------------------------------------------
     if (rr == 0) {
       auto px = comp.image.pixels();
-      world.isend(out_rank, tag_frame(s),
-                  {reinterpret_cast<const std::uint8_t*>(px.data()),
-                   px.size_bytes()});
+      FrameMsgHeader fh{s, std::uint8_t(step_degraded ? 1 : 0), {}};
+      std::vector<std::uint8_t> fmsg(sizeof(fh) + px.size_bytes());
+      std::memcpy(fmsg.data(), &fh, sizeof(fh));
+      std::memcpy(fmsg.data() + sizeof(fh), px.data(), px.size_bytes());
+      world.isend(out_rank, tag_frame(s), fmsg);
     }
 
     // --- fine-grain dynamic load redistribution (§7) -----------------------
@@ -622,11 +1019,18 @@ void run_render(Shared& sh, const Setup& st, vmpi::Comm& world,
           old_load[std::size_t(assign.owners[b])] += costed[b].workload;
           new_load[std::size_t(new_owners[b])] += costed[b].workload;
         }
+        double old_imb = load_imbalance(old_load);
+        double new_imb = load_imbalance(new_load);
+        // Measured costs are noisy; adopting a plan that scores worse than
+        // the assignment already running would oscillate. Keep the old one.
+        if (new_imb > old_imb) {
+          new_owners = assign.owners;
+          new_imb = old_imb;
+        }
         {
           std::lock_guard lk(sh.mu);
-          sh.report.epoch_imbalance.push_back(load_imbalance(old_load));
-          sh.report.epoch_imbalance_replanned.push_back(
-              load_imbalance(new_load));
+          sh.report.epoch_imbalance.push_back(old_imb);
+          sh.report.epoch_imbalance_replanned.push_back(new_imb);
         }
         // Publish to the other renderers and to every input processor.
         std::vector<std::uint8_t> wire(new_owners.size() * sizeof(int));
@@ -647,11 +1051,16 @@ void run_render(Shared& sh, const Setup& st, vmpi::Comm& world,
       epoch_costs.clear();
     }
   }
+  // Release the inputs' control loops: this renderer will NACK no more.
+  for (int ip = 0; ip < cfg.total_input_procs(); ++ip)
+    world.isend(ip, kTagDone, {});
   std::lock_guard lk(sh.mu);
   sh.render += render_time;
   sh.composite += composite_time;
   sh.composite_bytes += composite_bytes;
   sh.render_steps += st.num_steps;
+  sh.corrupt_blocks += corrupt;
+  sh.dropped_steps += dropped;
 }
 
 // ---------------------------------------------------------------------------
@@ -662,24 +1071,37 @@ void run_output(Shared& sh, const Setup& st, vmpi::Comm& world) {
   const PipelineConfig& cfg = sh.config;
   WallTimer clock;
   std::vector<double> frame_seconds;
+  std::vector<int> degraded_steps;
+  std::vector<float> last_gray;  // LIC texture frame-repeat buffer
   for (int s = 0; s < st.num_steps; ++s) {
     std::vector<std::uint8_t> msg;
     world.recv(vmpi::kAnySource, tag_frame(s), msg);
     img::Image frame(cfg.width, cfg.height);
-    if (msg.size() != frame.pixels().size_bytes())
+    FrameMsgHeader fh;
+    if (msg.size() != sizeof(fh) + frame.pixels().size_bytes())
       throw std::runtime_error("pipeline: frame size mismatch");
-    std::memcpy(frame.pixels().data(), msg.data(), msg.size());
+    std::memcpy(&fh, msg.data(), sizeof(fh));
+    std::memcpy(frame.pixels().data(), msg.data() + sizeof(fh),
+                msg.size() - sizeof(fh));
+    const bool degraded = fh.degraded != 0;
+    if (degraded) degraded_steps.push_back(s);
 
     if (cfg.lic_overlay) {
-      std::vector<std::uint8_t> lmsg;
-      world.recv(vmpi::kAnySource, tag_lic(s), lmsg);
-      std::vector<float> gray(lmsg.size() / sizeof(float));
-      std::memcpy(gray.data(), lmsg.data(), lmsg.size());
-      img::Image ground = render_ground_overlay(
-          st.camera(s), st.mesh->domain(), gray, cfg.lic_resolution,
-          cfg.lic_resolution);
-      ground.composite_over(frame);  // volume image in front of LIC plane
-      frame = std::move(ground);
+      // A degraded step's input may never have produced a LIC texture —
+      // repeat the previous one, the same policy as the volume data.
+      if (!degraded) {
+        std::vector<std::uint8_t> lmsg;
+        world.recv(vmpi::kAnySource, tag_lic(s), lmsg);
+        last_gray.resize(lmsg.size() / sizeof(float));
+        std::memcpy(last_gray.data(), lmsg.data(), lmsg.size());
+      }
+      if (!last_gray.empty()) {
+        img::Image ground = render_ground_overlay(
+            st.camera(s), st.mesh->domain(), last_gray, cfg.lic_resolution,
+            cfg.lic_resolution);
+        ground.composite_over(frame);  // volume image in front of LIC plane
+        frame = std::move(ground);
+      }
     }
     frame_seconds.push_back(clock.seconds());
 
@@ -693,6 +1115,8 @@ void run_output(Shared& sh, const Setup& st, vmpi::Comm& world) {
   }
   std::lock_guard lk(sh.mu);
   sh.report.frame_seconds = std::move(frame_seconds);
+  sh.report.degraded_frames = int(degraded_steps.size());
+  sh.report.degraded_steps = std::move(degraded_steps);
 }
 
 }  // namespace
@@ -708,8 +1132,25 @@ PipelineReport run_pipeline(const PipelineConfig& config,
         "pipeline: dynamic load redistribution requires the 1DIP strategy");
   if (config.render_procs < 1 || config.input_procs < 1 || config.groups < 1)
     throw std::runtime_error("pipeline: bad processor counts");
+  if (config.fault_plan && config.fault_plan->kill_rank >= 0) {
+    // A rank death is only survivable when the victim's peers never enter a
+    // collective with it — exactly the 1DIP input side (mirroring what a
+    // real MPI job could tolerate with a fault-aware transport).
+    if (config.strategy != IoStrategy::kOneDip)
+      throw std::runtime_error(
+          "pipeline: rank-kill faults are survivable only under 1DIP (a 2DIP "
+          "group would deadlock in its collective read)");
+    if (config.fault_plan->kill_rank >= config.total_input_procs())
+      throw std::runtime_error(
+          "pipeline: only input ranks can be killed; renderers and the "
+          "output processor join collectives every step");
+    if (config.recv_timeout_ms <= 0)
+      throw std::runtime_error(
+          "pipeline: a kill fault requires recv_timeout_ms > 0 — a dead "
+          "input is only detectable by the absence of its traffic");
+  }
 
-  Shared sh{config, frames_out, {}, {}, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+  Shared sh{config, frames_out};
 
   vmpi::Runtime::run(config.world_size(), [&sh, &config](vmpi::Comm& world) {
     Setup st(config);
@@ -741,7 +1182,7 @@ PipelineReport run_pipeline(const PipelineConfig& config,
         run_output(sh, st, world);
         break;
     }
-  });
+  }, config.fault_plan);
 
   PipelineReport& rep = sh.report;
   rep.steps = sh.render_steps > 0 ? sh.render_steps / config.render_procs : 0;
@@ -755,6 +1196,10 @@ PipelineReport run_pipeline(const PipelineConfig& config,
   rep.composite_bytes = sh.composite_bytes;
   rep.block_bytes_raw = sh.block_bytes_raw;
   rep.block_bytes_sent = sh.block_bytes_sent;
+  rep.retries = sh.retries;
+  rep.corrupt_blocks_detected = sh.corrupt_blocks;
+  rep.resend_requests = sh.resends;
+  rep.dropped_steps = sh.dropped_steps;
   if (rep.frame_seconds.size() >= 2) {
     std::size_t first = std::max<std::size_t>(rep.frame_seconds.size() / 2, 1);
     double sum = 0;

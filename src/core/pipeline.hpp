@@ -52,6 +52,15 @@ struct PipelineReport {
   std::vector<double> epoch_imbalance;
   std::vector<double> epoch_imbalance_replanned;
 
+  // Fault handling (all zero when config.fault_plan is null and no faults
+  // occur naturally):
+  std::uint64_t retries = 0;                 // transient-read retries (inputs)
+  std::uint64_t corrupt_blocks_detected = 0; // CRC mismatches (renderers)
+  std::uint64_t resend_requests = 0;         // NACKs serviced by inputs
+  int dropped_steps = 0;                     // steps abandoned after recovery
+  int degraded_frames = 0;                   // frames showing reused data
+  std::vector<int> degraded_steps;           // which steps, ascending
+
   int steps = 0;
 };
 

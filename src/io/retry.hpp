@@ -1,0 +1,47 @@
+// Retry-with-exponential-backoff for transient I/O failures.
+//
+// The policy is deliberately tiny and header-only: vmpi::File applies it at
+// the pread level (so retries stay *inside* collective reads and never
+// desynchronize a group), and application code can wrap whole operations
+// with with_retries(). A transient failure is anything that throws
+// vmpi::TransientIoError; other exceptions propagate immediately.
+#pragma once
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "vmpi/fault.hpp"
+
+namespace qv::io {
+
+struct RetryPolicy {
+  int max_attempts = 4;  // total tries, including the first
+  std::chrono::microseconds base_delay{200};
+  double multiplier = 2.0;
+
+  // Backoff before retry number `retry` (0-based): base * multiplier^retry.
+  std::chrono::microseconds delay_for(int retry) const {
+    double us = double(base_delay.count()) * std::pow(multiplier, double(retry));
+    return std::chrono::microseconds(static_cast<long long>(us));
+  }
+};
+
+// Invoke fn(), retrying on vmpi::TransientIoError per the policy. Each retry
+// performed increments *retries (when non-null). When attempts are
+// exhausted, the last TransientIoError is rethrown.
+template <typename Fn>
+auto with_retries(const RetryPolicy& policy, Fn&& fn,
+                  std::uint64_t* retries = nullptr) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return fn();
+    } catch (const vmpi::TransientIoError&) {
+      if (attempt + 1 >= policy.max_attempts) throw;
+      if (retries) ++*retries;
+      std::this_thread::sleep_for(policy.delay_for(attempt));
+    }
+  }
+}
+
+}  // namespace qv::io

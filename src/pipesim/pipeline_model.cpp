@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <optional>
 
 #include "sim/engine.hpp"
+#include "sim/fault.hpp"
 
 namespace qv::pipesim {
 
@@ -23,12 +25,33 @@ struct Ctx {
   PipelineParams params;
   std::vector<double> frame_times;
   double render_busy = 0.0;
+  std::optional<sim::FaultyBandwidth> disk_fault;
 
   explicit Ctx(const PipelineParams& p)
       : disk(engine, p.machine.disk_total_bw, p.machine.disk_stream_bw),
         ingest(engine, 1),
         arrivals(engine),
-        params(p) {}
+        params(p) {
+    if (p.disk_fault.active()) {
+      auto cfg = p.disk_fault;
+      if (cfg.horizon_seconds <= 0.0) {
+        // Serial-execution upper bound: even with zero overlap the run ends
+        // before this, so every outage that can matter is pre-scheduled.
+        const auto& mc = p.machine;
+        double per_step = mc.fetch_seconds(mc.step_bytes) +
+                          mc.preprocess_seconds(mc.step_bytes) +
+                          mc.send_seconds(mc.step_bytes) + p.render_seconds +
+                          mc.composite_seconds + p.extra_input_seconds;
+        double down_frac = cfg.mean_down_seconds /
+                           (cfg.mean_up_seconds + cfg.mean_down_seconds);
+        double avail =
+            1.0 - down_frac * (1.0 - std::max(0.0, cfg.degraded_factor));
+        cfg.horizon_seconds =
+            per_step * p.num_steps / std::max(avail, 0.1) + 60.0;
+      }
+      disk_fault.emplace(engine, disk, cfg);
+    }
+  }
 
   double fetch_bytes() const {
     return params.machine.step_bytes * params.fetch_fraction;
@@ -125,7 +148,17 @@ sim::Process naive_loop(Ctx& ctx) {
 PipelineResult finish(Ctx& ctx) {
   PipelineResult r;
   r.frame_times = std::move(ctx.frame_times);
-  r.total_seconds = ctx.engine.now();
+  // The last frame, not engine.now(): pre-scheduled fault events past the
+  // end of the animation still drain from the queue and advance the clock.
+  r.total_seconds =
+      r.frame_times.empty() ? ctx.engine.now() : r.frame_times.back();
+  if (ctx.disk_fault) {
+    for (const auto& [begin, end] : ctx.disk_fault->outages()) {
+      if (begin >= r.total_seconds) break;
+      r.disk_degraded_seconds += std::min(end, r.total_seconds) - begin;
+      ++r.disk_outages;
+    }
+  }
   if (r.frame_times.size() >= 2) {
     // Steady state: second half of the animation.
     std::size_t first = r.frame_times.size() / 2;

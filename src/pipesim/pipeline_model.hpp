@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "pipesim/machine.hpp"
+#include "sim/fault.hpp"
 
 namespace qv::pipesim {
 
@@ -30,6 +31,11 @@ struct PipelineParams {
                                          // (e.g. LIC synthesis), before the
                                          // 1/m split in 2DIP
   double fetch_fraction = 1.0;           // adaptive fetching reduction
+  // Optional parallel-file-system degradation: the disk bandwidth collapses
+  // during seeded stochastic outage windows (sim/fault.hpp). Off unless
+  // disk_fault.enabled; horizon_seconds == 0 is sized automatically from a
+  // serial-execution bound.
+  sim::BandwidthFaultConfig disk_fault;
 };
 
 struct PipelineResult {
@@ -37,6 +43,8 @@ struct PipelineResult {
   double avg_interframe = 0.0;      // steady-state (2nd half) mean delay
   double total_seconds = 0.0;
   double render_busy_fraction = 0.0;  // renderer utilization
+  double disk_degraded_seconds = 0.0; // outage time overlapping the run
+  int disk_outages = 0;               // outage windows that began before the end
 
   // Interframe delay between frames i-1 and i.
   double interframe(std::size_t i) const {

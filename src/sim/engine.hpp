@@ -156,6 +156,17 @@ class SharedBandwidth {
   Awaiter transfer(double bytes) { return {*this, bytes}; }
 
   std::size_t active_count() const { return active_.size(); }
+  double total_rate() const { return total_; }
+
+  // Change the aggregate rate mid-simulation (a degrading parallel file
+  // system, a throttled link). In-flight transfers are settled at the old
+  // rate up to now, then progress at the new rate. A rate of 0 freezes
+  // every active transfer until the rate is raised again.
+  void set_total_rate(double rate) {
+    settle();
+    total_ = rate;
+    reschedule();
+  }
 
  private:
   struct Xfer {
@@ -188,6 +199,9 @@ class SharedBandwidth {
     ++generation_;
     if (active_.empty()) return;
     double rate = rate_per_stream();
+    // Blackout: no progress, so no completion timer. Transfers stay parked
+    // until set_total_rate restores a positive rate and reschedules.
+    if (rate <= 0.0) return;
     double min_t = 1e300;
     for (const auto& x : active_)
       min_t = std::min(min_t, std::max(x.remaining, 0.0) / rate);

@@ -1,0 +1,82 @@
+// Stochastic bandwidth degradation for the discrete-event engine.
+//
+// FaultyBandwidth wraps a SharedBandwidth and drives its aggregate rate
+// through alternating healthy / degraded windows (exponentially distributed
+// durations, seeded RNG — every run of the same config reproduces the same
+// outage trace). degraded_factor scales the rate during an outage; 0 models
+// a full blackout, during which in-flight transfers freeze.
+//
+// This is the pipesim-side analogue of the vmpi FaultPlan: it lets the
+// analytic 1DIP/2DIP sizing of §5 be stress-tested against a parallel file
+// system that collapses under load instead of the paper's ideal one.
+#pragma once
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace qv::sim {
+
+struct BandwidthFaultConfig {
+  bool enabled = false;
+  std::uint64_t seed = 1;
+  double mean_up_seconds = 10.0;    // mean healthy-window duration
+  double mean_down_seconds = 1.0;   // mean degraded-window duration
+  double degraded_factor = 0.0;     // rate multiplier while degraded (0 = blackout)
+  // Windows are pre-scheduled up to this horizon; past it the bandwidth
+  // stays healthy. Pick it comfortably past the expected makespan
+  // (pipesim sizes it automatically when left at 0).
+  double horizon_seconds = 0.0;
+
+  bool active() const {
+    return enabled && degraded_factor < 1.0 && mean_down_seconds > 0.0;
+  }
+};
+
+class FaultyBandwidth {
+ public:
+  FaultyBandwidth(Engine& engine, SharedBandwidth& inner,
+                  BandwidthFaultConfig cfg)
+      : inner_(inner), cfg_(cfg) {
+    if (!cfg_.active() || cfg_.horizon_seconds <= 0.0) return;
+    const double healthy = inner_.total_rate();
+    const double degraded = healthy * cfg_.degraded_factor;
+    Rng rng(cfg_.seed);
+    auto exp_draw = [&rng](double mean) {
+      // Inverse-CDF; next_double() < 1 so the log argument stays positive.
+      return -mean * std::log(1.0 - rng.next_double());
+    };
+    double t = 0.0;
+    while (true) {
+      t += exp_draw(cfg_.mean_up_seconds);
+      if (t >= cfg_.horizon_seconds) break;
+      double down = exp_draw(cfg_.mean_down_seconds);
+      outages_.push_back({t, t + down});
+      degraded_seconds_ += down;
+      engine.schedule(t, [this, degraded] { inner_.set_total_rate(degraded); });
+      engine.schedule(t + down,
+                      [this, healthy] { inner_.set_total_rate(healthy); });
+      t += down;
+    }
+  }
+
+  // Pass-through: transfers contend on the (modulated) inner bandwidth.
+  SharedBandwidth::Awaiter transfer(double bytes) {
+    return inner_.transfer(bytes);
+  }
+
+  // The precomputed outage trace [begin, end), in virtual seconds.
+  const std::vector<std::pair<Time, Time>>& outages() const { return outages_; }
+  double degraded_seconds() const { return degraded_seconds_; }
+
+ private:
+  SharedBandwidth& inner_;
+  BandwidthFaultConfig cfg_;
+  std::vector<std::pair<Time, Time>> outages_;
+  double degraded_seconds_ = 0.0;
+};
+
+}  // namespace qv::sim

@@ -1,0 +1,41 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace qv::util {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0xEDB88320u;
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    t[i] = c;
+  }
+  return t;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
+
+std::uint32_t crc32_update(std::uint32_t running,
+                           std::span<const std::uint8_t> data) {
+  for (std::uint8_t b : data) {
+    running = kTable[(running ^ b) & 0xFFu] ^ (running >> 8);
+  }
+  return running;
+}
+
+std::uint32_t crc32_final(std::uint32_t running) { return running ^ 0xFFFFFFFFu; }
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  return crc32_final(crc32_update(crc32_init(), data));
+}
+
+}  // namespace qv::util

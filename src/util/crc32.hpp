@@ -1,0 +1,22 @@
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the checksum the
+// pipeline frames onto every block payload the input processors ship, so a
+// renderer can detect corruption and NACK a resend instead of rendering
+// garbage. Table-driven, byte at a time; supports incremental updates via
+// the running-crc overload.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace qv::util {
+
+// One-shot CRC of a byte span.
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+// Incremental form: feed the previous return value back in as `running` to
+// extend a checksum over concatenated spans. Start from crc32_init().
+std::uint32_t crc32_init();
+std::uint32_t crc32_update(std::uint32_t running, std::span<const std::uint8_t> data);
+std::uint32_t crc32_final(std::uint32_t running);
+
+}  // namespace qv::util

@@ -1,6 +1,7 @@
 #include "vmpi/comm.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <exception>
 #include <thread>
@@ -9,9 +10,16 @@ namespace qv::vmpi {
 
 namespace detail {
 
-World::World(int nranks) : size(nranks) {
+World::World(int nranks, std::shared_ptr<const FaultPlan> plan)
+    : size(nranks), fault_plan(std::move(plan)) {
   mailboxes.reserve(std::size_t(nranks));
   for (int i = 0; i < nranks; ++i) mailboxes.push_back(std::make_unique<Mailbox>());
+  if (fault_plan) {
+    fault_state.reserve(std::size_t(nranks));
+    for (int i = 0; i < nranks; ++i)
+      fault_state.push_back(
+          std::make_unique<FaultRankState>(fault_plan->seed, i));
+  }
 }
 
 GroupBarrier& World::barrier_for(int context) {
@@ -30,6 +38,22 @@ int World::allocate_contexts(int count) {
   int first = next_context;
   next_context += count;
   return first;
+}
+
+void World::abort_all() {
+  aborted.store(true);
+  // Take each waiter's lock before notifying so the flag is visible to the
+  // predicate re-check and no wakeup is missed.
+  for (auto& mb : mailboxes) {
+    std::lock_guard lk(mb->mu);
+    mb->cv.notify_all();
+  }
+  std::lock_guard tlk(barrier_table_mu);
+  for (auto& b : barriers) {
+    if (!b) continue;
+    std::lock_guard lk(b->mu);
+    b->cv.notify_all();
+  }
 }
 
 }  // namespace detail
@@ -52,11 +76,50 @@ void Comm::send(int dest, int tag, std::span<const std::uint8_t> data) {
   msg.source = world_rank();
   msg.tag = tag;
   msg.payload.assign(data.begin(), data.end());
+
+  // Fault injection: user-tag payloads only; the runtime's internal
+  // collective traffic (negative tags) is exempt so the transport itself
+  // stays functional under any plan.
+  if (detail::FaultRankState* fs = fault_state();
+      fs && tag >= 0 && world_->fault_plan->wants_send_faults()) {
+    const FaultPlan& plan = *world_->fault_plan;
+    std::uint64_t n = fs->sends++;
+    // Draw both decisions unconditionally so the RNG chain advances the
+    // same way whatever the rates are (keeps plans comparable across runs).
+    double u_corrupt = fs->send_rng.next_double();
+    double u_delay = fs->send_rng.next_double();
+    bool corrupt = FaultPlan::matches(plan.corrupt_sends, world_rank(), n) ||
+                   (plan.corrupt_rate > 0.0 && u_corrupt < plan.corrupt_rate);
+    // Corruption is confined to bytes past corrupt_offset_min, the model
+    // being that headers (and header-sized control messages — NACKs, DONE
+    // markers) ride a checksummed transport while bulk payloads do not.
+    if (corrupt && msg.payload.size() > plan.corrupt_offset_min) {
+      std::size_t lo = plan.corrupt_offset_min;
+      std::uint64_t h = n;
+      std::size_t idx = lo + std::size_t(splitmix64(h) % (msg.payload.size() - lo));
+      msg.payload[idx] ^= 0xA5;  // nonzero mask: the byte always changes
+      ++fs->injected_corruptions;
+    }
+    if (plan.delay_rate > 0.0 && u_delay < plan.delay_rate) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(plan.delay_ms));
+      ++fs->injected_delays;
+    }
+  }
+
   {
     std::lock_guard lk(mb.mu);
     mb.queue.push_back(std::move(msg));
   }
   mb.cv.notify_all();
+}
+
+void Comm::fault_checkpoint(int step) {
+  const FaultPlan* plan = world_->fault_plan.get();
+  if (plan && plan->kill_rank == world_rank() && plan->kill_at_step == step) {
+    throw RankKilled("vmpi: rank " + std::to_string(world_rank()) +
+                     " killed at step " + std::to_string(step));
+  }
 }
 
 Status Comm::recv_match(int source, int tag, std::vector<std::uint8_t>& out,
@@ -81,8 +144,11 @@ Status Comm::recv_match(int source, int tag, std::vector<std::uint8_t>& out,
     }
     mb.cv.wait(lk, [&] {
       it = match();
-      return it != mb.queue.end();
+      return it != mb.queue.end() || world_->aborted.load();
     });
+    // A queued match is still delivered after an abort; only an empty wait
+    // turns into an error.
+    if (it == mb.queue.end()) throw WorldAborted();
   }
   if (found) *found = true;
   Status st;
@@ -98,6 +164,50 @@ Status Comm::recv_match(int source, int tag, std::vector<std::uint8_t>& out,
 
 Status Comm::recv(int source, int tag, std::vector<std::uint8_t>& out) {
   return recv_match(source, tag, out, /*block=*/true, nullptr);
+}
+
+bool Comm::recv_timeout(int source, int tag, std::vector<std::uint8_t>& out,
+                        std::chrono::milliseconds timeout, Status* st) {
+  int wsource = source == kAnySource ? kAnySource : members_[std::size_t(source)];
+  detail::Mailbox& mb = *world_->mailboxes[std::size_t(world_rank())];
+  std::unique_lock lk(mb.mu);
+  auto match = [&]() -> std::deque<detail::Message>::iterator {
+    for (auto it = mb.queue.begin(); it != mb.queue.end(); ++it) {
+      if (it->context != context_) continue;
+      if (wsource != kAnySource && it->source != wsource) continue;
+      if (tag != kAnyTag && it->tag != tag) continue;
+      return it;
+    }
+    return mb.queue.end();
+  };
+  auto it = match();
+  if (it == mb.queue.end()) {
+    mb.cv.wait_for(lk, timeout, [&] {
+      it = match();
+      return it != mb.queue.end() || world_->aborted.load();
+    });
+    if (it == mb.queue.end()) {
+      if (world_->aborted.load()) throw WorldAborted();
+      return false;  // deadline expired with nothing matching
+    }
+  }
+  if (st) {
+    auto pos = std::find(members_.begin(), members_.end(), it->source);
+    st->source = int(pos - members_.begin());
+    st->tag = it->tag;
+    st->bytes = it->payload.size();
+  }
+  out = std::move(it->payload);
+  mb.queue.erase(it);
+  return true;
+}
+
+bool Comm::try_recv(int source, int tag, std::vector<std::uint8_t>& out,
+                    Status* st) {
+  bool found = false;
+  Status s = recv_match(source, tag, out, /*block=*/false, &found);
+  if (found && st) *st = s;
+  return found;
 }
 
 Request Comm::irecv(int source, int tag) {
@@ -146,7 +256,12 @@ void Comm::barrier() {
     ++b.generation;
     b.cv.notify_all();
   } else {
-    b.cv.wait(lk, [&] { return b.generation != gen; });
+    b.cv.wait(lk,
+              [&] { return b.generation != gen || world_->aborted.load(); });
+    if (b.generation == gen) {
+      --b.arrived;
+      throw WorldAborted();
+    }
   }
 }
 
@@ -290,8 +405,9 @@ Comm Comm::split(int color, int key) {
   return Comm(world_, rep[0], std::move(wmembers), rep[1]);
 }
 
-void Runtime::run(int nranks, const std::function<void(Comm&)>& fn) {
-  auto world = std::make_shared<detail::World>(nranks);
+void Runtime::run(int nranks, const std::function<void(Comm&)>& fn,
+                  std::shared_ptr<const FaultPlan> fault_plan) {
+  auto world = std::make_shared<detail::World>(nranks, std::move(fault_plan));
   std::vector<int> all(static_cast<std::size_t>(nranks));
   for (int i = 0; i < nranks; ++i) all[std::size_t(i)] = i;
 
@@ -305,9 +421,19 @@ void Runtime::run(int nranks, const std::function<void(Comm&)>& fn) {
       Comm comm(world, /*context=*/0, all, r);
       try {
         fn(comm);
+      } catch (const RankKilled&) {
+        // An injected kill is a clean exit: the rank simply vanishes, as a
+        // crashed node does. Survivors detect the silence via recv_timeout.
       } catch (...) {
-        std::lock_guard lk(err_mu);
-        if (!first_error) first_error = std::current_exception();
+        {
+          std::lock_guard lk(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        // Wake every peer blocked on a recv or barrier: with this rank gone
+        // nobody will ever send what they wait for, and a hung join is far
+        // worse than the cascade of WorldAborted exits that follows. The
+        // original exception is recorded first, so it is what run() rethrows.
+        world->abort_all();
       }
     });
   }

@@ -17,6 +17,8 @@
 //    communicators never cross-matches.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstring>
@@ -26,7 +28,10 @@
 #include <mutex>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
+
+#include "vmpi/fault.hpp"
 
 namespace qv::vmpi {
 
@@ -37,6 +42,17 @@ struct Status {
   int source = 0;
   int tag = 0;
   std::size_t bytes = 0;
+};
+
+// Thrown out of blocking calls (recv, barrier, collectives) on every
+// surviving rank once some rank has died with a real exception. Without
+// this a single throwing rank would leave its peers blocked forever —
+// there is no one left to send the message they are waiting for.
+// (An injected RankKilled does NOT abort the world: surviving that is the
+// whole point of the fault plan; dead-peer detection is recv_timeout's job.)
+struct WorldAborted : std::runtime_error {
+  WorldAborted()
+      : std::runtime_error("vmpi: world aborted (a peer rank threw)") {}
 };
 
 namespace detail {
@@ -63,7 +79,7 @@ struct GroupBarrier {
 };
 
 struct World {
-  explicit World(int nranks);
+  explicit World(int nranks, std::shared_ptr<const FaultPlan> plan = nullptr);
   int size;
   std::vector<std::unique_ptr<Mailbox>> mailboxes;
   std::mutex barrier_table_mu;
@@ -72,8 +88,19 @@ struct World {
   std::mutex context_mu;
   int next_context = 1;  // 0 is the world communicator
 
+  // Fault injection (null when no plan is installed). fault_state[r] is
+  // only ever touched by rank r's thread.
+  std::shared_ptr<const FaultPlan> fault_plan;
+  std::vector<std::unique_ptr<FaultRankState>> fault_state;
+
+  // Set when a rank dies with a real (non-RankKilled) exception; every
+  // blocked or future blocking call then throws WorldAborted.
+  std::atomic<bool> aborted{false};
+
   GroupBarrier& barrier_for(int context);
   int allocate_contexts(int count);
+  // Flip `aborted` and wake every rank blocked on a mailbox or barrier.
+  void abort_all();
 };
 
 }  // namespace detail
@@ -110,9 +137,25 @@ class Comm {
     send(dest, tag, data);
   }
   Status recv(int source, int tag, std::vector<std::uint8_t>& out);
+  // Bounded-wait receive: waits up to `timeout` for a matching message.
+  // Returns true (and fills out/st) on success, false when the deadline
+  // expires with nothing matching — the robustness primitive that makes a
+  // dead peer detectable (a buffered send cannot fail, so only the absence
+  // of traffic reveals a dead input rank).
+  bool recv_timeout(int source, int tag, std::vector<std::uint8_t>& out,
+                    std::chrono::milliseconds timeout, Status* st = nullptr);
+  // Non-blocking receive: true (and out/st filled) when a matching message
+  // was already queued.
+  bool try_recv(int source, int tag, std::vector<std::uint8_t>& out,
+                Status* st = nullptr);
   Request irecv(int source, int tag);
   // True when a matching message is queued (non-blocking probe).
   bool iprobe(int source, int tag, Status* status = nullptr);
+
+  // Fault-plan hook: applications report their progress (e.g. the pipeline
+  // step about to be processed); the configured victim rank dies here by
+  // throwing RankKilled. A no-op without a plan.
+  void fault_checkpoint(int step);
 
   // Typed convenience wrappers (trivially copyable payloads).
   template <typename T>
@@ -125,7 +168,12 @@ class Comm {
     static_assert(std::is_trivially_copyable_v<T>);
     std::vector<std::uint8_t> buf;
     Status s = recv(source, tag, buf);
-    if (buf.size() != sizeof(T)) throw std::runtime_error("recv_value: size mismatch");
+    if (buf.size() != sizeof(T))
+      throw std::runtime_error(
+          "vmpi::recv_value: size mismatch (source=" + std::to_string(s.source) +
+          " tag=" + std::to_string(s.tag) +
+          " expected=" + std::to_string(sizeof(T)) +
+          " bytes, got=" + std::to_string(buf.size()) + ")");
     if (st) *st = s;
     T v;
     std::memcpy(&v, buf.data(), sizeof(T));
@@ -143,7 +191,12 @@ class Comm {
     std::vector<std::uint8_t> buf;
     Status s = recv(source, tag, buf);
     if (buf.size() % sizeof(T) != 0)
-      throw std::runtime_error("recv_vec: size mismatch");
+      throw std::runtime_error(
+          "vmpi::recv_vec: size mismatch (source=" + std::to_string(s.source) +
+          " tag=" + std::to_string(s.tag) + " element=" +
+          std::to_string(sizeof(T)) + " bytes, got=" +
+          std::to_string(buf.size()) + " bytes, remainder=" +
+          std::to_string(buf.size() % sizeof(T)) + ")");
     if (st) *st = s;
     std::vector<T> out(buf.size() / sizeof(T));
     std::memcpy(out.data(), buf.data(), buf.size());
@@ -205,6 +258,12 @@ class Comm {
   Status recv_match(int source, int tag, std::vector<std::uint8_t>& out, bool block,
                     bool* found);
 
+  // My rank's fault state, or null when no plan is installed.
+  detail::FaultRankState* fault_state() const {
+    return world_->fault_plan ? world_->fault_state[std::size_t(world_rank())].get()
+                              : nullptr;
+  }
+
   std::shared_ptr<detail::World> world_;
   int context_ = 0;
   std::vector<int> members_;  // world ranks, indexed by comm rank
@@ -212,10 +271,14 @@ class Comm {
 };
 
 // Spawns `nranks` threads, each running `fn` with its world communicator.
-// Rethrows the first rank exception after all threads join.
+// Rethrows the first rank exception after all threads join. A RankKilled
+// exit (from an installed fault plan) is NOT an error: the thread ends
+// silently and the surviving ranks keep running, exactly as a crashed node
+// looks to its peers.
 class Runtime {
  public:
-  static void run(int nranks, const std::function<void(Comm&)>& fn);
+  static void run(int nranks, const std::function<void(Comm&)>& fn,
+                  std::shared_ptr<const FaultPlan> fault_plan = nullptr);
 };
 
 }  // namespace qv::vmpi

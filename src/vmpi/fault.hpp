@@ -1,0 +1,134 @@
+// Deterministic fault injection for the vmpi runtime.
+//
+// A FaultPlan is installed on Runtime::run and shared (read-only) by every
+// rank. Each rank owns a private FaultRankState whose RNG chains are seeded
+// from (plan.seed, world rank), so a given plan injects the *same* faults at
+// the same operations on every run, independent of thread scheduling — the
+// property the degraded-mode pipeline tests rely on.
+//
+// Injection points:
+//   * File preads      — transient read errors (throw TransientIoError,
+//                        retried by the File's RetryPolicy), short reads
+//                        (a strict prefix is returned, exercising the
+//                        read loop), and permanently failing paths
+//                        (every pread of a matching file fails, modeling a
+//                        dead stripe / lost OST).
+//   * Comm::send       — payload corruption (one byte flipped at offset
+//                        >= corrupt_offset_min, modeling data-segment
+//                        corruption under a trusted header) and delivery
+//                        delay. Only user tags (>= 0) are eligible; the
+//                        runtime's internal collective traffic is exempt.
+//   * rank death       — Comm::fault_checkpoint(step) throws RankKilled on
+//                        the configured rank at the configured step. The
+//                        Runtime treats RankKilled as a clean (silent) exit:
+//                        surviving ranks must cope via recv_timeout.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace qv::vmpi {
+
+// Permanent I/O failure (propagates out of File reads once retries are
+// exhausted or the path is configured to fail).
+struct IoError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+// Retryable I/O failure (injected, or a genuinely failed pread attempt).
+struct TransientIoError : IoError {
+  using IoError::IoError;
+};
+
+// Thrown by Comm::fault_checkpoint on the configured victim rank.
+struct RankKilled : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+// Targets the `nth` (0-based) operation of a given world rank.
+struct RankOp {
+  int rank = -1;
+  std::uint64_t nth = 0;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0x51D5EEDull;
+
+  // --- I/O faults (File pread attempts) -----------------------------------
+  double read_error_rate = 0.0;   // P(transient failure) per pread attempt
+  double short_read_rate = 0.0;   // P(strict-prefix read) per pread attempt
+  // Explicit transient failures: the nth pread of a rank fails on its first
+  // attempt only (so a retry succeeds) — for exact-count tests.
+  std::vector<RankOp> read_errors;
+  // Every pread of a file whose path contains one of these substrings fails
+  // (transiently, on every attempt — so retries exhaust and the failure
+  // becomes permanent). Models a permanently lost step file.
+  std::vector<std::string> fail_path_substrings;
+
+  // --- messaging faults (Comm::send, user tags only) ----------------------
+  double corrupt_rate = 0.0;      // P(one payload byte flipped) per send
+  std::vector<RankOp> corrupt_sends;  // explicit (sender rank, nth user send)
+  // Corruption never touches bytes before this offset: the pipeline's
+  // message headers (32 bytes) are treated as a trusted control channel, as
+  // checksummed-header transports do; only the data segment degrades.
+  std::size_t corrupt_offset_min = 32;
+  double delay_rate = 0.0;        // P(delivery delayed) per send
+  double delay_ms = 0.0;          // delay duration
+
+  // --- rank death ---------------------------------------------------------
+  int kill_rank = -1;             // world rank to kill (-1: nobody)
+  int kill_at_step = -1;          // step passed to fault_checkpoint
+
+  bool wants_io_faults() const {
+    return read_error_rate > 0.0 || short_read_rate > 0.0 ||
+           !read_errors.empty() || !fail_path_substrings.empty();
+  }
+  bool wants_send_faults() const {
+    return corrupt_rate > 0.0 || !corrupt_sends.empty() || delay_rate > 0.0;
+  }
+  bool path_fails(const std::string& path) const {
+    for (const auto& s : fail_path_substrings) {
+      if (path.find(s) != std::string::npos) return true;
+    }
+    return false;
+  }
+  static bool matches(const std::vector<RankOp>& ops, int rank,
+                      std::uint64_t nth) {
+    for (const auto& op : ops) {
+      if (op.rank == rank && op.nth == nth) return true;
+    }
+    return false;
+  }
+};
+
+namespace detail {
+
+// Per-rank injection state. Only ever touched by the owning rank's thread.
+struct FaultRankState {
+  Rng io_rng;
+  Rng send_rng;
+  std::uint64_t preads = 0;  // logical pread ops (not attempts)
+  std::uint64_t sends = 0;   // user-tag sends
+  // Diagnostics (what was actually injected).
+  std::uint64_t injected_read_errors = 0;
+  std::uint64_t injected_short_reads = 0;
+  std::uint64_t injected_corruptions = 0;
+  std::uint64_t injected_delays = 0;
+
+  FaultRankState(std::uint64_t seed, int rank) {
+    std::uint64_t s = seed;
+    // Decorrelate the two chains and the ranks.
+    std::uint64_t a = splitmix64(s) ^ (std::uint64_t(rank) * 0x9E3779B97F4A7C15ull);
+    std::uint64_t b = splitmix64(s) ^ (std::uint64_t(rank) * 0xC2B2AE3D27D4EB4Full);
+    io_rng = Rng(a);
+    send_rng = Rng(b);
+  }
+};
+
+}  // namespace detail
+
+}  // namespace qv::vmpi

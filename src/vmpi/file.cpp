@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <thread>
 
 namespace qv::vmpi {
 
@@ -19,7 +20,7 @@ struct WireRange {
 };
 }  // namespace
 
-File::File(Comm& comm, const std::string& path) : comm_(&comm) {
+File::File(Comm& comm, const std::string& path) : comm_(&comm), path_(path) {
   fd_ = ::open(path.c_str(), O_RDONLY);
   if (fd_ < 0) throw std::runtime_error("vmpi::File: cannot open " + path);
   struct stat st{};
@@ -36,16 +37,70 @@ File::~File() {
 
 void File::set_view(IndexedBlockView view) { view_ = std::move(view); }
 
-void File::pread_exact(std::uint64_t offset, std::span<std::uint8_t> out) {
+// One pread attempt, with fault-plan injections: a transient error throws
+// before any bytes move; a short read delivers a strict prefix (the caller's
+// loop continues it, which is exactly the path being exercised).
+void File::pread_attempt(std::uint64_t offset, std::span<std::uint8_t> out,
+                         std::uint64_t op, int attempt) {
+  detail::FaultRankState* fs = comm_->fault_state();
+  const FaultPlan* plan = fs ? comm_->world_->fault_plan.get() : nullptr;
+  std::size_t want = out.size();
+  if (plan && plan->wants_io_faults()) {
+    if (plan->path_fails(path_)) {
+      throw TransientIoError("vmpi::File: injected failure (failing path) " +
+                             path_);
+    }
+    double u_err = fs->io_rng.next_double();
+    double u_short = fs->io_rng.next_double();
+    bool explicit_hit =
+        attempt == 0 &&
+        FaultPlan::matches(plan->read_errors, comm_->world_rank(), op);
+    if (explicit_hit ||
+        (plan->read_error_rate > 0.0 && u_err < plan->read_error_rate)) {
+      ++fs->injected_read_errors;
+      throw TransientIoError("vmpi::File: injected transient read error at " +
+                             path_ + " offset " + std::to_string(offset));
+    }
+    if (plan->short_read_rate > 0.0 && u_short < plan->short_read_rate &&
+        want > 1) {
+      want = (want + 1) / 2;  // deliver a strict prefix this syscall
+      ++fs->injected_short_reads;
+      ++stats_.short_reads;
+    }
+  }
   std::size_t done = 0;
   while (done < out.size()) {
-    ssize_t n = ::pread(fd_, out.data() + done, out.size() - done,
-                        off_t(offset + done));
-    if (n <= 0) throw std::runtime_error("vmpi::File: pread failed/short");
+    ssize_t n = ::pread(fd_, out.data() + done, want - done, off_t(offset + done));
+    if (n <= 0)
+      throw TransientIoError("vmpi::File: pread failed/short at " + path_);
     done += std::size_t(n);
+    if (done < out.size() && want < out.size()) {
+      // The injected prefix is delivered; the rest of this attempt reads
+      // normally (a real short read looks the same to the caller).
+      want = out.size();
+      stats_.disk_reads += 1;
+    }
   }
   stats_.disk_bytes += out.size();
   stats_.disk_reads += 1;
+}
+
+void File::pread_exact(std::uint64_t offset, std::span<std::uint8_t> out) {
+  detail::FaultRankState* fs = comm_->fault_state();
+  std::uint64_t op = fs ? fs->preads++ : 0;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      pread_attempt(offset, out, op, attempt);
+      return;
+    } catch (const TransientIoError&) {
+      if (attempt + 1 >= retry_.max_attempts) {
+        throw IoError("vmpi::File: read of " + path_ + " failed after " +
+                      std::to_string(retry_.max_attempts) + " attempts");
+      }
+      ++stats_.retries;
+      std::this_thread::sleep_for(retry_.delay_for(attempt));
+    }
+  }
 }
 
 void File::read_at(std::uint64_t offset, std::span<std::uint8_t> out) {
@@ -142,35 +197,52 @@ void File::read_all(std::span<std::uint8_t> out, double sieve_threshold) {
     }
   }
 
-  // Read my chunk's data: one sieving read when dense enough.
+  // Read my chunk's data: one sieving read when dense enough. A permanent
+  // read failure here must not desynchronize the collective: every rank
+  // agrees on success/failure below before any phase-two traffic moves.
   std::vector<std::uint8_t> chunk_buf;
   std::uint64_t chunk_base = 0;
   bool have_extent = false;
-  if (!covered.empty()) {
-    std::uint64_t useful = 0;
-    for (const auto& w : covered) useful += w.end - w.begin;
-    std::uint64_t ext_lo = covered.front().begin;
-    std::uint64_t ext_hi = covered.back().end;
-    double density = double(useful) / double(ext_hi - ext_lo);
-    if (density >= sieve_threshold) {
-      chunk_buf.resize(ext_hi - ext_lo);
-      pread_exact(ext_lo, chunk_buf);
-      chunk_base = ext_lo;
-      have_extent = true;
-    } else {
-      // Sparse: read ranges individually into a compacted buffer with an
-      // index so extraction below can still find them.
-      std::uint64_t total = useful;
-      chunk_buf.resize(total);
-      std::uint64_t off = 0;
-      for (auto& w : covered) {
-        pread_exact(w.begin, {chunk_buf.data() + off, w.end - w.begin});
-        // Reuse out_offset trick: stash the compact offset in-place.
-        w.begin |= 0;  // no-op: begin stays the absolute offset
-        off += w.end - w.begin;
+  std::uint8_t read_ok = 1;
+  try {
+    if (!covered.empty()) {
+      std::uint64_t useful = 0;
+      for (const auto& w : covered) useful += w.end - w.begin;
+      std::uint64_t ext_lo = covered.front().begin;
+      std::uint64_t ext_hi = covered.back().end;
+      double density = double(useful) / double(ext_hi - ext_lo);
+      if (density >= sieve_threshold) {
+        chunk_buf.resize(ext_hi - ext_lo);
+        pread_exact(ext_lo, chunk_buf);
+        chunk_base = ext_lo;
+        have_extent = true;
+      } else {
+        // Sparse: read ranges individually into a compacted buffer with an
+        // index so extraction below can still find them.
+        std::uint64_t total = useful;
+        chunk_buf.resize(total);
+        std::uint64_t off = 0;
+        for (auto& w : covered) {
+          pread_exact(w.begin, {chunk_buf.data() + off, w.end - w.begin});
+          // Reuse out_offset trick: stash the compact offset in-place.
+          w.begin |= 0;  // no-op: begin stays the absolute offset
+          off += w.end - w.begin;
+        }
+        chunk_base = 0;  // compact addressing resolved via `covered` walk below
+        have_extent = false;
       }
-      chunk_base = 0;  // compact addressing resolved via `covered` walk below
-      have_extent = false;
+    }
+  } catch (const IoError&) {
+    read_ok = 0;
+  }
+
+  // Collective abort: if any chunk owner failed its reads (after retries),
+  // every rank throws together and nobody is left waiting for pieces.
+  auto ok_blobs = comm_->allgather({&read_ok, 1});
+  for (const auto& b : ok_blobs) {
+    if (!b.empty() && b[0] == 0) {
+      throw IoError("vmpi::File::read_all: collective read of " + path_ +
+                    " aborted (a rank's chunk read failed permanently)");
     }
   }
 

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "io/retry.hpp"
 #include "vmpi/comm.hpp"
 
 namespace qv::vmpi {
@@ -40,6 +41,8 @@ class File {
     std::uint64_t useful_bytes = 0;    // bytes the caller asked for
     std::uint64_t exchanged_bytes = 0; // bytes moved between ranks (phase 2)
     std::uint64_t disk_reads = 0;      // number of pread calls
+    std::uint64_t retries = 0;         // transient-failure retries performed
+    std::uint64_t short_reads = 0;     // partial preads continued by the loop
   };
 
   // Open for reading. Every rank of `comm` that will participate in
@@ -54,6 +57,13 @@ class File {
 
   void set_view(IndexedBlockView view);
   const IndexedBlockView& view() const { return view_; }
+
+  // Retry policy applied per pread attempt. Retrying at the pread level (not
+  // around whole reads) keeps transient failures *inside* collective
+  // read_all calls, so a group never desynchronizes while one member
+  // retries.
+  void set_retry_policy(io::RetryPolicy policy) { retry_ = policy; }
+  const io::RetryPolicy& retry_policy() const { return retry_; }
 
   // Independent contiguous read at an absolute byte offset.
   void read_at(std::uint64_t offset, std::span<std::uint8_t> out);
@@ -77,13 +87,19 @@ class File {
 
   // Coalesced, sorted ranges for the current view.
   std::vector<Range> view_ranges() const;
+  // One logical read: retried per retry_ on TransientIoError; throws IoError
+  // once attempts are exhausted. Fault-plan injections happen here.
   void pread_exact(std::uint64_t offset, std::span<std::uint8_t> out);
+  void pread_attempt(std::uint64_t offset, std::span<std::uint8_t> out,
+                     std::uint64_t op, int attempt);
 
   Comm* comm_;
   int fd_ = -1;
   std::uint64_t size_ = 0;
+  std::string path_;
   IndexedBlockView view_;
   IoStats stats_;
+  io::RetryPolicy retry_;
 };
 
 }  // namespace qv::vmpi

@@ -2,6 +2,7 @@
 // exploration), variable-domain selection, fine-grain dynamic load
 // redistribution, and simulation-time (in-situ) visualization.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 
@@ -23,7 +24,10 @@ constexpr int kH = 48;
 class ExtensionTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    dir_ = (std::filesystem::temp_directory_path() / "qv_ext_ds").string();
+    // PID-unique: ctest runs each case as its own process, concurrently.
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("qv_ext_ds." + std::to_string(::getpid())))
+               .string();
     std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);
     auto size = [](Vec3 p) { return p.z > 0.5f ? 0.12f : 0.3f; };
@@ -180,7 +184,9 @@ TEST(CompressedBlocks, QuietEarlyStepsCompressHard) {
   // Before the wave arrives almost everything quantizes to zero: the
   // pipeline's block traffic must collapse.
   auto dir =
-      (std::filesystem::temp_directory_path() / "qv_quiet_ds").string();
+      (std::filesystem::temp_directory_path() /
+       ("qv_quiet_ds." + std::to_string(::getpid())))
+          .string();
   std::filesystem::remove_all(dir);
   std::filesystem::create_directories(dir);
   mesh::HexMesh fine(mesh::LinearOctree::uniform(kUnit, 3));

@@ -4,6 +4,7 @@
 #include "core/pipeline.hpp"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 
@@ -22,7 +23,11 @@ constexpr float kValueHi = 3.0f;
 class PipelineTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    dir_ = (std::filesystem::temp_directory_path() / "qv_pipe_ds").string();
+    // PID-unique: ctest runs each case as its own process, concurrently; a
+    // shared path would be re-created by one case mid-read of another.
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("qv_pipe_ds." + std::to_string(::getpid())))
+               .string();
     std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);
     auto size = [](Vec3 p) { return p.z > 0.5f ? 0.12f : 0.3f; };
@@ -211,7 +216,9 @@ TEST_F(PipelineTest, LicRequiresOneDip) {
 }
 
 TEST_F(PipelineTest, WritesFramesToDisk) {
-  auto out = (std::filesystem::temp_directory_path() / "qv_pipe_out").string();
+  auto out = (std::filesystem::temp_directory_path() /
+              ("qv_pipe_out." + std::to_string(::getpid())))
+                 .string();
   std::filesystem::remove_all(out);
   std::filesystem::create_directories(out);
   auto cfg = base_config();

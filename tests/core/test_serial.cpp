@@ -1,6 +1,7 @@
 #include "core/serial.hpp"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 
@@ -16,7 +17,10 @@ const Box3 kUnit{{0, 0, 0}, {1, 1, 1}};
 class SerialTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    dir_ = (std::filesystem::temp_directory_path() / "qv_serial_ds").string();
+    // PID-unique: ctest runs each case as its own process, concurrently.
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("qv_serial_ds." + std::to_string(::getpid())))
+               .string();
     std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);
     auto size = [](Vec3 p) { return p.z > 0.5f ? 0.12f : 0.3f; };

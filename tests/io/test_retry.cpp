@@ -1,0 +1,82 @@
+#include "io/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace qv::io {
+namespace {
+
+TEST(RetryPolicy, BackoffSequenceIsExponential) {
+  RetryPolicy p;
+  p.base_delay = std::chrono::microseconds(100);
+  p.multiplier = 2.0;
+  EXPECT_EQ(p.delay_for(0).count(), 100);
+  EXPECT_EQ(p.delay_for(1).count(), 200);
+  EXPECT_EQ(p.delay_for(2).count(), 400);
+  EXPECT_EQ(p.delay_for(3).count(), 800);
+
+  p.multiplier = 1.0;  // constant backoff
+  EXPECT_EQ(p.delay_for(5).count(), 100);
+}
+
+TEST(WithRetries, SucceedsAfterTransientFailures) {
+  RetryPolicy p;
+  p.max_attempts = 4;
+  p.base_delay = std::chrono::microseconds(1);
+  int calls = 0;
+  std::uint64_t retries = 0;
+  int result = with_retries(
+      p,
+      [&] {
+        if (++calls < 3) throw vmpi::TransientIoError("flaky");
+        return 42;
+      },
+      &retries);
+  EXPECT_EQ(result, 42);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries, 2u);
+}
+
+TEST(WithRetries, ExhaustsAttemptsThenRethrows) {
+  RetryPolicy p;
+  p.max_attempts = 3;
+  p.base_delay = std::chrono::microseconds(1);
+  int calls = 0;
+  std::uint64_t retries = 0;
+  EXPECT_THROW(with_retries(
+                   p,
+                   [&]() -> int {
+                     ++calls;
+                     throw vmpi::TransientIoError("always");
+                   },
+                   &retries),
+               vmpi::TransientIoError);
+  EXPECT_EQ(calls, 3);      // total tries == max_attempts
+  EXPECT_EQ(retries, 2u);   // retries performed, not counting the first try
+}
+
+TEST(WithRetries, NonTransientErrorsPropagateImmediately) {
+  RetryPolicy p;
+  p.max_attempts = 5;
+  int calls = 0;
+  EXPECT_THROW(with_retries(p,
+                            [&]() -> int {
+                              ++calls;
+                              throw std::logic_error("bug, not weather");
+                            }),
+               std::logic_error);
+  EXPECT_EQ(calls, 1);
+  // A permanent IoError is likewise not retried.
+  calls = 0;
+  EXPECT_THROW(with_retries(p,
+                            [&]() -> int {
+                              ++calls;
+                              throw vmpi::IoError("gone for good");
+                            }),
+               vmpi::IoError);
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace qv::io

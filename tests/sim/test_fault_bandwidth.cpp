@@ -1,0 +1,128 @@
+#include "sim/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace qv::sim {
+namespace {
+
+TEST(SharedBandwidthRate, SetTotalRateSettlesInFlightTransfers) {
+  Engine e;
+  SharedBandwidth bw(e, 100.0);  // 100 B/s, one stream
+  double finished = -1.0;
+  auto proc = [](Engine& eng, SharedBandwidth& b, double& out) -> Process {
+    co_await b.transfer(300.0);
+    out = eng.now();
+  };
+  proc(e, bw, finished);
+  // Halve the rate after 1 s: 100 B done, 200 B left at 50 B/s -> +4 s.
+  e.schedule(1.0, [&] { bw.set_total_rate(50.0); });
+  e.run();
+  EXPECT_DOUBLE_EQ(finished, 5.0);
+}
+
+TEST(SharedBandwidthRate, ZeroRateFreezesUntilRestored) {
+  Engine e;
+  SharedBandwidth bw(e, 100.0);
+  double finished = -1.0;
+  auto proc = [](Engine& eng, SharedBandwidth& b, double& out) -> Process {
+    co_await b.transfer(300.0);
+    out = eng.now();
+  };
+  proc(e, bw, finished);
+  e.schedule(1.0, [&] { bw.set_total_rate(0.0); });  // blackout at t=1
+  e.schedule(3.5, [&] { bw.set_total_rate(100.0); });
+  e.run();
+  // 3 s of transfer time plus the 2.5 s frozen window.
+  EXPECT_DOUBLE_EQ(finished, 5.5);
+}
+
+TEST(FaultyBandwidth, OutageTraceIsSeededAndDeterministic) {
+  BandwidthFaultConfig cfg;
+  cfg.enabled = true;
+  cfg.seed = 42;
+  cfg.mean_up_seconds = 5.0;
+  cfg.mean_down_seconds = 2.0;
+  cfg.degraded_factor = 0.0;
+  cfg.horizon_seconds = 200.0;
+
+  Engine e1;
+  SharedBandwidth bw1(e1, 100.0);
+  FaultyBandwidth f1(e1, bw1, cfg);
+  Engine e2;
+  SharedBandwidth bw2(e2, 100.0);
+  FaultyBandwidth f2(e2, bw2, cfg);
+
+  ASSERT_FALSE(f1.outages().empty());
+  EXPECT_EQ(f1.outages(), f2.outages());
+  EXPECT_DOUBLE_EQ(f1.degraded_seconds(), f2.degraded_seconds());
+  // Windows are ordered, disjoint, and confined to the horizon.
+  double prev_end = 0.0;
+  for (const auto& [begin, end] : f1.outages()) {
+    EXPECT_GT(begin, prev_end);
+    EXPECT_GT(end, begin);
+    EXPECT_LT(begin, cfg.horizon_seconds);
+    prev_end = end;
+  }
+
+  cfg.seed = 43;
+  Engine e3;
+  SharedBandwidth bw3(e3, 100.0);
+  FaultyBandwidth f3(e3, bw3, cfg);
+  EXPECT_NE(f1.outages(), f3.outages());
+}
+
+TEST(FaultyBandwidth, InactiveConfigInjectsNothing) {
+  Engine e;
+  SharedBandwidth bw(e, 100.0);
+  BandwidthFaultConfig cfg;  // enabled == false
+  cfg.horizon_seconds = 100.0;
+  FaultyBandwidth f(e, bw, cfg);
+  EXPECT_TRUE(f.outages().empty());
+  EXPECT_DOUBLE_EQ(f.degraded_seconds(), 0.0);
+
+  cfg.enabled = true;
+  cfg.degraded_factor = 1.0;  // "degraded" at full rate is not a fault
+  EXPECT_FALSE(cfg.active());
+}
+
+TEST(FaultyBandwidth, BlackoutsExtendTransfersByTheOverlap) {
+  BandwidthFaultConfig cfg;
+  cfg.enabled = true;
+  cfg.seed = 7;
+  cfg.mean_up_seconds = 4.0;
+  cfg.mean_down_seconds = 1.5;
+  cfg.degraded_factor = 0.0;
+  cfg.horizon_seconds = 10000.0;
+
+  Engine e;
+  SharedBandwidth bw(e, 100.0);
+  FaultyBandwidth fault(e, bw, cfg);
+  double finished = -1.0;
+  auto proc = [](Engine& eng, FaultyBandwidth& f, double& out) -> Process {
+    co_await f.transfer(2000.0);  // 20 s of healthy transfer time
+    out = eng.now();
+  };
+  proc(e, fault, finished);
+  e.run();
+  ASSERT_GT(finished, 0.0);
+  // Reconstruct the expected finish from the outage trace: progress only
+  // accrues outside blackout windows.
+  double healthy_needed = 20.0;
+  double t = 0.0;
+  for (const auto& [begin, end] : fault.outages()) {
+    double healthy_chunk = begin - t;
+    if (healthy_chunk >= healthy_needed) break;
+    healthy_needed -= healthy_chunk;
+    t = end;
+  }
+  double expected = t + healthy_needed;
+  EXPECT_NEAR(finished, expected, 1e-9);
+  EXPECT_GT(finished, 20.0);  // at least one blackout overlapped
+}
+
+}  // namespace
+}  // namespace qv::sim

@@ -1,0 +1,52 @@
+#include "util/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace qv::util {
+namespace {
+
+std::span<const std::uint8_t> bytes(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+TEST(Crc32, KnownAnswerVectors) {
+  // The IEEE 802.3 check value and a few other published vectors.
+  EXPECT_EQ(crc32(bytes("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32(bytes("")), 0x00000000u);
+  EXPECT_EQ(crc32(bytes("a")), 0xE8B7BE43u);
+  EXPECT_EQ(crc32(bytes("abc")), 0x352441C2u);
+  EXPECT_EQ(crc32(bytes("The quick brown fox jumps over the lazy dog")),
+            0x414FA339u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const std::string s = "123456789";
+  for (std::size_t split = 0; split <= s.size(); ++split) {
+    std::uint32_t running = crc32_init();
+    running = crc32_update(running, bytes(s.substr(0, split)));
+    running = crc32_update(running, bytes(s.substr(split)));
+    EXPECT_EQ(crc32_final(running), 0xCBF43926u) << "split at " << split;
+  }
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  std::vector<std::uint8_t> data(257);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = std::uint8_t(i * 31 + 7);
+  const std::uint32_t clean = crc32(data);
+  for (std::size_t i = 0; i < data.size(); i += 17) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[i] ^= std::uint8_t(1u << bit);
+      EXPECT_NE(crc32(data), clean) << "byte " << i << " bit " << bit;
+      data[i] ^= std::uint8_t(1u << bit);
+    }
+  }
+  EXPECT_EQ(crc32(data), clean);
+}
+
+}  // namespace
+}  // namespace qv::util

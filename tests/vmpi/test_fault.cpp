@@ -1,0 +1,338 @@
+// Unit tests of the deterministic fault-injection layer: recv_timeout,
+// send corruption/delay, File read faults, rank kill, and the world-abort
+// path that keeps a throwing rank from deadlocking its peers.
+#include "vmpi/fault.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <thread>
+
+#include "vmpi/comm.hpp"
+#include "vmpi/file.hpp"
+
+namespace qv::vmpi {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::shared_ptr<FaultPlan> plan() { return std::make_shared<FaultPlan>(); }
+
+std::string write_temp_file(const char* name, std::size_t n_floats) {
+  std::string path = (std::filesystem::temp_directory_path() /
+                      (std::string(name) + "." + std::to_string(::getpid())))
+                         .string();
+  std::ofstream os(path, std::ios::binary);
+  for (std::size_t i = 0; i < n_floats; ++i) {
+    float v = float(i);
+    os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+  return path;
+}
+
+// --- recv_timeout -----------------------------------------------------------
+
+TEST(FaultRecv, TimeoutExpiresWhenNothingArrives) {
+  Runtime::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::uint8_t> buf;
+      auto t0 = std::chrono::steady_clock::now();
+      EXPECT_FALSE(comm.recv_timeout(1, 5, buf, 50ms));
+      EXPECT_GE(std::chrono::steady_clock::now() - t0, 50ms);
+      // The peer's late message must still be receivable afterwards.
+      EXPECT_EQ(comm.recv_value<int>(1, 5), 99);
+    } else {
+      std::this_thread::sleep_for(120ms);
+      comm.send_value(0, 5, 99);
+    }
+  });
+}
+
+TEST(FaultRecv, TimeoutReturnsEarlyOnArrival) {
+  Runtime::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::uint8_t> buf;
+      Status st;
+      EXPECT_TRUE(comm.recv_timeout(kAnySource, 7, buf, 10000ms, &st));
+      EXPECT_EQ(st.source, 1);
+      EXPECT_EQ(buf.size(), sizeof(int));
+    } else {
+      comm.send_value(0, 7, 1);
+    }
+  });
+}
+
+// --- send faults ------------------------------------------------------------
+
+TEST(FaultSend, ExplicitCorruptionFlipsOneDataByte) {
+  auto p = plan();
+  p->corrupt_sends = {{0, 0}};  // rank 0's first user send
+  p->corrupt_offset_min = 8;
+  std::vector<std::uint8_t> first_run;
+  for (int run = 0; run < 2; ++run) {
+    std::vector<std::uint8_t> got;
+    Runtime::run(
+        2,
+        [&](Comm& comm) {
+          std::vector<std::uint8_t> payload(64, 0xFF);
+          if (comm.rank() == 0) {
+            comm.send(1, 1, payload);
+            comm.send(1, 2, payload);  // nth=1: not targeted
+          } else {
+            comm.recv(0, 1, got);
+            std::vector<std::uint8_t> clean;
+            comm.recv(0, 2, clean);
+            EXPECT_EQ(clean, payload);
+          }
+        },
+        p);
+    ASSERT_EQ(got.size(), 64u);
+    int diffs = 0;
+    std::size_t diff_at = 0;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      if (got[i] != 0xFF) {
+        ++diffs;
+        diff_at = i;
+      }
+    }
+    EXPECT_EQ(diffs, 1);                       // exactly one byte flipped
+    EXPECT_GE(diff_at, p->corrupt_offset_min); // never in the trusted header
+    if (run == 0)
+      first_run = got;
+    else
+      EXPECT_EQ(got, first_run);  // same seed -> same injected fault
+  }
+}
+
+TEST(FaultSend, HeaderSizedControlMessagesAreExempt) {
+  auto p = plan();
+  p->corrupt_rate = 1.0;  // corrupt everything eligible...
+  p->corrupt_offset_min = 32;
+  Runtime::run(
+      2,
+      [](Comm& comm) {
+        // ...but a payload no larger than the trusted-header size (a NACK,
+        // a DONE marker) has no data segment to corrupt.
+        std::vector<std::uint8_t> small(32, 0xAB);
+        if (comm.rank() == 0) {
+          comm.send(1, 1, small);
+        } else {
+          std::vector<std::uint8_t> got;
+          comm.recv(0, 1, got);
+          EXPECT_EQ(got, small);
+        }
+      },
+      p);
+}
+
+TEST(FaultSend, DelayedDeliveryStaysIntact) {
+  auto p = plan();
+  p->delay_rate = 1.0;
+  p->delay_ms = 20.0;
+  Runtime::run(
+      2,
+      [](Comm& comm) {
+        if (comm.rank() == 0) {
+          auto t0 = std::chrono::steady_clock::now();
+          comm.send_value(1, 3, 1234);
+          EXPECT_GE(std::chrono::steady_clock::now() - t0, 15ms);
+        } else {
+          EXPECT_EQ(comm.recv_value<int>(0, 3), 1234);
+        }
+      },
+      p);
+}
+
+// --- File read faults -------------------------------------------------------
+
+TEST(FaultFile, ExplicitTransientErrorIsRetriedOnce) {
+  auto path = write_temp_file("qv_fault_a.bin", 256);
+  auto p = plan();
+  p->read_errors = {{0, 0}};  // rank 0's first pread fails, first attempt only
+  Runtime::run(
+      1,
+      [&](Comm& comm) {
+        File f(comm, path);
+        std::vector<float> buf(256);
+        f.read_at(0, {reinterpret_cast<std::uint8_t*>(buf.data()), 1024});
+        EXPECT_EQ(f.stats().retries, 1u);
+        for (std::size_t i = 0; i < buf.size(); ++i)
+          ASSERT_FLOAT_EQ(buf[i], float(i));
+      },
+      p);
+  std::remove(path.c_str());
+}
+
+TEST(FaultFile, NoRetryBudgetTurnsTransientIntoIoError) {
+  auto path = write_temp_file("qv_fault_b.bin", 16);
+  auto p = plan();
+  p->read_errors = {{0, 0}};
+  Runtime::run(
+      1,
+      [&](Comm& comm) {
+        File f(comm, path);
+        io::RetryPolicy once;
+        once.max_attempts = 1;
+        f.set_retry_policy(once);
+        std::vector<std::uint8_t> buf(64);
+        EXPECT_THROW(f.read_at(0, buf), IoError);
+      },
+      p);
+  std::remove(path.c_str());
+}
+
+TEST(FaultFile, FailingPathExhaustsRetriesPermanently) {
+  auto path = write_temp_file("qv_fault_dead.bin", 16);
+  auto p = plan();
+  p->fail_path_substrings = {"qv_fault_dead"};
+  Runtime::run(
+      1,
+      [&](Comm& comm) {
+        File f(comm, path);
+        io::RetryPolicy quick;
+        quick.max_attempts = 3;
+        quick.base_delay = std::chrono::microseconds(1);
+        f.set_retry_policy(quick);
+        std::vector<std::uint8_t> buf(64);
+        EXPECT_THROW(f.read_at(0, buf), IoError);
+        EXPECT_EQ(f.stats().retries, 2u);  // every attempt failed
+      },
+      p);
+  std::remove(path.c_str());
+}
+
+TEST(FaultFile, ShortReadsAreContinuedTransparently) {
+  auto path = write_temp_file("qv_fault_c.bin", 1024);
+  auto p = plan();
+  p->short_read_rate = 1.0;
+  Runtime::run(
+      1,
+      [&](Comm& comm) {
+        File f(comm, path);
+        std::vector<float> buf(1024);
+        f.read_at(0, {reinterpret_cast<std::uint8_t*>(buf.data()), 4096});
+        EXPECT_GE(f.stats().short_reads, 1u);
+        EXPECT_EQ(f.stats().retries, 0u);  // a prefix is progress, not an error
+        for (std::size_t i = 0; i < buf.size(); ++i)
+          ASSERT_FLOAT_EQ(buf[i], float(i));
+      },
+      p);
+  std::remove(path.c_str());
+}
+
+// --- rank death -------------------------------------------------------------
+
+TEST(FaultKill, CheckpointKillsOnlyTheConfiguredRankAndStep) {
+  auto p = plan();
+  p->kill_rank = 1;
+  p->kill_at_step = 2;
+  std::atomic<int> last_step_rank1{-1};
+  std::atomic<int> completed{0};
+  Runtime::run(
+      3,
+      [&](Comm& comm) {
+        for (int s = 0; s < 5; ++s) {
+          comm.fault_checkpoint(s);
+          if (comm.rank() == 1) last_step_rank1 = s;
+        }
+        ++completed;
+      },
+      p);  // RankKilled is a clean exit: run() must not throw
+  EXPECT_EQ(last_step_rank1.load(), 1);  // died entering step 2
+  EXPECT_EQ(completed.load(), 2);        // the two survivors finished
+}
+
+TEST(FaultKill, SurvivorsDetectSilenceViaRecvTimeout) {
+  auto p = plan();
+  p->kill_rank = 0;
+  p->kill_at_step = 0;
+  Runtime::run(
+      2,
+      [](Comm& comm) {
+        if (comm.rank() == 0) {
+          comm.fault_checkpoint(0);  // dies here; never sends
+          comm.send_value(1, 1, 7);
+        } else {
+          std::vector<std::uint8_t> buf;
+          EXPECT_FALSE(comm.recv_timeout(0, 1, buf, 50ms));
+        }
+      },
+      p);
+}
+
+// --- world abort ------------------------------------------------------------
+
+TEST(WorldAbort, PeerExceptionUnblocksRecvInsteadOfDeadlocking) {
+  // Rank 1 blocks on a message only rank 0 could send; rank 0 throws.
+  // Without the abort path this joins never and the test times out.
+  bool aborted_seen = false;
+  try {
+    Runtime::run(2, [&](Comm& comm) {
+      if (comm.rank() == 0) {
+        throw std::runtime_error("rank 0 exploded");
+      }
+      try {
+        std::vector<std::uint8_t> buf;
+        comm.recv(0, 1, buf);
+      } catch (const WorldAborted&) {
+        aborted_seen = true;
+        throw;
+      }
+    });
+    FAIL() << "expected the rank-0 exception to propagate";
+  } catch (const std::runtime_error& e) {
+    // The original error is rethrown, not the secondary WorldAborted.
+    EXPECT_STREQ(e.what(), "rank 0 exploded");
+  }
+  EXPECT_TRUE(aborted_seen);
+}
+
+TEST(WorldAbort, PeerExceptionUnblocksBarrier) {
+  try {
+    Runtime::run(3, [&](Comm& comm) {
+      if (comm.rank() == 0) throw std::runtime_error("boom");
+      EXPECT_THROW(comm.barrier(), WorldAborted);
+      throw std::runtime_error("secondary");  // any exit is fine now
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+}
+
+TEST(WorldAbort, QueuedMessagesStillDeliveredAfterAbort) {
+  // A message that was already sent must remain receivable post-abort:
+  // only waits that can never be satisfied turn into errors.
+  std::atomic<bool> got{false};
+  try {
+    Runtime::run(2, [&](Comm& comm) {
+      if (comm.rank() == 0) {
+        comm.send_value(1, 9, 31);
+        throw std::runtime_error("after send");
+      }
+      std::this_thread::sleep_for(30ms);  // let the abort land first
+      got = comm.recv_value<int>(0, 9) == 31;
+    });
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_TRUE(got.load());
+}
+
+TEST(FaultPlan, PathMatchingAndRankOps) {
+  FaultPlan p;
+  p.fail_path_substrings = {"step_0001", "lost_ost"};
+  EXPECT_TRUE(p.path_fails("/data/step_0001.bin"));
+  EXPECT_TRUE(p.path_fails("/mnt/lost_ost/step_0004.bin"));
+  EXPECT_FALSE(p.path_fails("/data/step_0002.bin"));
+  EXPECT_TRUE(FaultPlan::matches({{2, 5}}, 2, 5));
+  EXPECT_FALSE(FaultPlan::matches({{2, 5}}, 2, 6));
+  EXPECT_FALSE(FaultPlan::matches({{2, 5}}, 3, 5));
+}
+
+}  // namespace
+}  // namespace qv::vmpi

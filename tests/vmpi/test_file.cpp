@@ -1,6 +1,7 @@
 #include "vmpi/file.hpp"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <filesystem>
@@ -11,9 +12,13 @@
 namespace qv::vmpi {
 namespace {
 
-// A file of `n` float records whose value encodes the index.
+// A file of `n` float records whose value encodes the index. PID-qualified:
+// ctest runs each case as its own process, concurrently, and parameterized
+// cases would otherwise write/remove the same path under each other.
 std::string make_test_file(std::size_t n, const char* name) {
-  std::string path = (std::filesystem::temp_directory_path() / name).string();
+  std::string path = (std::filesystem::temp_directory_path() /
+                      (std::string(name) + "." + std::to_string(::getpid())))
+                         .string();
   std::ofstream os(path, std::ios::binary);
   for (std::size_t i = 0; i < n; ++i) {
     float v = float(i) * 0.5f;

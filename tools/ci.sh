@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a ThreadSanitizer pass over the message-passing
+# runtime. Usage: tools/ci.sh [--tsan-only|--tier1-only]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=${JOBS:-$(nproc)}
+MODE=${1:-all}
+
+tier1() {
+  echo "== tier 1: build + full test suite =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS"
+  ctest --test-dir build --output-on-failure -j 4 --timeout 300
+}
+
+tsan() {
+  echo "== tsan: vmpi runtime + fault layer under ThreadSanitizer =="
+  cmake -B build-tsan -S . -DQV_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-tsan -j "$JOBS" --target test_vmpi test_pipeline
+  # TSAN_OPTIONS halt_on_error makes a data-race report a hard failure.
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_vmpi
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_pipeline \
+      --gtest_filter='FaultPipelineTest.*'
+}
+
+case "$MODE" in
+  --tier1-only) tier1 ;;
+  --tsan-only) tsan ;;
+  all|--all) tier1; tsan ;;
+  *) echo "usage: tools/ci.sh [--tier1-only|--tsan-only]" >&2; exit 2 ;;
+esac
+echo "ci: OK"

@@ -20,8 +20,13 @@
 //            [--width=W] [--height=H] [--steps=K] [--level=L] [--lic]
 //            [--enhance] [--orbit=DEG] [--rebalance=E] [--compositor=
 //            slic|direct] [--compress] [--compress-blocks] [--tf=FILE]
-//            [--vmax=X]
+//            [--vmax=X] [--recv-timeout-ms=T] [--fault-seed=S]
+//            [--fault-read-rate=P] [--fault-short-read-rate=P]
+//            [--fault-corrupt-rate=P] [--fault-lose=SUBSTR]
+//            [--fault-kill-rank=R --fault-kill-step=K]
 //       Run the full parallel pipeline and write frames + a timing report.
+//       Any --fault-* option installs a seeded fault-injection plan; the
+//       report then includes retry/corruption/degraded-frame counters.
 //
 //   quakeviz insitu --out=DIR [--snapshots=N] [--renderers=R]
 //       Simulation-time visualization: solver + renderer concurrently.
@@ -30,6 +35,7 @@
 #include <cstring>
 #include <filesystem>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "core/insitu.hpp"
@@ -247,6 +253,30 @@ int cmd_pipeline(const Args& args) {
   if (args.str("compositor", "slic") == "direct")
     cfg.compositor = core::Compositor::kDirectSend;
 
+  // Fault injection: any --fault-* option installs a seeded plan.
+  cfg.recv_timeout_ms = args.num("recv-timeout-ms", 0);
+  std::shared_ptr<vmpi::FaultPlan> plan;
+  auto fault = [&]() -> vmpi::FaultPlan& {
+    if (!plan) {
+      plan = std::make_shared<vmpi::FaultPlan>();
+      cfg.fault_plan = plan;
+    }
+    return *plan;
+  };
+  if (args.flag("fault-seed")) fault().seed = std::uint64_t(args.num("fault-seed", 0));
+  if (args.flag("fault-read-rate"))
+    fault().read_error_rate = args.real("fault-read-rate", 0.0);
+  if (args.flag("fault-short-read-rate"))
+    fault().short_read_rate = args.real("fault-short-read-rate", 0.0);
+  if (args.flag("fault-corrupt-rate"))
+    fault().corrupt_rate = args.real("fault-corrupt-rate", 0.0);
+  if (args.flag("fault-lose"))
+    fault().fail_path_substrings.push_back(args.str("fault-lose", ""));
+  if (args.flag("fault-kill-rank")) {
+    fault().kill_rank = args.num("fault-kill-rank", -1);
+    fault().kill_at_step = args.num("fault-kill-step", 0);
+  }
+
   auto report = core::run_pipeline(cfg);
   std::printf("frames: %d  interframe %.4f s\n", report.steps,
               report.avg_interframe);
@@ -259,6 +289,16 @@ int cmd_pipeline(const Args& args) {
     std::printf("epoch %zu imbalance %.3f -> replanned %.3f\n", e,
                 report.epoch_imbalance[e],
                 report.epoch_imbalance_replanned[e]);
+  }
+  if (cfg.fault_plan) {
+    std::printf("faults: %llu retries | %llu corrupt blocks | %llu resends | "
+                "%d dropped steps | %d degraded frames\n",
+                static_cast<unsigned long long>(report.retries),
+                static_cast<unsigned long long>(report.corrupt_blocks_detected),
+                static_cast<unsigned long long>(report.resend_requests),
+                report.dropped_steps, report.degraded_frames);
+    for (int s : report.degraded_steps)
+      std::printf("degraded step %d (frame repeated)\n", s);
   }
   return 0;
 }
