@@ -9,6 +9,8 @@
 #include "core/pipeline.hpp"
 #include "io/dataset.hpp"
 #include "quake/synthetic.hpp"
+#include "trace/analysis.hpp"
+#include "trace/trace.hpp"
 
 int main() {
   using namespace qv;
@@ -29,9 +31,9 @@ int main() {
 
   std::printf("Real pipeline, %d steps, 2 renderers, 128x128 (host-scaled)\n\n",
               steps);
-  std::printf("%-14s %-16s %-12s %-12s %-12s %-12s\n", "input procs",
-              "interframe (s)", "fetch (s)", "preproc (s)", "render (s)",
-              "composite (s)");
+  std::printf("%-14s %-16s %-12s %-12s %-12s %-12s %-10s %-10s\n",
+              "input procs", "interframe (s)", "fetch (s)", "preproc (s)",
+              "render (s)", "composite (s)", "occup (%)", "stall (%)");
 
   for (int m : {1, 2, 4}) {
     core::PipelineConfig cfg;
@@ -41,11 +43,31 @@ int main() {
     cfg.width = 128;
     cfg.height = 128;
     cfg.render.value_hi = 3.0f;
+    // Trace each sweep point: renderer occupancy and the steady-state
+    // stall fraction show the overlap directly, not just via interframe.
+    trace::enable();
     auto report = core::run_pipeline(cfg);
-    std::printf("%-14d %-16.4f %-12.4f %-12.4f %-12.4f %-12.4f\n", m,
-                report.avg_interframe, report.avg_fetch, report.avg_preprocess,
-                report.avg_render, report.avg_composite);
+    trace::disable();
+    auto traces = trace::collect();
+    auto overlap = trace::analyze_overlap(traces);
+    double render_occup = 0.0;
+    int render_ranks = 0;
+    for (const auto& ra : trace::rank_activity(traces)) {
+      if (ra.name.rfind("render", 0) == 0) {
+        render_occup += ra.occupancy;
+        ++render_ranks;
+      }
+    }
+    if (render_ranks > 0) render_occup /= render_ranks;
+    std::printf("%-14d %-16.4f %-12.4f %-12.4f %-12.4f %-12.4f %-10.1f %-10.1f\n",
+                m, report.avg_interframe, report.avg_fetch,
+                report.avg_preprocess, report.avg_render, report.avg_composite,
+                render_occup * 100.0, overlap.stall_fraction * 100.0);
+    if (m == 4) {
+      std::printf("\n%s\n\n", trace::format_overlap(overlap).c_str());
+    }
   }
+  trace::reset();
 
   std::printf("\nI/O strategies on the same data (2 groups x 2 readers):\n");
   for (auto [name, strategy] :

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "trace/trace.hpp"
 #include "util/stats.hpp"
 
 namespace qv::compositing {
@@ -63,6 +64,7 @@ CompositeResult binary_swap(vmpi::Comm& comm,
   int rounds = 0;
   while ((1 << rounds) < P) ++rounds;
   for (int k = 0; k < rounds; ++k) {
+    trace::Span round_span("compositing", "bswap_round", k);
     int partner = me ^ (1 << k);
     // Split `region` by rows; the lower-rank side keeps the top half.
     int mid = (region.y0 + region.y1) / 2;
@@ -124,6 +126,7 @@ CompositeResult binary_swap(vmpi::Comm& comm,
   result.stats.composite_seconds = timer.seconds();
 
   // Gather the 1/P tiles at the root.
+  trace::Span gather_span("compositing", "bswap_gather");
   if (me == root) {
     result.image = img::Image(width, height);
     for (int y = region.y0; y < region.y1; ++y)

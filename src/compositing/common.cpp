@@ -69,13 +69,18 @@ std::vector<Piece> unpack_pieces(std::span<const std::uint8_t> buf) {
     p.order = h.order;
     p.rect = {h.x0, h.y0, h.x1, h.y1};
     std::size_t count = std::size_t(p.rect.width()) * std::size_t(p.rect.height());
+    if (pos + h.payload_bytes > buf.size())
+      throw std::runtime_error("compositing: truncated piece payload");
     p.pixels.resize(count);
     if (h.compressed) {
-      std::size_t used = img::rle_decode(buf, pos, p.pixels);
-      if (used == 0 && count > 0)
+      auto used = img::rle_decode(buf.first(pos + h.payload_bytes), pos,
+                                  p.pixels);
+      if (!used)
         throw std::runtime_error("compositing: corrupt RLE piece");
       pos += h.payload_bytes;
     } else {
+      if (count * sizeof(img::Rgba) != h.payload_bytes)
+        throw std::runtime_error("compositing: piece payload size mismatch");
       std::memcpy(p.pixels.data(), buf.data() + pos, count * sizeof(img::Rgba));
       pos += h.payload_bytes;
     }

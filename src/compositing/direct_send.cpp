@@ -1,5 +1,6 @@
 #include "compositing/direct_send.hpp"
 
+#include "trace/trace.hpp"
 #include "util/stats.hpp"
 
 namespace qv::compositing {
@@ -24,6 +25,8 @@ CompositeResult direct_send(vmpi::Comm& comm,
 
   // Build one message per strip owner containing all overlapping pieces.
   std::vector<std::vector<std::uint8_t>> outbox(static_cast<std::size_t>(P));
+  {
+  trace::Span extract_span("compositing", "ds_extract");
   for (const PartialImage& part : partials) {
     if (part.rect.empty()) continue;
     for (int owner = 0; owner < P; ++owner) {
@@ -45,23 +48,31 @@ CompositeResult direct_send(vmpi::Comm& comm,
     }
     comm.send(r, kTagPieces, outbox[std::size_t(r)]);
   }
+  }  // ds_extract
 
   // Composite my strip.
   WallTimer timer;
   ScreenRect my_strip = strip_rows(me, P, width, height);
   img::Image strip_img(my_strip.width(), my_strip.height());
   std::vector<Piece> pieces;
-  for (int r = 0; r < P; ++r) {
-    std::vector<std::uint8_t> msg;
-    comm.recv(r, kTagPieces, msg);
-    auto got = unpack_pieces(msg);
-    for (auto& p : got) pieces.push_back(std::move(p));
+  {
+    trace::Span exchange_span("compositing", "ds_exchange");
+    for (int r = 0; r < P; ++r) {
+      std::vector<std::uint8_t> msg;
+      comm.recv(r, kTagPieces, msg);
+      auto got = unpack_pieces(msg);
+      for (auto& p : got) pieces.push_back(std::move(p));
+    }
   }
-  composite_pieces(pieces, strip_img, my_strip.x0, my_strip.y0);
+  {
+    trace::Span composite_span("compositing", "ds_composite");
+    composite_pieces(pieces, strip_img, my_strip.x0, my_strip.y0);
+  }
   result.stats.composite_seconds = timer.seconds();
 
   // Deliver strips to the root (compressed when requested — image delivery
   // is part of the compositing traffic the paper compresses).
+  trace::Span deliver_span("compositing", "ds_deliver");
   if (me == root) {
     result.image = img::Image(width, height);
     auto paste = [&](const Piece& piece) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "trace/trace.hpp"
 #include "util/stats.hpp"
 
 namespace qv::compositing {
@@ -111,13 +112,20 @@ CompositeResult slic(vmpi::Comm& comm, std::span<const PartialImage> partials,
 
   // 2. Precompute the view-dependent schedule (identical everywhere).
   WallTimer sched_timer;
-  SlicSchedule sched = build_slic_schedule(footprints, P, width, height);
+  SlicSchedule sched;
+  {
+    trace::Span tsp("compositing", "slic_schedule");
+    sched = build_slic_schedule(footprints, P, width, height);
+  }
   result.stats.schedule_seconds = sched_timer.seconds();
 
   // 3. Send my pixels of every span whose compositor is another rank;
   //    aggregate per destination.
-  std::vector<std::vector<std::uint8_t>> outbox(static_cast<std::size_t>(P));
+  std::vector<Piece> incoming;
   std::vector<const SlicSpan*> my_spans;
+  {
+  trace::Span exchange_span("compositing", "slic_exchange");
+  std::vector<std::vector<std::uint8_t>> outbox(static_cast<std::size_t>(P));
   for (const SlicSpan& span : sched.spans) {
     if (span.compositor == me) my_spans.push_back(&span);
     bool i_contribute =
@@ -143,7 +151,6 @@ CompositeResult slic(vmpi::Comm& comm, std::span<const PartialImage> partials,
   }
 
   // 4. Receive contributions and composite my scheduled spans.
-  std::vector<Piece> incoming;
   for (int r = 0; r < P; ++r) {
     if (r == me) continue;
     std::vector<std::uint8_t> msg;
@@ -151,7 +158,12 @@ CompositeResult slic(vmpi::Comm& comm, std::span<const PartialImage> partials,
     auto got = unpack_pieces(msg);
     for (auto& p : got) incoming.push_back(std::move(p));
   }
+  }  // slic_exchange
 
+  // Final pixels of my spans, to be shipped to the root.
+  std::vector<std::uint8_t> final_msg;
+  {
+  trace::Span composite_span("compositing", "slic_composite");
   WallTimer comp_timer;
   // Group incoming pieces by (y, x0): they match spans exactly.
   std::sort(incoming.begin(), incoming.end(), [](const Piece& a, const Piece& b) {
@@ -160,8 +172,6 @@ CompositeResult slic(vmpi::Comm& comm, std::span<const PartialImage> partials,
     return a.order < b.order;
   });
 
-  // Final pixels of my spans, to be shipped to the root.
-  std::vector<std::uint8_t> final_msg;
   for (const SlicSpan* span : my_spans) {
     std::vector<Piece> contributions;
     // My own partials' pixels.
@@ -194,8 +204,10 @@ CompositeResult slic(vmpi::Comm& comm, std::span<const PartialImage> partials,
     pack_piece(done, compress, final_msg);
   }
   result.stats.composite_seconds = comp_timer.seconds();
+  }  // slic_composite
 
   // 5. Deliver composited spans to the root (the output processor's role).
+  trace::Span deliver_span("compositing", "slic_deliver");
   if (me != root) {
     result.stats.messages += final_msg.empty() ? 0 : 1;
     result.stats.bytes_sent += final_msg.size();

@@ -23,6 +23,10 @@ enum class IoStrategy {
 enum class Compositor {
   kSlic,        // §4.4: scheduled linear image compositing
   kDirectSend,  // baseline
+  kBinarySwap,  // classic log-P swap; requires power-of-two render_procs
+                // (run_pipeline falls back to direct-send otherwise).
+                // Exact only for depth-separable renderer partitions;
+                // interleaved assignments make it an approximation.
 };
 
 enum class Colormap {

@@ -1,11 +1,13 @@
 #include "core/insitu.hpp"
 
+#include <cstdio>
 #include <cstring>
 #include <map>
 #include <mutex>
 #include <stdexcept>
 
 #include "compositing/slic.hpp"
+#include "trace/trace.hpp"
 #include "io/block_index.hpp"
 #include "io/preprocess.hpp"
 #include "quake/parallel_solver.hpp"
@@ -77,13 +79,17 @@ void run_sim(Shared& sh, const Setup& st, vmpi::Comm& world,
   double sim_time = 0.0;
   for (int snap = 0; snap < cfg.snapshots; ++snap) {
     WallTimer t;
-    for (int k = 0; k < cfg.steps_per_snapshot; ++k) solver.step();
+    {
+      trace::Span sim_span("pipeline", "sim_step", snap);
+      for (int k = 0; k < cfg.steps_per_snapshot; ++k) solver.step();
+    }
     sim_seconds += t.seconds();
     sim_time = solver.time();
 
     if (!streamer) continue;  // only the sim group's root streams
     // Preprocess and stream the snapshot to the renderers (monitoring taps
     // straight off the solver's state — no file system in the path).
+    trace::Span stream_span("pipeline", "send_blocks", snap);
     auto vel = solver.velocity_interleaved();
     auto scalar = io::derive_scalar(vel, 3, cfg.variable);
     auto q = io::quantize(scalar, cfg.render.value_lo, cfg.render.value_hi);
@@ -135,7 +141,10 @@ void run_render(Shared& sh, const Setup& st, vmpi::Comm& world,
   for (int snap = 0; snap < cfg.snapshots; ++snap) {
     for (std::size_t k = 0; k < owned.size(); ++k) {
       std::vector<std::uint8_t> msg;
-      world.recv(vmpi::kAnySource, tag_block(snap), msg);
+      {
+        trace::Span wait_span("pipeline", "wait_blocks", snap);
+        world.recv(vmpi::kAnySource, tag_block(snap), msg);
+      }
       SnapHeader hdr;
       std::memcpy(&hdr, msg.data(), sizeof(hdr));
       std::size_t li = local_of.at(hdr.block);
@@ -154,13 +163,20 @@ void run_render(Shared& sh, const Setup& st, vmpi::Comm& world,
       rank_of[order[i]] = std::uint32_t(i);
 
     std::vector<render::PartialImage> partials;
-    for (std::size_t i = 0; i < owned.size(); ++i) {
-      rblocks[i].set_values(values[i]);
-      partials.push_back(rc.render_block(camera, rblocks[i],
-                                         rank_of[owned[i]]));
+    {
+      trace::Span render_span("pipeline", "render", snap);
+      for (std::size_t i = 0; i < owned.size(); ++i) {
+        rblocks[i].set_values(values[i]);
+        partials.push_back(rc.render_block(camera, rblocks[i],
+                                           rank_of[owned[i]]));
+      }
     }
-    auto comp = compositing::slic(render_comm, partials, cfg.width,
-                                  cfg.height, false, 0);
+    compositing::CompositeResult comp;
+    {
+      trace::Span composite_span("pipeline", "composite", snap);
+      comp = compositing::slic(render_comm, partials, cfg.width,
+                               cfg.height, false, 0);
+    }
     if (rr == 0) {
       auto px = comp.image.pixels();
       world.isend(out_rank, tag_frame(snap),
@@ -176,7 +192,11 @@ void run_output(Shared& sh, const Setup&, vmpi::Comm& world) {
   std::vector<double> frame_seconds;
   for (int snap = 0; snap < cfg.snapshots; ++snap) {
     std::vector<std::uint8_t> msg;
-    world.recv(vmpi::kAnySource, tag_frame(snap), msg);
+    {
+      trace::Span wait_span("pipeline", "wait_frame", snap);
+      world.recv(vmpi::kAnySource, tag_frame(snap), msg);
+    }
+    trace::Span frame_span("pipeline", "frame", snap);
     img::Image frame(cfg.width, cfg.height);
     if (msg.size() != frame.pixels().size_bytes())
       throw std::runtime_error("insitu: frame size mismatch");
@@ -219,6 +239,16 @@ InsituReport run_insitu(const InsituConfig& config,
     const int role = r < config.sim_procs
                          ? 0
                          : (r < config.sim_procs + config.render_procs ? 1 : 2);
+    if (trace::enabled()) {
+      char tname[32];
+      if (role == 0)
+        std::snprintf(tname, sizeof(tname), "sim %d", r);
+      else if (role == 1)
+        std::snprintf(tname, sizeof(tname), "render %d", r - config.sim_procs);
+      else
+        std::snprintf(tname, sizeof(tname), "output");
+      trace::set_thread(r, tname);
+    }
     vmpi::Comm sub = world.split(role, r);
     world.barrier();
     switch (role) {

@@ -1,6 +1,7 @@
 #include "core/pipeline.hpp"
 
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <functional>
 #include <map>
@@ -8,6 +9,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "compositing/binary_swap.hpp"
 #include "compositing/direct_send.hpp"
 #include "compositing/slic.hpp"
 #include "core/ground_overlay.hpp"
@@ -19,6 +21,7 @@
 #include "lic/lic.hpp"
 #include "render/order.hpp"
 #include "render/raycast.hpp"
+#include "trace/trace.hpp"
 #include "util/crc32.hpp"
 #include "util/stats.hpp"
 #include "vmpi/comm.hpp"
@@ -180,7 +183,7 @@ void unpack_values(const Header& hdr, std::span<const std::uint8_t> msg,
   std::span<const std::uint8_t> values;
   if (hdr.compressed) {
     scratch.resize(hdr.count);
-    if (io::rle8_decode(msg, sizeof(Header), scratch) == 0 && hdr.count > 0)
+    if (!io::rle8_decode(msg, sizeof(Header), scratch))
       throw std::runtime_error("pipeline: corrupt compressed block payload");
     values = scratch;
   } else {
@@ -202,6 +205,9 @@ struct Shared {
   double render = 0, composite = 0;
   std::uint64_t composite_bytes = 0;
   std::uint64_t block_bytes_raw = 0, block_bytes_sent = 0;
+  // Attempted counts every step whose fetch started; completed only those
+  // that went on through preprocess+send. They differ under fetch faults.
+  int input_attempts = 0;
   int input_steps = 0, render_steps = 0;
   // Fault handling.
   std::uint64_t retries = 0;         // inputs: per-pread transient retries
@@ -282,6 +288,30 @@ std::vector<float> read_level_at(vmpi::Comm& comm, const Setup& st,
 // Input processors
 // ---------------------------------------------------------------------------
 
+// An input rank's private accumulators, flushed to the shared stats on scope
+// exit. The destructor (rather than a plain post-loop flush) matters under
+// fault injection: a RankKilled unwind must still deliver the completed
+// steps' work into the report, or the averages divide by the wrong counts.
+struct InputStats {
+  Shared& sh;
+  double fetch = 0, preprocess = 0, send = 0;
+  int attempts = 0, steps = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t resends = 0;
+
+  explicit InputStats(Shared& shared) : sh(shared) {}
+  ~InputStats() {
+    std::lock_guard lk(sh.mu);
+    sh.fetch += fetch;
+    sh.preprocess += preprocess;
+    sh.send += send;
+    sh.input_attempts += attempts;
+    sh.input_steps += steps;
+    sh.retries += retries;
+    sh.resends += resends;
+  }
+};
+
 // Ship per-block quantized values to the renderers under the given
 // assignment (1DIP and 2DIP-collective use the same message format).
 void send_blocks(vmpi::Comm& world, Shared& sh, const Setup& st, int step,
@@ -353,7 +383,9 @@ struct InputControl {
   std::function<void(int step, int block, int requester)> service_nack;
   std::map<int, std::vector<int>> assignments{};  // epoch -> owners
   int done_count = 0;
-  std::uint64_t resends = 0;
+  // Counted straight into the rank's InputStats so a mid-run kill keeps
+  // whatever was already serviced.
+  std::uint64_t* resends = nullptr;
 
   void dispatch_one() {
     std::vector<std::uint8_t> buf;
@@ -364,7 +396,7 @@ struct InputControl {
         throw std::runtime_error("pipeline: malformed NACK message");
       std::memcpy(&nack, buf.data(), sizeof(nack));
       service_nack(nack.step, nack.block, st.source);
-      ++resends;
+      if (resends) ++*resends;
     } else if (st.tag == kTagDone) {
       ++done_count;
     } else if (st.tag >= 0 && st.tag % 8 == 3) {
@@ -403,9 +435,7 @@ void run_input_1dip(Shared& sh, const Setup& st, vmpi::Comm& world,
   std::vector<int> owners = st.owners;
   int cur_epoch = 0;
 
-  double fetch = 0, preprocess = 0, send = 0;
-  int steps = 0;
-  std::uint64_t retries = 0;
+  InputStats acc(sh);
   // Quantization range of every step this rank shipped: NACK regeneration
   // must reuse it to be bit-identical when the range was auto-derived.
   std::map<int, std::pair<float, float>> sent_range;
@@ -413,14 +443,14 @@ void run_input_1dip(Shared& sh, const Setup& st, vmpi::Comm& world,
   auto read_step = [&](int s, std::vector<float>& cur, std::vector<float>& prev,
                        std::vector<float>& next) {
     cur = read_level_at(world, st, st.reader.step_path(s), 0,
-                        st.level_floats(), &retries);
+                        st.level_floats(), &acc.retries);
     if (cfg.enhancement) {
       if (s > 0)
         prev = read_level_at(world, st, st.reader.step_path(s - 1), 0,
-                             st.level_floats(), &retries);
+                             st.level_floats(), &acc.retries);
       if (s + 1 < st.reader.meta().num_steps)
         next = read_level_at(world, st, st.reader.step_path(s + 1), 0,
-                             st.level_floats(), &retries);
+                             st.level_floats(), &acc.retries);
     }
   };
 
@@ -454,6 +484,8 @@ void run_input_1dip(Shared& sh, const Setup& st, vmpi::Comm& world,
                      }
                    }};
 
+  ctl.resends = &acc.resends;
+
   for (int s = input_index; s < st.num_steps; s += m) {
     world.fault_checkpoint(s);
     // Dynamic redistribution: pick up the assignment of this step's epoch
@@ -466,12 +498,16 @@ void run_input_1dip(Shared& sh, const Setup& st, vmpi::Comm& world,
     WallTimer t;
     std::vector<float> cur, prev, next;
     bool fetched = true;
-    try {
-      read_step(s, cur, prev, next);
-    } catch (const vmpi::IoError&) {
-      fetched = false;
+    ++acc.attempts;
+    {
+      trace::Span fetch_span("pipeline", "fetch", s);
+      try {
+        read_step(s, cur, prev, next);
+      } catch (const vmpi::IoError&) {
+        fetched = false;
+      }
     }
-    fetch += t.seconds();
+    acc.fetch += t.seconds();
     t.reset();
     if (!fetched) {
       // Permanent fetch failure after retries: one skip marker to each
@@ -484,24 +520,24 @@ void run_input_1dip(Shared& sh, const Setup& st, vmpi::Comm& world,
           world.isend(I + r, tag_block(s), make_skip_block_msg(s));
       continue;
     }
-    auto scalar = make_scalar(cfg, st, cur, prev, next);
-    auto q = io::quantize(scalar, cfg.render.value_lo, cfg.render.value_hi);
-    sent_range[s] = {q.lo, q.hi};
-    if (cfg.lic_overlay) input_lic(world, cfg, st, s, cur, qt);
-    preprocess += t.seconds();
+    io::QuantizedField q;
+    {
+      trace::Span prep_span("pipeline", "preprocess", s);
+      auto scalar = make_scalar(cfg, st, cur, prev, next);
+      q = io::quantize(scalar, cfg.render.value_lo, cfg.render.value_hi);
+      sent_range[s] = {q.lo, q.hi};
+      if (cfg.lic_overlay) input_lic(world, cfg, st, s, cur, qt);
+    }
+    acc.preprocess += t.seconds();
     t.reset();
-    send_blocks(world, sh, st, s, q, all_blocks, owners);
-    send += t.seconds();
-    ++steps;
+    {
+      trace::Span send_span("pipeline", "send_blocks", s);
+      send_blocks(world, sh, st, s, q, all_blocks, owners);
+    }
+    acc.send += t.seconds();
+    ++acc.steps;
   }
   ctl.drain_until_done(cfg.render_procs);
-  std::lock_guard lk(sh.mu);
-  sh.fetch += fetch;
-  sh.preprocess += preprocess;
-  sh.send += send;
-  sh.input_steps += steps;
-  sh.retries += retries;
-  sh.resends += ctl.resends;
 }
 
 // 2DIP group member. `group_comm` spans the m members of this group.
@@ -514,8 +550,7 @@ void run_input_2dip(Shared& sh, const Setup& st, vmpi::Comm& world,
   const int comps = st.reader.meta().components;
   const bool collective = cfg.strategy == IoStrategy::kTwoDipCollective;
 
-  double fetch = 0, preprocess = 0, send = 0;
-  int steps = 0;
+  InputStats acc(sh);
 
   // --- static request patterns (computed once; the mesh never changes) ----
   // Collective: this member serves render procs {r : r % m == mi}; its view
@@ -555,7 +590,6 @@ void run_input_2dip(Shared& sh, const Setup& st, vmpi::Comm& world,
   }
 
   const int I = cfg.total_input_procs();
-  std::uint64_t retries = 0;
   std::map<int, std::pair<float, float>> sent_range;
 
   // Renderers this member ships data to (collective: the blocks whose owner
@@ -570,14 +604,14 @@ void run_input_2dip(Shared& sh, const Setup& st, vmpi::Comm& world,
     std::uint64_t count =
         std::uint64_t(slice_hi - slice_lo) * std::uint64_t(comps);
     cur = read_level_at(world, st, st.reader.step_path(step_id), first, count,
-                        &retries);
+                        &acc.retries);
     if (cfg.enhancement) {
       if (step_id > 0)
         prev = read_level_at(world, st, st.reader.step_path(step_id - 1),
-                             first, count, &retries);
+                             first, count, &acc.retries);
       if (step_id + 1 < st.reader.meta().num_steps)
         next = read_level_at(world, st, st.reader.step_path(step_id + 1),
-                             first, count, &retries);
+                             first, count, &acc.retries);
     }
   };
 
@@ -604,7 +638,7 @@ void run_input_2dip(Shared& sh, const Setup& st, vmpi::Comm& world,
                                                      i * std::size_t(comps)),
                      std::size_t(comps) * sizeof(float)});
         }
-        retries += f.stats().retries;
+        acc.retries += f.stats().retries;
         return data;
       };
       auto cur = read_nodes(rs);
@@ -652,11 +686,19 @@ void run_input_2dip(Shared& sh, const Setup& st, vmpi::Comm& world,
                               ? std::function<void(int, int, int)>(regen_block)
                               : std::function<void(int, int, int)>(regen_slice)};
 
+  ctl.resends = &acc.resends;
+
   for (int s = group; s < st.num_steps; s += n) {
     world.fault_checkpoint(s);
     WallTimer t;
     std::vector<float> cur, prev, next;
     bool fetched = true;
+    ++acc.attempts;
+    // std::optional lets the span close exactly at fetch end without
+    // re-bracing the whole try/catch below (Span is neither copyable nor
+    // movable by design).
+    std::optional<trace::Span> fetch_span;
+    if (trace::enabled()) fetch_span.emplace("pipeline", "fetch", s);
     try {
       if (collective) {
         auto read_step = [&](int step_id) {
@@ -668,10 +710,10 @@ void run_input_2dip(Shared& sh, const Setup& st, vmpi::Comm& world,
             f.read_all({reinterpret_cast<std::uint8_t*>(data.data()),
                         data.size() * sizeof(float)});
           } catch (...) {
-            retries += f.stats().retries;
+            acc.retries += f.stats().retries;
             throw;
           }
-          retries += f.stats().retries;
+          acc.retries += f.stats().retries;
           return data;
         };
         cur = read_step(s);
@@ -688,7 +730,8 @@ void run_input_2dip(Shared& sh, const Setup& st, vmpi::Comm& world,
       // each renderer receives exactly one skip marker.
       fetched = false;
     }
-    fetch += t.seconds();
+    fetch_span.reset();
+    acc.fetch += t.seconds();
     t.reset();
     if (!fetched) {
       for (int r = 0; r < cfg.render_procs; ++r) {
@@ -699,13 +742,18 @@ void run_input_2dip(Shared& sh, const Setup& st, vmpi::Comm& world,
       }
       continue;
     }
-    auto scalar = make_scalar(cfg, st, cur, prev, next);
-    auto q = io::quantize(scalar, cfg.render.value_lo, cfg.render.value_hi);
-    sent_range[s] = {q.lo, q.hi};
-    preprocess += t.seconds();
+    io::QuantizedField q;
+    {
+      trace::Span prep_span("pipeline", "preprocess", s);
+      auto scalar = make_scalar(cfg, st, cur, prev, next);
+      q = io::quantize(scalar, cfg.render.value_lo, cfg.render.value_hi);
+      sent_range[s] = {q.lo, q.hi};
+    }
+    acc.preprocess += t.seconds();
     t.reset();
 
     std::uint64_t raw = 0, sent_bytes = 0;
+    trace::Span send_span("pipeline", "send_blocks", s);
     if (collective) {
       // Per-block messages, values indexed through the merged node list.
       std::vector<std::uint8_t> values;
@@ -738,17 +786,10 @@ void run_input_2dip(Shared& sh, const Setup& st, vmpi::Comm& world,
       sh.block_bytes_raw += raw;
       sh.block_bytes_sent += sent_bytes;
     }
-    send += t.seconds();
-    ++steps;
+    acc.send += t.seconds();
+    ++acc.steps;
   }
   ctl.drain_until_done(cfg.render_procs);
-  std::lock_guard lk(sh.mu);
-  sh.fetch += fetch;
-  sh.preprocess += preprocess;
-  sh.send += send;
-  sh.input_steps += steps;
-  sh.retries += retries;
-  sh.resends += ctl.resends;
 }
 
 // ---------------------------------------------------------------------------
@@ -853,6 +894,10 @@ void run_render(Shared& sh, const Setup& st, vmpi::Comm& world,
     int nacks_left = kMaxNacksPerStep;
     auto recv_step_msg = [&](std::vector<std::uint8_t>& msg,
                              vmpi::Status& rst) {
+      // The wait_blocks span brackets only the blocking receive, not the
+      // unpack work around it: the trace analysis treats its total as the
+      // renderer's input-starvation stall.
+      trace::Span wait_span("pipeline", "wait_blocks", s);
       if (cfg.recv_timeout_ms > 0)
         return world.recv_timeout(vmpi::kAnySource, tag_block(s), msg, timeout,
                                   &rst);
@@ -955,24 +1000,43 @@ void run_render(Shared& sh, const Setup& st, vmpi::Comm& world,
     WallTimer t;
     std::vector<render::PartialImage> partials;
     partials.reserve(assign.owned.size());
-    for (std::size_t i = 0; i < assign.owned.size(); ++i) {
-      WallTimer bt;
-      assign.rblocks[i].set_values(assign.block_values[i]);
-      partials.push_back(rc.render_block(camera, assign.rblocks[i],
-                                         rank_of[assign.owned[i]]));
-      epoch_costs[int(assign.owned[i])] += bt.seconds();
+    {
+      trace::Span render_span("pipeline", "render", s);
+      for (std::size_t i = 0; i < assign.owned.size(); ++i) {
+        WallTimer bt;
+        assign.rblocks[i].set_values(assign.block_values[i]);
+        partials.push_back(rc.render_block(camera, assign.rblocks[i],
+                                           rank_of[assign.owned[i]]));
+        epoch_costs[int(assign.owned[i])] += bt.seconds();
+      }
     }
     render_time += t.seconds();
     t.reset();
 
     // --- parallel compositing ----------------------------------------------
     compositing::CompositeResult comp;
-    if (cfg.compositor == Compositor::kSlic) {
-      comp = compositing::slic(render_comm, partials, cfg.width, cfg.height,
-                               cfg.compress_compositing, 0);
-    } else {
-      comp = compositing::direct_send(render_comm, partials, cfg.width,
-                                      cfg.height, cfg.compress_compositing, 0);
+    {
+      trace::Span composite_span("pipeline", "composite", s);
+      if (cfg.compositor == Compositor::kSlic) {
+        comp = compositing::slic(render_comm, partials, cfg.width, cfg.height,
+                                 cfg.compress_compositing, 0);
+      } else if (cfg.compositor == Compositor::kBinarySwap) {
+        // Binary swap needs each rank's data-space bounds for front-to-back
+        // ordering; use the union of the blocks this rank just rendered.
+        Box3 my_bounds = st.mesh->domain();
+        if (!assign.owned.empty()) {
+          my_bounds = st.blocks[assign.owned[0]].bounds;
+          for (std::size_t i = 1; i < assign.owned.size(); ++i)
+            my_bounds = my_bounds.united(st.blocks[assign.owned[i]].bounds);
+        }
+        comp = compositing::binary_swap(render_comm, partials, cfg.width,
+                                        cfg.height, my_bounds, camera.eye(),
+                                        cfg.compress_compositing, 0);
+      } else {
+        comp = compositing::direct_send(render_comm, partials, cfg.width,
+                                        cfg.height, cfg.compress_compositing,
+                                        0);
+      }
     }
     composite_time += t.seconds();
     composite_bytes += comp.stats.bytes_sent;
@@ -1075,7 +1139,11 @@ void run_output(Shared& sh, const Setup& st, vmpi::Comm& world) {
   std::vector<float> last_gray;  // LIC texture frame-repeat buffer
   for (int s = 0; s < st.num_steps; ++s) {
     std::vector<std::uint8_t> msg;
-    world.recv(vmpi::kAnySource, tag_frame(s), msg);
+    {
+      trace::Span wait_span("pipeline", "wait_frame", s);
+      world.recv(vmpi::kAnySource, tag_frame(s), msg);
+    }
+    trace::Span frame_span("pipeline", "frame", s);
     img::Image frame(cfg.width, cfg.height);
     FrameMsgHeader fh;
     if (msg.size() != sizeof(fh) + frame.pixels().size_bytes())
@@ -1121,8 +1189,21 @@ void run_output(Shared& sh, const Setup& st, vmpi::Comm& world) {
 
 }  // namespace
 
-PipelineReport run_pipeline(const PipelineConfig& config,
+PipelineReport run_pipeline(const PipelineConfig& config_in,
                             std::vector<img::Image>* frames_out) {
+  // Local copy: validation below may downgrade the compositor choice.
+  PipelineConfig config = config_in;
+  if (config.compositor == Compositor::kBinarySwap &&
+      (config.render_procs & (config.render_procs - 1)) != 0) {
+    // binary_swap() itself aborts on a non-power-of-two communicator; catch
+    // the configuration here and degrade gracefully instead of killing the
+    // whole world mid-run.
+    std::fprintf(stderr,
+                 "pipeline: binary-swap compositing requires a power-of-two "
+                 "render_procs (got %d); falling back to direct-send\n",
+                 config.render_procs);
+    config.compositor = Compositor::kDirectSend;
+  }
   if (config.lic_overlay && config.strategy != IoStrategy::kOneDip)
     throw std::runtime_error(
         "pipeline: the LIC overlay path requires the 1DIP strategy (as in "
@@ -1159,6 +1240,19 @@ PipelineReport run_pipeline(const PipelineConfig& config,
     const int r = world.rank();
     const int role = r < I ? 0 : (r < I + R ? 1 : 2);
 
+    if (trace::enabled()) {
+      // Replace the runtime's generic "rank N" label with the pipeline role
+      // so traces read as input/render/output lanes.
+      char tname[32];
+      if (role == 0)
+        std::snprintf(tname, sizeof(tname), "input %d", r);
+      else if (role == 1)
+        std::snprintf(tname, sizeof(tname), "render %d", r - I);
+      else
+        std::snprintf(tname, sizeof(tname), "output");
+      trace::set_thread(r, tname);
+    }
+
     vmpi::Comm sub = world.split(role, r);
     std::optional<vmpi::Comm> group_comm;
     if (role == 0 && config.strategy != IoStrategy::kOneDip) {
@@ -1186,11 +1280,18 @@ PipelineReport run_pipeline(const PipelineConfig& config,
 
   PipelineReport& rep = sh.report;
   rep.steps = sh.render_steps > 0 ? sh.render_steps / config.render_procs : 0;
-  int in_steps = std::max(sh.input_steps, 1);
+  rep.input_steps_attempted = sh.input_attempts;
+  rep.input_steps_completed = sh.input_steps;
+  // Fetch runs on every *attempted* step; preprocess and send only on steps
+  // that completed. Dividing all three by the same count used to deflate the
+  // per-step averages of degraded runs (dropped steps padded the
+  // denominator with stages that never executed).
+  int fetch_steps = std::max(sh.input_attempts, 1);
+  int done_steps = std::max(sh.input_steps, 1);
   int rn_steps = std::max(rep.steps, 1);
-  rep.avg_fetch = sh.fetch / in_steps;
-  rep.avg_preprocess = sh.preprocess / in_steps;
-  rep.avg_send = sh.send / in_steps;
+  rep.avg_fetch = sh.fetch / fetch_steps;
+  rep.avg_preprocess = sh.preprocess / done_steps;
+  rep.avg_send = sh.send / done_steps;
   rep.avg_render = sh.render / (rn_steps * config.render_procs);
   rep.avg_composite = sh.composite / (rn_steps * config.render_procs);
   rep.composite_bytes = sh.composite_bytes;
@@ -1200,16 +1301,7 @@ PipelineReport run_pipeline(const PipelineConfig& config,
   rep.corrupt_blocks_detected = sh.corrupt_blocks;
   rep.resend_requests = sh.resends;
   rep.dropped_steps = sh.dropped_steps;
-  if (rep.frame_seconds.size() >= 2) {
-    std::size_t first = std::max<std::size_t>(rep.frame_seconds.size() / 2, 1);
-    double sum = 0;
-    std::size_t n = 0;
-    for (std::size_t i = first; i < rep.frame_seconds.size(); ++i) {
-      sum += rep.frame_seconds[i] - rep.frame_seconds[i - 1];
-      ++n;
-    }
-    rep.avg_interframe = n ? sum / double(n) : 0.0;
-  }
+  rep.avg_interframe = steady_interframe(rep.frame_seconds);
   return rep;
 }
 

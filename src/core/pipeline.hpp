@@ -61,6 +61,15 @@ struct PipelineReport {
   int degraded_frames = 0;                   // frames showing reused data
   std::vector<int> degraded_steps;           // which steps, ascending
 
+  // Input-side step accounting. A step is *attempted* once its fetch starts
+  // and *completed* only after preprocess + send finished; a permanently
+  // failed fetch leaves attempted > completed. avg_fetch averages over
+  // attempts (the disk was really hit); avg_preprocess / avg_send average
+  // over completions, so degraded runs no longer dilute those averages with
+  // steps that never ran the stage.
+  int input_steps_attempted = 0;
+  int input_steps_completed = 0;
+
   int steps = 0;
 };
 

@@ -50,21 +50,25 @@ std::size_t rle_encode(std::span<const Rgba> pixels, RleBuffer& out) {
   return out.size() - start;
 }
 
-std::size_t rle_decode(std::span<const std::uint8_t> in, std::size_t offset,
-                       std::span<Rgba> out_pixels) {
+std::optional<std::size_t> rle_decode(std::span<const std::uint8_t> in,
+                                      std::size_t offset,
+                                      std::span<Rgba> out_pixels) {
   const std::size_t start = offset;
   std::size_t produced = 0;
   while (produced < out_pixels.size()) {
     std::uint32_t header = 0;
-    if (!read_u32(in, offset, header)) return 0;
+    if (!read_u32(in, offset, header)) return std::nullopt;  // truncated
     std::uint32_t count = header & kMaxCount;
-    if (produced + count > out_pixels.size()) return 0;
+    // The encoder never emits zero-length packets; one here means a corrupt
+    // stream (and would otherwise let a hostile stream stall progress).
+    if (count == 0) return std::nullopt;
+    if (produced + count > out_pixels.size()) return std::nullopt;
     if (header & kZeroRunFlag) {
       std::fill_n(out_pixels.begin() + static_cast<std::ptrdiff_t>(produced),
                   count, Rgba{});
     } else {
       std::size_t bytes = std::size_t(count) * sizeof(Rgba);
-      if (offset + bytes > in.size()) return 0;
+      if (offset + bytes > in.size()) return std::nullopt;  // truncated payload
       std::memcpy(out_pixels.data() + produced, in.data() + offset, bytes);
       offset += bytes;
     }

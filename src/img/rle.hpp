@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -25,10 +26,14 @@ using RleBuffer = std::vector<std::uint8_t>;
 // Encode `pixels` into `out` (appended). Returns encoded byte count.
 std::size_t rle_encode(std::span<const Rgba> pixels, RleBuffer& out);
 
-// Decode exactly `pixel_count` pixels from `in` starting at `offset`.
-// Returns the number of bytes consumed, or 0 on malformed input.
-std::size_t rle_decode(std::span<const std::uint8_t> in, std::size_t offset,
-                       std::span<Rgba> out_pixels);
+// Decode exactly `out_pixels.size()` pixels from `in` starting at `offset`.
+// Returns the number of bytes consumed; nullopt on truncated or malformed
+// input (bad header, overlong run, zero-length packet). An empty pixel span
+// legitimately consumes 0 bytes — distinct from the error case, which the
+// old 0-means-error convention conflated.
+std::optional<std::size_t> rle_decode(std::span<const std::uint8_t> in,
+                                      std::size_t offset,
+                                      std::span<Rgba> out_pixels);
 
 // Convenience: compression ratio achieved for a span (encoded/raw, <1 is a win).
 double rle_ratio(std::span<const Rgba> pixels);

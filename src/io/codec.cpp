@@ -2,10 +2,13 @@
 
 #include <cstring>
 
+#include "trace/trace.hpp"
+
 namespace qv::io {
 
 std::size_t rle8_encode(std::span<const std::uint8_t> data,
                         std::vector<std::uint8_t>& out) {
+  trace::Span tsp("io", "rle8_encode", std::int64_t(data.size()));
   const std::size_t start = out.size();
   std::size_t i = 0;
   while (i < data.size()) {
@@ -32,21 +35,23 @@ std::size_t rle8_encode(std::span<const std::uint8_t> data,
   return out.size() - start;
 }
 
-std::size_t rle8_decode(std::span<const std::uint8_t> in, std::size_t offset,
-                        std::span<std::uint8_t> out) {
+std::optional<std::size_t> rle8_decode(std::span<const std::uint8_t> in,
+                                       std::size_t offset,
+                                       std::span<std::uint8_t> out) {
   const std::size_t start = offset;
   std::size_t produced = 0;
   while (produced < out.size()) {
-    if (offset >= in.size()) return 0;
+    if (offset >= in.size()) return std::nullopt;  // truncated
     std::uint8_t h = in[offset++];
     if (h < 0x80) {
       std::size_t n = std::size_t(h) + 1;
-      if (produced + n > out.size()) return 0;
+      if (produced + n > out.size()) return std::nullopt;  // overlong run
       std::memset(out.data() + produced, 0, n);
       produced += n;
     } else {
       std::size_t n = std::size_t(h) - 0x7f;
-      if (produced + n > out.size() || offset + n > in.size()) return 0;
+      if (produced + n > out.size() || offset + n > in.size())
+        return std::nullopt;  // overlong literal / truncated payload
       std::memcpy(out.data() + produced, in.data() + offset, n);
       offset += n;
       produced += n;

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -22,9 +23,12 @@ std::size_t rle8_encode(std::span<const std::uint8_t> data,
                         std::vector<std::uint8_t>& out);
 
 // Decode exactly `out.size()` bytes from `in` starting at `offset`.
-// Returns bytes consumed, or 0 on malformed input.
-std::size_t rle8_decode(std::span<const std::uint8_t> in, std::size_t offset,
-                        std::span<std::uint8_t> out);
+// Returns bytes consumed; nullopt on truncated or malformed input. An empty
+// `out` legitimately consumes 0 bytes — distinct from the error case, which
+// the old 0-means-error convention conflated.
+std::optional<std::size_t> rle8_decode(std::span<const std::uint8_t> in,
+                                       std::size_t offset,
+                                       std::span<std::uint8_t> out);
 
 // encoded/raw size for `data` (< 1 is a win).
 double rle8_ratio(std::span<const std::uint8_t> data);

@@ -4,9 +4,12 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "trace/trace.hpp"
+
 namespace qv::io {
 
 QuantizedField quantize(std::span<const float> values, float lo, float hi) {
+  trace::Span tsp("io", "quantize", std::int64_t(values.size()));
   QuantizedField q;
   if (lo >= hi) {
     lo = values.empty() ? 0.0f : *std::min_element(values.begin(), values.end());

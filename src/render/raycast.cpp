@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "render/order.hpp"
+#include "trace/trace.hpp"
 
 namespace qv::render {
 
@@ -18,6 +19,7 @@ PartialImage Raycaster::render_block(const Camera& camera,
                                      const RenderBlock& block,
                                      std::uint32_t order,
                                      RenderStats* stats) const {
+  trace::Span tsp("render", "render_block", order);
   PartialImage out;
   out.order = order;
   out.rect = camera.footprint(block.bounds());

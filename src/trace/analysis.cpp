@@ -1,0 +1,157 @@
+#include "trace/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+namespace qv::trace {
+namespace {
+
+constexpr double kNsToSec = 1e-9;
+
+bool is_pipeline_span(const Event& ev) {
+  return ev.kind == EventKind::kSpan && std::strcmp(ev.cat, "pipeline") == 0;
+}
+
+bool name_is(const Event& ev, const char* name) {
+  return std::strcmp(ev.name, name) == 0;
+}
+
+// wait_blocks / wait_frame: blocked in a receive, i.e. idleness.
+bool is_wait(const Event& ev) {
+  return std::strncmp(ev.name, "wait", 4) == 0;
+}
+
+}  // namespace
+
+std::vector<RankActivity> rank_activity(std::span<const ThreadTrace> traces) {
+  std::int64_t t_min = std::numeric_limits<std::int64_t>::max();
+  std::int64_t t_max = std::numeric_limits<std::int64_t>::min();
+  for (const ThreadTrace& t : traces) {
+    for (const Event& ev : t.events) {
+      if (ev.kind == EventKind::kCounter) continue;
+      t_min = std::min(t_min, ev.ts_ns);
+      t_max = std::max(t_max, ev.ts_ns + (ev.kind == EventKind::kSpan
+                                              ? ev.dur_ns
+                                              : 0));
+    }
+  }
+  const double wall =
+      t_max > t_min ? static_cast<double>(t_max - t_min) * kNsToSec : 0.0;
+
+  std::vector<RankActivity> out;
+  for (const ThreadTrace& t : traces) {
+    RankActivity ra;
+    ra.tid = t.tid;
+    ra.name = t.name;
+    for (const Event& ev : t.events) {
+      if (ev.kind != EventKind::kSpan) continue;
+      std::string key = std::string(ev.cat) + "/" + ev.name;
+      PhaseStats& ps = ra.phases[key];
+      ps.seconds += static_cast<double>(ev.dur_ns) * kNsToSec;
+      ps.count += 1;
+      // Stage spans in "pipeline" are emitted back-to-back at the top level
+      // of each rank loop, so summing them measures busy time without
+      // double-counting the nested vmpi/io/render spans.
+      if (is_pipeline_span(ev) && !is_wait(ev)) {
+        ra.busy_seconds += static_cast<double>(ev.dur_ns) * kNsToSec;
+      }
+    }
+    ra.occupancy = wall > 0.0 ? ra.busy_seconds / wall : 0.0;
+    out.push_back(std::move(ra));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RankActivity& a, const RankActivity& b) {
+              return a.tid < b.tid;
+            });
+  return out;
+}
+
+OverlapSummary analyze_overlap(std::span<const ThreadTrace> traces) {
+  OverlapSummary s;
+
+  // Pass 1: find the step range and classify ranks.
+  std::int64_t max_step = -1;
+  for (const ThreadTrace& t : traces) {
+    bool is_input = false, is_render = false;
+    for (const Event& ev : t.events) {
+      if (!is_pipeline_span(ev)) continue;
+      if (ev.arg > max_step &&
+          (name_is(ev, "render") || name_is(ev, "fetch") ||
+           name_is(ev, "frame"))) {
+        max_step = ev.arg;
+      }
+      if (name_is(ev, "fetch")) is_input = true;
+      if (name_is(ev, "render")) is_render = true;
+    }
+    if (is_input) ++s.input_ranks;
+    if (is_render) ++s.render_ranks;
+  }
+  if (max_step < 0) return s;
+  s.num_steps = static_cast<int>(max_step) + 1;
+  // Same second-half window the pipeline report uses for avg_interframe.
+  s.steady_first_step = s.num_steps / 2;
+
+  double tf_tp_total = 0.0;
+  std::int64_t input_steps = 0;
+  double ts_total = 0.0;
+  std::int64_t render_steps = 0;
+
+  for (const ThreadTrace& t : traces) {
+    for (const Event& ev : t.events) {
+      if (!is_pipeline_span(ev)) continue;
+      const double sec = static_cast<double>(ev.dur_ns) * kNsToSec;
+      const bool steady = ev.arg >= s.steady_first_step;
+      if (name_is(ev, "fetch") || name_is(ev, "preprocess") ||
+          name_is(ev, "send_blocks")) {
+        tf_tp_total += sec;
+        if (name_is(ev, "fetch")) ++input_steps;
+      } else if (name_is(ev, "render")) {
+        ts_total += sec;
+        ++render_steps;
+        if (steady) s.render_seconds += sec;
+      } else if (name_is(ev, "composite")) {
+        ts_total += sec;
+        if (steady) s.composite_seconds += sec;
+      } else if (name_is(ev, "wait_blocks")) {
+        if (steady) s.wait_seconds += sec;
+      }
+    }
+  }
+
+  if (input_steps > 0) {
+    s.tf_tp_seconds = tf_tp_total / static_cast<double>(input_steps);
+  }
+  if (render_steps > 0) {
+    s.ts_seconds = ts_total / static_cast<double>(render_steps);
+  }
+  if (s.render_seconds > 0.0) {
+    s.stall_fraction = s.wait_seconds / s.render_seconds;
+  }
+  if (s.ts_seconds > 0.0) {
+    // Epsilon guard: an exact ratio (e.g. 40ms / 10ms) must not round up to
+    // the next integer through floating-point noise and inflate m by one.
+    s.suggested_input_procs = static_cast<int>(
+        std::ceil(s.tf_tp_seconds / s.ts_seconds - 1e-9)) + 1;
+  }
+  s.suggested_input_procs = std::max(s.suggested_input_procs, 1);
+  return s;
+}
+
+std::string format_overlap(const OverlapSummary& s) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "trace: %d steps, %d input / %d render ranks | steady steps [%d,%d): "
+      "wait %.1f ms, render %.1f ms, composite %.1f ms -> stall %.1f%% | "
+      "Tf+Tp %.1f ms, Ts %.1f ms -> analytic m = %d",
+      s.num_steps, s.input_ranks, s.render_ranks, s.steady_first_step,
+      s.num_steps, s.wait_seconds * 1e3, s.render_seconds * 1e3,
+      s.composite_seconds * 1e3, s.stall_fraction * 100.0,
+      s.tf_tp_seconds * 1e3, s.ts_seconds * 1e3, s.suggested_input_procs);
+  return std::string(buf);
+}
+
+}  // namespace qv::trace

@@ -1,0 +1,65 @@
+#pragma once
+// Offline analysis of collected traces: per-rank occupancy and the paper's
+// input/render overlap claim (Fig 5) checked against measured spans.
+//
+// The analysis keys on the span names emitted by core/pipeline.cpp, all in
+// category "pipeline" with arg = step index:
+//   input ranks:   fetch, preprocess, send_blocks
+//   render ranks:  wait_blocks (blocked in recv), render, composite
+//   output rank:   wait_frame (blocked in recv), frame
+// Any "pipeline" span whose name starts with "wait" counts as idleness, not
+// busy time.
+// A rank's role is inferred from which of these spans it emitted, so the
+// analysis needs no pipeline configuration.
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace qv::trace {
+
+struct PhaseStats {
+  double seconds = 0.0;
+  std::int64_t count = 0;
+};
+
+struct RankActivity {
+  int tid = -1;
+  std::string name;
+  double busy_seconds = 0.0;  // sum of "pipeline" stage spans
+  double occupancy = 0.0;     // busy / global trace wall time
+  std::map<std::string, PhaseStats> phases;  // "cat/name" -> stats
+};
+
+// Whole-run occupancy per rank; wall time is the global [first event start,
+// last event end] window so numbers are comparable across ranks.
+std::vector<RankActivity> rank_activity(std::span<const ThreadTrace> traces);
+
+struct OverlapSummary {
+  int num_steps = 0;
+  int steady_first_step = 0;  // steady window = [steady_first_step, num_steps)
+  int input_ranks = 0;
+  int render_ranks = 0;
+
+  // Steady-state window, summed over render ranks.
+  double wait_seconds = 0.0;      // blocked waiting for input blocks
+  double render_seconds = 0.0;    // ray casting
+  double composite_seconds = 0.0;
+  double stall_fraction = 0.0;    // wait / render (0 if no render time)
+
+  // Whole-run per-step means, for the planner formula m = (Tf+Tp)/Ts + 1.
+  double tf_tp_seconds = 0.0;  // mean fetch+preprocess+send per input step
+  double ts_seconds = 0.0;     // mean render+composite per step per renderer
+  int suggested_input_procs = 0;
+};
+
+OverlapSummary analyze_overlap(std::span<const ThreadTrace> traces);
+
+// One-paragraph human-readable rendering of the summary.
+std::string format_overlap(const OverlapSummary& s);
+
+}  // namespace qv::trace

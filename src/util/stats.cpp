@@ -30,6 +30,18 @@ double load_imbalance(const std::vector<double>& per_proc_work) {
   return mx / mean - 1.0;
 }
 
+double steady_interframe(const std::vector<double>& frame_seconds) {
+  if (frame_seconds.size() < 2) return 0.0;
+  std::size_t first = std::max<std::size_t>(frame_seconds.size() / 2, 1);
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = first; i < frame_seconds.size(); ++i) {
+    sum += frame_seconds[i] - frame_seconds[i - 1];
+    ++n;
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
 std::string format_seconds(double s) {
   char buf[64];
   if (s >= 1.0) {

@@ -69,6 +69,13 @@ class WallTimer {
 // max/mean - 1 (0 means perfectly balanced).
 double load_imbalance(const std::vector<double>& per_proc_work);
 
+// Steady-state mean interframe delay over cumulative frame-completion times
+// (seconds since a common start). The warm-up is excluded by averaging only
+// the second-half window: deltas frame[i] - frame[i-1] for
+// i in [size/2, size). Fewer than two frames have no interframe delay at
+// all, so the result is exactly 0.0 (not NaN, not the single frame's time).
+double steady_interframe(const std::vector<double>& frame_seconds);
+
 // Format seconds with adaptive units for table output.
 std::string format_seconds(double s);
 

@@ -4,7 +4,10 @@
 #include <chrono>
 #include <cstring>
 #include <exception>
+#include <string>
 #include <thread>
+
+#include "trace/trace.hpp"
 
 namespace qv::vmpi {
 
@@ -68,6 +71,7 @@ constexpr int kTagSplitReply = -104;
 }  // namespace
 
 void Comm::send(int dest, int tag, std::span<const std::uint8_t> data) {
+  trace::Span tsp("vmpi", "send", std::int64_t(data.size()));
   if (dest < 0 || dest >= size()) throw std::runtime_error("vmpi: bad dest rank");
   int wdest = members_[std::size_t(dest)];
   detail::Mailbox& mb = *world_->mailboxes[std::size_t(wdest)];
@@ -163,11 +167,13 @@ Status Comm::recv_match(int source, int tag, std::vector<std::uint8_t>& out,
 }
 
 Status Comm::recv(int source, int tag, std::vector<std::uint8_t>& out) {
+  trace::Span tsp("vmpi", "recv", tag >= 0 ? tag : -1);
   return recv_match(source, tag, out, /*block=*/true, nullptr);
 }
 
 bool Comm::recv_timeout(int source, int tag, std::vector<std::uint8_t>& out,
                         std::chrono::milliseconds timeout, Status* st) {
+  trace::Span tsp("vmpi", "recv_timeout", tag >= 0 ? tag : -1);
   int wsource = source == kAnySource ? kAnySource : members_[std::size_t(source)];
   detail::Mailbox& mb = *world_->mailboxes[std::size_t(world_rank())];
   std::unique_lock lk(mb.mu);
@@ -248,6 +254,7 @@ bool Request::test() {
 }
 
 void Comm::barrier() {
+  trace::Span tsp("vmpi", "barrier");
   detail::GroupBarrier& b = world_->barrier_for(context_);
   std::unique_lock lk(b.mu);
   std::uint64_t gen = b.generation;
@@ -266,6 +273,7 @@ void Comm::barrier() {
 }
 
 void Comm::bcast(std::vector<std::uint8_t>& buf, int root) {
+  trace::Span tsp("vmpi", "bcast", std::int64_t(buf.size()));
   if (rank_ == root) {
     std::uint64_t n = buf.size();
     for (int r = 0; r < size(); ++r) {
@@ -282,6 +290,7 @@ void Comm::bcast(std::vector<std::uint8_t>& buf, int root) {
 
 std::vector<std::vector<std::uint8_t>> Comm::gather(
     std::span<const std::uint8_t> mine, int root) {
+  trace::Span tsp("vmpi", "gather", std::int64_t(mine.size()));
   std::vector<std::vector<std::uint8_t>> out;
   if (rank_ == root) {
     out.resize(static_cast<std::size_t>(size()));
@@ -298,6 +307,7 @@ std::vector<std::vector<std::uint8_t>> Comm::gather(
 
 std::vector<std::vector<std::uint8_t>> Comm::allgather(
     std::span<const std::uint8_t> mine) {
+  trace::Span tsp("vmpi", "allgather", std::int64_t(mine.size()));
   auto blobs = gather(mine, 0);
   // Serialize [count][len,data]... and broadcast.
   std::vector<std::uint8_t> packed;
@@ -419,6 +429,7 @@ void Runtime::run(int nranks, const std::function<void(Comm&)>& fn,
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&, r] {
       Comm comm(world, /*context=*/0, all, r);
+      if (trace::enabled()) trace::set_thread(r, "rank " + std::to_string(r));
       try {
         fn(comm);
       } catch (const RankKilled&) {

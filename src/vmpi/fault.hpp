@@ -68,6 +68,11 @@ struct FaultPlan {
   // (transiently, on every attempt — so retries exhaust and the failure
   // becomes permanent). Models a permanently lost step file.
   std::vector<std::string> fail_path_substrings;
+  // Fixed latency added to every pread attempt. Models a slow disk / remote
+  // filesystem; being a sleep rather than CPU work, it overlaps with
+  // computation on other ranks even on a single-core host, which is what the
+  // overlap-verification tests rely on. Does not consume RNG draws.
+  double read_delay_ms = 0.0;
 
   // --- messaging faults (Comm::send, user tags only) ----------------------
   double corrupt_rate = 0.0;      // P(one payload byte flipped) per send
@@ -85,7 +90,8 @@ struct FaultPlan {
 
   bool wants_io_faults() const {
     return read_error_rate > 0.0 || short_read_rate > 0.0 ||
-           !read_errors.empty() || !fail_path_substrings.empty();
+           !read_errors.empty() || !fail_path_substrings.empty() ||
+           read_delay_ms > 0.0;
   }
   bool wants_send_faults() const {
     return corrupt_rate > 0.0 || !corrupt_sends.empty() || delay_rate > 0.0;

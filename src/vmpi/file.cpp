@@ -5,8 +5,11 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <thread>
+
+#include "trace/trace.hpp"
 
 namespace qv::vmpi {
 
@@ -46,6 +49,11 @@ void File::pread_attempt(std::uint64_t offset, std::span<std::uint8_t> out,
   const FaultPlan* plan = fs ? comm_->world_->fault_plan.get() : nullptr;
   std::size_t want = out.size();
   if (plan && plan->wants_io_faults()) {
+    if (plan->read_delay_ms > 0.0) {
+      // Slow-disk model: latency first, then the attempt may still fail.
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(plan->read_delay_ms));
+    }
     if (plan->path_fails(path_)) {
       throw TransientIoError("vmpi::File: injected failure (failing path) " +
                              path_);
@@ -86,6 +94,7 @@ void File::pread_attempt(std::uint64_t offset, std::span<std::uint8_t> out,
 }
 
 void File::pread_exact(std::uint64_t offset, std::span<std::uint8_t> out) {
+  trace::Span tsp("vmpi", "pread", std::int64_t(out.size()));
   detail::FaultRankState* fs = comm_->fault_state();
   std::uint64_t op = fs ? fs->preads++ : 0;
   for (int attempt = 0;; ++attempt) {
@@ -135,6 +144,7 @@ std::vector<File::Range> File::view_ranges() const {
 }
 
 void File::read_all(std::span<std::uint8_t> out, double sieve_threshold) {
+  trace::Span tsp("vmpi", "read_all", std::int64_t(out.size()));
   if (out.size() != view_.total_bytes())
     throw std::runtime_error("vmpi::File::read_all: buffer size != view size");
   const int P = comm_->size();

@@ -161,6 +161,56 @@ TEST_F(FaultPipelineTest, LostStepFileDegradesExactlyThatFrame) {
   EXPECT_TRUE(same_pixels(frames[2], base[2]));
 }
 
+TEST_F(FaultPipelineTest, DroppedStepsDoNotDiluteStageAverages) {
+  // Regression: per-step averages used to divide every stage by the number
+  // of completed steps, so a run where a fetch permanently failed (its
+  // preprocess/send never ran) reported skewed averages. The report now
+  // distinguishes attempted from completed input steps and divides each
+  // stage by the steps that actually executed it.
+  auto cfg = base_config();
+  auto plan = std::make_shared<vmpi::FaultPlan>();
+  plan->fail_path_substrings = {"step_0001.bin"};
+  cfg.fault_plan = plan;
+  cfg.io_retry.max_attempts = 2;
+  cfg.io_retry.base_delay = std::chrono::microseconds(50);
+
+  auto rep = run_pipeline(cfg);
+  EXPECT_EQ(rep.dropped_steps, 1);
+  // All three fetches started; the lost step never reached preprocess/send.
+  EXPECT_EQ(rep.input_steps_attempted, kSteps);
+  EXPECT_EQ(rep.input_steps_completed, kSteps - 1);
+  // Stage timings stay meaningful per executed step.
+  EXPECT_GT(rep.avg_fetch, 0.0);
+  EXPECT_GT(rep.avg_preprocess, 0.0);
+  EXPECT_GT(rep.avg_send, 0.0);
+
+  // A clean run reports both counters equal.
+  cfg.fault_plan.reset();
+  auto clean = run_pipeline(cfg);
+  EXPECT_EQ(clean.dropped_steps, 0);
+  EXPECT_EQ(clean.input_steps_attempted, kSteps);
+  EXPECT_EQ(clean.input_steps_completed, kSteps);
+}
+
+TEST_F(FaultPipelineTest, ReadDelayFaultSlowsFetchOnly) {
+  // read_delay_ms models a slow disk: every pread sleeps, nothing fails.
+  // Frames stay bit-identical to the fault-free run and avg_fetch absorbs
+  // the latency; this knob is what the trace overlap tests lean on.
+  auto cfg = base_config();
+  auto base = baseline(cfg);
+  auto plan = std::make_shared<vmpi::FaultPlan>();
+  plan->read_delay_ms = 5.0;
+  cfg.fault_plan = plan;
+  std::vector<img::Image> frames;
+  auto rep = run_pipeline(cfg, &frames);
+  EXPECT_EQ(rep.dropped_steps, 0);
+  EXPECT_EQ(rep.degraded_frames, 0);
+  EXPECT_GE(rep.avg_fetch, 0.005);  // at least one delayed pread per step
+  ASSERT_EQ(frames.size(), base.size());
+  for (std::size_t s = 0; s < frames.size(); ++s)
+    EXPECT_TRUE(same_pixels(frames[s], base[s])) << "frame " << s;
+}
+
 TEST_F(FaultPipelineTest, CombinedFaultsMeetTheAcceptanceCriteria) {
   // The ISSUE's acceptance plan: >=1 transient read failure, >=1 corrupt
   // block, one permanently failed step -- all in a single run.

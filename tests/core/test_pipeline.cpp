@@ -10,6 +10,7 @@
 
 #include "core/serial.hpp"
 #include "quake/synthetic.hpp"
+#include "util/stats.hpp"
 
 namespace qv::core {
 namespace {
@@ -159,6 +160,80 @@ TEST_F(PipelineTest, DirectSendCompositorAgreesWithSlic) {
   for (std::size_t s = 0; s < slic_frames.size(); ++s) {
     EXPECT_LT(img::rmse(slic_frames[s], ds_frames[s]), 1e-6);
   }
+}
+
+TEST_F(PipelineTest, BinarySwapCompositorApproximatesSlic) {
+  // Binary swap composites whole rank footprints in a single bounding-box
+  // visibility order, which is exact only for depth-separable renderer
+  // partitions (the compositing unit tests cover that case). The pipeline's
+  // morton-contiguous assignment interleaves ranks in depth, so at pipeline
+  // granularity swap is an approximation of the exactly-ordered SLIC
+  // result: bound the error instead of demanding bit equality.
+  std::vector<img::Image> slic_frames, bs_frames;
+  auto cfg = base_config();
+  cfg.render_procs = 4;  // power of two, as binary swap requires
+  cfg.compositor = Compositor::kSlic;
+  run_pipeline(cfg, &slic_frames);
+  cfg.compositor = Compositor::kBinarySwap;
+  auto rep = run_pipeline(cfg, &bs_frames);
+  EXPECT_EQ(rep.steps, kSteps);
+  ASSERT_EQ(slic_frames.size(), bs_frames.size());
+  for (std::size_t s = 0; s < slic_frames.size(); ++s) {
+    EXPECT_LT(img::rmse(slic_frames[s], bs_frames[s]), 0.1) << "frame " << s;
+  }
+
+  // A single renderer is trivially separable: swap degenerates to the local
+  // flatten and must match SLIC exactly.
+  slic_frames.clear();
+  bs_frames.clear();
+  cfg.render_procs = 1;
+  cfg.compositor = Compositor::kSlic;
+  run_pipeline(cfg, &slic_frames);
+  cfg.compositor = Compositor::kBinarySwap;
+  run_pipeline(cfg, &bs_frames);
+  ASSERT_EQ(slic_frames.size(), bs_frames.size());
+  for (std::size_t s = 0; s < slic_frames.size(); ++s) {
+    EXPECT_LT(img::rmse(slic_frames[s], bs_frames[s]), 1e-9) << "frame " << s;
+  }
+}
+
+TEST_F(PipelineTest, BinarySwapFallsBackOnNonPowerOfTwoRenderers) {
+  // render_procs = 3 cannot run binary swap; the pipeline must warn and
+  // complete via direct-send instead of aborting the world.
+  std::vector<img::Image> bs_frames, ds_frames;
+  auto cfg = base_config();
+  ASSERT_EQ(cfg.render_procs, 3);
+  cfg.compositor = Compositor::kBinarySwap;
+  auto rep = run_pipeline(cfg, &bs_frames);
+  EXPECT_EQ(rep.steps, kSteps);
+  cfg.compositor = Compositor::kDirectSend;
+  run_pipeline(cfg, &ds_frames);
+  ASSERT_EQ(bs_frames.size(), ds_frames.size());
+  for (std::size_t s = 0; s < bs_frames.size(); ++s) {
+    EXPECT_LT(img::rmse(bs_frames[s], ds_frames[s]), 1e-9) << "frame " << s;
+  }
+}
+
+TEST_F(PipelineTest, SingleFrameRunHasZeroInterframe) {
+  auto cfg = base_config();
+  cfg.num_steps = 1;
+  auto report = run_pipeline(cfg);
+  EXPECT_EQ(report.steps, 1);
+  ASSERT_EQ(report.frame_seconds.size(), 1u);
+  // One frame has no interframe delay; the report must say exactly 0.0,
+  // never NaN and never the lone frame's completion time.
+  EXPECT_EQ(report.avg_interframe, 0.0);
+}
+
+TEST_F(PipelineTest, InterframeUsesSteadyStateWindow) {
+  auto cfg = base_config();
+  auto report = run_pipeline(cfg);
+  // The reported value is pinned to the second-half window of the recorded
+  // completion times — recomputing it from frame_seconds must agree.
+  EXPECT_DOUBLE_EQ(report.avg_interframe,
+                   steady_interframe(report.frame_seconds));
+  EXPECT_EQ(report.input_steps_attempted, kSteps);
+  EXPECT_EQ(report.input_steps_completed, kSteps);
 }
 
 TEST_F(PipelineTest, CompressedCompositingIsLossless) {

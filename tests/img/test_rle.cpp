@@ -49,6 +49,8 @@ TEST(Rle, EmptyInput) {
   RleBuffer buf;
   EXPECT_EQ(rle_encode({}, buf), 0u);
   std::vector<Rgba> out;
+  // An empty span decodes successfully and consumes no bytes — explicitly
+  // distinct from the error (nullopt) path.
   EXPECT_EQ(rle_decode(buf, 0, out), 0u);
   EXPECT_DOUBLE_EQ(rle_ratio({}), 1.0);
 }
@@ -59,7 +61,31 @@ TEST(Rle, DecodeRejectsTruncatedStream) {
   rle_encode(px, buf);
   buf.resize(buf.size() / 2);
   std::vector<Rgba> out(px.size());
-  EXPECT_EQ(rle_decode(buf, 0, out), 0u);
+  EXPECT_FALSE(rle_decode(buf, 0, out).has_value());
+}
+
+TEST(Rle, DecodeRejectsTruncatedHeader) {
+  // Fewer than 4 bytes cannot even hold one packet header.
+  RleBuffer buf = {0x01, 0x00};
+  std::vector<Rgba> out(8);
+  EXPECT_FALSE(rle_decode(buf, 0, out).has_value());
+}
+
+TEST(Rle, DecodeRejectsZeroCountPacket) {
+  // The encoder never emits zero-length packets; a hostile stream of them
+  // must be rejected rather than spun on without progress.
+  RleBuffer buf(4, 0x00);
+  std::vector<Rgba> out(8);
+  EXPECT_FALSE(rle_decode(buf, 0, out).has_value());
+}
+
+TEST(Rle, DecodeRejectsOverlongStream) {
+  // A run longer than the remaining output span is corrupt, not clipped.
+  auto px = random_pixels(16, 1.0, 25);
+  RleBuffer buf;
+  rle_encode(px, buf);
+  std::vector<Rgba> out(px.size() - 1);
+  EXPECT_FALSE(rle_decode(buf, 0, out).has_value());
 }
 
 TEST(Rle, SparseImagesCompressWell) {

@@ -46,6 +46,7 @@ TEST(Rle8, EmptyInput) {
   std::vector<std::uint8_t> buf;
   EXPECT_EQ(rle8_encode({}, buf), 0u);
   std::vector<std::uint8_t> out;
+  // Success with zero bytes consumed — distinct from the nullopt error path.
   EXPECT_EQ(rle8_decode(buf, 0, out), 0u);
   EXPECT_DOUBLE_EQ(rle8_ratio({}), 1.0);
 }
@@ -56,7 +57,24 @@ TEST(Rle8, TruncatedStreamRejected) {
   rle8_encode(data, buf);
   buf.resize(buf.size() / 2);
   std::vector<std::uint8_t> out(data.size());
-  EXPECT_EQ(rle8_decode(buf, 0, out), 0u);
+  EXPECT_FALSE(rle8_decode(buf, 0, out).has_value());
+}
+
+TEST(Rle8, TruncatedLiteralPayloadRejected) {
+  // A literal header promising more bytes than the stream holds.
+  std::vector<std::uint8_t> buf = {0x84, 1, 2};  // 5 literals, 3 present
+  std::vector<std::uint8_t> out(8);
+  EXPECT_FALSE(rle8_decode(buf, 0, out).has_value());
+}
+
+TEST(Rle8, OverlongStreamRejected) {
+  // A valid stream decoded into a too-small output span is corrupt from the
+  // receiver's point of view, not silently clipped.
+  std::vector<std::uint8_t> data(64, 0);
+  std::vector<std::uint8_t> buf;
+  rle8_encode(data, buf);
+  std::vector<std::uint8_t> out(32);
+  EXPECT_FALSE(rle8_decode(buf, 0, out).has_value());
 }
 
 TEST(Rle8, NonzeroOffsetDecoding) {

@@ -1,0 +1,390 @@
+// Unit tests of the qv::trace subsystem plus pipeline-integration tests:
+// tracing must be invisible when disabled (bit-identical frames), must
+// capture the per-role pipeline spans when enabled, and the overlap analysis
+// must verify the paper's input/render overlap claim (Fig 5) on real traces.
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "core/pipeline.hpp"
+#include "io/dataset.hpp"
+#include "quake/synthetic.hpp"
+#include "trace/analysis.hpp"
+
+namespace qv::trace {
+namespace {
+
+// Every test begins from a clean, disabled trace state. ctest runs each case
+// as its own process, but the whole binary may also run in one process (the
+// TSan stage does), so no test may rely on residual global state.
+struct TraceStateGuard {
+  TraceStateGuard() {
+    disable();
+    reset();
+  }
+  ~TraceStateGuard() {
+    disable();
+    reset();
+    set_capacity(1u << 16);
+  }
+};
+
+TEST(TraceTest, DisabledRecordsNothing) {
+  TraceStateGuard guard;
+  {
+    Span s("cat", "name", 1);
+    counter("cat", "ctr", 2);
+    instant("cat", "evt");
+  }
+  EXPECT_TRUE(collect().empty());
+}
+
+TEST(TraceTest, EnabledRecordsSpansCountersInstants) {
+  TraceStateGuard guard;
+  enable();
+  set_thread(7, "worker");
+  { Span s("cat", "work", 42); }
+  counter("cat", "bytes", 1234);
+  instant("cat", "mark", 5);
+  disable();
+
+  auto traces = collect();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].tid, 7);
+  EXPECT_EQ(traces[0].name, "worker");
+  ASSERT_EQ(traces[0].events.size(), 3u);
+
+  const Event& span = traces[0].events[0];
+  EXPECT_EQ(span.kind, EventKind::kSpan);
+  EXPECT_STREQ(span.cat, "cat");
+  EXPECT_STREQ(span.name, "work");
+  EXPECT_EQ(span.arg, 42);
+  EXPECT_GE(span.ts_ns, 0);
+  EXPECT_GE(span.dur_ns, 0);
+
+  const Event& ctr = traces[0].events[1];
+  EXPECT_EQ(ctr.kind, EventKind::kCounter);
+  EXPECT_EQ(ctr.dur_ns, 1234);
+
+  const Event& inst = traces[0].events[2];
+  EXPECT_EQ(inst.kind, EventKind::kInstant);
+  EXPECT_EQ(inst.arg, 5);
+}
+
+TEST(TraceTest, EnableResetsPreviousEvents) {
+  TraceStateGuard guard;
+  enable();
+  set_thread(1, "first");
+  { Span s("cat", "old"); }
+  enable();  // restart: prior events must be gone
+  set_thread(1, "first");
+  { Span s("cat", "new"); }
+  disable();
+  auto traces = collect();
+  ASSERT_EQ(traces.size(), 1u);
+  ASSERT_EQ(traces[0].events.size(), 1u);
+  EXPECT_STREQ(traces[0].events[0].name, "new");
+}
+
+TEST(TraceTest, CapacityBoundsBufferAndCountsDrops) {
+  TraceStateGuard guard;
+  set_capacity(4);
+  enable();
+  // A fresh thread picks up the small capacity (the calling thread's buffer
+  // may predate set_capacity).
+  std::thread worker([] {
+    set_thread(9, "bounded");
+    for (int i = 0; i < 10; ++i) Span s("cat", "spin", i);
+  });
+  worker.join();
+  disable();
+  auto traces = collect();
+  const ThreadTrace* bounded = nullptr;
+  for (const auto& t : traces)
+    if (t.tid == 9) bounded = &t;
+  ASSERT_NE(bounded, nullptr);
+  EXPECT_LE(bounded->events.size(), 4u);
+  EXPECT_EQ(bounded->events.size() + bounded->dropped, 10u);
+}
+
+TEST(TraceTest, BuffersSurviveThreadJoin) {
+  TraceStateGuard guard;
+  enable();
+  std::thread worker([] {
+    set_thread(3, "joined");
+    Span s("cat", "work");
+  });
+  worker.join();
+  disable();
+  auto traces = collect();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].name, "joined");
+  ASSERT_EQ(traces[0].events.size(), 1u);
+}
+
+TEST(TraceTest, ChromeJsonIsStructurallyValid) {
+  TraceStateGuard guard;
+  enable();
+  set_thread(2, "rank \"two\"\n");  // exercises escaping
+  { Span s("pipeline", "fetch", 0); }
+  counter("io", "bytes", 77);
+  instant("vmpi", "mark");
+  disable();
+  auto traces = collect();
+  std::ostringstream os;
+  write_chrome_json(os, traces);
+  std::string json = os.str();
+
+  // Array-format trace: one object per line between '[' and ']'.
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"two\\\""), std::string::npos);  // escaped quote
+  EXPECT_NE(json.find("\\n"), std::string::npos);          // escaped newline
+  // Balanced braces — cheap structural sanity without a JSON parser.
+  std::ptrdiff_t depth = 0;
+  for (char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+// --- analysis on hand-built traces ---------------------------------------
+
+Event mk_span(std::int64_t ts_ms, std::int64_t dur_ms, const char* cat,
+              const char* name, std::int64_t arg) {
+  Event e;
+  e.ts_ns = ts_ms * 1'000'000;
+  e.dur_ns = dur_ms * 1'000'000;
+  e.cat = cat;
+  e.name = name;
+  e.arg = arg;
+  e.kind = EventKind::kSpan;
+  return e;
+}
+
+TEST(TraceAnalysisTest, RankActivityComputesOccupancy) {
+  std::vector<ThreadTrace> traces(2);
+  traces[0].tid = 0;
+  traces[0].name = "input 0";
+  traces[0].events = {mk_span(0, 50, "pipeline", "fetch", 0),
+                      mk_span(50, 10, "pipeline", "send_blocks", 0),
+                      // nested detail span must not double-count busy time
+                      mk_span(0, 50, "vmpi", "pread", -1)};
+  traces[1].tid = 1;
+  traces[1].name = "render 0";
+  traces[1].events = {mk_span(0, 60, "pipeline", "wait_blocks", 0),
+                      mk_span(60, 40, "pipeline", "render", 0)};
+
+  auto activity = rank_activity(traces);
+  ASSERT_EQ(activity.size(), 2u);
+  // Global wall clock is [0 ms, 100 ms].
+  EXPECT_NEAR(activity[0].busy_seconds, 0.060, 1e-9);
+  EXPECT_NEAR(activity[0].occupancy, 0.60, 1e-6);
+  // wait_blocks is idleness, not work.
+  EXPECT_NEAR(activity[1].busy_seconds, 0.040, 1e-9);
+  EXPECT_NEAR(activity[1].occupancy, 0.40, 1e-6);
+}
+
+TEST(TraceAnalysisTest, OverlapSummaryFindsStallAndPlannerM) {
+  // Two steps; steady window = step 1. The renderer waits 30 ms then
+  // renders 10 ms per step; the input's Tf+Tp is 40 ms per step.
+  std::vector<ThreadTrace> traces(2);
+  traces[0].tid = 0;
+  traces[0].name = "input 0";
+  traces[0].events = {mk_span(0, 35, "pipeline", "fetch", 0),
+                      mk_span(35, 5, "pipeline", "send_blocks", 0),
+                      mk_span(40, 35, "pipeline", "fetch", 1),
+                      mk_span(75, 5, "pipeline", "send_blocks", 1)};
+  traces[1].tid = 1;
+  traces[1].name = "render 0";
+  traces[1].events = {mk_span(0, 40, "pipeline", "wait_blocks", 0),
+                      mk_span(40, 10, "pipeline", "render", 0),
+                      mk_span(50, 30, "pipeline", "wait_blocks", 1),
+                      mk_span(80, 10, "pipeline", "render", 1)};
+
+  auto s = analyze_overlap(traces);
+  EXPECT_EQ(s.num_steps, 2);
+  EXPECT_EQ(s.steady_first_step, 1);
+  EXPECT_EQ(s.input_ranks, 1);
+  EXPECT_EQ(s.render_ranks, 1);
+  EXPECT_NEAR(s.wait_seconds, 0.030, 1e-9);
+  EXPECT_NEAR(s.render_seconds, 0.010, 1e-9);
+  EXPECT_NEAR(s.stall_fraction, 3.0, 1e-6);
+  EXPECT_NEAR(s.tf_tp_seconds, 0.040, 1e-9);
+  EXPECT_NEAR(s.ts_seconds, 0.010, 1e-9);
+  // m = ceil((Tf+Tp)/Ts) + 1 = 5
+  EXPECT_EQ(s.suggested_input_procs, 5);
+  EXPECT_FALSE(format_overlap(s).empty());
+}
+
+// --- pipeline integration --------------------------------------------------
+
+const Box3 kUnit{{0, 0, 0}, {1, 1, 1}};
+constexpr int kSteps = 4;
+constexpr int kW = 64;
+constexpr int kH = 48;
+
+class TracePipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("qv_trace_ds." + std::to_string(::getpid())))
+               .string();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    auto size = [](Vec3 p) { return p.z > 0.5f ? 0.12f : 0.3f; };
+    mesh::HexMesh fine(mesh::LinearOctree::build(kUnit, size, 1, 3));
+    io::DatasetWriter writer(dir_, fine, 2, 3, 0.25f);
+    quake::SyntheticQuake q;
+    for (int s = 0; s < kSteps; ++s) {
+      writer.write_step(q.sample_nodes(fine, 0.6f + 0.4f * float(s)));
+    }
+    writer.finish();
+  }
+  static void TearDownTestSuite() { std::filesystem::remove_all(dir_); }
+
+  static core::PipelineConfig base_config() {
+    core::PipelineConfig cfg;
+    cfg.dataset_dir = dir_;
+    cfg.width = kW;
+    cfg.height = kH;
+    cfg.render.value_hi = 3.0f;
+    cfg.input_procs = 2;
+    cfg.render_procs = 2;
+    return cfg;
+  }
+
+  static std::string dir_;
+};
+std::string TracePipelineTest::dir_;
+
+TEST_F(TracePipelineTest, TracingDoesNotPerturbFrames) {
+  TraceStateGuard guard;
+  auto cfg = base_config();
+  std::vector<img::Image> plain, traced;
+  run_pipeline(cfg, &plain);
+  enable();
+  run_pipeline(cfg, &traced);
+  disable();
+  ASSERT_EQ(plain.size(), traced.size());
+  for (std::size_t s = 0; s < plain.size(); ++s) {
+    auto pa = plain[s].pixels();
+    auto pb = traced[s].pixels();
+    ASSERT_EQ(pa.size(), pb.size());
+    EXPECT_EQ(std::memcmp(pa.data(), pb.data(), pa.size_bytes()), 0)
+        << "frame " << s;
+  }
+}
+
+TEST_F(TracePipelineTest, PipelineEmitsRoleLanesAndStageSpans) {
+  TraceStateGuard guard;
+  auto cfg = base_config();
+  enable();
+  run_pipeline(cfg);
+  disable();
+  auto traces = collect();
+  // 2 inputs + 2 renderers + output.
+  ASSERT_EQ(traces.size(), 5u);
+
+  bool saw_input = false, saw_render = false, saw_output = false;
+  std::size_t fetch = 0, render = 0, composite = 0, wait = 0, frame = 0;
+  for (const auto& t : traces) {
+    if (t.name.rfind("input", 0) == 0) saw_input = true;
+    if (t.name.rfind("render", 0) == 0) saw_render = true;
+    if (t.name == "output") saw_output = true;
+    for (const auto& e : t.events) {
+      if (std::strcmp(e.cat, "pipeline") != 0) continue;
+      if (std::strcmp(e.name, "fetch") == 0) ++fetch;
+      if (std::strcmp(e.name, "render") == 0) ++render;
+      if (std::strcmp(e.name, "composite") == 0) ++composite;
+      if (std::strcmp(e.name, "wait_blocks") == 0) ++wait;
+      if (std::strcmp(e.name, "frame") == 0) ++frame;
+    }
+  }
+  EXPECT_TRUE(saw_input);
+  EXPECT_TRUE(saw_render);
+  EXPECT_TRUE(saw_output);
+  EXPECT_EQ(fetch, std::size_t(kSteps));  // 2 inputs, interleaved steps
+  EXPECT_EQ(render, std::size_t(kSteps) * 2);
+  EXPECT_EQ(composite, std::size_t(kSteps) * 2);
+  EXPECT_GE(wait, std::size_t(kSteps));
+  EXPECT_EQ(frame, std::size_t(kSteps));
+
+  auto summary = analyze_overlap(traces);
+  EXPECT_EQ(summary.num_steps, kSteps);
+  EXPECT_EQ(summary.input_ranks, 2);
+  EXPECT_EQ(summary.render_ranks, 2);
+  EXPECT_GT(summary.ts_seconds, 0.0);
+  EXPECT_GT(summary.suggested_input_procs, 0);
+}
+
+// Overlap verification on real traces with injected disk latency. The sleep
+// in FaultPlan::read_delay_ms overlaps across rank threads even on a single
+// core, which makes the planner's claim measurable anywhere; still excluded
+// from the TSan stage, where scheduling skew would make timing flaky.
+class TraceOverlapTest : public TracePipelineTest {};
+
+TEST_F(TraceOverlapTest, AnalyticInputCountEliminatesRendererStall) {
+  TraceStateGuard guard;
+  auto plan = std::make_shared<vmpi::FaultPlan>();
+  plan->read_delay_ms = 60.0;
+
+  // Probe with m = 1: fetch (~delay) serializes against rendering, so the
+  // renderers must starve — the "insufficient input processors" half of the
+  // paper's Fig 5 claim.
+  auto cfg = base_config();
+  cfg.input_procs = 1;
+  cfg.fault_plan = plan;
+  enable();
+  run_pipeline(cfg);
+  disable();
+  auto probe = analyze_overlap(collect());
+  ASSERT_GT(probe.ts_seconds, 0.0);
+  ASSERT_GT(probe.tf_tp_seconds, 0.0);
+
+  // Gate the stall assertion on what the probe itself predicts: if the
+  // machine is so slow that rendering dominates the injected latency, the
+  // m=1 run legitimately has nothing to stall on.
+  double predicted_stall =
+      (probe.tf_tp_seconds - probe.ts_seconds) / probe.ts_seconds;
+  if (predicted_stall > 2.0) {
+    EXPECT_GT(probe.stall_fraction, 0.5)
+        << "m=1 with " << plan->read_delay_ms
+        << " ms reads should starve the renderers";
+  }
+
+  // Re-run at the analytic m = (Tf+Tp)/Ts + 1 (capped at one input per
+  // step, beyond which extra inputs have no step to prefetch): the steady
+  // window must show (near-)zero renderer stall.
+  int analytic_m = std::min(probe.suggested_input_procs, kSteps);
+  cfg.input_procs = std::max(analytic_m, 1);
+  enable();
+  run_pipeline(cfg);
+  disable();
+  auto steady = analyze_overlap(collect());
+  EXPECT_LT(steady.stall_fraction, 0.05)
+      << "m=" << cfg.input_procs << " should fully overlap input with "
+      << "rendering (probe suggested m=" << probe.suggested_input_procs
+      << ")";
+  // And the overlap must actually help: steady-state stall time shrinks by
+  // an order of magnitude against the starved probe.
+  if (predicted_stall > 2.0) {
+    EXPECT_LT(steady.wait_seconds, probe.wait_seconds / 10.0);
+  }
+}
+
+}  // namespace
+}  // namespace qv::trace

@@ -52,6 +52,22 @@ TEST(FormatSeconds, Units) {
   EXPECT_EQ(format_seconds(2.5e-6), "2.500 us");
 }
 
+TEST(SteadyInterframe, DegenerateInputsAreZero) {
+  EXPECT_DOUBLE_EQ(steady_interframe({}), 0.0);
+  EXPECT_DOUBLE_EQ(steady_interframe({1.0}), 0.0);  // one frame, no interval
+}
+
+TEST(SteadyInterframe, TwoFramesUseTheirSingleDelta) {
+  EXPECT_DOUBLE_EQ(steady_interframe({1.0, 1.25}), 0.25);
+}
+
+TEST(SteadyInterframe, SecondHalfWindowSkipsWarmup) {
+  // The huge warm-up delta 0->1 (100 s) is excluded; the steady window
+  // starts at index 2, so only the deltas 1->2 and 2->3 count:
+  // mean of (1.0, 3.0) = 2.0.
+  EXPECT_DOUBLE_EQ(steady_interframe({0.0, 100.0, 101.0, 104.0}), 2.0);
+}
+
 TEST(WallTimer, MeasuresElapsed) {
   WallTimer t;
   volatile double sink = 0;

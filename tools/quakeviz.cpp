@@ -19,16 +19,22 @@
 //            2dip-ind] [--inputs=M] [--groups=N] [--renderers=R]
 //            [--width=W] [--height=H] [--steps=K] [--level=L] [--lic]
 //            [--enhance] [--orbit=DEG] [--rebalance=E] [--compositor=
-//            slic|direct] [--compress] [--compress-blocks] [--tf=FILE]
-//            [--vmax=X] [--recv-timeout-ms=T] [--fault-seed=S]
+//            slic|direct|swap] [--compress] [--compress-blocks] [--tf=FILE]
+//            [--vmax=X] [--recv-timeout-ms=T] [--trace=FILE.json]
+//            [--fault-seed=S]
 //            [--fault-read-rate=P] [--fault-short-read-rate=P]
 //            [--fault-corrupt-rate=P] [--fault-lose=SUBSTR]
+//            [--fault-read-delay-ms=D]
 //            [--fault-kill-rank=R --fault-kill-step=K]
 //       Run the full parallel pipeline and write frames + a timing report.
 //       Any --fault-* option installs a seeded fault-injection plan; the
 //       report then includes retry/corruption/degraded-frame counters.
+//       --trace records per-rank events and writes a Chrome trace-event
+//       JSON (loadable in perfetto / chrome://tracing) plus an
+//       occupancy/overlap summary on stdout.
 //
 //   quakeviz insitu --out=DIR [--snapshots=N] [--renderers=R]
+//            [--trace=FILE.json]
 //       Simulation-time visualization: solver + renderer concurrently.
 #include <cstdio>
 #include <cstdlib>
@@ -44,6 +50,8 @@
 #include "io/dataset.hpp"
 #include "quake/solver.hpp"
 #include "quake/synthetic.hpp"
+#include "trace/analysis.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -250,8 +258,15 @@ int cmd_pipeline(const Args& args) {
   cfg.compress_compositing = args.flag("compress");
   cfg.compress_blocks = args.flag("compress-blocks");
   cfg.tf_file = args.str("tf", "");
-  if (args.str("compositor", "slic") == "direct")
+  std::string compositor = args.str("compositor", "slic");
+  if (compositor == "direct") {
     cfg.compositor = core::Compositor::kDirectSend;
+  } else if (compositor == "swap") {
+    cfg.compositor = core::Compositor::kBinarySwap;
+  } else if (compositor != "slic") {
+    std::fprintf(stderr, "unknown compositor: %s\n", compositor.c_str());
+    return 2;
+  }
 
   // Fault injection: any --fault-* option installs a seeded plan.
   cfg.recv_timeout_ms = args.num("recv-timeout-ms", 0);
@@ -272,12 +287,33 @@ int cmd_pipeline(const Args& args) {
     fault().corrupt_rate = args.real("fault-corrupt-rate", 0.0);
   if (args.flag("fault-lose"))
     fault().fail_path_substrings.push_back(args.str("fault-lose", ""));
+  if (args.flag("fault-read-delay-ms"))
+    fault().read_delay_ms = args.real("fault-read-delay-ms", 0.0);
   if (args.flag("fault-kill-rank")) {
     fault().kill_rank = args.num("fault-kill-rank", -1);
     fault().kill_at_step = args.num("fault-kill-step", 0);
   }
 
+  const std::string trace_path = args.str("trace", "");
+  if (!trace_path.empty()) trace::enable();
+
   auto report = core::run_pipeline(cfg);
+
+  if (!trace_path.empty()) {
+    trace::disable();
+    auto traces = trace::collect();
+    if (!trace::write_chrome_json(trace_path, traces)) {
+      std::fprintf(stderr, "cannot write trace %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("trace: %zu ranks -> %s\n", traces.size(), trace_path.c_str());
+    std::printf("%s\n", trace::format_overlap(
+                            trace::analyze_overlap(traces)).c_str());
+    for (const auto& ra : trace::rank_activity(traces)) {
+      std::printf("  %-10s occupancy %5.1f%%\n", ra.name.c_str(),
+                  100.0 * ra.occupancy);
+    }
+  }
   std::printf("frames: %d  interframe %.4f s\n", report.steps,
               report.avg_interframe);
   std::printf("per step: fetch %.4f s | preprocess %.4f s | send %.4f s | "
@@ -319,7 +355,18 @@ int cmd_insitu(const Args& args) {
   cfg.output_dir = args.str("out", "");
   if (!cfg.output_dir.empty())
     std::filesystem::create_directories(cfg.output_dir);
+  const std::string trace_path = args.str("trace", "");
+  if (!trace_path.empty()) trace::enable();
   auto report = core::run_insitu(cfg);
+  if (!trace_path.empty()) {
+    trace::disable();
+    auto traces = trace::collect();
+    if (!trace::write_chrome_json(trace_path, traces)) {
+      std::fprintf(stderr, "cannot write trace %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("trace: %zu ranks -> %s\n", traces.size(), trace_path.c_str());
+  }
   std::printf("simulated %.1f s in %.2f s; %d frames\n",
               report.sim_time_reached, report.sim_seconds, report.snapshots);
   return 0;
