@@ -5,6 +5,8 @@
 // both the analytic plan and the simulated knee.
 #include <cstdio>
 
+#include "metrics/report.hpp"
+#include "util/stats.hpp"
 #include "pipesim/pipeline_model.hpp"
 
 namespace {
@@ -27,7 +29,9 @@ int simulated_knee(double render_seconds, double fraction) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  qv::metrics::BenchReporter rep("bench_adaptive_fetch", argc, argv);
+  qv::WallTimer bench_timer;
   using namespace qv::pipesim;
 
   Machine mc;
@@ -47,5 +51,6 @@ int main() {
   std::printf(
       "\nlevel-8 subset of a level-13 dataset is roughly the 0.2-0.3 row: "
       "~4 input processors, matching the paper\n");
-  return 0;
+  rep.track("total_s", bench_timer.seconds(), "s");
+  return rep.finish();
 }

@@ -13,6 +13,8 @@
 #include <cstdio>
 #include <initializer_list>
 
+#include "metrics/report.hpp"
+#include "util/stats.hpp"
 #include "pipesim/machine.hpp"
 
 namespace {
@@ -56,7 +58,9 @@ Point composite_time(int P, int width, bool slic, bool compress,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  qv::metrics::BenchReporter rep("bench_compositing_scaling", argc, argv);
+  qv::WallTimer bench_timer;
   using namespace qv::pipesim;
   Machine mc;
 
@@ -79,5 +83,6 @@ int main() {
       "\nshape: direct-send's P^2 messages eventually dominate; SLIC stays\n"
       "message-lean and compression removes ~3/4 of its bytes, keeping the\n"
       "constant-cost compositing assumption (§6) valid at large P\n");
-  return 0;
+  rep.track("total_s", bench_timer.seconds(), "s");
+  return rep.finish();
 }

@@ -15,6 +15,8 @@
 #include <string>
 #include <unistd.h>
 
+#include "metrics/report.hpp"
+#include "util/stats.hpp"
 #include "core/pipeline.hpp"
 #include "io/dataset.hpp"
 #include "pipesim/pipeline_model.hpp"
@@ -100,7 +102,9 @@ void pipesim_part() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  qv::metrics::BenchReporter rep("bench_degraded_io", argc, argv);
+  qv::WallTimer bench_timer;
   auto dir = (std::filesystem::temp_directory_path() /
               ("qv_bench_degraded." + std::to_string(::getpid())))
                  .string();
@@ -121,5 +125,6 @@ int main() {
   pipesim_part();
 
   std::filesystem::remove_all(dir);
-  return 0;
+  rep.track("total_s", bench_timer.seconds(), "s");
+  return rep.finish();
 }

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "metrics/report.hpp"
 #include "core/serial.hpp"
 #include "io/dataset.hpp"
 #include "io/preprocess.hpp"
@@ -18,7 +19,9 @@ volatile float g_sink;
 void benchmark_sink(float v) { g_sink = v; }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  qv::metrics::BenchReporter rep("bench_enhancement", argc, argv);
+  qv::WallTimer bench_timer;
   using namespace qv;
 
   auto dir = (std::filesystem::temp_directory_path() / "qv_bench_enh").string();
@@ -84,5 +87,6 @@ int main() {
   }
 
   std::filesystem::remove_all(dir);
-  return 0;
+  rep.track("total_s", bench_timer.seconds(), "s");
+  return rep.finish();
 }

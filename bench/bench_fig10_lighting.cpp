@@ -4,9 +4,13 @@
 // input processors.
 #include <cstdio>
 
+#include "metrics/report.hpp"
+#include "util/stats.hpp"
 #include "pipesim/pipeline_model.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  qv::metrics::BenchReporter rep("bench_fig10_lighting", argc, argv);
+  qv::WallTimer bench_timer;
   using namespace qv::pipesim;
 
   Machine mc;
@@ -49,5 +53,6 @@ int main() {
                 tr, pl.m_1dip);
   }
   std::printf("  (paper: 3 and 4)\n");
-  return 0;
+  rep.track("total_s", bench_timer.seconds(), "s");
+  return rep.finish();
 }

@@ -4,9 +4,13 @@
 // before the LIC + I/O cost is fully hidden behind the 2 s render.
 #include <cstdio>
 
+#include "metrics/report.hpp"
+#include "util/stats.hpp"
 #include "pipesim/pipeline_model.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  qv::metrics::BenchReporter rep("bench_fig12_lic", argc, argv);
+  qv::WallTimer bench_timer;
   using namespace qv::pipesim;
 
   Machine mc;
@@ -33,5 +37,6 @@ int main() {
   Plan pl = plan(mc, tr, lic_seconds);
   std::printf("\nanalytic plan: m = (Tf+Tp+Tlic)/Ts + 1 = %d (paper: 16)\n",
               pl.m_1dip);
-  return 0;
+  rep.track("total_s", bench_timer.seconds(), "s");
+  return rep.finish();
 }

@@ -5,6 +5,7 @@
 // synthetic wavefield dataset (scaled to this machine).
 #include <cstdio>
 
+#include "metrics/report.hpp"
 #include "core/serial.hpp"
 #include "io/dataset.hpp"
 #include "quake/synthetic.hpp"
@@ -12,7 +13,9 @@
 
 #include <filesystem>
 
-int main() {
+int main(int argc, char** argv) {
+  qv::metrics::BenchReporter rep("bench_fig3_adaptive", argc, argv);
+  qv::WallTimer bench_timer;
   using namespace qv;
 
   auto dir = (std::filesystem::temp_directory_path() / "qv_bench_fig3").string();
@@ -61,5 +64,6 @@ int main() {
     }
   }
   std::filesystem::remove_all(dir);
-  return 0;
+  rep.track("total_s", bench_timer.seconds(), "s");
+  return rep.finish();
 }

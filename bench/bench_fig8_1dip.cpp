@@ -4,9 +4,13 @@
 // time with 12 input processors (where the pipeline fully hides I/O).
 #include <cstdio>
 
+#include "metrics/report.hpp"
+#include "util/stats.hpp"
 #include "pipesim/pipeline_model.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  qv::metrics::BenchReporter rep("bench_fig8_1dip", argc, argv);
+  qv::WallTimer bench_timer;
   using namespace qv::pipesim;
 
   Machine mc;
@@ -31,5 +35,6 @@ int main() {
       "\nanalytic plan: Tf=%.1fs Tp=%.1fs Ts=%.1fs -> m = (Tf+Tp)/Ts + 1 = "
       "%d input processors (paper: 12)\n",
       pl.tf, pl.tp, pl.ts, pl.m_1dip);
-  return 0;
+  rep.track("total_s", bench_timer.seconds(), "s");
+  return rep.finish();
 }

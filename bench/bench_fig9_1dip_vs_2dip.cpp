@@ -4,9 +4,13 @@
 // 2DIP splits each step across a group (Ts' = Ts/m) and reaches ~Tr.
 #include <cstdio>
 
+#include "metrics/report.hpp"
+#include "util/stats.hpp"
 #include "pipesim/pipeline_model.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  qv::metrics::BenchReporter rep("bench_fig9_1dip_vs_2dip", argc, argv);
+  qv::WallTimer bench_timer;
   using namespace qv::pipesim;
 
   Machine mc;
@@ -39,5 +43,6 @@ int main() {
       "\nanalytic plan: m=%d per group, n=%d groups hides I/O (Ts'=Ts/m "
       "<= Tr)\n",
       pl.m_2dip, pl.n_2dip);
-  return 0;
+  rep.track("total_s", bench_timer.seconds(), "s");
+  return rep.finish();
 }

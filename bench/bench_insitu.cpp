@@ -4,11 +4,14 @@
 // slowdown and the achieved frame cadence.
 #include <cstdio>
 
+#include "metrics/report.hpp"
 #include "core/insitu.hpp"
 #include "quake/parallel_solver.hpp"
 #include "util/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  qv::metrics::BenchReporter rep("bench_insitu", argc, argv);
+  qv::WallTimer bench_timer;
   using namespace qv;
 
   core::InsituConfig cfg;
@@ -72,5 +75,6 @@ int main() {
               "free, which is the design's point)\n",
               100.0 * (insitu_seconds - bare_seconds) /
                   std::max(bare_seconds, 1e-9));
-  return 0;
+  rep.track("total_s", bench_timer.seconds(), "s");
+  return rep.finish();
 }

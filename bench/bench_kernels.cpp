@@ -2,6 +2,10 @@
 // machine model (google-benchmark): raycasting samples/s, quantization,
 // temporal enhancement, gradients, Morton encoding, octree point location,
 // RLE, and LIC.
+//
+// This is the one bench NOT on the qv-run-report schema: google-benchmark
+// already has machine-readable output (--benchmark_format=json); use that
+// rather than wrapping it in a BenchReporter.
 #include <benchmark/benchmark.h>
 
 #include "img/rle.hpp"

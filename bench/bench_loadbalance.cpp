@@ -4,10 +4,13 @@
 // renderer counts. Reports the max/mean - 1 imbalance (0 = perfect).
 #include <cstdio>
 
+#include "metrics/report.hpp"
 #include "octree/blocks.hpp"
 #include "util/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  qv::metrics::BenchReporter rep("bench_loadbalance", argc, argv);
+  qv::WallTimer bench_timer;
   using namespace qv;
   using namespace qv::octree;
 
@@ -49,5 +52,6 @@ int main() {
   std::printf(
       "\nlargest-first gives the tightest balance; morton-contiguous trades "
       "a little balance for convex per-renderer regions\n");
-  return 0;
+  rep.track("total_s", bench_timer.seconds(), "s");
+  return rep.finish();
 }

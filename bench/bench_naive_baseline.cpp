@@ -5,9 +5,13 @@
 // the pipelined 1DIP/2DIP configurations on the same machine model.
 #include <cstdio>
 
+#include "metrics/report.hpp"
+#include "util/stats.hpp"
 #include "pipesim/pipeline_model.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  qv::metrics::BenchReporter rep("bench_naive_baseline", argc, argv);
+  qv::WallTimer bench_timer;
   using namespace qv::pipesim;
 
   Machine mc;
@@ -60,5 +64,6 @@ int main() {
   std::printf(
       "\nthe pipeline removes the I/O bottleneck: interframe delay becomes "
       "the rendering cost\n");
-  return 0;
+  rep.track("total_s", bench_timer.seconds(), "s");
+  return rep.finish();
 }

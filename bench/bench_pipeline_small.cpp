@@ -3,17 +3,25 @@
 // count and watch the interframe delay fall until I/O hides behind
 // rendering — Figure 8's phenomenon reproduced with actual code rather
 // than the machine model (scaled to this host).
+//
+// With --json=PATH (see metrics/report.hpp) the bench also emits a
+// qv-run-report for the regression gate: timed metrics are min-of-N over
+// repeated m=4 runs so scheduler noise doesn't flap the gate, byte counts
+// are deterministic.
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 
 #include "core/pipeline.hpp"
 #include "io/dataset.hpp"
+#include "metrics/report.hpp"
 #include "quake/synthetic.hpp"
 #include "trace/analysis.hpp"
 #include "trace/trace.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace qv;
+  metrics::BenchReporter rep("bench_pipeline_small", argc, argv);
 
   auto dir = (std::filesystem::temp_directory_path() / "qv_bench_pipe").string();
   std::filesystem::remove_all(dir);
@@ -29,13 +37,7 @@ int main() {
   }
   writer.finish();
 
-  std::printf("Real pipeline, %d steps, 2 renderers, 128x128 (host-scaled)\n\n",
-              steps);
-  std::printf("%-14s %-16s %-12s %-12s %-12s %-12s %-10s %-10s\n",
-              "input procs", "interframe (s)", "fetch (s)", "preproc (s)",
-              "render (s)", "composite (s)", "occup (%)", "stall (%)");
-
-  for (int m : {1, 2, 4}) {
+  auto make_cfg = [&](int m) {
     core::PipelineConfig cfg;
     cfg.dataset_dir = dir;
     cfg.input_procs = m;
@@ -43,6 +45,17 @@ int main() {
     cfg.width = 128;
     cfg.height = 128;
     cfg.render.value_hi = 3.0f;
+    return cfg;
+  };
+
+  std::printf("Real pipeline, %d steps, 2 renderers, 128x128 (host-scaled)\n\n",
+              steps);
+  std::printf("%-14s %-16s %-12s %-12s %-12s %-12s %-10s %-10s\n",
+              "input procs", "interframe (s)", "fetch (s)", "preproc (s)",
+              "render (s)", "composite (s)", "occup (%)", "stall (%)");
+
+  for (int m : {1, 2, 4}) {
+    core::PipelineConfig cfg = make_cfg(m);
     // Trace each sweep point: renderer occupancy and the steady-state
     // stall fraction show the overlap directly, not just via interframe.
     trace::enable();
@@ -52,7 +65,9 @@ int main() {
     auto overlap = trace::analyze_overlap(traces);
     double render_occup = 0.0;
     int render_ranks = 0;
-    for (const auto& ra : trace::rank_activity(traces)) {
+    // Steady window so warmup doesn't deflate the number (consistent with
+    // the stall fraction, which analyze_overlap pins the same way).
+    for (const auto& ra : trace::rank_activity(traces, {.steady_only = true})) {
       if (ra.name.rfind("render", 0) == 0) {
         render_occup += ra.occupancy;
         ++render_ranks;
@@ -73,20 +88,34 @@ int main() {
   for (auto [name, strategy] :
        {std::pair{"2DIP collective", core::IoStrategy::kTwoDipCollective},
         std::pair{"2DIP independent", core::IoStrategy::kTwoDipIndependent}}) {
-    core::PipelineConfig cfg;
-    cfg.dataset_dir = dir;
+    core::PipelineConfig cfg = make_cfg(2);
     cfg.strategy = strategy;
-    cfg.input_procs = 2;
     cfg.groups = 2;
-    cfg.render_procs = 2;
-    cfg.width = 128;
-    cfg.height = 128;
-    cfg.render.value_hi = 3.0f;
     auto report = core::run_pipeline(cfg);
     std::printf("  %-18s interframe %.4f s, fetch %.4f s\n", name,
                 report.avg_interframe, report.avg_fetch);
   }
 
+  // Gate point: the m=4 configuration, untraced. min-of-3 for times;
+  // byte counts are deterministic so one sample would do.
+  if (rep.json_requested()) {
+    double best_interframe = 1e9, best_fetch = 1e9, best_render = 1e9;
+    std::uint64_t block_bytes = 0, composite_bytes = 0;
+    for (int r = 0; r < 3; ++r) {
+      auto report = core::run_pipeline(make_cfg(4));
+      best_interframe = std::min(best_interframe, report.avg_interframe);
+      best_fetch = std::min(best_fetch, report.avg_fetch);
+      best_render = std::min(best_render, report.avg_render);
+      block_bytes = report.block_bytes_sent;
+      composite_bytes = report.composite_bytes;
+    }
+    rep.track("interframe_m4_s", best_interframe, "s");
+    rep.track("fetch_m4_s", best_fetch, "s");
+    rep.track("render_m4_s", best_render, "s");
+    rep.track("block_bytes_sent", double(block_bytes), "bytes");
+    rep.track("composite_bytes", double(composite_bytes), "bytes");
+  }
+
   std::filesystem::remove_all(dir);
-  return 0;
+  return rep.finish();
 }

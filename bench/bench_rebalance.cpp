@@ -6,11 +6,15 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "metrics/report.hpp"
+#include "util/stats.hpp"
 #include "core/pipeline.hpp"
 #include "io/dataset.hpp"
 #include "quake/synthetic.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  qv::metrics::BenchReporter rep("bench_rebalance", argc, argv);
+  qv::WallTimer bench_timer;
   using namespace qv;
 
   auto dir =
@@ -66,5 +70,6 @@ int main() {
       "redistribution replans on REAL costs each epoch)\n");
 
   std::filesystem::remove_all(dir);
-  return 0;
+  rep.track("total_s", bench_timer.seconds(), "s");
+  return rep.finish();
 }

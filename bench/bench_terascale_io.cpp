@@ -12,11 +12,14 @@
 #include <filesystem>
 #include <mutex>
 
+#include "metrics/report.hpp"
 #include "quake/synthetic.hpp"
 #include "util/stats.hpp"
 #include "vmpi/file.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  qv::metrics::BenchReporter rep("bench_terascale_io", argc, argv);
+  qv::WallTimer bench_timer;
   using namespace qv;
 
   double mb = 400.0;
@@ -104,5 +107,6 @@ int main() {
   std::printf("\npaper calibration: LeMieux per-stream effective ~22.5 MB/s; "
               "this host's rates above anchor the same model locally\n");
   std::filesystem::remove_all(path);
-  return 0;
+  rep.track("total_s", bench_timer.seconds(), "s");
+  return rep.finish();
 }

@@ -162,6 +162,7 @@ CompositeResult binary_swap(vmpi::Comm& comm,
     result.stats.bytes_sent += msg.size();
     comm.send(root, kTagGather, msg);
   }
+  record_stats(result.stats);
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "img/rle.hpp"
+#include "metrics/metrics.hpp"
 
 namespace qv::compositing {
 
@@ -19,6 +20,15 @@ struct PieceHeader {
 static_assert(sizeof(PieceHeader) == 32);
 
 }  // namespace
+
+void record_stats(const CompositeStats& s) {
+  static auto& messages = metrics::counter("compositing.messages");
+  static auto& bytes_sent = metrics::counter("compositing.bytes_sent");
+  static auto& pixels_sent = metrics::counter("compositing.pixels_sent");
+  messages.add(s.messages);
+  bytes_sent.add(s.bytes_sent);
+  pixels_sent.add(s.pixels_sent);
+}
 
 Piece extract_piece(const PartialImage& partial, ScreenRect rect) {
   Piece p;

@@ -40,6 +40,11 @@ struct CompositeStats {
   }
 };
 
+// Feed one rank's completed-call statistics into the metrics registry
+// (compositing.messages / compositing.bytes_sent / compositing.pixels_sent).
+// Every algorithm calls this once per invocation just before returning.
+void record_stats(const CompositeStats& s);
+
 // Extract `rect` (screen coordinates, must be inside partial.rect) from a
 // partial image as a Piece.
 Piece extract_piece(const PartialImage& partial, ScreenRect rect);

@@ -112,6 +112,7 @@ CompositeResult direct_send(vmpi::Comm& comm,
     result.stats.bytes_sent += msg.size();
     comm.send(root, kTagStrip, msg);
   }
+  record_stats(result.stats);
   return result;
 }
 

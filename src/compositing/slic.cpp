@@ -212,6 +212,7 @@ CompositeResult slic(vmpi::Comm& comm, std::span<const PartialImage> partials,
     result.stats.messages += final_msg.empty() ? 0 : 1;
     result.stats.bytes_sent += final_msg.size();
     comm.send(root, kTagFinal, final_msg);
+    record_stats(result.stats);
     return result;
   }
   result.image = img::Image(width, height);
@@ -230,6 +231,7 @@ CompositeResult slic(vmpi::Comm& comm, std::span<const PartialImage> partials,
     comm.recv(r, kTagFinal, msg);
     paste(msg);
   }
+  record_stats(result.stats);
   return result;
 }
 

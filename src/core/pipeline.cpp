@@ -19,6 +19,7 @@
 #include "io/dataset.hpp"
 #include "io/preprocess.hpp"
 #include "lic/lic.hpp"
+#include "metrics/metrics.hpp"
 #include "render/order.hpp"
 #include "render/raycast.hpp"
 #include "trace/trace.hpp"
@@ -196,6 +197,9 @@ void unpack_values(const Header& hdr, std::span<const std::uint8_t> msg,
 }
 
 // Stats shared across the rank threads (joined before run_pipeline returns).
+// Only the wall-time accumulators live here now; every event COUNT moved to
+// the metrics registry (see PipeCounters below) — they used to be plain ints
+// mutated from multiple rank threads and are atomic counters today.
 struct Shared {
   const PipelineConfig& config;
   std::vector<img::Image>* frames_out = nullptr;
@@ -203,18 +207,34 @@ struct Shared {
   std::mutex mu{};
   double fetch = 0, preprocess = 0, send = 0;
   double render = 0, composite = 0;
-  std::uint64_t composite_bytes = 0;
-  std::uint64_t block_bytes_raw = 0, block_bytes_sent = 0;
+};
+
+// Registry counters backing PipelineReport. The handles are process-global
+// and monotone; run_pipeline snapshots their values before spawning ranks
+// and fills the report from the after-minus-before deltas, so several
+// pipeline runs in one process (benches, tests) never cross-contaminate.
+// io.retries and compositing.bytes_sent are owned by vmpi::File and the
+// compositing algorithms; they are captured here only for the report diff.
+struct PipeCounters {
+  metrics::Counter& block_bytes_raw = metrics::counter("pipeline.block_bytes_raw");
+  metrics::Counter& block_bytes_sent = metrics::counter("pipeline.block_bytes_sent");
   // Attempted counts every step whose fetch started; completed only those
   // that went on through preprocess+send. They differ under fetch faults.
-  int input_attempts = 0;
-  int input_steps = 0, render_steps = 0;
-  // Fault handling.
-  std::uint64_t retries = 0;         // inputs: per-pread transient retries
-  std::uint64_t corrupt_blocks = 0;  // renderers: CRC mismatches seen
-  std::uint64_t resends = 0;         // inputs: NACKs serviced
-  int dropped_steps = 0;             // render root: steps run on stale data
+  metrics::Counter& input_attempted = metrics::counter("pipeline.input_steps_attempted");
+  metrics::Counter& input_completed = metrics::counter("pipeline.input_steps_completed");
+  metrics::Counter& render_steps = metrics::counter("pipeline.render_steps");
+  metrics::Counter& crc_failures = metrics::counter("pipeline.crc_failures");
+  metrics::Counter& resends = metrics::counter("pipeline.resends");
+  metrics::Counter& dropped_steps = metrics::counter("pipeline.dropped_steps");
+  metrics::Counter& degraded_frames = metrics::counter("pipeline.degraded_frames");
+  metrics::Counter& io_retries = metrics::counter("io.retries");
+  metrics::Counter& composite_bytes = metrics::counter("compositing.bytes_sent");
 };
+
+PipeCounters& pipe_counters() {
+  static PipeCounters pc;
+  return pc;
+}
 
 // Deterministic per-rank setup computed from the dataset alone — the
 // "one-time preprocessing" every processor can reproduce because the mesh
@@ -267,20 +287,15 @@ struct Setup {
 
 std::vector<float> read_level_at(vmpi::Comm& comm, const Setup& st,
                                  const std::string& path, std::uint64_t first,
-                                 std::uint64_t count_floats,
-                                 std::uint64_t* retries = nullptr) {
+                                 std::uint64_t count_floats) {
+  // Transient-retry accounting happens inside vmpi::File (the io.retries
+  // counter increments as each retry fires), so a throw loses nothing.
   vmpi::File f(comm, path);
   f.set_retry_policy(st.cfg.io_retry);
   std::vector<float> data(count_floats);
-  try {
-    f.read_at(st.level_offset() + first * sizeof(float),
-              {reinterpret_cast<std::uint8_t*>(data.data()),
-               count_floats * sizeof(float)});
-  } catch (...) {
-    if (retries) *retries += f.stats().retries;
-    throw;
-  }
-  if (retries) *retries += f.stats().retries;
+  f.read_at(st.level_offset() + first * sizeof(float),
+            {reinterpret_cast<std::uint8_t*>(data.data()),
+             count_floats * sizeof(float)});
   return data;
 }
 
@@ -288,16 +303,15 @@ std::vector<float> read_level_at(vmpi::Comm& comm, const Setup& st,
 // Input processors
 // ---------------------------------------------------------------------------
 
-// An input rank's private accumulators, flushed to the shared stats on scope
-// exit. The destructor (rather than a plain post-loop flush) matters under
-// fault injection: a RankKilled unwind must still deliver the completed
-// steps' work into the report, or the averages divide by the wrong counts.
+// An input rank's private wall-time accumulators, flushed to the shared
+// stats on scope exit. The destructor (rather than a plain post-loop flush)
+// matters under fault injection: a RankKilled unwind must still deliver the
+// completed steps' times into the report, or the averages divide by the
+// wrong counts. Event counts need no such care — they go straight to the
+// registry's atomic counters as they happen.
 struct InputStats {
   Shared& sh;
   double fetch = 0, preprocess = 0, send = 0;
-  int attempts = 0, steps = 0;
-  std::uint64_t retries = 0;
-  std::uint64_t resends = 0;
 
   explicit InputStats(Shared& shared) : sh(shared) {}
   ~InputStats() {
@@ -305,10 +319,6 @@ struct InputStats {
     sh.fetch += fetch;
     sh.preprocess += preprocess;
     sh.send += send;
-    sh.input_attempts += attempts;
-    sh.input_steps += steps;
-    sh.retries += retries;
-    sh.resends += resends;
   }
 };
 
@@ -330,9 +340,8 @@ void send_blocks(vmpi::Comm& world, Shared& sh, const Setup& st, int step,
                 make_block_msg(step, b, q.lo, q.hi, values, cfg.compress_blocks,
                                &raw, &sent));
   }
-  std::lock_guard lk(sh.mu);
-  sh.block_bytes_raw += raw;
-  sh.block_bytes_sent += sent;
+  pipe_counters().block_bytes_raw.add(raw);
+  pipe_counters().block_bytes_sent.add(sent);
 }
 
 // Scalar derivation from interleaved records, with optional temporal
@@ -383,9 +392,6 @@ struct InputControl {
   std::function<void(int step, int block, int requester)> service_nack;
   std::map<int, std::vector<int>> assignments{};  // epoch -> owners
   int done_count = 0;
-  // Counted straight into the rank's InputStats so a mid-run kill keeps
-  // whatever was already serviced.
-  std::uint64_t* resends = nullptr;
 
   void dispatch_one() {
     std::vector<std::uint8_t> buf;
@@ -396,7 +402,9 @@ struct InputControl {
         throw std::runtime_error("pipeline: malformed NACK message");
       std::memcpy(&nack, buf.data(), sizeof(nack));
       service_nack(nack.step, nack.block, st.source);
-      if (resends) ++*resends;
+      // Counted as it happens, so a mid-run kill keeps whatever was
+      // already serviced.
+      pipe_counters().resends.add();
     } else if (st.tag == kTagDone) {
       ++done_count;
     } else if (st.tag >= 0 && st.tag % 8 == 3) {
@@ -443,14 +451,14 @@ void run_input_1dip(Shared& sh, const Setup& st, vmpi::Comm& world,
   auto read_step = [&](int s, std::vector<float>& cur, std::vector<float>& prev,
                        std::vector<float>& next) {
     cur = read_level_at(world, st, st.reader.step_path(s), 0,
-                        st.level_floats(), &acc.retries);
+                        st.level_floats());
     if (cfg.enhancement) {
       if (s > 0)
         prev = read_level_at(world, st, st.reader.step_path(s - 1), 0,
-                             st.level_floats(), &acc.retries);
+                             st.level_floats());
       if (s + 1 < st.reader.meta().num_steps)
         next = read_level_at(world, st, st.reader.step_path(s + 1), 0,
-                             st.level_floats(), &acc.retries);
+                             st.level_floats());
     }
   };
 
@@ -484,8 +492,6 @@ void run_input_1dip(Shared& sh, const Setup& st, vmpi::Comm& world,
                      }
                    }};
 
-  ctl.resends = &acc.resends;
-
   for (int s = input_index; s < st.num_steps; s += m) {
     world.fault_checkpoint(s);
     // Dynamic redistribution: pick up the assignment of this step's epoch
@@ -498,7 +504,7 @@ void run_input_1dip(Shared& sh, const Setup& st, vmpi::Comm& world,
     WallTimer t;
     std::vector<float> cur, prev, next;
     bool fetched = true;
-    ++acc.attempts;
+    pipe_counters().input_attempted.add();
     {
       trace::Span fetch_span("pipeline", "fetch", s);
       try {
@@ -535,7 +541,7 @@ void run_input_1dip(Shared& sh, const Setup& st, vmpi::Comm& world,
       send_blocks(world, sh, st, s, q, all_blocks, owners);
     }
     acc.send += t.seconds();
-    ++acc.steps;
+    pipe_counters().input_completed.add();
   }
   ctl.drain_until_done(cfg.render_procs);
 }
@@ -603,15 +609,14 @@ void run_input_2dip(Shared& sh, const Setup& st, vmpi::Comm& world,
     std::uint64_t first = std::uint64_t(slice_lo) * std::uint64_t(comps);
     std::uint64_t count =
         std::uint64_t(slice_hi - slice_lo) * std::uint64_t(comps);
-    cur = read_level_at(world, st, st.reader.step_path(step_id), first, count,
-                        &acc.retries);
+    cur = read_level_at(world, st, st.reader.step_path(step_id), first, count);
     if (cfg.enhancement) {
       if (step_id > 0)
         prev = read_level_at(world, st, st.reader.step_path(step_id - 1),
-                             first, count, &acc.retries);
+                             first, count);
       if (step_id + 1 < st.reader.meta().num_steps)
         next = read_level_at(world, st, st.reader.step_path(step_id + 1),
-                             first, count, &acc.retries);
+                             first, count);
     }
   };
 
@@ -638,7 +643,6 @@ void run_input_2dip(Shared& sh, const Setup& st, vmpi::Comm& world,
                                                      i * std::size_t(comps)),
                      std::size_t(comps) * sizeof(float)});
         }
-        acc.retries += f.stats().retries;
         return data;
       };
       auto cur = read_nodes(rs);
@@ -686,14 +690,12 @@ void run_input_2dip(Shared& sh, const Setup& st, vmpi::Comm& world,
                               ? std::function<void(int, int, int)>(regen_block)
                               : std::function<void(int, int, int)>(regen_slice)};
 
-  ctl.resends = &acc.resends;
-
   for (int s = group; s < st.num_steps; s += n) {
     world.fault_checkpoint(s);
     WallTimer t;
     std::vector<float> cur, prev, next;
     bool fetched = true;
-    ++acc.attempts;
+    pipe_counters().input_attempted.add();
     // std::optional lets the span close exactly at fetch end without
     // re-bracing the whole try/catch below (Span is neither copyable nor
     // movable by design).
@@ -706,14 +708,8 @@ void run_input_2dip(Shared& sh, const Setup& st, vmpi::Comm& world,
           f.set_retry_policy(cfg.io_retry);
           f.set_view(view);
           std::vector<float> data(my_nodes.size() * std::size_t(comps));
-          try {
-            f.read_all({reinterpret_cast<std::uint8_t*>(data.data()),
-                        data.size() * sizeof(float)});
-          } catch (...) {
-            acc.retries += f.stats().retries;
-            throw;
-          }
-          acc.retries += f.stats().retries;
+          f.read_all({reinterpret_cast<std::uint8_t*>(data.data()),
+                      data.size() * sizeof(float)});
           return data;
         };
         cur = read_step(s);
@@ -781,13 +777,10 @@ void run_input_2dip(Shared& sh, const Setup& st, vmpi::Comm& world,
                                    cfg.compress_blocks, &raw, &sent_bytes));
       }
     }
-    {
-      std::lock_guard lk(sh.mu);
-      sh.block_bytes_raw += raw;
-      sh.block_bytes_sent += sent_bytes;
-    }
+    pipe_counters().block_bytes_raw.add(raw);
+    pipe_counters().block_bytes_sent.add(sent_bytes);
     acc.send += t.seconds();
-    ++acc.steps;
+    pipe_counters().input_completed.add();
   }
   ctl.drain_until_done(cfg.render_procs);
 }
@@ -874,9 +867,6 @@ void run_render(Shared& sh, const Setup& st, vmpi::Comm& world,
   render::Raycaster rc(st.tf, cfg.render, st.mesh->domain().extent().x);
 
   double render_time = 0, composite_time = 0;
-  std::uint64_t composite_bytes = 0;
-  std::uint64_t corrupt = 0;
-  int dropped = 0;  // render root only: steps the group agreed were degraded
   const auto timeout = std::chrono::milliseconds(
       cfg.recv_timeout_ms > 0 ? cfg.recv_timeout_ms : 0);
   // Measured per-block costs of the current epoch (dynamic redistribution).
@@ -924,7 +914,7 @@ void run_render(Shared& sh, const Setup& st, vmpi::Comm& world,
           continue;
         }
         if (!payload_ok(hdr, msg)) {
-          ++corrupt;
+          pipe_counters().crc_failures.add();
           if (nacks_left-- > 0) {
             NackMsg nack{s, -1};
             world.isend(rst.source, kTagNack,
@@ -964,7 +954,7 @@ void run_render(Shared& sh, const Setup& st, vmpi::Comm& world,
           break;
         }
         if (!payload_ok(hdr, msg)) {
-          ++corrupt;
+          pipe_counters().crc_failures.add();
           if (nacks_left-- > 0) {
             NackMsg nack{s, hdr.block};
             world.isend(rst.source, kTagNack,
@@ -990,7 +980,7 @@ void run_render(Shared& sh, const Setup& st, vmpi::Comm& world,
     // processor needs one consistent answer per frame.
     const bool step_degraded =
         render_comm.allreduce_max(degraded ? 1.0 : 0.0) > 0.0;
-    if (rr == 0 && step_degraded) ++dropped;
+    if (rr == 0 && step_degraded) pipe_counters().dropped_steps.add();
 
     // --- local rendering ----------------------------------------------------
     if (orbiting && s > 0) {
@@ -1039,7 +1029,6 @@ void run_render(Shared& sh, const Setup& st, vmpi::Comm& world,
       }
     }
     composite_time += t.seconds();
-    composite_bytes += comp.stats.bytes_sent;
 
     // --- image delivery ----------------------------------------------------
     if (rr == 0) {
@@ -1118,13 +1107,10 @@ void run_render(Shared& sh, const Setup& st, vmpi::Comm& world,
   // Release the inputs' control loops: this renderer will NACK no more.
   for (int ip = 0; ip < cfg.total_input_procs(); ++ip)
     world.isend(ip, kTagDone, {});
+  pipe_counters().render_steps.add(std::uint64_t(st.num_steps));
   std::lock_guard lk(sh.mu);
   sh.render += render_time;
   sh.composite += composite_time;
-  sh.composite_bytes += composite_bytes;
-  sh.render_steps += st.num_steps;
-  sh.corrupt_blocks += corrupt;
-  sh.dropped_steps += dropped;
 }
 
 // ---------------------------------------------------------------------------
@@ -1181,9 +1167,9 @@ void run_output(Shared& sh, const Setup& st, vmpi::Comm& world) {
     }
     if (sh.frames_out) sh.frames_out->push_back(std::move(frame));
   }
+  pipe_counters().degraded_frames.add(degraded_steps.size());
   std::lock_guard lk(sh.mu);
   sh.report.frame_seconds = std::move(frame_seconds);
-  sh.report.degraded_frames = int(degraded_steps.size());
   sh.report.degraded_steps = std::move(degraded_steps);
 }
 
@@ -1233,6 +1219,21 @@ PipelineReport run_pipeline(const PipelineConfig& config_in,
 
   Shared sh{config, frames_out};
 
+  // Baseline values of the registry counters this report is built from;
+  // everything below runs single-threaded before/after the rank threads.
+  PipeCounters& pc = pipe_counters();
+  const std::uint64_t base_raw = pc.block_bytes_raw.value();
+  const std::uint64_t base_sent = pc.block_bytes_sent.value();
+  const std::uint64_t base_attempted = pc.input_attempted.value();
+  const std::uint64_t base_completed = pc.input_completed.value();
+  const std::uint64_t base_render_steps = pc.render_steps.value();
+  const std::uint64_t base_crc = pc.crc_failures.value();
+  const std::uint64_t base_resends = pc.resends.value();
+  const std::uint64_t base_dropped = pc.dropped_steps.value();
+  const std::uint64_t base_degraded = pc.degraded_frames.value();
+  const std::uint64_t base_retries = pc.io_retries.value();
+  const std::uint64_t base_composite_bytes = pc.composite_bytes.value();
+
   vmpi::Runtime::run(config.world_size(), [&sh, &config](vmpi::Comm& world) {
     Setup st(config);
     const int I = config.total_input_procs();
@@ -1279,28 +1280,31 @@ PipelineReport run_pipeline(const PipelineConfig& config_in,
   }, config.fault_plan);
 
   PipelineReport& rep = sh.report;
-  rep.steps = sh.render_steps > 0 ? sh.render_steps / config.render_procs : 0;
-  rep.input_steps_attempted = sh.input_attempts;
-  rep.input_steps_completed = sh.input_steps;
+  const int render_steps_total = int(pc.render_steps.value() - base_render_steps);
+  rep.steps =
+      render_steps_total > 0 ? render_steps_total / config.render_procs : 0;
+  rep.input_steps_attempted = int(pc.input_attempted.value() - base_attempted);
+  rep.input_steps_completed = int(pc.input_completed.value() - base_completed);
   // Fetch runs on every *attempted* step; preprocess and send only on steps
   // that completed. Dividing all three by the same count used to deflate the
   // per-step averages of degraded runs (dropped steps padded the
   // denominator with stages that never executed).
-  int fetch_steps = std::max(sh.input_attempts, 1);
-  int done_steps = std::max(sh.input_steps, 1);
+  int fetch_steps = std::max(rep.input_steps_attempted, 1);
+  int done_steps = std::max(rep.input_steps_completed, 1);
   int rn_steps = std::max(rep.steps, 1);
   rep.avg_fetch = sh.fetch / fetch_steps;
   rep.avg_preprocess = sh.preprocess / done_steps;
   rep.avg_send = sh.send / done_steps;
   rep.avg_render = sh.render / (rn_steps * config.render_procs);
   rep.avg_composite = sh.composite / (rn_steps * config.render_procs);
-  rep.composite_bytes = sh.composite_bytes;
-  rep.block_bytes_raw = sh.block_bytes_raw;
-  rep.block_bytes_sent = sh.block_bytes_sent;
-  rep.retries = sh.retries;
-  rep.corrupt_blocks_detected = sh.corrupt_blocks;
-  rep.resend_requests = sh.resends;
-  rep.dropped_steps = sh.dropped_steps;
+  rep.composite_bytes = pc.composite_bytes.value() - base_composite_bytes;
+  rep.block_bytes_raw = pc.block_bytes_raw.value() - base_raw;
+  rep.block_bytes_sent = pc.block_bytes_sent.value() - base_sent;
+  rep.retries = pc.io_retries.value() - base_retries;
+  rep.corrupt_blocks_detected = pc.crc_failures.value() - base_crc;
+  rep.resend_requests = pc.resends.value() - base_resends;
+  rep.dropped_steps = int(pc.dropped_steps.value() - base_dropped);
+  rep.degraded_frames = int(pc.degraded_frames.value() - base_degraded);
   rep.avg_interframe = steady_interframe(rep.frame_seconds);
   return rep;
 }

@@ -1,0 +1,327 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace qv::metrics {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+// Thread -> shard assignment: each thread gets the next ordinal on first
+// touch; vmpi ranks (threads) therefore spread round-robin over the shards.
+std::atomic<int> g_next_ordinal{0};
+
+int this_shard() noexcept {
+  thread_local int shard = g_next_ordinal.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+constexpr std::uint64_t bits_of(double v) noexcept { return std::bit_cast<std::uint64_t>(v); }
+constexpr double double_of(std::uint64_t b) noexcept { return std::bit_cast<double>(b); }
+
+// The registry itself. Deques keep handle addresses stable across
+// registration; the whole structure is leaked (like trace::Registry) so
+// metrics recorded from detached threads during teardown stay valid.
+struct Registry {
+  std::mutex mu;
+  // unique_ptr storage: the metric types hold atomics and are immovable.
+  std::deque<std::unique_ptr<Counter>> counters;
+  std::deque<std::unique_ptr<Gauge>> gauges;
+  std::deque<std::unique_ptr<Histogram>> histograms;
+  std::unordered_map<std::string, Counter*> counter_by_name;
+  std::unordered_map<std::string, Gauge*> gauge_by_name;
+  std::unordered_map<std::string, Histogram*> histogram_by_name;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked deliberately
+  return *r;
+}
+
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void enable() {
+  reset();
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void disable() noexcept { g_enabled.store(false, std::memory_order_relaxed); }
+
+void reset() {
+  auto& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& c : r.counters) {
+    for (auto& s : c->shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+  for (auto& g : r.gauges) g->bits_.store(bits_of(0.0), std::memory_order_relaxed);
+  for (auto& h : r.histograms) {
+    const int n = h->spec_.bucket_count();
+    for (auto& s : h->shards_) {
+      for (int i = 0; i < n; ++i) s.counts[i].store(0, std::memory_order_relaxed);
+      s.count.store(0, std::memory_order_relaxed);
+      s.sum_bits.store(bits_of(0.0), std::memory_order_relaxed);
+      s.min_bits.store(bits_of(std::numeric_limits<double>::infinity()),
+                       std::memory_order_relaxed);
+      s.max_bits.store(bits_of(-std::numeric_limits<double>::infinity()),
+                       std::memory_order_relaxed);
+    }
+  }
+}
+
+// --- HistogramSpec ----------------------------------------------------------
+
+HistogramSpec HistogramSpec::fixed(std::vector<double> upper_edges) {
+  if (upper_edges.empty()) throw std::invalid_argument("fixed histogram needs bounds");
+  if (!std::is_sorted(upper_edges.begin(), upper_edges.end()))
+    throw std::invalid_argument("fixed histogram bounds must be ascending");
+  HistogramSpec s;
+  s.kind = Kind::kFixed;
+  s.bounds = std::move(upper_edges);
+  return s;
+}
+
+HistogramSpec HistogramSpec::log2(int min_exp, int max_exp, int sub_buckets) {
+  if (max_exp <= min_exp || sub_buckets < 1)
+    throw std::invalid_argument("bad log2 histogram shape");
+  HistogramSpec s;
+  s.kind = Kind::kLog2;
+  s.min_exp = min_exp;
+  s.max_exp = max_exp;
+  s.sub_buckets = sub_buckets;
+  return s;
+}
+
+HistogramSpec HistogramSpec::duration_seconds() { return log2(-30, 12, 32); }
+HistogramSpec HistogramSpec::bytes() { return log2(0, 40, 1); }
+
+int HistogramSpec::bucket_count() const {
+  if (kind == Kind::kFixed) return int(bounds.size()) + 1;
+  return (max_exp - min_exp) * sub_buckets + 2;
+}
+
+int HistogramSpec::bucket_index(double v) const {
+  if (kind == Kind::kFixed) {
+    // First bound >= v; bucket i holds v <= bounds[i]. NaN compares false
+    // everywhere and lands in the overflow bucket via lower_bound semantics;
+    // route it to underflow instead so edge buckets stay meaningful.
+    if (std::isnan(v)) return 0;
+    auto it = std::lower_bound(bounds.begin(), bounds.end(), v);
+    return int(it - bounds.begin());  // == bounds.size() -> overflow
+  }
+  const double lo = std::ldexp(1.0, min_exp);
+  if (!(v >= lo)) return 0;  // underflow; also catches NaN and negatives
+  if (v >= std::ldexp(1.0, max_exp)) return bucket_count() - 1;
+  const int e = std::ilogb(v);  // floor(log2 v); v in [2^e, 2^{e+1})
+  const double frac = std::ldexp(v, -e) - 1.0;  // [0, 1)
+  int sub = int(frac * sub_buckets);
+  if (sub >= sub_buckets) sub = sub_buckets - 1;  // guard fp round-up
+  return 1 + (e - min_exp) * sub_buckets + sub;
+}
+
+double HistogramSpec::bucket_lo(int i) const {
+  if (i <= 0) return -std::numeric_limits<double>::infinity();
+  if (kind == Kind::kFixed) return bounds[size_t(i - 1)];
+  if (i >= bucket_count() - 1) return std::ldexp(1.0, max_exp);
+  const int e = min_exp + (i - 1) / sub_buckets;
+  const int sub = (i - 1) % sub_buckets;
+  return std::ldexp(1.0 + double(sub) / sub_buckets, e);
+}
+
+double HistogramSpec::bucket_hi(int i) const {
+  if (i >= bucket_count() - 1) return std::numeric_limits<double>::infinity();
+  if (kind == Kind::kFixed) return bounds[size_t(i)];
+  if (i <= 0) return std::ldexp(1.0, min_exp);
+  const int e = min_exp + (i - 1) / sub_buckets;
+  const int sub = (i - 1) % sub_buckets;
+  if (sub == sub_buckets - 1) return std::ldexp(1.0, e + 1);
+  return std::ldexp(1.0 + double(sub + 1) / sub_buckets, e);
+}
+
+// --- HistogramSnapshot ------------------------------------------------------
+
+double HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Continuous 0-based target rank over `count` observations.
+  const double target = p / 100.0 * double(count - 1);
+  std::uint64_t before = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t c = counts[i];
+    if (c == 0) continue;
+    if (target < double(before + c)) {
+      // Interpolate inside this bucket, with its range clamped to the
+      // observed extremes so under/overflow buckets (and single-value
+      // distributions) report real values.
+      double lo = std::max(spec.bucket_lo(int(i)), min);
+      double hi = std::min(spec.bucket_hi(int(i)), max);
+      if (!(hi > lo)) return lo;
+      const double frac = (target - double(before)) / double(c);
+      return lo + (hi - lo) * frac;
+    }
+    before += c;
+  }
+  return max;  // unreachable when counts are consistent with count
+}
+
+// --- Counter ----------------------------------------------------------------
+
+void Counter::add(std::uint64_t v) noexcept {
+  shards_[size_t(this_shard())].v.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::value() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+// --- Gauge ------------------------------------------------------------------
+
+void Gauge::set(double v) noexcept { bits_.store(bits_of(v), std::memory_order_relaxed); }
+
+void Gauge::add(double v) noexcept {
+  std::uint64_t cur = bits_.load(std::memory_order_relaxed);
+  while (!bits_.compare_exchange_weak(cur, bits_of(double_of(cur) + v),
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+double Gauge::value() const noexcept {
+  return double_of(bits_.load(std::memory_order_relaxed));
+}
+
+// --- Histogram --------------------------------------------------------------
+
+Histogram::Histogram(std::string name, const HistogramSpec& spec)
+    : spec_(spec), name_(std::move(name)) {
+  const int n = spec_.bucket_count();
+  for (auto& s : shards_) {
+    s.counts = std::make_unique<std::atomic<std::uint64_t>[]>(size_t(n));
+    for (int i = 0; i < n; ++i) s.counts[i].store(0, std::memory_order_relaxed);
+    s.min_bits.store(bits_of(std::numeric_limits<double>::infinity()),
+                     std::memory_order_relaxed);
+    s.max_bits.store(bits_of(-std::numeric_limits<double>::infinity()),
+                     std::memory_order_relaxed);
+  }
+}
+
+namespace {
+// CAS-update a double cell with op (min/max/plus) under relaxed ordering.
+template <class Op>
+void update_double(std::atomic<std::uint64_t>& cell, double v, Op op) noexcept {
+  std::uint64_t cur = cell.load(std::memory_order_relaxed);
+  for (;;) {
+    const double next = op(double_of(cur), v);
+    if (next == double_of(cur)) return;
+    if (cell.compare_exchange_weak(cur, bits_of(next), std::memory_order_relaxed)) return;
+  }
+}
+}  // namespace
+
+void Histogram::observe(double v) noexcept {
+  if (!enabled()) return;
+  auto& s = shards_[size_t(this_shard())];
+  s.counts[size_t(spec_.bucket_index(v))].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  update_double(s.sum_bits, v, [](double a, double b) { return a + b; });
+  update_double(s.min_bits, v, [](double a, double b) { return b < a ? b : a; });
+  update_double(s.max_bits, v, [](double a, double b) { return b > a ? b : a; });
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot out;
+  out.spec = spec_;
+  const int n = spec_.bucket_count();
+  out.counts.assign(size_t(n), 0);
+  double mn = std::numeric_limits<double>::infinity();
+  double mx = -std::numeric_limits<double>::infinity();
+  for (const auto& s : shards_) {
+    for (int i = 0; i < n; ++i)
+      out.counts[size_t(i)] += s.counts[i].load(std::memory_order_relaxed);
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum += double_of(s.sum_bits.load(std::memory_order_relaxed));
+    mn = std::min(mn, double_of(s.min_bits.load(std::memory_order_relaxed)));
+    mx = std::max(mx, double_of(s.max_bits.load(std::memory_order_relaxed)));
+  }
+  out.min = out.count ? mn : 0.0;
+  out.max = out.count ? mx : 0.0;
+  return out;
+}
+
+// --- registration -----------------------------------------------------------
+
+Counter& counter(const std::string& name) {
+  auto& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.counter_by_name.find(name);
+  if (it != r.counter_by_name.end()) return *it->second;
+  r.counters.push_back(std::unique_ptr<Counter>(new Counter(name)));
+  Counter* c = r.counters.back().get();
+  r.counter_by_name.emplace(name, c);
+  return *c;
+}
+
+Gauge& gauge(const std::string& name) {
+  auto& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.gauge_by_name.find(name);
+  if (it != r.gauge_by_name.end()) return *it->second;
+  r.gauges.push_back(std::unique_ptr<Gauge>(new Gauge(name)));
+  Gauge* g = r.gauges.back().get();
+  g->bits_.store(bits_of(0.0), std::memory_order_relaxed);
+  r.gauge_by_name.emplace(name, g);
+  return *g;
+}
+
+Histogram& histogram(const std::string& name, const HistogramSpec& spec) {
+  auto& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.histogram_by_name.find(name);
+  if (it != r.histogram_by_name.end()) return *it->second;
+  r.histograms.push_back(std::unique_ptr<Histogram>(new Histogram(name, spec)));
+  Histogram* h = r.histograms.back().get();
+  r.histogram_by_name.emplace(name, h);
+  return *h;
+}
+
+Histogram& span_histogram(const char* cat, const char* name) {
+  // Hot path: spans are created per stage per step on every rank. Key the
+  // cache on the literal addresses so the steady state is two pointer
+  // compares and no registry lock.
+  struct CacheEntry {
+    const char* cat;
+    const char* name;
+    Histogram* hist;
+  };
+  thread_local std::vector<CacheEntry> cache;
+  for (const auto& e : cache) {
+    if (e.cat == cat && e.name == name) return *e.hist;
+  }
+  std::string full = std::string("span.") + cat + "." + name;
+  Histogram& h = histogram(full, HistogramSpec::duration_seconds());
+  cache.push_back({cat, name, &h});
+  return h;
+}
+
+// --- collection -------------------------------------------------------------
+
+Snapshot collect() {
+  auto& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  Snapshot out;
+  for (const auto& c : r.counters) out.counters[c->name()] = c->value();
+  for (const auto& g : r.gauges) out.gauges[g->name()] = g->value();
+  for (const auto& h : r.histograms) out.histograms[h->name()] = h->snapshot();
+  return out;
+}
+
+}  // namespace qv::metrics

@@ -1,0 +1,201 @@
+// Process-wide metrics registry: counters, gauges, and histograms.
+//
+// This is the second observability pillar next to src/trace. Tracing answers
+// "when did it happen" (per-rank timelines); metrics answer "how much, how
+// often, how long on aggregate" (counts, bytes, latency distributions with
+// p50/p95/p99) and are what run reports and the benchmark regression gate
+// consume.
+//
+// Cost contract:
+//  * Counters and gauges are ALWAYS on. An add is one relaxed atomic
+//    fetch_add on a cache-line-padded per-shard slot (no locks, no
+//    allocation); instrumented hot paths batch locally and add once per
+//    call. This is what lets PipelineReport read its counters from the
+//    registry without a separate "metrics mode".
+//  * Histograms record only while enabled() (the observations worth having
+//    are latencies, and the clock reads to produce them live at the call
+//    sites, which gate on enabled()). Disabled cost is one relaxed load.
+//  * Registration (`counter("name")` etc.) takes a registry mutex; call it
+//    once per site via a static local, not per operation.
+//
+// Sharding: every metric keeps kShards slots; a thread writes the slot
+// indexed by its registration ordinal (vmpi ranks are threads, so these are
+// the "per-rank shards"). collect() merges shards into a Snapshot; merging
+// is associative, so a merged snapshot equals what a single shard would
+// have recorded for the same observations (tested).
+//
+// Concurrency contract: enable()/disable()/reset() must not run concurrently
+// with recording (same contract as src/trace — they bracket
+// vmpi::Runtime::run). collect() may run any time; it reads relaxed atomics
+// and yields a consistent-enough snapshot (exact once recorders quiesce).
+//
+// Metric names are dot-separated lowercase paths ("vmpi.send.bytes",
+// "span.pipeline.fetch"). Names passed to counter()/gauge()/histogram()
+// may be temporaries (they are copied); span_histogram() requires string
+// literals, matching trace::Span.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace qv::metrics {
+
+inline constexpr int kShards = 8;
+
+// --- global switch (gates histogram recording only) ------------------------
+bool enabled() noexcept;
+void enable();            // reset() + on
+void disable() noexcept;  // off (recorded data is kept until reset())
+void reset();             // zero every registered metric
+
+// --- histogram shape --------------------------------------------------------
+struct HistogramSpec {
+  enum class Kind { kFixed, kLog2 };
+  Kind kind = Kind::kLog2;
+
+  // kFixed: ascending upper bucket edges. Bucket i counts v <= bounds[i]
+  // (bucket 0 doubles as the underflow bucket); one extra overflow bucket
+  // counts v > bounds.back().
+  std::vector<double> bounds;
+
+  // kLog2: bucket 0 is underflow (v < 2^min_exp, including <= 0 and NaN);
+  // each octave [2^e, 2^{e+1}) for e in [min_exp, max_exp) is split into
+  // `sub_buckets` equal-width linear buckets; the last bucket is overflow
+  // (v >= 2^max_exp). sub_buckets bounds the relative bucket width at
+  // 1/sub_buckets, which bounds the percentile interpolation error.
+  int min_exp = -30;
+  int max_exp = 14;
+  int sub_buckets = 8;
+
+  static HistogramSpec fixed(std::vector<double> upper_edges);
+  static HistogramSpec log2(int min_exp, int max_exp, int sub_buckets = 8);
+  // Durations in seconds: ~1 ns .. ~4096 s, 32 sub-buckets (<= 3.1% bucket
+  // width, so bucketed medians track true medians well within 5%).
+  static HistogramSpec duration_seconds();
+  // Sizes in bytes: 1 B .. 1 TiB, octave resolution.
+  static HistogramSpec bytes();
+
+  int bucket_count() const;          // including underflow + overflow
+  int bucket_index(double v) const;  // always a valid bucket
+  double bucket_lo(int i) const;     // -inf for the underflow bucket
+  double bucket_hi(int i) const;     // +inf for the overflow bucket
+  bool operator==(const HistogramSpec&) const = default;
+};
+
+// A merged (or parsed-back) histogram state.
+struct HistogramSnapshot {
+  HistogramSpec spec;
+  std::vector<std::uint64_t> counts;  // dense, spec.bucket_count() entries
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // meaningful only when count > 0
+  double max = 0.0;
+
+  double mean() const { return count ? sum / double(count) : 0.0; }
+  // Rank-interpolated percentile (p in [0,100]) from the buckets, with the
+  // containing bucket's range clamped to the observed [min, max] — a
+  // single-valued distribution reports that value exactly.
+  double percentile(double p) const;
+};
+
+// --- metric handles ---------------------------------------------------------
+// Handles are registry-owned and live for the process lifetime; hold them by
+// reference from a static local at each instrumentation site.
+
+class Counter {
+ public:
+  void add(std::uint64_t v = 1) noexcept;
+  std::uint64_t value() const noexcept;  // merged over shards
+  const std::string& name() const { return name_; }
+
+ private:
+  friend Counter& counter(const std::string&);
+  friend void reset();
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Slot, kShards> shards_{};
+  std::string name_;
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept;
+  void add(double v) noexcept;
+  double value() const noexcept;
+  const std::string& name() const { return name_; }
+
+ private:
+  friend Gauge& gauge(const std::string&);
+  friend void reset();
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  std::atomic<std::uint64_t> bits_;
+  std::string name_;
+};
+
+class Histogram {
+ public:
+  // No-op unless enabled(). NaN and negative values land in the underflow
+  // bucket rather than being dropped, so count stays an observation count.
+  void observe(double v) noexcept;
+  HistogramSnapshot snapshot() const;
+  const std::string& name() const { return name_; }
+  const HistogramSpec& spec() const { return spec_; }
+
+ private:
+  friend Histogram& histogram(const std::string&, const HistogramSpec&);
+  friend void reset();
+  Histogram(std::string name, const HistogramSpec& spec);
+  struct Shard {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> counts;
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum_bits{0};  // double bits, CAS-accumulated
+    std::atomic<std::uint64_t> min_bits;     // double bits
+    std::atomic<std::uint64_t> max_bits;
+  };
+  std::array<Shard, kShards> shards_;
+  HistogramSpec spec_;
+  std::string name_;
+};
+
+// --- registration -----------------------------------------------------------
+// Idempotent by name: the first call creates, later calls return the same
+// handle. Re-registering a histogram name with a different spec keeps the
+// original spec (first writer wins).
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Histogram& histogram(const std::string& name,
+                     const HistogramSpec& spec = HistogramSpec::duration_seconds());
+
+// Duration histogram "span.<cat>.<name>" for a trace span; cat/name must be
+// string literals (their addresses key a per-thread cache, so the steady
+// state is lock-free). This is how trace spans auto-feed stage histograms.
+Histogram& span_histogram(const char* cat, const char* name);
+
+// --- collection -------------------------------------------------------------
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  std::uint64_t counter_or(const std::string& name, std::uint64_t fb = 0) const {
+    auto it = counters.find(name);
+    return it == counters.end() ? fb : it->second;
+  }
+  double gauge_or(const std::string& name, double fb = 0.0) const {
+    auto it = gauges.find(name);
+    return it == gauges.end() ? fb : it->second;
+  }
+};
+
+// Merge every metric's shards. Zero-valued counters/gauges and empty
+// histograms are included (a registered metric is part of the schema).
+Snapshot collect();
+
+}  // namespace qv::metrics

@@ -1,0 +1,119 @@
+// Machine-readable run reports over the metrics registry, and the benchmark
+// regression gate built on them.
+//
+// Schema "qv-run-report" version 1 (JSON):
+//   {
+//     "schema": "qv-run-report", "version": 1, "kind": "pipeline",
+//     "tracked":  [ {"name": "interframe_s", "value": 0.041, "unit": "s"} ],
+//     "counters": { "vmpi.send.bytes": 123456, ... },
+//     "gauges":   { ... },
+//     "histograms": {
+//       "span.pipeline.render": {
+//         "spec": {"kind": "log2", "min_exp": -30, "max_exp": 12, "sub": 32},
+//         "count": 12, "sum": 0.5, "min": 0.03, "max": 0.06,
+//         "p50": 0.041, "p95": 0.058, "p99": 0.06,
+//         "buckets": [[312, 3], [313, 9]]        // [index, count], nonzero only
+//       }
+//     }
+//   }
+// "tracked" is the contract with the gate: the headline metrics a producer
+// commits to keeping stable, all lower-is-better. Everything else is context.
+//
+// The JSON parser here is deliberately minimal (objects/arrays/strings/
+// numbers/bools/null, doubles only) — enough to round-trip this schema and
+// run the gate without adding a dependency.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+
+namespace qv::metrics {
+
+inline constexpr int kReportVersion = 1;
+
+struct TrackedMetric {
+  std::string name;
+  double value = 0.0;
+  std::string unit;  // "s", "bytes", "count", ...
+};
+
+struct RunReport {
+  std::string kind;  // "pipeline", "insitu", "bench_io_readers", ...
+  int version = kReportVersion;
+  std::vector<TrackedMetric> tracked;
+  Snapshot snapshot;
+
+  void track(std::string name, double value, std::string unit) {
+    tracked.push_back({std::move(name), value, std::move(unit)});
+  }
+};
+
+// --- emit -------------------------------------------------------------------
+void write_json(std::ostream& os, const RunReport& r);
+std::string to_json(const RunReport& r);
+// Returns false (and prints to stderr) if the file cannot be written.
+bool write_json_file(const std::string& path, const RunReport& r);
+
+// Prometheus-style text exposition of a snapshot ('.' -> '_', cumulative
+// "_bucket{le=...}" series, "_sum"/"_count", min/max as gauges).
+void write_prometheus(std::ostream& os, const Snapshot& snap);
+bool write_prometheus_file(const std::string& path, const Snapshot& snap);
+
+// --- parse ------------------------------------------------------------------
+// Parse a qv-run-report JSON document. On failure returns nullopt and, if
+// err is non-null, stores a one-line reason.
+std::optional<RunReport> parse_report(const std::string& json, std::string* err = nullptr);
+std::optional<RunReport> read_report_file(const std::string& path, std::string* err = nullptr);
+
+// --- regression gate --------------------------------------------------------
+struct MetricDelta {
+  std::string name;
+  std::string unit;
+  double base = 0.0;
+  double current = 0.0;
+  double rel_change = 0.0;  // (current - base) / base; 0 when base == 0
+  bool regressed = false;   // current worse than base by more than threshold
+  bool missing = false;     // tracked in baseline, absent from current
+};
+
+struct GateResult {
+  std::vector<MetricDelta> rows;
+  double threshold = 0.15;
+  bool ok = true;
+};
+
+// Compare every baseline-tracked metric against the current report. All
+// tracked metrics are lower-is-better; a regression is
+// current > base * (1 + threshold), with an absolute floor so metrics near
+// zero (e.g. a 2 ms stage) don't flap on scheduler noise. A tracked metric
+// missing from the current report fails the gate (renames must update the
+// baseline deliberately).
+GateResult compare_reports(const RunReport& baseline, const RunReport& current,
+                           double threshold = 0.15);
+std::string format_gate_table(const GateResult& g);
+
+// --- bench harness ----------------------------------------------------------
+// Shared envelope for bench_* binaries: parses --json=PATH / --prom=PATH
+// from argv, enables the registry, and on finish() writes the report.
+// With no flags the bench still runs and prints its usual text.
+class BenchReporter {
+ public:
+  BenchReporter(std::string kind, int argc, char** argv);
+  bool json_requested() const { return !json_path_.empty(); }
+  void track(std::string name, double value, std::string unit);
+  // Collects the registry and writes the requested files; returns the
+  // process exit code (1 on write failure).
+  int finish();
+
+ private:
+  std::string kind_;
+  std::string json_path_;
+  std::string prom_path_;
+  std::vector<TrackedMetric> tracked_;
+};
+
+}  // namespace qv::metrics

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "metrics/metrics.hpp"
 #include "render/order.hpp"
 #include "trace/trace.hpp"
 
@@ -34,6 +35,10 @@ PartialImage Raycaster::render_block(const Camera& camera,
       1.0f / std::max(opt_.value_hi - opt_.value_lo, 1e-20f);
   const float grad_h = block.finest_cell_edge() * 0.5f;
 
+  // Per-call accumulators; folded into RenderStats and the registry once at
+  // the end so the inner loop touches only registers.
+  std::uint64_t n_rays = 0, n_samples = 0, n_shaded = 0, n_early = 0;
+
   for (int py = out.rect.y0; py < out.rect.y1; ++py) {
     for (int px = out.rect.x0; px < out.rect.x1; ++px) {
       Ray ray = camera.pixel_ray(px, py);
@@ -42,7 +47,7 @@ PartialImage Raycaster::render_block(const Camera& camera,
         continue;
       t_in = std::max(t_in, 0.0f);
       if (t_in >= t_out) continue;
-      if (stats) ++stats->rays;
+      ++n_rays;
 
       img::Rgba acc{};
       // Global step phase so block boundaries do not introduce seams:
@@ -54,11 +59,11 @@ PartialImage Raycaster::render_block(const Camera& camera,
         Vec3 p = ray.origin + ray.dir * t;
         float v;
         if (!block.sample(p, v, &cell_hint)) continue;
-        if (stats) ++stats->samples;
+        ++n_samples;
         float nv = std::clamp((v - opt_.value_lo) * inv_range, 0.0f, 1.0f);
         TfSample tf = tf_->sample(nv);
         if (tf.opacity <= 0.0f) continue;
-        if (stats) ++stats->shaded_samples;
+        ++n_shaded;
         float alpha = 1.0f - std::pow(1.0f - tf.opacity, ds / ref_length_);
         Vec3 color = tf.color;
         if (opt_.lighting) {
@@ -76,9 +81,23 @@ PartialImage Raycaster::render_block(const Camera& camera,
                           alpha};
         acc.blend_under(contrib);
       }
+      if (acc.a >= opt_.early_exit_alpha) ++n_early;
       if (acc.a > 0.0f) out.at_screen(px, py) = acc;
     }
   }
+  if (stats) {
+    stats->rays += n_rays;
+    stats->samples += n_samples;
+    stats->shaded_samples += n_shaded;
+  }
+  static auto& rays_ctr = metrics::counter("render.rays");
+  static auto& samples_ctr = metrics::counter("render.samples");
+  static auto& shaded_ctr = metrics::counter("render.shaded_samples");
+  static auto& early_ctr = metrics::counter("render.early_terminations");
+  rays_ctr.add(n_rays);
+  samples_ctr.add(n_samples);
+  shaded_ctr.add(n_shaded);
+  early_ctr.add(n_early);
   return out;
 }
 

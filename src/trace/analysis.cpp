@@ -27,6 +27,31 @@ bool is_wait(const Event& ev) {
 }  // namespace
 
 std::vector<RankActivity> rank_activity(std::span<const ThreadTrace> traces) {
+  return rank_activity(traces, ActivityOptions{});
+}
+
+std::vector<RankActivity> rank_activity(std::span<const ThreadTrace> traces,
+                                        const ActivityOptions& opt) {
+  // Steady window: same second-half step pinning as analyze_overlap (and
+  // the report's avg_interframe), so the numbers are comparable.
+  std::int64_t steady_first_step = 0;
+  if (opt.steady_only) {
+    std::int64_t max_step = -1;
+    for (const ThreadTrace& t : traces) {
+      for (const Event& ev : t.events) {
+        if (!is_pipeline_span(ev)) continue;
+        if (ev.arg > max_step &&
+            (name_is(ev, "render") || name_is(ev, "fetch") ||
+             name_is(ev, "frame"))) {
+          max_step = ev.arg;
+        }
+      }
+    }
+    steady_first_step = (max_step + 1) / 2;
+  }
+
+  // Whole-run denominator: the global [first event start, last event end]
+  // window, shared by every rank.
   std::int64_t t_min = std::numeric_limits<std::int64_t>::max();
   std::int64_t t_max = std::numeric_limits<std::int64_t>::min();
   for (const ThreadTrace& t : traces) {
@@ -38,7 +63,7 @@ std::vector<RankActivity> rank_activity(std::span<const ThreadTrace> traces) {
                                               : 0));
     }
   }
-  const double wall =
+  const double global_wall =
       t_max > t_min ? static_cast<double>(t_max - t_min) * kNsToSec : 0.0;
 
   std::vector<RankActivity> out;
@@ -46,8 +71,34 @@ std::vector<RankActivity> rank_activity(std::span<const ThreadTrace> traces) {
     RankActivity ra;
     ra.tid = t.tid;
     ra.name = t.name;
+
+    // Steady denominator: this rank's own envelope of steady-step pipeline
+    // spans. A global window would be skewed by input ranks prefetching
+    // steady steps while the renderers are still on the first half.
+    std::int64_t r_min = std::numeric_limits<std::int64_t>::max();
+    std::int64_t r_max = std::numeric_limits<std::int64_t>::min();
+    if (opt.steady_only) {
+      for (const Event& ev : t.events) {
+        if (!is_pipeline_span(ev) || ev.arg < steady_first_step) continue;
+        r_min = std::min(r_min, ev.ts_ns);
+        r_max = std::max(r_max, ev.ts_ns + ev.dur_ns);
+      }
+    }
+    const double wall =
+        opt.steady_only
+            ? (r_max > r_min ? static_cast<double>(r_max - r_min) * kNsToSec
+                             : 0.0)
+            : global_wall;
+
     for (const Event& ev : t.events) {
       if (ev.kind != EventKind::kSpan) continue;
+      if (opt.steady_only) {
+        if (is_pipeline_span(ev)) {
+          if (ev.arg < steady_first_step) continue;
+        } else if (ev.ts_ns < r_min || ev.ts_ns > r_max) {
+          continue;  // outside this rank's steady envelope
+        }
+      }
       std::string key = std::string(ev.cat) + "/" + ev.name;
       PhaseStats& ps = ra.phases[key];
       ps.seconds += static_cast<double>(ev.dur_ns) * kNsToSec;

@@ -35,9 +35,29 @@ struct RankActivity {
   std::map<std::string, PhaseStats> phases;  // "cat/name" -> stats
 };
 
+struct ActivityOptions {
+  // Restrict the analysis to the steady-state window: pipeline spans of the
+  // second half of the step range, the same [num_steps/2, num_steps) pinning
+  // that avg_interframe and analyze_overlap use. Whole-run wall time
+  // includes startup (mesh/index construction, first-step fill), which
+  // deflates occupancy; steady numbers are the ones comparable with the
+  // overlap summary's stall fraction. In steady mode the denominator is
+  // PER RANK — each rank's own envelope of steady-step pipeline spans — so
+  // an input rank that prefetched the steady steps early is judged over its
+  // own activity burst, not over the renderers' timeline. Non-"pipeline"
+  // spans (vmpi, io, ...) carry byte counts in arg, not steps, so they are
+  // filtered by time instead: only spans starting inside the rank's steady
+  // envelope count.
+  bool steady_only = false;
+};
+
 // Whole-run occupancy per rank; wall time is the global [first event start,
-// last event end] window so numbers are comparable across ranks.
+// last event end] window so numbers are comparable across ranks. With
+// opt.steady_only, occupancy becomes each rank's duty cycle within its own
+// steady-step window (see ActivityOptions).
 std::vector<RankActivity> rank_activity(std::span<const ThreadTrace> traces);
+std::vector<RankActivity> rank_activity(std::span<const ThreadTrace> traces,
+                                        const ActivityOptions& opt);
 
 struct OverlapSummary {
   int num_steps = 0;

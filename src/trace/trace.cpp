@@ -7,6 +7,8 @@
 #include <mutex>
 #include <ostream>
 
+#include "metrics/metrics.hpp"
+
 namespace qv::trace {
 namespace {
 
@@ -120,7 +122,9 @@ std::vector<ThreadTrace> collect() {
 }
 
 Span::Span(const char* cat, const char* name, std::int64_t arg) noexcept {
-  if (!enabled()) return;
+  // A span is live when either observability pillar wants it: the trace
+  // buffer (timeline) and/or the metrics registry (duration histogram).
+  if (!enabled() && !metrics::enabled()) return;
   live_ = true;
   cat_ = cat;
   name_ = name;
@@ -129,10 +133,15 @@ Span::Span(const char* cat, const char* name, std::int64_t arg) noexcept {
 }
 
 Span::~Span() {
-  if (!live_ || !enabled()) return;
+  if (!live_) return;
+  const std::int64_t t1 = now_ns();
+  if (metrics::enabled()) {
+    metrics::span_histogram(cat_, name_).observe(double(t1 - t0_ns_) * 1e-9);
+  }
+  if (!enabled()) return;
   Event ev;
   ev.ts_ns = t0_ns_ - g_epoch_ns.load(std::memory_order_relaxed);
-  ev.dur_ns = now_ns() - t0_ns_;
+  ev.dur_ns = t1 - t0_ns_;
   ev.cat = cat_;
   ev.name = name_;
   ev.arg = arg_;

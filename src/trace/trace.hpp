@@ -7,12 +7,17 @@
 // keeps the buffers alive after the owning thread joins, so the collector can
 // read them afterwards (thread join provides the happens-before edge).
 //
-// Overhead contract: when tracing is disabled (the default) a Span costs one
-// relaxed atomic load in the constructor and one in the destructor — no clock
-// reads, no allocation.  When enabled, a span is two steady_clock reads plus
-// one vector push_back into a pre-reserved buffer; events past the per-thread
-// capacity are counted as dropped rather than grown, so steady-state cost is
-// bounded.
+// Overhead contract: when both tracing and metrics are disabled (the
+// default) a Span costs two relaxed atomic loads in the constructor and one
+// in the destructor — no clock reads, no allocation.  When enabled, a span
+// is two steady_clock reads plus one vector push_back into a pre-reserved
+// buffer; events past the per-thread capacity are counted as dropped rather
+// than grown, so steady-state cost is bounded.
+//
+// Spans also feed src/metrics: while metrics::enabled(), every span records
+// its duration into the "span.<cat>.<name>" histogram, with or without
+// tracing on.  That is what makes per-stage histogram percentiles agree
+// with trace-derived span durations — they measure the same interval.
 //
 // Concurrency contract: enable()/disable()/reset()/collect() must not run
 // concurrently with traced work.  In this codebase that is natural: they are

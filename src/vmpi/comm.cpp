@@ -7,9 +7,22 @@
 #include <string>
 #include <thread>
 
+#include "metrics/metrics.hpp"
 #include "trace/trace.hpp"
 
 namespace qv::vmpi {
+
+namespace {
+// Registry counters for the transport. Statics resolve the name lookup once;
+// the per-call cost is one relaxed fetch_add.
+metrics::Counter& send_calls() { static auto& c = metrics::counter("vmpi.send.calls"); return c; }
+metrics::Counter& send_bytes() { static auto& c = metrics::counter("vmpi.send.bytes"); return c; }
+metrics::Counter& recv_calls() { static auto& c = metrics::counter("vmpi.recv.calls"); return c; }
+metrics::Counter& recv_bytes() { static auto& c = metrics::counter("vmpi.recv.bytes"); return c; }
+metrics::Counter& recv_timeouts() { static auto& c = metrics::counter("vmpi.recv.timeouts"); return c; }
+metrics::Counter& collective_calls() { static auto& c = metrics::counter("vmpi.collective.calls"); return c; }
+metrics::Counter& collective_bytes() { static auto& c = metrics::counter("vmpi.collective.bytes"); return c; }
+}  // namespace
 
 namespace detail {
 
@@ -72,6 +85,8 @@ constexpr int kTagSplitReply = -104;
 
 void Comm::send(int dest, int tag, std::span<const std::uint8_t> data) {
   trace::Span tsp("vmpi", "send", std::int64_t(data.size()));
+  send_calls().add();
+  send_bytes().add(data.size());
   if (dest < 0 || dest >= size()) throw std::runtime_error("vmpi: bad dest rank");
   int wdest = members_[std::size_t(dest)];
   detail::Mailbox& mb = *world_->mailboxes[std::size_t(wdest)];
@@ -168,7 +183,10 @@ Status Comm::recv_match(int source, int tag, std::vector<std::uint8_t>& out,
 
 Status Comm::recv(int source, int tag, std::vector<std::uint8_t>& out) {
   trace::Span tsp("vmpi", "recv", tag >= 0 ? tag : -1);
-  return recv_match(source, tag, out, /*block=*/true, nullptr);
+  Status st = recv_match(source, tag, out, /*block=*/true, nullptr);
+  recv_calls().add();
+  recv_bytes().add(st.bytes);
+  return st;
 }
 
 bool Comm::recv_timeout(int source, int tag, std::vector<std::uint8_t>& out,
@@ -194,9 +212,12 @@ bool Comm::recv_timeout(int source, int tag, std::vector<std::uint8_t>& out,
     });
     if (it == mb.queue.end()) {
       if (world_->aborted.load()) throw WorldAborted();
+      recv_timeouts().add();
       return false;  // deadline expired with nothing matching
     }
   }
+  recv_calls().add();
+  recv_bytes().add(it->payload.size());
   if (st) {
     auto pos = std::find(members_.begin(), members_.end(), it->source);
     st->source = int(pos - members_.begin());
@@ -255,6 +276,7 @@ bool Request::test() {
 
 void Comm::barrier() {
   trace::Span tsp("vmpi", "barrier");
+  collective_calls().add();
   detail::GroupBarrier& b = world_->barrier_for(context_);
   std::unique_lock lk(b.mu);
   std::uint64_t gen = b.generation;
@@ -274,6 +296,8 @@ void Comm::barrier() {
 
 void Comm::bcast(std::vector<std::uint8_t>& buf, int root) {
   trace::Span tsp("vmpi", "bcast", std::int64_t(buf.size()));
+  collective_calls().add();
+  collective_bytes().add(buf.size());
   if (rank_ == root) {
     std::uint64_t n = buf.size();
     for (int r = 0; r < size(); ++r) {
@@ -291,6 +315,8 @@ void Comm::bcast(std::vector<std::uint8_t>& buf, int root) {
 std::vector<std::vector<std::uint8_t>> Comm::gather(
     std::span<const std::uint8_t> mine, int root) {
   trace::Span tsp("vmpi", "gather", std::int64_t(mine.size()));
+  collective_calls().add();
+  collective_bytes().add(mine.size());
   std::vector<std::vector<std::uint8_t>> out;
   if (rank_ == root) {
     out.resize(static_cast<std::size_t>(size()));
@@ -308,6 +334,8 @@ std::vector<std::vector<std::uint8_t>> Comm::gather(
 std::vector<std::vector<std::uint8_t>> Comm::allgather(
     std::span<const std::uint8_t> mine) {
   trace::Span tsp("vmpi", "allgather", std::int64_t(mine.size()));
+  collective_calls().add();
+  collective_bytes().add(mine.size());
   auto blobs = gather(mine, 0);
   // Serialize [count][len,data]... and broadcast.
   std::vector<std::uint8_t> packed;

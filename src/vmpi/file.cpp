@@ -9,12 +9,22 @@
 #include <cstring>
 #include <thread>
 
+#include "metrics/metrics.hpp"
 #include "trace/trace.hpp"
 
 namespace qv::vmpi {
 
 namespace {
 constexpr int kTagFileData = -200;
+
+// Global file-I/O counters; they mirror the per-file IoStats increments so
+// run reports see whole-process I/O without plumbing stats structs around.
+metrics::Counter& io_disk_bytes() { static auto& c = metrics::counter("io.disk_bytes"); return c; }
+metrics::Counter& io_disk_reads() { static auto& c = metrics::counter("io.disk_reads"); return c; }
+metrics::Counter& io_useful_bytes() { static auto& c = metrics::counter("io.useful_bytes"); return c; }
+metrics::Counter& io_exchanged_bytes() { static auto& c = metrics::counter("io.exchanged_bytes"); return c; }
+metrics::Counter& io_retries() { static auto& c = metrics::counter("io.retries"); return c; }
+metrics::Counter& io_short_reads() { static auto& c = metrics::counter("io.short_reads"); return c; }
 
 // Serialized range pair.
 struct WireRange {
@@ -74,6 +84,7 @@ void File::pread_attempt(std::uint64_t offset, std::span<std::uint8_t> out,
       want = (want + 1) / 2;  // deliver a strict prefix this syscall
       ++fs->injected_short_reads;
       ++stats_.short_reads;
+      io_short_reads().add();
     }
   }
   std::size_t done = 0;
@@ -87,10 +98,13 @@ void File::pread_attempt(std::uint64_t offset, std::span<std::uint8_t> out,
       // normally (a real short read looks the same to the caller).
       want = out.size();
       stats_.disk_reads += 1;
+      io_disk_reads().add();
     }
   }
   stats_.disk_bytes += out.size();
   stats_.disk_reads += 1;
+  io_disk_bytes().add(out.size());
+  io_disk_reads().add();
 }
 
 void File::pread_exact(std::uint64_t offset, std::span<std::uint8_t> out) {
@@ -107,6 +121,7 @@ void File::pread_exact(std::uint64_t offset, std::span<std::uint8_t> out) {
                       std::to_string(retry_.max_attempts) + " attempts");
       }
       ++stats_.retries;
+      io_retries().add();
       std::this_thread::sleep_for(retry_.delay_for(attempt));
     }
   }
@@ -115,6 +130,7 @@ void File::pread_exact(std::uint64_t offset, std::span<std::uint8_t> out) {
 void File::read_at(std::uint64_t offset, std::span<std::uint8_t> out) {
   pread_exact(offset, out);
   stats_.useful_bytes += out.size();
+  io_useful_bytes().add(out.size());
 }
 
 std::vector<File::Range> File::view_ranges() const {
@@ -152,6 +168,7 @@ void File::read_all(std::span<std::uint8_t> out, double sieve_threshold) {
 
   std::vector<Range> mine = view_ranges();
   stats_.useful_bytes += out.size();
+  io_useful_bytes().add(out.size());
 
   // Exchange (begin, end) lists so every rank knows every request.
   std::vector<WireRange> wire(mine.size());
@@ -296,7 +313,10 @@ void File::read_all(std::span<std::uint8_t> out, double sieve_threshold) {
       msg.insert(msg.end(), hp, hp + sizeof(hdr));
       fetch(b, e, msg);
     }
-    if (r != me) stats_.exchanged_bytes += msg.size();
+    if (r != me) {
+      stats_.exchanged_bytes += msg.size();
+      io_exchanged_bytes().add(msg.size());
+    }
     comm_->send(r, kTagFileData, msg);
   }
 

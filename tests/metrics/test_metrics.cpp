@@ -1,0 +1,392 @@
+// Tests for the metrics registry (src/metrics): exact histogram bucket
+// boundaries, shard-merge equivalence, percentile clamping, the run-report
+// JSON round-trip, the regression gate, and the trace-span auto-feed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+#include "metrics/report.hpp"
+#include "trace/analysis.hpp"
+#include "trace/trace.hpp"
+#include "vmpi/comm.hpp"
+
+namespace {
+
+using namespace qv;
+using metrics::HistogramSpec;
+
+// Every test starts from a clean, enabled registry. Metric names are
+// per-test-unique (the registry is process-global and append-only).
+struct MetricsTest : ::testing::Test {
+  void SetUp() override { metrics::enable(); }
+  void TearDown() override { metrics::disable(); }
+};
+
+using HistogramBucketsTest = MetricsTest;
+using ReportRoundTripTest = MetricsTest;
+using GateTest = MetricsTest;
+using SpanFeedTest = MetricsTest;
+
+// --- fixed-boundary buckets --------------------------------------------------
+
+TEST_F(HistogramBucketsTest, FixedExactEdgesUnderflowOverflow) {
+  HistogramSpec spec = HistogramSpec::fixed({1.0, 2.0, 5.0});
+  ASSERT_EQ(spec.bucket_count(), 4);  // 3 bounded + overflow
+
+  // Bucket i counts v <= bounds[i]; bucket 0 doubles as underflow.
+  EXPECT_EQ(spec.bucket_index(-10.0), 0);
+  EXPECT_EQ(spec.bucket_index(0.5), 0);
+  EXPECT_EQ(spec.bucket_index(1.0), 0);  // exact edge belongs to its bucket
+  EXPECT_EQ(spec.bucket_index(1.0000001), 1);
+  EXPECT_EQ(spec.bucket_index(2.0), 1);
+  EXPECT_EQ(spec.bucket_index(5.0), 2);
+  EXPECT_EQ(spec.bucket_index(5.0000001), 3);  // overflow
+  EXPECT_EQ(spec.bucket_index(1e12), 3);
+  EXPECT_EQ(spec.bucket_index(std::nan("")), 0);  // NaN -> underflow
+}
+
+TEST_F(HistogramBucketsTest, FixedBucketRangesAreConsistent) {
+  HistogramSpec spec = HistogramSpec::fixed({1.0, 2.0, 5.0});
+  EXPECT_EQ(spec.bucket_lo(0), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(spec.bucket_hi(0), 1.0);
+  EXPECT_EQ(spec.bucket_lo(1), 1.0);
+  EXPECT_EQ(spec.bucket_hi(2), 5.0);
+  EXPECT_EQ(spec.bucket_hi(3), std::numeric_limits<double>::infinity());
+}
+
+// --- log2 buckets ------------------------------------------------------------
+
+TEST_F(HistogramBucketsTest, Log2OctaveBoundaries) {
+  // Octaves [1,2) and [2,4), each split into 4 linear sub-buckets, plus
+  // underflow (v < 1) and overflow (v >= 4).
+  HistogramSpec spec = HistogramSpec::log2(0, 2, 4);
+  ASSERT_EQ(spec.bucket_count(), 2 * 4 + 2);
+
+  EXPECT_EQ(spec.bucket_index(0.999), 0);   // underflow
+  EXPECT_EQ(spec.bucket_index(-1.0), 0);
+  EXPECT_EQ(spec.bucket_index(0.0), 0);
+  EXPECT_EQ(spec.bucket_index(1.0), 1);     // first sub-bucket of [1,2)
+  EXPECT_EQ(spec.bucket_index(1.24), 1);    // [1.00, 1.25)
+  EXPECT_EQ(spec.bucket_index(1.25), 2);    // [1.25, 1.50)
+  EXPECT_EQ(spec.bucket_index(1.999), 4);   // last sub-bucket of [1,2)
+  EXPECT_EQ(spec.bucket_index(2.0), 5);     // first sub-bucket of [2,4)
+  EXPECT_EQ(spec.bucket_index(2.49), 5);    // [2.0, 2.5)
+  EXPECT_EQ(spec.bucket_index(2.5), 6);
+  EXPECT_EQ(spec.bucket_index(3.999), 8);
+  EXPECT_EQ(spec.bucket_index(4.0), 9);     // overflow
+  EXPECT_EQ(spec.bucket_index(1e30), 9);
+
+  // Bucket ranges partition the octaves.
+  EXPECT_DOUBLE_EQ(spec.bucket_lo(1), 1.0);
+  EXPECT_DOUBLE_EQ(spec.bucket_hi(1), 1.25);
+  EXPECT_DOUBLE_EQ(spec.bucket_lo(5), 2.0);
+  EXPECT_DOUBLE_EQ(spec.bucket_hi(5), 2.5);
+  for (int i = 1; i + 1 < spec.bucket_count() - 1; ++i) {
+    EXPECT_DOUBLE_EQ(spec.bucket_hi(i), spec.bucket_lo(i + 1)) << i;
+  }
+}
+
+TEST_F(HistogramBucketsTest, ObservationsLandWhereBucketIndexSays) {
+  auto& h = metrics::histogram("test.buckets.land",
+                               HistogramSpec::log2(0, 2, 4));
+  const std::vector<double> vals = {0.5, 1.0, 1.3, 2.7, 100.0};
+  for (double v : vals) h.observe(v);
+  auto snap = h.snapshot();
+  ASSERT_EQ(snap.count, vals.size());
+  for (double v : vals) {
+    EXPECT_GE(snap.counts[std::size_t(snap.spec.bucket_index(v))], 1u) << v;
+  }
+  EXPECT_DOUBLE_EQ(snap.min, 0.5);
+  EXPECT_DOUBLE_EQ(snap.max, 100.0);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.5 + 1.0 + 1.3 + 2.7 + 100.0);
+}
+
+// --- shard merge -------------------------------------------------------------
+
+TEST_F(HistogramBucketsTest, MultiThreadMergeEqualsSingleShard) {
+  // The same observation multiset recorded (a) from many vmpi rank threads
+  // and (b) from this thread alone must produce identical snapshots
+  // (merging shards is associative and lossless).
+  auto& multi = metrics::histogram("test.merge.multi",
+                                   HistogramSpec::log2(-4, 4, 8));
+  auto& single = metrics::histogram("test.merge.single",
+                                    HistogramSpec::log2(-4, 4, 8));
+  const int ranks = 2 * metrics::kShards + 3;  // shard ordinals must wrap
+  const int per_rank = 64;
+  auto value_of = [](int rank, int i) {
+    // Deterministic spread over several octaves, rank-dependent.
+    return 0.07 + 0.11 * double(rank) + 0.013 * double(i);
+  };
+  vmpi::Runtime::run(ranks, [&](vmpi::Comm& comm) {
+    for (int i = 0; i < per_rank; ++i) {
+      multi.observe(value_of(comm.rank(), i));
+    }
+  });
+  for (int r = 0; r < ranks; ++r) {
+    for (int i = 0; i < per_rank; ++i) single.observe(value_of(r, i));
+  }
+
+  auto a = multi.snapshot();
+  auto b = single.snapshot();
+  EXPECT_EQ(a.count, std::uint64_t(ranks) * per_rank);
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.counts, b.counts);
+  EXPECT_DOUBLE_EQ(a.min, b.min);
+  EXPECT_DOUBLE_EQ(a.max, b.max);
+  EXPECT_NEAR(a.sum, b.sum, 1e-9 * b.sum);  // float adds commute inexactly
+  EXPECT_NEAR(a.percentile(50), b.percentile(50), 1e-12);
+}
+
+TEST_F(HistogramBucketsTest, CountersMergeAcrossRankThreads) {
+  auto& c = metrics::counter("test.merge.counter");
+  const int ranks = metrics::kShards + 5;
+  vmpi::Runtime::run(ranks, [&](vmpi::Comm& comm) {
+    for (int i = 0; i <= comm.rank(); ++i) c.add(2);
+  });
+  // sum over r of 2*(r+1) = ranks*(ranks+1)
+  EXPECT_EQ(c.value(), std::uint64_t(ranks) * (ranks + 1));
+}
+
+// --- percentiles -------------------------------------------------------------
+
+TEST_F(HistogramBucketsTest, PercentileOfSingleValueIsExact) {
+  auto& h = metrics::histogram("test.pctl.single",
+                               HistogramSpec::duration_seconds());
+  for (int i = 0; i < 10; ++i) h.observe(0.037);
+  auto snap = h.snapshot();
+  EXPECT_DOUBLE_EQ(snap.percentile(0), 0.037);
+  EXPECT_DOUBLE_EQ(snap.percentile(50), 0.037);
+  EXPECT_DOUBLE_EQ(snap.percentile(99), 0.037);
+}
+
+TEST_F(HistogramBucketsTest, PercentileOrderingAndBounds) {
+  auto& h = metrics::histogram("test.pctl.spread",
+                               HistogramSpec::duration_seconds());
+  for (int i = 1; i <= 1000; ++i) h.observe(1e-3 * double(i));  // 1ms..1s
+  auto snap = h.snapshot();
+  const double p50 = snap.percentile(50);
+  const double p95 = snap.percentile(95);
+  const double p99 = snap.percentile(99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p50, snap.min);
+  EXPECT_LE(p99, snap.max);
+  // duration_seconds() has <=3.1% bucket width; the median of a uniform
+  // 1..1000ms spread must land near 500ms.
+  EXPECT_NEAR(p50, 0.5, 0.05 * 0.5);
+}
+
+TEST_F(HistogramBucketsTest, DisabledHistogramRecordsNothing) {
+  auto& h = metrics::histogram("test.disabled.noop");
+  metrics::disable();
+  h.observe(1.0);
+  EXPECT_EQ(h.snapshot().count, 0u);
+  metrics::enable();  // enable() resets
+  h.observe(1.0);
+  EXPECT_EQ(h.snapshot().count, 1u);
+}
+
+// --- JSON report round-trip --------------------------------------------------
+
+TEST_F(ReportRoundTripTest, EmitParseSameValues) {
+  metrics::counter("test.rt.calls").add(12345);
+  metrics::gauge("test.rt.ratio").set(0.625);
+  auto& h = metrics::histogram("test.rt.lat",
+                               HistogramSpec::duration_seconds());
+  for (double v : {1e-4, 2e-4, 5e-4, 1e-3, 0.5}) h.observe(v);
+  auto& f = metrics::histogram("test.rt.fixed",
+                               HistogramSpec::fixed({1.0, 10.0, 100.0}));
+  for (double v : {0.5, 5.0, 50.0, 500.0}) f.observe(v);
+
+  metrics::RunReport out;
+  out.kind = "roundtrip-test";
+  out.track("stage_s", 0.0415, "s");
+  out.track("bytes_total", 9.87e6, "bytes");
+  out.snapshot = metrics::collect();
+
+  std::string err;
+  auto in = metrics::parse_report(metrics::to_json(out), &err);
+  ASSERT_TRUE(in.has_value()) << err;
+
+  EXPECT_EQ(in->kind, "roundtrip-test");
+  EXPECT_EQ(in->version, metrics::kReportVersion);
+  ASSERT_EQ(in->tracked.size(), 2u);
+  EXPECT_EQ(in->tracked[0].name, "stage_s");
+  EXPECT_EQ(in->tracked[0].value, 0.0415);  // %.17g is bit-exact
+  EXPECT_EQ(in->tracked[0].unit, "s");
+  EXPECT_EQ(in->tracked[1].value, 9.87e6);
+
+  EXPECT_EQ(in->snapshot.counter_or("test.rt.calls"), 12345u);
+  EXPECT_DOUBLE_EQ(in->snapshot.gauge_or("test.rt.ratio"), 0.625);
+
+  for (const char* name : {"test.rt.lat", "test.rt.fixed"}) {
+    ASSERT_TRUE(in->snapshot.histograms.count(name)) << name;
+    ASSERT_TRUE(out.snapshot.histograms.count(name)) << name;
+    const auto& a = out.snapshot.histograms.at(name);
+    const auto& b = in->snapshot.histograms.at(name);
+    EXPECT_TRUE(a.spec == b.spec) << name;
+    EXPECT_EQ(a.counts, b.counts) << name;
+    EXPECT_EQ(a.count, b.count) << name;
+    EXPECT_EQ(a.sum, b.sum) << name;
+    EXPECT_EQ(a.min, b.min) << name;
+    EXPECT_EQ(a.max, b.max) << name;
+    EXPECT_EQ(a.percentile(50), b.percentile(50)) << name;
+    EXPECT_EQ(a.percentile(99), b.percentile(99)) << name;
+  }
+}
+
+TEST_F(ReportRoundTripTest, ParseRejectsWrongSchema) {
+  std::string err;
+  EXPECT_FALSE(metrics::parse_report("{\"schema\": \"other\"}", &err));
+  EXPECT_FALSE(metrics::parse_report("not json at all", &err));
+  EXPECT_FALSE(metrics::parse_report(
+      "{\"schema\": \"qv-run-report\", \"version\": 999, \"kind\": \"x\"}",
+      &err));
+}
+
+TEST_F(ReportRoundTripTest, PrometheusDumpMentionsEveryMetric) {
+  metrics::counter("test.prom.calls").add(7);
+  metrics::histogram("test.prom.lat").observe(0.01);
+  std::ostringstream os;
+  metrics::write_prometheus(os, metrics::collect());
+  const std::string text = os.str();
+  EXPECT_NE(text.find("test_prom_calls 7"), std::string::npos) << text;
+  EXPECT_NE(text.find("test_prom_lat_count 1"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+}
+
+// --- regression gate ---------------------------------------------------------
+
+TEST_F(GateTest, FlagsRegressionAboveThresholdOnly) {
+  metrics::RunReport base, cur;
+  base.kind = cur.kind = "gate-test";
+  base.track("fast_s", 1.00, "s");
+  base.track("slow_s", 1.00, "s");
+  base.track("bytes", 1000.0, "bytes");
+  cur.track("fast_s", 1.10, "s");    // +10% -> ok at 15%
+  cur.track("slow_s", 1.20, "s");    // +20% -> regressed
+  cur.track("bytes", 1000.0, "bytes");
+
+  auto g = metrics::compare_reports(base, cur, 0.15);
+  ASSERT_EQ(g.rows.size(), 3u);
+  EXPECT_FALSE(g.rows[0].regressed);
+  EXPECT_TRUE(g.rows[1].regressed);
+  EXPECT_FALSE(g.rows[2].regressed);
+  EXPECT_FALSE(g.ok);
+}
+
+TEST_F(GateTest, AbsoluteFloorIgnoresTinyTimingJitter) {
+  // +100% on a 0.5 ms metric is scheduler noise, not a regression.
+  metrics::RunReport base, cur;
+  base.kind = cur.kind = "gate-test";
+  base.track("tiny_s", 0.0005, "s");
+  cur.track("tiny_s", 0.0010, "s");
+  auto g = metrics::compare_reports(base, cur, 0.15);
+  EXPECT_TRUE(g.ok);
+}
+
+TEST_F(GateTest, MissingTrackedMetricFailsGate) {
+  metrics::RunReport base, cur;
+  base.kind = cur.kind = "gate-test";
+  base.track("renamed_s", 1.0, "s");
+  auto g = metrics::compare_reports(base, cur, 0.15);
+  ASSERT_EQ(g.rows.size(), 1u);
+  EXPECT_TRUE(g.rows[0].missing);
+  EXPECT_FALSE(g.ok);
+}
+
+// --- trace-span auto-feed ----------------------------------------------------
+
+TEST_F(SpanFeedTest, SpanFeedsHistogramWithoutTracing) {
+  ASSERT_FALSE(trace::enabled());
+  for (int i = 0; i < 8; ++i) {
+    trace::Span sp("testcat", "feedme");
+  }
+  auto snap = metrics::collect();
+  ASSERT_TRUE(snap.histograms.count("span.testcat.feedme"));
+  EXPECT_EQ(snap.histograms.at("span.testcat.feedme").count, 8u);
+}
+
+TEST_F(SpanFeedTest, HistogramMedianMatchesTraceDurations) {
+  // The same spans recorded into both pillars: the bucketed median must
+  // agree with the exact trace-derived median within 5% (the log2 spec's
+  // bucket width is <= 3.1%).
+  trace::enable();
+  metrics::enable();
+  constexpr int kSpans = 40;
+  std::thread t([] {
+    trace::set_thread(0, "feed");
+    for (int i = 0; i < kSpans; ++i) {
+      trace::Span sp("testcat", "agree");
+      // Busy-wait ~200us so the duration is well above clock granularity.
+      auto t0 = std::chrono::steady_clock::now();
+      while (std::chrono::steady_clock::now() - t0 <
+             std::chrono::microseconds(200)) {
+      }
+    }
+  });
+  t.join();
+  trace::disable();
+
+  std::vector<double> durs;
+  for (const auto& tt : trace::collect()) {
+    for (const auto& ev : tt.events) {
+      if (std::string(ev.name) == "agree") durs.push_back(ev.dur_ns * 1e-9);
+    }
+  }
+  ASSERT_EQ(durs.size(), std::size_t(kSpans));
+  std::sort(durs.begin(), durs.end());
+  const double trace_median =
+      0.5 * (durs[kSpans / 2 - 1] + durs[kSpans / 2]);
+
+  auto snap = metrics::collect();
+  ASSERT_TRUE(snap.histograms.count("span.testcat.agree"));
+  const auto& h = snap.histograms.at("span.testcat.agree");
+  ASSERT_EQ(h.count, std::uint64_t(kSpans));
+  EXPECT_NEAR(h.percentile(50), trace_median, 0.05 * trace_median);
+  trace::reset();
+}
+
+// --- steady-window occupancy -------------------------------------------------
+
+TEST(SteadyOccupancyTest, SteadyWindowExcludesStartup) {
+  // Hand-built trace: a long startup gap, then 4 steps of 10ms busy work
+  // back to back. Whole-run occupancy is diluted by the gap; the steady
+  // window (steps >= 2) must report ~100%.
+  trace::ThreadTrace t;
+  t.tid = 0;
+  t.name = "render 0";
+  const std::int64_t ms = 1'000'000;
+  auto add = [&](const char* name, std::int64_t ts, std::int64_t dur,
+                 std::int64_t step) {
+    trace::Event ev;
+    ev.ts_ns = ts;
+    ev.dur_ns = dur;
+    ev.cat = "pipeline";
+    ev.name = name;
+    ev.arg = step;
+    ev.kind = trace::EventKind::kSpan;
+    t.events.push_back(ev);
+  };
+  // 100 ms of startup blocking (a wait span, step 0), then steps at 10 ms
+  // each back to back.
+  add("wait_blocks", 0, 100 * ms, 0);
+  for (int s = 0; s < 4; ++s) {
+    add("render", 100 * ms + s * 10 * ms, 10 * ms, s);
+  }
+  std::vector<trace::ThreadTrace> traces = {t};
+
+  auto whole = trace::rank_activity(traces);
+  ASSERT_EQ(whole.size(), 1u);
+  EXPECT_NEAR(whole[0].occupancy, 40.0 / 140.0, 1e-6);
+
+  auto steady = trace::rank_activity(traces, {.steady_only = true});
+  ASSERT_EQ(steady.size(), 1u);
+  EXPECT_NEAR(steady[0].busy_seconds, 0.020, 1e-9);
+  EXPECT_NEAR(steady[0].occupancy, 1.0, 1e-6);
+}
+
+}  // namespace

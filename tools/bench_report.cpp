@@ -1,0 +1,150 @@
+// bench_report — inspect qv-run-report files and run the regression gate.
+//
+//   bench_report compare --baseline=BENCH_x.json --current=run.json
+//                [--threshold=0.15]
+//       Compare every baseline-tracked metric against the current report,
+//       print the per-metric delta table, exit 1 on any regression.
+//
+//   bench_report print REPORT.json
+//       Human-readable dump of a report's tracked metrics and histograms.
+//
+//   bench_report selftest
+//       Deterministic demonstration that the gate trips: builds a synthetic
+//       baseline, a passing current (+5%), and a failing current (+30%),
+//       and verifies PASS/FAIL come out as expected. Exit 0 iff correct.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "metrics/report.hpp"
+
+namespace {
+
+using namespace qv::metrics;
+
+std::string opt_value(int argc, char** argv, const char* name) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+  }
+  return "";
+}
+
+int cmd_compare(int argc, char** argv) {
+  const std::string base_path = opt_value(argc, argv, "baseline");
+  const std::string cur_path = opt_value(argc, argv, "current");
+  if (base_path.empty() || cur_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_report compare --baseline=F --current=F "
+                 "[--threshold=0.15]\n");
+    return 2;
+  }
+  double threshold = 0.15;
+  const std::string t = opt_value(argc, argv, "threshold");
+  if (!t.empty()) threshold = std::atof(t.c_str());
+
+  std::string err;
+  auto base = read_report_file(base_path, &err);
+  if (!base) {
+    std::fprintf(stderr, "baseline %s: %s\n", base_path.c_str(), err.c_str());
+    return 2;
+  }
+  auto cur = read_report_file(cur_path, &err);
+  if (!cur) {
+    std::fprintf(stderr, "current %s: %s\n", cur_path.c_str(), err.c_str());
+    return 2;
+  }
+  GateResult g = compare_reports(*base, *cur, threshold);
+  std::printf("%s vs %s (kind %s)\n", base_path.c_str(), cur_path.c_str(),
+              base->kind.c_str());
+  std::printf("%s", format_gate_table(g).c_str());
+  return g.ok ? 0 : 1;
+}
+
+int cmd_print(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: bench_report print REPORT.json\n");
+    return 2;
+  }
+  std::string err;
+  auto r = read_report_file(argv[2], &err);
+  if (!r) {
+    std::fprintf(stderr, "%s: %s\n", argv[2], err.c_str());
+    return 2;
+  }
+  std::printf("kind: %s (schema v%d)\n", r->kind.c_str(), r->version);
+  std::printf("tracked:\n");
+  for (const auto& m : r->tracked) {
+    std::printf("  %-36s %14.6g %s\n", m.name.c_str(), m.value,
+                m.unit.c_str());
+  }
+  if (!r->snapshot.counters.empty()) {
+    std::printf("counters:\n");
+    for (const auto& [name, v] : r->snapshot.counters) {
+      std::printf("  %-36s %14llu\n", name.c_str(),
+                  static_cast<unsigned long long>(v));
+    }
+  }
+  if (!r->snapshot.histograms.empty()) {
+    std::printf("histograms:\n");
+    for (const auto& [name, h] : r->snapshot.histograms) {
+      std::printf("  %-36s n=%-8llu p50=%.6g p95=%.6g p99=%.6g max=%.6g\n",
+                  name.c_str(), static_cast<unsigned long long>(h.count),
+                  h.percentile(50), h.percentile(95), h.percentile(99),
+                  h.count ? h.max : 0.0);
+    }
+  }
+  return 0;
+}
+
+RunReport synthetic_report(double scale) {
+  RunReport r;
+  r.kind = "selftest";
+  r.track("interframe_s", 0.100 * scale, "s");
+  r.track("io_bytes", 1.0e6 * scale, "bytes");
+  return r;
+}
+
+int cmd_selftest() {
+  const RunReport base = synthetic_report(1.0);
+  // +5% stays under the 15% threshold; +30% must trip it.
+  GateResult pass = compare_reports(base, synthetic_report(1.05), 0.15);
+  GateResult fail = compare_reports(base, synthetic_report(1.30), 0.15);
+  // Round-trip through JSON, as the real gate does with files on disk.
+  std::string err;
+  auto parsed = parse_report(to_json(base), &err);
+  bool roundtrip = parsed && parsed->tracked.size() == base.tracked.size() &&
+                   parsed->tracked[0].value == base.tracked[0].value;
+  if (!roundtrip) {
+    std::fprintf(stderr, "selftest: JSON round-trip failed (%s)\n",
+                 err.c_str());
+    return 1;
+  }
+  std::printf("selftest: +5%% -> %s, +30%% -> %s\n",
+              pass.ok ? "PASS" : "FAIL", fail.ok ? "PASS" : "FAIL");
+  std::printf("%s", format_gate_table(fail).c_str());
+  if (!pass.ok || fail.ok) {
+    std::fprintf(stderr, "selftest: gate verdicts are wrong\n");
+    return 1;
+  }
+  std::printf("selftest: ok\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2) {
+    if (std::strcmp(argv[1], "compare") == 0) return cmd_compare(argc, argv);
+    if (std::strcmp(argv[1], "print") == 0) return cmd_print(argc, argv);
+    if (std::strcmp(argv[1], "selftest") == 0) return cmd_selftest();
+  }
+  std::fprintf(stderr,
+               "usage: bench_report <compare|print|selftest> [options]\n"
+               "  compare --baseline=F --current=F [--threshold=0.15]\n"
+               "  print REPORT.json\n"
+               "  selftest\n");
+  return 2;
+}

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 verification, a trace-output smoke test, and a ThreadSanitizer pass
-# over the message-passing runtime.
-# Usage: tools/ci.sh [--tier1-only|--trace-only|--tsan-only]
+# Tier-1 verification, a trace-output smoke test, a ThreadSanitizer pass
+# over the message-passing runtime, and the benchmark regression gate.
+# Usage: tools/ci.sh [--tier1-only|--trace-only|--tsan-only|--bench-gate-only]
+#        tools/ci.sh --bench-update    # re-baseline BENCH_*.json
+# BENCH_THRESHOLD (default 0.15) sets the gate's relative regression bound.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,7 +28,7 @@ trace_smoke() {
       --steps=3 --max-level=3 >/dev/null
   ./build/tools/quakeviz pipeline --dataset="$work/ds" --inputs=2 \
       --renderers=2 --width=96 --height=72 --vmax=3 \
-      --trace="$work/trace.json"
+      --trace="$work/trace.json" --metrics-json="$work/run.json"
   if command -v python3 >/dev/null; then
     python3 - "$work/trace.json" <<'EOF'
 import json, sys
@@ -42,6 +44,18 @@ for name in ("fetch", "send_blocks", "wait_blocks", "render", "composite",
 assert any(e.get("ph") == "M" for e in events), "missing thread metadata"
 print(f"trace smoke: {len(events)} events, categories {sorted(c for c in cats if c)}")
 EOF
+    python3 - "$work/run.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r.get("schema") == "qv-run-report" and r.get("version") == 1, "bad schema"
+assert r.get("kind") == "pipeline"
+tracked = {m["name"] for m in r["tracked"]}
+assert "interframe_s" in tracked, f"tracked = {sorted(tracked)}"
+assert "span.pipeline.render" in r["histograms"], "span feed missing"
+assert r["counters"].get("render.rays", 0) > 0, "render counters missing"
+print(f"metrics smoke: {len(r['counters'])} counters, "
+      f"{len(r['histograms'])} histograms")
+EOF
   else
     echo "trace smoke: python3 unavailable, skipped JSON validation"
   fi
@@ -50,7 +64,7 @@ EOF
 tsan() {
   echo "== tsan: vmpi runtime + fault layer + tracing under ThreadSanitizer =="
   cmake -B build-tsan -S . -DQV_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-  cmake --build build-tsan -j "$JOBS" --target test_vmpi test_pipeline test_trace
+  cmake --build build-tsan -j "$JOBS" --target test_vmpi test_pipeline test_trace test_metrics
   # TSAN_OPTIONS halt_on_error makes a data-race report a hard failure.
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_vmpi
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_pipeline \
@@ -59,13 +73,72 @@ tsan() {
   # mechanics it relies on are covered by the remaining trace tests.
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_trace \
       --gtest_filter='-TraceOverlapTest.*'
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_metrics
+}
+
+# The three tracked benches and where their committed baselines live.
+BENCH_NAMES=(pipeline io compositing)
+bench_binary() {
+  case "$1" in
+    pipeline) echo bench_pipeline_small ;;
+    io) echo bench_io_readers ;;
+    compositing) echo bench_compositing ;;
+  esac
+}
+
+bench_build() {
+  cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build-bench -j "$JOBS" \
+      --target bench_pipeline_small bench_io_readers bench_compositing bench_report
+}
+
+bench_gate() {
+  echo "== bench gate: tracked benches vs committed BENCH_*.json baselines =="
+  bench_build
+  # The gate logic itself must be sound before we trust its verdicts.
+  ./build-bench/tools/bench_report selftest
+  local work threshold rc name bin
+  work=$(mktemp -d)
+  trap 'rm -rf "$work"' RETURN
+  threshold=${BENCH_THRESHOLD:-0.15}
+  rc=0
+  for name in "${BENCH_NAMES[@]}"; do
+    bin=$(bench_binary "$name")
+    if [ ! -f "BENCH_${name}.json" ]; then
+      echo "bench gate: missing baseline BENCH_${name}.json" \
+           "(run tools/ci.sh --bench-update)" >&2
+      rc=1
+      continue
+    fi
+    echo "-- $bin --"
+    "./build-bench/bench/$bin" --json="$work/$name.json" >/dev/null
+    ./build-bench/tools/bench_report compare \
+        --baseline="BENCH_${name}.json" --current="$work/$name.json" \
+        --threshold="$threshold" || rc=1
+  done
+  return "$rc"
+}
+
+bench_update() {
+  echo "== bench gate: regenerating baselines =="
+  bench_build
+  local name bin
+  for name in "${BENCH_NAMES[@]}"; do
+    bin=$(bench_binary "$name")
+    echo "-- $bin --"
+    "./build-bench/bench/$bin" --json="BENCH_${name}.json" >/dev/null
+    echo "wrote BENCH_${name}.json"
+  done
+  echo "bench gate: commit the updated BENCH_*.json deliberately"
 }
 
 case "$MODE" in
   --tier1-only) tier1 ;;
   --trace-only) trace_smoke ;;
   --tsan-only) tsan ;;
-  all|--all) tier1; trace_smoke; tsan ;;
-  *) echo "usage: tools/ci.sh [--tier1-only|--trace-only|--tsan-only]" >&2; exit 2 ;;
+  --bench-gate-only) bench_gate ;;
+  --bench-update) bench_update ;;
+  all|--all) tier1; trace_smoke; tsan; bench_gate ;;
+  *) echo "usage: tools/ci.sh [--tier1-only|--trace-only|--tsan-only|--bench-gate-only|--bench-update]" >&2; exit 2 ;;
 esac
 echo "ci: OK"

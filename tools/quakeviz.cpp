@@ -21,6 +21,7 @@
 //            [--enhance] [--orbit=DEG] [--rebalance=E] [--compositor=
 //            slic|direct|swap] [--compress] [--compress-blocks] [--tf=FILE]
 //            [--vmax=X] [--recv-timeout-ms=T] [--trace=FILE.json]
+//            [--metrics-json=FILE.json] [--metrics-prom=FILE.txt]
 //            [--fault-seed=S]
 //            [--fault-read-rate=P] [--fault-short-read-rate=P]
 //            [--fault-corrupt-rate=P] [--fault-lose=SUBSTR]
@@ -31,11 +32,18 @@
 //       report then includes retry/corruption/degraded-frame counters.
 //       --trace records per-rank events and writes a Chrome trace-event
 //       JSON (loadable in perfetto / chrome://tracing) plus an
-//       occupancy/overlap summary on stdout.
+//       occupancy/overlap summary on stdout.  --metrics-json /
+//       --metrics-prom enable the metrics registry and write a
+//       machine-readable run report (schema qv-run-report v1) /
+//       Prometheus-style text dump after the run.
 //
 //   quakeviz insitu --out=DIR [--snapshots=N] [--renderers=R]
-//            [--trace=FILE.json]
+//            [--trace=FILE.json] [--metrics-json=FILE.json]
+//            [--metrics-prom=FILE.txt]
 //       Simulation-time visualization: solver + renderer concurrently.
+//
+// Unknown --options are rejected with the command's known-flag list, so a
+// typo can't silently fall back to a default.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,6 +56,8 @@
 #include "core/pipeline.hpp"
 #include "core/serial.hpp"
 #include "io/dataset.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/report.hpp"
 #include "quake/solver.hpp"
 #include "quake/synthetic.hpp"
 #include "trace/analysis.hpp"
@@ -88,6 +98,24 @@ class Args {
     return it == kv_.end() ? fallback : std::atof(it->second.c_str());
   }
   bool flag(const std::string& key) const { return kv_.count(key) > 0; }
+  // A typo like --metrics-jsn must not silently no-op: every command
+  // declares its flags and anything else is a hard error.
+  void allow_only(const char* cmd,
+                  std::initializer_list<const char*> known) const {
+    for (const auto& [key, value] : kv_) {
+      bool ok = false;
+      for (const char* k : known) {
+        if (key == k) { ok = true; break; }
+      }
+      if (ok) continue;
+      std::fprintf(stderr, "unknown option --%s for 'quakeviz %s'\n",
+                   key.c_str(), cmd);
+      std::fprintf(stderr, "known options:");
+      for (const char* k : known) std::fprintf(stderr, " --%s", k);
+      std::fprintf(stderr, "\n");
+      std::exit(2);
+    }
+  }
   std::string require(const std::string& key) const {
     auto it = kv_.find(key);
     if (it == kv_.end()) {
@@ -121,6 +149,8 @@ quake::LayeredBasin default_basin(const Box3& domain) {
 }
 
 int cmd_generate(const Args& args) {
+  args.allow_only("generate",
+                  {"out", "mode", "steps", "max-level", "freq", "interval"});
   std::string out = args.require("out");
   std::filesystem::create_directories(out);
   const Box3 domain{{0, 0, 0}, {2000, 2000, 2000}};
@@ -177,6 +207,7 @@ int cmd_generate(const Args& args) {
 }
 
 int cmd_info(const Args& args) {
+  args.allow_only("info", {"dataset"});
   io::DatasetReader reader(args.require("dataset"));
   const auto& m = reader.meta();
   std::printf("domain     (%g %g %g) .. (%g %g %g)\n", m.domain.lo.x,
@@ -198,6 +229,9 @@ int cmd_info(const Args& args) {
 }
 
 int cmd_render(const Args& args) {
+  args.allow_only("render",
+                  {"dataset", "out", "step", "level", "width", "height",
+                   "lighting", "enhance", "variable", "vmax", "orbit", "tf"});
   io::DatasetReader reader(args.require("dataset"));
   std::string out = args.require("out");
   core::SerialRenderConfig cfg;
@@ -225,6 +259,15 @@ int cmd_render(const Args& args) {
 }
 
 int cmd_pipeline(const Args& args) {
+  args.allow_only(
+      "pipeline",
+      {"dataset", "out", "strategy", "inputs", "groups", "renderers", "width",
+       "height", "steps", "level", "lic", "enhance", "lighting", "variable",
+       "vmax", "orbit", "rebalance", "compress", "compress-blocks", "tf",
+       "compositor", "recv-timeout-ms", "trace", "metrics-json",
+       "metrics-prom", "fault-seed", "fault-read-rate",
+       "fault-short-read-rate", "fault-corrupt-rate", "fault-lose",
+       "fault-read-delay-ms", "fault-kill-rank", "fault-kill-step"});
   core::PipelineConfig cfg;
   cfg.dataset_dir = args.require("dataset");
   cfg.output_dir = args.str("out", "");
@@ -295,7 +338,11 @@ int cmd_pipeline(const Args& args) {
   }
 
   const std::string trace_path = args.str("trace", "");
+  const std::string metrics_json = args.str("metrics-json", "");
+  const std::string metrics_prom = args.str("metrics-prom", "");
+  const bool want_metrics = !metrics_json.empty() || !metrics_prom.empty();
   if (!trace_path.empty()) trace::enable();
+  if (want_metrics) metrics::enable();
 
   auto report = core::run_pipeline(cfg);
 
@@ -309,10 +356,36 @@ int cmd_pipeline(const Args& args) {
     std::printf("trace: %zu ranks -> %s\n", traces.size(), trace_path.c_str());
     std::printf("%s\n", trace::format_overlap(
                             trace::analyze_overlap(traces)).c_str());
-    for (const auto& ra : trace::rank_activity(traces)) {
-      std::printf("  %-10s occupancy %5.1f%%\n", ra.name.c_str(),
-                  100.0 * ra.occupancy);
+    auto whole = trace::rank_activity(traces);
+    auto steady = trace::rank_activity(traces, {.steady_only = true});
+    for (std::size_t i = 0; i < whole.size(); ++i) {
+      std::printf("  %-10s occupancy %5.1f%% (steady %5.1f%%)\n",
+                  whole[i].name.c_str(), 100.0 * whole[i].occupancy,
+                  i < steady.size() ? 100.0 * steady[i].occupancy : 0.0);
     }
+  }
+  if (want_metrics) {
+    metrics::RunReport rr;
+    rr.kind = "pipeline";
+    rr.track("interframe_s", report.avg_interframe, "s");
+    rr.track("fetch_s", report.avg_fetch, "s");
+    rr.track("preprocess_s", report.avg_preprocess, "s");
+    rr.track("send_s", report.avg_send, "s");
+    rr.track("render_s", report.avg_render, "s");
+    rr.track("composite_s", report.avg_composite, "s");
+    rr.track("composite_bytes", double(report.composite_bytes), "bytes");
+    rr.track("block_bytes_sent", double(report.block_bytes_sent), "bytes");
+    rr.snapshot = metrics::collect();
+    metrics::disable();
+    if (!metrics_json.empty() && !metrics::write_json_file(metrics_json, rr))
+      return 1;
+    if (!metrics_prom.empty() &&
+        !metrics::write_prometheus_file(metrics_prom, rr.snapshot))
+      return 1;
+    if (!metrics_json.empty())
+      std::printf("metrics: run report -> %s\n", metrics_json.c_str());
+    if (!metrics_prom.empty())
+      std::printf("metrics: prometheus dump -> %s\n", metrics_prom.c_str());
   }
   std::printf("frames: %d  interframe %.4f s\n", report.steps,
               report.avg_interframe);
@@ -340,6 +413,9 @@ int cmd_pipeline(const Args& args) {
 }
 
 int cmd_insitu(const Args& args) {
+  args.allow_only("insitu",
+                  {"out", "snapshots", "renderers", "width", "height", "vmax",
+                   "orbit", "trace", "metrics-json", "metrics-prom"});
   core::InsituConfig cfg;
   cfg.basin = default_basin(cfg.domain);
   cfg.source.position = {1000, 1000, 1400};
@@ -356,7 +432,11 @@ int cmd_insitu(const Args& args) {
   if (!cfg.output_dir.empty())
     std::filesystem::create_directories(cfg.output_dir);
   const std::string trace_path = args.str("trace", "");
+  const std::string metrics_json = args.str("metrics-json", "");
+  const std::string metrics_prom = args.str("metrics-prom", "");
+  const bool want_metrics = !metrics_json.empty() || !metrics_prom.empty();
   if (!trace_path.empty()) trace::enable();
+  if (want_metrics) metrics::enable();
   auto report = core::run_insitu(cfg);
   if (!trace_path.empty()) {
     trace::disable();
@@ -366,6 +446,26 @@ int cmd_insitu(const Args& args) {
       return 1;
     }
     std::printf("trace: %zu ranks -> %s\n", traces.size(), trace_path.c_str());
+  }
+  if (want_metrics) {
+    metrics::RunReport rr;
+    rr.kind = "insitu";
+    double frame_total = 0.0;
+    for (double s : report.frame_seconds) frame_total += s;
+    rr.track("sim_s", report.sim_seconds, "s");
+    rr.track("frame_s",
+             report.snapshots > 0 ? frame_total / report.snapshots : 0.0, "s");
+    rr.snapshot = metrics::collect();
+    metrics::disable();
+    if (!metrics_json.empty() && !metrics::write_json_file(metrics_json, rr))
+      return 1;
+    if (!metrics_prom.empty() &&
+        !metrics::write_prometheus_file(metrics_prom, rr.snapshot))
+      return 1;
+    if (!metrics_json.empty())
+      std::printf("metrics: run report -> %s\n", metrics_json.c_str());
+    if (!metrics_prom.empty())
+      std::printf("metrics: prometheus dump -> %s\n", metrics_prom.c_str());
   }
   std::printf("simulated %.1f s in %.2f s; %d frames\n",
               report.sim_time_reached, report.sim_seconds, report.snapshots);
