@@ -17,6 +17,7 @@
 #include "quake/synthetic.hpp"
 #include "render/raycast.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -135,6 +136,36 @@ BENCHMARK(BM_RaycastFrame)
     ->Args({128, 0})
     ->Args({256, 0})
     ->Args({128, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// The tiled parallel path: range(1) is the thread count (0 = the serial
+// reference with empty-space skipping disabled, for the baseline row).
+void BM_RaycastFrameThreaded(benchmark::State& state) {
+  RaycastFixture fx(4);
+  render::RenderOptions opt;
+  opt.value_hi = 3.0f;
+  int res = int(state.range(0));
+  int threads = int(state.range(1));
+  opt.empty_skipping = threads > 0;
+  render::Camera cam = render::Camera::overview(kUnit, res, res);
+  util::ThreadPool pool(std::max(1, threads));
+  util::ThreadPool* ppool = threads > 0 ? &pool : nullptr;
+  std::uint64_t skipped = 0;
+  for (auto _ : state) {
+    render::RenderStats stats;
+    auto im = render::render_frame(cam, fx.tf, opt, fx.rblocks, fx.blocks,
+                                   kUnit, &stats, ppool);
+    benchmark::DoNotOptimize(im.pixels().data());
+    skipped += stats.skipped_samples;
+  }
+  state.counters["skipped/s"] = benchmark::Counter(
+      double(skipped), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RaycastFrameThreaded)
+    ->Args({128, 0})
+    ->Args({128, 1})
+    ->Args({128, 2})
+    ->Args({128, 4})
     ->Unit(benchmark::kMillisecond);
 
 void BM_RleEncode(benchmark::State& state) {

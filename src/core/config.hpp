@@ -68,6 +68,12 @@ struct PipelineConfig {
   // for the next epoch. Requires kOneDip.
   int rebalance_every = 0;
 
+  // Intra-rank rendering parallelism: worker threads per rendering
+  // processor, fanning each step's blocks out as (block x image-tile)
+  // tasks. 1 = fully serial. Output is bit-identical for every value
+  // (tiles write disjoint pixels; see test_render_determinism).
+  int render_threads = 1;
+
   Compositor compositor = Compositor::kSlic;
   bool compress_compositing = false;
   // RLE-compress the quantized block payloads the input processors ship

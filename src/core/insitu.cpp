@@ -136,6 +136,13 @@ void run_render(Shared& sh, const Setup& st, vmpi::Comm& world,
   }
 
   render::Raycaster rc(st.tf, cfg.render, st.mesh.domain().extent().x);
+  util::ThreadPool render_pool(
+      std::max(1, cfg.render_threads), [rr](int w) {
+        if (!trace::enabled()) return;
+        char tname[32];
+        std::snprintf(tname, sizeof(tname), "render %d.w%d", rr, w);
+        trace::set_thread(1000 + rr * 64 + w, tname);
+      });
   std::vector<std::uint32_t> rank_of(st.blocks.size());
 
   for (int snap = 0; snap < cfg.snapshots; ++snap) {
@@ -165,11 +172,13 @@ void run_render(Shared& sh, const Setup& st, vmpi::Comm& world,
     std::vector<render::PartialImage> partials;
     {
       trace::Span render_span("pipeline", "render", snap);
+      std::vector<std::uint32_t> orders(owned.size());
       for (std::size_t i = 0; i < owned.size(); ++i) {
         rblocks[i].set_values(values[i]);
-        partials.push_back(rc.render_block(camera, rblocks[i],
-                                           rank_of[owned[i]]));
+        orders[i] = rank_of[owned[i]];
       }
+      partials = render::render_blocks(camera, rc, rblocks, orders,
+                                       &render_pool);
     }
     compositing::CompositeResult comp;
     {

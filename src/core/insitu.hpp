@@ -34,6 +34,9 @@ struct InsituConfig {
 
   // --- the visualization -----------------------------------------------------
   int render_procs = 2;
+  // Worker threads per rendering rank ((block x tile) tasks; bit-exact for
+  // any value, see PipelineConfig::render_threads).
+  int render_threads = 1;
   int width = 256;
   int height = 192;
   int block_level = 2;

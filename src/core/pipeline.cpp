@@ -866,6 +866,17 @@ void run_render(Shared& sh, const Setup& st, vmpi::Comm& world,
 
   render::Raycaster rc(st.tf, cfg.render, st.mesh->domain().extent().x);
 
+  // Intra-rank render pool: cfg.render_threads workers (including this
+  // rank's own thread) share each step's (block x tile) task list. With 1
+  // thread no workers are spawned and rendering runs inline.
+  util::ThreadPool render_pool(
+      std::max(1, cfg.render_threads), [rr](int w) {
+        if (!trace::enabled()) return;
+        char tname[32];
+        std::snprintf(tname, sizeof(tname), "render %d.w%d", rr, w);
+        trace::set_thread(1000 + rr * 64 + w, tname);
+      });
+
   double render_time = 0, composite_time = 0;
   const auto timeout = std::chrono::milliseconds(
       cfg.recv_timeout_ms > 0 ? cfg.recv_timeout_ms : 0);
@@ -989,16 +1000,23 @@ void run_render(Shared& sh, const Setup& st, vmpi::Comm& world,
     }
     WallTimer t;
     std::vector<render::PartialImage> partials;
-    partials.reserve(assign.owned.size());
     {
       trace::Span render_span("pipeline", "render", s);
+      std::vector<std::uint32_t> orders(assign.owned.size());
+      // Per-block cost for the rebalancer: value install (macro ranges
+      // included) plus the summed wall time of the block's render tasks.
+      std::vector<double> block_secs(assign.owned.size(), 0.0);
       for (std::size_t i = 0; i < assign.owned.size(); ++i) {
         WallTimer bt;
         assign.rblocks[i].set_values(assign.block_values[i]);
-        partials.push_back(rc.render_block(camera, assign.rblocks[i],
-                                           rank_of[assign.owned[i]]));
-        epoch_costs[int(assign.owned[i])] += bt.seconds();
+        orders[i] = rank_of[assign.owned[i]];
+        block_secs[i] = bt.seconds();
       }
+      partials = render::render_blocks(camera, rc, assign.rblocks, orders,
+                                       &render_pool, render::kRenderTile,
+                                       nullptr, block_secs.data());
+      for (std::size_t i = 0; i < assign.owned.size(); ++i)
+        epoch_costs[int(assign.owned[i])] += block_secs[i];
     }
     render_time += t.seconds();
     t.reset();

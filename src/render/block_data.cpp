@@ -1,6 +1,7 @@
 #include "render/block_data.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace qv::render {
@@ -24,17 +25,114 @@ RenderBlock::RenderBlock(const mesh::HexMesh& mesh, const octree::Block& block,
     min_edge = std::min(min_edge, leaves[c].box(mesh.domain()).extent().x);
   }
   min_edge_ = block.cell_count() ? min_edge : block.bounds.extent().x;
+
+  // Macrocell structure: group Morton-consecutive leaves by their octree
+  // ancestor one level above the finest leaf in the block (leaves that are
+  // already coarser than that level form single-cell macros). Ancestors of
+  // consecutive leaves are themselves consecutive, so each macro is a
+  // contiguous local cell range.
+  int max_leaf_level = int(block.root.level);
+  for (std::size_t c = block.cell_begin; c < block.cell_end; ++c)
+    max_leaf_level = std::max(max_leaf_level, int(leaves[c].level));
+  int macro_level = std::max(int(block.root.level), max_leaf_level - 1);
+  macro_of_cell_.resize(block.cell_count());
+  mesh::OctKey cur{};
+  for (std::size_t c = block.cell_begin; c < block.cell_end; ++c) {
+    mesh::OctKey key = leaves[c];
+    mesh::OctKey anc = key.ancestor(std::min(int(key.level), macro_level));
+    if (macros_.empty() || !(anc == cur)) {
+      Macrocell m;
+      m.bounds = anc.box(mesh.domain());
+      m.cell_begin = std::uint32_t(c - block.cell_begin);
+      m.cell_end = m.cell_begin + 1;
+      macros_.push_back(m);
+      cur = anc;
+    } else {
+      macros_.back().cell_end = std::uint32_t(c - block.cell_begin) + 1;
+    }
+    macro_of_cell_[c - block.cell_begin] = std::uint32_t(macros_.size() - 1);
+  }
+
+  // Position -> macro lookup grid at macro resolution. The grid is a pure
+  // accelerator: macro_at() re-verifies containment against the macro's
+  // exact octant box, so a misaligned entry can only cost a locate(), never
+  // a wrong skip.
+  grid_dim_ = 1 << (macro_level - int(block.root.level));
+  Vec3 ext = block.bounds.extent();
+  grid_scale_ = {float(grid_dim_) / ext.x, float(grid_dim_) / ext.y,
+                 float(grid_dim_) / ext.z};
+  macro_grid_.assign(std::size_t(grid_dim_) * std::size_t(grid_dim_) *
+                         std::size_t(grid_dim_),
+                     kNoMacro);
+  for (std::size_t m = 0; m < macros_.size(); ++m) {
+    Vec3 rel = macros_[m].bounds.lo - block.bounds.lo;
+    Vec3 mext = macros_[m].bounds.extent();
+    int ix = int(std::lround(rel.x * grid_scale_.x));
+    int iy = int(std::lround(rel.y * grid_scale_.y));
+    int iz = int(std::lround(rel.z * grid_scale_.z));
+    int nx = std::max(1, int(std::lround(mext.x * grid_scale_.x)));
+    int ny = std::max(1, int(std::lround(mext.y * grid_scale_.y)));
+    int nz = std::max(1, int(std::lround(mext.z * grid_scale_.z)));
+    for (int z = iz; z < std::min(iz + nz, grid_dim_); ++z)
+      for (int y = iy; y < std::min(iy + ny, grid_dim_); ++y)
+        for (int x = ix; x < std::min(ix + nx, grid_dim_); ++x)
+          macro_grid_[(std::size_t(z) * std::size_t(grid_dim_) +
+                       std::size_t(y)) *
+                          std::size_t(grid_dim_) +
+                      std::size_t(x)] = std::uint32_t(m);
+  }
+
   values_.assign(nodes_.size(), 0.0f);
+  refresh_macro_ranges();
+}
+
+std::uint32_t RenderBlock::macro_at(Vec3 p) const {
+  const Box3& bb = block_.bounds;
+  if (!(p.x > bb.lo.x && p.x < bb.hi.x && p.y > bb.lo.y && p.y < bb.hi.y &&
+        p.z > bb.lo.z && p.z < bb.hi.z))
+    return kNoMacro;
+  int ix = std::min(grid_dim_ - 1,
+                    std::max(0, int((p.x - bb.lo.x) * grid_scale_.x)));
+  int iy = std::min(grid_dim_ - 1,
+                    std::max(0, int((p.y - bb.lo.y) * grid_scale_.y)));
+  int iz = std::min(grid_dim_ - 1,
+                    std::max(0, int((p.z - bb.lo.z) * grid_scale_.z)));
+  std::uint32_t m =
+      macro_grid_[(std::size_t(iz) * std::size_t(grid_dim_) +
+                   std::size_t(iy)) *
+                      std::size_t(grid_dim_) +
+                  std::size_t(ix)];
+  if (m == kNoMacro) return kNoMacro;
+  const Box3& mb = macros_[m].bounds;
+  if (p.x > mb.lo.x && p.x < mb.hi.x && p.y > mb.lo.y && p.y < mb.hi.y &&
+      p.z > mb.lo.z && p.z < mb.hi.z)
+    return m;
+  return kNoMacro;
 }
 
 void RenderBlock::set_values(std::vector<float> values) {
   if (values.size() != nodes_.size())
     throw std::runtime_error("RenderBlock: value count mismatch");
   values_ = std::move(values);
+  refresh_macro_ranges();
 }
 
-bool RenderBlock::sample(Vec3 p, float& out, std::size_t* hint) const {
-  mesh::HexMesh::CellSample cs;
+void RenderBlock::refresh_macro_ranges() {
+  for (Macrocell& m : macros_) {
+    float lo = 1e30f, hi = -1e30f;
+    for (std::uint32_t c = m.cell_begin; c < m.cell_end; ++c) {
+      for (std::uint32_t n : conn_[c]) {
+        lo = std::min(lo, values_[n]);
+        hi = std::max(hi, values_[n]);
+      }
+    }
+    m.vmin = lo;
+    m.vmax = hi;
+  }
+}
+
+bool RenderBlock::locate(Vec3 p, mesh::HexMesh::CellSample& cs,
+                         std::size_t* hint) const {
   if (hint && *hint >= block_.cell_begin && *hint < block_.cell_end) {
     Box3 b = mesh_->cell_box(*hint);
     if (b.contains(p)) {
@@ -51,6 +149,10 @@ bool RenderBlock::sample(Vec3 p, float& out, std::size_t* hint) const {
   }
   if (cs.cell < block_.cell_begin || cs.cell >= block_.cell_end) return false;
   if (hint) *hint = cs.cell;
+  return true;
+}
+
+float RenderBlock::interpolate(const mesh::HexMesh::CellSample& cs) const {
   const auto& n = conn_[cs.cell - block_.cell_begin];
   float u = cs.u, v = cs.v, w = cs.w;
   float c00 = values_[n[0]] * (1 - u) + values_[n[1]] * u;
@@ -59,7 +161,13 @@ bool RenderBlock::sample(Vec3 p, float& out, std::size_t* hint) const {
   float c11 = values_[n[6]] * (1 - u) + values_[n[7]] * u;
   float c0 = c00 * (1 - v) + c10 * v;
   float c1 = c01 * (1 - v) + c11 * v;
-  out = c0 * (1 - w) + c1 * w;
+  return c0 * (1 - w) + c1 * w;
+}
+
+bool RenderBlock::sample(Vec3 p, float& out, std::size_t* hint) const {
+  mesh::HexMesh::CellSample cs;
+  if (!locate(p, cs, hint)) return false;
+  out = interpolate(cs);
   return true;
 }
 

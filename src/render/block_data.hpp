@@ -29,8 +29,40 @@ class RenderBlock {
   float finest_cell_edge() const { return min_edge_; }
 
   // Install this time step's scalar values (size == local_node_count()).
+  // Also refreshes the per-macrocell value ranges used for empty-space
+  // skipping (one min/max fold over the block's cells).
   void set_values(std::vector<float> values);
   std::span<const float> values() const { return values_; }
+
+  // Empty-space-skipping macrocells: groups of Morton-consecutive leaf
+  // cells sharing an octree ancestor one level above the finest leaves.
+  // Each macrocell's bounds are the *exact* octant box of that ancestor
+  // key — never a fitted bounding box, which could overlap a neighboring
+  // macro and make skip decisions inexact. vmin/vmax cover every node value
+  // of every cell in the macro, so any trilinear sample taken inside it is
+  // guaranteed to land in [vmin, vmax] (interpolation is a convex
+  // combination of node values).
+  struct Macrocell {
+    Box3 bounds;
+    float vmin = 0.0f;
+    float vmax = 0.0f;
+    std::uint32_t cell_begin = 0;  // local cell range [begin, end)
+    std::uint32_t cell_end = 0;
+  };
+  std::span<const Macrocell> macrocells() const { return macros_; }
+  // Macro index for a *global* cell id in [block().cell_begin, cell_end).
+  std::uint32_t macro_of_cell(std::size_t cell) const {
+    return macro_of_cell_[cell - block_.cell_begin];
+  }
+
+  static constexpr std::uint32_t kNoMacro = 0xffffffffu;
+  // Macro containing p, found by direct grid arithmetic — no octree
+  // descent, so the raycaster can test empty space before paying for
+  // locate(). Returns kNoMacro unless p is STRICTLY inside the macro's
+  // octant box: boundary samples fall back to the locate() path, which
+  // keeps skip decisions exact even if grid float arithmetic rounds a
+  // face point to the wrong side.
+  std::uint32_t macro_at(Vec3 p) const;
 
   // Trilinear scalar sample at p. False when p is not inside this block.
   // `hint` (optional) caches the containing cell between calls: rays take
@@ -39,16 +71,33 @@ class RenderBlock {
   // contains p. Pass the same variable across consecutive samples of a ray.
   bool sample(Vec3 p, float& out, std::size_t* hint = nullptr) const;
 
+  // Locate the cell containing p (same hint contract as sample()) without
+  // interpolating — lets the raycaster consult the macrocell table before
+  // paying for the trilinear fetch. False when p is outside this block.
+  bool locate(Vec3 p, mesh::HexMesh::CellSample& cs,
+              std::size_t* hint = nullptr) const;
+  // Trilinear interpolation for a cell previously located on this block.
+  float interpolate(const mesh::HexMesh::CellSample& cs) const;
+
   // Central-difference gradient at p with probe distance h. Probes falling
   // outside the block clamp to the center value (one-sided estimate).
   bool sample_gradient(Vec3 p, float h, Vec3& out) const;
 
  private:
+  void refresh_macro_ranges();
+
   const mesh::HexMesh* mesh_;
   octree::Block block_;
   std::vector<mesh::NodeId> nodes_;
   std::vector<std::array<std::uint32_t, 8>> conn_;  // per cell in block
   std::vector<float> values_;
+  std::vector<Macrocell> macros_;
+  std::vector<std::uint32_t> macro_of_cell_;  // per local cell
+  // Regular macro-resolution lookup grid over the block's bounds
+  // (grid_dim_^3 entries; coarse single-cell macros cover several entries).
+  std::vector<std::uint32_t> macro_grid_;
+  int grid_dim_ = 1;
+  Vec3 grid_scale_{};  // grid_dim_ / bounds extent, per axis
   float min_edge_ = 0.0f;
 };
 

@@ -6,6 +6,7 @@
 #include "metrics/metrics.hpp"
 #include "render/order.hpp"
 #include "trace/trace.hpp"
+#include "util/stats.hpp"
 
 namespace qv::render {
 
@@ -16,31 +17,42 @@ Raycaster::Raycaster(const TransferFunction& tf, RenderOptions options,
       opt_.ref_length > 0.0f ? opt_.ref_length : domain_extent_x / 256.0f;
 }
 
-PartialImage Raycaster::render_block(const Camera& camera,
-                                     const RenderBlock& block,
-                                     std::uint32_t order,
-                                     RenderStats* stats) const {
-  trace::Span tsp("render", "render_block", order);
-  PartialImage out;
-  out.order = order;
-  out.rect = camera.footprint(block.bounds());
-  if (out.rect.empty()) {
-    out.pixels = img::Image(0, 0);
-    return out;
+std::vector<std::uint8_t> Raycaster::classify_empty_macros(
+    const RenderBlock& block) const {
+  auto macros = block.macrocells();
+  std::vector<std::uint8_t> empty(macros.size(), 0);
+  const float inv_range =
+      1.0f / std::max(opt_.value_hi - opt_.value_lo, 1e-20f);
+  for (std::size_t i = 0; i < macros.size(); ++i) {
+    // The normalization below is the monotone map the sampling loop applies
+    // to every value, so [vmin, vmax] covers every normalized sample the
+    // macro can produce.
+    float nlo = std::clamp((macros[i].vmin - opt_.value_lo) * inv_range,
+                           0.0f, 1.0f);
+    float nhi = std::clamp((macros[i].vmax - opt_.value_lo) * inv_range,
+                           0.0f, 1.0f);
+    empty[i] = tf_->opacity_zero_in(nlo, nhi) ? 1 : 0;
   }
-  out.pixels = img::Image(out.rect.width(), out.rect.height());
+  return empty;
+}
 
+void Raycaster::render_region(const Camera& camera, const RenderBlock& block,
+                              const ScreenRect& tile, PartialImage& out,
+                              const std::uint8_t* empty_macros,
+                              RenderStats* stats) const {
   const float ds = block.finest_cell_edge() * opt_.step_scale;
   const float inv_range =
       1.0f / std::max(opt_.value_hi - opt_.value_lo, 1e-20f);
   const float grad_h = block.finest_cell_edge() * 0.5f;
+  auto macros = block.macrocells();
 
   // Per-call accumulators; folded into RenderStats and the registry once at
   // the end so the inner loop touches only registers.
   std::uint64_t n_rays = 0, n_samples = 0, n_shaded = 0, n_early = 0;
+  std::uint64_t n_skipped = 0, n_macro_skips = 0;
 
-  for (int py = out.rect.y0; py < out.rect.y1; ++py) {
-    for (int px = out.rect.x0; px < out.rect.x1; ++px) {
+  for (int py = tile.y0; py < tile.y1; ++py) {
+    for (int px = tile.x0; px < tile.x1; ++px) {
       Ray ray = camera.pixel_ray(px, py);
       float t_in, t_out;
       if (!block.bounds().intersect(ray.origin, ray.inv_dir, t_in, t_out))
@@ -57,8 +69,37 @@ PartialImage Raycaster::render_block(const Camera& camera,
       std::size_t cell_hint = std::size_t(-1);
       for (; t < t_out && acc.a < opt_.early_exit_alpha; t += ds) {
         Vec3 p = ray.origin + ray.dir * t;
-        float v;
-        if (!block.sample(p, v, &cell_hint)) continue;
+        if (empty_macros) {
+          // Grid lookup, no octree descent: macro_at only answers for
+          // points STRICTLY inside a macro's octant box, where the
+          // containing cell is guaranteed to belong to that macro. Every
+          // sample in an empty macro maps to zero opacity, so it would
+          // fall through the `opacity <= 0` branch below — skip to the
+          // macro's exit without locating or interpolating. The
+          // fast-forward replays the same `t += ds` additions the
+          // unskipped loop performs, so downstream sample positions stay
+          // bit-identical, and it stops one full step short of the
+          // computed exit so float error in the slab test can never jump
+          // a sample that lies outside the macro.
+          std::uint32_t m = block.macro_at(p);
+          if (m != RenderBlock::kNoMacro && empty_macros[m]) {
+            ++n_macro_skips;
+            ++n_skipped;  // the tested-but-not-interpolated sample itself
+            float m_in, m_out;
+            if (macros[m].bounds.intersect(ray.origin, ray.inv_dir, m_in,
+                                           m_out)) {
+              float stop = m_out - ds;
+              while (t + ds < stop) {
+                t += ds;
+                ++n_skipped;
+              }
+            }
+            continue;
+          }
+        }
+        mesh::HexMesh::CellSample cs;
+        if (!block.locate(p, cs, &cell_hint)) continue;
+        float v = block.interpolate(cs);
         ++n_samples;
         float nv = std::clamp((v - opt_.value_lo) * inv_range, 0.0f, 1.0f);
         TfSample tf = tf_->sample(nv);
@@ -89,15 +130,120 @@ PartialImage Raycaster::render_block(const Camera& camera,
     stats->rays += n_rays;
     stats->samples += n_samples;
     stats->shaded_samples += n_shaded;
+    stats->skipped_samples += n_skipped;
+    stats->macro_skips += n_macro_skips;
   }
   static auto& rays_ctr = metrics::counter("render.rays");
   static auto& samples_ctr = metrics::counter("render.samples");
   static auto& shaded_ctr = metrics::counter("render.shaded_samples");
   static auto& early_ctr = metrics::counter("render.early_terminations");
+  static auto& skipped_ctr = metrics::counter("render.skipped_samples");
+  static auto& mskip_ctr = metrics::counter("render.macro_skips");
   rays_ctr.add(n_rays);
   samples_ctr.add(n_samples);
   shaded_ctr.add(n_shaded);
   early_ctr.add(n_early);
+  skipped_ctr.add(n_skipped);
+  mskip_ctr.add(n_macro_skips);
+}
+
+PartialImage Raycaster::render_block(const Camera& camera,
+                                     const RenderBlock& block,
+                                     std::uint32_t order,
+                                     RenderStats* stats) const {
+  trace::Span tsp("render", "render_block", order);
+  PartialImage out;
+  out.order = order;
+  out.rect = camera.footprint(block.bounds());
+  if (out.rect.empty()) {
+    out.pixels = img::Image(0, 0);
+    return out;
+  }
+  out.pixels = img::Image(out.rect.width(), out.rect.height());
+  std::vector<std::uint8_t> empty;
+  if (opt_.empty_skipping) empty = classify_empty_macros(block);
+  render_region(camera, block, out.rect, out,
+                empty.empty() ? nullptr : empty.data(), stats);
+  return out;
+}
+
+std::vector<PartialImage> render_blocks(
+    const Camera& camera, const Raycaster& rc,
+    std::span<const RenderBlock> blocks,
+    std::span<const std::uint32_t> orders, util::ThreadPool* pool,
+    int tile_size, RenderStats* stats, double* per_block_seconds) {
+  if (tile_size < 1) tile_size = 1;
+  std::vector<PartialImage> out(blocks.size());
+  std::vector<std::vector<std::uint8_t>> empty(blocks.size());
+
+  struct Task {
+    std::uint32_t block;
+    ScreenRect tile;
+  };
+  std::vector<Task> tasks;
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    out[b].order = orders[b];
+    out[b].rect = camera.footprint(blocks[b].bounds());
+    if (out[b].rect.empty()) {
+      out[b].pixels = img::Image(0, 0);
+      continue;
+    }
+    out[b].pixels = img::Image(out[b].rect.width(), out[b].rect.height());
+    if (rc.options().empty_skipping)
+      empty[b] = rc.classify_empty_macros(blocks[b]);
+    const ScreenRect& r = out[b].rect;
+    for (int y = r.y0; y < r.y1; y += tile_size) {
+      for (int x = r.x0; x < r.x1; x += tile_size) {
+        ScreenRect tile{x, y, std::min(x + tile_size, r.x1),
+                        std::min(y + tile_size, r.y1)};
+        tasks.push_back({std::uint32_t(b), tile});
+      }
+    }
+  }
+
+  // Tiles of one block are disjoint pixel ranges of its PartialImage and
+  // tasks share no other mutable state, so execution order (and therefore
+  // thread count and stealing schedule) cannot change the output. Stats and
+  // timings accumulate per worker and merge at join: integer and
+  // per-block-slot sums, order-independent.
+  const std::size_t workers = std::size_t(pool ? pool->thread_count() : 1);
+  std::vector<RenderStats> wstats(workers);
+  std::vector<std::vector<double>> wsecs;
+  if (per_block_seconds)
+    wsecs.assign(workers, std::vector<double>(blocks.size(), 0.0));
+
+  auto run_task = [&](std::size_t ti, int w) {
+    const Task& tk = tasks[ti];
+    trace::Span tsp("render", "render_tile", orders[tk.block]);
+    WallTimer timer;
+    rc.render_region(camera, blocks[tk.block], tk.tile, out[tk.block],
+                     empty[tk.block].empty() ? nullptr
+                                             : empty[tk.block].data(),
+                     &wstats[std::size_t(w)]);
+    if (per_block_seconds)
+      wsecs[std::size_t(w)][tk.block] += timer.seconds();
+  };
+
+  if (pool && pool->thread_count() > 1) {
+    pool->parallel_for(tasks.size(), run_task);
+  } else {
+    for (std::size_t i = 0; i < tasks.size(); ++i) run_task(i, 0);
+  }
+
+  if (stats) {
+    for (const RenderStats& s : wstats) {
+      stats->rays += s.rays;
+      stats->samples += s.samples;
+      stats->shaded_samples += s.shaded_samples;
+      stats->skipped_samples += s.skipped_samples;
+      stats->macro_skips += s.macro_skips;
+    }
+  }
+  if (per_block_seconds) {
+    for (const auto& ws : wsecs)
+      for (std::size_t b = 0; b < ws.size(); ++b)
+        per_block_seconds[b] += ws[b];
+  }
   return out;
 }
 
@@ -105,7 +251,8 @@ img::Image render_frame(const Camera& camera, const TransferFunction& tf,
                         RenderOptions options,
                         std::span<const RenderBlock> blocks,
                         std::span<const octree::Block> block_descs,
-                        const Box3& domain, RenderStats* stats) {
+                        const Box3& domain, RenderStats* stats,
+                        util::ThreadPool* pool, int tile_size) {
   Raycaster rc(tf, options, domain.extent().x);
   auto order = visibility_order(block_descs, domain, camera.eye());
   // Map block index -> order rank.
@@ -113,11 +260,8 @@ img::Image render_frame(const Camera& camera, const TransferFunction& tf,
   for (std::size_t i = 0; i < order.size(); ++i)
     rank[order[i]] = std::uint32_t(i);
 
-  std::vector<PartialImage> partials;
-  partials.reserve(blocks.size());
-  for (std::size_t b = 0; b < blocks.size(); ++b) {
-    partials.push_back(rc.render_block(camera, blocks[b], rank[b], stats));
-  }
+  std::vector<PartialImage> partials =
+      render_blocks(camera, rc, blocks, rank, pool, tile_size, stats);
   std::vector<const PartialImage*> ptrs;
   ptrs.reserve(partials.size());
   for (const auto& p : partials) ptrs.push_back(&p);

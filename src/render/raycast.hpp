@@ -4,6 +4,21 @@
 // Sort-last: every block renders independently into a footprint-bounded
 // partial image; compositing (here the reference compositor, in production
 // the compositing module) merges partials in global visibility order.
+//
+// Intra-rank parallelism: render_blocks() fans a rank's block list out as
+// (block x image-tile) tasks over a util::ThreadPool. Tiles of one block
+// write disjoint pixels of that block's PartialImage and share no mutable
+// state, so the threaded frame is bit-identical to the serial reference for
+// any thread count — the contract tests/render/test_render_determinism.cpp
+// enforces.
+//
+// Empty-space skipping: per-block macrocells (RenderBlock::macrocells())
+// carry min/max node values; a macro whose value range maps to zero opacity
+// under the transfer function contributes nothing to any ray, so the
+// marcher jumps the ray to the macro's exit — conservatively one full step
+// short of it — and re-enters the global step phase grid. Skipped samples
+// would all have hit the `opacity <= 0 -> continue` branch, so the image is
+// unchanged; only the sample counters differ between skip on and off.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +29,7 @@
 #include "render/camera.hpp"
 #include "render/partial_image.hpp"
 #include "render/transfer.hpp"
+#include "util/thread_pool.hpp"
 
 namespace qv::render {
 
@@ -26,13 +42,21 @@ struct RenderOptions {
   float early_exit_alpha = 0.98f;
   float value_lo = 0.0f;  // scalar normalization window mapped onto the TF
   float value_hi = 1.0f;
+  // Skip fully-transparent macrocells. Bit-exact for the image; turning it
+  // off only changes the samples/skip counters (tests compare both ways).
+  bool empty_skipping = true;
 };
 
 struct RenderStats {
   std::uint64_t rays = 0;
   std::uint64_t samples = 0;
-  std::uint64_t shaded_samples = 0;  // samples that hit non-zero opacity
+  std::uint64_t shaded_samples = 0;   // samples that hit non-zero opacity
+  std::uint64_t skipped_samples = 0;  // sample positions jumped over as empty
+  std::uint64_t macro_skips = 0;      // empty-macro jumps taken
 };
+
+// Default edge (pixels) of the square image tiles render_blocks() fans out.
+inline constexpr int kRenderTile = 32;
 
 class Raycaster {
  public:
@@ -42,6 +66,20 @@ class Raycaster {
   PartialImage render_block(const Camera& camera, const RenderBlock& block,
                             std::uint32_t order, RenderStats* stats = nullptr) const;
 
+  // The tile kernel render_block and render_blocks share: march every pixel
+  // of `tile` (screen coordinates, must lie inside out.rect) against one
+  // block. `empty_macros`, when non-null, flags the block's macrocells
+  // whose value range is fully transparent (from classify_empty_macros).
+  void render_region(const Camera& camera, const RenderBlock& block,
+                     const ScreenRect& tile, PartialImage& out,
+                     const std::uint8_t* empty_macros,
+                     RenderStats* stats = nullptr) const;
+
+  // Per-macrocell emptiness under this caster's transfer function and value
+  // window (1 = provably contributes nothing). Exact w.r.t. sampling, so
+  // consulting it cannot change the image.
+  std::vector<std::uint8_t> classify_empty_macros(const RenderBlock& block) const;
+
   const RenderOptions& options() const { return opt_; }
 
  private:
@@ -50,13 +88,30 @@ class Raycaster {
   float ref_length_;
 };
 
+// Render a rank's blocks as (block x tile) tasks on `pool` (nullptr or a
+// 1-thread pool = serial, in index order). orders[i] is blocks[i]'s global
+// front-to-back rank. Per-task stats are accumulated per worker and merged
+// once at join (integer sums, so merge order cannot matter). When
+// `per_block_seconds` is non-null it receives, per block, the summed wall
+// time of that block's tasks (+=, caller zeroes) — the load-rebalancer's
+// cost signal.
+std::vector<PartialImage> render_blocks(
+    const Camera& camera, const Raycaster& rc,
+    std::span<const RenderBlock> blocks,
+    std::span<const std::uint32_t> orders, util::ThreadPool* pool,
+    int tile_size = kRenderTile, RenderStats* stats = nullptr,
+    double* per_block_seconds = nullptr);
+
 // Serial reference: order the blocks, render each, compose. This is what a
 // 1-processor configuration computes; the distributed pipeline must produce
-// the same image (a key integration-test invariant).
+// the same image (a key integration-test invariant). When `pool` is given,
+// rendering fans out over it (bit-identical output).
 img::Image render_frame(const Camera& camera, const TransferFunction& tf,
                         RenderOptions options,
                         std::span<const RenderBlock> blocks,
                         std::span<const octree::Block> block_descs,
-                        const Box3& domain, RenderStats* stats = nullptr);
+                        const Box3& domain, RenderStats* stats = nullptr,
+                        util::ThreadPool* pool = nullptr,
+                        int tile_size = kRenderTile);
 
 }  // namespace qv::render

@@ -42,9 +42,35 @@ TransferFunction::TransferFunction(std::span<const ControlPoint> points) {
   }
 }
 
+bool TransferFunction::opacity_zero_in(float lo, float hi) const {
+  if (!(lo <= hi)) std::swap(lo, hi);
+  lo = std::clamp(lo, 0.0f, 1.0f);
+  hi = std::clamp(hi, 0.0f, 1.0f);
+  // sample(v) with t = v*(N-1) in (i, i+1) reads entries i and i+1; cover
+  // every entry any t in [lo, hi]*(N-1) can *contribute from*. An integral
+  // upper bound needs no +1: sample() then scales entry i+1 by exactly
+  // 0.0f, so its value cannot influence the result (this keeps an all-zero
+  // value range skippable even when entry 1 is barely opaque, the quiet-
+  // ground case the paper's data is full of).
+  float th = hi * float(kTableSize - 1);
+  int i0 = int(lo * float(kTableSize - 1));
+  int i1 = int(th);
+  if (float(i1) != th) ++i1;
+  i0 = std::clamp(i0, 0, kTableSize - 1);
+  i1 = std::clamp(i1, 0, kTableSize - 1);
+  for (int i = i0; i <= i1; ++i)
+    if (table_[std::size_t(i)].opacity > 0.0f) return false;
+  return true;
+}
+
 TransferFunction TransferFunction::seismic() {
+  // The zero-opacity toe up to 0.03 is the quiet-ground noise floor:
+  // motion below it renders fully transparent (exact table zeros), which
+  // both hides numerical rumble and makes quiet regions provably
+  // skippable for the macrocell empty-space test.
   const ControlPoint pts[] = {
       {0.00f, {0.05f, 0.05f, 0.30f}, 0.000f},
+      {0.03f, {0.07f, 0.10f, 0.40f}, 0.000f},
       {0.08f, {0.10f, 0.20f, 0.60f}, 0.004f},
       {0.25f, {0.05f, 0.55f, 0.75f}, 0.030f},
       {0.45f, {0.20f, 0.80f, 0.35f}, 0.090f},

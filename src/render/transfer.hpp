@@ -41,6 +41,14 @@ class TransferFunction {
             a.opacity * (1.0f - f) + b.opacity * f};
   }
 
+  // True when every v in [lo, hi] (normalized; clamped to [0,1] exactly as
+  // sample() clamps) yields sample(v).opacity <= 0. Decided over the table:
+  // sample() linearly interpolates adjacent entries, and a lerp of two
+  // non-positive opacities is non-positive, so checking every table entry
+  // the range can touch makes this *exact* with respect to sample() — the
+  // guarantee empty-space skipping needs to stay bit-identical.
+  bool opacity_zero_in(float lo, float hi) const;
+
   // The colormap used for the velocity-magnitude renderings: transparent
   // blue for quiet ground through cyan/green to opaque yellow/red where the
   // ground moves hardest (Figure 1 look).

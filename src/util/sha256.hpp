@@ -1,0 +1,42 @@
+// SHA-256 (FIPS 180-4). Used by the golden-image regression tests to pin
+// rendered output byte-for-byte; self-contained so the test suite needs no
+// external crypto dependency. Not written for speed — hash small things.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace qv::util {
+
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(const void* data, std::size_t len);
+  void update(std::span<const std::uint8_t> data) {
+    update(data.data(), data.size());
+  }
+
+  // Finalize and return the 32-byte digest. The object must not be updated
+  // afterwards (construct a fresh one for a new message).
+  std::array<std::uint8_t, 32> digest();
+
+  // Convenience: lowercase hex digest of a buffer.
+  static std::string hex(const void* data, std::size_t len);
+  static std::string hex(std::span<const std::uint8_t> data) {
+    return hex(data.data(), data.size());
+  }
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> h_;
+  std::array<std::uint8_t, 64> buf_;
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_ = 0;  // message length in bytes
+};
+
+}  // namespace qv::util

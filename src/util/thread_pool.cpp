@@ -1,0 +1,146 @@
+#include "util/thread_pool.hpp"
+
+namespace qv::util {
+
+ThreadPool::ThreadPool(int threads, std::function<void(int)> worker_init)
+    : threads_(threads < 1 ? 1 : threads),
+      worker_init_(std::move(worker_init)) {
+  queues_.reserve(std::size_t(threads_));
+  for (int i = 0; i < threads_; ++i)
+    queues_.push_back(std::make_unique<Queue>());
+  workers_.reserve(std::size_t(threads_ - 1));
+  for (int w = 1; w < threads_; ++w)
+    workers_.emplace_back([this, w] { worker_main(w); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::complete_one() {
+  if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last task of the job: publish completion under the pool mutex so a
+    // caller blocked in done_cv_ cannot miss the wakeup.
+    std::lock_guard<std::mutex> lk(mu_);
+    job_fn_ = nullptr;
+    done_cv_.notify_all();
+  }
+}
+
+bool ThreadPool::run_one(int worker, std::uint64_t job,
+                         const std::function<void(std::size_t, int)>* fn) {
+  std::size_t task = 0;
+  bool got = false;
+  // Own queue first (front: the contiguous chunk dealt to this worker)...
+  {
+    Queue& q = *queues_[std::size_t(worker)];
+    std::lock_guard<std::mutex> lk(q.mu);
+    if (q.job == job && !q.tasks.empty()) {
+      task = q.tasks.front();
+      q.tasks.pop_front();
+      got = true;
+    }
+  }
+  // ...then steal from the back of the others.
+  for (int i = 1; !got && i < threads_; ++i) {
+    Queue& q = *queues_[std::size_t((worker + i) % threads_)];
+    std::lock_guard<std::mutex> lk(q.mu);
+    if (q.job == job && !q.tasks.empty()) {
+      task = q.tasks.back();
+      q.tasks.pop_back();
+      got = true;
+    }
+  }
+  if (!got) return false;
+
+  bool poisoned;
+  {
+    std::lock_guard<std::mutex> lk(error_mu_);
+    poisoned = error_ != nullptr;
+  }
+  if (!poisoned) {
+    try {
+      (*fn)(task, worker);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(error_mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+  complete_one();
+  return true;
+}
+
+void ThreadPool::worker_main(int worker) {
+  if (worker_init_) worker_init_(worker);
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t, int)>* fn = nullptr;
+    std::uint64_t job = 0;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] {
+        return stop_ || (job_fn_ != nullptr && job_id_ != seen);
+      });
+      if (stop_) return;
+      fn = job_fn_;
+      job = seen = job_id_;
+    }
+    while (run_one(worker, job, fn)) {
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, int)>& fn) {
+  if (n == 0) return;
+  if (threads_ == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i, 0);
+    return;
+  }
+
+  std::uint64_t job;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job = ++job_id_;
+    // Deal contiguous chunks: worker w owns [w*n/T, (w+1)*n/T).
+    for (int w = 0; w < threads_; ++w) {
+      std::size_t lo = n * std::size_t(w) / std::size_t(threads_);
+      std::size_t hi = n * std::size_t(w + 1) / std::size_t(threads_);
+      Queue& q = *queues_[std::size_t(w)];
+      std::lock_guard<std::mutex> qlk(q.mu);
+      q.tasks.clear();
+      for (std::size_t i = lo; i < hi; ++i) q.tasks.push_back(i);
+      q.job = job;
+    }
+    {
+      std::lock_guard<std::mutex> elk(error_mu_);
+      error_ = nullptr;
+    }
+    remaining_.store(n, std::memory_order_relaxed);
+    job_fn_ = &fn;
+  }
+  work_cv_.notify_all();
+
+  // The caller is worker 0.
+  while (run_one(0, job, &fn)) {
+  }
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [&] {
+      return remaining_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lk(error_mu_);
+    err = error_;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace qv::util

@@ -1,0 +1,97 @@
+// A small work-stealing thread pool for intra-rank parallelism.
+//
+// Each vmpi rank is already a thread; this pool adds worker threads *inside*
+// a rank so one rendering processor can fan its (block x image-tile) task
+// list across cores. Design constraints, in order:
+//   1. Determinism of callers must be preservable: the pool runs a fixed,
+//      pre-enumerated task list (`parallel_for(n, fn)`), so any computation
+//      whose tasks write disjoint outputs is bit-exact for every thread
+//      count, including 1.
+//   2. No busy-waiting: ranks are threads on a shared machine, so idle
+//      workers must block on a condition variable, not spin.
+//   3. A pool with thread_count() == 1 spawns no threads at all and runs
+//      tasks inline, in index order — the serial reference path.
+//
+// Work distribution: task indices are dealt to per-worker deques in
+// contiguous chunks; a worker drains its own deque from the front and, when
+// empty, steals from the back of the others. Contiguous chunks keep
+// neighboring tiles on one worker (cache locality); stealing from the far
+// end minimizes contention on the victim's hot end.
+//
+// parallel_for is not reentrant: calling it from inside a task deadlocks by
+// design (no nested parallelism is needed here and supporting it would
+// complicate the completion protocol).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qv::util {
+
+class ThreadPool {
+ public:
+  // `threads` is the total worker count including the calling thread; the
+  // pool spawns threads-1 helpers (so 1 means fully inline execution).
+  // `worker_init(worker)` runs once on each spawned helper thread before it
+  // accepts work — used e.g. to register trace thread names.
+  explicit ThreadPool(int threads,
+                      std::function<void(int)> worker_init = {});
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int thread_count() const { return threads_; }
+
+  // Run fn(task, worker) for every task in [0, n). Blocks until all tasks
+  // completed; the calling thread participates as worker 0. The first
+  // exception thrown by a task is rethrown here after all tasks finish
+  // (remaining tasks are drained without running).
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, int)>& fn);
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<std::size_t> tasks;
+    // Generation stamp of the parallel_for that filled this queue. A worker
+    // only pops tasks stamped with the generation it observed under mu_,
+    // so a straggler from job N can never execute (or dangle a reference
+    // into) job N+1.
+    std::uint64_t job = 0;
+  };
+
+  void worker_main(int worker);
+  // Pop one task (own queue first, then steal) and run it. Returns false
+  // when no task of generation `job` is available anywhere.
+  bool run_one(int worker, std::uint64_t job,
+               const std::function<void(std::size_t, int)>* fn);
+  void complete_one();
+
+  int threads_ = 1;
+  std::function<void(int)> worker_init_;
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t, int)>* job_fn_ = nullptr;
+  std::uint64_t job_id_ = 0;
+  std::atomic<std::size_t> remaining_{0};
+  bool stop_ = false;
+
+  std::mutex error_mu_;
+  std::exception_ptr error_;
+};
+
+}  // namespace qv::util

@@ -2,12 +2,20 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
 
 #include "util/rng.hpp"
 
 namespace qv::io {
 namespace {
+
+std::uint64_t fuzz_seed() {
+  if (const char* s = std::getenv("QV_FUZZ_SEED")) {
+    return std::strtoull(s, nullptr, 10);
+  }
+  return 1;
+}
 
 std::vector<std::uint8_t> random_bytes(std::size_t n, double zero_fraction,
                                        std::uint64_t seed) {
@@ -92,6 +100,79 @@ TEST(Rle8, QuietWavefieldCompressesHard) {
   std::vector<std::uint8_t> data(10000, 0);
   for (std::size_t i = 4000; i < 4400; ++i) data[i] = std::uint8_t(i % 250 + 1);
   EXPECT_LT(rle8_ratio(data), 0.06);
+}
+
+// --- corrupt-input fuzzing --------------------------------------------------
+// The decoder sits on the receive path of inter-rank block traffic, so a
+// corrupt or truncated stream must come back as nullopt — never a crash, an
+// out-of-bounds read, or a silently short decode.
+
+TEST(Rle8Fuzz, EveryTruncationOfAValidStreamIsRejected) {
+  const std::uint64_t base = fuzz_seed();
+  for (double density : {0.0, 0.5, 0.95}) {
+    std::uint64_t state = base ^ std::uint64_t(density * 1000);
+    auto data = random_bytes(700, density, splitmix64(state));
+    std::vector<std::uint8_t> buf;
+    std::size_t enc = rle8_encode(data, buf);
+    std::vector<std::uint8_t> out(data.size());
+    for (std::size_t cut = 0; cut < enc; ++cut) {
+      auto r = rle8_decode(std::span(buf).first(cut), 0, out);
+      // A prefix can only ever decode fewer than out.size() bytes, so every
+      // truncation is an error, not a silent short decode.
+      ASSERT_FALSE(r.has_value()) << "density " << density << " cut " << cut;
+    }
+    ASSERT_EQ(rle8_decode(buf, 0, out), enc) << "untruncated control";
+  }
+}
+
+TEST(Rle8Fuzz, SingleBitFlipsNeverCrashAndDecodeDeterministically) {
+  const std::uint64_t base = fuzz_seed();
+  for (int round = 0; round < 4; ++round) {
+    std::uint64_t state = base * 0x9e3779b97f4a7c15ULL + std::uint64_t(round);
+    std::uint64_t seed = splitmix64(state);
+    SCOPED_TRACE(::testing::Message()
+                 << "round " << round << " seed " << seed
+                 << " (QV_FUZZ_SEED=" << base << ")");
+    Rng rng(seed);
+    auto data = random_bytes(400, rng.next_double(), rng.next_u64());
+    std::vector<std::uint8_t> clean;
+    std::size_t enc = rle8_encode(data, clean);
+
+    for (int flip = 0; flip < 200; ++flip) {
+      std::vector<std::uint8_t> buf = clean;
+      std::size_t byte = rng.next_below(enc);
+      buf[byte] ^= std::uint8_t(1u << rng.next_below(8));
+
+      std::vector<std::uint8_t> out_a(data.size(), 0xAA);
+      std::vector<std::uint8_t> out_b(data.size(), 0xBB);
+      auto a = rle8_decode(buf, 0, out_a);
+      auto b = rle8_decode(buf, 0, out_b);
+      // Deterministic: same verdict twice, and on success the same bytes.
+      ASSERT_EQ(a.has_value(), b.has_value()) << "flip " << flip;
+      if (a) {
+        ASSERT_LE(*a, buf.size()) << "consumed past the stream";
+        ASSERT_EQ(0, std::memcmp(out_a.data(), out_b.data(), out_a.size()))
+            << "flip " << flip;
+      }
+    }
+  }
+}
+
+TEST(Rle8Fuzz, RandomGarbageNeverCrashes) {
+  const std::uint64_t base = fuzz_seed();
+  std::uint64_t state = base * 1000003u;
+  Rng rng(splitmix64(state));
+  for (int round = 0; round < 300; ++round) {
+    std::vector<std::uint8_t> buf(rng.next_below(256));
+    for (auto& b : buf) b = std::uint8_t(rng.next_below(256));
+    std::vector<std::uint8_t> out(rng.next_below(512));
+    std::size_t offset = rng.next_below(buf.size() + 2);  // may exceed size
+    auto r = rle8_decode(buf, offset, out);
+    if (r) {
+      ASSERT_LE(offset + *r, buf.size())
+          << "round " << round << ": consumed past the stream";
+    }
+  }
 }
 
 class Rle8RoundTrip : public ::testing::TestWithParam<double> {};

@@ -139,10 +139,28 @@ TEST(Raycaster, EmptyTransferFunctionYieldsTransparentImage) {
   scene.fill([](Vec3) { return 0.0f; });  // maps to zero opacity
   auto tf = TransferFunction::seismic();
   Camera cam = Camera::overview(kUnit, 48, 48);
+
+  // Without empty-space skipping every in-volume sample is interpolated
+  // and found transparent.
+  RenderOptions noskip;
+  noskip.empty_skipping = false;
+  Raycaster rc_ref(tf, noskip, 1.0f);
+  RenderStats ref_stats;
+  PartialImage ref = rc_ref.render_block(cam, scene.rblocks[0], 0, &ref_stats);
+  EXPECT_GT(ref_stats.samples, 0u);
+  EXPECT_EQ(ref_stats.shaded_samples, 0u);
+  EXPECT_EQ(ref_stats.skipped_samples, 0u);
+  for (const auto& px : ref.pixels.pixels()) EXPECT_TRUE(px.transparent());
+
+  // With skipping (the default) the all-zero block is provably empty:
+  // samples are jumped over, never interpolated — and the image is still
+  // identical (transparent).
   Raycaster rc(tf, {}, 1.0f);
   RenderStats stats;
   PartialImage out = rc.render_block(cam, scene.rblocks[0], 0, &stats);
-  EXPECT_GT(stats.samples, 0u);
+  EXPECT_EQ(stats.samples, 0u);
+  EXPECT_GT(stats.skipped_samples, 0u);
+  EXPECT_GT(stats.macro_skips, 0u);
   EXPECT_EQ(stats.shaded_samples, 0u);
   for (const auto& px : out.pixels.pixels()) EXPECT_TRUE(px.transparent());
 }

@@ -1,0 +1,59 @@
+#include "util/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace qv::util {
+namespace {
+
+std::string hex_of(const std::string& s) {
+  return Sha256::hex(s.data(), s.size());
+}
+
+// FIPS 180-4 / NIST CAVP known-answer vectors.
+TEST(Sha256, KnownVectors) {
+  EXPECT_EQ(hex_of(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(hex_of("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(hex_of("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+  EXPECT_EQ(hex_of("The quick brown fox jumps over the lazy dog"),
+            "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592");
+}
+
+TEST(Sha256, MillionAs) {
+  std::string m(1000000, 'a');
+  EXPECT_EQ(hex_of(m),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShotForAnyChunking) {
+  std::string msg;
+  for (int i = 0; i < 1000; ++i) msg.push_back(char(i * 37 % 251));
+  Sha256 one_shot;
+  one_shot.update(msg.data(), msg.size());
+  auto want = one_shot.digest();
+  for (std::size_t chunk : {1u, 3u, 63u, 64u, 65u, 997u}) {
+    Sha256 s;
+    for (std::size_t off = 0; off < msg.size(); off += chunk)
+      s.update(msg.data() + off, std::min(chunk, msg.size() - off));
+    EXPECT_EQ(s.digest(), want) << "chunk=" << chunk;
+  }
+}
+
+TEST(Sha256, BoundaryLengthsRoundTripThePadding) {
+  // 55/56/63/64 bytes straddle the padding block boundary.
+  for (std::size_t len : {55u, 56u, 63u, 64u, 119u, 120u}) {
+    std::string a(len, 'x'), b(len, 'x');
+    b[len / 2] = 'y';
+    EXPECT_EQ(hex_of(a), hex_of(a));
+    EXPECT_NE(hex_of(a), hex_of(b)) << "len=" << len;
+  }
+}
+
+}  // namespace
+}  // namespace qv::util

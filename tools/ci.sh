@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification, a trace-output smoke test, a ThreadSanitizer pass
-# over the message-passing runtime, and the benchmark regression gate.
-# Usage: tools/ci.sh [--tier1-only|--trace-only|--tsan-only|--bench-gate-only]
+# over the message-passing runtime and the parallel renderer, a
+# determinism/fuzz stage run under two seeds, and the benchmark gate.
+# Usage: tools/ci.sh [--tier1-only|--trace-only|--tsan-only|
+#                     --determinism-only|--bench-gate-only]
 #        tools/ci.sh --bench-update    # re-baseline BENCH_*.json
 # BENCH_THRESHOLD (default 0.15) sets the gate's relative regression bound.
 set -euo pipefail
@@ -62,9 +64,10 @@ EOF
 }
 
 tsan() {
-  echo "== tsan: vmpi runtime + fault layer + tracing under ThreadSanitizer =="
+  echo "== tsan: vmpi runtime + fault layer + tracing + renderer under ThreadSanitizer =="
   cmake -B build-tsan -S . -DQV_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-  cmake --build build-tsan -j "$JOBS" --target test_vmpi test_pipeline test_trace test_metrics
+  cmake --build build-tsan -j "$JOBS" --target test_vmpi test_pipeline test_trace test_metrics \
+      test_util test_render
   # TSAN_OPTIONS halt_on_error makes a data-race report a hard failure.
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_vmpi
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_pipeline \
@@ -74,6 +77,27 @@ tsan() {
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_trace \
       --gtest_filter='-TraceOverlapTest.*'
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_metrics
+  # The work-stealing pool and the threaded == serial determinism contract,
+  # with the race detector watching the stealing schedule.
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_util \
+      --gtest_filter='ThreadPool.*'
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_render \
+      --gtest_filter='RenderDeterminism.*:GoldenImage.*'
+}
+
+determinism() {
+  echo "== determinism/fuzz: seeded property suites under two seeds =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS" --target test_render test_vmpi test_io test_util
+  local seed
+  for seed in 1 2; do
+    echo "-- QV_FUZZ_SEED=$seed --"
+    QV_FUZZ_SEED=$seed ./build/tests/test_render \
+        --gtest_filter='RenderDeterminism.*:GoldenImage.*'
+    QV_FUZZ_SEED=$seed ./build/tests/test_vmpi --gtest_filter='CollectivesFuzz.*'
+    QV_FUZZ_SEED=$seed ./build/tests/test_io --gtest_filter='Rle8Fuzz.*'
+  done
+  ./build/tests/test_util --gtest_filter='ThreadPool.*:Sha256.*'
 }
 
 # The three tracked benches and where their committed baselines live.
@@ -136,9 +160,10 @@ case "$MODE" in
   --tier1-only) tier1 ;;
   --trace-only) trace_smoke ;;
   --tsan-only) tsan ;;
+  --determinism-only) determinism ;;
   --bench-gate-only) bench_gate ;;
   --bench-update) bench_update ;;
-  all|--all) tier1; trace_smoke; tsan; bench_gate ;;
-  *) echo "usage: tools/ci.sh [--tier1-only|--trace-only|--tsan-only|--bench-gate-only|--bench-update]" >&2; exit 2 ;;
+  all|--all) tier1; trace_smoke; determinism; tsan; bench_gate ;;
+  *) echo "usage: tools/ci.sh [--tier1-only|--trace-only|--tsan-only|--determinism-only|--bench-gate-only|--bench-update]" >&2; exit 2 ;;
 esac
 echo "ci: OK"

@@ -17,7 +17,8 @@
 //
 //   quakeviz pipeline --dataset=DIR --out=DIR [--strategy=1dip|2dip-col|
 //            2dip-ind] [--inputs=M] [--groups=N] [--renderers=R]
-//            [--width=W] [--height=H] [--steps=K] [--level=L] [--lic]
+//            [--render-threads=T] [--width=W] [--height=H] [--steps=K]
+//            [--level=L] [--lic]
 //            [--enhance] [--orbit=DEG] [--rebalance=E] [--compositor=
 //            slic|direct|swap] [--compress] [--compress-blocks] [--tf=FILE]
 //            [--vmax=X] [--recv-timeout-ms=T] [--trace=FILE.json]
@@ -38,7 +39,7 @@
 //       Prometheus-style text dump after the run.
 //
 //   quakeviz insitu --out=DIR [--snapshots=N] [--renderers=R]
-//            [--trace=FILE.json] [--metrics-json=FILE.json]
+//            [--render-threads=T] [--trace=FILE.json] [--metrics-json=FILE.json]
 //            [--metrics-prom=FILE.txt]
 //       Simulation-time visualization: solver + renderer concurrently.
 //
@@ -261,7 +262,8 @@ int cmd_render(const Args& args) {
 int cmd_pipeline(const Args& args) {
   args.allow_only(
       "pipeline",
-      {"dataset", "out", "strategy", "inputs", "groups", "renderers", "width",
+      {"dataset", "out", "strategy", "inputs", "groups", "renderers",
+       "render-threads", "width",
        "height", "steps", "level", "lic", "enhance", "lighting", "variable",
        "vmax", "orbit", "rebalance", "compress", "compress-blocks", "tf",
        "compositor", "recv-timeout-ms", "trace", "metrics-json",
@@ -287,6 +289,7 @@ int cmd_pipeline(const Args& args) {
   cfg.input_procs = args.num("inputs", 2);
   cfg.groups = args.num("groups", 1);
   cfg.render_procs = args.num("renderers", 4);
+  cfg.render_threads = args.num("render-threads", 1);
   cfg.width = args.num("width", 512);
   cfg.height = args.num("height", 384);
   cfg.num_steps = args.num("steps", -1);
@@ -414,7 +417,8 @@ int cmd_pipeline(const Args& args) {
 
 int cmd_insitu(const Args& args) {
   args.allow_only("insitu",
-                  {"out", "snapshots", "renderers", "width", "height", "vmax",
+                  {"out", "snapshots", "renderers", "render-threads", "width",
+                   "height", "vmax",
                    "orbit", "trace", "metrics-json", "metrics-prom"});
   core::InsituConfig cfg;
   cfg.basin = default_basin(cfg.domain);
@@ -424,6 +428,7 @@ int cmd_insitu(const Args& args) {
   cfg.source.amplitude = 5e12f;
   cfg.snapshots = args.num("snapshots", 8);
   cfg.render_procs = args.num("renderers", 2);
+  cfg.render_threads = args.num("render-threads", 1);
   cfg.width = args.num("width", 384);
   cfg.height = args.num("height", 288);
   cfg.render.value_hi = float(args.real("vmax", 0.05));
