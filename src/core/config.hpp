@@ -10,6 +10,7 @@
 #include "io/retry.hpp"
 #include "octree/blocks.hpp"
 #include "render/raycast.hpp"
+#include "stream/session.hpp"
 #include "vmpi/fault.hpp"
 
 namespace qv::core {
@@ -82,6 +83,11 @@ struct PipelineConfig {
 
   int num_steps = -1;          // -1: every step in the dataset
   std::string output_dir;      // when set, the output proc writes PPM frames
+
+  // Remote frame delivery: when stream.enabled, the output processor also
+  // encodes every finished frame and ships it over the simulated WAN link
+  // (delta coding + backpressure-driven degradation; see src/stream).
+  stream::StreamConfig stream;
 
   // --- robustness ---------------------------------------------------------
   // Deterministic fault injection (tests/benches); null = no faults and

@@ -1,0 +1,39 @@
+#include "core/frame_msg.hpp"
+
+#include <cstring>
+
+namespace qv::core {
+
+std::vector<std::uint8_t> make_frame_msg(std::int32_t step, bool degraded,
+                                         std::span<const img::Rgba> pixels) {
+  FrameWireHeader h{};
+  h.magic = kFrameMsgMagic;
+  h.version = kFrameMsgVersion;
+  h.degraded = degraded ? 1 : 0;
+  h.step = step;
+  h.pixel_count = std::uint32_t(pixels.size());
+  std::vector<std::uint8_t> msg(sizeof(h) + pixels.size_bytes());
+  std::memcpy(msg.data(), &h, sizeof(h));
+  std::memcpy(msg.data() + sizeof(h), pixels.data(), pixels.size_bytes());
+  return msg;
+}
+
+std::optional<FrameMsgView> parse_frame_msg(std::span<const std::uint8_t> msg,
+                                            std::size_t expected_pixels) {
+  if (msg.size() < sizeof(FrameWireHeader)) return std::nullopt;
+  FrameWireHeader h;
+  std::memcpy(&h, msg.data(), sizeof(h));
+  if (h.magic != kFrameMsgMagic || h.version != kFrameMsgVersion)
+    return std::nullopt;
+  if (h.pixel_count != expected_pixels) return std::nullopt;
+  if (msg.size() != sizeof(h) + expected_pixels * sizeof(img::Rgba))
+    return std::nullopt;
+  FrameMsgView v;
+  v.step = h.step;
+  v.degraded = h.degraded != 0;
+  v.pixels = {reinterpret_cast<const img::Rgba*>(msg.data() + sizeof(h)),
+              expected_pixels};
+  return v;
+}
+
+}  // namespace qv::core

@@ -4,9 +4,11 @@
 #include <cstring>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 
 #include "compositing/slic.hpp"
+#include "core/frame_msg.hpp"
 #include "trace/trace.hpp"
 #include "io/block_index.hpp"
 #include "io/preprocess.hpp"
@@ -187,10 +189,8 @@ void run_render(Shared& sh, const Setup& st, vmpi::Comm& world,
                                cfg.height, false, 0);
     }
     if (rr == 0) {
-      auto px = comp.image.pixels();
       world.isend(out_rank, tag_frame(snap),
-                  {reinterpret_cast<const std::uint8_t*>(px.data()),
-                   px.size_bytes()});
+                  make_frame_msg(snap, false, comp.image.pixels()));
     }
   }
 }
@@ -199,6 +199,9 @@ void run_output(Shared& sh, const Setup&, vmpi::Comm& world) {
   const InsituConfig& cfg = sh.cfg;
   WallTimer clock;
   std::vector<double> frame_seconds;
+  std::optional<stream::StreamSession> session;
+  if (cfg.stream.enabled)
+    session.emplace(cfg.stream, cfg.width, cfg.height);
   for (int snap = 0; snap < cfg.snapshots; ++snap) {
     std::vector<std::uint8_t> msg;
     {
@@ -207,21 +210,26 @@ void run_output(Shared& sh, const Setup&, vmpi::Comm& world) {
     }
     trace::Span frame_span("pipeline", "frame", snap);
     img::Image frame(cfg.width, cfg.height);
-    if (msg.size() != frame.pixels().size_bytes())
-      throw std::runtime_error("insitu: frame size mismatch");
-    std::memcpy(frame.pixels().data(), msg.data(), msg.size());
+    auto view = parse_frame_msg(msg, frame.pixels().size());
+    if (!view) throw std::runtime_error("insitu: bad frame message");
+    std::memcpy(frame.pixels().data(), view->pixels.data(),
+                view->pixels.size_bytes());
     frame_seconds.push_back(clock.seconds());
-    if (!cfg.output_dir.empty()) {
-      char name[64];
-      std::snprintf(name, sizeof(name), "/insitu_%04d.ppm", snap);
-      img::write_ppm(cfg.output_dir + name,
-                     img::to_8bit(frame, {0.02f, 0.02f, 0.05f}));
+    if (!cfg.output_dir.empty() || session) {
+      img::Image8 out8 = img::to_8bit(frame, {0.02f, 0.02f, 0.05f});
+      if (!cfg.output_dir.empty()) {
+        char name[64];
+        std::snprintf(name, sizeof(name), "/insitu_%04d.ppm", snap);
+        img::write_ppm(cfg.output_dir + name, out8);
+      }
+      if (session) session->submit(clock.seconds(), snap, out8);
     }
     if (sh.frames_out) sh.frames_out->push_back(std::move(frame));
   }
   std::lock_guard lk(sh.mu);
   sh.report.frame_seconds = std::move(frame_seconds);
   sh.report.snapshots = cfg.snapshots;
+  if (session) sh.report.stream = session->finish();
 }
 
 }  // namespace

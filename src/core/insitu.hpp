@@ -47,6 +47,10 @@ struct InsituConfig {
   float orbit_deg_per_step = 0.0f;
   std::string output_dir;  // when set, frames are written as PPM
 
+  // Remote frame delivery over the simulated WAN (see src/stream) — the
+  // "monitor the simulation from afar" half of the paper's §7 goal.
+  stream::StreamConfig stream;
+
   int world_size() const { return sim_procs + render_procs + 1; }
 };
 
@@ -55,6 +59,9 @@ struct InsituReport {
   double sim_seconds = 0.0;           // time the solver spent stepping
   double sim_time_reached = 0.0;      // simulated seconds at the last frame
   int snapshots = 0;
+
+  // Remote frame delivery (all zero unless config.stream.enabled).
+  stream::StreamReport stream;
 };
 
 // Runs solver + renderers + output concurrently in-process. When

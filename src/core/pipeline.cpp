@@ -12,6 +12,7 @@
 #include "compositing/binary_swap.hpp"
 #include "compositing/direct_send.hpp"
 #include "compositing/slic.hpp"
+#include "core/frame_msg.hpp"
 #include "core/ground_overlay.hpp"
 #include "img/image.hpp"
 #include "io/block_index.hpp"
@@ -79,12 +80,8 @@ struct SliceMsgHeader {
 static_assert(sizeof(BlockMsgHeader) == 32);
 static_assert(sizeof(SliceMsgHeader) == 32);
 
-// Render root -> output processor; the frame pixels follow.
-struct FrameMsgHeader {
-  std::int32_t step;
-  std::uint8_t degraded;  // some renderer showed stale data this step
-  std::uint8_t pad[3];
-};
+// (The render root -> output processor frame hop uses the shared
+// make_frame_msg/parse_frame_msg helper from core/frame_msg.hpp.)
 
 // Renderer -> input (kTagNack): please resend.
 struct NackMsg {
@@ -1050,12 +1047,8 @@ void run_render(Shared& sh, const Setup& st, vmpi::Comm& world,
 
     // --- image delivery ----------------------------------------------------
     if (rr == 0) {
-      auto px = comp.image.pixels();
-      FrameMsgHeader fh{s, std::uint8_t(step_degraded ? 1 : 0), {}};
-      std::vector<std::uint8_t> fmsg(sizeof(fh) + px.size_bytes());
-      std::memcpy(fmsg.data(), &fh, sizeof(fh));
-      std::memcpy(fmsg.data() + sizeof(fh), px.data(), px.size_bytes());
-      world.isend(out_rank, tag_frame(s), fmsg);
+      world.isend(out_rank, tag_frame(s),
+                  make_frame_msg(s, step_degraded, comp.image.pixels()));
     }
 
     // --- fine-grain dynamic load redistribution (§7) -----------------------
@@ -1141,6 +1134,9 @@ void run_output(Shared& sh, const Setup& st, vmpi::Comm& world) {
   std::vector<double> frame_seconds;
   std::vector<int> degraded_steps;
   std::vector<float> last_gray;  // LIC texture frame-repeat buffer
+  std::optional<stream::StreamSession> session;
+  if (cfg.stream.enabled)
+    session.emplace(cfg.stream, cfg.width, cfg.height);
   for (int s = 0; s < st.num_steps; ++s) {
     std::vector<std::uint8_t> msg;
     {
@@ -1149,13 +1145,11 @@ void run_output(Shared& sh, const Setup& st, vmpi::Comm& world) {
     }
     trace::Span frame_span("pipeline", "frame", s);
     img::Image frame(cfg.width, cfg.height);
-    FrameMsgHeader fh;
-    if (msg.size() != sizeof(fh) + frame.pixels().size_bytes())
-      throw std::runtime_error("pipeline: frame size mismatch");
-    std::memcpy(&fh, msg.data(), sizeof(fh));
-    std::memcpy(frame.pixels().data(), msg.data() + sizeof(fh),
-                msg.size() - sizeof(fh));
-    const bool degraded = fh.degraded != 0;
+    auto view = parse_frame_msg(msg, frame.pixels().size());
+    if (!view) throw std::runtime_error("pipeline: bad frame message");
+    std::memcpy(frame.pixels().data(), view->pixels.data(),
+                view->pixels.size_bytes());
+    const bool degraded = view->degraded;
     if (degraded) degraded_steps.push_back(s);
 
     if (cfg.lic_overlay) {
@@ -1177,11 +1171,17 @@ void run_output(Shared& sh, const Setup& st, vmpi::Comm& world) {
     }
     frame_seconds.push_back(clock.seconds());
 
-    if (!cfg.output_dir.empty()) {
-      char name[64];
-      std::snprintf(name, sizeof(name), "/frame_%04d.ppm", s);
-      img::write_ppm(cfg.output_dir + name,
-                     img::to_8bit(frame, {0.02f, 0.02f, 0.05f}));
+    if (!cfg.output_dir.empty() || session) {
+      // One tone-mapping for both sinks: the streamed frame is bit-identical
+      // to the PPM the output processor writes (the delivery determinism
+      // tests pin this with SHA-256).
+      img::Image8 out8 = img::to_8bit(frame, {0.02f, 0.02f, 0.05f});
+      if (!cfg.output_dir.empty()) {
+        char name[64];
+        std::snprintf(name, sizeof(name), "/frame_%04d.ppm", s);
+        img::write_ppm(cfg.output_dir + name, out8);
+      }
+      if (session) session->submit(clock.seconds(), s, out8);
     }
     if (sh.frames_out) sh.frames_out->push_back(std::move(frame));
   }
@@ -1189,6 +1189,7 @@ void run_output(Shared& sh, const Setup& st, vmpi::Comm& world) {
   std::lock_guard lk(sh.mu);
   sh.report.frame_seconds = std::move(frame_seconds);
   sh.report.degraded_steps = std::move(degraded_steps);
+  if (session) sh.report.stream = session->finish();
 }
 
 }  // namespace

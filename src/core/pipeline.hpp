@@ -71,6 +71,9 @@ struct PipelineReport {
   int input_steps_completed = 0;
 
   int steps = 0;
+
+  // Remote frame delivery (all zero unless config.stream.enabled).
+  stream::StreamReport stream;
 };
 
 // Run the full pipeline in-process (spawns config.world_size() vmpi ranks).

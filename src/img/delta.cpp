@@ -1,0 +1,63 @@
+#include "img/delta.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace qv::img {
+
+void deinterleave_rgb(std::span<const std::uint8_t> rgb,
+                      std::span<std::uint8_t> planes) {
+  assert(rgb.size() == planes.size() && rgb.size() % 3 == 0);
+  const std::size_t n = rgb.size() / 3;
+  for (std::size_t i = 0; i < n; ++i) {
+    planes[i] = rgb[3 * i];
+    planes[n + i] = rgb[3 * i + 1];
+    planes[2 * n + i] = rgb[3 * i + 2];
+  }
+}
+
+void interleave_rgb(std::span<const std::uint8_t> planes,
+                    std::span<std::uint8_t> rgb) {
+  assert(rgb.size() == planes.size() && rgb.size() % 3 == 0);
+  const std::size_t n = rgb.size() / 3;
+  for (std::size_t i = 0; i < n; ++i) {
+    rgb[3 * i] = planes[i];
+    rgb[3 * i + 1] = planes[n + i];
+    rgb[3 * i + 2] = planes[2 * n + i];
+  }
+}
+
+void quantize_tier(std::span<std::uint8_t> bytes, int tier) {
+  tier = std::clamp(tier, 0, kMaxQuantizeTier);
+  if (tier == 0) return;
+  const int drop = 2 * tier;  // low bits truncated per byte
+  const int keep = 8 - drop;
+  for (auto& b : bytes) {
+    std::uint8_t q = std::uint8_t((b >> drop) << drop);
+    // Refill the dropped bits by replicating the kept ones, so 0 stays 0
+    // and 255 stays 255. Only the kept high bits feed the next round's
+    // truncation, which is what makes the map idempotent.
+    for (int s = keep; s < 8; s += keep) q = std::uint8_t(q | (q >> s));
+    b = q;
+  }
+}
+
+void delta_encode(std::span<const std::uint8_t> prev,
+                  std::span<const std::uint8_t> cur,
+                  std::span<std::uint8_t> out) {
+  assert(prev.size() == cur.size() && cur.size() == out.size());
+  for (std::size_t i = 0; i < cur.size(); ++i) {
+    out[i] = std::uint8_t(cur[i] - prev[i]);
+  }
+}
+
+void delta_apply(std::span<const std::uint8_t> prev,
+                 std::span<const std::uint8_t> delta,
+                 std::span<std::uint8_t> out) {
+  assert(prev.size() == delta.size() && delta.size() == out.size());
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    out[i] = std::uint8_t(prev[i] + delta[i]);
+  }
+}
+
+}  // namespace qv::img

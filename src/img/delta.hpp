@@ -1,0 +1,49 @@
+// Per-channel byte-delta primitives for the frame-delivery path.
+//
+// The output processor streams 8-bit RGB frames to a remote viewer; between
+// consecutive frames most pixels are unchanged (quiet ground, static
+// background), so subtracting the previously delivered frame channel-wise
+// turns the image into long zero runs that the byte RLE codec collapses.
+// Deinterleaving R/G/B into contiguous planes first keeps each channel's
+// runs unbroken by the other two.
+//
+// Quantization tiers give the delivery controller a lossy fallback: tier t
+// truncates the 2t low bits of every byte and refills them by bit
+// replication (so the representable range stays 0..255). The map is
+// idempotent — quantizing an already-quantized byte is a no-op — which is
+// what lets the encoder keep its reconstruction reference exactly equal to
+// what the viewer holds, regardless of how tiers changed mid-stream.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace qv::img {
+
+// Tiers 0 (lossless) through kMaxQuantizeTier (coarsest).
+inline constexpr int kMaxQuantizeTier = 3;
+
+// Split interleaved RGB bytes (r g b r g b ...) into three contiguous
+// channel planes (all R, then all G, then all B). planes.size() must equal
+// rgb.size(), which must be a multiple of 3.
+void deinterleave_rgb(std::span<const std::uint8_t> rgb,
+                      std::span<std::uint8_t> planes);
+// Inverse of deinterleave_rgb.
+void interleave_rgb(std::span<const std::uint8_t> planes,
+                    std::span<std::uint8_t> rgb);
+
+// In-place tier quantization (see header comment). Tier is clamped to
+// [0, kMaxQuantizeTier]; tier 0 is the identity.
+void quantize_tier(std::span<std::uint8_t> bytes, int tier);
+
+// out[i] = cur[i] - prev[i] (mod 256). Sizes must match.
+void delta_encode(std::span<const std::uint8_t> prev,
+                  std::span<const std::uint8_t> cur,
+                  std::span<std::uint8_t> out);
+
+// out[i] = prev[i] + delta[i] (mod 256) — the inverse of delta_encode.
+void delta_apply(std::span<const std::uint8_t> prev,
+                 std::span<const std::uint8_t> delta,
+                 std::span<std::uint8_t> out);
+
+}  // namespace qv::img

@@ -55,6 +55,24 @@ class Engine {
     return now_;
   }
 
+  // Incremental form: process every event due at or before `t`, then park
+  // the clock at `t` (events may be scheduled later and picked up by the
+  // next call). This is what lets a live producer feed the engine in
+  // lockstep with an external clock — the WAN link model advances its
+  // virtual transfers exactly as far as the caller's wall clock has come.
+  Time run_until(Time t) {
+    while (!events_.empty() && events_.top().t <= t + 1e-12) {
+      Event e = std::move(const_cast<Event&>(events_.top()));
+      events_.pop();
+      if (e.t < now_ - 1e-12)
+        throw std::logic_error("sim: event scheduled in the past");
+      now_ = std::max(now_, e.t);
+      e.fn();
+    }
+    now_ = std::max(now_, t);
+    return now_;
+  }
+
  private:
   struct Event {
     Time t;

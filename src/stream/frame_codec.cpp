@@ -1,0 +1,150 @@
+#include "stream/frame_codec.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "img/delta.hpp"
+#include "io/codec.hpp"
+#include "util/crc32.hpp"
+
+namespace qv::stream {
+
+FrameEncoder::FrameEncoder(int width, int height)
+    : w_(width), h_(height) {}
+
+std::vector<std::uint8_t> FrameEncoder::encode(int step,
+                                               const img::Image8& frame,
+                                               int tier, bool keyframe) {
+  tier = std::clamp(tier, 0, img::kMaxQuantizeTier);
+  const std::size_t n = std::size_t(w_) * h_ * 3;
+  planes_.resize(n);
+  img::deinterleave_rgb({frame.data(), n}, planes_);
+  img::quantize_tier(planes_, tier);
+
+  const bool key = keyframe || ref_step_ < 0;
+  std::vector<std::uint8_t> wire(sizeof(FrameHeader));
+  if (key) {
+    io::rle8_encode(planes_, wire);
+  } else {
+    deltas_.resize(n);
+    img::delta_encode(ref_, planes_, deltas_);
+    io::rle8_encode(deltas_, wire);
+  }
+
+  FrameHeader h{};
+  h.magic = kFrameMagic;
+  h.version = kFrameVersion;
+  h.kind = std::uint8_t(key ? FrameKind::kKey : FrameKind::kDelta);
+  h.tier = std::uint8_t(tier);
+  h.step = step;
+  h.base_step = key ? -1 : ref_step_;
+  h.width = std::uint16_t(w_);
+  h.height = std::uint16_t(h_);
+  h.payload = std::uint32_t(wire.size() - sizeof(FrameHeader));
+  h.crc = util::crc32(
+      {wire.data() + sizeof(FrameHeader), wire.size() - sizeof(FrameHeader)});
+  std::memcpy(wire.data(), &h, sizeof(h));
+
+  // The quantized planes ARE what the viewer will reconstruct (delta is
+  // exact byte arithmetic), so they become the next frame's reference.
+  ref_.swap(planes_);
+  ref_step_ = step;
+  return wire;
+}
+
+std::optional<DecodedFrame> FrameDecoder::decode(
+    std::span<const std::uint8_t> wire) {
+  if (wire.size() < sizeof(FrameHeader)) return std::nullopt;
+  FrameHeader h;
+  std::memcpy(&h, wire.data(), sizeof(h));
+  if (h.magic != kFrameMagic || h.version != kFrameVersion) return std::nullopt;
+  if (h.kind > std::uint8_t(FrameKind::kDelta)) return std::nullopt;
+  if (h.tier > img::kMaxQuantizeTier) return std::nullopt;
+  if (h.width == 0 || h.height == 0) return std::nullopt;
+  // The pad must be zero: a strict boundary leaves corruption nowhere to
+  // hide (and keeps the bytes reserved for a future version).
+  if (h.pad[0] || h.pad[1] || h.pad[2] || h.pad[3]) return std::nullopt;
+  if (std::size_t(h.payload) != wire.size() - sizeof(FrameHeader))
+    return std::nullopt;
+
+  auto payload = wire.subspan(sizeof(FrameHeader));
+  if (util::crc32(payload) != h.crc) return std::nullopt;
+
+  const bool key = h.kind == std::uint8_t(FrameKind::kKey);
+  if (key) {
+    // A keyframe (re)establishes the stream dimensions.
+    if (ref_step_ >= 0 && (h.width != w_ || h.height != h_))
+      return std::nullopt;
+  } else {
+    // A delta is only decodable against the exact frame it was coded from.
+    if (ref_step_ < 0 || h.base_step != ref_step_) return std::nullopt;
+    if (h.width != w_ || h.height != h_) return std::nullopt;
+  }
+
+  const std::size_t n = std::size_t(h.width) * h.height * 3;
+  scratch_.resize(n);
+  auto consumed = io::rle8_decode(payload, 0, scratch_);
+  // Exact-consumption check: trailing garbage after a valid prefix is
+  // corruption, not slack.
+  if (!consumed || *consumed != payload.size()) return std::nullopt;
+
+  if (!key) {
+    // scratch_ holds deltas; apply in place against the reference.
+    img::delta_apply(ref_, scratch_, scratch_);
+  }
+
+  DecodedFrame out;
+  out.step = h.step;
+  out.tier = h.tier;
+  out.kind = FrameKind(h.kind);
+  out.image = img::Image8(h.width, h.height);
+  img::interleave_rgb(scratch_, {out.image.data(), n});
+
+  // Commit decoder state only now that everything validated.
+  w_ = h.width;
+  h_ = h.height;
+  ref_.swap(scratch_);
+  ref_step_ = h.step;
+  return out;
+}
+
+bool write_record_file(const std::string& path,
+                       std::span<const std::vector<std::uint8_t>> frames) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f.write(kRecordMagic, sizeof(kRecordMagic));
+  for (const auto& w : frames) {
+    std::uint32_t len = std::uint32_t(w.size());
+    f.write(reinterpret_cast<const char*>(&len), sizeof(len));
+    f.write(reinterpret_cast<const char*>(w.data()),
+            std::streamsize(w.size()));
+  }
+  return bool(f);
+}
+
+std::optional<std::vector<std::vector<std::uint8_t>>> read_record_file(
+    const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return std::nullopt;
+  char magic[sizeof(kRecordMagic)];
+  if (!f.read(magic, sizeof(magic))) return std::nullopt;
+  if (std::memcmp(magic, kRecordMagic, sizeof(magic)) != 0)
+    return std::nullopt;
+  std::vector<std::vector<std::uint8_t>> frames;
+  for (;;) {
+    std::uint32_t len;
+    if (!f.read(reinterpret_cast<char*>(&len), sizeof(len))) {
+      if (f.eof() && f.gcount() == 0) break;  // clean end between frames
+      return std::nullopt;
+    }
+    if (len > (1u << 30)) return std::nullopt;  // implausible entry
+    std::vector<std::uint8_t> w(len);
+    if (!f.read(reinterpret_cast<char*>(w.data()), std::streamsize(len)))
+      return std::nullopt;
+    frames.push_back(std::move(w));
+  }
+  return frames;
+}
+
+}  // namespace qv::stream

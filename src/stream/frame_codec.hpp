@@ -1,0 +1,112 @@
+// Wire codec for remotely delivered frames.
+//
+// The output processor encodes each finished 8-bit frame against the frame
+// the viewer already holds (per-channel delta, see img/delta.hpp), RLE-packs
+// the result, and frames it with a magic/version header and a CRC-32 of the
+// payload. Two frame kinds:
+//
+//   keyframe — RLE of the (tier-quantized) channel planes themselves;
+//              decodable with no history.
+//   delta    — RLE of planes minus the previously DELIVERED frame's planes;
+//              the header's base_step names that reference, so a decoder
+//              that missed it rejects instead of reconstructing garbage.
+//
+// Transmission is lossless with respect to the tier-quantized frame: at
+// tier 0 the viewer reconstructs the sender's bytes exactly (the delivery
+// determinism tests pin this with SHA-256 against the written PPMs). The
+// encoder's reference is its own reconstruction of the last frame it sent,
+// so drops on the sender side never desynchronize the chain.
+//
+// The decoder is a hostile-input boundary: any malformed, truncated, or
+// corrupt buffer must come back as std::nullopt with the decoder state
+// untouched — never a crash, never wrong pixels (see the codec fuzz suite).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "img/image.hpp"
+
+namespace qv::stream {
+
+inline constexpr std::uint32_t kFrameMagic = 0x31535651u;  // "QVS1"
+inline constexpr std::uint16_t kFrameVersion = 1;
+
+enum class FrameKind : std::uint8_t { kKey = 0, kDelta = 1 };
+
+// Fits the fault layer's 32-byte trusted-header prefix, like every other
+// wire header in the pipeline.
+struct FrameHeader {
+  std::uint32_t magic;
+  std::uint16_t version;
+  std::uint8_t kind;       // FrameKind
+  std::uint8_t tier;       // quantization tier the planes were coded at
+  std::int32_t step;       // simulation step of this frame
+  std::int32_t base_step;  // delta: reference frame's step; key: -1
+  std::uint16_t width, height;
+  std::uint32_t payload;   // encoded bytes following the header
+  std::uint32_t crc;       // CRC-32 of the payload bytes
+  std::uint8_t pad[4];
+};
+static_assert(sizeof(FrameHeader) == 32);
+
+// Stateful encoder: owns the reconstruction of the last frame it emitted.
+class FrameEncoder {
+ public:
+  FrameEncoder(int width, int height);
+
+  // Encode `frame` (dimensions must match the constructor's) at the given
+  // tier. The first frame, and any frame with `keyframe` set, is emitted as
+  // a keyframe. Returns the complete wire message (header + payload).
+  std::vector<std::uint8_t> encode(int step, const img::Image8& frame,
+                                   int tier = 0, bool keyframe = false);
+
+  bool has_reference() const { return ref_step_ >= 0; }
+
+ private:
+  int w_, h_;
+  std::vector<std::uint8_t> ref_;  // quantized planes of the last sent frame
+  int ref_step_ = -1;
+  std::vector<std::uint8_t> planes_, deltas_;  // scratch
+};
+
+struct DecodedFrame {
+  int step = 0;
+  int tier = 0;
+  FrameKind kind = FrameKind::kKey;
+  img::Image8 image;
+};
+
+// Stateful decoder: holds the last successfully decoded frame as the delta
+// reference. A failed decode leaves that state untouched.
+class FrameDecoder {
+ public:
+  std::optional<DecodedFrame> decode(std::span<const std::uint8_t> wire);
+
+  bool has_reference() const { return ref_step_ >= 0; }
+  int reference_step() const { return ref_step_; }
+
+ private:
+  int w_ = 0, h_ = 0;              // established by the first keyframe
+  std::vector<std::uint8_t> ref_;  // planes of the last decoded frame
+  int ref_step_ = -1;
+  std::vector<std::uint8_t> scratch_;
+};
+
+// --- stream recording -------------------------------------------------------
+// On-disk format consumed by `quakeviz view`: an 8-byte magic followed by
+// length-prefixed wire frames in delivery order.
+inline constexpr char kRecordMagic[8] = {'Q', 'V', 'S', 'T', 'R', 'M', '0', '1'};
+
+// Write `frames` (wire messages) to `path`. Returns false on I/O failure.
+bool write_record_file(const std::string& path,
+                       std::span<const std::vector<std::uint8_t>> frames);
+
+// Read a record file back into wire messages; nullopt on a missing file,
+// bad magic, or a truncated entry.
+std::optional<std::vector<std::vector<std::uint8_t>>> read_record_file(
+    const std::string& path);
+
+}  // namespace qv::stream

@@ -1,0 +1,37 @@
+#include "stream/link.hpp"
+
+#include <utility>
+
+namespace qv::stream {
+
+sim::Process WanLink::transmit(int step, double sent_at,
+                               std::vector<std::uint8_t> wire) {
+  const std::size_t bytes = wire.size();
+  co_await conn_.acquire();
+  if (cfg_.bandwidth_bytes_per_s > 0.0)
+    co_await faults_.transfer(double(bytes));
+  conn_.release();
+  // Propagation happens after the connection frees: the next frame's bytes
+  // can be in flight while this one crosses the last hop.
+  if (cfg_.latency_s > 0.0) co_await sim::delay(engine_, cfg_.latency_s);
+  ready_.push_back({step, sent_at, engine_.now(), bytes, std::move(wire)});
+  ++delivered_;
+}
+
+void WanLink::send(double now, int step, std::vector<std::uint8_t> wire) {
+  engine_.run_until(now);
+  ++sent_;
+  transmit(step, engine_.now(), std::move(wire));
+}
+
+std::vector<DeliveredFrame> WanLink::poll(double now) {
+  engine_.run_until(now);
+  return std::exchange(ready_, {});
+}
+
+std::vector<DeliveredFrame> WanLink::drain() {
+  engine_.run();
+  return std::exchange(ready_, {});
+}
+
+}  // namespace qv::stream

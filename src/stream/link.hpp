@@ -1,0 +1,80 @@
+// Simulated WAN link between the output processor and a remote viewer.
+//
+// The pipeline's own clock is wall time, but the link is modeled in the
+// discrete-event engine's virtual time: every send spawns a transfer
+// coroutine that first acquires the connection (frames on one viewer
+// connection serialize FIFO, like a single TCP stream — a delta must never
+// overtake the keyframe it references), then pushes its bytes through the
+// bandwidth model, optionally modulated by the seeded outage generator
+// (FaultyBandwidth), followed by a fixed propagation latency. The caller
+// drives the model in lockstep with its clock via Engine::run_until — so a
+// frame "delivers" exactly when the virtual transfer completes, and
+// in_flight() is the honest queue depth the backpressure controller needs.
+//
+// send() never blocks: the send queue is the set of in-flight transfers,
+// and bounding it is the controller's job, not the link's.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/fault.hpp"
+
+namespace qv::stream {
+
+struct WanLinkConfig {
+  double bandwidth_bytes_per_s = 8e6;  // ~64 Mbit/s; <= 0 means infinite
+  double latency_s = 0.02;             // one-way propagation delay
+  sim::BandwidthFaultConfig fault;     // seeded outage windows (optional)
+};
+
+// A frame that has finished crossing the link.
+struct DeliveredFrame {
+  int step = 0;
+  double sent_at = 0.0;       // link-clock time the send was issued
+  double delivered_at = 0.0;  // link-clock time the transfer completed
+  std::size_t bytes = 0;
+  std::vector<std::uint8_t> wire;
+};
+
+class WanLink {
+ public:
+  explicit WanLink(WanLinkConfig cfg)
+      : cfg_(cfg),
+        bw_(engine_, cfg.bandwidth_bytes_per_s > 0.0
+                         ? cfg.bandwidth_bytes_per_s
+                         : 1.0),
+        faults_(engine_, bw_, cfg.fault),
+        conn_(engine_, 1) {}
+
+  // Advance the link model to `now` and enqueue `wire` for transmission.
+  void send(double now, int step, std::vector<std::uint8_t> wire);
+
+  // Advance the model to `now` and take every frame delivered by then.
+  std::vector<DeliveredFrame> poll(double now);
+
+  // Let every in-flight transfer finish (virtual time runs ahead of the
+  // caller's clock) and return the stragglers.
+  std::vector<DeliveredFrame> drain();
+
+  // Frames sent but not yet delivered, as of the last advance.
+  int in_flight() const { return sent_ - delivered_; }
+  double now() const { return engine_.now(); }
+  const sim::FaultyBandwidth& faults() const { return faults_; }
+
+ private:
+  sim::Process transmit(int step, double sent_at,
+                        std::vector<std::uint8_t> wire);
+
+  WanLinkConfig cfg_;
+  sim::Engine engine_;
+  sim::SharedBandwidth bw_;
+  sim::FaultyBandwidth faults_;
+  sim::Resource conn_;  // the single viewer connection: FIFO, one at a time
+  std::vector<DeliveredFrame> ready_;
+  int sent_ = 0;
+  int delivered_ = 0;
+};
+
+}  // namespace qv::stream

@@ -1,0 +1,121 @@
+#include "stream/session.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "metrics/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace qv::stream {
+
+namespace {
+
+// Static-local handles: registration locks once, the hot path is atomics.
+struct StreamMetrics {
+  metrics::Counter& bytes_out = metrics::counter("stream.bytes_out");
+  metrics::Counter& dropped = metrics::counter("stream.dropped_frames");
+  metrics::Counter& delivered = metrics::counter("stream.frames_delivered");
+  metrics::Counter& keyframes = metrics::counter("stream.keyframes");
+  metrics::Counter& decode_failures =
+      metrics::counter("stream.decode_failures");
+  metrics::Histogram& queue_depth = metrics::histogram(
+      "stream.queue_depth",
+      metrics::HistogramSpec::fixed({0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32}));
+  metrics::Histogram& display_latency = metrics::histogram(
+      "stream.display_latency", metrics::HistogramSpec::duration_seconds());
+  static StreamMetrics& get() {
+    static StreamMetrics m;
+    return m;
+  }
+};
+
+WanLinkConfig link_config(const StreamConfig& cfg) {
+  WanLinkConfig lc;
+  lc.bandwidth_bytes_per_s = cfg.bandwidth_bytes_per_s;
+  lc.latency_s = cfg.latency_s;
+  lc.fault = cfg.fault;
+  // The link clock follows the pipeline's wall clock; give pre-scheduled
+  // outage windows a horizon no real run outlives.
+  if (lc.fault.active() && lc.fault.horizon_seconds <= 0.0)
+    lc.fault.horizon_seconds = 3600.0;
+  return lc;
+}
+
+}  // namespace
+
+StreamSession::StreamSession(const StreamConfig& cfg, int width, int height)
+    : cfg_(cfg),
+      encoder_(width, height),
+      link_(link_config(cfg)),
+      controller_(cfg.controller) {}
+
+void StreamSession::handle_deliveries(std::vector<DeliveredFrame> delivered) {
+  auto& m = StreamMetrics::get();
+  for (auto& d : delivered) {
+    auto frame = viewer_.decode(d.wire);
+    if (!frame) {
+      ++rep_.decode_failures;
+      m.decode_failures.add();
+      continue;
+    }
+    ++rep_.frames_delivered;
+    m.delivered.add();
+    const double lat = d.delivered_at - d.sent_at;
+    latency_sum_ += lat;
+    rep_.max_display_latency_s = std::max(rep_.max_display_latency_s, lat);
+    if (metrics::enabled()) m.display_latency.observe(lat);
+    if (cfg_.capture) {
+      cfg_.capture->frames.push_back({frame->step, frame->tier,
+                                      frame->kind == FrameKind::kKey, lat,
+                                      std::move(frame->image)});
+    }
+    if (!cfg_.record_path.empty()) record_.push_back(std::move(d.wire));
+  }
+}
+
+void StreamSession::submit(double now, int step, const img::Image8& frame) {
+  auto& m = StreamMetrics::get();
+  ++rep_.frames_submitted;
+  handle_deliveries(link_.poll(now));
+
+  const int depth = link_.in_flight();
+  if (metrics::enabled()) m.queue_depth.observe(double(depth));
+  Decision d = controller_.on_frame(depth);
+  rep_.peak_level = std::max(rep_.peak_level, d.level);
+  if (d.drop) {
+    ++rep_.frames_dropped;
+    m.dropped.add();
+    if (cfg_.capture) cfg_.capture->dropped_steps.push_back(step);
+    return;
+  }
+
+  std::vector<std::uint8_t> wire;
+  {
+    trace::Span span("stream", "encode", step);
+    wire = encoder_.encode(step, frame, d.tier, d.keyframe);
+  }
+  // Count keyframes off the wire header: the first frame is one regardless
+  // of what the controller asked for.
+  FrameHeader h;
+  std::memcpy(&h, wire.data(), sizeof(h));
+  if (h.kind == std::uint8_t(FrameKind::kKey)) {
+    ++rep_.keyframes;
+    m.keyframes.add();
+  }
+  rep_.bytes_out += wire.size();
+  m.bytes_out.add(wire.size());
+  link_.send(now, step, std::move(wire));
+}
+
+StreamReport StreamSession::finish() {
+  handle_deliveries(link_.drain());
+  if (!cfg_.record_path.empty()) write_record_file(cfg_.record_path, record_);
+  rep_.final_level = controller_.level();
+  rep_.avg_display_latency_s =
+      rep_.frames_delivered > 0
+          ? latency_sum_ / double(rep_.frames_delivered)
+          : 0.0;
+  return rep_;
+}
+
+}  // namespace qv::stream

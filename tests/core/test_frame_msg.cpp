@@ -1,0 +1,87 @@
+// The shared render-root -> output-processor frame message: roundtrip and
+// rejection of version/size mismatches (both pipeline and insitu ride on
+// this helper, so a malformed hop fails loudly instead of as garbage
+// pixels).
+#include "core/frame_msg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace qv::core {
+namespace {
+
+std::vector<img::Rgba> test_pixels(std::size_t n) {
+  std::vector<img::Rgba> px(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    px[i] = {float(i) * 0.25f, float(i) * 0.5f, float(i), 1.0f};
+  }
+  return px;
+}
+
+TEST(FrameMsg, Roundtrip) {
+  auto px = test_pixels(12);
+  auto msg = make_frame_msg(7, true, px);
+  EXPECT_EQ(msg.size(), sizeof(FrameWireHeader) + px.size() * sizeof(img::Rgba));
+  auto v = parse_frame_msg(msg, px.size());
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->step, 7);
+  EXPECT_TRUE(v->degraded);
+  ASSERT_EQ(v->pixels.size(), px.size());
+  EXPECT_EQ(0, std::memcmp(v->pixels.data(), px.data(),
+                           px.size() * sizeof(img::Rgba)));
+}
+
+TEST(FrameMsg, NotDegradedRoundtrip) {
+  auto px = test_pixels(4);
+  auto v = parse_frame_msg(make_frame_msg(0, false, px), px.size());
+  ASSERT_TRUE(v.has_value());
+  EXPECT_FALSE(v->degraded);
+}
+
+TEST(FrameMsg, ShortBufferRejected) {
+  auto msg = make_frame_msg(0, false, test_pixels(4));
+  for (std::size_t cut : {std::size_t(0), std::size_t(8),
+                          sizeof(FrameWireHeader) - 1}) {
+    EXPECT_FALSE(
+        parse_frame_msg({msg.data(), cut}, 4).has_value())
+        << "cut " << cut;
+  }
+}
+
+TEST(FrameMsg, BadMagicRejected) {
+  auto msg = make_frame_msg(0, false, test_pixels(4));
+  msg[0] ^= 0xFF;
+  EXPECT_FALSE(parse_frame_msg(msg, 4).has_value());
+}
+
+TEST(FrameMsg, VersionMismatchRejected) {
+  auto msg = make_frame_msg(0, false, test_pixels(4));
+  FrameWireHeader h;
+  std::memcpy(&h, msg.data(), sizeof(h));
+  h.version = kFrameMsgVersion + 1;
+  std::memcpy(msg.data(), &h, sizeof(h));
+  EXPECT_FALSE(parse_frame_msg(msg, 4).has_value());
+}
+
+TEST(FrameMsg, PixelCountMismatchRejected) {
+  auto msg = make_frame_msg(0, false, test_pixels(4));
+  // Receiver expects a different frame size than the sender produced.
+  EXPECT_FALSE(parse_frame_msg(msg, 5).has_value());
+  // Header claims more pixels than the buffer carries.
+  FrameWireHeader h;
+  std::memcpy(&h, msg.data(), sizeof(h));
+  h.pixel_count = 5;
+  std::memcpy(msg.data(), &h, sizeof(h));
+  EXPECT_FALSE(parse_frame_msg(msg, 5).has_value());
+  EXPECT_FALSE(parse_frame_msg(msg, 4).has_value());
+}
+
+TEST(FrameMsg, TrailingBytesRejected) {
+  auto msg = make_frame_msg(0, false, test_pixels(4));
+  msg.push_back(0);
+  EXPECT_FALSE(parse_frame_msg(msg, 4).has_value());
+}
+
+}  // namespace
+}  // namespace qv::core

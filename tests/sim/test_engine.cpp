@@ -184,6 +184,39 @@ TEST(JoinCounter, WaitsForAllArrivals) {
   EXPECT_NEAR(done, 3.0, 1e-9);
 }
 
+TEST(Engine, RunUntilProcessesOnlyDueEvents) {
+  Engine e;
+  std::vector<int> fired;
+  e.schedule(1.0, [&] { fired.push_back(1); });
+  e.schedule(2.0, [&] { fired.push_back(2); });
+  e.schedule(3.0, [&] { fired.push_back(3); });
+  EXPECT_DOUBLE_EQ(e.run_until(2.0), 2.0);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);  // clock parks at t even between events
+  EXPECT_DOUBLE_EQ(e.run_until(10.0), 10.0);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, RunUntilAcceptsLiveProducer) {
+  // The lockstep pattern the WAN link model uses: schedule, advance, repeat.
+  // Events scheduled after an advance (at times past the parked clock) must
+  // fire on the next advance.
+  Engine e;
+  std::vector<double> completions;
+  auto xfer = [](Engine& eng, std::vector<double>& out, double dt) -> Process {
+    co_await delay(eng, dt);
+    out.push_back(eng.now());
+  };
+  xfer(e, completions, 1.0);       // completes at 1.0
+  e.run_until(0.5);
+  EXPECT_TRUE(completions.empty());
+  xfer(e, completions, 1.0);       // starts at 0.5, completes at 1.5
+  e.run_until(2.0);
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_DOUBLE_EQ(completions[0], 1.0);
+  EXPECT_DOUBLE_EQ(completions[1], 1.5);
+}
+
 TEST(JoinCounter, AlreadyCompleteIsImmediate) {
   Engine e;
   JoinCounter jc(e, 1);

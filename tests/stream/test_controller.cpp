@@ -1,0 +1,138 @@
+// Degradation policy: exact decisions for scripted link-throughput traces.
+//
+// The controller sees one queue-depth observation per produced frame; these
+// tests replay the depth sequences an ample / marginal / starved /
+// recovering link would produce and pin the tier, keyframe, and drop
+// decisions frame by frame.
+#include "stream/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace qv::stream {
+namespace {
+
+struct Step {
+  int depth;
+  int tier;
+  bool keyframe;
+  bool drop;
+  int level;
+};
+
+void replay(DegradationController& c, const std::vector<Step>& script) {
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    SCOPED_TRACE(::testing::Message() << "frame " << i << " depth "
+                                      << script[i].depth);
+    Decision d = c.on_frame(script[i].depth);
+    EXPECT_EQ(d.tier, script[i].tier);
+    EXPECT_EQ(d.keyframe, script[i].keyframe);
+    EXPECT_EQ(d.drop, script[i].drop);
+    EXPECT_EQ(d.level, script[i].level);
+  }
+}
+
+TEST(Controller, AmpleLinkStaysLossless) {
+  // Queue never builds: every frame ships as a tier-0 delta.
+  DegradationController c;
+  replay(c, {{0, 0, false, false, 0},
+             {1, 0, false, false, 0},
+             {0, 0, false, false, 0},
+             {1, 0, false, false, 0},
+             {0, 0, false, false, 0}});
+}
+
+TEST(Controller, MarginalLinkHoldsInMidBand) {
+  // Depth hovers between low and high water: no escalation, no recovery
+  // credit, stays at the current level.
+  DegradationController c;
+  replay(c, {{2, 0, false, false, 0},
+             {3, 0, false, false, 0},
+             {2, 0, false, false, 0},
+             {3, 0, false, false, 0}});
+}
+
+TEST(Controller, StarvedLinkWalksTheWholeLadder) {
+  // Monotonically rising depth: one escalation per high-water observation,
+  // through tiers 1..2, into keyframe-only, then drops at capacity.
+  DegradationController c;  // high=4, capacity=8, max_tier=2
+  replay(c, {{0, 0, false, false, 0},
+             {1, 0, false, false, 0},
+             {2, 0, false, false, 0},
+             {3, 0, false, false, 0},
+             {4, 1, false, false, 1},   // first escalation
+             {5, 2, false, false, 2},
+             {6, 2, true, false, 3},    // keyframe-only
+             {7, 2, true, false, 3},    // ladder exhausted, holds
+             {8, 2, true, true, 3},     // at capacity: drop
+             {9, 2, true, true, 3}});
+}
+
+TEST(Controller, RecoveryIsBoundedAndStepwise) {
+  // Drive to the top of the ladder, then feed an idle link: one level down
+  // per `recover_after` consecutive low-water frames — lossless again within
+  // recover_after * max_level frames of the link recovering.
+  ControllerConfig cfg;  // recover_after = 3
+  DegradationController c(cfg);
+  for (int depth : {4, 5, 6}) c.on_frame(depth);
+  ASSERT_EQ(c.level(), 3);
+  replay(c, {{0, 2, true, false, 3},
+             {0, 2, true, false, 3},
+             {0, 2, false, false, 2},   // 3 credits -> level 2
+             {0, 2, false, false, 2},
+             {0, 2, false, false, 2},
+             {0, 1, false, false, 1},
+             {0, 1, false, false, 1},
+             {0, 1, false, false, 1},
+             {0, 0, false, false, 0},   // lossless after 9 = 3*3 frames
+             {0, 0, false, false, 0}});
+}
+
+TEST(Controller, MidBandResetsRecoveryCredit) {
+  ControllerConfig cfg;
+  DegradationController c(cfg);
+  for (int depth : {4, 4}) c.on_frame(depth);
+  ASSERT_EQ(c.level(), 2);
+  // Two low-water frames, then a mid-band one: credit resets, so two more
+  // low frames still aren't enough to de-escalate.
+  c.on_frame(0);
+  c.on_frame(0);
+  c.on_frame(2);
+  c.on_frame(0);
+  EXPECT_EQ(c.on_frame(0).level, 2);
+  // The third consecutive low frame finally recovers a level.
+  EXPECT_EQ(c.on_frame(0).level, 1);
+}
+
+TEST(Controller, EscalationClearsCredit) {
+  ControllerConfig cfg;
+  DegradationController c(cfg);
+  c.on_frame(4);           // level 1
+  c.on_frame(0);
+  c.on_frame(0);           // two credits toward recovery
+  c.on_frame(4);           // burst: level 2, credit wiped
+  c.on_frame(0);
+  c.on_frame(0);
+  EXPECT_EQ(c.on_frame(0).level, 1);  // needed three fresh lows
+}
+
+TEST(Controller, ConfigClampsDegenerateValues) {
+  ControllerConfig cfg;
+  cfg.max_tier = 99;
+  cfg.queue_capacity = 0;
+  cfg.high_water = 50;
+  cfg.low_water = 50;
+  cfg.recover_after = 0;
+  DegradationController c(cfg);
+  EXPECT_EQ(c.config().max_tier, 3);
+  EXPECT_GE(c.config().queue_capacity, 1);
+  EXPECT_LE(c.config().high_water, c.config().queue_capacity);
+  EXPECT_LT(c.config().low_water, c.config().high_water);
+  EXPECT_GE(c.config().recover_after, 1);
+  c.on_frame(1000);  // must not misbehave at any depth
+  EXPECT_LE(c.level(), c.max_level());
+}
+
+}  // namespace
+}  // namespace qv::stream

@@ -1,0 +1,250 @@
+// Frame codec: lossless roundtrips, tier semantics, and the fuzz wall.
+//
+// The decoder sits on the untrusted side of the WAN link; every test here
+// that feeds it garbage asserts the same contract: std::nullopt, no crash,
+// and decoder state intact (a subsequent valid frame still decodes).
+#include "stream/frame_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+
+#include "img/delta.hpp"
+#include "util/crc32.hpp"
+#include "util/rng.hpp"
+
+namespace qv::stream {
+namespace {
+
+std::uint64_t fuzz_seed() {
+  if (const char* s = std::getenv("QV_FUZZ_SEED")) {
+    return std::strtoull(s, nullptr, 10);
+  }
+  return 1;
+}
+
+// A small synthetic animation frame: smooth gradient plus a blob that moves
+// with `step`, so consecutive frames differ in a localized region (the case
+// delta coding exists for).
+img::Image8 test_frame(int w, int h, int step) {
+  img::Image8 im(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      int cx = (7 * step) % w, cy = (5 * step) % h;
+      int d2 = (x - cx) * (x - cx) + (y - cy) * (y - cy);
+      std::uint8_t blob = d2 < 36 ? std::uint8_t(200 - 3 * d2) : 0;
+      im.set(x, y, std::uint8_t((x * 255) / w),
+             std::uint8_t((y * 255) / h), blob);
+    }
+  }
+  return im;
+}
+
+bool images_equal(const img::Image8& a, const img::Image8& b) {
+  return a.byte_count() == b.byte_count() &&
+         std::memcmp(a.data(), b.data(), a.byte_count()) == 0;
+}
+
+TEST(FrameCodec, Tier0RoundtripIsLossless) {
+  const int w = 32, h = 24;
+  FrameEncoder enc(w, h);
+  FrameDecoder dec;
+  for (int s = 0; s < 6; ++s) {
+    auto frame = test_frame(w, h, s);
+    auto wire = enc.encode(s, frame, /*tier=*/0);
+    auto got = dec.decode(wire);
+    ASSERT_TRUE(got.has_value()) << "step " << s;
+    EXPECT_EQ(got->step, s);
+    EXPECT_EQ(got->kind, s == 0 ? FrameKind::kKey : FrameKind::kDelta);
+    EXPECT_TRUE(images_equal(got->image, frame)) << "step " << s;
+  }
+}
+
+TEST(FrameCodec, QuantizedTiersBoundError) {
+  const int w = 32, h = 24;
+  auto frame = test_frame(w, h, 3);
+  for (int tier = 1; tier <= img::kMaxQuantizeTier; ++tier) {
+    FrameEncoder enc(w, h);
+    FrameDecoder dec;
+    auto got = dec.decode(enc.encode(0, frame, tier));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->tier, tier);
+    // Quantization keeps 8-2*tier bits; the replication fill bounds the
+    // error strictly below one truncation step.
+    const int max_err = (1 << (2 * tier)) - 1;
+    for (std::size_t i = 0; i < frame.byte_count(); ++i) {
+      int err = std::abs(int(frame.data()[i]) - int(got->image.data()[i]));
+      ASSERT_LE(err, max_err) << "byte " << i << " tier " << tier;
+    }
+  }
+}
+
+TEST(FrameCodec, MidStreamTierChangeStaysConsistent) {
+  // The encoder's reference must track the viewer exactly through tier
+  // changes (idempotent quantization): after returning to tier 0, delta
+  // frames are again bit-exact.
+  const int w = 32, h = 24;
+  FrameEncoder enc(w, h);
+  FrameDecoder dec;
+  const int tiers[] = {0, 2, 2, 1, 0, 0};
+  for (int s = 0; s < 6; ++s) {
+    auto frame = test_frame(w, h, s);
+    auto got = dec.decode(enc.encode(s, frame, tiers[s]));
+    ASSERT_TRUE(got.has_value()) << "step " << s;
+    if (tiers[s] == 0)
+      EXPECT_TRUE(images_equal(got->image, frame)) << "step " << s;
+  }
+}
+
+TEST(FrameCodec, ForcedKeyframeDecodesWithoutHistory) {
+  const int w = 16, h = 12;
+  FrameEncoder enc(w, h);
+  enc.encode(0, test_frame(w, h, 0));
+  auto wire1 = enc.encode(1, test_frame(w, h, 1), 0, /*keyframe=*/true);
+  FrameDecoder fresh;  // a viewer that joined late
+  auto got = fresh.decode(wire1);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->kind, FrameKind::kKey);
+  EXPECT_TRUE(images_equal(got->image, test_frame(w, h, 1)));
+}
+
+TEST(FrameCodec, DeltaWithoutKeyframeRejected) {
+  const int w = 16, h = 12;
+  FrameEncoder enc(w, h);
+  enc.encode(0, test_frame(w, h, 0));              // key, never delivered
+  auto wire1 = enc.encode(1, test_frame(w, h, 1)); // delta vs step 0
+  FrameDecoder dec;
+  EXPECT_FALSE(dec.decode(wire1).has_value());
+  EXPECT_FALSE(dec.has_reference());
+}
+
+TEST(FrameCodec, SkippedDeltaBreaksChainExplicitly) {
+  // key(0) delivered, delta(1) lost, delta(2) arrives: base_step mismatch
+  // must reject it — and delta(1), arriving late, must still decode.
+  const int w = 16, h = 12;
+  FrameEncoder enc(w, h);
+  auto wire0 = enc.encode(0, test_frame(w, h, 0));
+  auto wire1 = enc.encode(1, test_frame(w, h, 1));
+  auto wire2 = enc.encode(2, test_frame(w, h, 2));
+  FrameDecoder dec;
+  ASSERT_TRUE(dec.decode(wire0).has_value());
+  EXPECT_FALSE(dec.decode(wire2).has_value());  // references step 1, not 0
+  EXPECT_EQ(dec.reference_step(), 0);           // state untouched
+  auto got1 = dec.decode(wire1);
+  ASSERT_TRUE(got1.has_value());
+  EXPECT_TRUE(images_equal(got1->image, test_frame(w, h, 1)));
+}
+
+TEST(FrameCodec, DimensionChangeMidStreamRejected) {
+  FrameDecoder dec;
+  FrameEncoder enc_a(16, 12);
+  ASSERT_TRUE(dec.decode(enc_a.encode(0, test_frame(16, 12, 0))).has_value());
+  FrameEncoder enc_b(32, 24);
+  EXPECT_FALSE(dec.decode(enc_b.encode(1, test_frame(32, 24, 1))).has_value());
+}
+
+// --- fuzz wall --------------------------------------------------------------
+
+TEST(FrameCodecFuzz, EveryTruncationRejected) {
+  const int w = 24, h = 16;
+  FrameEncoder enc(w, h);
+  auto wire0 = enc.encode(0, test_frame(w, h, 0));
+  auto wire1 = enc.encode(1, test_frame(w, h, 1));
+  for (std::size_t cut = 0; cut < wire1.size(); ++cut) {
+    SCOPED_TRACE(::testing::Message() << "truncated to " << cut << " bytes");
+    FrameDecoder dec;
+    ASSERT_TRUE(dec.decode(wire0).has_value());
+    std::span<const std::uint8_t> trunc(wire1.data(), cut);
+    EXPECT_FALSE(dec.decode(trunc).has_value());
+    // Decoder state must survive the rejection: the intact frame decodes.
+    auto ok = dec.decode(wire1);
+    ASSERT_TRUE(ok.has_value());
+    EXPECT_TRUE(images_equal(ok->image, test_frame(w, h, 1)));
+  }
+}
+
+TEST(FrameCodecFuzz, BitFlipsNeverCrashAndNeverLie) {
+  const std::uint64_t base = fuzz_seed();
+  const int w = 24, h = 16;
+  FrameEncoder enc(w, h);
+  auto wire0 = enc.encode(0, test_frame(w, h, 0));
+  auto wire1 = enc.encode(1, test_frame(w, h, 1));
+  for (int trial = 0; trial < 300; ++trial) {
+    SCOPED_TRACE(::testing::Message() << "trial " << trial
+                                      << " (QV_FUZZ_SEED=" << base << ")");
+    Rng rng(base + std::uint64_t(trial) * 7919);
+    auto bad = wire1;
+    int flips = 1 + int(rng.next_below(4));
+    for (int f = 0; f < flips; ++f) {
+      std::size_t pos = rng.next_below(std::uint64_t(bad.size()));
+      bad[pos] ^= std::uint8_t(1u << rng.next_below(8));
+    }
+    FrameDecoder dec;
+    ASSERT_TRUE(dec.decode(wire0).has_value());
+    auto got = dec.decode(bad);
+    if (bad == wire1) {
+      // Flips cancelled out; the frame is genuinely intact.
+      ASSERT_TRUE(got.has_value());
+      continue;
+    }
+    // The CRC covers the payload and the header fields are each validated;
+    // a corrupted frame must never be reported as the original image.
+    if (got.has_value())
+      EXPECT_FALSE(images_equal(got->image, test_frame(w, h, 1)) &&
+                   got->step == 1 && got->tier == 0)
+          << "corrupt frame decoded as pristine";
+    // Whatever happened, the decoder keeps working afterwards.
+    FrameDecoder dec2;
+    ASSERT_TRUE(dec2.decode(wire0).has_value());
+    ASSERT_TRUE(dec2.decode(wire1).has_value());
+  }
+}
+
+TEST(FrameCodecFuzz, RandomGarbageRejected) {
+  const std::uint64_t base = fuzz_seed();
+  for (int trial = 0; trial < 200; ++trial) {
+    SCOPED_TRACE(::testing::Message() << "trial " << trial
+                                      << " (QV_FUZZ_SEED=" << base << ")");
+    Rng rng(base + std::uint64_t(trial) * 104729);
+    std::vector<std::uint8_t> junk(rng.next_below(2048));
+    for (auto& b : junk) b = std::uint8_t(rng.next_below(256));
+    FrameDecoder dec;
+    EXPECT_FALSE(dec.decode(junk).has_value());
+    EXPECT_FALSE(dec.has_reference());
+  }
+}
+
+TEST(FrameCodecFuzz, CorruptPayloadWithFixedCrcRejectedByStructure) {
+  // An attacker (or a very unlucky link) could fix up the CRC; the RLE
+  // exact-consumption check still has to hold. Corrupt payload AND recompute
+  // the CRC: decode must either reject or produce internally consistent
+  // output — never read out of bounds (ASan/TSan builds make that fatal).
+  const std::uint64_t base = fuzz_seed();
+  const int w = 24, h = 16;
+  FrameEncoder enc(w, h);
+  auto wire0 = enc.encode(0, test_frame(w, h, 0));
+  auto wire1 = enc.encode(1, test_frame(w, h, 1));
+  for (int trial = 0; trial < 200; ++trial) {
+    SCOPED_TRACE(::testing::Message() << "trial " << trial
+                                      << " (QV_FUZZ_SEED=" << base << ")");
+    Rng rng(base + std::uint64_t(trial) * 65537);
+    auto bad = wire1;
+    std::size_t pos = sizeof(FrameHeader) +
+                      rng.next_below(std::uint64_t(bad.size()) -
+                                     sizeof(FrameHeader));
+    bad[pos] = std::uint8_t(rng.next_below(256));
+    FrameHeader hd;
+    std::memcpy(&hd, bad.data(), sizeof(hd));
+    hd.crc = util::crc32(
+        {bad.data() + sizeof(hd), bad.size() - sizeof(hd)});
+    std::memcpy(bad.data(), &hd, sizeof(hd));
+    FrameDecoder dec;
+    ASSERT_TRUE(dec.decode(wire0).has_value());
+    dec.decode(bad);  // must not crash; result may be nullopt or garbage-but-
+                      // well-formed pixels (the CRC was deliberately "fixed")
+  }
+}
+
+}  // namespace
+}  // namespace qv::stream

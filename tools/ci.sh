@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 verification, a trace-output smoke test, a ThreadSanitizer pass
-# over the message-passing runtime and the parallel renderer, a
-# determinism/fuzz stage run under two seeds, and the benchmark gate.
-# Usage: tools/ci.sh [--tier1-only|--trace-only|--tsan-only|
+# Tier-1 verification, a trace-output smoke test, a stream-delivery smoke
+# test (streamed pipeline -> viewer decode -> byte-exact frame check), a
+# ThreadSanitizer pass over the message-passing runtime and the parallel
+# renderer, a determinism/fuzz stage run under two seeds, and the
+# benchmark gate.
+# Usage: tools/ci.sh [--tier1-only|--trace-only|--stream-only|--tsan-only|
 #                     --determinism-only|--bench-gate-only]
 #        tools/ci.sh --bench-update    # re-baseline BENCH_*.json
 # BENCH_THRESHOLD (default 0.15) sets the gate's relative regression bound.
@@ -63,11 +65,50 @@ EOF
   fi
 }
 
+stream_smoke() {
+  echo "== stream: streamed pipeline delivers frames the viewer decodes byte-exactly =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS" --target quakeviz
+  local work f
+  work=$(mktemp -d)
+  trap 'rm -rf "$work"' RETURN
+  ./build/tools/quakeviz generate --out="$work/ds" --mode=synthetic \
+      --steps=4 --max-level=3 >/dev/null
+  ./build/tools/quakeviz pipeline --dataset="$work/ds" --out="$work/frames" \
+      --inputs=2 --renderers=2 --width=96 --height=72 --vmax=3 \
+      --stream --stream-bandwidth=100000000 \
+      --stream-record="$work/rec.bin" --metrics-json="$work/run.json"
+  ./build/tools/quakeviz view --in="$work/rec.bin" --out="$work/viewed"
+  for f in "$work"/frames/frame_*.ppm; do
+    cmp "$f" "$work/viewed/$(basename "$f")" \
+        || { echo "stream smoke: viewer frame differs: $f" >&2; return 1; }
+  done
+  echo "stream smoke: all $(ls "$work"/frames/frame_*.ppm | wc -l) frames byte-identical"
+  if command -v python3 >/dev/null; then
+    python3 - "$work/run.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+c = r["counters"]
+assert c.get("stream.frames_delivered", 0) == 4, c
+assert c.get("stream.dropped_frames", -1) == 0, c
+assert c.get("stream.decode_failures", -1) == 0, c
+assert c.get("stream.bytes_out", 0) > 0, c
+assert "stream.queue_depth" in r["histograms"], "queue depth histogram missing"
+assert "span.stream.encode" in r["histograms"], "encode span feed missing"
+tracked = {m["name"] for m in r["tracked"]}
+assert "stream_latency_s" in tracked, f"tracked = {sorted(tracked)}"
+print("stream smoke: run-report counters and histograms present")
+EOF
+  else
+    echo "stream smoke: python3 unavailable, skipped run-report validation"
+  fi
+}
+
 tsan() {
   echo "== tsan: vmpi runtime + fault layer + tracing + renderer under ThreadSanitizer =="
   cmake -B build-tsan -S . -DQV_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-tsan -j "$JOBS" --target test_vmpi test_pipeline test_trace test_metrics \
-      test_util test_render
+      test_util test_render test_stream
   # TSAN_OPTIONS halt_on_error makes a data-race report a hard failure.
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_vmpi
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_pipeline \
@@ -83,12 +124,15 @@ tsan() {
       --gtest_filter='ThreadPool.*'
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_render \
       --gtest_filter='RenderDeterminism.*:GoldenImage.*'
+  # The full streamed pipeline: render threads feeding the output rank's
+  # encoder/link/viewer loop, with the race detector watching the handoff.
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_stream
 }
 
 determinism() {
   echo "== determinism/fuzz: seeded property suites under two seeds =="
   cmake -B build -S . >/dev/null
-  cmake --build build -j "$JOBS" --target test_render test_vmpi test_io test_util
+  cmake --build build -j "$JOBS" --target test_render test_vmpi test_io test_util test_stream
   local seed
   for seed in 1 2; do
     echo "-- QV_FUZZ_SEED=$seed --"
@@ -96,24 +140,26 @@ determinism() {
         --gtest_filter='RenderDeterminism.*:GoldenImage.*'
     QV_FUZZ_SEED=$seed ./build/tests/test_vmpi --gtest_filter='CollectivesFuzz.*'
     QV_FUZZ_SEED=$seed ./build/tests/test_io --gtest_filter='Rle8Fuzz.*'
+    QV_FUZZ_SEED=$seed ./build/tests/test_stream --gtest_filter='FrameCodecFuzz.*'
   done
   ./build/tests/test_util --gtest_filter='ThreadPool.*:Sha256.*'
 }
 
-# The three tracked benches and where their committed baselines live.
-BENCH_NAMES=(pipeline io compositing)
+# The tracked benches and where their committed baselines live.
+BENCH_NAMES=(pipeline io compositing stream)
 bench_binary() {
   case "$1" in
     pipeline) echo bench_pipeline_small ;;
     io) echo bench_io_readers ;;
     compositing) echo bench_compositing ;;
+    stream) echo bench_stream ;;
   esac
 }
 
 bench_build() {
   cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
   cmake --build build-bench -j "$JOBS" \
-      --target bench_pipeline_small bench_io_readers bench_compositing bench_report
+      --target bench_pipeline_small bench_io_readers bench_compositing bench_stream bench_report
 }
 
 bench_gate() {
@@ -159,11 +205,12 @@ bench_update() {
 case "$MODE" in
   --tier1-only) tier1 ;;
   --trace-only) trace_smoke ;;
+  --stream-only) stream_smoke ;;
   --tsan-only) tsan ;;
   --determinism-only) determinism ;;
   --bench-gate-only) bench_gate ;;
   --bench-update) bench_update ;;
-  all|--all) tier1; trace_smoke; determinism; tsan; bench_gate ;;
-  *) echo "usage: tools/ci.sh [--tier1-only|--trace-only|--tsan-only|--determinism-only|--bench-gate-only|--bench-update]" >&2; exit 2 ;;
+  all|--all) tier1; trace_smoke; stream_smoke; determinism; tsan; bench_gate ;;
+  *) echo "usage: tools/ci.sh [--tier1-only|--trace-only|--stream-only|--tsan-only|--determinism-only|--bench-gate-only|--bench-update]" >&2; exit 2 ;;
 esac
 echo "ci: OK"

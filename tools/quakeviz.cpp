@@ -43,6 +43,24 @@
 //            [--metrics-prom=FILE.txt]
 //       Simulation-time visualization: solver + renderer concurrently.
 //
+//   Both pipeline and insitu also accept the remote frame-delivery flags:
+//            [--stream] [--stream-bandwidth=BYTES_PER_S]
+//            [--stream-latency-ms=MS] [--stream-queue=N]
+//            [--stream-record=FILE] [--stream-fault-seed=S]
+//            [--stream-fault-up=S] [--stream-fault-down=S]
+//            [--stream-fault-factor=F]
+//       Any --stream-* flag enables the path: the output processor
+//       delta-encodes every frame and ships it over a simulated WAN link
+//       with the given bandwidth/latency (optionally with seeded outage
+//       windows), degrading gracefully under backpressure (quantization
+//       tiers, then keyframe-only, then frame drops). --stream-record
+//       writes the delivered wire frames for 'quakeviz view'.
+//
+//   quakeviz view --in=FILE [--out=DIR]
+//       Decode a --stream-record file like the remote viewer would:
+//       verify every frame (magic/CRC/delta chain), optionally write the
+//       frames as PPMs, print each frame's step/kind/tier and SHA-256.
+//
 // Unknown --options are rejected with the command's known-flag list, so a
 // typo can't silently fall back to a default.
 #include <cstdio>
@@ -61,8 +79,10 @@
 #include "metrics/report.hpp"
 #include "quake/solver.hpp"
 #include "quake/synthetic.hpp"
+#include "stream/frame_codec.hpp"
 #include "trace/analysis.hpp"
 #include "trace/trace.hpp"
+#include "util/sha256.hpp"
 
 namespace {
 
@@ -138,6 +158,54 @@ io::Variable parse_variable(const std::string& name) {
   if (name == "horizontal") return io::Variable::kHorizontal;
   std::fprintf(stderr, "unknown variable: %s\n", name.c_str());
   std::exit(2);
+}
+
+// The remote frame-delivery flags shared by `pipeline` and `insitu`. Any of
+// them enables the stream path.
+constexpr const char* kStreamFlags[] = {
+    "stream",            "stream-bandwidth",  "stream-latency-ms",
+    "stream-queue",      "stream-record",     "stream-fault-seed",
+    "stream-fault-up",   "stream-fault-down", "stream-fault-factor"};
+
+void parse_stream_flags(const Args& args, stream::StreamConfig& cfg) {
+  for (const char* f : kStreamFlags)
+    if (args.flag(f)) cfg.enabled = true;
+  if (!cfg.enabled) return;
+  cfg.bandwidth_bytes_per_s = args.real("stream-bandwidth", 8e6);
+  cfg.latency_s = args.real("stream-latency-ms", 20.0) / 1000.0;
+  cfg.controller.queue_capacity = args.num("stream-queue", 8);
+  cfg.record_path = args.str("stream-record", "");
+  if (args.flag("stream-fault-seed") || args.flag("stream-fault-down")) {
+    cfg.fault.enabled = true;
+    cfg.fault.seed = std::uint64_t(args.num("stream-fault-seed", 1));
+    cfg.fault.mean_up_seconds = args.real("stream-fault-up", 10.0);
+    cfg.fault.mean_down_seconds = args.real("stream-fault-down", 1.0);
+    cfg.fault.degraded_factor = args.real("stream-fault-factor", 0.0);
+  }
+}
+
+void print_stream_report(const stream::StreamReport& sr) {
+  std::printf(
+      "stream: %llu submitted | %llu delivered | %llu dropped | %llu "
+      "keyframes | %.2f MB | latency avg %.3f s max %.3f s | level %d "
+      "(peak %d)\n",
+      static_cast<unsigned long long>(sr.frames_submitted),
+      static_cast<unsigned long long>(sr.frames_delivered),
+      static_cast<unsigned long long>(sr.frames_dropped),
+      static_cast<unsigned long long>(sr.keyframes),
+      double(sr.bytes_out) / 1e6, sr.avg_display_latency_s,
+      sr.max_display_latency_s, sr.final_level, sr.peak_level);
+  if (sr.decode_failures > 0)
+    std::printf("stream: %llu DECODE FAILURES\n",
+                static_cast<unsigned long long>(sr.decode_failures));
+}
+
+void track_stream_report(metrics::RunReport& rr,
+                         const stream::StreamReport& sr) {
+  rr.track("stream_delivered", double(sr.frames_delivered), "frames");
+  rr.track("stream_dropped", double(sr.frames_dropped), "frames");
+  rr.track("stream_bytes_out", double(sr.bytes_out), "bytes");
+  rr.track("stream_latency_s", sr.avg_display_latency_s, "s");
 }
 
 quake::LayeredBasin default_basin(const Box3& domain) {
@@ -269,7 +337,10 @@ int cmd_pipeline(const Args& args) {
        "compositor", "recv-timeout-ms", "trace", "metrics-json",
        "metrics-prom", "fault-seed", "fault-read-rate",
        "fault-short-read-rate", "fault-corrupt-rate", "fault-lose",
-       "fault-read-delay-ms", "fault-kill-rank", "fault-kill-step"});
+       "fault-read-delay-ms", "fault-kill-rank", "fault-kill-step",
+       "stream", "stream-bandwidth", "stream-latency-ms", "stream-queue",
+       "stream-record", "stream-fault-seed", "stream-fault-up",
+       "stream-fault-down", "stream-fault-factor"});
   core::PipelineConfig cfg;
   cfg.dataset_dir = args.require("dataset");
   cfg.output_dir = args.str("out", "");
@@ -313,6 +384,8 @@ int cmd_pipeline(const Args& args) {
     std::fprintf(stderr, "unknown compositor: %s\n", compositor.c_str());
     return 2;
   }
+
+  parse_stream_flags(args, cfg.stream);
 
   // Fault injection: any --fault-* option installs a seeded plan.
   cfg.recv_timeout_ms = args.num("recv-timeout-ms", 0);
@@ -378,6 +451,7 @@ int cmd_pipeline(const Args& args) {
     rr.track("composite_s", report.avg_composite, "s");
     rr.track("composite_bytes", double(report.composite_bytes), "bytes");
     rr.track("block_bytes_sent", double(report.block_bytes_sent), "bytes");
+    if (cfg.stream.enabled) track_stream_report(rr, report.stream);
     rr.snapshot = metrics::collect();
     metrics::disable();
     if (!metrics_json.empty() && !metrics::write_json_file(metrics_json, rr))
@@ -392,6 +466,7 @@ int cmd_pipeline(const Args& args) {
   }
   std::printf("frames: %d  interframe %.4f s\n", report.steps,
               report.avg_interframe);
+  if (cfg.stream.enabled) print_stream_report(report.stream);
   std::printf("per step: fetch %.4f s | preprocess %.4f s | send %.4f s | "
               "render %.4f s | composite %.4f s (%.2f MB exchanged)\n",
               report.avg_fetch, report.avg_preprocess, report.avg_send,
@@ -419,7 +494,11 @@ int cmd_insitu(const Args& args) {
   args.allow_only("insitu",
                   {"out", "snapshots", "renderers", "render-threads", "width",
                    "height", "vmax",
-                   "orbit", "trace", "metrics-json", "metrics-prom"});
+                   "orbit", "trace", "metrics-json", "metrics-prom",
+                   "stream", "stream-bandwidth", "stream-latency-ms",
+                   "stream-queue", "stream-record", "stream-fault-seed",
+                   "stream-fault-up", "stream-fault-down",
+                   "stream-fault-factor"});
   core::InsituConfig cfg;
   cfg.basin = default_basin(cfg.domain);
   cfg.source.position = {1000, 1000, 1400};
@@ -436,6 +515,7 @@ int cmd_insitu(const Args& args) {
   cfg.output_dir = args.str("out", "");
   if (!cfg.output_dir.empty())
     std::filesystem::create_directories(cfg.output_dir);
+  parse_stream_flags(args, cfg.stream);
   const std::string trace_path = args.str("trace", "");
   const std::string metrics_json = args.str("metrics-json", "");
   const std::string metrics_prom = args.str("metrics-prom", "");
@@ -460,6 +540,7 @@ int cmd_insitu(const Args& args) {
     rr.track("sim_s", report.sim_seconds, "s");
     rr.track("frame_s",
              report.snapshots > 0 ? frame_total / report.snapshots : 0.0, "s");
+    if (cfg.stream.enabled) track_stream_report(rr, report.stream);
     rr.snapshot = metrics::collect();
     metrics::disable();
     if (!metrics_json.empty() && !metrics::write_json_file(metrics_json, rr))
@@ -474,12 +555,54 @@ int cmd_insitu(const Args& args) {
   }
   std::printf("simulated %.1f s in %.2f s; %d frames\n",
               report.sim_time_reached, report.sim_seconds, report.snapshots);
+  if (cfg.stream.enabled) print_stream_report(report.stream);
   return 0;
+}
+
+// The remote viewer, offline: replay a --stream-record file through the
+// same FrameDecoder the in-process viewer uses. Frames are written under
+// their step number (frame_%04d.ppm) so a delivered frame lands on the
+// same name the output processor used locally — `cmp` does the rest.
+int cmd_view(const Args& args) {
+  args.allow_only("view", {"in", "out"});
+  const std::string in = args.require("in");
+  const std::string out = args.str("out", "");
+  if (!out.empty()) std::filesystem::create_directories(out);
+  auto frames = stream::read_record_file(in);
+  if (!frames) {
+    std::fprintf(stderr, "cannot read stream record %s\n", in.c_str());
+    return 1;
+  }
+  stream::FrameDecoder dec;
+  int failures = 0;
+  for (const auto& wire : *frames) {
+    auto f = dec.decode(wire);
+    if (!f) {
+      std::fprintf(stderr, "decode failure (%zu wire bytes)\n", wire.size());
+      ++failures;
+      continue;
+    }
+    std::string sha = util::Sha256::hex(f->image.data(), f->image.byte_count());
+    std::printf("step %4d  %s tier %d  %4dx%-4d  sha256 %s\n", f->step,
+                f->kind == stream::FrameKind::kKey ? "key  " : "delta",
+                f->tier, f->image.width(), f->image.height(), sha.c_str());
+    if (!out.empty()) {
+      char name[64];
+      std::snprintf(name, sizeof(name), "/frame_%04d.ppm", f->step);
+      if (!img::write_ppm(out + name, f->image)) {
+        std::fprintf(stderr, "cannot write %s%s\n", out.c_str(), name);
+        return 1;
+      }
+    }
+  }
+  std::printf("viewed %zu frames, %d decode failures\n", frames->size(),
+              failures);
+  return failures == 0 ? 0 : 1;
 }
 
 void usage() {
   std::fprintf(stderr,
-               "usage: quakeviz <generate|info|render|pipeline|insitu> "
+               "usage: quakeviz <generate|info|render|pipeline|insitu|view> "
                "[--key=value ...]\n"
                "see the header of tools/quakeviz.cpp for every option\n");
 }
@@ -499,6 +622,7 @@ int main(int argc, char** argv) {
     if (cmd == "render") return cmd_render(args);
     if (cmd == "pipeline") return cmd_pipeline(args);
     if (cmd == "insitu") return cmd_insitu(args);
+    if (cmd == "view") return cmd_view(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
