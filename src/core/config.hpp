@@ -10,6 +10,7 @@
 #include "io/retry.hpp"
 #include "octree/blocks.hpp"
 #include "render/raycast.hpp"
+#include "stream/server.hpp"
 #include "stream/session.hpp"
 #include "vmpi/fault.hpp"
 
@@ -88,6 +89,13 @@ struct PipelineConfig {
   // encodes every finished frame and ships it over the simulated WAN link
   // (delta coding + backpressure-driven degradation; see src/stream).
   stream::StreamConfig stream;
+
+  // Multi-viewer fan-out: when serve.enabled, the output processor runs a
+  // DeliveryServer and every finished frame is offered to serve.count
+  // simulated clients (shared encoding, per-client links and budgets; see
+  // src/stream/server.hpp). Independent of — and composable with — the
+  // single-session `stream` path above.
+  stream::ServeFleetConfig serve;
 
   // --- robustness ---------------------------------------------------------
   // Deterministic fault injection (tests/benches); null = no faults and

@@ -202,6 +202,11 @@ void run_output(Shared& sh, const Setup&, vmpi::Comm& world) {
   std::optional<stream::StreamSession> session;
   if (cfg.stream.enabled)
     session.emplace(cfg.stream, cfg.width, cfg.height);
+  std::optional<stream::DeliveryServer> server;
+  if (cfg.serve.enabled && cfg.serve.count > 0) {
+    server.emplace(cfg.serve.server, cfg.width, cfg.height);
+    for (const auto& lc : stream::make_fleet(cfg.serve)) server->join(0.0, lc);
+  }
   for (int snap = 0; snap < cfg.snapshots; ++snap) {
     std::vector<std::uint8_t> msg;
     {
@@ -215,7 +220,7 @@ void run_output(Shared& sh, const Setup&, vmpi::Comm& world) {
     std::memcpy(frame.pixels().data(), view->pixels.data(),
                 view->pixels.size_bytes());
     frame_seconds.push_back(clock.seconds());
-    if (!cfg.output_dir.empty() || session) {
+    if (!cfg.output_dir.empty() || session || server) {
       img::Image8 out8 = img::to_8bit(frame, {0.02f, 0.02f, 0.05f});
       if (!cfg.output_dir.empty()) {
         char name[64];
@@ -223,6 +228,7 @@ void run_output(Shared& sh, const Setup&, vmpi::Comm& world) {
         img::write_ppm(cfg.output_dir + name, out8);
       }
       if (session) session->submit(clock.seconds(), snap, out8);
+      if (server) server->submit(clock.seconds(), snap, out8);
     }
     if (sh.frames_out) sh.frames_out->push_back(std::move(frame));
   }
@@ -230,6 +236,7 @@ void run_output(Shared& sh, const Setup&, vmpi::Comm& world) {
   sh.report.frame_seconds = std::move(frame_seconds);
   sh.report.snapshots = cfg.snapshots;
   if (session) sh.report.stream = session->finish();
+  if (server) sh.report.server = server->finish();
 }
 
 }  // namespace

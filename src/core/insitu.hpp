@@ -51,6 +51,9 @@ struct InsituConfig {
   // "monitor the simulation from afar" half of the paper's §7 goal.
   stream::StreamConfig stream;
 
+  // Multi-viewer fan-out (see PipelineConfig::serve).
+  stream::ServeFleetConfig serve;
+
   int world_size() const { return sim_procs + render_procs + 1; }
 };
 
@@ -62,6 +65,9 @@ struct InsituReport {
 
   // Remote frame delivery (all zero unless config.stream.enabled).
   stream::StreamReport stream;
+
+  // Multi-viewer fan-out (empty unless config.serve.enabled).
+  stream::ServerReport server;
 };
 
 // Runs solver + renderers + output concurrently in-process. When

@@ -1137,6 +1137,11 @@ void run_output(Shared& sh, const Setup& st, vmpi::Comm& world) {
   std::optional<stream::StreamSession> session;
   if (cfg.stream.enabled)
     session.emplace(cfg.stream, cfg.width, cfg.height);
+  std::optional<stream::DeliveryServer> server;
+  if (cfg.serve.enabled && cfg.serve.count > 0) {
+    server.emplace(cfg.serve.server, cfg.width, cfg.height);
+    for (const auto& lc : stream::make_fleet(cfg.serve)) server->join(0.0, lc);
+  }
   for (int s = 0; s < st.num_steps; ++s) {
     std::vector<std::uint8_t> msg;
     {
@@ -1171,8 +1176,8 @@ void run_output(Shared& sh, const Setup& st, vmpi::Comm& world) {
     }
     frame_seconds.push_back(clock.seconds());
 
-    if (!cfg.output_dir.empty() || session) {
-      // One tone-mapping for both sinks: the streamed frame is bit-identical
+    if (!cfg.output_dir.empty() || session || server) {
+      // One tone-mapping for every sink: the streamed frame is bit-identical
       // to the PPM the output processor writes (the delivery determinism
       // tests pin this with SHA-256).
       img::Image8 out8 = img::to_8bit(frame, {0.02f, 0.02f, 0.05f});
@@ -1182,6 +1187,7 @@ void run_output(Shared& sh, const Setup& st, vmpi::Comm& world) {
         img::write_ppm(cfg.output_dir + name, out8);
       }
       if (session) session->submit(clock.seconds(), s, out8);
+      if (server) server->submit(clock.seconds(), s, out8);
     }
     if (sh.frames_out) sh.frames_out->push_back(std::move(frame));
   }
@@ -1190,6 +1196,7 @@ void run_output(Shared& sh, const Setup& st, vmpi::Comm& world) {
   sh.report.frame_seconds = std::move(frame_seconds);
   sh.report.degraded_steps = std::move(degraded_steps);
   if (session) sh.report.stream = session->finish();
+  if (server) sh.report.server = server->finish();
 }
 
 }  // namespace

@@ -74,6 +74,9 @@ struct PipelineReport {
 
   // Remote frame delivery (all zero unless config.stream.enabled).
   stream::StreamReport stream;
+
+  // Multi-viewer fan-out (empty unless config.serve.enabled).
+  stream::ServerReport server;
 };
 
 // Run the full pipeline in-process (spawns config.world_size() vmpi ranks).

@@ -1,0 +1,212 @@
+#include "stream/chaos.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/rng.hpp"
+#include "util/sha256.hpp"
+
+namespace qv::stream {
+
+namespace {
+
+// Per-category seed derivation: every behavioral class (and every client
+// within it) gets an independent stream, so population sizes never shift
+// another category's plan — the isolation invariant depends on this.
+enum : std::uint64_t {
+  kTagFrame = 0x66726d65,    // "frme"
+  kTagSlow = 0x736c6f77,     // "slow"
+  kTagFlap = 0x666c6170,     // "flap"
+  kTagChurn = 0x6368726e,    // "chrn"
+  kTagRejoin = 0x72656a6e,   // "rejn"
+};
+
+std::uint64_t derive(std::uint64_t seed, std::uint64_t tag, std::uint64_t i) {
+  std::uint64_t s = seed ^ (tag * 0x9e3779b97f4a7c15ULL) ^
+                    (i * 0xbf58476d1ce4e5b9ULL);
+  return splitmix64(s);
+}
+
+template <typename T>
+void put(util::Sha256& h, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  h.update(&v, sizeof(v));
+}
+
+}  // namespace
+
+img::Image8 chaos_frame(int width, int height, std::uint64_t seed, int step) {
+  img::Image8 f(width, height);
+  // Sliding integer pattern: deltas between consecutive steps are small and
+  // structured (RLE-friendly) but never empty.
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const int r = (x * 5 + y * 3 + step * 11) & 0xFF;
+      const int g = ((x ^ y) + step * 7) & 0xFF;
+      const int b = (x * x + y + step * 4) & 0xFF;
+      f.set(x, y, std::uint8_t(r), std::uint8_t(g), std::uint8_t(b));
+    }
+  }
+  // Seeded sparse blocks so content (and therefore wire sizes) depend on the
+  // scenario seed, not just the step counter.
+  Rng rng(derive(seed, kTagFrame, std::uint64_t(step)));
+  for (int k = 0; k < 8; ++k) {
+    const int bx = int(rng.next_below(std::uint64_t(std::max(width - 4, 1))));
+    const int by = int(rng.next_below(std::uint64_t(std::max(height - 4, 1))));
+    const std::uint8_t v = std::uint8_t(rng.next_below(256));
+    for (int dy = 0; dy < 4 && by + dy < height; ++dy)
+      for (int dx = 0; dx < 4 && bx + dx < width; ++dx)
+        f.set(bx + dx, by + dy, v, std::uint8_t(255 - v), v);
+  }
+  return f;
+}
+
+ChaosResult run_chaos(const ChaosConfig& cfg) {
+  ChaosResult out;
+  DeliveryServer server(cfg.server, cfg.width, cfg.height);
+
+  struct Tracked {
+    int id = -1;
+    ClientLinkConfig link;
+    bool want_connected = true;  // false between a planned leave and rejoin
+    int leave_step = -1;         // churners only
+    int rejoin_step = -1;        // churner rejoin or post-evict reconnect
+  };
+  std::vector<Tracked> tracked;
+
+  // Fast: high bandwidth, stable, connected for the whole run. Joined first
+  // so their ids are 0..fast-1 in every scenario that includes them.
+  for (int i = 0; i < cfg.population.fast; ++i) {
+    Tracked t;
+    t.link.bandwidth_bytes_per_s = 8e6;
+    t.link.latency_s = 0.02;
+    t.id = server.join(0.0, t.link);
+    out.fast_ids.push_back(t.id);
+    tracked.push_back(t);
+  }
+  // Slow: starved links, log-spread so some merely degrade and some force
+  // budget drops.
+  for (int i = 0; i < cfg.population.slow; ++i) {
+    Tracked t;
+    Rng rng(derive(cfg.seed, kTagSlow, std::uint64_t(i)));
+    t.link.bandwidth_bytes_per_s = 3e4 * std::pow(10.0, rng.next_double());
+    t.link.latency_s = 0.08;
+    t.id = server.join(0.0, t.link);
+    tracked.push_back(t);
+  }
+  // Flappers: seeded blackout windows; long stalls run into the evict
+  // timeout and exercise the evict -> reconnect -> keyframe path.
+  for (int i = 0; i < cfg.population.flappers; ++i) {
+    Tracked t;
+    t.link.bandwidth_bytes_per_s = 1e6;
+    t.link.latency_s = 0.03;
+    t.link.fault.enabled = true;
+    t.link.fault.seed = derive(cfg.seed, kTagFlap, std::uint64_t(i));
+    t.link.fault.mean_up_seconds = 1.5;
+    t.link.fault.mean_down_seconds = 0.8;
+    t.link.fault.degraded_factor = 0.0;
+    t.id = server.join(0.0, t.link);
+    tracked.push_back(t);
+  }
+  // Churners: leave mid-stream, rejoin a few frames later.
+  for (int i = 0; i < cfg.population.churners; ++i) {
+    Tracked t;
+    Rng rng(derive(cfg.seed, kTagChurn, std::uint64_t(i)));
+    t.link.bandwidth_bytes_per_s = 2e6;
+    t.link.latency_s = 0.03;
+    const int lo = std::max(cfg.steps / 4, 1);
+    const int span = std::max(cfg.steps / 4, 1);
+    t.leave_step = lo + int(rng.next_below(std::uint64_t(span)));
+    t.rejoin_step = t.leave_step + 2 + int(rng.next_below(4));
+    t.id = server.join(0.0, t.link);
+    tracked.push_back(t);
+  }
+
+  for (int step = 0; step < cfg.steps; ++step) {
+    const double now = step * cfg.frame_interval_s;
+    for (auto& t : tracked) {
+      if (t.leave_step == step && t.want_connected) {
+        server.leave(now, t.id);
+        t.want_connected = false;
+      }
+      if (!t.want_connected && t.rejoin_step >= 0 && t.rejoin_step <= step &&
+          !server.client(t.id).connected) {
+        server.reconnect(now, t.id, t.link);
+        t.want_connected = true;
+        t.rejoin_step = -1;
+      }
+    }
+    server.submit(now, step, chaos_frame(cfg.width, cfg.height, cfg.seed, step));
+    // A client the server evicted comes back a few frames later on the same
+    // link profile (its outage schedule re-derives from the same seed).
+    for (auto& t : tracked) {
+      if (t.want_connected && !server.client(t.id).connected) {
+        t.want_connected = false;
+        t.rejoin_step = step + 2 +
+                        int(derive(cfg.seed, kTagRejoin,
+                                   std::uint64_t(t.id) * 131 +
+                                       std::uint64_t(step)) %
+                            4);
+      }
+    }
+  }
+  out.report = server.finish();
+
+  // --- digest: the run, as every client experienced it -----------------------
+  util::Sha256 h;
+  for (const auto& c : out.report.clients) {
+    put(h, std::int32_t(c.id));
+    put(h, std::uint8_t(c.evicted));
+    put(h, c.frames_sent);
+    put(h, c.frames_dropped);
+    put(h, c.keyframes_sent);
+    put(h, std::uint64_t(c.deliveries.size()));
+    for (const auto& d : c.deliveries) {
+      put(h, std::int32_t(d.step));
+      put(h, std::int32_t(d.tier));
+      put(h, std::uint8_t(d.keyframe));
+      put(h, d.bytes);
+      std::uint64_t bits;
+      std::memcpy(&bits, &d.latency_s, sizeof(bits));
+      put(h, bits);
+    }
+  }
+  const auto digest = h.digest();
+  out.digest = util::Sha256::hex(digest.data(), digest.size());
+
+  // --- invariants -------------------------------------------------------------
+  if (out.report.decode_failures != 0) {
+    out.all_decoded = false;
+    out.failures.push_back("decode failures: " +
+                           std::to_string(out.report.decode_failures));
+  }
+  for (const auto& c : out.report.clients) {
+    if (!c.rejoin_keyframe_ok) {
+      out.rejoin_keyframes_ok = false;
+      out.failures.push_back("client " + std::to_string(c.id) +
+                             ": first frame after a (re)join was not a keyframe");
+    }
+    if (c.peak_queue_bytes > cfg.server.queue_budget_bytes) {
+      out.queue_budget_ok = false;
+      out.failures.push_back(
+          "client " + std::to_string(c.id) + ": peak queue " +
+          std::to_string(c.peak_queue_bytes) + " bytes exceeds budget " +
+          std::to_string(cfg.server.queue_budget_bytes));
+    }
+  }
+
+  std::vector<double> fast_lat;
+  for (int id : out.fast_ids) {
+    const auto& c = out.report.clients[std::size_t(id)];
+    for (const auto& d : c.deliveries) fast_lat.push_back(d.latency_s);
+  }
+  if (!fast_lat.empty()) {
+    std::sort(fast_lat.begin(), fast_lat.end());
+    const std::size_t idx = (fast_lat.size() * 95 + 99) / 100;
+    out.fast_p95_s = fast_lat[idx - 1];
+  }
+  return out;
+}
+
+}  // namespace qv::stream

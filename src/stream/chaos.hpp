@@ -1,0 +1,71 @@
+// Seeded churn chaos harness for the delivery server.
+//
+// Builds a mixed client population — fast stable viewers, bandwidth-starved
+// stragglers, flappers with seeded outage windows, and churners that leave
+// and rejoin mid-stream — runs a synthetic frame sequence through a
+// DeliveryServer in virtual time, and checks the server's structural
+// invariants from the outside:
+//
+//   * every delivered frame decodes (no corrupt delta chains, ever);
+//   * every client's first frame after a (re)join is a keyframe;
+//   * no client's queued bytes ever exceed the configured budget;
+//   * fast-client tail latency is independent of how many slow or flapping
+//     clients share the server (isolation);
+//   * the whole run is bit-deterministic per seed (SHA-256 digest over the
+//     per-client delivery logs).
+//
+// Everything derives from ChaosConfig::seed with per-category independent
+// seeds, so adding slow clients cannot perturb the fast clients' plans —
+// which is what makes the isolation invariant testable as an equality.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stream/server.hpp"
+
+namespace qv::stream {
+
+// How many clients of each behavioral class join the run.
+struct ChaosPopulation {
+  int fast = 4;      // high bandwidth, stable, connected throughout
+  int slow = 0;      // starved links: budget drops and degradation expected
+  int flappers = 0;  // seeded outage windows; may stall into eviction
+  int churners = 0;  // leave mid-stream, rejoin a few frames later
+};
+
+struct ChaosConfig {
+  std::uint64_t seed = 1;
+  ChaosPopulation population;
+  int steps = 60;                  // frames submitted
+  double frame_interval_s = 0.1;   // server clock advance per frame
+  int width = 64;
+  int height = 48;
+  ServerConfig server;             // per-client budget, evict timeout, ...
+};
+
+struct ChaosResult {
+  ServerReport report;
+  std::string digest;        // SHA-256 hex over the per-client delivery logs
+  std::vector<int> fast_ids; // client ids of the fast population
+  double fast_p95_s = 0.0;   // p95 latency pooled over the fast clients
+  // Invariant checks; `failures` holds one line per violation (empty == pass).
+  bool all_decoded = true;
+  bool rejoin_keyframes_ok = true;
+  bool queue_budget_ok = true;
+  std::vector<std::string> failures;
+
+  bool ok() const { return failures.empty(); }
+};
+
+// Run one seeded chaos scenario to completion (pure virtual time: the only
+// nondeterminism is the seed).
+ChaosResult run_chaos(const ChaosConfig& cfg);
+
+// The synthetic frame the harness (and the server bench) submits for `step`:
+// a deterministic moving pattern with enough structure that delta frames are
+// nontrivial but compressible.
+img::Image8 chaos_frame(int width, int height, std::uint64_t seed, int step);
+
+}  // namespace qv::stream

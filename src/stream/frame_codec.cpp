@@ -3,12 +3,35 @@
 #include <algorithm>
 #include <cstring>
 #include <fstream>
+#include <stdexcept>
 
 #include "img/delta.hpp"
 #include "io/codec.hpp"
 #include "util/crc32.hpp"
 
 namespace qv::stream {
+
+std::vector<std::uint8_t> pack_frame(FrameKind kind, int tier, int step,
+                                     int base_step, int width, int height,
+                                     std::span<const std::uint8_t> raw) {
+  std::vector<std::uint8_t> wire(sizeof(FrameHeader));
+  io::rle8_encode(raw, wire);
+
+  FrameHeader h{};
+  h.magic = kFrameMagic;
+  h.version = kFrameVersion;
+  h.kind = std::uint8_t(kind);
+  h.tier = std::uint8_t(tier);
+  h.step = step;
+  h.base_step = kind == FrameKind::kKey ? -1 : base_step;
+  h.width = std::uint16_t(width);
+  h.height = std::uint16_t(height);
+  h.payload = std::uint32_t(wire.size() - sizeof(FrameHeader));
+  h.crc = util::crc32(
+      {wire.data() + sizeof(FrameHeader), wire.size() - sizeof(FrameHeader)});
+  std::memcpy(wire.data(), &h, sizeof(h));
+  return wire;
+}
 
 FrameEncoder::FrameEncoder(int width, int height)
     : w_(width), h_(height) {}
@@ -23,34 +46,99 @@ std::vector<std::uint8_t> FrameEncoder::encode(int step,
   img::quantize_tier(planes_, tier);
 
   const bool key = keyframe || ref_step_ < 0;
-  std::vector<std::uint8_t> wire(sizeof(FrameHeader));
+  std::vector<std::uint8_t> wire;
   if (key) {
-    io::rle8_encode(planes_, wire);
+    wire = pack_frame(FrameKind::kKey, tier, step, -1, w_, h_, planes_);
   } else {
     deltas_.resize(n);
     img::delta_encode(ref_, planes_, deltas_);
-    io::rle8_encode(deltas_, wire);
+    wire = pack_frame(FrameKind::kDelta, tier, step, ref_step_, w_, h_,
+                      deltas_);
   }
-
-  FrameHeader h{};
-  h.magic = kFrameMagic;
-  h.version = kFrameVersion;
-  h.kind = std::uint8_t(key ? FrameKind::kKey : FrameKind::kDelta);
-  h.tier = std::uint8_t(tier);
-  h.step = step;
-  h.base_step = key ? -1 : ref_step_;
-  h.width = std::uint16_t(w_);
-  h.height = std::uint16_t(h_);
-  h.payload = std::uint32_t(wire.size() - sizeof(FrameHeader));
-  h.crc = util::crc32(
-      {wire.data() + sizeof(FrameHeader), wire.size() - sizeof(FrameHeader)});
-  std::memcpy(wire.data(), &h, sizeof(h));
 
   // The quantized planes ARE what the viewer will reconstruct (delta is
   // exact byte arithmetic), so they become the next frame's reference.
   ref_.swap(planes_);
   ref_step_ = step;
   return wire;
+}
+
+// --- FrameEncoderBank -------------------------------------------------------
+
+FrameEncoderBank::FrameEncoderBank(int width, int height)
+    : w_(width), h_(height) {}
+
+void FrameEncoderBank::begin_step(int step, const img::Image8& frame) {
+  if (step <= step_)
+    throw std::logic_error("FrameEncoderBank: steps must increase");
+  for (auto& t : tiers_) {
+    if (t.emitted) {
+      // Whatever was handed out this step — key or delta — leaves every
+      // consumer holding these planes; they are the next delta reference.
+      t.ref.swap(t.planes);
+      t.ref_step = step_;
+    }
+    t.staged = false;
+    t.emitted = false;
+    t.key_wire.reset();
+    t.delta_wire.reset();
+  }
+  step_ = step;
+  const std::size_t n = std::size_t(w_) * h_ * 3;
+  planes0_.resize(n);
+  img::deinterleave_rgb({frame.data(), n}, planes0_);
+}
+
+int FrameEncoderBank::ref_step(int tier) const {
+  return tiers_[std::size_t(std::clamp(tier, 0, img::kMaxQuantizeTier))]
+      .ref_step;
+}
+
+FrameEncoderBank::Tier& FrameEncoderBank::stage(int tier) {
+  if (step_ < 0)
+    throw std::logic_error("FrameEncoderBank: no staged frame");
+  Tier& t = tiers_[std::size_t(tier)];
+  if (!t.staged) {
+    t.planes = planes0_;
+    img::quantize_tier(t.planes, tier);
+    t.staged = true;
+  }
+  return t;
+}
+
+std::shared_ptr<const std::vector<std::uint8_t>> FrameEncoderBank::key(
+    int tier) {
+  tier = std::clamp(tier, 0, img::kMaxQuantizeTier);
+  Tier& t = stage(tier);
+  if (!t.key_wire) {
+    t.key_wire = std::make_shared<const std::vector<std::uint8_t>>(
+        pack_frame(FrameKind::kKey, tier, step_, -1, w_, h_, t.planes));
+    ++encodes_;
+  } else {
+    ++reuses_;
+  }
+  t.emitted = true;
+  return t.key_wire;
+}
+
+std::shared_ptr<const std::vector<std::uint8_t>> FrameEncoderBank::delta(
+    int tier) {
+  tier = std::clamp(tier, 0, img::kMaxQuantizeTier);
+  Tier& t = stage(tier);
+  if (t.ref_step < 0)
+    throw std::logic_error("FrameEncoderBank: delta with no tier reference");
+  if (!t.delta_wire) {
+    scratch_.resize(t.planes.size());
+    img::delta_encode(t.ref, t.planes, scratch_);
+    t.delta_wire = std::make_shared<const std::vector<std::uint8_t>>(
+        pack_frame(FrameKind::kDelta, tier, step_, t.ref_step, w_, h_,
+                   scratch_));
+    ++encodes_;
+  } else {
+    ++reuses_;
+  }
+  t.emitted = true;
+  return t.delta_wire;
 }
 
 std::optional<DecodedFrame> FrameDecoder::decode(
@@ -120,28 +208,60 @@ bool write_record_file(const std::string& path,
     f.write(reinterpret_cast<const char*>(w.data()),
             std::streamsize(w.size()));
   }
+  // End-of-stream trailer: without it, a capture truncated at a frame
+  // boundary would be indistinguishable from a clean end.
+  std::uint32_t sentinel = kRecordEndSentinel;
+  std::uint32_t count = std::uint32_t(frames.size());
+  f.write(reinterpret_cast<const char*>(&sentinel), sizeof(sentinel));
+  f.write(reinterpret_cast<const char*>(&count), sizeof(count));
   return bool(f);
 }
 
 std::optional<std::vector<std::vector<std::uint8_t>>> read_record_file(
-    const std::string& path) {
-  std::ifstream f(path, std::ios::binary);
-  if (!f) return std::nullopt;
-  char magic[sizeof(kRecordMagic)];
-  if (!f.read(magic, sizeof(magic))) return std::nullopt;
-  if (std::memcmp(magic, kRecordMagic, sizeof(magic)) != 0)
+    const std::string& path, std::string* err) {
+  auto fail = [&](const std::string& why)
+      -> std::optional<std::vector<std::vector<std::uint8_t>>> {
+    if (err) *err = why;
     return std::nullopt;
+  };
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return fail("cannot open " + path);
+  char magic[sizeof(kRecordMagic)];
+  if (!f.read(magic, sizeof(magic)))
+    return fail("not a stream record: file shorter than the magic");
+  if (std::memcmp(magic, kRecordMagic, sizeof(magic)) != 0)
+    return fail("bad magic: not a " +
+                std::string(kRecordMagic, sizeof(kRecordMagic)) +
+                " stream record");
   std::vector<std::vector<std::uint8_t>> frames;
   for (;;) {
     std::uint32_t len;
     if (!f.read(reinterpret_cast<char*>(&len), sizeof(len))) {
-      if (f.eof() && f.gcount() == 0) break;  // clean end between frames
-      return std::nullopt;
+      // The 01 format treated EOF here as a clean end; with the trailer, any
+      // EOF before the sentinel means the capture was cut off mid-stream.
+      return fail("truncated record: capture ended after " +
+                  std::to_string(frames.size()) +
+                  " whole frames with no end-of-stream trailer");
     }
-    if (len > (1u << 30)) return std::nullopt;  // implausible entry
+    if (len == kRecordEndSentinel) {
+      std::uint32_t count;
+      if (!f.read(reinterpret_cast<char*>(&count), sizeof(count)))
+        return fail("truncated record: end-of-stream trailer cut short");
+      if (count != frames.size())
+        return fail("corrupt record: trailer counts " + std::to_string(count) +
+                    " frames, file holds " + std::to_string(frames.size()));
+      char extra;
+      if (f.read(&extra, 1))
+        return fail("corrupt record: bytes after the end-of-stream trailer");
+      break;
+    }
+    if (len > (1u << 30))
+      return fail("corrupt record: implausible frame length");
     std::vector<std::uint8_t> w(len);
     if (!f.read(reinterpret_cast<char*>(w.data()), std::streamsize(len)))
-      return std::nullopt;
+      return fail("truncated record: frame " + std::to_string(frames.size()) +
+                  " cut mid-frame (" + std::to_string(f.gcount()) + " of " +
+                  std::to_string(len) + " bytes)");
     frames.push_back(std::move(w));
   }
   return frames;

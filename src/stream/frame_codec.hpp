@@ -22,11 +22,15 @@
 // untouched — never a crash, never wrong pixels (see the codec fuzz suite).
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "img/delta.hpp"
 #include "img/image.hpp"
 
 namespace qv::stream {
@@ -52,6 +56,14 @@ struct FrameHeader {
 };
 static_assert(sizeof(FrameHeader) == 32);
 
+// Assemble a complete wire message (header + RLE payload + CRC) from raw
+// pre-RLE bytes: channel planes for a keyframe, plane deltas for a delta.
+// This is the one place frame wire bytes are built — FrameEncoder and the
+// fan-out FrameEncoderBank both call it, so their output is bit-identical.
+std::vector<std::uint8_t> pack_frame(FrameKind kind, int tier, int step,
+                                     int base_step, int width, int height,
+                                     std::span<const std::uint8_t> raw);
+
 // Stateful encoder: owns the reconstruction of the last frame it emitted.
 class FrameEncoder {
  public:
@@ -70,6 +82,57 @@ class FrameEncoder {
   std::vector<std::uint8_t> ref_;  // quantized planes of the last sent frame
   int ref_step_ = -1;
   std::vector<std::uint8_t> planes_, deltas_;  // scratch
+};
+
+// Shared encoder bank for the delivery server: one delta chain per
+// quantization tier, every (step, tier, kind) encoded at most once and the
+// wire bytes handed out as shared buffers, so a thousand clients cost one
+// encode plus per-client queue copies — never per-client encode CPU.
+//
+// Chain discipline: a tier's reference advances to step s only if a tier-t
+// wire was emitted at s (committed at the next begin_step), so delta(t)
+// always codes against the last tier-t frame any client can actually hold.
+// The server sends delta(t) only to clients whose last received step equals
+// ref_step(t); everyone else re-anchors on key(t).
+class FrameEncoderBank {
+ public:
+  FrameEncoderBank(int width, int height);
+
+  // Stage the frame for `step` (strictly increasing); commits the previous
+  // step's emitted planes as each tier's delta reference and clears the
+  // per-step wire cache.
+  void begin_step(int step, const img::Image8& frame);
+
+  int step() const { return step_; }
+  // The step tier t's delta chain references; -1 until a tier-t frame has
+  // been emitted (only keyframes are possible then).
+  int ref_step(int tier) const;
+
+  // Wire bytes for the staged step, encoded on first demand and cached for
+  // the rest of the step. `delta` requires ref_step(tier) >= 0.
+  std::shared_ptr<const std::vector<std::uint8_t>> key(int tier);
+  std::shared_ptr<const std::vector<std::uint8_t>> delta(int tier);
+
+  std::uint64_t encodes() const { return encodes_; }  // actual encode work
+  std::uint64_t reuses() const { return reuses_; }    // served from cache
+
+ private:
+  struct Tier {
+    std::vector<std::uint8_t> ref;     // planes of the last emitted step
+    int ref_step = -1;
+    std::vector<std::uint8_t> planes;  // staged quantized planes
+    bool staged = false;               // planes valid for the current step
+    bool emitted = false;              // some wire was produced this step
+    std::shared_ptr<const std::vector<std::uint8_t>> key_wire, delta_wire;
+  };
+  Tier& stage(int tier);
+
+  int w_, h_;
+  int step_ = -1;
+  std::vector<std::uint8_t> planes0_;  // unquantized planes of staged frame
+  std::vector<std::uint8_t> scratch_;  // delta scratch
+  std::array<Tier, img::kMaxQuantizeTier + 1> tiers_;
+  std::uint64_t encodes_ = 0, reuses_ = 0;
 };
 
 struct DecodedFrame {
@@ -97,16 +160,22 @@ class FrameDecoder {
 
 // --- stream recording -------------------------------------------------------
 // On-disk format consumed by `quakeviz view`: an 8-byte magic followed by
-// length-prefixed wire frames in delivery order.
-inline constexpr char kRecordMagic[8] = {'Q', 'V', 'S', 'T', 'R', 'M', '0', '1'};
+// length-prefixed wire frames in delivery order, closed by an end-of-stream
+// trailer (a sentinel length + the frame count). The trailer is what makes
+// EVERY truncation detectable: a capture cut mid-frame fails the entry read,
+// and one cut exactly at a frame boundary — indistinguishable from a clean
+// end in the 01 format — now fails the missing-trailer check.
+inline constexpr char kRecordMagic[8] = {'Q', 'V', 'S', 'T', 'R', 'M', '0', '2'};
+inline constexpr std::uint32_t kRecordEndSentinel = 0xFFFFFFFFu;
 
 // Write `frames` (wire messages) to `path`. Returns false on I/O failure.
 bool write_record_file(const std::string& path,
                        std::span<const std::vector<std::uint8_t>> frames);
 
 // Read a record file back into wire messages; nullopt on a missing file,
-// bad magic, or a truncated entry.
+// bad magic, a truncated entry, or a missing/inconsistent trailer. When
+// `err` is non-null it receives a one-line human-readable cause.
 std::optional<std::vector<std::vector<std::uint8_t>>> read_record_file(
-    const std::string& path);
+    const std::string& path, std::string* err = nullptr);
 
 }  // namespace qv::stream

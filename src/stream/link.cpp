@@ -16,11 +16,13 @@ sim::Process WanLink::transmit(int step, double sent_at,
   if (cfg_.latency_s > 0.0) co_await sim::delay(engine_, cfg_.latency_s);
   ready_.push_back({step, sent_at, engine_.now(), bytes, std::move(wire)});
   ++delivered_;
+  delivered_bytes_ += bytes;
 }
 
 void WanLink::send(double now, int step, std::vector<std::uint8_t> wire) {
   engine_.run_until(now);
   ++sent_;
+  sent_bytes_ += wire.size();
   transmit(step, engine_.now(), std::move(wire));
 }
 

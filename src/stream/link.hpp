@@ -15,6 +15,7 @@
 // and bounding it is the controller's job, not the link's.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -60,6 +61,9 @@ class WanLink {
 
   // Frames sent but not yet delivered, as of the last advance.
   int in_flight() const { return sent_ - delivered_; }
+  // Queued wire bytes those frames pin (the honest per-client queue memory
+  // the delivery server's byte budget bounds).
+  std::size_t in_flight_bytes() const { return sent_bytes_ - delivered_bytes_; }
   double now() const { return engine_.now(); }
   const sim::FaultyBandwidth& faults() const { return faults_; }
 
@@ -75,6 +79,8 @@ class WanLink {
   std::vector<DeliveredFrame> ready_;
   int sent_ = 0;
   int delivered_ = 0;
+  std::size_t sent_bytes_ = 0;
+  std::size_t delivered_bytes_ = 0;
 };
 
 }  // namespace qv::stream

@@ -21,6 +21,10 @@ struct StreamMetrics {
   metrics::Histogram& queue_depth = metrics::histogram(
       "stream.queue_depth",
       metrics::HistogramSpec::fixed({0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32}));
+  // Instantaneous queued wire bytes (frames counted by queue_depth): depth
+  // alone hides how much memory a slow link pins, and the server's byte
+  // budget is stated in these units. Shared with the DeliveryServer path.
+  metrics::Gauge& queue_bytes = metrics::gauge("stream.queue_bytes");
   metrics::Histogram& display_latency = metrics::histogram(
       "stream.display_latency", metrics::HistogramSpec::duration_seconds());
   static StreamMetrics& get() {
@@ -79,6 +83,9 @@ void StreamSession::submit(double now, int step, const img::Image8& frame) {
   handle_deliveries(link_.poll(now));
 
   const int depth = link_.in_flight();
+  const std::size_t queued = link_.in_flight_bytes();
+  rep_.peak_queue_bytes = std::max(rep_.peak_queue_bytes, queued);
+  m.queue_bytes.set(double(queued));
   if (metrics::enabled()) m.queue_depth.observe(double(depth));
   Decision d = controller_.on_frame(depth);
   rep_.peak_level = std::max(rep_.peak_level, d.level);
@@ -105,10 +112,15 @@ void StreamSession::submit(double now, int step, const img::Image8& frame) {
   rep_.bytes_out += wire.size();
   m.bytes_out.add(wire.size());
   link_.send(now, step, std::move(wire));
+  // The send itself grows the queue; the peak must see it.
+  rep_.peak_queue_bytes =
+      std::max(rep_.peak_queue_bytes, link_.in_flight_bytes());
+  m.queue_bytes.set(double(link_.in_flight_bytes()));
 }
 
 StreamReport StreamSession::finish() {
   handle_deliveries(link_.drain());
+  StreamMetrics::get().queue_bytes.set(0.0);  // drained
   if (!cfg_.record_path.empty()) write_record_file(cfg_.record_path, record_);
   rep_.final_level = controller_.level();
   rep_.avg_display_latency_s =

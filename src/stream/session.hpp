@@ -56,6 +56,7 @@ struct StreamReport {
   std::uint64_t keyframes = 0;
   std::uint64_t bytes_out = 0;
   std::uint64_t decode_failures = 0;
+  std::size_t peak_queue_bytes = 0;  // most wire bytes in flight at once
   double avg_display_latency_s = 0.0;
   double max_display_latency_s = 0.0;
   int final_level = 0;

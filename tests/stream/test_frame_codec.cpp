@@ -7,8 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 
 #include "img/delta.hpp"
 #include "util/crc32.hpp"
@@ -142,6 +146,97 @@ TEST(FrameCodec, DimensionChangeMidStreamRejected) {
   ASSERT_TRUE(dec.decode(enc_a.encode(0, test_frame(16, 12, 0))).has_value());
   FrameEncoder enc_b(32, 24);
   EXPECT_FALSE(dec.decode(enc_b.encode(1, test_frame(32, 24, 1))).has_value());
+}
+
+// --- stream record files ----------------------------------------------------
+// The QVSTRM02 trailer exists so EVERY truncation is detectable — including
+// the boundary cut (file ends exactly after a whole frame) that the 01
+// format silently accepted as a clean end.
+
+class StreamRecordTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("qv_record_test." + std::to_string(::getpid()) + "." +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+                .string();
+    FrameEncoder enc(16, 12);
+    for (int s = 0; s < 3; ++s)
+      frames_.push_back(enc.encode(s, test_frame(16, 12, s)));
+    ASSERT_TRUE(write_record_file(path_, frames_));
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  void truncate_to(std::uintmax_t size) {
+    std::filesystem::resize_file(path_, size);
+  }
+  std::uintmax_t file_size() const { return std::filesystem::file_size(path_); }
+
+  std::string path_;
+  std::vector<std::vector<std::uint8_t>> frames_;
+};
+
+TEST_F(StreamRecordTest, RoundtripsThroughTheTrailer) {
+  std::string err;
+  auto got = read_record_file(path_, &err);
+  ASSERT_TRUE(got.has_value()) << err;
+  ASSERT_EQ(got->size(), frames_.size());
+  for (std::size_t i = 0; i < frames_.size(); ++i)
+    EXPECT_EQ((*got)[i], frames_[i]) << "frame " << i;
+}
+
+TEST_F(StreamRecordTest, MidFrameTruncationFailsWithClearMessage) {
+  // Cut inside the last frame's payload.
+  truncate_to(file_size() - 8 - 4 - 10);  // trailer + part of the frame
+  std::string err;
+  EXPECT_FALSE(read_record_file(path_, &err).has_value());
+  EXPECT_NE(err.find("cut mid-frame"), std::string::npos) << err;
+}
+
+TEST_F(StreamRecordTest, BoundaryTruncationFailsOnMissingTrailer) {
+  // Cut EXACTLY at a frame boundary — the case only the trailer can catch.
+  truncate_to(file_size() - 8);  // drop sentinel + count, keep every frame
+  std::string err;
+  EXPECT_FALSE(read_record_file(path_, &err).has_value());
+  EXPECT_NE(err.find("no end-of-stream trailer"), std::string::npos) << err;
+}
+
+TEST_F(StreamRecordTest, TruncatedTrailerDetected) {
+  truncate_to(file_size() - 2);  // trailer cut in half
+  std::string err;
+  EXPECT_FALSE(read_record_file(path_, &err).has_value());
+  EXPECT_NE(err.find("trailer"), std::string::npos) << err;
+}
+
+TEST_F(StreamRecordTest, TrailingGarbageDetected) {
+  std::ofstream f(path_, std::ios::binary | std::ios::app);
+  const char junk[3] = {1, 2, 3};
+  f.write(junk, sizeof(junk));
+  f.close();
+  std::string err;
+  EXPECT_FALSE(read_record_file(path_, &err).has_value());
+  EXPECT_NE(err.find("after the end-of-stream trailer"), std::string::npos)
+      << err;
+}
+
+TEST_F(StreamRecordTest, WrongMagicRejected) {
+  std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(0);
+  f.write("QVSTRM01", 8);  // the old version is not silently accepted
+  f.close();
+  std::string err;
+  EXPECT_FALSE(read_record_file(path_, &err).has_value());
+  EXPECT_NE(err.find("bad magic"), std::string::npos) << err;
+}
+
+TEST_F(StreamRecordTest, EmptyAndTinyFilesRejected) {
+  truncate_to(0);
+  std::string err;
+  EXPECT_FALSE(read_record_file(path_, &err).has_value());
+  EXPECT_FALSE(err.empty());
+  std::string err2;
+  EXPECT_FALSE(read_record_file(path_ + ".does-not-exist", &err2).has_value());
+  EXPECT_NE(err2.find("cannot open"), std::string::npos) << err2;
 }
 
 // --- fuzz wall --------------------------------------------------------------

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verification, a trace-output smoke test, a stream-delivery smoke
 # test (streamed pipeline -> viewer decode -> byte-exact frame check), a
-# ThreadSanitizer pass over the message-passing runtime and the parallel
-# renderer, a determinism/fuzz stage run under two seeds, and the
-# benchmark gate.
-# Usage: tools/ci.sh [--tier1-only|--trace-only|--stream-only|--tsan-only|
+# server churn-chaos stage run under two seeds, a ThreadSanitizer pass over
+# the message-passing runtime and the parallel renderer, a determinism/fuzz
+# stage run under two seeds, and the benchmark gate.
+# Usage: tools/ci.sh [--tier1-only|--trace-only|--stream-only|
+#                     --server-chaos-only|--tsan-only|
 #                     --determinism-only|--bench-gate-only]
 #        tools/ci.sh --bench-update    # re-baseline BENCH_*.json
 # BENCH_THRESHOLD (default 0.15) sets the gate's relative regression bound.
@@ -104,11 +105,28 @@ EOF
   fi
 }
 
+server_chaos() {
+  echo "== server chaos: delivery-server churn invariants under two seeds =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS" --target test_server test_server_chaos quakeviz
+  local seed
+  for seed in 1 2; do
+    echo "-- QV_FUZZ_SEED=$seed --"
+    QV_FUZZ_SEED=$seed ./build/tests/test_server
+    QV_FUZZ_SEED=$seed ./build/tests/test_server_chaos
+  done
+  # The CLI entry point exercises the same harness end to end, non-zero on
+  # any invariant violation.
+  ./build/tools/quakeviz serve --chaos --clients=6 --steps=40 --seed=11 \
+      >/dev/null
+  echo "server chaos: invariants held under both seeds + CLI run"
+}
+
 tsan() {
   echo "== tsan: vmpi runtime + fault layer + tracing + renderer under ThreadSanitizer =="
   cmake -B build-tsan -S . -DQV_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-tsan -j "$JOBS" --target test_vmpi test_pipeline test_trace test_metrics \
-      test_util test_render test_stream
+      test_util test_render test_stream test_server
   # TSAN_OPTIONS halt_on_error makes a data-race report a hard failure.
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_vmpi
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_pipeline \
@@ -127,12 +145,14 @@ tsan() {
   # The full streamed pipeline: render threads feeding the output rank's
   # encoder/link/viewer loop, with the race detector watching the handoff.
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_stream
+  # The delivery server and its shared encoder bank under the race detector.
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_server
 }
 
 determinism() {
   echo "== determinism/fuzz: seeded property suites under two seeds =="
   cmake -B build -S . >/dev/null
-  cmake --build build -j "$JOBS" --target test_render test_vmpi test_io test_util test_stream
+  cmake --build build -j "$JOBS" --target test_render test_vmpi test_io test_util test_stream test_server
   local seed
   for seed in 1 2; do
     echo "-- QV_FUZZ_SEED=$seed --"
@@ -141,25 +161,27 @@ determinism() {
     QV_FUZZ_SEED=$seed ./build/tests/test_vmpi --gtest_filter='CollectivesFuzz.*'
     QV_FUZZ_SEED=$seed ./build/tests/test_io --gtest_filter='Rle8Fuzz.*'
     QV_FUZZ_SEED=$seed ./build/tests/test_stream --gtest_filter='FrameCodecFuzz.*'
+    QV_FUZZ_SEED=$seed ./build/tests/test_server --gtest_filter='ControlCodecFuzz.*'
   done
   ./build/tests/test_util --gtest_filter='ThreadPool.*:Sha256.*'
 }
 
 # The tracked benches and where their committed baselines live.
-BENCH_NAMES=(pipeline io compositing stream)
+BENCH_NAMES=(pipeline io compositing stream server)
 bench_binary() {
   case "$1" in
     pipeline) echo bench_pipeline_small ;;
     io) echo bench_io_readers ;;
     compositing) echo bench_compositing ;;
     stream) echo bench_stream ;;
+    server) echo bench_server ;;
   esac
 }
 
 bench_build() {
   cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
   cmake --build build-bench -j "$JOBS" \
-      --target bench_pipeline_small bench_io_readers bench_compositing bench_stream bench_report
+      --target bench_pipeline_small bench_io_readers bench_compositing bench_stream bench_server bench_report
 }
 
 bench_gate() {
@@ -206,11 +228,12 @@ case "$MODE" in
   --tier1-only) tier1 ;;
   --trace-only) trace_smoke ;;
   --stream-only) stream_smoke ;;
+  --server-chaos-only) server_chaos ;;
   --tsan-only) tsan ;;
   --determinism-only) determinism ;;
   --bench-gate-only) bench_gate ;;
   --bench-update) bench_update ;;
-  all|--all) tier1; trace_smoke; stream_smoke; determinism; tsan; bench_gate ;;
-  *) echo "usage: tools/ci.sh [--tier1-only|--trace-only|--stream-only|--tsan-only|--determinism-only|--bench-gate-only|--bench-update]" >&2; exit 2 ;;
+  all|--all) tier1; trace_smoke; stream_smoke; server_chaos; determinism; tsan; bench_gate ;;
+  *) echo "usage: tools/ci.sh [--tier1-only|--trace-only|--stream-only|--server-chaos-only|--tsan-only|--determinism-only|--bench-gate-only|--bench-update]" >&2; exit 2 ;;
 esac
 echo "ci: OK"

@@ -56,10 +56,35 @@
 //       tiers, then keyframe-only, then frame drops). --stream-record
 //       writes the delivered wire frames for 'quakeviz view'.
 //
+//   Both also accept the multi-viewer fan-out flags:
+//            [--serve-clients=N] [--serve-bandwidth-hi=BYTES_PER_S]
+//            [--serve-bandwidth-lo=BYTES_PER_S] [--serve-latency-ms=MS]
+//            [--serve-outage-seed=S] [--serve-budget=BYTES]
+//            [--serve-evict-timeout=S]
+//       Any --serve-* flag attaches a DeliveryServer to the output
+//       processor: every finished frame is encoded once per needed tier
+//       and fanned out to N simulated clients with log-spread bandwidths
+//       (and, with an outage seed, flapping links), per-client byte
+//       budgets, and eviction of dead connections.
+//
+//   quakeviz serve [--clients=N] [--steps=N] [--seed=S] [--chaos]
+//            [--slow=N] [--flappers=N] [--churners=N] [--budget=BYTES]
+//            [--evict-timeout=S] [--width=W] [--height=H]
+//            [--metrics-json=FILE.json]
+//       Run the delivery server against a synthetic frame sequence and a
+//       simulated client fleet in pure virtual time. --chaos adds slow,
+//       flapping, and churning (leave/rejoin) populations and checks the
+//       server's invariants: every delivered frame decodes, every
+//       (re)join re-anchors on a keyframe, no client exceeds its byte
+//       budget. Prints the per-seed SHA-256 run digest; exits non-zero
+//       on any invariant violation.
+//
 //   quakeviz view --in=FILE [--out=DIR]
 //       Decode a --stream-record file like the remote viewer would:
 //       verify every frame (magic/CRC/delta chain), optionally write the
 //       frames as PPMs, print each frame's step/kind/tier and SHA-256.
+//       A truncated or corrupt capture (e.g. cut mid-frame) fails with a
+//       message saying where the file went bad.
 //
 // Unknown --options are rejected with the command's known-flag list, so a
 // typo can't silently fall back to a default.
@@ -74,6 +99,7 @@
 #include "core/insitu.hpp"
 #include "core/pipeline.hpp"
 #include "core/serial.hpp"
+#include "stream/chaos.hpp"
 #include "io/dataset.hpp"
 #include "metrics/metrics.hpp"
 #include "metrics/report.hpp"
@@ -208,6 +234,55 @@ void track_stream_report(metrics::RunReport& rr,
   rr.track("stream_latency_s", sr.avg_display_latency_s, "s");
 }
 
+// The multi-viewer fan-out flags shared by `pipeline` and `insitu`. Any of
+// them enables the delivery server.
+constexpr const char* kServeFlags[] = {
+    "serve-clients",     "serve-bandwidth-hi", "serve-bandwidth-lo",
+    "serve-latency-ms",  "serve-outage-seed",  "serve-budget",
+    "serve-evict-timeout"};
+
+void parse_serve_flags(const Args& args, stream::ServeFleetConfig& cfg) {
+  for (const char* f : kServeFlags)
+    if (args.flag(f)) cfg.enabled = true;
+  if (!cfg.enabled) return;
+  cfg.count = args.num("serve-clients", 4);
+  cfg.bandwidth_hi = args.real("serve-bandwidth-hi", 8e6);
+  cfg.bandwidth_lo = args.real("serve-bandwidth-lo", 0.0);
+  cfg.latency_s = args.real("serve-latency-ms", 20.0) / 1000.0;
+  cfg.outage_seed = std::uint64_t(args.num("serve-outage-seed", 0));
+  cfg.server.queue_budget_bytes =
+      std::size_t(args.real("serve-budget", double(1u << 20)));
+  cfg.server.evict_timeout_s = args.real("serve-evict-timeout", 10.0);
+}
+
+void print_server_report(const stream::ServerReport& sr) {
+  std::printf(
+      "serve: %d clients | %llu frames out (%llu dropped) | %.2f MB egress | "
+      "%llu encodes + %llu reused | %llu evictions, %llu reconnects\n",
+      int(sr.clients.size()), static_cast<unsigned long long>(sr.frames_sent),
+      static_cast<unsigned long long>(sr.frames_dropped),
+      double(sr.bytes_out) / 1e6, static_cast<unsigned long long>(sr.encodes),
+      static_cast<unsigned long long>(sr.encode_reuses),
+      static_cast<unsigned long long>(sr.evictions),
+      static_cast<unsigned long long>(sr.reconnects));
+  if (sr.decode_failures > 0)
+    std::printf("serve: %llu DECODE FAILURES\n",
+                static_cast<unsigned long long>(sr.decode_failures));
+}
+
+void track_server_report(metrics::RunReport& rr,
+                         const stream::ServerReport& sr) {
+  rr.track("server_clients", double(sr.clients.size()), "clients");
+  rr.track("server_frames_sent", double(sr.frames_sent), "frames");
+  rr.track("server_frames_dropped", double(sr.frames_dropped), "frames");
+  rr.track("server_bytes_out", double(sr.bytes_out), "bytes");
+  rr.track("server_encodes", double(sr.encodes), "encodes");
+  rr.track("server_encode_reuses", double(sr.encode_reuses), "encodes");
+  rr.track("server_evictions", double(sr.evictions), "evictions");
+  rr.track("server_peak_client_queue_bytes",
+           double(sr.peak_client_queue_bytes), "bytes");
+}
+
 quake::LayeredBasin default_basin(const Box3& domain) {
   quake::LayeredBasin basin;
   basin.basin_center = {domain.center().x, domain.center().y, domain.hi.z};
@@ -340,7 +415,10 @@ int cmd_pipeline(const Args& args) {
        "fault-read-delay-ms", "fault-kill-rank", "fault-kill-step",
        "stream", "stream-bandwidth", "stream-latency-ms", "stream-queue",
        "stream-record", "stream-fault-seed", "stream-fault-up",
-       "stream-fault-down", "stream-fault-factor"});
+       "stream-fault-down", "stream-fault-factor",
+       "serve-clients", "serve-bandwidth-hi", "serve-bandwidth-lo",
+       "serve-latency-ms", "serve-outage-seed", "serve-budget",
+       "serve-evict-timeout"});
   core::PipelineConfig cfg;
   cfg.dataset_dir = args.require("dataset");
   cfg.output_dir = args.str("out", "");
@@ -386,6 +464,7 @@ int cmd_pipeline(const Args& args) {
   }
 
   parse_stream_flags(args, cfg.stream);
+  parse_serve_flags(args, cfg.serve);
 
   // Fault injection: any --fault-* option installs a seeded plan.
   cfg.recv_timeout_ms = args.num("recv-timeout-ms", 0);
@@ -452,6 +531,7 @@ int cmd_pipeline(const Args& args) {
     rr.track("composite_bytes", double(report.composite_bytes), "bytes");
     rr.track("block_bytes_sent", double(report.block_bytes_sent), "bytes");
     if (cfg.stream.enabled) track_stream_report(rr, report.stream);
+    if (cfg.serve.enabled) track_server_report(rr, report.server);
     rr.snapshot = metrics::collect();
     metrics::disable();
     if (!metrics_json.empty() && !metrics::write_json_file(metrics_json, rr))
@@ -467,6 +547,7 @@ int cmd_pipeline(const Args& args) {
   std::printf("frames: %d  interframe %.4f s\n", report.steps,
               report.avg_interframe);
   if (cfg.stream.enabled) print_stream_report(report.stream);
+  if (cfg.serve.enabled) print_server_report(report.server);
   std::printf("per step: fetch %.4f s | preprocess %.4f s | send %.4f s | "
               "render %.4f s | composite %.4f s (%.2f MB exchanged)\n",
               report.avg_fetch, report.avg_preprocess, report.avg_send,
@@ -498,7 +579,10 @@ int cmd_insitu(const Args& args) {
                    "stream", "stream-bandwidth", "stream-latency-ms",
                    "stream-queue", "stream-record", "stream-fault-seed",
                    "stream-fault-up", "stream-fault-down",
-                   "stream-fault-factor"});
+                   "stream-fault-factor",
+                   "serve-clients", "serve-bandwidth-hi", "serve-bandwidth-lo",
+                   "serve-latency-ms", "serve-outage-seed", "serve-budget",
+                   "serve-evict-timeout"});
   core::InsituConfig cfg;
   cfg.basin = default_basin(cfg.domain);
   cfg.source.position = {1000, 1000, 1400};
@@ -516,6 +600,7 @@ int cmd_insitu(const Args& args) {
   if (!cfg.output_dir.empty())
     std::filesystem::create_directories(cfg.output_dir);
   parse_stream_flags(args, cfg.stream);
+  parse_serve_flags(args, cfg.serve);
   const std::string trace_path = args.str("trace", "");
   const std::string metrics_json = args.str("metrics-json", "");
   const std::string metrics_prom = args.str("metrics-prom", "");
@@ -541,6 +626,7 @@ int cmd_insitu(const Args& args) {
     rr.track("frame_s",
              report.snapshots > 0 ? frame_total / report.snapshots : 0.0, "s");
     if (cfg.stream.enabled) track_stream_report(rr, report.stream);
+    if (cfg.serve.enabled) track_server_report(rr, report.server);
     rr.snapshot = metrics::collect();
     metrics::disable();
     if (!metrics_json.empty() && !metrics::write_json_file(metrics_json, rr))
@@ -556,6 +642,62 @@ int cmd_insitu(const Args& args) {
   std::printf("simulated %.1f s in %.2f s; %d frames\n",
               report.sim_time_reached, report.sim_seconds, report.snapshots);
   if (cfg.stream.enabled) print_stream_report(report.stream);
+  if (cfg.serve.enabled) print_server_report(report.server);
+  return 0;
+}
+
+// Standalone delivery-server run against a synthetic frame sequence, in
+// pure virtual time — the chaos harness behind a command. With --chaos the
+// fleet gains slow, flapping, and churning populations and the run fails
+// (non-zero exit) if any server invariant is violated.
+int cmd_serve(const Args& args) {
+  args.allow_only("serve",
+                  {"clients", "steps", "seed", "chaos", "slow", "flappers",
+                   "churners", "budget", "evict-timeout", "width", "height",
+                   "metrics-json"});
+  stream::ChaosConfig cfg;
+  cfg.seed = std::uint64_t(args.num("seed", 1));
+  cfg.steps = args.num("steps", 60);
+  cfg.width = args.num("width", 128);
+  cfg.height = args.num("height", 96);
+  cfg.population.fast = args.num("clients", 4);
+  if (args.flag("chaos")) {
+    cfg.population.slow = args.num("slow", cfg.population.fast);
+    cfg.population.flappers = args.num("flappers", cfg.population.fast / 2 + 1);
+    cfg.population.churners = args.num("churners", cfg.population.fast / 2 + 1);
+    cfg.server.evict_timeout_s = args.real("evict-timeout", 0.5);
+  } else {
+    cfg.population.slow = args.num("slow", 0);
+    cfg.population.flappers = args.num("flappers", 0);
+    cfg.population.churners = args.num("churners", 0);
+    cfg.server.evict_timeout_s = args.real("evict-timeout", 10.0);
+  }
+  cfg.server.queue_budget_bytes =
+      std::size_t(args.real("budget", double(1u << 20)));
+  const std::string metrics_json = args.str("metrics-json", "");
+  if (!metrics_json.empty()) metrics::enable();
+
+  auto result = stream::run_chaos(cfg);
+
+  if (!metrics_json.empty()) {
+    metrics::RunReport rr;
+    rr.kind = "serve";
+    track_server_report(rr, result.report);
+    rr.track("serve_fast_p95_s", result.fast_p95_s, "s");
+    rr.snapshot = metrics::collect();
+    metrics::disable();
+    if (!metrics::write_json_file(metrics_json, rr)) return 1;
+    std::printf("metrics: run report -> %s\n", metrics_json.c_str());
+  }
+  print_server_report(result.report);
+  std::printf("serve: fast-client p95 latency %.4f s\n", result.fast_p95_s);
+  std::printf("serve: run digest %s\n", result.digest.c_str());
+  if (!result.ok()) {
+    for (const auto& f : result.failures)
+      std::fprintf(stderr, "serve: INVARIANT VIOLATION: %s\n", f.c_str());
+    return 1;
+  }
+  std::printf("serve: all invariants held\n");
   return 0;
 }
 
@@ -568,9 +710,12 @@ int cmd_view(const Args& args) {
   const std::string in = args.require("in");
   const std::string out = args.str("out", "");
   if (!out.empty()) std::filesystem::create_directories(out);
-  auto frames = stream::read_record_file(in);
+  std::string err;
+  auto frames = stream::read_record_file(in, &err);
   if (!frames) {
-    std::fprintf(stderr, "cannot read stream record %s\n", in.c_str());
+    // A capture that ends mid-frame (or lost its trailer) must fail loudly:
+    // silently viewing a prefix would hide that the recording is damaged.
+    std::fprintf(stderr, "quakeviz view: %s: %s\n", in.c_str(), err.c_str());
     return 1;
   }
   stream::FrameDecoder dec;
@@ -602,8 +747,8 @@ int cmd_view(const Args& args) {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: quakeviz <generate|info|render|pipeline|insitu|view> "
-               "[--key=value ...]\n"
+               "usage: quakeviz <generate|info|render|pipeline|insitu|serve|"
+               "view> [--key=value ...]\n"
                "see the header of tools/quakeviz.cpp for every option\n");
 }
 
@@ -622,6 +767,7 @@ int main(int argc, char** argv) {
     if (cmd == "render") return cmd_render(args);
     if (cmd == "pipeline") return cmd_pipeline(args);
     if (cmd == "insitu") return cmd_insitu(args);
+    if (cmd == "serve") return cmd_serve(args);
     if (cmd == "view") return cmd_view(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
