@@ -204,7 +204,28 @@ void run_output(Shared& sh, const Setup&, vmpi::Comm& world) {
     session.emplace(cfg.stream, cfg.width, cfg.height);
   std::optional<stream::DeliveryServer> server;
   if (cfg.serve.enabled && cfg.serve.count > 0) {
-    server.emplace(cfg.serve.server, cfg.width, cfg.height);
+    stream::ServerConfig scfg = cfg.serve.server;
+    if (cfg.serve.cache_bytes > 0) {
+      scfg.cache = std::make_shared<stream::FrameCache>(
+          stream::CacheConfig{cfg.serve.cache_bytes});
+      // Identity trust contract (stream/cache.hpp): in-situ frames are
+      // determined by the synthetic source + solver setup and the view.
+      scfg.identity.dataset_id =
+          "insitu:" + std::to_string(cfg.source.peak_freq_hz) + ":" +
+          std::to_string(cfg.source.amplitude) + ":" +
+          std::to_string(cfg.steps_per_snapshot) + ":" +
+          std::to_string(cfg.sim_procs);
+      scfg.identity.camera_hash = stream::hash64(
+          std::to_string(cfg.width) + "x" + std::to_string(cfg.height) +
+          ":orbit=" + std::to_string(cfg.orbit_deg_per_step) +
+          ":var=" + std::to_string(int(cfg.variable)));
+      scfg.identity.tf_hash = stream::hash64(
+          "cm=" + std::to_string(int(cfg.colormap)) +
+          ":lo=" + std::to_string(cfg.render.value_lo) +
+          ":hi=" + std::to_string(cfg.render.value_hi) +
+          ":light=" + std::to_string(cfg.render.lighting ? 1 : 0));
+    }
+    server.emplace(scfg, cfg.width, cfg.height);
     for (const auto& lc : stream::make_fleet(cfg.serve)) server->join(0.0, lc);
   }
   for (int snap = 0; snap < cfg.snapshots; ++snap) {

@@ -1139,7 +1139,32 @@ void run_output(Shared& sh, const Setup& st, vmpi::Comm& world) {
     session.emplace(cfg.stream, cfg.width, cfg.height);
   std::optional<stream::DeliveryServer> server;
   if (cfg.serve.enabled && cfg.serve.count > 0) {
-    server.emplace(cfg.serve.server, cfg.width, cfg.height);
+    stream::ServerConfig scfg = cfg.serve.server;
+    if (cfg.serve.cache_bytes > 0) {
+      scfg.cache = std::make_shared<stream::FrameCache>(
+          stream::CacheConfig{cfg.serve.cache_bytes});
+      // The cache trust contract (stream/cache.hpp): the identity must
+      // cover every run-scoped input that affects the rendered pixels.
+      // render_threads is deliberately absent — intra-rank parallelism is
+      // bit-exact by construction (test_render_determinism pins it).
+      scfg.identity.dataset_id = cfg.dataset_dir;
+      scfg.identity.camera_hash = stream::hash64(
+          std::to_string(cfg.width) + "x" + std::to_string(cfg.height) +
+          ":level=" + std::to_string(cfg.adaptive_level) +
+          ":orbit=" + std::to_string(cfg.orbit_deg_per_step) +
+          ":var=" + std::to_string(int(cfg.variable)) +
+          ":enh=" + std::to_string(cfg.enhancement ? cfg.enhancement_gain
+                                                   : 0.0f) +
+          ":lic=" + std::to_string(cfg.lic_overlay ? cfg.lic_resolution : 0));
+      scfg.identity.tf_hash = stream::hash64(
+          cfg.tf_file + ":cm=" + std::to_string(int(cfg.colormap)) +
+          ":lo=" + std::to_string(cfg.render.value_lo) +
+          ":hi=" + std::to_string(cfg.render.value_hi) +
+          ":light=" + std::to_string(cfg.render.lighting ? 1 : 0) +
+          ":step=" + std::to_string(cfg.render.step_scale) +
+          ":ref=" + std::to_string(cfg.render.ref_length));
+    }
+    server.emplace(scfg, cfg.width, cfg.height);
     for (const auto& lc : stream::make_fleet(cfg.serve)) server->join(0.0, lc);
   }
   for (int s = 0; s < st.num_steps; ++s) {

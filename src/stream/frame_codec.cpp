@@ -141,6 +141,11 @@ std::shared_ptr<const std::vector<std::uint8_t>> FrameEncoderBank::delta(
   return t.delta_wire;
 }
 
+void FrameEncoderBank::note_emitted(int tier) {
+  tier = std::clamp(tier, 0, img::kMaxQuantizeTier);
+  stage(tier).emitted = true;
+}
+
 std::optional<DecodedFrame> FrameDecoder::decode(
     std::span<const std::uint8_t> wire) {
   if (wire.size() < sizeof(FrameHeader)) return std::nullopt;

@@ -113,6 +113,14 @@ class FrameEncoderBank {
   std::shared_ptr<const std::vector<std::uint8_t>> key(int tier);
   std::shared_ptr<const std::vector<std::uint8_t>> delta(int tier);
 
+  // Record that tier-t wire for the staged step reached clients WITHOUT
+  // this bank encoding it — the delivery path served byte-identical bytes
+  // from the frame cache. Stages the tier's planes (content-addressing
+  // guarantees they match what was served) and marks the tier emitted, so
+  // the delta chain advances exactly as if key()/delta() had packed them
+  // and a later delta(t) still codes against what clients actually hold.
+  void note_emitted(int tier);
+
   std::uint64_t encodes() const { return encodes_; }  // actual encode work
   std::uint64_t reuses() const { return reuses_; }    // served from cache
 

@@ -1,15 +1,27 @@
 #include "stream/link.hpp"
 
+#include <cmath>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace qv::stream {
+
+WanLinkConfig WanLink::validated(WanLinkConfig cfg) {
+  if (!(cfg.bandwidth_bytes_per_s > 0.0) ||
+      !std::isfinite(cfg.bandwidth_bytes_per_s)) {
+    throw std::invalid_argument(
+        "WanLink: bandwidth_bytes_per_s must be finite and > 0, got " +
+        std::to_string(cfg.bandwidth_bytes_per_s));
+  }
+  return cfg;
+}
 
 sim::Process WanLink::transmit(int step, double sent_at,
                                std::vector<std::uint8_t> wire) {
   const std::size_t bytes = wire.size();
   co_await conn_.acquire();
-  if (cfg_.bandwidth_bytes_per_s > 0.0)
-    co_await faults_.transfer(double(bytes));
+  co_await faults_.transfer(double(bytes));
   conn_.release();
   // Propagation happens after the connection frees: the next frame's bytes
   // can be in flight while this one crosses the last hop.

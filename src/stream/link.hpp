@@ -25,7 +25,7 @@
 namespace qv::stream {
 
 struct WanLinkConfig {
-  double bandwidth_bytes_per_s = 8e6;  // ~64 Mbit/s; <= 0 means infinite
+  double bandwidth_bytes_per_s = 8e6;  // ~64 Mbit/s; must be finite and > 0
   double latency_s = 0.02;             // one-way propagation delay
   sim::BandwidthFaultConfig fault;     // seeded outage windows (optional)
 };
@@ -41,12 +41,15 @@ struct DeliveredFrame {
 
 class WanLink {
  public:
+  // Throws std::invalid_argument when bandwidth is non-positive or
+  // non-finite. A zero/negative rate used to be accepted as "infinite",
+  // which let misconfigured benches report zero-virtual-time transfers;
+  // every link now pays for its bytes. For a practically-infinite link,
+  // pass a huge finite rate (e.g. 1e12 B/s).
   explicit WanLink(WanLinkConfig cfg)
-      : cfg_(cfg),
-        bw_(engine_, cfg.bandwidth_bytes_per_s > 0.0
-                         ? cfg.bandwidth_bytes_per_s
-                         : 1.0),
-        faults_(engine_, bw_, cfg.fault),
+      : cfg_(validated(cfg)),
+        bw_(engine_, cfg_.bandwidth_bytes_per_s),
+        faults_(engine_, bw_, cfg_.fault),
         conn_(engine_, 1) {}
 
   // Advance the link model to `now` and enqueue `wire` for transmission.
@@ -68,6 +71,8 @@ class WanLink {
   const sim::FaultyBandwidth& faults() const { return faults_; }
 
  private:
+  static WanLinkConfig validated(WanLinkConfig cfg);
+
   sim::Process transmit(int step, double sent_at,
                         std::vector<std::uint8_t> wire);
 

@@ -1,0 +1,187 @@
+#include "stream/replay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+#include "stream/chaos.hpp"
+#include "util/rng.hpp"
+#include "util/sha256.hpp"
+
+namespace qv::stream {
+
+namespace {
+
+struct ReplayMetrics {
+  metrics::Counter& requests = metrics::counter("stream.replay.requests");
+  metrics::Counter& renders = metrics::counter("stream.replay.renders");
+  metrics::Counter& served = metrics::counter("stream.replay.cache_served");
+  static ReplayMetrics& get() {
+    static ReplayMetrics m;
+    return m;
+  }
+};
+
+// Seed for the synthetic frame source. Fixed — NOT derived from cfg.seed —
+// because the cache address does not cover it: the same (step, tier) must
+// render the same pixels no matter which request trace asks for it, exactly
+// like re-visualizing a dataset already on disk.
+constexpr std::uint64_t kFrameSeed = 99;
+
+template <typename T>
+void put_pod(util::Sha256& h, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  h.update(&v, sizeof(v));
+}
+
+// Zipf(s) CDF over ranks 0..n-1: p_k proportional to 1/(k+1)^s.
+std::vector<double> zipf_cdf(int n, double s) {
+  std::vector<double> cdf(static_cast<std::size_t>(n));
+  double total = 0.0;
+  for (int k = 0; k < n; ++k) {
+    total += std::pow(double(k + 1), -s);
+    cdf[std::size_t(k)] = total;
+  }
+  for (auto& c : cdf) c /= total;
+  cdf.back() = 1.0;  // guard against accumulated rounding
+  return cdf;
+}
+
+int sample(const std::vector<double>& cdf, double u) {
+  auto it = std::upper_bound(cdf.begin(), cdf.end(), u);
+  if (it == cdf.end()) --it;
+  return int(it - cdf.begin());
+}
+
+}  // namespace
+
+ReplayReport run_replay(const ReplayConfig& cfg) {
+  if (cfg.steps <= 0 || cfg.tiers <= 0 || cfg.clients <= 0)
+    throw std::invalid_argument("run_replay: steps/tiers/clients must be > 0");
+  if (cfg.tiers > img::kMaxQuantizeTier + 1)
+    throw std::invalid_argument("run_replay: tiers exceeds quantization range");
+
+  auto& m = ReplayMetrics::get();
+  ReplayReport rep;
+  FrameCache cache(cfg.cache);
+  // One address space per dataset: anything that changed the pixels would
+  // have to change these fields (the synthetic source is pinned; see
+  // kFrameSeed above).
+  CacheIdentity identity;
+  identity.dataset_id = "replay:chaos_frame";
+  identity.camera_hash =
+      hash64(std::to_string(cfg.width) + "x" + std::to_string(cfg.height));
+  identity.tf_hash = hash64("chaos-default-tf");
+
+  std::vector<std::unique_ptr<WanLink>> links;
+  links.reserve(std::size_t(cfg.clients));
+  for (int i = 0; i < cfg.clients; ++i) {
+    WanLinkConfig lc;
+    lc.bandwidth_bytes_per_s = cfg.link.bandwidth_bytes_per_s;
+    lc.latency_s = cfg.link.latency_s;
+    lc.fault = cfg.link.fault;
+    links.push_back(std::make_unique<WanLink>(lc));
+  }
+
+  const std::vector<double> cdf = zipf_cdf(cfg.steps, cfg.zipf_s);
+  // Digest recorded at miss time, for byte-verifying later hits.
+  std::unordered_map<CacheKey, std::array<std::uint8_t, 32>, CacheKeyHash>
+      golden;
+
+  Rng rng(cfg.seed);
+  util::Sha256 log;
+  FrameEncoder encoder(cfg.width, cfg.height);
+  for (std::uint64_t i = 0; i < cfg.requests; ++i) {
+    const double now = double(i) * cfg.interval_s;
+    const int client = int(rng.next_below(std::uint64_t(cfg.clients)));
+    const int step = sample(cdf, rng.next_double());
+    const int tier = int(rng.next_below(std::uint64_t(cfg.tiers)));
+    const CacheKey key = content_address(identity, step, tier, FrameKind::kKey);
+
+    FrameCache::Wire wire = cache.get(key);
+    bool hit = wire != nullptr;
+    if (hit) {
+      ++rep.cache_served;
+      m.served.add();
+      if (cfg.verify) {
+        util::Sha256 h;
+        h.update(wire->data(), wire->size());
+        auto it = golden.find(key);
+        if (it == golden.end() || it->second != h.digest())
+          ++rep.verify_failures;
+      }
+    } else {
+      // Miss: render the frame and encode a self-contained keyframe — the
+      // only kind the cache stores (see stream/cache.hpp).
+      const img::Image8 frame =
+          chaos_frame(cfg.width, cfg.height, kFrameSeed, step);
+      auto wire_vec = encoder.encode(step, frame, tier, /*keyframe=*/true);
+      ++rep.renders;
+      m.renders.add();
+      if (cfg.verify) {
+        util::Sha256 h;
+        h.update(wire_vec.data(), wire_vec.size());
+        golden[key] = h.digest();
+      }
+      wire = std::make_shared<const std::vector<std::uint8_t>>(
+          std::move(wire_vec));
+      cache.put(key, wire);
+    }
+
+    ++rep.requests;
+    m.requests.add();
+    rep.bytes_served += wire->size();
+    put_pod(log, i);
+    put_pod(log, client);
+    put_pod(log, step);
+    put_pod(log, tier);
+    put_pod(log, std::uint8_t(hit));
+    put_pod(log, std::uint64_t(wire->size()));
+
+    links[std::size_t(client)]->send(now, step,
+                                     std::vector<std::uint8_t>(*wire));
+    for (auto& d : links[std::size_t(client)]->poll(now)) {
+      ++rep.frames_delivered;
+      put_pod(log, d.step);
+      put_pod(log, d.delivered_at);
+      put_pod(log, std::uint64_t(d.bytes));
+    }
+  }
+  for (std::size_t c = 0; c < links.size(); ++c) {
+    for (auto& d : links[c]->drain()) {
+      ++rep.frames_delivered;
+      put_pod(log, std::uint64_t(c));
+      put_pod(log, d.step);
+      put_pod(log, d.delivered_at);
+      put_pod(log, std::uint64_t(d.bytes));
+    }
+  }
+
+  rep.cache = cache.stats();
+  rep.hit_rate =
+      rep.requests ? double(rep.cache_served) / double(rep.requests) : 0.0;
+  // Compulsory-miss expectation: exact when nothing was evicted (every miss
+  // is a first touch). Catalog items are (step, tier) pairs with
+  // p = zipf(step) / tiers.
+  const double r = double(cfg.requests);
+  double expected_misses = 0.0;
+  double prev = 0.0;
+  for (int k = 0; k < cfg.steps; ++k) {
+    const double pk = cdf[std::size_t(k)] - prev;
+    prev = cdf[std::size_t(k)];
+    const double p = pk / double(cfg.tiers);
+    expected_misses += double(cfg.tiers) * (1.0 - std::pow(1.0 - p, r));
+  }
+  rep.expected_hit_rate = r > 0.0 ? 1.0 - expected_misses / r : 0.0;
+
+  const auto d = log.digest();
+  rep.digest = util::Sha256::hex(d.data(), d.size());
+  return rep;
+}
+
+}  // namespace qv::stream

@@ -1,0 +1,67 @@
+// Zipfian request-trace replayer for the content-addressed frame cache.
+//
+// Models the access pattern the cache exists for: N remote viewers scrubbing
+// through an already-computed run, with interest concentrated on a few hot
+// timesteps (the wavefront arrival, the peak shaking) — a zipf(s)
+// distribution over the catalog. Each request asks for a (timestep, tier)
+// keyframe; the harness renders + encodes ONLY on a cache miss and serves
+// the stored wire bytes on a hit, then ships the frame to the requesting
+// client over its seeded virtual-time WAN link.
+//
+// Everything derives from ReplayConfig::seed (request trace, client choice)
+// plus the fixed synthetic frame source (chaos_frame keyed by step), so two
+// runs with the same config are bit-identical — pinned by a SHA-256 digest
+// over the request log and every client's delivery log.
+//
+// Verification (on by default): at each miss the wire's SHA-256 is recorded
+// under its content address; every hit recomputes the digest of the served
+// bytes and compares. A mismatch means the cache returned bytes that are
+// not what the encoder produced for that address — the one failure a
+// content-addressed cache must never have.
+//
+// Analytics: with no capacity evictions every miss is compulsory (first
+// touch of an address), so the expected hit rate under the trace
+// distribution is exact:  E[hits]/R = 1 - sum_i (1 - (1-p_i)^R) / R.
+// The report carries that number; tests assert the measured rate matches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "stream/cache.hpp"
+#include "stream/server.hpp"
+
+namespace qv::stream {
+
+struct ReplayConfig {
+  int width = 192;
+  int height = 144;
+  int steps = 64;     // catalog: timesteps 0..steps-1
+  int tiers = 1;      // requested tiers 0..tiers-1, uniform
+  int clients = 4;    // simulated viewers
+  std::uint64_t requests = 512;
+  double zipf_s = 1.1;       // zipf exponent over the step catalog
+  std::uint64_t seed = 1;    // request trace + client choice
+  double interval_s = 0.01;  // virtual time between requests
+  bool verify = true;        // byte-verify every cache hit
+  CacheConfig cache;
+  ClientLinkConfig link;  // every client gets this link (uniform fleet)
+};
+
+struct ReplayReport {
+  std::uint64_t requests = 0;
+  std::uint64_t renders = 0;       // frames rendered + encoded (misses)
+  std::uint64_t cache_served = 0;  // frames served from the cache (hits)
+  std::uint64_t bytes_served = 0;  // wire bytes shipped to clients
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t verify_failures = 0;  // hit bytes != encoder bytes
+  double hit_rate = 0.0;           // measured: cache_served / requests
+  double expected_hit_rate = 0.0;  // analytic, compulsory misses only
+  CacheStats cache;                // final cache counters
+  std::string digest;  // SHA-256 hex over request + delivery logs
+};
+
+// Run the replay. Deterministic per config; never touches the filesystem.
+ReplayReport run_replay(const ReplayConfig& cfg);
+
+}  // namespace qv::stream

@@ -291,6 +291,19 @@ void DeliveryServer::handle_batch(Client& c,
   }
 }
 
+// Seconds of [from, to] the link's seeded outage schedule had the line down.
+// Outage windows are sorted and disjoint, so a linear scan with early exit
+// is fine at the fleet sizes the server handles.
+static double outage_overlap(const WanLink& link, double from, double to) {
+  double down = 0.0;
+  for (const auto& [start, end] : link.faults().outages()) {
+    if (start >= to) break;
+    if (end <= from) continue;
+    down += std::min(end, to) - std::max(start, from);
+  }
+  return down;
+}
+
 void DeliveryServer::service(Client& c, double now) {
   if (!c.connected || !c.link) return;
   auto delivered = c.link->poll(now);
@@ -298,8 +311,14 @@ void DeliveryServer::service(Client& c, double now) {
   handle_batch(c, std::move(delivered));
   if (c.link->in_flight() == 0) {
     c.last_progress = now;
-  } else if (now - c.last_progress > cfg_.evict_timeout_s) {
-    evict(c, now);
+  } else {
+    // A client stalled only because its seeded outage window is open is not
+    // misbehaving — the WAN is. Exempt outage time from the no-progress
+    // clock so eviction measures the client's own (lack of) throughput; a
+    // genuinely starved link still runs out the timeout.
+    const double stalled = (now - c.last_progress) -
+                           outage_overlap(*c.link, c.last_progress, now);
+    if (stalled > cfg_.evict_timeout_s) evict(c, now);
   }
 }
 
@@ -327,6 +346,34 @@ void DeliveryServer::submit(double now, int step, const img::Image8& frame) {
   const std::uint64_t encodes_before = bank_.encodes();
   const std::uint64_t reuses_before = bank_.reuses();
 
+  // Cache-aware keyframe fetch, memoized per (step, tier) so the hit/miss
+  // counters are per-frame, not per-client. Keyframes ONLY: a delta is
+  // meaningful only inside this bank's chain (see stream/cache.hpp), so the
+  // delta path below always goes straight to the bank. On a hit the bank
+  // still learns the tier was emitted, keeping later deltas decodable.
+  std::array<std::shared_ptr<const std::vector<std::uint8_t>>,
+             img::kMaxQuantizeTier + 1>
+      key_memo{};
+  auto fetch_key =
+      [&](int tier) -> std::shared_ptr<const std::vector<std::uint8_t>> {
+    if (!cfg_.cache) return bank_.key(tier);
+    tier = std::clamp(tier, 0, img::kMaxQuantizeTier);  // match bank_.key
+    auto& memo = key_memo[std::size_t(tier)];
+    if (memo) return memo;
+    const CacheKey ck =
+        content_address(cfg_.identity, step, tier, FrameKind::kKey);
+    if (auto hit = cfg_.cache->get(ck)) {
+      bank_.note_emitted(tier);
+      ++rep_.cache_hits;
+      memo = std::move(hit);
+    } else {
+      memo = bank_.key(tier);
+      cfg_.cache->put(ck, memo);
+      ++rep_.cache_misses;
+    }
+    return memo;
+  };
+
   for (auto& cp : clients_) {
     Client& c = *cp;
     service(c, now);
@@ -344,7 +391,7 @@ void DeliveryServer::submit(double now, int step, const img::Image8& frame) {
     bool drop = d.drop;
     std::shared_ptr<const std::vector<std::uint8_t>> wire;
     if (!drop) {
-      wire = key ? bank_.key(tier) : bank_.delta(tier);
+      wire = key ? fetch_key(tier) : bank_.delta(tier);
       // The byte budget is the hard isolation boundary: a client that can't
       // take this frame within budget loses THIS frame only.
       if (c.link->in_flight_bytes() + wire->size() > cfg_.queue_budget_bytes)
@@ -429,6 +476,18 @@ ServerReport DeliveryServer::finish() {
 // --- fleet helper -----------------------------------------------------------
 
 std::vector<ClientLinkConfig> make_fleet(const ServeFleetConfig& cfg) {
+  // Fail the whole fleet up front rather than letting the first WanLink
+  // constructor throw mid-join: a non-positive bandwidth here is always a
+  // misconfiguration (the old "0 means infinite" reading produced
+  // zero-virtual-time transfers that inflated bench numbers).
+  if (!(cfg.bandwidth_hi > 0.0) || !std::isfinite(cfg.bandwidth_hi))
+    throw std::invalid_argument(
+        "make_fleet: bandwidth_hi must be finite and > 0, got " +
+        std::to_string(cfg.bandwidth_hi));
+  if (cfg.bandwidth_lo < 0.0 || !std::isfinite(cfg.bandwidth_lo))
+    throw std::invalid_argument(
+        "make_fleet: bandwidth_lo must be finite and >= 0, got " +
+        std::to_string(cfg.bandwidth_lo));
   std::vector<ClientLinkConfig> fleet;
   fleet.reserve(std::size_t(std::max(cfg.count, 0)));
   for (int i = 0; i < cfg.count; ++i) {

@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "stream/cache.hpp"
 #include "stream/controller.hpp"
 #include "stream/frame_codec.hpp"
 #include "stream/link.hpp"
@@ -94,6 +95,14 @@ struct ServerConfig {
   // record (step, kind, tier, latency). The chaos invariants need it; the
   // large-fleet bench can turn it off to time the server side alone.
   bool verify_clients = true;
+  // Optional content-addressed cache of encoded keyframes, shared across
+  // servers/sessions of the same content. When set, the keyframe path
+  // consults it before the encoder bank: a hit serves the stored wire with
+  // no encode (the bank is told via note_emitted so its delta chains stay
+  // correct); a miss populates it. `identity` must cover every run-scoped
+  // input that affects pixels — see the trust contract in stream/cache.hpp.
+  std::shared_ptr<FrameCache> cache;
+  CacheIdentity identity;
 };
 
 // --- reports ----------------------------------------------------------------
@@ -135,6 +144,8 @@ struct ServerReport {
   std::uint64_t bytes_out = 0;       // aggregate egress, frames + control
   std::uint64_t encodes = 0;         // actual encode work performed
   std::uint64_t encode_reuses = 0;   // wire buffers served from the bank
+  std::uint64_t cache_hits = 0;      // keyframes served from the frame cache
+  std::uint64_t cache_misses = 0;    // keyframe lookups that had to encode
   std::uint64_t joins = 0;
   std::uint64_t leaves = 0;
   std::uint64_t evictions = 0;
@@ -212,6 +223,9 @@ struct ServeFleetConfig {
   double bandwidth_lo = 0.0;
   double latency_s = 0.02;
   std::uint64_t outage_seed = 0;
+  // > 0 installs a content-addressed keyframe cache of this byte budget on
+  // the server (the --cache-bytes flag); the pipeline fills in identity.
+  std::size_t cache_bytes = 0;
   ServerConfig server;
 };
 

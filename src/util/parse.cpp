@@ -1,0 +1,31 @@
+#include "util/parse.hpp"
+
+#include <charconv>
+#include <cmath>
+
+namespace qv::util {
+
+std::optional<long long> parse_int(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  long long v = 0;
+  const auto* first = s.data();
+  const auto* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, v, 10);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  return v;
+}
+
+std::optional<double> parse_real(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  double v = 0.0;
+  const auto* first = s.data();
+  const auto* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  // from_chars happily parses "inf" and "nan"; neither is ever a sane flag
+  // value, and ERANGE overflow ("1e999") must fail rather than saturate.
+  if (!std::isfinite(v)) return std::nullopt;
+  return v;
+}
+
+}  // namespace qv::util

@@ -1,0 +1,24 @@
+// Strict full-string numeric parsing for command-line values.
+//
+// std::atoi("abc") is 0 and std::atof("1.5x") is 1.5 — both silently, which
+// is exactly how a typo in --render-threads=abc becomes a zero-thread run
+// that "works". These helpers consume the ENTIRE input or fail: no leading
+// whitespace, no trailing junk, no empty strings, no overflow, and (for
+// reals) no inf/nan. Callers turn nullopt into a hard error that names the
+// flag, matching the CLI's strict unknown-flag policy.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace qv::util {
+
+// Base-10 signed integer. Rejects partial parses ("12x"), empty input,
+// whitespace, a lone '-', and values outside long long.
+std::optional<long long> parse_int(std::string_view s);
+
+// Floating-point in decimal or scientific notation. Rejects partial parses,
+// empty input, whitespace, and anything non-finite ("inf", "nan", "1e999").
+std::optional<double> parse_real(std::string_view s);
+
+}  // namespace qv::util

@@ -57,7 +57,12 @@ bool ThreadPool::run_one(int worker, std::uint64_t job,
     }
   }
   if (!got) return false;
+  exec_task(task, worker, fn);
+  return true;
+}
 
+void ThreadPool::exec_task(std::size_t task, int worker,
+                           const std::function<void(std::size_t, int)>* fn) {
   bool poisoned;
   {
     std::lock_guard<std::mutex> lk(error_mu_);
@@ -72,7 +77,6 @@ bool ThreadPool::run_one(int worker, std::uint64_t job,
     }
   }
   complete_one();
-  return true;
 }
 
 void ThreadPool::worker_main(int worker) {
@@ -104,6 +108,8 @@ void ThreadPool::parallel_for(
   }
 
   std::uint64_t job;
+  std::size_t first = 0;
+  bool have_first = false;
   {
     std::lock_guard<std::mutex> lk(mu_);
     job = ++job_id_;
@@ -123,10 +129,24 @@ void ThreadPool::parallel_for(
     }
     remaining_.store(n, std::memory_order_relaxed);
     job_fn_ = &fn;
+    // Reserve the caller's first owned task while the helpers are still
+    // parked (observing the new job requires mu_, which we hold): the
+    // documented contract is that the caller participates as worker 0, and
+    // on a loaded single-CPU host the helpers could otherwise drain every
+    // queue before the caller's first pop. With n >= threads the caller's
+    // chunk is non-empty, so participation is guaranteed, not just likely.
+    Queue& q0 = *queues_[0];
+    std::lock_guard<std::mutex> qlk(q0.mu);
+    if (!q0.tasks.empty()) {
+      first = q0.tasks.front();
+      q0.tasks.pop_front();
+      have_first = true;
+    }
   }
   work_cv_.notify_all();
 
   // The caller is worker 0.
+  if (have_first) exec_task(first, 0, &fn);
   while (run_one(0, job, &fn)) {
   }
   {

@@ -53,7 +53,9 @@ class ThreadPool {
   int thread_count() const { return threads_; }
 
   // Run fn(task, worker) for every task in [0, n). Blocks until all tasks
-  // completed; the calling thread participates as worker 0. The first
+  // completed; the calling thread participates as worker 0 (and is
+  // guaranteed to execute at least one task whenever n >= thread_count(),
+  // because its first task is reserved before the helpers wake). The first
   // exception thrown by a task is rethrown here after all tasks finish
   // (remaining tasks are drained without running).
   void parallel_for(std::size_t n,
@@ -75,6 +77,10 @@ class ThreadPool {
   // when no task of generation `job` is available anywhere.
   bool run_one(int worker, std::uint64_t job,
                const std::function<void(std::size_t, int)>* fn);
+  // Execute one already-popped task: skip if the job is poisoned, capture
+  // the first exception, count completion.
+  void exec_task(std::size_t task, int worker,
+                 const std::function<void(std::size_t, int)>* fn);
   void complete_one();
 
   int threads_ = 1;

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <stdexcept>
+
 namespace qv::stream {
 namespace {
 
@@ -50,7 +53,7 @@ TEST(WanLink, QueuedFramesSerializeFifo) {
 
 TEST(WanLink, LatencyOnlyLinkDeliversInOrder) {
   WanLinkConfig cfg;
-  cfg.bandwidth_bytes_per_s = 0.0;  // infinite
+  cfg.bandwidth_bytes_per_s = 1e12;  // effectively latency-only
   cfg.latency_s = 0.1;
   WanLink link(cfg);
   for (int s = 0; s < 4; ++s) link.send(0.25 * s, s, bytes(64));
@@ -60,6 +63,21 @@ TEST(WanLink, LatencyOnlyLinkDeliversInOrder) {
     EXPECT_EQ(got[std::size_t(s)].step, s);
     EXPECT_NEAR(got[std::size_t(s)].delivered_at, 0.25 * s + 0.1, 1e-9);
   }
+}
+
+TEST(WanLink, RejectsNonPositiveBandwidth) {
+  // "0 means infinite" used to be accepted, which let a mistyped bench flag
+  // run every transfer in zero virtual time and report fantasy numbers.
+  WanLinkConfig cfg;
+  cfg.bandwidth_bytes_per_s = 0.0;
+  EXPECT_THROW(WanLink{cfg}, std::invalid_argument);
+  cfg.bandwidth_bytes_per_s = -5.0;
+  EXPECT_THROW(WanLink{cfg}, std::invalid_argument);
+  cfg.bandwidth_bytes_per_s =
+      std::numeric_limits<double>::infinity();
+  EXPECT_THROW(WanLink{cfg}, std::invalid_argument);
+  cfg.bandwidth_bytes_per_s = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(WanLink{cfg}, std::invalid_argument);
 }
 
 TEST(WanLink, SeededOutagesAreDeterministic) {

@@ -280,17 +280,14 @@ TEST(DeliveryServer, GracefulLeaveDeliversQueueThenAck) {
 }
 
 TEST(DeliveryServer, StalledClientIsEvictedAndReconnectReAnchors) {
+  // A genuinely starved link — healthy line, just far too slow for the
+  // offered stream — runs out the no-progress clock and is evicted.
   ServerConfig cfg;
   cfg.evict_timeout_s = 0.3;
   DeliveryServer server(cfg, kW, kH);
-  ClientLinkConfig flaky = fast_link();
-  flaky.bandwidth_bytes_per_s = 2e5;
-  flaky.fault.enabled = true;
-  flaky.fault.seed = fuzz_seed() * 1000003 + 17;
-  flaky.fault.mean_up_seconds = 0.05;   // almost always dark
-  flaky.fault.mean_down_seconds = 50.0;
-  flaky.fault.degraded_factor = 0.0;
-  int id = server.join(0.0, flaky);
+  ClientLinkConfig starved = fast_link();
+  starved.bandwidth_bytes_per_s = 2e3;  // ~26 s per keyframe
+  int id = server.join(0.0, starved);
   int evicted_at = -1;
   for (int s = 0; s < 30; ++s) {
     server.submit(0.1 * s, s, frame_at(s));
@@ -299,7 +296,7 @@ TEST(DeliveryServer, StalledClientIsEvictedAndReconnectReAnchors) {
       break;
     }
   }
-  ASSERT_GE(evicted_at, 0) << "blackout never tripped the evict timeout";
+  ASSERT_GE(evicted_at, 0) << "starvation never tripped the evict timeout";
   EXPECT_TRUE(server.client(id).evicted);
   // The client comes back on a healthy link: fresh chain, keyframe first.
   const double t = 0.1 * (evicted_at + 1);
@@ -315,6 +312,47 @@ TEST(DeliveryServer, StalledClientIsEvictedAndReconnectReAnchors) {
   ASSERT_FALSE(c.deliveries.empty());
   // Every frame delivered after the eviction decoded against post-reconnect
   // state only (decode_failures == 0 proves no delta referenced lost state).
+}
+
+TEST(DeliveryServer, OutageStalledClientIsNotEvicted) {
+  // Regression: a client whose only problem is that its seeded WAN outage
+  // window is open used to be evicted as "no progress". Outage time is now
+  // exempt from the no-progress clock — the link is fast enough to keep up
+  // whenever the line is actually up, so this client must survive a
+  // blackout far longer than the evict timeout.
+  ServerConfig cfg;
+  cfg.evict_timeout_s = 0.3;
+  DeliveryServer server(cfg, kW, kH);
+  ClientLinkConfig flaky = fast_link();
+  flaky.fault.enabled = true;
+  flaky.fault.seed = fuzz_seed() * 1000003 + 17;
+  flaky.fault.mean_up_seconds = 0.05;   // almost always dark
+  flaky.fault.mean_down_seconds = 50.0;
+  flaky.fault.degraded_factor = 0.0;
+  int id = server.join(0.0, flaky);
+  for (int s = 0; s < 30; ++s) {
+    server.submit(0.1 * s, s, frame_at(s));
+    EXPECT_TRUE(server.client(id).connected)
+        << "outage-stalled client evicted at step " << s;
+  }
+  auto rep = server.finish();
+  EXPECT_EQ(rep.evictions, 0u);
+  EXPECT_FALSE(rep.clients[std::size_t(id)].evicted);
+}
+
+TEST(DeliveryServer, MakeFleetRejectsNonPositiveBandwidth) {
+  ServeFleetConfig cfg;
+  cfg.enabled = true;
+  cfg.count = 3;
+  cfg.bandwidth_hi = 0.0;
+  EXPECT_THROW(make_fleet(cfg), std::invalid_argument);
+  cfg.bandwidth_hi = -1.0;
+  EXPECT_THROW(make_fleet(cfg), std::invalid_argument);
+  cfg.bandwidth_hi = 8e6;
+  cfg.bandwidth_lo = -2.0;
+  EXPECT_THROW(make_fleet(cfg), std::invalid_argument);
+  cfg.bandwidth_lo = 1e5;
+  EXPECT_EQ(make_fleet(cfg).size(), 3u);
 }
 
 TEST(DeliveryServer, TierChangesAlwaysArriveAsKeyframes) {

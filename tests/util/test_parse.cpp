@@ -1,0 +1,73 @@
+// Strict numeric parsing: the helpers behind every --flag=value number in
+// the CLI tools. The invariant under test is "the whole string or nothing" —
+// the atoi/atof behavior they replace turned --render-threads=abc into a
+// silent 0.
+#include "util/parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace qv::util {
+namespace {
+
+TEST(ParseInt, AcceptsWholeStringIntegers) {
+  EXPECT_EQ(parse_int("0"), 0);
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int("-7"), -7);
+  EXPECT_EQ(parse_int("1048576"), 1048576);
+  EXPECT_EQ(parse_int("-9223372036854775808"),
+            std::numeric_limits<long long>::min());
+  EXPECT_EQ(parse_int("9223372036854775807"),
+            std::numeric_limits<long long>::max());
+}
+
+TEST(ParseInt, RejectsEverythingAtoiSilentlyZeroes) {
+  EXPECT_FALSE(parse_int("abc").has_value());
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_FALSE(parse_int("-").has_value());
+  EXPECT_FALSE(parse_int(" 1").has_value());
+  EXPECT_FALSE(parse_int("1 ").has_value());
+  EXPECT_FALSE(parse_int("12x").has_value());
+  EXPECT_FALSE(parse_int("x12").has_value());
+  EXPECT_FALSE(parse_int("1.5").has_value());
+  EXPECT_FALSE(parse_int("0x10").has_value());
+  EXPECT_FALSE(parse_int("1e3").has_value());
+}
+
+TEST(ParseInt, RejectsOverflow) {
+  EXPECT_FALSE(parse_int("9223372036854775808").has_value());
+  EXPECT_FALSE(parse_int("-9223372036854775809").has_value());
+  EXPECT_FALSE(parse_int("999999999999999999999999").has_value());
+}
+
+TEST(ParseReal, AcceptsWholeStringReals) {
+  EXPECT_EQ(parse_real("0"), 0.0);
+  EXPECT_EQ(parse_real("0.15"), 0.15);
+  EXPECT_EQ(parse_real("-2.5"), -2.5);
+  EXPECT_EQ(parse_real("1e3"), 1000.0);
+  EXPECT_EQ(parse_real("8e6"), 8e6);
+  EXPECT_EQ(parse_real("2.5E-3"), 2.5e-3);
+  EXPECT_EQ(parse_real(".5"), 0.5);
+}
+
+TEST(ParseReal, RejectsEverythingAtofSilentlyZeroesOrTruncates) {
+  EXPECT_FALSE(parse_real("abc").has_value());
+  EXPECT_FALSE(parse_real("").has_value());
+  EXPECT_FALSE(parse_real(" 1.0").has_value());
+  EXPECT_FALSE(parse_real("1.0 ").has_value());
+  EXPECT_FALSE(parse_real("1.5x").has_value());
+  EXPECT_FALSE(parse_real("1.5.2").has_value());
+  EXPECT_FALSE(parse_real("-").has_value());
+  EXPECT_FALSE(parse_real("e3").has_value());
+}
+
+TEST(ParseReal, RejectsNonFinite) {
+  EXPECT_FALSE(parse_real("inf").has_value());
+  EXPECT_FALSE(parse_real("-inf").has_value());
+  EXPECT_FALSE(parse_real("nan").has_value());
+  EXPECT_FALSE(parse_real("1e999").has_value());
+}
+
+}  // namespace
+}  // namespace qv::util

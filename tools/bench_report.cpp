@@ -18,6 +18,7 @@
 #include <string>
 
 #include "metrics/report.hpp"
+#include "util/parse.hpp"
 
 namespace {
 
@@ -43,7 +44,16 @@ int cmd_compare(int argc, char** argv) {
   }
   double threshold = 0.15;
   const std::string t = opt_value(argc, argv, "threshold");
-  if (!t.empty()) threshold = std::atof(t.c_str());
+  if (!t.empty()) {
+    auto v = qv::util::parse_real(t);
+    if (!v) {
+      std::fprintf(stderr,
+                   "invalid value for --threshold: '%s' (expected a number)\n",
+                   t.c_str());
+      return 2;
+    }
+    threshold = *v;
+  }
 
   std::string err;
   auto base = read_report_file(base_path, &err);

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Tier-1 verification, a trace-output smoke test, a stream-delivery smoke
 # test (streamed pipeline -> viewer decode -> byte-exact frame check), a
-# server churn-chaos stage run under two seeds, a ThreadSanitizer pass over
-# the message-passing runtime and the parallel renderer, a determinism/fuzz
+# server churn-chaos stage run under two seeds, a cache-replay stage
+# (zipfian replay digests bit-identical across repeat runs, two seeds, plus
+# the strict CLI parsing contract), a ThreadSanitizer pass over the
+# message-passing runtime and the parallel renderer, a determinism/fuzz
 # stage run under two seeds, and the benchmark gate.
 # Usage: tools/ci.sh [--tier1-only|--trace-only|--stream-only|
-#                     --server-chaos-only|--tsan-only|
+#                     --server-chaos-only|--cache-replay-only|--tsan-only|
 #                     --determinism-only|--bench-gate-only]
 #        tools/ci.sh --bench-update    # re-baseline BENCH_*.json
 # BENCH_THRESHOLD (default 0.15) sets the gate's relative regression bound.
@@ -122,11 +124,48 @@ server_chaos() {
   echo "server chaos: invariants held under both seeds + CLI run"
 }
 
+cache_replay() {
+  echo "== cache replay: zipfian replay digest stable across repeat runs, two seeds =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS" --target quakeviz test_cache
+  local work seed d1 d2
+  work=$(mktemp -d)
+  trap 'rm -rf "$work"' RETURN
+  for seed in 1 2; do
+    echo "-- --seed=$seed --"
+    QV_FUZZ_SEED=$seed ./build/tests/test_cache
+    # Two full replay runs per seed: every cache hit is byte-verified inside
+    # the run (non-zero exit on any mismatch) and the SHA-256 run digests
+    # must be bit-identical across runs.
+    ./build/tools/quakeviz replay --requests=800 --zipf-s=1.1 \
+        --seed="$seed" >"$work/a.txt"
+    ./build/tools/quakeviz replay --requests=800 --zipf-s=1.1 \
+        --seed="$seed" >"$work/b.txt"
+    d1=$(grep -o 'run digest [0-9a-f]*' "$work/a.txt")
+    d2=$(grep -o 'run digest [0-9a-f]*' "$work/b.txt")
+    [ -n "$d1" ] || { echo "cache replay: no digest in output" >&2; return 1; }
+    [ "$d1" = "$d2" ] \
+        || { echo "cache replay: digest mismatch at seed $seed: $d1 vs $d2" >&2
+             return 1; }
+  done
+  # The strict-parsing contract: a malformed numeric flag must exit non-zero
+  # and name the flag — never be silently read as zero.
+  if ./build/tools/quakeviz pipeline --render-threads=abc \
+      >"$work/parse.txt" 2>&1; then
+    echo "cache replay: malformed --render-threads=abc did not fail" >&2
+    return 1
+  fi
+  grep -q 'render-threads' "$work/parse.txt" \
+      || { echo "cache replay: parse error does not name the flag" >&2
+           return 1; }
+  echo "cache replay: digests stable, hits byte-verified, strict parsing enforced"
+}
+
 tsan() {
   echo "== tsan: vmpi runtime + fault layer + tracing + renderer under ThreadSanitizer =="
   cmake -B build-tsan -S . -DQV_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-tsan -j "$JOBS" --target test_vmpi test_pipeline test_trace test_metrics \
-      test_util test_render test_stream test_server
+      test_util test_render test_stream test_server test_cache
   # TSAN_OPTIONS halt_on_error makes a data-race report a hard failure.
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_vmpi
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_pipeline \
@@ -147,6 +186,8 @@ tsan() {
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_stream
   # The delivery server and its shared encoder bank under the race detector.
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_server
+  # The shared frame cache: concurrent get/put plus the replayer.
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_cache
 }
 
 determinism() {
@@ -167,7 +208,7 @@ determinism() {
 }
 
 # The tracked benches and where their committed baselines live.
-BENCH_NAMES=(pipeline io compositing stream server)
+BENCH_NAMES=(pipeline io compositing stream server cache)
 bench_binary() {
   case "$1" in
     pipeline) echo bench_pipeline_small ;;
@@ -175,13 +216,14 @@ bench_binary() {
     compositing) echo bench_compositing ;;
     stream) echo bench_stream ;;
     server) echo bench_server ;;
+    cache) echo bench_cache ;;
   esac
 }
 
 bench_build() {
   cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
   cmake --build build-bench -j "$JOBS" \
-      --target bench_pipeline_small bench_io_readers bench_compositing bench_stream bench_server bench_report
+      --target bench_pipeline_small bench_io_readers bench_compositing bench_stream bench_server bench_cache bench_report
 }
 
 bench_gate() {
@@ -229,11 +271,12 @@ case "$MODE" in
   --trace-only) trace_smoke ;;
   --stream-only) stream_smoke ;;
   --server-chaos-only) server_chaos ;;
+  --cache-replay-only) cache_replay ;;
   --tsan-only) tsan ;;
   --determinism-only) determinism ;;
   --bench-gate-only) bench_gate ;;
   --bench-update) bench_update ;;
-  all|--all) tier1; trace_smoke; stream_smoke; server_chaos; determinism; tsan; bench_gate ;;
-  *) echo "usage: tools/ci.sh [--tier1-only|--trace-only|--stream-only|--server-chaos-only|--tsan-only|--determinism-only|--bench-gate-only|--bench-update]" >&2; exit 2 ;;
+  all|--all) tier1; trace_smoke; stream_smoke; server_chaos; cache_replay; determinism; tsan; bench_gate ;;
+  *) echo "usage: tools/ci.sh [--tier1-only|--trace-only|--stream-only|--server-chaos-only|--cache-replay-only|--tsan-only|--determinism-only|--bench-gate-only|--bench-update]" >&2; exit 2 ;;
 esac
 echo "ci: OK"

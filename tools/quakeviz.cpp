@@ -60,12 +60,14 @@
 //            [--serve-clients=N] [--serve-bandwidth-hi=BYTES_PER_S]
 //            [--serve-bandwidth-lo=BYTES_PER_S] [--serve-latency-ms=MS]
 //            [--serve-outage-seed=S] [--serve-budget=BYTES]
-//            [--serve-evict-timeout=S]
+//            [--serve-evict-timeout=S] [--cache-bytes=BYTES]
 //       Any --serve-* flag attaches a DeliveryServer to the output
 //       processor: every finished frame is encoded once per needed tier
 //       and fanned out to N simulated clients with log-spread bandwidths
 //       (and, with an outage seed, flapping links), per-client byte
-//       budgets, and eviction of dead connections.
+//       budgets, and eviction of dead connections. --cache-bytes > 0 adds
+//       a content-addressed keyframe cache (LRU over the byte budget)
+//       keyed on (dataset, step, camera, transfer function, tier).
 //
 //   quakeviz serve [--clients=N] [--steps=N] [--seed=S] [--chaos]
 //            [--slow=N] [--flappers=N] [--churners=N] [--budget=BYTES]
@@ -79,6 +81,19 @@
 //       budget. Prints the per-seed SHA-256 run digest; exits non-zero
 //       on any invariant violation.
 //
+//   quakeviz replay [--requests=N] [--zipf-s=S] [--seed=S] [--clients=N]
+//            [--steps=N] [--tiers=N] [--width=W] [--height=H]
+//            [--cache-bytes=BYTES] [--bandwidth=BYTES_PER_S]
+//            [--latency-ms=MS] [--interval-ms=MS] [--no-verify]
+//            [--metrics-json=FILE.json]
+//       Drive the content-addressed frame cache with a zipfian request
+//       trace: N simulated clients request (timestep, tier) keyframes with
+//       zipf(s)-popular steps. A miss renders + encodes; a hit serves the
+//       stored wire bytes with no render, byte-verified against the
+//       encoder (exit non-zero on any mismatch). Bit-deterministic per
+//       seed; prints hit rate vs the analytic expectation and the run
+//       digest.
+//
 //   quakeviz view --in=FILE [--out=DIR]
 //       Decode a --stream-record file like the remote viewer would:
 //       verify every frame (magic/CRC/delta chain), optionally write the
@@ -88,6 +103,7 @@
 //
 // Unknown --options are rejected with the command's known-flag list, so a
 // typo can't silently fall back to a default.
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -106,8 +122,10 @@
 #include "quake/solver.hpp"
 #include "quake/synthetic.hpp"
 #include "stream/frame_codec.hpp"
+#include "stream/replay.hpp"
 #include "trace/analysis.hpp"
 #include "trace/trace.hpp"
+#include "util/parse.hpp"
 #include "util/sha256.hpp"
 
 namespace {
@@ -138,11 +156,25 @@ class Args {
   }
   int num(const std::string& key, int fallback) const {
     auto it = kv_.find(key);
-    return it == kv_.end() ? fallback : std::atoi(it->second.c_str());
+    if (it == kv_.end()) return fallback;
+    auto v = util::parse_int(it->second);
+    if (!v || *v < INT_MIN || *v > INT_MAX) {
+      std::fprintf(stderr, "invalid value for --%s: '%s' (expected an integer)\n",
+                   key.c_str(), it->second.c_str());
+      std::exit(2);
+    }
+    return int(*v);
   }
   double real(const std::string& key, double fallback) const {
     auto it = kv_.find(key);
-    return it == kv_.end() ? fallback : std::atof(it->second.c_str());
+    if (it == kv_.end()) return fallback;
+    auto v = util::parse_real(it->second);
+    if (!v) {
+      std::fprintf(stderr, "invalid value for --%s: '%s' (expected a number)\n",
+                   key.c_str(), it->second.c_str());
+      std::exit(2);
+    }
+    return *v;
   }
   bool flag(const std::string& key) const { return kv_.count(key) > 0; }
   // A typo like --metrics-jsn must not silently no-op: every command
@@ -193,11 +225,24 @@ constexpr const char* kStreamFlags[] = {
     "stream-queue",      "stream-record",     "stream-fault-seed",
     "stream-fault-up",   "stream-fault-down", "stream-fault-factor"};
 
+// Link bandwidths must be positive: WanLink rejects <= 0 (the old "0 means
+// infinite" convention produced zero-virtual-time transfers), so catch the
+// bad flag here with a message naming it instead of an uncaught throw later.
+double positive_real(const Args& args, const char* flag, double fallback) {
+  const double v = args.real(flag, fallback);
+  if (!(v > 0.0)) {
+    std::fprintf(stderr, "invalid value for --%s: %g (must be > 0)\n", flag,
+                 v);
+    std::exit(2);
+  }
+  return v;
+}
+
 void parse_stream_flags(const Args& args, stream::StreamConfig& cfg) {
   for (const char* f : kStreamFlags)
     if (args.flag(f)) cfg.enabled = true;
   if (!cfg.enabled) return;
-  cfg.bandwidth_bytes_per_s = args.real("stream-bandwidth", 8e6);
+  cfg.bandwidth_bytes_per_s = positive_real(args, "stream-bandwidth", 8e6);
   cfg.latency_s = args.real("stream-latency-ms", 20.0) / 1000.0;
   cfg.controller.queue_capacity = args.num("stream-queue", 8);
   cfg.record_path = args.str("stream-record", "");
@@ -239,20 +284,34 @@ void track_stream_report(metrics::RunReport& rr,
 constexpr const char* kServeFlags[] = {
     "serve-clients",     "serve-bandwidth-hi", "serve-bandwidth-lo",
     "serve-latency-ms",  "serve-outage-seed",  "serve-budget",
-    "serve-evict-timeout"};
+    "serve-evict-timeout", "cache-bytes"};
 
 void parse_serve_flags(const Args& args, stream::ServeFleetConfig& cfg) {
   for (const char* f : kServeFlags)
     if (args.flag(f)) cfg.enabled = true;
   if (!cfg.enabled) return;
   cfg.count = args.num("serve-clients", 4);
-  cfg.bandwidth_hi = args.real("serve-bandwidth-hi", 8e6);
+  cfg.bandwidth_hi = positive_real(args, "serve-bandwidth-hi", 8e6);
+  // 0 disables the log spread (every client at hi); negative is nonsense.
   cfg.bandwidth_lo = args.real("serve-bandwidth-lo", 0.0);
+  if (cfg.bandwidth_lo < 0.0) {
+    std::fprintf(stderr,
+                 "invalid value for --serve-bandwidth-lo: %g (must be >= 0)\n",
+                 cfg.bandwidth_lo);
+    std::exit(2);
+  }
   cfg.latency_s = args.real("serve-latency-ms", 20.0) / 1000.0;
   cfg.outage_seed = std::uint64_t(args.num("serve-outage-seed", 0));
   cfg.server.queue_budget_bytes =
       std::size_t(args.real("serve-budget", double(1u << 20)));
   cfg.server.evict_timeout_s = args.real("serve-evict-timeout", 10.0);
+  const double cache_bytes = args.real("cache-bytes", 0.0);
+  if (cache_bytes < 0.0) {
+    std::fprintf(stderr, "invalid value for --cache-bytes: %g (must be >= 0)\n",
+                 cache_bytes);
+    std::exit(2);
+  }
+  cfg.cache_bytes = std::size_t(cache_bytes);
 }
 
 void print_server_report(const stream::ServerReport& sr) {
@@ -265,6 +324,10 @@ void print_server_report(const stream::ServerReport& sr) {
       static_cast<unsigned long long>(sr.encode_reuses),
       static_cast<unsigned long long>(sr.evictions),
       static_cast<unsigned long long>(sr.reconnects));
+  if (sr.cache_hits + sr.cache_misses > 0)
+    std::printf("serve: frame cache %llu hits / %llu misses\n",
+                static_cast<unsigned long long>(sr.cache_hits),
+                static_cast<unsigned long long>(sr.cache_misses));
   if (sr.decode_failures > 0)
     std::printf("serve: %llu DECODE FAILURES\n",
                 static_cast<unsigned long long>(sr.decode_failures));
@@ -281,6 +344,8 @@ void track_server_report(metrics::RunReport& rr,
   rr.track("server_evictions", double(sr.evictions), "evictions");
   rr.track("server_peak_client_queue_bytes",
            double(sr.peak_client_queue_bytes), "bytes");
+  rr.track("server_cache_hits", double(sr.cache_hits), "frames");
+  rr.track("server_cache_misses", double(sr.cache_misses), "frames");
 }
 
 quake::LayeredBasin default_basin(const Box3& domain) {
@@ -418,9 +483,8 @@ int cmd_pipeline(const Args& args) {
        "stream-fault-down", "stream-fault-factor",
        "serve-clients", "serve-bandwidth-hi", "serve-bandwidth-lo",
        "serve-latency-ms", "serve-outage-seed", "serve-budget",
-       "serve-evict-timeout"});
+       "serve-evict-timeout", "cache-bytes"});
   core::PipelineConfig cfg;
-  cfg.dataset_dir = args.require("dataset");
   cfg.output_dir = args.str("out", "");
   if (!cfg.output_dir.empty())
     std::filesystem::create_directories(cfg.output_dir);
@@ -496,6 +560,9 @@ int cmd_pipeline(const Args& args) {
   const std::string metrics_json = args.str("metrics-json", "");
   const std::string metrics_prom = args.str("metrics-prom", "");
   const bool want_metrics = !metrics_json.empty() || !metrics_prom.empty();
+  // Required flags are checked last so a malformed value (e.g.
+  // --render-threads=abc) is diagnosed even when --dataset is absent.
+  cfg.dataset_dir = args.require("dataset");
   if (!trace_path.empty()) trace::enable();
   if (want_metrics) metrics::enable();
 
@@ -582,7 +649,7 @@ int cmd_insitu(const Args& args) {
                    "stream-fault-factor",
                    "serve-clients", "serve-bandwidth-hi", "serve-bandwidth-lo",
                    "serve-latency-ms", "serve-outage-seed", "serve-budget",
-                   "serve-evict-timeout"});
+                   "serve-evict-timeout", "cache-bytes"});
   core::InsituConfig cfg;
   cfg.basin = default_basin(cfg.domain);
   cfg.source.position = {1000, 1000, 1400};
@@ -701,6 +768,76 @@ int cmd_serve(const Args& args) {
   return 0;
 }
 
+// Zipfian request-trace replay against the content-addressed frame cache
+// (src/stream/replay.hpp): N simulated clients request (timestep, tier)
+// keyframes with zipf(s)-distributed step popularity; a miss renders +
+// encodes, a hit serves the stored wire bytes (byte-verified against the
+// encoder's output). Deterministic per seed — the digest line is stable.
+int cmd_replay(const Args& args) {
+  args.allow_only("replay",
+                  {"requests", "zipf-s", "seed", "clients", "steps", "tiers",
+                   "width", "height", "cache-bytes", "bandwidth", "latency-ms",
+                   "interval-ms", "no-verify", "metrics-json"});
+  stream::ReplayConfig cfg;
+  cfg.requests = std::uint64_t(args.num("requests", 512));
+  cfg.zipf_s = args.real("zipf-s", 1.1);
+  cfg.seed = std::uint64_t(args.num("seed", 1));
+  cfg.clients = args.num("clients", 4);
+  cfg.steps = args.num("steps", 64);
+  cfg.tiers = args.num("tiers", 1);
+  cfg.width = args.num("width", 192);
+  cfg.height = args.num("height", 144);
+  cfg.cache.capacity_bytes =
+      std::size_t(positive_real(args, "cache-bytes", double(64u << 20)));
+  cfg.link.bandwidth_bytes_per_s = positive_real(args, "bandwidth", 8e6);
+  cfg.link.latency_s = args.real("latency-ms", 20.0) / 1000.0;
+  cfg.interval_s = args.real("interval-ms", 10.0) / 1000.0;
+  cfg.verify = !args.flag("no-verify");
+  const std::string metrics_json = args.str("metrics-json", "");
+  if (!metrics_json.empty()) metrics::enable();
+
+  auto rep = stream::run_replay(cfg);
+
+  if (!metrics_json.empty()) {
+    metrics::RunReport rr;
+    rr.kind = "replay";
+    rr.track("replay_requests", double(rep.requests), "requests");
+    rr.track("replay_renders", double(rep.renders), "frames");
+    rr.track("replay_cache_served", double(rep.cache_served), "frames");
+    rr.track("replay_hit_rate", rep.hit_rate, "ratio");
+    rr.track("replay_bytes_served", double(rep.bytes_served), "bytes");
+    rr.track("cache_evictions", double(rep.cache.evictions), "evictions");
+    rr.track("cache_bytes", double(rep.cache.bytes), "bytes");
+    rr.snapshot = metrics::collect();
+    metrics::disable();
+    if (!metrics::write_json_file(metrics_json, rr)) return 1;
+    std::printf("metrics: run report -> %s\n", metrics_json.c_str());
+  }
+  std::printf(
+      "replay: %llu requests | %llu rendered | %llu cache-served | "
+      "%.2f MB shipped | %llu delivered\n",
+      static_cast<unsigned long long>(rep.requests),
+      static_cast<unsigned long long>(rep.renders),
+      static_cast<unsigned long long>(rep.cache_served),
+      double(rep.bytes_served) / 1e6,
+      static_cast<unsigned long long>(rep.frames_delivered));
+  std::printf(
+      "replay: hit rate %.4f (analytic %.4f) | cache %zu entries, %.2f MB, "
+      "%llu evictions\n",
+      rep.hit_rate, rep.expected_hit_rate, rep.cache.entries,
+      double(rep.cache.bytes) / 1e6,
+      static_cast<unsigned long long>(rep.cache.evictions));
+  std::printf("replay: run digest %s\n", rep.digest.c_str());
+  if (rep.verify_failures > 0) {
+    std::fprintf(stderr,
+                 "replay: %llu VERIFY FAILURES (cache bytes != encoder "
+                 "bytes)\n",
+                 static_cast<unsigned long long>(rep.verify_failures));
+    return 1;
+  }
+  return 0;
+}
+
 // The remote viewer, offline: replay a --stream-record file through the
 // same FrameDecoder the in-process viewer uses. Frames are written under
 // their step number (frame_%04d.ppm) so a delivered frame lands on the
@@ -748,7 +885,7 @@ int cmd_view(const Args& args) {
 void usage() {
   std::fprintf(stderr,
                "usage: quakeviz <generate|info|render|pipeline|insitu|serve|"
-               "view> [--key=value ...]\n"
+               "replay|view> [--key=value ...]\n"
                "see the header of tools/quakeviz.cpp for every option\n");
 }
 
@@ -768,6 +905,7 @@ int main(int argc, char** argv) {
     if (cmd == "pipeline") return cmd_pipeline(args);
     if (cmd == "insitu") return cmd_insitu(args);
     if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "replay") return cmd_replay(args);
     if (cmd == "view") return cmd_view(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
