@@ -116,9 +116,9 @@ int main(int argc, char** argv) {
 
   std::printf("Frame-cache zipf replay (%d-step catalog, 96x72, 4 clients, "
               "virtual-time WAN)\n\n", kSteps);
-  std::printf("%-6s %-9s %-10s %-10s %-10s %-10s %-10s %-6s\n", "s",
-              "req/step", "requests", "rendered", "served", "hit rate",
-              "analytic", "ok");
+  std::printf("%-6s %-9s %-10s %-10s %-10s %-10s %-10s %-12s %-12s %-6s\n",
+              "s", "req/step", "requests", "rendered", "served", "hit rate",
+              "analytic", "e2e p50 (s)", "e2e p95 (s)", "ok");
   int failures = 0;
   for (double s : {0.8, 1.1}) {
     for (int rps : {1, 64, 512}) {
@@ -126,11 +126,13 @@ int main(int argc, char** argv) {
       const bool ok = r.verify_failures == 0 &&
                       r.renders + r.cache_served == r.requests;
       failures += ok ? 0 : 1;
-      std::printf("%-6.1f %-9d %-10llu %-10llu %-10llu %-10.4f %-10.4f %-6s\n",
+      std::printf("%-6.1f %-9d %-10llu %-10llu %-10llu %-10.4f %-10.4f "
+                  "%-12.4f %-12.4f %-6s\n",
                   s, rps, (unsigned long long)r.requests,
                   (unsigned long long)r.renders,
                   (unsigned long long)r.cache_served, r.hit_rate,
-                  r.expected_hit_rate, ok ? "yes" : "NO");
+                  r.expected_hit_rate, r.e2e_p50_s, r.e2e_p95_s,
+                  ok ? "yes" : "NO");
       // Lower-is-better gate contract: track the MISS rate. Deterministic
       // per seed, so any drift is a behavior change in sampler, address
       // derivation, or cache policy.
@@ -138,6 +140,12 @@ int main(int argc, char** argv) {
       std::snprintf(name, sizeof name, "miss_rate_s%02d_r%d",
                     int(s * 10 + 0.5), rps);
       rep.track(name, 1.0 - r.hit_rate, "ratio");
+      if (s > 1.0 && rps == 512) {
+        // Pooled delivery latency in link virtual time: bit-deterministic,
+        // so the gate reads any drift as a wire/queueing behavior change.
+        rep.track("e2e_p50_s_hot", r.e2e_p50_s, "s");
+        rep.track("e2e_p95_s_hot", r.e2e_p95_s, "s");
+      }
     }
   }
   if (failures) {

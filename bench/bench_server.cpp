@@ -8,8 +8,10 @@
 //     the shared FrameEncoderBank's reuse ratio climbs with client count;
 //   * the fast clients' p95 display latency is the same at 1 viewer and at
 //     512, because slow clients only ever back up their own links.
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "metrics/report.hpp"
 #include "stream/chaos.hpp"
@@ -46,11 +48,20 @@ struct Row {
   int clients = 0;
   double egress_mb = 0.0;
   double fast_p95_s = 0.0;
+  double e2e_p50_s = 0.0;  // pooled over EVERY delivery, slow crowd included
+  double e2e_p95_s = 0.0;
   std::uint64_t encodes = 0;
   std::uint64_t reuses = 0;
   double wall_s = 0.0;
   bool ok = true;
 };
+
+// Exact order statistic: smallest value covering >= p% of the sorted mass.
+double percentile_sorted(const std::vector<double>& sorted, int p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t idx = (sorted.size() * std::size_t(p) + 99) / 100;
+  return sorted[std::max<std::size_t>(idx, 1) - 1];
+}
 
 Row sweep_one(int clients) {
   Row row;
@@ -60,6 +71,12 @@ Row sweep_one(int clients) {
   row.wall_s = t.seconds();
   row.egress_mb = double(r.report.bytes_out) / (1024.0 * 1024.0);
   row.fast_p95_s = r.fast_p95_s;
+  std::vector<double> lat;
+  for (const auto& c : r.report.clients)
+    for (const auto& d : c.deliveries) lat.push_back(d.latency_s);
+  std::sort(lat.begin(), lat.end());
+  row.e2e_p50_s = percentile_sorted(lat, 50);
+  row.e2e_p95_s = percentile_sorted(lat, 95);
   row.encodes = r.report.encodes;
   row.reuses = r.report.encode_reuses;
   row.ok = r.ok();
@@ -74,15 +91,16 @@ int main(int argc, char** argv) {
 
   std::printf("Delivery server client-count sweep (%d frames, 96x72, "
               "virtual-time WAN)\n\n", kSteps);
-  std::printf("%-9s %-12s %-14s %-9s %-9s %-9s %-6s\n", "clients",
-              "egress MB", "fast p95 (s)", "encodes", "reuses", "wall s",
-              "ok");
+  std::printf("%-9s %-12s %-14s %-13s %-13s %-9s %-9s %-9s %-6s\n", "clients",
+              "egress MB", "fast p95 (s)", "e2e p50 (s)", "e2e p95 (s)",
+              "encodes", "reuses", "wall s", "ok");
   Row one{}, big{};
   for (int clients : {1, 64, 512}) {
     auto row = sweep_one(clients);
-    std::printf("%-9d %-12.2f %-14.4f %-9llu %-9llu %-9.3f %-6s\n",
-                row.clients, row.egress_mb, row.fast_p95_s,
-                (unsigned long long)row.encodes,
+    std::printf("%-9d %-12.2f %-14.4f %-13.4f %-13.4f %-9llu %-9llu %-9.3f "
+                "%-6s\n",
+                row.clients, row.egress_mb, row.fast_p95_s, row.e2e_p50_s,
+                row.e2e_p95_s, (unsigned long long)row.encodes,
                 (unsigned long long)row.reuses, row.wall_s,
                 row.ok ? "yes" : "NO");
     if (clients == 1) one = row;
@@ -103,6 +121,8 @@ int main(int argc, char** argv) {
   rep.track("egress_mb_512", big.egress_mb, "MB");
   rep.track("fast_p95_s_1", one.fast_p95_s, "s");
   rep.track("fast_p95_s_512", big.fast_p95_s, "s");
+  rep.track("e2e_p50_s_512", big.e2e_p50_s, "s");
+  rep.track("e2e_p95_s_512", big.e2e_p95_s, "s");
   rep.track("encodes_512", double(big.encodes), "count");
   rep.track("reuse_ratio_512",
             big.encodes > 0 ? double(big.reuses) / double(big.encodes) : 0.0,

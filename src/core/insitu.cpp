@@ -12,6 +12,7 @@
 #include "trace/trace.hpp"
 #include "io/block_index.hpp"
 #include "io/preprocess.hpp"
+#include "obs/lineage.hpp"
 #include "quake/parallel_solver.hpp"
 #include "render/order.hpp"
 #include "render/raycast.hpp"
@@ -172,6 +173,9 @@ void run_render(Shared& sh, const Setup& st, vmpi::Comm& world,
       rank_of[order[i]] = std::uint32_t(i);
 
     std::vector<render::PartialImage> partials;
+    // In-situ monitoring never rebalances, so the view epoch is always 0.
+    const std::int64_t render_t0 =
+        obs::lineage::enabled() ? trace::now_since_epoch_ns() : 0;
     {
       trace::Span render_span("pipeline", "render", snap);
       std::vector<std::uint32_t> orders(owned.size());
@@ -182,11 +186,25 @@ void run_render(Shared& sh, const Setup& st, vmpi::Comm& world,
       partials = render::render_blocks(camera, rc, rblocks, orders,
                                        &render_pool);
     }
+    if (obs::lineage::enabled()) {
+      obs::lineage::record_wall(
+          obs::lineage::Stage::kRender, snap, /*epoch=*/0,
+          obs::lineage::ChannelKind::kRank, world.rank(),
+          double(trace::now_since_epoch_ns() - render_t0) * 1e-9);
+    }
     compositing::CompositeResult comp;
+    const std::int64_t comp_t0 =
+        obs::lineage::enabled() ? trace::now_since_epoch_ns() : 0;
     {
       trace::Span composite_span("pipeline", "composite", snap);
       comp = compositing::slic(render_comm, partials, cfg.width,
                                cfg.height, false, 0);
+    }
+    if (obs::lineage::enabled()) {
+      obs::lineage::record_wall(
+          obs::lineage::Stage::kComposite, snap, /*epoch=*/0,
+          obs::lineage::ChannelKind::kRank, world.rank(),
+          double(trace::now_since_epoch_ns() - comp_t0) * 1e-9);
     }
     if (rr == 0) {
       world.isend(out_rank, tag_frame(snap),
@@ -235,6 +253,8 @@ void run_output(Shared& sh, const Setup&, vmpi::Comm& world) {
       world.recv(vmpi::kAnySource, tag_frame(snap), msg);
     }
     trace::Span frame_span("pipeline", "frame", snap);
+    const std::int64_t frame_t0 =
+        obs::lineage::enabled() ? trace::now_since_epoch_ns() : 0;
     img::Image frame(cfg.width, cfg.height);
     auto view = parse_frame_msg(msg, frame.pixels().size());
     if (!view) throw std::runtime_error("insitu: bad frame message");
@@ -250,6 +270,12 @@ void run_output(Shared& sh, const Setup&, vmpi::Comm& world) {
       }
       if (session) session->submit(clock.seconds(), snap, out8);
       if (server) server->submit(clock.seconds(), snap, out8);
+    }
+    if (obs::lineage::enabled()) {
+      obs::lineage::record_wall(
+          obs::lineage::Stage::kFrame, snap, /*epoch=*/0,
+          obs::lineage::ChannelKind::kRank, world.rank(),
+          double(trace::now_since_epoch_ns() - frame_t0) * 1e-9);
     }
     if (sh.frames_out) sh.frames_out->push_back(std::move(frame));
   }

@@ -21,6 +21,7 @@
 #include "io/preprocess.hpp"
 #include "lic/lic.hpp"
 #include "metrics/metrics.hpp"
+#include "obs/lineage.hpp"
 #include "render/order.hpp"
 #include "render/raycast.hpp"
 #include "trace/trace.hpp"
@@ -1015,7 +1016,14 @@ void run_render(Shared& sh, const Setup& st, vmpi::Comm& world,
       for (std::size_t i = 0; i < assign.owned.size(); ++i)
         epoch_costs[int(assign.owned[i])] += block_secs[i];
     }
-    render_time += t.seconds();
+    const double render_s = t.seconds();
+    render_time += render_s;
+    if (obs::lineage::enabled()) {
+      obs::lineage::record_wall(obs::lineage::Stage::kRender, s,
+                                std::uint32_t(st.epoch_of(s)),
+                                obs::lineage::ChannelKind::kRank, world.rank(),
+                                render_s);
+    }
     t.reset();
 
     // --- parallel compositing ----------------------------------------------
@@ -1043,7 +1051,14 @@ void run_render(Shared& sh, const Setup& st, vmpi::Comm& world,
                                         0);
       }
     }
-    composite_time += t.seconds();
+    const double composite_s = t.seconds();
+    composite_time += composite_s;
+    if (obs::lineage::enabled()) {
+      obs::lineage::record_wall(obs::lineage::Stage::kComposite, s,
+                                std::uint32_t(st.epoch_of(s)),
+                                obs::lineage::ChannelKind::kRank, world.rank(),
+                                composite_s);
+    }
 
     // --- image delivery ----------------------------------------------------
     if (rr == 0) {
@@ -1167,6 +1182,7 @@ void run_output(Shared& sh, const Setup& st, vmpi::Comm& world) {
     server.emplace(scfg, cfg.width, cfg.height);
     for (const auto& lc : stream::make_fleet(cfg.serve)) server->join(0.0, lc);
   }
+  int last_epoch = 0;  // encoders start at epoch 0; bump on rebalance
   for (int s = 0; s < st.num_steps; ++s) {
     std::vector<std::uint8_t> msg;
     {
@@ -1174,6 +1190,16 @@ void run_output(Shared& sh, const Setup& st, vmpi::Comm& world) {
       world.recv(vmpi::kAnySource, tag_frame(s), msg);
     }
     trace::Span frame_span("pipeline", "frame", s);
+    const std::int64_t frame_t0 =
+        obs::lineage::enabled() ? trace::now_since_epoch_ns() : 0;
+    const std::uint32_t epoch = std::uint32_t(st.epoch_of(s));
+    if (int(epoch) != last_epoch) {
+      // (step, epoch) is the end-to-end frame id; the encoders stamp it
+      // into every wire header from here on.
+      if (session) session->set_epoch(epoch);
+      if (server) server->set_epoch(epoch);
+      last_epoch = int(epoch);
+    }
     img::Image frame(cfg.width, cfg.height);
     auto view = parse_frame_msg(msg, frame.pixels().size());
     if (!view) throw std::runtime_error("pipeline: bad frame message");
@@ -1213,6 +1239,12 @@ void run_output(Shared& sh, const Setup& st, vmpi::Comm& world) {
       }
       if (session) session->submit(clock.seconds(), s, out8);
       if (server) server->submit(clock.seconds(), s, out8);
+    }
+    if (obs::lineage::enabled()) {
+      obs::lineage::record_wall(
+          obs::lineage::Stage::kFrame, s, epoch,
+          obs::lineage::ChannelKind::kRank, world.rank(),
+          double(trace::now_since_epoch_ns() - frame_t0) * 1e-9);
     }
     if (sh.frames_out) sh.frames_out->push_back(std::move(frame));
   }

@@ -1,0 +1,181 @@
+#include "metrics/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace qv::metrics {
+namespace {
+
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, std::string* err) : s_(text), err_(err) {}
+
+  std::optional<Json> parse() {
+    auto v = value();
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != s_.size()) return fail("trailing garbage");
+    return v;
+  }
+
+ private:
+  std::optional<Json> fail(const char* why) {
+    if (err_ && err_->empty()) {
+      *err_ = std::string(why) + " at offset " + std::to_string(pos_);
+    }
+    return std::nullopt;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Json> value() {
+    skip_ws();
+    if (pos_ >= s_.size()) return fail("unexpected end");
+    const char c = s_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      auto str = string();
+      if (!str) return std::nullopt;
+      return Json{*str};
+    }
+    if (c == 't' || c == 'f' || c == 'n') return keyword();
+    return number();
+  }
+
+  std::optional<Json> keyword() {
+    auto lit = [&](const char* kw, Json j) -> std::optional<Json> {
+      const size_t n = std::strlen(kw);
+      if (s_.compare(pos_, n, kw) != 0) return fail("bad literal");
+      pos_ += n;
+      return j;
+    };
+    if (s_[pos_] == 't') return lit("true", Json{true});
+    if (s_[pos_] == 'f') return lit("false", Json{false});
+    return lit("null", Json{nullptr});
+  }
+
+  std::optional<Json> number() {
+    const char* start = s_.c_str() + pos_;
+    char* end = nullptr;
+    const double d = std::strtod(start, &end);
+    if (end == start) return fail("bad number");
+    pos_ += size_t(end - start);
+    return Json{d};
+  }
+
+  std::optional<std::string> string() {
+    if (!consume('"')) {
+      fail("expected string");
+      return std::nullopt;
+    }
+    std::string out;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) break;
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) {
+              fail("bad \\u escape");
+              return std::nullopt;
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = s_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= unsigned(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= unsigned(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= unsigned(h - 'A' + 10);
+              else {
+                fail("bad \\u escape");
+                return std::nullopt;
+              }
+            }
+            // Emitters here only escape control chars; keep it simple (latin-1).
+            if (code < 0x80) {
+              out += char(code);
+            } else {
+              out += char(0xC0 | (code >> 6));
+              out += char(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            fail("bad escape");
+            return std::nullopt;
+        }
+      } else {
+        out += c;
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<Json> array() {
+    consume('[');
+    auto arr = std::make_shared<JsonArray>();
+    skip_ws();
+    if (consume(']')) return Json{arr};
+    for (;;) {
+      auto v = value();
+      if (!v) return std::nullopt;
+      arr->push_back(std::move(*v));
+      if (consume(']')) return Json{arr};
+      if (!consume(',')) return fail("expected ',' in array");
+    }
+  }
+
+  std::optional<Json> object() {
+    consume('{');
+    auto obj = std::make_shared<JsonObject>();
+    skip_ws();
+    if (consume('}')) return Json{obj};
+    for (;;) {
+      skip_ws();
+      auto key = string();
+      if (!key) return std::nullopt;
+      if (!consume(':')) return fail("expected ':' in object");
+      auto v = value();
+      if (!v) return std::nullopt;
+      (*obj)[*key] = std::move(*v);
+      if (consume('}')) return Json{obj};
+      if (!consume(',')) return fail("expected ',' in object");
+    }
+  }
+
+  const std::string& s_;
+  std::string* err_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Json> parse_json(const std::string& text, std::string* err) {
+  return JsonParser(text, err).parse();
+}
+
+}  // namespace qv::metrics

@@ -1,0 +1,49 @@
+// Minimal JSON value + parser, shared by the qv-run-report reader and the
+// flight-recorder dump validator in tools/bench_report.
+//
+// Deliberately small: objects/arrays/strings/numbers/bools/null, all numbers
+// as double — enough to round-trip the schemas this repo emits without
+// adding a dependency. Not a general-purpose JSON library (no surrogate
+// pairs, no duplicate-key detection).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace qv::metrics {
+
+struct Json;
+using JsonArray = std::vector<Json>;
+using JsonObject = std::map<std::string, Json>;
+
+struct Json {
+  std::variant<std::nullptr_t, bool, double, std::string, std::shared_ptr<JsonArray>,
+               std::shared_ptr<JsonObject>>
+      v = nullptr;
+
+  bool is_object() const { return std::holds_alternative<std::shared_ptr<JsonObject>>(v); }
+  bool is_array() const { return std::holds_alternative<std::shared_ptr<JsonArray>>(v); }
+  bool is_number() const { return std::holds_alternative<double>(v); }
+  bool is_string() const { return std::holds_alternative<std::string>(v); }
+  bool is_bool() const { return std::holds_alternative<bool>(v); }
+  double num() const { return std::get<double>(v); }
+  const std::string& str() const { return std::get<std::string>(v); }
+  bool boolean() const { return std::get<bool>(v); }
+  const JsonArray& arr() const { return *std::get<std::shared_ptr<JsonArray>>(v); }
+  const JsonObject& obj() const { return *std::get<std::shared_ptr<JsonObject>>(v); }
+  const Json* find(const std::string& key) const {
+    if (!is_object()) return nullptr;
+    auto it = obj().find(key);
+    return it == obj().end() ? nullptr : &it->second;
+  }
+};
+
+// Parse a complete JSON document. On failure returns nullopt and, if err is
+// non-null and still empty, stores a one-line reason with the byte offset.
+std::optional<Json> parse_json(const std::string& text, std::string* err = nullptr);
+
+}  // namespace qv::metrics

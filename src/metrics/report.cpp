@@ -5,10 +5,9 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
-#include <map>
-#include <memory>
 #include <sstream>
-#include <variant>
+
+#include "metrics/json.hpp"
 
 namespace qv::metrics {
 namespace {
@@ -117,7 +116,27 @@ void write_json(std::ostream& os, const RunReport& r) {
     }
     if (!first) os << "\n  ";
   }
-  os << "}\n}\n";
+  os << "}";
+  if (r.e2e) {
+    os << ",\n  \"e2e\": {\n    \"clients\": [";
+    const auto& clients = r.e2e->clients;
+    for (size_t i = 0; i < clients.size(); ++i) {
+      const auto& c = clients[i];
+      os << (i ? ",\n      " : "\n      ") << "{\"id\": " << c.id
+         << ", \"frames\": " << c.frames << ", \"drops\": " << c.drops
+         << ", \"p50_s\": " << fmt_double(c.p50_s)
+         << ", \"p95_s\": " << fmt_double(c.p95_s) << "}";
+    }
+    os << (clients.empty() ? "" : "\n    ") << "]\n  }";
+  }
+  if (r.slo) {
+    os << ",\n  \"slo\": {\"target_p95_s\": " << fmt_double(r.slo->target_p95_s)
+       << ", \"max_drop_rate\": " << fmt_double(r.slo->max_drop_rate)
+       << ", \"observed_p95_s\": " << fmt_double(r.slo->observed_p95_s)
+       << ", \"observed_drop_rate\": " << fmt_double(r.slo->observed_drop_rate)
+       << ", \"pass\": " << (r.slo->pass ? "true" : "false") << "}";
+  }
+  os << "\n}\n";
 }
 
 std::string to_json(const RunReport& r) {
@@ -193,198 +212,9 @@ bool write_prometheus_file(const std::string& path, const Snapshot& snap) {
   return bool(f);
 }
 
-// --- minimal JSON parser ----------------------------------------------------
+// --- parse (shared minimal JSON parser lives in metrics/json.hpp) ----------
 
 namespace {
-
-struct Json;
-using JsonArray = std::vector<Json>;
-using JsonObject = std::map<std::string, Json>;
-
-struct Json {
-  std::variant<std::nullptr_t, bool, double, std::string, std::shared_ptr<JsonArray>,
-               std::shared_ptr<JsonObject>>
-      v = nullptr;
-
-  bool is_object() const { return std::holds_alternative<std::shared_ptr<JsonObject>>(v); }
-  bool is_array() const { return std::holds_alternative<std::shared_ptr<JsonArray>>(v); }
-  bool is_number() const { return std::holds_alternative<double>(v); }
-  bool is_string() const { return std::holds_alternative<std::string>(v); }
-  double num() const { return std::get<double>(v); }
-  const std::string& str() const { return std::get<std::string>(v); }
-  const JsonArray& arr() const { return *std::get<std::shared_ptr<JsonArray>>(v); }
-  const JsonObject& obj() const { return *std::get<std::shared_ptr<JsonObject>>(v); }
-  const Json* find(const std::string& key) const {
-    if (!is_object()) return nullptr;
-    auto it = obj().find(key);
-    return it == obj().end() ? nullptr : &it->second;
-  }
-};
-
-class JsonParser {
- public:
-  JsonParser(const std::string& text, std::string* err) : s_(text), err_(err) {}
-
-  std::optional<Json> parse() {
-    auto v = value();
-    if (!v) return std::nullopt;
-    skip_ws();
-    if (pos_ != s_.size()) return fail("trailing garbage");
-    return v;
-  }
-
- private:
-  std::optional<Json> fail(const char* why) {
-    if (err_ && err_->empty()) {
-      *err_ = std::string(why) + " at offset " + std::to_string(pos_);
-    }
-    return std::nullopt;
-  }
-
-  void skip_ws() {
-    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
-  }
-
-  bool consume(char c) {
-    skip_ws();
-    if (pos_ < s_.size() && s_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  std::optional<Json> value() {
-    skip_ws();
-    if (pos_ >= s_.size()) return fail("unexpected end");
-    const char c = s_[pos_];
-    if (c == '{') return object();
-    if (c == '[') return array();
-    if (c == '"') {
-      auto str = string();
-      if (!str) return std::nullopt;
-      return Json{*str};
-    }
-    if (c == 't' || c == 'f' || c == 'n') return keyword();
-    return number();
-  }
-
-  std::optional<Json> keyword() {
-    auto lit = [&](const char* kw, Json j) -> std::optional<Json> {
-      const size_t n = std::strlen(kw);
-      if (s_.compare(pos_, n, kw) != 0) return fail("bad literal");
-      pos_ += n;
-      return j;
-    };
-    if (s_[pos_] == 't') return lit("true", Json{true});
-    if (s_[pos_] == 'f') return lit("false", Json{false});
-    return lit("null", Json{nullptr});
-  }
-
-  std::optional<Json> number() {
-    const char* start = s_.c_str() + pos_;
-    char* end = nullptr;
-    const double d = std::strtod(start, &end);
-    if (end == start) return fail("bad number");
-    pos_ += size_t(end - start);
-    return Json{d};
-  }
-
-  std::optional<std::string> string() {
-    if (!consume('"')) {
-      fail("expected string");
-      return std::nullopt;
-    }
-    std::string out;
-    while (pos_ < s_.size()) {
-      const char c = s_[pos_++];
-      if (c == '"') return out;
-      if (c == '\\') {
-        if (pos_ >= s_.size()) break;
-        const char e = s_[pos_++];
-        switch (e) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'n': out += '\n'; break;
-          case 't': out += '\t'; break;
-          case 'r': out += '\r'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'u': {
-            if (pos_ + 4 > s_.size()) {
-              fail("bad \\u escape");
-              return std::nullopt;
-            }
-            unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              const char h = s_[pos_++];
-              code <<= 4;
-              if (h >= '0' && h <= '9') code |= unsigned(h - '0');
-              else if (h >= 'a' && h <= 'f') code |= unsigned(h - 'a' + 10);
-              else if (h >= 'A' && h <= 'F') code |= unsigned(h - 'A' + 10);
-              else {
-                fail("bad \\u escape");
-                return std::nullopt;
-              }
-            }
-            // Reports only escape control chars; keep it simple (latin-1).
-            if (code < 0x80) {
-              out += char(code);
-            } else {
-              out += char(0xC0 | (code >> 6));
-              out += char(0x80 | (code & 0x3F));
-            }
-            break;
-          }
-          default:
-            fail("bad escape");
-            return std::nullopt;
-        }
-      } else {
-        out += c;
-      }
-    }
-    fail("unterminated string");
-    return std::nullopt;
-  }
-
-  std::optional<Json> array() {
-    consume('[');
-    auto arr = std::make_shared<JsonArray>();
-    skip_ws();
-    if (consume(']')) return Json{arr};
-    for (;;) {
-      auto v = value();
-      if (!v) return std::nullopt;
-      arr->push_back(std::move(*v));
-      if (consume(']')) return Json{arr};
-      if (!consume(',')) return fail("expected ',' in array");
-    }
-  }
-
-  std::optional<Json> object() {
-    consume('{');
-    auto obj = std::make_shared<JsonObject>();
-    skip_ws();
-    if (consume('}')) return Json{obj};
-    for (;;) {
-      skip_ws();
-      auto key = string();
-      if (!key) return std::nullopt;
-      if (!consume(':')) return fail("expected ':' in object");
-      auto v = value();
-      if (!v) return std::nullopt;
-      (*obj)[*key] = std::move(*v);
-      if (consume('}')) return Json{obj};
-      if (!consume(',')) return fail("expected ',' in object");
-    }
-  }
-
-  const std::string& s_;
-  std::string* err_;
-  size_t pos_ = 0;
-};
 
 bool parse_histogram(const Json& j, HistogramSnapshot* out, std::string* err) {
   const Json* spec = j.find("spec");
@@ -455,7 +285,7 @@ bool parse_histogram(const Json& j, HistogramSnapshot* out, std::string* err) {
 
 std::optional<RunReport> parse_report(const std::string& json, std::string* err) {
   std::string perr;
-  auto root = JsonParser(json, &perr).parse();
+  auto root = parse_json(json, &perr);
   if (!root) {
     if (err) *err = perr.empty() ? "parse error" : perr;
     return std::nullopt;
@@ -508,6 +338,39 @@ std::optional<RunReport> parse_report(const std::string& json, std::string* err)
       }
       r.snapshot.histograms[name] = std::move(h);
     }
+  }
+  auto num_of = [](const Json& j, const char* key) {
+    const Json* v = j.find(key);
+    return v && v->is_number() ? v->num() : 0.0;
+  };
+  if (const Json* e2e = root->find("e2e"); e2e && e2e->is_object()) {
+    E2eBlock block;
+    if (const Json* clients = e2e->find("clients"); clients && clients->is_array()) {
+      for (const auto& c : clients->arr()) {
+        if (!c.is_object()) {
+          if (err) *err = "bad e2e client entry";
+          return std::nullopt;
+        }
+        E2eClientStats s;
+        s.id = int(num_of(c, "id"));
+        s.frames = std::uint64_t(num_of(c, "frames"));
+        s.drops = std::uint64_t(num_of(c, "drops"));
+        s.p50_s = num_of(c, "p50_s");
+        s.p95_s = num_of(c, "p95_s");
+        block.clients.push_back(s);
+      }
+    }
+    r.e2e = std::move(block);
+  }
+  if (const Json* slo = root->find("slo"); slo && slo->is_object()) {
+    SloBlock b;
+    b.target_p95_s = num_of(*slo, "target_p95_s");
+    b.max_drop_rate = num_of(*slo, "max_drop_rate");
+    b.observed_p95_s = num_of(*slo, "observed_p95_s");
+    b.observed_drop_rate = num_of(*slo, "observed_drop_rate");
+    const Json* pass = slo->find("pass");
+    b.pass = pass && pass->is_bool() && pass->boolean();
+    r.slo = b;
   }
   return r;
 }

@@ -1,9 +1,9 @@
 // Machine-readable run reports over the metrics registry, and the benchmark
 // regression gate built on them.
 //
-// Schema "qv-run-report" version 1 (JSON):
+// Schema "qv-run-report" version 2 (JSON):
 //   {
-//     "schema": "qv-run-report", "version": 1, "kind": "pipeline",
+//     "schema": "qv-run-report", "version": 2, "kind": "pipeline",
 //     "tracked":  [ {"name": "interframe_s", "value": 0.041, "unit": "s"} ],
 //     "counters": { "vmpi.send.bytes": 123456, ... },
 //     "gauges":   { ... },
@@ -14,16 +14,26 @@
 //         "p50": 0.041, "p95": 0.058, "p99": 0.06,
 //         "buckets": [[312, 3], [313, 9]]        // [index, count], nonzero only
 //       }
-//     }
+//     },
+//     // v2 additions, both optional (streaming runs only):
+//     "e2e": { "clients": [ {"id": 0, "frames": 40, "drops": 2,
+//                            "p50_s": 0.11, "p95_s": 0.32} ] },
+//     "slo": { "target_p95_s": 0.5, "max_drop_rate": 0.1,
+//              "observed_p95_s": 0.32, "observed_drop_rate": 0.02,
+//              "pass": true }
 //   }
 // "tracked" is the contract with the gate: the headline metrics a producer
 // commits to keeping stable, all lower-is-better. Everything else is context.
+// "e2e" carries per-client end-to-end frame latency (per-stage breakdowns
+// live in the stream.e2e.* histograms); "slo" is the pass/fail verdict the
+// slo-gate checks. Version 2 readers reject version 1 documents: a v1
+// baseline silently lacking the new blocks would make the gate vacuous.
 //
-// The JSON parser here is deliberately minimal (objects/arrays/strings/
-// numbers/bools/null, doubles only) — enough to round-trip this schema and
-// run the gate without adding a dependency.
+// The JSON parser (metrics/json.hpp) is deliberately minimal — enough to
+// round-trip this schema and run the gate without adding a dependency.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -33,7 +43,7 @@
 
 namespace qv::metrics {
 
-inline constexpr int kReportVersion = 1;
+inline constexpr int kReportVersion = 2;
 
 struct TrackedMetric {
   std::string name;
@@ -41,11 +51,37 @@ struct TrackedMetric {
   std::string unit;  // "s", "bytes", "count", ...
 };
 
+// Per-client end-to-end frame delivery stats (send -> delivered, virtual
+// time on the WAN side). Stage-level latency lives in stream.e2e.* histograms.
+struct E2eClientStats {
+  int id = 0;
+  std::uint64_t frames = 0;  // frames delivered to this client
+  std::uint64_t drops = 0;   // frames dropped before its queue
+  double p50_s = 0.0;
+  double p95_s = 0.0;
+};
+
+struct E2eBlock {
+  std::vector<E2eClientStats> clients;
+};
+
+// Service-level objective verdict: target vs observed, judged by the
+// producer at report time and re-checked by `bench_report slo`.
+struct SloBlock {
+  double target_p95_s = 0.0;       // max acceptable p95 e2e frame latency
+  double max_drop_rate = 0.0;      // max acceptable dropped/(sent+dropped)
+  double observed_p95_s = 0.0;
+  double observed_drop_rate = 0.0;
+  bool pass = false;
+};
+
 struct RunReport {
   std::string kind;  // "pipeline", "insitu", "bench_io_readers", ...
   int version = kReportVersion;
   std::vector<TrackedMetric> tracked;
   Snapshot snapshot;
+  std::optional<E2eBlock> e2e;  // streaming runs only
+  std::optional<SloBlock> slo;  // only when an SLO was requested
 
   void track(std::string name, double value, std::string unit) {
     tracked.push_back({std::move(name), value, std::move(unit)});

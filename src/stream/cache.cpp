@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "metrics/metrics.hpp"
+#include "trace/trace.hpp"
 #include "util/sha256.hpp"
 
 namespace qv::stream {
@@ -64,18 +65,31 @@ CacheKey content_address(const CacheIdentity& id, int step, int tier,
 FrameCache::FrameCache(CacheConfig cfg) : cfg_(cfg) {}
 
 FrameCache::Wire FrameCache::get(const CacheKey& key) {
-  auto& m = CacheMetrics::get();
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = map_.find(key);
-  if (it == map_.end()) {
-    ++stats_.misses;
-    m.misses.add();
-    return nullptr;
+  trace::Span span("cache", "get");
+  // The lookup is also an e2e delivery stage: its wall cost is part of what
+  // a client waits for, so it feeds the stream.e2e.* waterfall directly.
+  const bool timed = metrics::enabled();
+  const std::int64_t t0 = timed ? trace::now_since_epoch_ns() : 0;
+  Wire out;
+  {
+    auto& m = CacheMetrics::get();
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++stats_.misses;
+      m.misses.add();
+    } else {
+      lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
+      ++stats_.hits;
+      m.hits.add();
+      out = it->second->wire;
+    }
   }
-  lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
-  ++stats_.hits;
-  m.hits.add();
-  return it->second->wire;
+  if (timed) {
+    static auto& h = metrics::histogram("stream.e2e.cache_lookup");
+    h.observe(double(trace::now_since_epoch_ns() - t0) * 1e-9);
+  }
+  return out;
 }
 
 void FrameCache::evict_until_fits(std::size_t incoming) {
@@ -92,6 +106,7 @@ void FrameCache::evict_until_fits(std::size_t incoming) {
 
 void FrameCache::put(const CacheKey& key, Wire wire) {
   if (!wire) return;
+  trace::Span span("cache", "put");
   auto& m = CacheMetrics::get();
   std::lock_guard<std::mutex> lock(mu_);
   if (auto it = map_.find(key); it != map_.end()) {

@@ -13,7 +13,8 @@ namespace qv::stream {
 
 std::vector<std::uint8_t> pack_frame(FrameKind kind, int tier, int step,
                                      int base_step, int width, int height,
-                                     std::span<const std::uint8_t> raw) {
+                                     std::span<const std::uint8_t> raw,
+                                     std::uint32_t epoch) {
   std::vector<std::uint8_t> wire(sizeof(FrameHeader));
   io::rle8_encode(raw, wire);
 
@@ -29,6 +30,7 @@ std::vector<std::uint8_t> pack_frame(FrameKind kind, int tier, int step,
   h.payload = std::uint32_t(wire.size() - sizeof(FrameHeader));
   h.crc = util::crc32(
       {wire.data() + sizeof(FrameHeader), wire.size() - sizeof(FrameHeader)});
+  h.epoch = epoch;
   std::memcpy(wire.data(), &h, sizeof(h));
   return wire;
 }
@@ -48,12 +50,13 @@ std::vector<std::uint8_t> FrameEncoder::encode(int step,
   const bool key = keyframe || ref_step_ < 0;
   std::vector<std::uint8_t> wire;
   if (key) {
-    wire = pack_frame(FrameKind::kKey, tier, step, -1, w_, h_, planes_);
+    wire = pack_frame(FrameKind::kKey, tier, step, -1, w_, h_, planes_,
+                      epoch_);
   } else {
     deltas_.resize(n);
     img::delta_encode(ref_, planes_, deltas_);
     wire = pack_frame(FrameKind::kDelta, tier, step, ref_step_, w_, h_,
-                      deltas_);
+                      deltas_, epoch_);
   }
 
   // The quantized planes ARE what the viewer will reconstruct (delta is
@@ -111,8 +114,8 @@ std::shared_ptr<const std::vector<std::uint8_t>> FrameEncoderBank::key(
   tier = std::clamp(tier, 0, img::kMaxQuantizeTier);
   Tier& t = stage(tier);
   if (!t.key_wire) {
-    t.key_wire = std::make_shared<const std::vector<std::uint8_t>>(
-        pack_frame(FrameKind::kKey, tier, step_, -1, w_, h_, t.planes));
+    t.key_wire = std::make_shared<const std::vector<std::uint8_t>>(pack_frame(
+        FrameKind::kKey, tier, step_, -1, w_, h_, t.planes, epoch_));
     ++encodes_;
   } else {
     ++reuses_;
@@ -132,7 +135,7 @@ std::shared_ptr<const std::vector<std::uint8_t>> FrameEncoderBank::delta(
     img::delta_encode(t.ref, t.planes, scratch_);
     t.delta_wire = std::make_shared<const std::vector<std::uint8_t>>(
         pack_frame(FrameKind::kDelta, tier, step_, t.ref_step, w_, h_,
-                   scratch_));
+                   scratch_, epoch_));
     ++encodes_;
   } else {
     ++reuses_;
@@ -155,9 +158,6 @@ std::optional<DecodedFrame> FrameDecoder::decode(
   if (h.kind > std::uint8_t(FrameKind::kDelta)) return std::nullopt;
   if (h.tier > img::kMaxQuantizeTier) return std::nullopt;
   if (h.width == 0 || h.height == 0) return std::nullopt;
-  // The pad must be zero: a strict boundary leaves corruption nowhere to
-  // hide (and keeps the bytes reserved for a future version).
-  if (h.pad[0] || h.pad[1] || h.pad[2] || h.pad[3]) return std::nullopt;
   if (std::size_t(h.payload) != wire.size() - sizeof(FrameHeader))
     return std::nullopt;
 
@@ -189,6 +189,7 @@ std::optional<DecodedFrame> FrameDecoder::decode(
 
   DecodedFrame out;
   out.step = h.step;
+  out.epoch = h.epoch;
   out.tier = h.tier;
   out.kind = FrameKind(h.kind);
   out.image = img::Image8(h.width, h.height);

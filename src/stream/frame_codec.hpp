@@ -52,7 +52,12 @@ struct FrameHeader {
   std::uint16_t width, height;
   std::uint32_t payload;   // encoded bytes following the header
   std::uint32_t crc;       // CRC-32 of the payload bytes
-  std::uint8_t pad[4];
+  // View epoch of the frame: together (step, epoch) is the stable frame id
+  // that lineage events carry end to end, so the on-wire bytes ARE the
+  // correlation key — a decoder-side event needs no side channel to name
+  // the frame it belongs to. Took over the former zero pad; epoch 0 is
+  // byte-identical to version-1 frames, so kFrameVersion stays 1.
+  std::uint32_t epoch;
 };
 static_assert(sizeof(FrameHeader) == 32);
 
@@ -62,7 +67,8 @@ static_assert(sizeof(FrameHeader) == 32);
 // fan-out FrameEncoderBank both call it, so their output is bit-identical.
 std::vector<std::uint8_t> pack_frame(FrameKind kind, int tier, int step,
                                      int base_step, int width, int height,
-                                     std::span<const std::uint8_t> raw);
+                                     std::span<const std::uint8_t> raw,
+                                     std::uint32_t epoch = 0);
 
 // Stateful encoder: owns the reconstruction of the last frame it emitted.
 class FrameEncoder {
@@ -77,10 +83,15 @@ class FrameEncoder {
 
   bool has_reference() const { return ref_step_ >= 0; }
 
+  // View epoch stamped into every subsequent frame header (lineage id).
+  void set_epoch(std::uint32_t epoch) { epoch_ = epoch; }
+  std::uint32_t epoch() const { return epoch_; }
+
  private:
   int w_, h_;
   std::vector<std::uint8_t> ref_;  // quantized planes of the last sent frame
   int ref_step_ = -1;
+  std::uint32_t epoch_ = 0;
   std::vector<std::uint8_t> planes_, deltas_;  // scratch
 };
 
@@ -121,6 +132,12 @@ class FrameEncoderBank {
   // and a later delta(t) still codes against what clients actually hold.
   void note_emitted(int tier);
 
+  // View epoch stamped into every frame header packed from now on (lineage
+  // id). Call before begin_step when the view changes; cached wires for the
+  // already-staged step keep the epoch they were packed with.
+  void set_epoch(std::uint32_t epoch) { epoch_ = epoch; }
+  std::uint32_t epoch() const { return epoch_; }
+
   std::uint64_t encodes() const { return encodes_; }  // actual encode work
   std::uint64_t reuses() const { return reuses_; }    // served from cache
 
@@ -137,6 +154,7 @@ class FrameEncoderBank {
 
   int w_, h_;
   int step_ = -1;
+  std::uint32_t epoch_ = 0;
   std::vector<std::uint8_t> planes0_;  // unquantized planes of staged frame
   std::vector<std::uint8_t> scratch_;  // delta scratch
   std::array<Tier, img::kMaxQuantizeTier + 1> tiers_;
@@ -145,6 +163,7 @@ class FrameEncoderBank {
 
 struct DecodedFrame {
   int step = 0;
+  std::uint32_t epoch = 0;  // view epoch from the header ((step, epoch) = frame id)
   int tier = 0;
   FrameKind kind = FrameKind::kKey;
   img::Image8 image;

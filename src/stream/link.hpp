@@ -69,6 +69,9 @@ class WanLink {
   std::size_t in_flight_bytes() const { return sent_bytes_ - delivered_bytes_; }
   double now() const { return engine_.now(); }
   const sim::FaultyBandwidth& faults() const { return faults_; }
+  // The validated configuration; lets latency accounting separate a frame's
+  // ideal crossing time (bytes/bandwidth + latency) from queue wait.
+  const WanLinkConfig& config() const { return cfg_; }
 
  private:
   static WanLinkConfig validated(WanLinkConfig cfg);

@@ -9,7 +9,9 @@
 #include <vector>
 
 #include "metrics/metrics.hpp"
+#include "obs/lineage.hpp"
 #include "stream/chaos.hpp"
+#include "trace/trace.hpp"
 #include "util/rng.hpp"
 #include "util/sha256.hpp"
 
@@ -21,11 +23,24 @@ struct ReplayMetrics {
   metrics::Counter& requests = metrics::counter("stream.replay.requests");
   metrics::Counter& renders = metrics::counter("stream.replay.renders");
   metrics::Counter& served = metrics::counter("stream.replay.cache_served");
+  metrics::Histogram& e2e_encode = metrics::histogram(
+      "stream.e2e.encode", metrics::HistogramSpec::duration_seconds());
+  metrics::Histogram& e2e_queue_wait = metrics::histogram(
+      "stream.e2e.queue_wait", metrics::HistogramSpec::duration_seconds());
+  metrics::Histogram& e2e_wire = metrics::histogram(
+      "stream.e2e.wire", metrics::HistogramSpec::duration_seconds());
   static ReplayMetrics& get() {
     static ReplayMetrics m;
     return m;
   }
 };
+
+// Exact order statistic: smallest value covering >= p% of the sorted mass.
+double percentile_sorted(const std::vector<double>& sorted, int p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t idx = (sorted.size() * std::size_t(p) + 99) / 100;
+  return sorted[std::max<std::size_t>(idx, 1) - 1];
+}
 
 // Seed for the synthetic frame source. Fixed — NOT derived from cfg.seed —
 // because the cache address does not cover it: the same (step, tier) must
@@ -96,14 +111,44 @@ ReplayReport run_replay(const ReplayConfig& cfg) {
   Rng rng(cfg.seed);
   util::Sha256 log;
   FrameEncoder encoder(cfg.width, cfg.height);
+  // Per-client delivery latencies, for the report's exact e2e percentiles.
+  std::vector<std::vector<double>> client_lat(std::size_t(cfg.clients));
+  // Every replay delivery crosses the same uniform link; the excess over
+  // this ideal solo crossing is queue wait behind earlier frames.
+  const double bw = links[0]->config().bandwidth_bytes_per_s;
+  const double prop = links[0]->config().latency_s;
+  auto observe_delivery = [&](int client, const DeliveredFrame& d) {
+    const double lat = d.delivered_at - d.sent_at;
+    client_lat[std::size_t(client)].push_back(lat);
+    if (metrics::enabled()) {
+      m.e2e_wire.observe(lat);
+      m.e2e_queue_wait.observe(
+          std::max(0.0, lat - (double(d.bytes) / bw + prop)));
+    }
+    if (obs::lineage::enabled()) {
+      obs::lineage::record_virtual(obs::lineage::Stage::kWire, d.step,
+                                   /*epoch=*/0,
+                                   obs::lineage::ChannelKind::kClient, client,
+                                   d.sent_at, lat);
+    }
+  };
   for (std::uint64_t i = 0; i < cfg.requests; ++i) {
     const double now = double(i) * cfg.interval_s;
     const int client = int(rng.next_below(std::uint64_t(cfg.clients)));
     const int step = sample(cdf, rng.next_double());
     const int tier = int(rng.next_below(std::uint64_t(cfg.tiers)));
+    trace::Span span("replay", "request", step);
     const CacheKey key = content_address(identity, step, tier, FrameKind::kKey);
 
+    const bool timed = metrics::enabled() || obs::lineage::enabled();
+    const std::int64_t lookup_t0 = timed ? trace::now_since_epoch_ns() : 0;
     FrameCache::Wire wire = cache.get(key);
+    if (obs::lineage::enabled()) {
+      obs::lineage::record_wall(
+          obs::lineage::Stage::kCacheLookup, step, /*epoch=*/0,
+          obs::lineage::ChannelKind::kClient, client,
+          double(trace::now_since_epoch_ns() - lookup_t0) * 1e-9);
+    }
     bool hit = wire != nullptr;
     if (hit) {
       ++rep.cache_served;
@@ -118,9 +163,21 @@ ReplayReport run_replay(const ReplayConfig& cfg) {
     } else {
       // Miss: render the frame and encode a self-contained keyframe — the
       // only kind the cache stores (see stream/cache.hpp).
+      const std::int64_t enc_t0 = timed ? trace::now_since_epoch_ns() : 0;
       const img::Image8 frame =
           chaos_frame(cfg.width, cfg.height, kFrameSeed, step);
       auto wire_vec = encoder.encode(step, frame, tier, /*keyframe=*/true);
+      if (timed) {
+        const double enc_s =
+            double(trace::now_since_epoch_ns() - enc_t0) * 1e-9;
+        if (metrics::enabled()) m.e2e_encode.observe(enc_s);
+        if (obs::lineage::enabled()) {
+          obs::lineage::record_wall(obs::lineage::Stage::kEncode, step,
+                                    /*epoch=*/0,
+                                    obs::lineage::ChannelKind::kClient,
+                                    client, enc_s);
+        }
+      }
       ++rep.renders;
       m.renders.add();
       if (cfg.verify) {
@@ -145,8 +202,15 @@ ReplayReport run_replay(const ReplayConfig& cfg) {
 
     links[std::size_t(client)]->send(now, step,
                                      std::vector<std::uint8_t>(*wire));
+    if (obs::lineage::enabled()) {
+      obs::lineage::record_virtual(obs::lineage::Stage::kEnqueue, step,
+                                   /*epoch=*/0,
+                                   obs::lineage::ChannelKind::kClient, client,
+                                   now);
+    }
     for (auto& d : links[std::size_t(client)]->poll(now)) {
       ++rep.frames_delivered;
+      observe_delivery(client, d);
       put_pod(log, d.step);
       put_pod(log, d.delivered_at);
       put_pod(log, std::uint64_t(d.bytes));
@@ -155,12 +219,28 @@ ReplayReport run_replay(const ReplayConfig& cfg) {
   for (std::size_t c = 0; c < links.size(); ++c) {
     for (auto& d : links[c]->drain()) {
       ++rep.frames_delivered;
+      observe_delivery(int(c), d);
       put_pod(log, std::uint64_t(c));
       put_pod(log, d.step);
       put_pod(log, d.delivered_at);
       put_pod(log, std::uint64_t(d.bytes));
     }
   }
+  std::vector<double> pooled;
+  for (int c = 0; c < cfg.clients; ++c) {
+    auto& lat = client_lat[std::size_t(c)];
+    std::sort(lat.begin(), lat.end());
+    ReplayReport::ClientE2e e;
+    e.id = c;
+    e.frames = lat.size();
+    e.p50_s = percentile_sorted(lat, 50);
+    e.p95_s = percentile_sorted(lat, 95);
+    rep.client_e2e.push_back(e);
+    pooled.insert(pooled.end(), lat.begin(), lat.end());
+  }
+  std::sort(pooled.begin(), pooled.end());
+  rep.e2e_p50_s = percentile_sorted(pooled, 50);
+  rep.e2e_p95_s = percentile_sorted(pooled, 95);
 
   rep.cache = cache.stats();
   rep.hit_rate =

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "stream/cache.hpp"
 #include "stream/server.hpp"
@@ -58,6 +59,18 @@ struct ReplayReport {
   double hit_rate = 0.0;           // measured: cache_served / requests
   double expected_hit_rate = 0.0;  // analytic, compulsory misses only
   CacheStats cache;                // final cache counters
+  // Per-client end-to-end delivery latency (link virtual time), exact order
+  // statistics — the qv-run-report "e2e" block for replay runs.
+  struct ClientE2e {
+    int id = 0;
+    std::uint64_t frames = 0;
+    double p50_s = 0.0;
+    double p95_s = 0.0;
+  };
+  std::vector<ClientE2e> client_e2e;
+  // Pooled over every delivery to every client — the SLO verdict's input.
+  double e2e_p50_s = 0.0;
+  double e2e_p95_s = 0.0;
   std::string digest;  // SHA-256 hex over request + delivery logs
 };
 

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "metrics/metrics.hpp"
+#include "obs/lineage.hpp"
 #include "trace/trace.hpp"
 #include "util/crc32.hpp"
 #include "util/rng.hpp"
@@ -103,6 +104,17 @@ struct ServerMetrics {
       "stream.server.latency", metrics::HistogramSpec::duration_seconds());
   metrics::Histogram& client_queue_bytes = metrics::histogram(
       "stream.server.queue_bytes", metrics::HistogramSpec::bytes());
+  // Per-stage e2e frame latency (the qv-run-report waterfall). encode and
+  // decode are wall time; queue_wait and wire are link (virtual) time —
+  // same split the lineage domains enforce.
+  metrics::Histogram& e2e_encode = metrics::histogram(
+      "stream.e2e.encode", metrics::HistogramSpec::duration_seconds());
+  metrics::Histogram& e2e_queue_wait = metrics::histogram(
+      "stream.e2e.queue_wait", metrics::HistogramSpec::duration_seconds());
+  metrics::Histogram& e2e_wire = metrics::histogram(
+      "stream.e2e.wire", metrics::HistogramSpec::duration_seconds());
+  metrics::Histogram& e2e_decode = metrics::histogram(
+      "stream.e2e.decode", metrics::HistogramSpec::duration_seconds());
   static ServerMetrics& get() {
     static ServerMetrics m;
     return m;
@@ -125,15 +137,28 @@ WanLinkConfig make_link_config(const ClientLinkConfig& cfg) {
 
 // --- reports ----------------------------------------------------------------
 
-double ClientReport::p95_latency_s() const {
-  if (deliveries.empty()) return 0.0;
+namespace {
+
+// Exact order statistic: smallest value covering >= p% of the sorted mass.
+double delivery_percentile(const std::vector<ClientReport::Delivery>& ds,
+                           std::size_t p) {
+  if (ds.empty()) return 0.0;
   std::vector<double> lat;
-  lat.reserve(deliveries.size());
-  for (const auto& d : deliveries) lat.push_back(d.latency_s);
+  lat.reserve(ds.size());
+  for (const auto& d : ds) lat.push_back(d.latency_s);
   std::sort(lat.begin(), lat.end());
-  // Exact order statistic: smallest value covering >= 95% of the mass.
-  const std::size_t idx = (lat.size() * 95 + 99) / 100;  // ceil(0.95 n) >= 1
+  const std::size_t idx = (lat.size() * p + 99) / 100;  // ceil(p/100 n) >= 1
   return lat[idx - 1];
+}
+
+}  // namespace
+
+double ClientReport::p50_latency_s() const {
+  return delivery_percentile(deliveries, 50);
+}
+
+double ClientReport::p95_latency_s() const {
+  return delivery_percentile(deliveries, 95);
 }
 
 // --- the server -------------------------------------------------------------
@@ -231,6 +256,7 @@ void DeliveryServer::send_control(Client& c, double now, ControlKind kind) {
 
 void DeliveryServer::evict(Client& c, double now) {
   auto& m = ServerMetrics::get();
+  trace::instant("server", "evict", c.rep.id);
   // Notify (the notice shares the dead connection's fate) and tear down:
   // queued bytes are discarded — the client lost them, which is exactly why
   // its next frame after a reconnect must be a keyframe.
@@ -243,6 +269,15 @@ void DeliveryServer::evict(Client& c, double now) {
   ++rep_.evictions;
   m.evictions.add();
   m.clients.set(double(connected_clients()));
+  trace::instant("server", "evict", c.rep.id);
+  if (obs::lineage::enabled()) {
+    obs::lineage::record_virtual(obs::lineage::Stage::kEvict, last_step_,
+                                 epoch_, obs::lineage::ChannelKind::kClient,
+                                 c.rep.id, now);
+    // The eviction IS the post-mortem trigger: dump the flight recorder
+    // while the evicted client's last frames are still in its ring.
+    obs::lineage::dump_now("client_evicted");
+  }
 }
 
 void DeliveryServer::handle_batch(Client& c,
@@ -259,12 +294,48 @@ void DeliveryServer::handle_batch(Client& c,
       }
       continue;
     }
+    // The header's (step, epoch) is the frame id every lineage event below
+    // carries — readable even when the payload fails to decode.
+    std::uint32_t frame_epoch = 0;
+    if (d.wire.size() >= sizeof(FrameHeader)) {
+      FrameHeader h;
+      std::memcpy(&h, d.wire.data(), sizeof(h));
+      frame_epoch = h.epoch;
+    }
     ClientReport::Delivery rec;
     rec.step = d.step;
     rec.bytes = std::uint32_t(d.bytes);
     rec.latency_s = d.delivered_at - d.sent_at;
+    if (obs::lineage::enabled()) {
+      using namespace obs::lineage;
+      record_virtual(Stage::kWire, d.step, frame_epoch, ChannelKind::kClient,
+                     c.rep.id, d.sent_at, rec.latency_s);
+    }
+    if (metrics::enabled()) {
+      m.e2e_wire.observe(rec.latency_s);
+      if (c.link) {
+        // Queue wait = crossing time in excess of the frame's ideal solo
+        // crossing (serialization + propagation): time spent behind earlier
+        // frames or outage windows on this client's connection.
+        const WanLinkConfig& lc = c.link->config();
+        const double ideal =
+            double(d.bytes) / lc.bandwidth_bytes_per_s + lc.latency_s;
+        m.e2e_queue_wait.observe(std::max(0.0, rec.latency_s - ideal));
+      }
+    }
     if (cfg_.verify_clients) {
+      const bool timed = metrics::enabled() || obs::lineage::enabled();
+      const std::int64_t t0 = timed ? trace::now_since_epoch_ns() : 0;
       auto frame = c.viewer.decode(d.wire);
+      const double decode_s =
+          timed ? double(trace::now_since_epoch_ns() - t0) * 1e-9 : 0.0;
+      if (metrics::enabled()) m.e2e_decode.observe(decode_s);
+      if (obs::lineage::enabled()) {
+        obs::lineage::record_wall(obs::lineage::Stage::kDecode, d.step,
+                                  frame_epoch,
+                                  obs::lineage::ChannelKind::kClient,
+                                  c.rep.id, decode_s);
+      }
       if (!frame) {
         ++c.rep.decode_failures;
         ++rep_.decode_failures;
@@ -337,9 +408,20 @@ void DeliveryServer::observe_queues() {
   m.queue_bytes.set(double(total));
 }
 
+void DeliveryServer::set_epoch(std::uint32_t epoch) {
+  epoch_ = epoch;
+  bank_.set_epoch(epoch);
+}
+
+std::uint32_t DeliveryServer::epoch() const { return epoch_; }
+
 void DeliveryServer::submit(double now, int step, const img::Image8& frame) {
   auto& m = ServerMetrics::get();
   trace::Span span("stream", "serve_frame", step);
+  if (obs::lineage::enabled()) {
+    obs::lineage::record_virtual(obs::lineage::Stage::kFrame, step, epoch_,
+                                 obs::lineage::ChannelKind::kClient, -1, now);
+  }
   ++rep_.frames_submitted;
   last_step_ = step;
   bank_.begin_step(step, frame);
@@ -391,22 +473,50 @@ void DeliveryServer::submit(double now, int step, const img::Image8& frame) {
     bool drop = d.drop;
     std::shared_ptr<const std::vector<std::uint8_t>> wire;
     if (!drop) {
+      // Encode stage of the e2e waterfall: the wall cost of materializing
+      // this client's wire bytes (an actual encode on first demand, a
+      // near-free bank/cache reuse after — the histogram shows both modes).
+      const bool timed = metrics::enabled() || obs::lineage::enabled();
+      const std::int64_t t0 = timed ? trace::now_since_epoch_ns() : 0;
       wire = key ? fetch_key(tier) : bank_.delta(tier);
+      if (timed) {
+        const double enc_s = double(trace::now_since_epoch_ns() - t0) * 1e-9;
+        if (metrics::enabled()) m.e2e_encode.observe(enc_s);
+        if (obs::lineage::enabled()) {
+          obs::lineage::record_wall(obs::lineage::Stage::kEncode, step, epoch_,
+                                    obs::lineage::ChannelKind::kClient,
+                                    c.rep.id, enc_s);
+        }
+      }
       // The byte budget is the hard isolation boundary: a client that can't
       // take this frame within budget loses THIS frame only.
       if (c.link->in_flight_bytes() + wire->size() > cfg_.queue_budget_bytes)
         drop = true;
     }
     if (drop) {
+      trace::instant("server", "drop", step);
       ++c.rep.frames_dropped;
       ++rep_.frames_dropped;
       m.dropped.add();
+      if (obs::lineage::enabled()) {
+        obs::lineage::record_virtual(obs::lineage::Stage::kDrop, step, epoch_,
+                                     obs::lineage::ChannelKind::kClient,
+                                     c.rep.id, now);
+      }
       // Re-anchor: after a gap the client must never receive a delta
       // against a frame it was never sent.
       c.needs_keyframe = true;
       continue;
     }
-    c.link->send(now, step, std::vector<std::uint8_t>(*wire));
+    {
+      trace::Span enq("server", "enqueue", step);
+      c.link->send(now, step, std::vector<std::uint8_t>(*wire));
+    }
+    if (obs::lineage::enabled()) {
+      obs::lineage::record_virtual(obs::lineage::Stage::kEnqueue, step, epoch_,
+                                   obs::lineage::ChannelKind::kClient,
+                                   c.rep.id, now);
+    }
     ++c.rep.frames_sent;
     ++rep_.frames_sent;
     c.rep.bytes_sent += wire->size();

@@ -134,7 +134,9 @@ struct ClientReport {
   };
   std::vector<Delivery> deliveries;
 
-  double p95_latency_s() const;  // exact order statistic over deliveries
+  // Exact order statistics over deliveries (the run report's e2e block).
+  double p50_latency_s() const;
+  double p95_latency_s() const;
 };
 
 struct ServerReport {
@@ -182,6 +184,11 @@ class DeliveryServer {
   // needed (tier, kind) once; never blocks; drops per client per policy.
   void submit(double now, int step, const img::Image8& frame);
 
+  // View epoch stamped into frame headers and lineage events from the next
+  // pack on ((step, epoch) is the end-to-end frame id). Call before submit.
+  void set_epoch(std::uint32_t epoch);
+  std::uint32_t epoch() const;
+
   // Advance every client's link to `now` without a new frame (delivers
   // stragglers, detects stalls/evictions between frames).
   void poll(double now);
@@ -209,6 +216,7 @@ class DeliveryServer {
   std::vector<std::unique_ptr<Client>> clients_;
   ServerReport rep_;
   int last_step_ = -1;
+  std::uint32_t epoch_ = 0;
 };
 
 // --- fleet helper -----------------------------------------------------------

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "metrics/metrics.hpp"
+#include "obs/lineage.hpp"
 #include "trace/trace.hpp"
 
 namespace qv::stream {
@@ -27,6 +28,16 @@ struct StreamMetrics {
   metrics::Gauge& queue_bytes = metrics::gauge("stream.queue_bytes");
   metrics::Histogram& display_latency = metrics::histogram(
       "stream.display_latency", metrics::HistogramSpec::duration_seconds());
+  // Per-stage e2e latency, same names as the DeliveryServer path (the
+  // registry is idempotent by name, so both feed one histogram set).
+  metrics::Histogram& e2e_encode = metrics::histogram(
+      "stream.e2e.encode", metrics::HistogramSpec::duration_seconds());
+  metrics::Histogram& e2e_queue_wait = metrics::histogram(
+      "stream.e2e.queue_wait", metrics::HistogramSpec::duration_seconds());
+  metrics::Histogram& e2e_wire = metrics::histogram(
+      "stream.e2e.wire", metrics::HistogramSpec::duration_seconds());
+  metrics::Histogram& e2e_decode = metrics::histogram(
+      "stream.e2e.decode", metrics::HistogramSpec::duration_seconds());
   static StreamMetrics& get() {
     static StreamMetrics m;
     return m;
@@ -53,10 +64,46 @@ StreamSession::StreamSession(const StreamConfig& cfg, int width, int height)
       link_(link_config(cfg)),
       controller_(cfg.controller) {}
 
+void StreamSession::set_epoch(std::uint32_t epoch) {
+  epoch_ = epoch;
+  encoder_.set_epoch(epoch);
+}
+
 void StreamSession::handle_deliveries(std::vector<DeliveredFrame> delivered) {
   auto& m = StreamMetrics::get();
   for (auto& d : delivered) {
+    const double lat = d.delivered_at - d.sent_at;
+    std::uint32_t frame_epoch = 0;
+    if (d.wire.size() >= sizeof(FrameHeader)) {
+      FrameHeader h;
+      std::memcpy(&h, d.wire.data(), sizeof(h));
+      frame_epoch = h.epoch;
+    }
+    if (obs::lineage::enabled()) {
+      obs::lineage::record_virtual(obs::lineage::Stage::kWire, d.step,
+                                   frame_epoch,
+                                   obs::lineage::ChannelKind::kClient,
+                                   /*channel=*/0, d.sent_at, lat);
+    }
+    if (metrics::enabled()) {
+      m.e2e_wire.observe(lat);
+      const double ideal =
+          double(d.bytes) / cfg_.bandwidth_bytes_per_s + cfg_.latency_s;
+      m.e2e_queue_wait.observe(std::max(0.0, lat - ideal));
+    }
+    const bool timed = metrics::enabled() || obs::lineage::enabled();
+    const std::int64_t t0 = timed ? trace::now_since_epoch_ns() : 0;
     auto frame = viewer_.decode(d.wire);
+    if (timed) {
+      const double decode_s = double(trace::now_since_epoch_ns() - t0) * 1e-9;
+      if (metrics::enabled()) m.e2e_decode.observe(decode_s);
+      if (obs::lineage::enabled()) {
+        obs::lineage::record_wall(obs::lineage::Stage::kDecode, d.step,
+                                  frame_epoch,
+                                  obs::lineage::ChannelKind::kClient,
+                                  /*channel=*/0, decode_s);
+      }
+    }
     if (!frame) {
       ++rep_.decode_failures;
       m.decode_failures.add();
@@ -64,7 +111,7 @@ void StreamSession::handle_deliveries(std::vector<DeliveredFrame> delivered) {
     }
     ++rep_.frames_delivered;
     m.delivered.add();
-    const double lat = d.delivered_at - d.sent_at;
+    rep_.delivery_latencies_s.push_back(lat);
     latency_sum_ += lat;
     rep_.max_display_latency_s = std::max(rep_.max_display_latency_s, lat);
     if (metrics::enabled()) m.display_latency.observe(lat);
@@ -92,6 +139,11 @@ void StreamSession::submit(double now, int step, const img::Image8& frame) {
   if (d.drop) {
     ++rep_.frames_dropped;
     m.dropped.add();
+    if (obs::lineage::enabled()) {
+      obs::lineage::record_virtual(obs::lineage::Stage::kDrop, step, epoch_,
+                                   obs::lineage::ChannelKind::kClient,
+                                   /*channel=*/0, now);
+    }
     if (cfg_.capture) cfg_.capture->dropped_steps.push_back(step);
     return;
   }
@@ -99,7 +151,18 @@ void StreamSession::submit(double now, int step, const img::Image8& frame) {
   std::vector<std::uint8_t> wire;
   {
     trace::Span span("stream", "encode", step);
+    const bool timed = metrics::enabled() || obs::lineage::enabled();
+    const std::int64_t t0 = timed ? trace::now_since_epoch_ns() : 0;
     wire = encoder_.encode(step, frame, d.tier, d.keyframe);
+    if (timed) {
+      const double enc_s = double(trace::now_since_epoch_ns() - t0) * 1e-9;
+      if (metrics::enabled()) m.e2e_encode.observe(enc_s);
+      if (obs::lineage::enabled()) {
+        obs::lineage::record_wall(obs::lineage::Stage::kEncode, step, epoch_,
+                                  obs::lineage::ChannelKind::kClient,
+                                  /*channel=*/0, enc_s);
+      }
+    }
   }
   // Count keyframes off the wire header: the first frame is one regardless
   // of what the controller asked for.
@@ -112,6 +175,11 @@ void StreamSession::submit(double now, int step, const img::Image8& frame) {
   rep_.bytes_out += wire.size();
   m.bytes_out.add(wire.size());
   link_.send(now, step, std::move(wire));
+  if (obs::lineage::enabled()) {
+    obs::lineage::record_virtual(obs::lineage::Stage::kEnqueue, step, epoch_,
+                                 obs::lineage::ChannelKind::kClient,
+                                 /*channel=*/0, now);
+  }
   // The send itself grows the queue; the peak must see it.
   rep_.peak_queue_bytes =
       std::max(rep_.peak_queue_bytes, link_.in_flight_bytes());

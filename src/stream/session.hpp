@@ -61,6 +61,9 @@ struct StreamReport {
   double max_display_latency_s = 0.0;
   int final_level = 0;
   int peak_level = 0;
+  // One entry per delivered frame (link virtual time): the run report's
+  // exact e2e percentiles and the SLO verdict are computed from these.
+  std::vector<double> delivery_latencies_s;
 };
 
 class StreamSession {
@@ -71,12 +74,17 @@ class StreamSession {
   // pipeline start). May drop it; never blocks.
   void submit(double now, int step, const img::Image8& frame);
 
+  // View epoch stamped into frame headers and lineage events from the next
+  // encode on ((step, epoch) is the end-to-end frame id).
+  void set_epoch(std::uint32_t epoch);
+
   // Drain the link, write the record file if configured, return the report.
   StreamReport finish();
 
  private:
   void handle_deliveries(std::vector<DeliveredFrame> delivered);
 
+  std::uint32_t epoch_ = 0;
   StreamConfig cfg_;
   FrameEncoder encoder_;
   FrameDecoder viewer_;  // in-process viewer: decode + verify + latency

@@ -103,6 +103,10 @@ void set_capacity(std::size_t events_per_thread) {
                    std::memory_order_relaxed);
 }
 
+std::int64_t now_since_epoch_ns() noexcept {
+  return now_ns() - g_epoch_ns.load(std::memory_order_relaxed);
+}
+
 void set_thread(int tid, std::string name) {
   ThreadTrace& buf = local_buf();
   buf.tid = tid;
@@ -208,8 +212,8 @@ void write_us(std::ostream& os, std::int64_t ns) {
 
 }  // namespace
 
-void write_chrome_json(std::ostream& os,
-                       std::span<const ThreadTrace> traces) {
+void write_chrome_json(std::ostream& os, std::span<const ThreadTrace> traces,
+                       std::string_view extra_events) {
   os << "[\n";
   bool first = true;
   auto sep = [&]() {
@@ -262,14 +266,19 @@ void write_chrome_json(std::ostream& os,
          << t.dropped << "}}";
     }
   }
+  if (!extra_events.empty()) {
+    sep();
+    os << extra_events;
+  }
   os << "\n]\n";
 }
 
 bool write_chrome_json(const std::string& path,
-                       std::span<const ThreadTrace> traces) {
+                       std::span<const ThreadTrace> traces,
+                       std::string_view extra_events) {
   std::ofstream os(path, std::ios::binary);
   if (!os) return false;
-  write_chrome_json(os, traces);
+  write_chrome_json(os, traces, extra_events);
   return os.good();
 }
 

@@ -32,6 +32,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace qv::trace {
@@ -68,6 +69,13 @@ void reset();
 // Per-thread event capacity for buffers created after this call.
 void set_capacity(std::size_t events_per_thread);
 
+// Steady-clock nanoseconds since the epoch enable() set (the zero point of
+// every exported timestamp).  Other recorders (obs/lineage) stamp their
+// wall-domain events with this so a merged timeline lines up with spans.
+// Monotonic regardless of enabled(); before the first enable() the epoch is
+// the steady clock's own zero.
+std::int64_t now_since_epoch_ns() noexcept;
+
 // Labels the calling thread in the exported trace.  tid should be the vmpi
 // world rank so merged timelines line up; name is the pipeline role.
 void set_thread(int tid, std::string name);
@@ -99,8 +107,13 @@ void instant(const char* cat, const char* name, std::int64_t arg = -1) noexcept;
 // Chrome trace-event JSON ("JSON array format"), loadable by perfetto and
 // chrome://tracing.  Timestamps are emitted in microseconds as the format
 // requires; sub-microsecond precision is kept as a fractional part.
-void write_chrome_json(std::ostream& os, std::span<const ThreadTrace> traces);
+// `extra_events`, when non-empty, is a fragment of comma-joined trace-event
+// objects (no enclosing brackets) appended to the same array — how the
+// lineage recorder merges its per-frame async waterfalls into the timeline.
+void write_chrome_json(std::ostream& os, std::span<const ThreadTrace> traces,
+                       std::string_view extra_events = {});
 bool write_chrome_json(const std::string& path,
-                       std::span<const ThreadTrace> traces);
+                       std::span<const ThreadTrace> traces,
+                       std::string_view extra_events = {});
 
 }  // namespace qv::trace

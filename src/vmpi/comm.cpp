@@ -1,6 +1,7 @@
 #include "vmpi/comm.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <exception>
@@ -22,7 +23,18 @@ metrics::Counter& recv_bytes() { static auto& c = metrics::counter("vmpi.recv.by
 metrics::Counter& recv_timeouts() { static auto& c = metrics::counter("vmpi.recv.timeouts"); return c; }
 metrics::Counter& collective_calls() { static auto& c = metrics::counter("vmpi.collective.calls"); return c; }
 metrics::Counter& collective_bytes() { static auto& c = metrics::counter("vmpi.collective.bytes"); return c; }
+
+std::atomic<FaultObserver> g_fault_observer{nullptr};
+
+void notify_fault(const char* reason, int rank) noexcept {
+  if (FaultObserver obs = g_fault_observer.load(std::memory_order_acquire))
+    obs(reason, rank);
+}
 }  // namespace
+
+void set_fault_observer(FaultObserver obs) noexcept {
+  g_fault_observer.store(obs, std::memory_order_release);
+}
 
 namespace detail {
 
@@ -463,11 +475,17 @@ void Runtime::run(int nranks, const std::function<void(Comm&)>& fn,
       } catch (const RankKilled&) {
         // An injected kill is a clean exit: the rank simply vanishes, as a
         // crashed node does. Survivors detect the silence via recv_timeout.
+        notify_fault("rank_killed", r);
       } catch (...) {
+        bool is_first = false;
         {
           std::lock_guard lk(err_mu);
-          if (!first_error) first_error = std::current_exception();
+          if (!first_error) {
+            first_error = std::current_exception();
+            is_first = true;
+          }
         }
+        if (is_first) notify_fault("world_abort", r);
         // Wake every peer blocked on a recv or barrier: with this rank gone
         // nobody will ever send what they wait for, and a hung join is far
         // worse than the cascade of WorldAborted exits that follows. The

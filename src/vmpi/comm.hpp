@@ -270,6 +270,16 @@ class Comm {
   int rank_ = 0;              // my rank within this communicator
 };
 
+// Observer invoked from inside Runtime::run when a rank dies abnormally:
+// reason is "rank_killed" for an injected fault-plan kill and "world_abort"
+// for the first escaped exception (the one run() later rethrows; cascaded
+// WorldAborted exits do not re-fire it).  Called on the dying rank's thread
+// while the world is still alive, so a flight recorder can dump state the
+// join would otherwise discard.  Must be async-signal-ish: no throwing, no
+// vmpi calls.  Pass nullptr to clear.
+using FaultObserver = void (*)(const char* reason, int rank);
+void set_fault_observer(FaultObserver obs) noexcept;
+
 // Spawns `nranks` threads, each running `fn` with its world communicator.
 // Rethrows the first rank exception after all threads join. A RankKilled
 // exit (from an installed fault plan) is NOT an error: the thread ends

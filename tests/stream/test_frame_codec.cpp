@@ -65,6 +65,25 @@ TEST(FrameCodec, Tier0RoundtripIsLossless) {
   }
 }
 
+TEST(FrameCodec, EpochRidesTheWireHeader) {
+  // The frame id is (step, view epoch); the epoch set on the encoder is
+  // stamped into every header from the next encode on and surfaces on the
+  // decoded frame. Epoch 0 keeps the wire byte-identical to pre-epoch
+  // captures (the field replaced zero padding).
+  const int w = 16, h = 12;
+  FrameEncoder enc(w, h);
+  FrameDecoder dec;
+  EXPECT_EQ(enc.epoch(), 0u);
+  auto got0 = dec.decode(enc.encode(0, test_frame(w, h, 0)));
+  ASSERT_TRUE(got0.has_value());
+  EXPECT_EQ(got0->epoch, 0u);
+  enc.set_epoch(7);
+  auto got1 = dec.decode(enc.encode(1, test_frame(w, h, 1)));
+  ASSERT_TRUE(got1.has_value());
+  EXPECT_EQ(got1->epoch, 7u);
+  EXPECT_EQ(got1->step, 1);
+}
+
 TEST(FrameCodec, QuantizedTiersBoundError) {
   const int w = 32, h = 24;
   auto frame = test_frame(w, h, 3);
@@ -284,10 +303,12 @@ TEST(FrameCodecFuzz, BitFlipsNeverCrashAndNeverLie) {
       continue;
     }
     // The CRC covers the payload and the header fields are each validated;
-    // a corrupted frame must never be reported as the original image.
+    // a corrupted frame must never be reported as the original image UNDER
+    // the original identity. (A flip confined to the epoch field decodes
+    // with a different frame id — reported, not lied about.)
     if (got.has_value())
       EXPECT_FALSE(images_equal(got->image, test_frame(w, h, 1)) &&
-                   got->step == 1 && got->tier == 0)
+                   got->step == 1 && got->tier == 0 && got->epoch == 0)
           << "corrupt frame decoded as pristine";
     // Whatever happened, the decoder keeps working afterwards.
     FrameDecoder dec2;

@@ -8,15 +8,30 @@
 //   bench_report print REPORT.json
 //       Human-readable dump of a report's tracked metrics and histograms.
 //
+//   bench_report slo REPORT.json
+//       Re-check the report's "slo" block (the quakeviz --slo-* verdict).
+//       Exit 0 when the SLO passed, 2 when it failed, 1 when the report is
+//       unreadable or carries no slo block — an SLO that silently vanished
+//       must not read as green.
+//
+//   bench_report validate-lineage DUMP.json
+//       Structurally validate a flight-recorder dump ("qv-flight-recorder"
+//       v1): channels are rank/client with event arrays, every event names
+//       its stage and a wall/virtual domain. Exit 0 iff valid.
+//
 //   bench_report selftest
 //       Deterministic demonstration that the gate trips: builds a synthetic
 //       baseline, a passing current (+5%), and a failing current (+30%),
-//       and verifies PASS/FAIL come out as expected. Exit 0 iff correct.
+//       and verifies PASS/FAIL come out as expected; round-trips the v2
+//       e2e/slo blocks and confirms v1 input is rejected. Exit 0 iff correct.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
+#include "metrics/json.hpp"
 #include "metrics/report.hpp"
 #include "util/parse.hpp"
 
@@ -106,6 +121,118 @@ int cmd_print(int argc, char** argv) {
                   h.count ? h.max : 0.0);
     }
   }
+  if (r->e2e) {
+    std::printf("e2e clients:\n");
+    for (const auto& c : r->e2e->clients) {
+      std::printf("  client %-4d frames=%-8llu drops=%-6llu p50=%.6g "
+                  "p95=%.6g\n",
+                  c.id, static_cast<unsigned long long>(c.frames),
+                  static_cast<unsigned long long>(c.drops), c.p50_s, c.p95_s);
+    }
+  }
+  if (r->slo) {
+    std::printf("slo: p95 %.6g/%.6g s, drop %.6g/%.6g -> %s\n",
+                r->slo->observed_p95_s, r->slo->target_p95_s,
+                r->slo->observed_drop_rate, r->slo->max_drop_rate,
+                r->slo->pass ? "PASS" : "FAIL");
+  }
+  return 0;
+}
+
+int cmd_slo(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: bench_report slo REPORT.json\n");
+    return 2;
+  }
+  std::string err;
+  auto r = read_report_file(argv[2], &err);
+  if (!r) {
+    std::fprintf(stderr, "%s: %s\n", argv[2], err.c_str());
+    return 1;
+  }
+  if (!r->slo) {
+    std::fprintf(stderr, "%s: no slo block (run quakeviz with --slo-p95/"
+                 "--slo-drop)\n", argv[2]);
+    return 1;
+  }
+  const SloBlock& s = *r->slo;
+  std::printf("slo: p95 %.6g s (target %.6g s) | drop rate %.6g (max %.6g) "
+              "-> %s\n",
+              s.observed_p95_s, s.target_p95_s, s.observed_drop_rate,
+              s.max_drop_rate, s.pass ? "PASS" : "FAIL");
+  // Re-derive the verdict: a producer bug that wrote pass=true next to an
+  // out-of-target observation must not sneak through the gate.
+  const bool rederived = s.observed_p95_s <= s.target_p95_s &&
+                         s.observed_drop_rate <= s.max_drop_rate;
+  if (rederived != s.pass) {
+    std::fprintf(stderr, "slo: stored pass=%s contradicts the numbers\n",
+                 s.pass ? "true" : "false");
+    return 2;
+  }
+  return s.pass ? 0 : 2;
+}
+
+int cmd_validate_lineage(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: bench_report validate-lineage DUMP.json\n");
+    return 2;
+  }
+  std::ifstream in(argv[2], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", argv[2]);
+    return 1;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string err;
+  auto doc = parse_json(ss.str(), &err);
+  const auto fail = [&](const char* what) {
+    std::fprintf(stderr, "%s: invalid flight-recorder dump: %s\n", argv[2],
+                 what);
+    return 1;
+  };
+  if (!doc) {
+    std::fprintf(stderr, "%s: %s\n", argv[2], err.c_str());
+    return 1;
+  }
+  const Json* schema = doc->find("schema");
+  if (!schema || !schema->is_string() || schema->str() != "qv-flight-recorder")
+    return fail("schema is not qv-flight-recorder");
+  const Json* version = doc->find("version");
+  if (!version || !version->is_number() || version->num() != 1)
+    return fail("unsupported version");
+  const Json* reason = doc->find("reason");
+  if (!reason || !reason->is_string()) return fail("missing reason");
+  const Json* channels = doc->find("channels");
+  if (!channels || !channels->is_array()) return fail("missing channels");
+  std::size_t events = 0;
+  for (const Json& ch : channels->arr()) {
+    const Json* kind = ch.find("kind");
+    if (!kind || !kind->is_string() ||
+        (kind->str() != "rank" && kind->str() != "client"))
+      return fail("channel kind is not rank/client");
+    const Json* id = ch.find("id");
+    if (!id || !id->is_number()) return fail("channel missing id");
+    const Json* evs = ch.find("events");
+    if (!evs || !evs->is_array()) return fail("channel missing events");
+    for (const Json& e : evs->arr()) {
+      for (const char* key : {"step", "epoch", "t_s", "dur_s"}) {
+        const Json* f = e.find(key);
+        if (!f || !f->is_number()) return fail("event missing numeric field");
+      }
+      const Json* stage = e.find("stage");
+      if (!stage || !stage->is_string() || stage->str().empty())
+        return fail("event missing stage");
+      const Json* domain = e.find("domain");
+      if (!domain || !domain->is_string() ||
+          (domain->str() != "wall" && domain->str() != "virtual"))
+        return fail("event domain is not wall/virtual");
+      ++events;
+    }
+  }
+  std::printf("%s: valid qv-flight-recorder v1 (reason \"%s\", %zu channels, "
+              "%zu events)\n",
+              argv[2], reason->str().c_str(), channels->arr().size(), events);
   return 0;
 }
 
@@ -139,6 +266,39 @@ int cmd_selftest() {
     std::fprintf(stderr, "selftest: gate verdicts are wrong\n");
     return 1;
   }
+  // v2 blocks: e2e + slo must survive a JSON round-trip intact.
+  RunReport v2 = synthetic_report(1.0);
+  v2.e2e = E2eBlock{{{/*id=*/3, /*frames=*/40, /*drops=*/2, 0.11, 0.32}}};
+  v2.slo = SloBlock{0.5, 0.1, 0.32, 0.02, true};
+  auto v2p = parse_report(to_json(v2), &err);
+  const bool v2ok =
+      v2p && v2p->e2e && v2p->e2e->clients.size() == 1 &&
+      v2p->e2e->clients[0].id == 3 && v2p->e2e->clients[0].frames == 40 &&
+      v2p->e2e->clients[0].drops == 2 &&
+      v2p->e2e->clients[0].p95_s == 0.32 && v2p->slo &&
+      v2p->slo->target_p95_s == 0.5 && v2p->slo->observed_p95_s == 0.32 &&
+      v2p->slo->pass;
+  if (!v2ok) {
+    std::fprintf(stderr, "selftest: e2e/slo round-trip failed (%s)\n",
+                 err.c_str());
+    return 1;
+  }
+  // A v1 document must be rejected: a stale baseline silently missing the
+  // new blocks would make the slo gate vacuous.
+  std::string v1 = to_json(base);
+  const std::string needle = "\"version\": 2";
+  const auto at = v1.find(needle);
+  if (at == std::string::npos) {
+    std::fprintf(stderr, "selftest: emitted JSON does not declare v2\n");
+    return 1;
+  }
+  v1.replace(at, needle.size(), "\"version\": 1");
+  err.clear();
+  if (parse_report(v1, &err)) {
+    std::fprintf(stderr, "selftest: v1 input was not rejected\n");
+    return 1;
+  }
+  std::printf("selftest: v1 input rejected (%s)\n", err.c_str());
   std::printf("selftest: ok\n");
   return 0;
 }
@@ -149,12 +309,18 @@ int main(int argc, char** argv) {
   if (argc >= 2) {
     if (std::strcmp(argv[1], "compare") == 0) return cmd_compare(argc, argv);
     if (std::strcmp(argv[1], "print") == 0) return cmd_print(argc, argv);
+    if (std::strcmp(argv[1], "slo") == 0) return cmd_slo(argc, argv);
+    if (std::strcmp(argv[1], "validate-lineage") == 0)
+      return cmd_validate_lineage(argc, argv);
     if (std::strcmp(argv[1], "selftest") == 0) return cmd_selftest();
   }
   std::fprintf(stderr,
-               "usage: bench_report <compare|print|selftest> [options]\n"
+               "usage: bench_report <compare|print|slo|validate-lineage|"
+               "selftest> [options]\n"
                "  compare --baseline=F --current=F [--threshold=0.15]\n"
                "  print REPORT.json\n"
+               "  slo REPORT.json\n"
+               "  validate-lineage DUMP.json\n"
                "  selftest\n");
   return 2;
 }

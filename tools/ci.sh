@@ -3,12 +3,14 @@
 # test (streamed pipeline -> viewer decode -> byte-exact frame check), a
 # server churn-chaos stage run under two seeds, a cache-replay stage
 # (zipfian replay digests bit-identical across repeat runs, two seeds, plus
-# the strict CLI parsing contract), a ThreadSanitizer pass over the
+# the strict CLI parsing contract), an SLO gate (serve + replay runs under
+# two seeds must produce passing e2e-latency verdicts and flight-recorder
+# dumps the validator accepts), a ThreadSanitizer pass over the
 # message-passing runtime and the parallel renderer, a determinism/fuzz
 # stage run under two seeds, and the benchmark gate.
 # Usage: tools/ci.sh [--tier1-only|--trace-only|--stream-only|
-#                     --server-chaos-only|--cache-replay-only|--tsan-only|
-#                     --determinism-only|--bench-gate-only]
+#                     --server-chaos-only|--cache-replay-only|slo-gate|
+#                     --tsan-only|--determinism-only|--bench-gate-only]
 #        tools/ci.sh --bench-update    # re-baseline BENCH_*.json
 # BENCH_THRESHOLD (default 0.15) sets the gate's relative regression bound.
 set -euo pipefail
@@ -54,7 +56,7 @@ EOF
     python3 - "$work/run.json" <<'EOF'
 import json, sys
 r = json.load(open(sys.argv[1]))
-assert r.get("schema") == "qv-run-report" and r.get("version") == 1, "bad schema"
+assert r.get("schema") == "qv-run-report" and r.get("version") == 2, "bad schema"
 assert r.get("kind") == "pipeline"
 tracked = {m["name"] for m in r["tracked"]}
 assert "interframe_s" in tracked, f"tracked = {sorted(tracked)}"
@@ -165,7 +167,7 @@ tsan() {
   echo "== tsan: vmpi runtime + fault layer + tracing + renderer under ThreadSanitizer =="
   cmake -B build-tsan -S . -DQV_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-tsan -j "$JOBS" --target test_vmpi test_pipeline test_trace test_metrics \
-      test_util test_render test_stream test_server test_cache
+      test_util test_render test_stream test_server test_cache test_lineage
   # TSAN_OPTIONS halt_on_error makes a data-race report a hard failure.
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_vmpi
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_pipeline \
@@ -188,6 +190,38 @@ tsan() {
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_server
   # The shared frame cache: concurrent get/put plus the replayer.
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_cache
+  # The lineage flight recorder, hammered from every rank thread at once
+  # and dumped from a fault observer while peers still record.
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_lineage
+}
+
+slo_gate() {
+  echo "== slo gate: e2e SLO verdicts + flight-recorder dumps, two seeds =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS" --target quakeviz bench_report
+  local work seed
+  work=$(mktemp -d)
+  trap 'rm -rf "$work"' RETURN
+  for seed in 1 2; do
+    echo "-- --seed=$seed --"
+    # A healthy (non-chaos) serve fleet must meet the delivery SLO, and its
+    # lineage dump must round-trip through the validator.
+    ./build/tools/quakeviz serve --clients=6 --steps=40 --seed="$seed" \
+        --metrics-json="$work/serve_$seed.json" \
+        --lineage="$work/serve_$seed.lineage.json" \
+        --slo-p95=30 --slo-drop=0.1 >/dev/null
+    ./build/tools/bench_report slo "$work/serve_$seed.json"
+    ./build/tools/bench_report validate-lineage "$work/serve_$seed.lineage.json"
+    # The cache replayer under the same gate (virtual-time wire latencies;
+    # the replayer never drops).
+    ./build/tools/quakeviz replay --requests=400 --seed="$seed" \
+        --metrics-json="$work/replay_$seed.json" \
+        --lineage="$work/replay_$seed.lineage.json" \
+        --slo-p95=30 --slo-drop=0.1 >/dev/null
+    ./build/tools/bench_report slo "$work/replay_$seed.json"
+    ./build/tools/bench_report validate-lineage "$work/replay_$seed.lineage.json"
+  done
+  echo "slo gate: verdicts PASS and flight-recorder dumps valid under both seeds"
 }
 
 determinism() {
@@ -272,11 +306,12 @@ case "$MODE" in
   --stream-only) stream_smoke ;;
   --server-chaos-only) server_chaos ;;
   --cache-replay-only) cache_replay ;;
+  slo-gate|--slo-gate-only) slo_gate ;;
   --tsan-only) tsan ;;
   --determinism-only) determinism ;;
   --bench-gate-only) bench_gate ;;
   --bench-update) bench_update ;;
-  all|--all) tier1; trace_smoke; stream_smoke; server_chaos; cache_replay; determinism; tsan; bench_gate ;;
-  *) echo "usage: tools/ci.sh [--tier1-only|--trace-only|--stream-only|--server-chaos-only|--cache-replay-only|--tsan-only|--determinism-only|--bench-gate-only|--bench-update]" >&2; exit 2 ;;
+  all|--all) tier1; trace_smoke; stream_smoke; server_chaos; cache_replay; slo_gate; determinism; tsan; bench_gate ;;
+  *) echo "usage: tools/ci.sh [--tier1-only|--trace-only|--stream-only|--server-chaos-only|--cache-replay-only|slo-gate|--tsan-only|--determinism-only|--bench-gate-only|--bench-update]" >&2; exit 2 ;;
 esac
 echo "ci: OK"

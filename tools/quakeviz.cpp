@@ -69,6 +69,20 @@
 //       a content-addressed keyframe cache (LRU over the byte budget)
 //       keyed on (dataset, step, camera, transfer function, tier).
 //
+//   pipeline, insitu, serve, and replay also accept the observability flags:
+//            [--lineage=FILE.json] [--slo-p95=S] [--slo-drop=R]
+//       --lineage arms the frame-lineage flight recorder: every frame id
+//       (step, view epoch) is tracked render -> composite -> encode ->
+//       queue -> wire -> decode in bounded per-rank/per-client rings,
+//       dumped to FILE.json at end of run — and automatically on a
+//       fault-plan rank kill, a world abort, or a client eviction. With
+//       --trace the lineage is also merged into the Chrome trace as
+//       per-frame async waterfalls. --slo-p95/--slo-drop state a service
+//       level objective (max p95 end-to-end frame latency in seconds / max
+//       drop rate); the run report gains a pass/fail "slo" block that
+//       `bench_report slo` and the ci slo-gate enforce. Requires
+//       --metrics-json.
+//
 //   quakeviz serve [--clients=N] [--steps=N] [--seed=S] [--chaos]
 //            [--slow=N] [--flappers=N] [--churners=N] [--budget=BYTES]
 //            [--evict-timeout=S] [--width=W] [--height=H]
@@ -94,15 +108,18 @@
 //       seed; prints hit rate vs the analytic expectation and the run
 //       digest.
 //
-//   quakeviz view --in=FILE [--out=DIR]
+//   quakeviz view --in=FILE [--out=DIR] [--metrics-json=FILE.json]
 //       Decode a --stream-record file like the remote viewer would:
 //       verify every frame (magic/CRC/delta chain), optionally write the
-//       frames as PPMs, print each frame's step/kind/tier and SHA-256.
+//       frames as PPMs, print each frame's step@epoch/kind/tier and
+//       SHA-256. --metrics-json writes a run report with decode counters
+//       and the stream.e2e.decode latency histogram.
 //       A truncated or corrupt capture (e.g. cut mid-frame) fails with a
 //       message saying where the file went bad.
 //
 // Unknown --options are rejected with the command's known-flag list, so a
 // typo can't silently fall back to a default.
+#include <algorithm>
 #include <climits>
 #include <cstdio>
 #include <cstdlib>
@@ -111,6 +128,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/insitu.hpp"
 #include "core/pipeline.hpp"
@@ -119,6 +137,7 @@
 #include "io/dataset.hpp"
 #include "metrics/metrics.hpp"
 #include "metrics/report.hpp"
+#include "obs/lineage.hpp"
 #include "quake/solver.hpp"
 #include "quake/synthetic.hpp"
 #include "stream/frame_codec.hpp"
@@ -348,6 +367,131 @@ void track_server_report(metrics::RunReport& rr,
   rr.track("server_cache_misses", double(sr.cache_misses), "frames");
 }
 
+// --- frame lineage + SLO flags ---------------------------------------------
+// Shared by pipeline, insitu, serve, and replay:
+//   --lineage=FILE.json  arm the flight recorder; dump at end of run (and on
+//                        a fault-plan rank kill / world abort / client
+//                        eviction, via the installed observers).
+//   --slo-p95=S          SLO: max acceptable p95 end-to-end frame latency.
+//   --slo-drop=R         SLO: max acceptable drop rate dropped/(sent+dropped).
+// Either --slo-* flag adds the pass/fail "slo" block to the run report
+// (requires --metrics-json; the unspecified bound defaults to 1 s / 0.1).
+
+void arm_lineage(const std::string& path) {
+  if (path.empty()) return;
+  obs::lineage::set_dump_path(path);
+  obs::lineage::enable();
+  obs::lineage::install_fault_observer();
+}
+
+// End-of-run dump to the same file a mid-run fault would have written; a
+// fault dump that already happened is superseded by this complete one.
+int finish_lineage(const std::string& path) {
+  if (path.empty()) return 0;
+  if (!obs::lineage::dump_now("end_of_run")) {
+    std::fprintf(stderr, "cannot write lineage dump %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("lineage: flight recorder -> %s\n", path.c_str());
+  return 0;
+}
+
+// Exact order statistic, same convention as ClientReport::p95_latency_s.
+double pooled_percentile(std::vector<double> v, std::size_t p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t idx = (v.size() * p + 99) / 100;
+  return v[idx - 1];
+}
+
+struct SloRequest {
+  bool requested = false;
+  double target_p95_s = 1.0;
+  double max_drop_rate = 0.1;
+};
+
+SloRequest parse_slo_flags(const Args& args, const std::string& metrics_json) {
+  SloRequest s;
+  s.requested = args.flag("slo-p95") || args.flag("slo-drop");
+  if (s.requested && metrics_json.empty()) {
+    std::fprintf(stderr,
+                 "--slo-p95/--slo-drop require --metrics-json=FILE (the slo "
+                 "verdict lives in the run report)\n");
+    std::exit(2);
+  }
+  s.target_p95_s = args.real("slo-p95", 1.0);
+  s.max_drop_rate = args.real("slo-drop", 0.1);
+  return s;
+}
+
+metrics::SloBlock judge_slo(const SloRequest& req, double observed_p95,
+                            double observed_drop) {
+  metrics::SloBlock b;
+  b.target_p95_s = req.target_p95_s;
+  b.max_drop_rate = req.max_drop_rate;
+  b.observed_p95_s = observed_p95;
+  b.observed_drop_rate = observed_drop;
+  b.pass = observed_p95 <= req.target_p95_s &&
+           observed_drop <= req.max_drop_rate;
+  return b;
+}
+
+void print_slo(const metrics::SloBlock& b) {
+  std::printf(
+      "slo: p95 %.4f s (target %.4f s) | drop rate %.4f (max %.4f) -> %s\n",
+      b.observed_p95_s, b.target_p95_s, b.observed_drop_rate, b.max_drop_rate,
+      b.pass ? "PASS" : "FAIL");
+}
+
+void fill_e2e_from_server(metrics::RunReport& rr,
+                          const stream::ServerReport& sr) {
+  metrics::E2eBlock block;
+  for (const auto& c : sr.clients) {
+    metrics::E2eClientStats s;
+    s.id = c.id;
+    s.frames = c.frames_delivered;
+    s.drops = c.frames_dropped;
+    s.p50_s = c.p50_latency_s();
+    s.p95_s = c.p95_latency_s();
+    block.clients.push_back(s);
+  }
+  rr.e2e = std::move(block);
+}
+
+// Pool every client's deliveries for the fleet-wide SLO percentile.
+std::vector<double> server_latencies(const stream::ServerReport& sr) {
+  std::vector<double> lat;
+  for (const auto& c : sr.clients)
+    for (const auto& d : c.deliveries) lat.push_back(d.latency_s);
+  return lat;
+}
+
+double server_drop_rate(const stream::ServerReport& sr) {
+  const double total = double(sr.frames_sent + sr.frames_dropped);
+  return total > 0.0 ? double(sr.frames_dropped) / total : 0.0;
+}
+
+// SLO inputs for pipeline/insitu: the serve fleet when attached, else the
+// single stream session.
+void apply_run_slo(metrics::RunReport& rr, const SloRequest& slo,
+                   bool serve_enabled, const stream::ServerReport& server,
+                   bool stream_enabled, const stream::StreamReport& stream) {
+  if (!slo.requested) return;
+  std::vector<double> lat;
+  double drop = 0.0;
+  if (serve_enabled) {
+    lat = server_latencies(server);
+    drop = server_drop_rate(server);
+  } else if (stream_enabled) {
+    lat = stream.delivery_latencies_s;
+    const double total =
+        double(stream.frames_delivered + stream.frames_dropped);
+    drop = total > 0.0 ? double(stream.frames_dropped) / total : 0.0;
+  }
+  rr.slo = judge_slo(slo, pooled_percentile(std::move(lat), 95), drop);
+  print_slo(*rr.slo);
+}
+
 quake::LayeredBasin default_basin(const Box3& domain) {
   quake::LayeredBasin basin;
   basin.basin_center = {domain.center().x, domain.center().y, domain.hi.z};
@@ -483,7 +627,8 @@ int cmd_pipeline(const Args& args) {
        "stream-fault-down", "stream-fault-factor",
        "serve-clients", "serve-bandwidth-hi", "serve-bandwidth-lo",
        "serve-latency-ms", "serve-outage-seed", "serve-budget",
-       "serve-evict-timeout", "cache-bytes"});
+       "serve-evict-timeout", "cache-bytes", "lineage", "slo-p95",
+       "slo-drop"});
   core::PipelineConfig cfg;
   cfg.output_dir = args.str("out", "");
   if (!cfg.output_dir.empty())
@@ -559,19 +704,25 @@ int cmd_pipeline(const Args& args) {
   const std::string trace_path = args.str("trace", "");
   const std::string metrics_json = args.str("metrics-json", "");
   const std::string metrics_prom = args.str("metrics-prom", "");
+  const std::string lineage_path = args.str("lineage", "");
+  const SloRequest slo = parse_slo_flags(args, metrics_json);
   const bool want_metrics = !metrics_json.empty() || !metrics_prom.empty();
   // Required flags are checked last so a malformed value (e.g.
   // --render-threads=abc) is diagnosed even when --dataset is absent.
   cfg.dataset_dir = args.require("dataset");
   if (!trace_path.empty()) trace::enable();
   if (want_metrics) metrics::enable();
+  arm_lineage(lineage_path);
 
   auto report = core::run_pipeline(cfg);
 
   if (!trace_path.empty()) {
     trace::disable();
     auto traces = trace::collect();
-    if (!trace::write_chrome_json(trace_path, traces)) {
+    // Lineage rides along as async waterfall events: every frame id becomes
+    // a "b"/"n"/"e" group next to the spans that produced it.
+    if (!trace::write_chrome_json(trace_path, traces,
+                                  obs::lineage::chrome_fragment())) {
       std::fprintf(stderr, "cannot write trace %s\n", trace_path.c_str());
       return 1;
     }
@@ -598,7 +749,12 @@ int cmd_pipeline(const Args& args) {
     rr.track("composite_bytes", double(report.composite_bytes), "bytes");
     rr.track("block_bytes_sent", double(report.block_bytes_sent), "bytes");
     if (cfg.stream.enabled) track_stream_report(rr, report.stream);
-    if (cfg.serve.enabled) track_server_report(rr, report.server);
+    if (cfg.serve.enabled) {
+      track_server_report(rr, report.server);
+      fill_e2e_from_server(rr, report.server);
+    }
+    apply_run_slo(rr, slo, cfg.serve.enabled, report.server,
+                  cfg.stream.enabled, report.stream);
     rr.snapshot = metrics::collect();
     metrics::disable();
     if (!metrics_json.empty() && !metrics::write_json_file(metrics_json, rr))
@@ -611,6 +767,7 @@ int cmd_pipeline(const Args& args) {
     if (!metrics_prom.empty())
       std::printf("metrics: prometheus dump -> %s\n", metrics_prom.c_str());
   }
+  if (finish_lineage(lineage_path) != 0) return 1;
   std::printf("frames: %d  interframe %.4f s\n", report.steps,
               report.avg_interframe);
   if (cfg.stream.enabled) print_stream_report(report.stream);
@@ -649,7 +806,8 @@ int cmd_insitu(const Args& args) {
                    "stream-fault-factor",
                    "serve-clients", "serve-bandwidth-hi", "serve-bandwidth-lo",
                    "serve-latency-ms", "serve-outage-seed", "serve-budget",
-                   "serve-evict-timeout", "cache-bytes"});
+                   "serve-evict-timeout", "cache-bytes", "lineage", "slo-p95",
+                   "slo-drop"});
   core::InsituConfig cfg;
   cfg.basin = default_basin(cfg.domain);
   cfg.source.position = {1000, 1000, 1400};
@@ -671,14 +829,18 @@ int cmd_insitu(const Args& args) {
   const std::string trace_path = args.str("trace", "");
   const std::string metrics_json = args.str("metrics-json", "");
   const std::string metrics_prom = args.str("metrics-prom", "");
+  const std::string lineage_path = args.str("lineage", "");
+  const SloRequest slo = parse_slo_flags(args, metrics_json);
   const bool want_metrics = !metrics_json.empty() || !metrics_prom.empty();
   if (!trace_path.empty()) trace::enable();
   if (want_metrics) metrics::enable();
+  arm_lineage(lineage_path);
   auto report = core::run_insitu(cfg);
   if (!trace_path.empty()) {
     trace::disable();
     auto traces = trace::collect();
-    if (!trace::write_chrome_json(trace_path, traces)) {
+    if (!trace::write_chrome_json(trace_path, traces,
+                                  obs::lineage::chrome_fragment())) {
       std::fprintf(stderr, "cannot write trace %s\n", trace_path.c_str());
       return 1;
     }
@@ -693,7 +855,12 @@ int cmd_insitu(const Args& args) {
     rr.track("frame_s",
              report.snapshots > 0 ? frame_total / report.snapshots : 0.0, "s");
     if (cfg.stream.enabled) track_stream_report(rr, report.stream);
-    if (cfg.serve.enabled) track_server_report(rr, report.server);
+    if (cfg.serve.enabled) {
+      track_server_report(rr, report.server);
+      fill_e2e_from_server(rr, report.server);
+    }
+    apply_run_slo(rr, slo, cfg.serve.enabled, report.server,
+                  cfg.stream.enabled, report.stream);
     rr.snapshot = metrics::collect();
     metrics::disable();
     if (!metrics_json.empty() && !metrics::write_json_file(metrics_json, rr))
@@ -706,6 +873,7 @@ int cmd_insitu(const Args& args) {
     if (!metrics_prom.empty())
       std::printf("metrics: prometheus dump -> %s\n", metrics_prom.c_str());
   }
+  if (finish_lineage(lineage_path) != 0) return 1;
   std::printf("simulated %.1f s in %.2f s; %d frames\n",
               report.sim_time_reached, report.sim_seconds, report.snapshots);
   if (cfg.stream.enabled) print_stream_report(report.stream);
@@ -721,7 +889,7 @@ int cmd_serve(const Args& args) {
   args.allow_only("serve",
                   {"clients", "steps", "seed", "chaos", "slow", "flappers",
                    "churners", "budget", "evict-timeout", "width", "height",
-                   "metrics-json"});
+                   "metrics-json", "lineage", "slo-p95", "slo-drop"});
   stream::ChaosConfig cfg;
   cfg.seed = std::uint64_t(args.num("seed", 1));
   cfg.steps = args.num("steps", 60);
@@ -742,7 +910,10 @@ int cmd_serve(const Args& args) {
   cfg.server.queue_budget_bytes =
       std::size_t(args.real("budget", double(1u << 20)));
   const std::string metrics_json = args.str("metrics-json", "");
+  const std::string lineage_path = args.str("lineage", "");
+  const SloRequest slo = parse_slo_flags(args, metrics_json);
   if (!metrics_json.empty()) metrics::enable();
+  arm_lineage(lineage_path);
 
   auto result = stream::run_chaos(cfg);
 
@@ -751,11 +922,19 @@ int cmd_serve(const Args& args) {
     rr.kind = "serve";
     track_server_report(rr, result.report);
     rr.track("serve_fast_p95_s", result.fast_p95_s, "s");
+    fill_e2e_from_server(rr, result.report);
+    if (slo.requested) {
+      rr.slo = judge_slo(slo,
+                         pooled_percentile(server_latencies(result.report), 95),
+                         server_drop_rate(result.report));
+      print_slo(*rr.slo);
+    }
     rr.snapshot = metrics::collect();
     metrics::disable();
     if (!metrics::write_json_file(metrics_json, rr)) return 1;
     std::printf("metrics: run report -> %s\n", metrics_json.c_str());
   }
+  if (finish_lineage(lineage_path) != 0) return 1;
   print_server_report(result.report);
   std::printf("serve: fast-client p95 latency %.4f s\n", result.fast_p95_s);
   std::printf("serve: run digest %s\n", result.digest.c_str());
@@ -777,7 +956,8 @@ int cmd_replay(const Args& args) {
   args.allow_only("replay",
                   {"requests", "zipf-s", "seed", "clients", "steps", "tiers",
                    "width", "height", "cache-bytes", "bandwidth", "latency-ms",
-                   "interval-ms", "no-verify", "metrics-json"});
+                   "interval-ms", "no-verify", "metrics-json", "lineage",
+                   "slo-p95", "slo-drop"});
   stream::ReplayConfig cfg;
   cfg.requests = std::uint64_t(args.num("requests", 512));
   cfg.zipf_s = args.real("zipf-s", 1.1);
@@ -794,7 +974,10 @@ int cmd_replay(const Args& args) {
   cfg.interval_s = args.real("interval-ms", 10.0) / 1000.0;
   cfg.verify = !args.flag("no-verify");
   const std::string metrics_json = args.str("metrics-json", "");
+  const std::string lineage_path = args.str("lineage", "");
+  const SloRequest slo = parse_slo_flags(args, metrics_json);
   if (!metrics_json.empty()) metrics::enable();
+  arm_lineage(lineage_path);
 
   auto rep = stream::run_replay(cfg);
 
@@ -808,11 +991,27 @@ int cmd_replay(const Args& args) {
     rr.track("replay_bytes_served", double(rep.bytes_served), "bytes");
     rr.track("cache_evictions", double(rep.cache.evictions), "evictions");
     rr.track("cache_bytes", double(rep.cache.bytes), "bytes");
+    metrics::E2eBlock block;
+    for (const auto& c : rep.client_e2e) {
+      metrics::E2eClientStats s;
+      s.id = c.id;
+      s.frames = c.frames;
+      s.drops = 0;  // the replayer never drops: every request is shipped
+      s.p50_s = c.p50_s;
+      s.p95_s = c.p95_s;
+      block.clients.push_back(s);
+    }
+    rr.e2e = std::move(block);
+    if (slo.requested) {
+      rr.slo = judge_slo(slo, rep.e2e_p95_s, 0.0);
+      print_slo(*rr.slo);
+    }
     rr.snapshot = metrics::collect();
     metrics::disable();
     if (!metrics::write_json_file(metrics_json, rr)) return 1;
     std::printf("metrics: run report -> %s\n", metrics_json.c_str());
   }
+  if (finish_lineage(lineage_path) != 0) return 1;
   std::printf(
       "replay: %llu requests | %llu rendered | %llu cache-served | "
       "%.2f MB shipped | %llu delivered\n",
@@ -843,10 +1042,12 @@ int cmd_replay(const Args& args) {
 // their step number (frame_%04d.ppm) so a delivered frame lands on the
 // same name the output processor used locally — `cmp` does the rest.
 int cmd_view(const Args& args) {
-  args.allow_only("view", {"in", "out"});
+  args.allow_only("view", {"in", "out", "metrics-json"});
   const std::string in = args.require("in");
   const std::string out = args.str("out", "");
+  const std::string metrics_json = args.str("metrics-json", "");
   if (!out.empty()) std::filesystem::create_directories(out);
+  if (!metrics_json.empty()) metrics::enable();
   std::string err;
   auto frames = stream::read_record_file(in, &err);
   if (!frames) {
@@ -857,16 +1058,26 @@ int cmd_view(const Args& args) {
   }
   stream::FrameDecoder dec;
   int failures = 0;
+  std::vector<double> decode_s;
+  decode_s.reserve(frames->size());
   for (const auto& wire : *frames) {
+    const std::int64_t t0 = trace::now_since_epoch_ns();
     auto f = dec.decode(wire);
+    const double dt = double(trace::now_since_epoch_ns() - t0) * 1e-9;
+    decode_s.push_back(dt);
+    if (metrics::enabled()) {
+      metrics::counter("view.frames").add();
+      metrics::histogram("stream.e2e.decode").observe(dt);
+    }
     if (!f) {
       std::fprintf(stderr, "decode failure (%zu wire bytes)\n", wire.size());
       ++failures;
+      if (metrics::enabled()) metrics::counter("view.decode_failures").add();
       continue;
     }
     std::string sha = util::Sha256::hex(f->image.data(), f->image.byte_count());
-    std::printf("step %4d  %s tier %d  %4dx%-4d  sha256 %s\n", f->step,
-                f->kind == stream::FrameKind::kKey ? "key  " : "delta",
+    std::printf("step %4d@%-2u  %s tier %d  %4dx%-4d  sha256 %s\n", f->step,
+                f->epoch, f->kind == stream::FrameKind::kKey ? "key  " : "delta",
                 f->tier, f->image.width(), f->image.height(), sha.c_str());
     if (!out.empty()) {
       char name[64];
@@ -876,6 +1087,17 @@ int cmd_view(const Args& args) {
         return 1;
       }
     }
+  }
+  if (!metrics_json.empty()) {
+    metrics::RunReport rr;
+    rr.kind = "view";
+    rr.track("view_frames", double(frames->size()), "frames");
+    rr.track("view_decode_failures", double(failures), "frames");
+    rr.track("view_decode_p95_s", pooled_percentile(decode_s, 95), "s");
+    rr.snapshot = metrics::collect();
+    metrics::disable();
+    if (!metrics::write_json_file(metrics_json, rr)) return 1;
+    std::printf("metrics: run report -> %s\n", metrics_json.c_str());
   }
   std::printf("viewed %zu frames, %d decode failures\n", frames->size(),
               failures);
