@@ -1,17 +1,20 @@
 // §4.4 / §7 compositing study on the real algorithms over vmpi:
-//   * SLIC vs direct-send vs binary-swap message counts, bytes and time at
-//     512x512 and 1024x1024 (the paper: SLIC wins, especially >= 1024^2);
+//   * SLIC vs direct-send vs binary-swap vs radix-k message counts, bytes
+//     and time at 512x512 and 1024x1024 (the paper: SLIC wins, >= 1024^2);
 //   * schedule precompute cost (paper: under 10 ms);
-//   * RLE compression cut of compositing traffic (paper conclusion: ~50%
-//     lower compositing time with compression).
+//   * per-rank-count radix-k sweep (power-of-two and not) with active-pixel
+//     compression on/off — the traffic cut the paper's conclusion reports
+//     (~50% lower compositing time with compression).
 //
 // With --json=PATH the bench emits a qv-run-report for the regression gate:
-// SLIC at 512x512 on 8 ranks, min-of-3 on time, deterministic bytes/messages.
+// SLIC / direct-send / radix-k at 512x512 on 8 ranks, min-of-3 on time,
+// deterministic bytes/messages.
 #include <cstdio>
 #include <mutex>
 
 #include "compositing/binary_swap.hpp"
 #include "compositing/direct_send.hpp"
+#include "compositing/radix_k.hpp"
 #include "compositing/slic.hpp"
 #include "metrics/report.hpp"
 #include "util/rng.hpp"
@@ -75,6 +78,16 @@ Row run(int ranks, const std::vector<std::vector<PartialImage>>& dist, Fn fn) {
   return row;
 }
 
+void print_row(const char* name, const Row& row, bool schedule) {
+  std::printf("%-28s %-10.3f %-12.2f %-10llu ", name, row.seconds,
+              double(row.bytes) / 1e6,
+              static_cast<unsigned long long>(row.messages));
+  if (schedule)
+    std::printf("%-14.3f\n", row.schedule_ms);
+  else
+    std::printf("%-14s\n", "-");
+}
+
 void bench_size(int ranks, int w, int h) {
   auto dist = make_partials(ranks, w, h);
   std::printf("\n-- %dx%d, %d compositing ranks --\n", w, h, ranks);
@@ -85,31 +98,51 @@ void bench_size(int ranks, int w, int h) {
     auto slic_row = run(ranks, dist, [&](vmpi::Comm& c, auto partials) {
       return slic(c, partials, w, h, compress, 0);
     });
-    std::printf("%-28s %-10.3f %-12.2f %-10llu %-14.3f\n",
-                compress ? "SLIC + compression" : "SLIC", slic_row.seconds,
-                double(slic_row.bytes) / 1e6,
-                static_cast<unsigned long long>(slic_row.messages),
-                slic_row.schedule_ms);
+    print_row(compress ? "SLIC + compression" : "SLIC", slic_row, true);
 
     auto ds_row = run(ranks, dist, [&](vmpi::Comm& c, auto partials) {
       return direct_send(c, partials, w, h, compress, 0);
     });
-    std::printf("%-28s %-10.3f %-12.2f %-10llu %-14s\n",
-                compress ? "direct-send + compression" : "direct-send",
-                ds_row.seconds, double(ds_row.bytes) / 1e6,
-                static_cast<unsigned long long>(ds_row.messages), "-");
+    print_row(compress ? "direct-send + compression" : "direct-send", ds_row,
+              false);
+
+    auto rk_row = run(ranks, dist, [&](vmpi::Comm& c, auto partials) {
+      return radix_k(c, partials, w, h, /*k=*/4, compress, 0);
+    });
+    print_row(compress ? "radix-k(4) + compression" : "radix-k(4)", rk_row,
+              false);
 
     if ((ranks & (ranks - 1)) == 0) {
       auto bs_row = run(ranks, dist, [&](vmpi::Comm& c, auto partials) {
-        Box3 bounds{{float(c.rank()), 0, 0}, {float(c.rank() + 1), 1, 1}};
-        return binary_swap(c, partials, w, h, bounds, {-10, 0.5f, 0.5f},
-                           compress, 0);
+        return binary_swap(c, partials, w, h, compress, 0);
       });
-      std::printf("%-28s %-10.3f %-12.2f %-10llu %-14s\n",
-                  compress ? "binary-swap + compression" : "binary-swap",
-                  bs_row.seconds, double(bs_row.bytes) / 1e6,
-                  static_cast<unsigned long long>(bs_row.messages), "-");
+      print_row(compress ? "binary-swap + compression" : "binary-swap",
+                bs_row, false);
     }
+  }
+}
+
+// Per-rank-count columns: direct-send vs radix-k(4), active-pixel
+// compression off/on, over power-of-two and awkward counts.
+void bench_rank_sweep(int w, int h) {
+  std::printf("\n-- rank sweep at %dx%d: bytes moved (MB) --\n", w, h);
+  std::printf("%-8s %-14s %-14s %-14s %-14s\n", "ranks", "direct", "direct+c",
+              "radix-k4", "radix-k4+c");
+  for (int ranks : {4, 7, 8, 13}) {
+    auto dist = make_partials(ranks, w, h);
+    double mb[4];
+    int col = 0;
+    for (bool radix : {false, true}) {
+      for (bool compress : {false, true}) {
+        Row row = run(ranks, dist, [&](vmpi::Comm& c, auto partials) {
+          return radix ? radix_k(c, partials, w, h, 4, compress, 0)
+                       : direct_send(c, partials, w, h, compress, 0);
+        });
+        mb[col++] = double(row.bytes) / 1e6;
+      }
+    }
+    std::printf("%-8d %-14.2f %-14.2f %-14.2f %-14.2f\n", ranks, mb[0], mb[1],
+                mb[2], mb[3]);
   }
 }
 
@@ -122,21 +155,42 @@ int main(int argc, char** argv) {
   std::printf(" compression halves compositing traffic)\n");
   bench_size(8, 512, 512);
   bench_size(8, 1024, 1024);
+  bench_rank_sweep(512, 512);
 
   if (rep.json_requested()) {
     const int ranks = 8, w = 512, h = 512;
     auto dist = make_partials(ranks, w, h);
-    Row best;
-    best.seconds = 1e9;
-    for (int r = 0; r < 3; ++r) {
-      Row row = run(ranks, dist, [&](vmpi::Comm& c, auto partials) {
-        return slic(c, partials, w, h, /*compress=*/false, 0);
-      });
-      if (row.seconds < best.seconds) best = row;
-    }
+    auto best_of3 = [&](auto fn) {
+      Row best;
+      best.seconds = 1e9;
+      for (int r = 0; r < 3; ++r) {
+        Row row = run(ranks, dist, fn);
+        if (row.seconds < best.seconds) best = row;
+      }
+      return best;
+    };
+    Row best = best_of3([&](vmpi::Comm& c, auto partials) {
+      return slic(c, partials, w, h, /*compress=*/false, 0);
+    });
     rep.track("slic_512_s", best.seconds, "s");
     rep.track("slic_512_bytes", double(best.bytes), "bytes");
     rep.track("slic_512_messages", double(best.messages), "count");
+
+    Row ds = best_of3([&](vmpi::Comm& c, auto partials) {
+      return direct_send(c, partials, w, h, /*compress=*/false, 0);
+    });
+    rep.track("ds_512_bytes", double(ds.bytes), "bytes");
+
+    Row rk = best_of3([&](vmpi::Comm& c, auto partials) {
+      return radix_k(c, partials, w, h, /*k=*/4, /*compress=*/false, 0);
+    });
+    rep.track("radix_512_s", rk.seconds, "s");
+    rep.track("radix_512_bytes", double(rk.bytes), "bytes");
+
+    Row rkc = best_of3([&](vmpi::Comm& c, auto partials) {
+      return radix_k(c, partials, w, h, /*k=*/4, /*compress=*/true, 0);
+    });
+    rep.track("radix_compress_512_bytes", double(rkc.bytes), "bytes");
   }
   return rep.finish();
 }

@@ -1,169 +1,18 @@
 #include "compositing/binary_swap.hpp"
 
-#include <cmath>
-#include <cstring>
+#include <stdexcept>
 
-#include "trace/trace.hpp"
-#include "util/stats.hpp"
+#include "compositing/radix_k.hpp"
 
 namespace qv::compositing {
 
-namespace {
-constexpr int kTagSwap = 920;
-constexpr int kTagGather = 921;
-
-struct SwapHeader {
-  float box[6];  // sender's group bounds
-};
-
-// True when box `a` is in front of box `b` as seen from `eye`.
-bool a_in_front(const Box3& a, const Box3& b, Vec3 eye) {
-  // Look for a separating axis.
-  for (int axis = 0; axis < 3; ++axis) {
-    float alo = axis == 0 ? a.lo.x : axis == 1 ? a.lo.y : a.lo.z;
-    float ahi = axis == 0 ? a.hi.x : axis == 1 ? a.hi.y : a.hi.z;
-    float blo = axis == 0 ? b.lo.x : axis == 1 ? b.lo.y : b.lo.z;
-    float bhi = axis == 0 ? b.hi.x : axis == 1 ? b.hi.y : b.hi.z;
-    float e = axis == 0 ? eye.x : axis == 1 ? eye.y : eye.z;
-    const float tol = 1e-6f;
-    if (ahi <= blo + tol) {
-      // a below b on this axis: a is in front iff the eye is on a's side.
-      return e < blo;
-    }
-    if (bhi <= alo + tol) {
-      return e > bhi;
-    }
-  }
-  // Overlapping boxes (shouldn't happen with subtree partitions): center
-  // distance fallback.
-  return (a.center() - eye).norm2() < (b.center() - eye).norm2();
-}
-
-}  // namespace
-
 CompositeResult binary_swap(vmpi::Comm& comm,
                             std::span<const PartialImage> partials, int width,
-                            int height, const Box3& data_bounds, Vec3 eye,
-                            bool compress, int root) {
+                            int height, bool compress, int root) {
   const int P = comm.size();
-  const int me = comm.rank();
   if ((P & (P - 1)) != 0)
     throw std::runtime_error("binary_swap: size must be a power of two");
-
-  CompositeResult result;
-
-  // Flatten my partials into a full-frame local image.
-  std::vector<const PartialImage*> ptrs;
-  for (const auto& p : partials) ptrs.push_back(&p);
-  img::Image local = render::compose_reference(std::move(ptrs), width, height);
-
-  ScreenRect region{0, 0, width, height};
-  Box3 my_box = data_bounds;
-
-  WallTimer timer;
-  int rounds = 0;
-  while ((1 << rounds) < P) ++rounds;
-  for (int k = 0; k < rounds; ++k) {
-    trace::Span round_span("compositing", "bswap_round", k);
-    int partner = me ^ (1 << k);
-    // Split `region` by rows; the lower-rank side keeps the top half.
-    int mid = (region.y0 + region.y1) / 2;
-    ScreenRect top{region.x0, region.y0, region.x1, mid};
-    ScreenRect bottom{region.x0, mid, region.x1, region.y1};
-    bool keep_top = (me & (1 << k)) == 0;
-    ScreenRect keep = keep_top ? top : bottom;
-    ScreenRect give = keep_top ? bottom : top;
-
-    // Send my pixels of the half the partner keeps, plus my group box.
-    Piece out_piece;
-    out_piece.order = 0;
-    out_piece.rect = give;
-    out_piece.pixels.resize(std::size_t(give.width()) *
-                            std::size_t(give.height()));
-    for (int y = give.y0; y < give.y1; ++y)
-      for (int x = give.x0; x < give.x1; ++x)
-        out_piece.pixels[std::size_t(y - give.y0) * std::size_t(give.width()) +
-                         std::size_t(x - give.x0)] = local.at(x, y);
-
-    std::vector<std::uint8_t> msg(sizeof(SwapHeader));
-    SwapHeader hdr{{my_box.lo.x, my_box.lo.y, my_box.lo.z, my_box.hi.x,
-                    my_box.hi.y, my_box.hi.z}};
-    std::memcpy(msg.data(), &hdr, sizeof(hdr));
-    result.stats.pixels_sent += out_piece.pixels.size();
-    pack_piece(out_piece, compress, msg);
-    result.stats.messages += 1;
-    result.stats.bytes_sent += msg.size();
-    comm.send(partner, kTagSwap, msg);
-
-    std::vector<std::uint8_t> in;
-    comm.recv(partner, kTagSwap, in);
-    SwapHeader phdr;
-    std::memcpy(&phdr, in.data(), sizeof(phdr));
-    Box3 partner_box{{phdr.box[0], phdr.box[1], phdr.box[2]},
-                     {phdr.box[3], phdr.box[4], phdr.box[5]}};
-    auto pieces = unpack_pieces(
-        std::span<const std::uint8_t>(in).subspan(sizeof(SwapHeader)));
-    if (pieces.size() != 1 || !(pieces[0].rect.x0 == keep.x0 &&
-                                pieces[0].rect.y0 == keep.y0 &&
-                                pieces[0].rect.x1 == keep.x1 &&
-                                pieces[0].rect.y1 == keep.y1))
-      throw std::runtime_error("binary_swap: unexpected piece geometry");
-    const Piece& pp = pieces[0];
-
-    bool partner_front = a_in_front(partner_box, my_box, eye);
-    for (int y = keep.y0; y < keep.y1; ++y) {
-      for (int x = keep.x0; x < keep.x1; ++x) {
-        const img::Rgba& theirs =
-            pp.pixels[std::size_t(y - keep.y0) * std::size_t(keep.width()) +
-                      std::size_t(x - keep.x0)];
-        img::Rgba& ours = local.at(x, y);
-        ours = partner_front ? theirs.over(ours) : ours.over(theirs);
-      }
-    }
-    region = keep;
-    my_box = my_box.united(partner_box);
-  }
-  result.stats.composite_seconds = timer.seconds();
-
-  // Gather the 1/P tiles at the root.
-  trace::Span gather_span("compositing", "bswap_gather");
-  if (me == root) {
-    result.image = img::Image(width, height);
-    for (int y = region.y0; y < region.y1; ++y)
-      for (int x = region.x0; x < region.x1; ++x)
-        result.image.at(x, y) = local.at(x, y);
-    for (int r = 0; r < P; ++r) {
-      if (r == root) continue;
-      std::vector<std::uint8_t> msg;
-      comm.recv(r, kTagGather, msg);
-      auto pieces = unpack_pieces(msg);
-      for (const Piece& p : pieces) {
-        for (int y = p.rect.y0; y < p.rect.y1; ++y)
-          for (int x = p.rect.x0; x < p.rect.x1; ++x)
-            result.image.at(x, y) =
-                p.pixels[std::size_t(y - p.rect.y0) *
-                             std::size_t(p.rect.width()) +
-                         std::size_t(x - p.rect.x0)];
-      }
-    }
-  } else {
-    Piece tile;
-    tile.order = 0;
-    tile.rect = region;
-    tile.pixels.resize(std::size_t(region.width()) *
-                       std::size_t(region.height()));
-    for (int y = region.y0; y < region.y1; ++y)
-      for (int x = region.x0; x < region.x1; ++x)
-        tile.pixels[std::size_t(y - region.y0) * std::size_t(region.width()) +
-                    std::size_t(x - region.x0)] = local.at(x, y);
-    std::vector<std::uint8_t> msg;
-    pack_piece(tile, compress, msg);
-    result.stats.messages += 1;
-    result.stats.bytes_sent += msg.size();
-    comm.send(root, kTagGather, msg);
-  }
-  record_stats(result.stats);
-  return result;
+  return radix_k(comm, partials, width, height, 2, compress, root);
 }
 
 }  // namespace qv::compositing

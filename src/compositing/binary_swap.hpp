@@ -1,25 +1,20 @@
 // Binary-swap compositing (Ma et al. '94) — the classic O(log P) scheme the
-// paper cites as prior work [21]. Each round, partners exchange halves of
-// their current image region and composite; after log2(P) rounds every rank
-// owns a fully composited 1/P tile, gathered at the root.
-//
-// Correct "over" combination between partners requires a global front/back
-// relation between the two sides' data. That holds when ranks own convex,
-// plane-separable regions (e.g. one octree subtree per rank in Morton
-// order, the layout our pipeline produces for power-of-two renderer
-// counts); each rank passes its data bounds so the rounds can orient.
+// paper cites as prior work [21]. Implemented as the k=2 specialization of
+// the radix-k compositor: a power-of-two rank count factors into all-2
+// rounds, which IS binary swap's pairing structure. The deferred-blend
+// exchange makes the result bit-identical to direct_send(), so the old
+// data-bounds/eye parameters (needed to orient eager pairwise "over"
+// merges) are gone.
 #pragma once
 
 #include "compositing/common.hpp"
 
 namespace qv::compositing {
 
-// Collective over `comm`; comm.size() must be a power of two.
-// `data_bounds` is the union box of this rank's blocks; `eye` the camera
-// position (to decide near/far per round).
+// Collective over `comm`; comm.size() must be a power of two (use radix_k()
+// directly for arbitrary counts).
 CompositeResult binary_swap(vmpi::Comm& comm,
                             std::span<const PartialImage> partials, int width,
-                            int height, const Box3& data_bounds, Vec3 eye,
-                            bool compress, int root = 0);
+                            int height, bool compress, int root = 0);
 
 }  // namespace qv::compositing

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -54,6 +55,58 @@ void pack_piece(const Piece& piece, bool compress, std::vector<std::uint8_t>& bu
 
 // Unpack all pieces in a message.
 std::vector<Piece> unpack_pieces(std::span<const std::uint8_t> buf);
+
+// --- active-pixel wire format (radix-k / binary-swap exchange) --------------
+//
+// A hardened, self-validating framing for piece exchange. Layout:
+//
+//   [StreamHeader  16 B]  magic "QVPS" | piece_count | total_bytes | crc32
+//   [PieceFrame       ]*  repeated piece_count times, back to back
+//
+//   PieceFrame:
+//   [FramedPieceHeader 36 B]  magic "QVP2" | order | x0 y0 x1 y1 |
+//                             payload_bytes | encoding | pad[3] | crc32
+//   [payload payload_bytes B] kRaw: rect.w*rect.h raw Rgba values
+//                             kActiveRle: RLE of the active-pixel bbox
+//
+// Both headers carry a CRC over their own bytes, the stream header pins the
+// exact message length, and the decoder re-derives every payload length —
+// so truncation at ANY byte (including a frame boundary), any header bit
+// flip, and random garbage are all rejected with nullopt rather than
+// repaired or partially decoded (mirrors the stream/control codec fuzz
+// contracts from PR 2).
+enum class PieceEncoding : std::uint8_t { kRaw = 0, kActiveRle = 1 };
+
+// Bounding box of the non-transparent pixels of `piece`, in screen
+// coordinates; {0,0,0,0} when the piece is fully transparent. Dropping the
+// pixels outside this box is lossless for compositing: composite_pieces()
+// skips transparent sources, and an untouched output pixel is exactly zero.
+ScreenRect active_bbox(const Piece& piece);
+
+// Incrementally builds one wire message from pieces. `compress` selects
+// kActiveRle (bbox shrink + RLE) for every added piece, else kRaw.
+class PieceStreamWriter {
+ public:
+  explicit PieceStreamWriter(bool compress);
+  void add(const Piece& piece);
+  // Pre-compression pixel count over all added pieces (for stats).
+  std::uint64_t pixels_added() const { return pixels_; }
+  // Finalize the stream header and hand back the message; the writer is
+  // spent afterwards (pixels_added() stays valid).
+  std::vector<std::uint8_t> finish();
+
+ private:
+  bool compress_;
+  std::uint32_t count_ = 0;
+  std::uint64_t pixels_ = 0;
+  std::vector<std::uint8_t> buf_;
+};
+
+// Decode a full message produced by PieceStreamWriter. `max_width` /
+// `max_height` bound the acceptable piece rects (the screen size). Returns
+// nullopt on any malformation; never throws, never returns a partial list.
+std::optional<std::vector<Piece>> unpack_piece_stream(
+    std::span<const std::uint8_t> buf, int max_width, int max_height);
 
 // Composite `pieces` (sorted by order internally, front-to-back) into `out`
 // over the region each piece covers. `out` is in screen coordinates

@@ -1,0 +1,45 @@
+// Radix-k sort-last compositing (Peterka et al.'s configurable image
+// compositing, generalized here to ANY rank count) — the §4.4 exchange
+// structure ROADMAP item 5 calls for. The rank count P is factored into
+// rounds of at-most-k-way exchange over the largest k-smooth P' <= P
+// (every prime factor <= k; P' > P/2 always, since a power of two lies in
+// (P/2, P]); the P - P' remainder ranks fold their pieces onto an active
+// partner in a pre-round. k=2 over a power of two degenerates to classic
+// binary-swap; k >= P degenerates to a single direct-send-like round.
+//
+// Unlike the classic eager formulation, rounds here exchange *clipped piece
+// lists* without blending; every rank blends exactly once at the end, with
+// the same order-sorted front-to-back fold direct_send() uses. Because
+// floating-point "over" is not associative, this deferral is what makes the
+// result bit-identical to direct-send — for any rank count, any k, and with
+// active-pixel compression on or off (the wire format only drops pixels the
+// blend would skip as transparent). The guarantee requires partial orders
+// to be unique per source partial, which the render pipeline provides.
+#pragma once
+
+#include "compositing/common.hpp"
+
+namespace qv::compositing {
+
+// Round structure for `ranks` total ranks and group size at most `k`.
+struct RadixPlan {
+  int ranks = 1;
+  int active = 1;            // largest k-smooth count <= ranks
+  std::vector<int> factors;  // per-round group sizes, each in [2, k];
+                             // product == active
+  int folded() const { return ranks - active; }
+  int rounds() const { return int(factors.size()); }
+};
+
+// Factor `ranks` into a RadixPlan. Throws on ranks < 1 or k < 2.
+RadixPlan plan_radix_rounds(int ranks, int k);
+
+// Collective over `comm`; valid for any comm.size() >= 1. `k` bounds the
+// per-round group size; `root` receives the final image and must be an
+// active rank (root == 0 always is). `compress` selects the active-pixel
+// wire encoding (bbox shrink + RLE) for every exchanged message.
+CompositeResult radix_k(vmpi::Comm& comm,
+                        std::span<const PartialImage> partials, int width,
+                        int height, int k, bool compress, int root = 0);
+
+}  // namespace qv::compositing

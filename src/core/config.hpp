@@ -26,9 +26,11 @@ enum class Compositor {
   kSlic,        // §4.4: scheduled linear image compositing
   kDirectSend,  // baseline
   kBinarySwap,  // classic log-P swap; requires power-of-two render_procs
-                // (run_pipeline falls back to direct-send otherwise).
-                // Exact only for depth-separable renderer partitions;
-                // interleaved assignments make it an approximation.
+                // (run_pipeline routes to radix-k with k=2 otherwise).
+                // Deferred-blend: output is bit-identical to direct-send.
+  kRadixK,      // round-structured k-way exchange, any render_procs count
+                // (group size capped by composite_k); bit-identical to
+                // direct-send.
 };
 
 enum class Colormap {
@@ -77,6 +79,9 @@ struct PipelineConfig {
   int render_threads = 1;
 
   Compositor compositor = Compositor::kSlic;
+  // Per-round group-size cap for Compositor::kRadixK (>= 2). 4 balances
+  // round count against per-round message fan-out at the paper's scales.
+  int composite_k = 4;
   bool compress_compositing = false;
   // RLE-compress the quantized block payloads the input processors ship
   // (quiet ground quantizes to zero runs, so this usually wins big).

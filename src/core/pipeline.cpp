@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "compositing/binary_swap.hpp"
+#include "compositing/radix_k.hpp"
 #include "compositing/direct_send.hpp"
 #include "compositing/slic.hpp"
 #include "core/frame_msg.hpp"
@@ -1034,17 +1035,13 @@ void run_render(Shared& sh, const Setup& st, vmpi::Comm& world,
         comp = compositing::slic(render_comm, partials, cfg.width, cfg.height,
                                  cfg.compress_compositing, 0);
       } else if (cfg.compositor == Compositor::kBinarySwap) {
-        // Binary swap needs each rank's data-space bounds for front-to-back
-        // ordering; use the union of the blocks this rank just rendered.
-        Box3 my_bounds = st.mesh->domain();
-        if (!assign.owned.empty()) {
-          my_bounds = st.blocks[assign.owned[0]].bounds;
-          for (std::size_t i = 1; i < assign.owned.size(); ++i)
-            my_bounds = my_bounds.united(st.blocks[assign.owned[i]].bounds);
-        }
         comp = compositing::binary_swap(render_comm, partials, cfg.width,
-                                        cfg.height, my_bounds, camera.eye(),
-                                        cfg.compress_compositing, 0);
+                                        cfg.height, cfg.compress_compositing,
+                                        0);
+      } else if (cfg.compositor == Compositor::kRadixK) {
+        comp = compositing::radix_k(render_comm, partials, cfg.width,
+                                    cfg.height, cfg.composite_k,
+                                    cfg.compress_compositing, 0);
       } else {
         comp = compositing::direct_send(render_comm, partials, cfg.width,
                                         cfg.height, cfg.compress_compositing,
@@ -1260,19 +1257,18 @@ void run_output(Shared& sh, const Setup& st, vmpi::Comm& world) {
 
 PipelineReport run_pipeline(const PipelineConfig& config_in,
                             std::vector<img::Image>* frames_out) {
-  // Local copy: validation below may downgrade the compositor choice.
+  // Local copy: validation below may reroute the compositor choice.
   PipelineConfig config = config_in;
   if (config.compositor == Compositor::kBinarySwap &&
       (config.render_procs & (config.render_procs - 1)) != 0) {
-    // binary_swap() itself aborts on a non-power-of-two communicator; catch
-    // the configuration here and degrade gracefully instead of killing the
-    // whole world mid-run.
-    std::fprintf(stderr,
-                 "pipeline: binary-swap compositing requires a power-of-two "
-                 "render_procs (got %d); falling back to direct-send\n",
-                 config.render_procs);
-    config.compositor = Compositor::kDirectSend;
+    // binary_swap() itself aborts on a non-power-of-two communicator; route
+    // to radix-k with k=2 — the same swap structure generalized to any
+    // count, bit-identical output, no degradation to direct-send.
+    config.compositor = Compositor::kRadixK;
+    config.composite_k = 2;
   }
+  if (config.compositor == Compositor::kRadixK && config.composite_k < 2)
+    throw std::runtime_error("pipeline: composite_k must be >= 2");
   if (config.lic_overlay && config.strategy != IoStrategy::kOneDip)
     throw std::runtime_error(
         "pipeline: the LIC overlay path requires the 1DIP strategy (as in "
@@ -1301,6 +1297,28 @@ PipelineReport run_pipeline(const PipelineConfig& config_in,
   }
 
   Shared sh{config, frames_out};
+
+  // Surface the post-validation algorithm choice: tests and qv-run-report
+  // assert on what actually ran, not on what was requested.
+  switch (config.compositor) {
+    case Compositor::kSlic:
+      sh.report.compositor = "slic";
+      metrics::counter("compositing.algo.slic").add(1);
+      break;
+    case Compositor::kDirectSend:
+      sh.report.compositor = "direct-send";
+      metrics::counter("compositing.algo.direct_send").add(1);
+      break;
+    case Compositor::kBinarySwap:
+      sh.report.compositor = "binary-swap";
+      metrics::counter("compositing.algo.binary_swap").add(1);
+      break;
+    case Compositor::kRadixK:
+      sh.report.compositor =
+          "radix-k(k=" + std::to_string(config.composite_k) + ")";
+      metrics::counter("compositing.algo.radix_k").add(1);
+      break;
+  }
 
   // Baseline values of the registry counters this report is built from;
   // everything below runs single-threaded before/after the rank threads.

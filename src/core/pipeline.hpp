@@ -21,6 +21,7 @@
 // octree (the "one-time preprocessing" of §4; the mesh never changes).
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "core/config.hpp"
@@ -29,6 +30,12 @@
 namespace qv::core {
 
 struct PipelineReport {
+  // The compositing algorithm that actually ran, after validation rerouting
+  // (e.g. "radix-k(k=2)" when binary-swap was requested with a
+  // non-power-of-two render_procs). Also counted in the metrics registry as
+  // compositing.algo.<slic|direct_send|binary_swap|radix_k>.
+  std::string compositor;
+
   // Completion time of each frame, seconds since the pipeline start barrier
   // (recorded by the output processor).
   std::vector<double> frame_seconds;

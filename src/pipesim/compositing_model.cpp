@@ -1,0 +1,90 @@
+#include "pipesim/compositing_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qv::pipesim {
+
+CompositePoint model_composite(CompositeAlgorithm algo, int ranks, int width,
+                               int k, bool compress, const Machine& machine,
+                               const CompositingModel& model) {
+  if (ranks < 1) throw std::runtime_error("model_composite: ranks must be >= 1");
+  const double P = double(ranks);
+  const double pixels = double(width) * double(width);
+  // Total partial-pixel volume across all ranks (depth complexity times the
+  // screen), and the final gathered frame.
+  const double volume = pixels * model.depth * model.bytes_per_pixel;
+  const double frame = pixels * model.bytes_per_pixel;
+  const double ratio = compress ? model.rle_ratio : 1.0;
+  const double bw = machine.link_bw;
+  const double alpha = machine.latency;
+
+  CompositePoint pt;
+  // Local blending of this rank's share of the depth volume.
+  const double blend_s = (pixels * model.depth / P) * model.pixel_cost;
+  // Final gather: every non-root owner ships its finished strip to the root.
+  const double gather_bytes = frame * (P - 1.0) / std::max(P, 1.0) * ratio;
+  const double gather_s = (P > 1) ? alpha + (frame / P) * ratio / bw : 0.0;
+
+  switch (algo) {
+    case CompositeAlgorithm::kDirectSend: {
+      // Every rank sends a clipped piece to each of the other P-1 strip
+      // owners; per-message latency grows linearly in P.
+      const double send_bytes = volume * (P - 1.0) / std::max(P, 1.0) * ratio;
+      pt.seconds = (P - 1.0) * alpha + (send_bytes / P) / bw + blend_s + gather_s;
+      pt.mb_moved = (send_bytes + gather_bytes) / 1e6;
+      pt.messages = P * (P - 1.0) + (P - 1.0);
+      pt.rounds = 1;
+      break;
+    }
+    case CompositeAlgorithm::kSlic: {
+      // SLIC ships only spans with multiple owners and schedules them into
+      // a handful of messages per rank.
+      const double send_bytes = volume * model.slic_exchange * ratio;
+      const double msgs = model.slic_messages_per_rank;
+      pt.seconds = msgs * alpha + (send_bytes / P) / bw + blend_s + gather_s;
+      pt.mb_moved = (send_bytes + gather_bytes) / 1e6;
+      pt.messages = msgs * P + (P - 1.0);
+      pt.rounds = 1;
+      break;
+    }
+    case CompositeAlgorithm::kRadixK: {
+      const compositing::RadixPlan plan =
+          compositing::plan_radix_rounds(ranks, k);
+      const double active = double(plan.active);
+      double seconds = 0.0;
+      double bytes = 0.0;
+      double messages = 0.0;
+      // Remainder fold: each folded rank ships its whole holding to an
+      // active partner before round 1.
+      if (plan.folded() > 0) {
+        const double fold_bytes = volume * double(plan.folded()) / P * ratio;
+        seconds += alpha + (fold_bytes / double(plan.folded())) / bw;
+        bytes += fold_bytes;
+        messages += double(plan.folded());
+      }
+      // Round with factor f: a rank sends f-1 messages carrying (f-1)/f of
+      // its current region volume. The per-rank region volume at round i is
+      // volume/active regardless of i (the region shrinks by f each round
+      // but holds the pieces of f ranks' worth of prior exchanges), so each
+      // round moves ~((f-1)/f) * volume/active per rank.
+      for (int f : plan.factors) {
+        const double frac = double(f - 1) / double(f);
+        const double round_bytes = volume / active * frac * ratio;
+        seconds += double(f - 1) * alpha + round_bytes / bw;
+        bytes += round_bytes * active;
+        messages += double(f - 1) * active;
+      }
+      const double g_s = (active > 1) ? alpha + (frame / active) * ratio / bw : 0.0;
+      pt.seconds = seconds + blend_s + g_s;
+      pt.mb_moved =
+          (bytes + frame * (active - 1.0) / std::max(active, 1.0) * ratio) / 1e6;
+      pt.messages = messages + (active - 1.0);
+      pt.rounds = plan.rounds();
+      break;
+    }
+  }
+  return pt;
+}
+
+}  // namespace qv::pipesim

@@ -1,0 +1,53 @@
+// Analytic compositing-time model over the Machine link parameters,
+// recalibrated for the radix-k exchange structure (ROADMAP item 5). The
+// old model (and Machine::composite_seconds) treated compositing as a
+// constant; this one derives time from the actual exchange pattern:
+//
+//   direct-send: each rank sends P-1 piece messages plus a gather tile —
+//                per-message latency grows linearly in P and dominates at
+//                the paper's 512-3072 processor scales;
+//   SLIC:        message-lean scheduled spans (constants measured from the
+//                real algorithm in bench_compositing);
+//   radix-k:     the rounds of plan_radix_rounds() — per round a rank
+//                sends f-1 messages carrying (f-1)/f of its piece volume,
+//                so latency grows only with sum(f_i - 1) ~ k*log_k(P);
+//   compression: bytes scaled by the active-pixel RLE ratio measured on
+//                sparse wavefront partials.
+//
+// Shared by bench_compositing_scaling and the pipesim regression tests so
+// the paper's §7 scaling shape is asserted, not just plotted once.
+#pragma once
+
+#include "compositing/radix_k.hpp"
+#include "pipesim/machine.hpp"
+
+namespace qv::pipesim {
+
+enum class CompositeAlgorithm { kDirectSend, kSlic, kRadixK };
+
+// Traffic/shape constants measured from the real algorithms on this host
+// (bench_compositing, 8 ranks, 512^2 wavefront partials; see
+// BENCH_compositing.json).
+struct CompositingModel {
+  double bytes_per_pixel = 16.0;  // RGBA float
+  // Depth complexity of sort-last partials: every pixel is covered by a
+  // handful of blocks regardless of P (the wavefront is a surface).
+  double depth = 3.0;
+  double slic_exchange = 0.7;          // SLIC ships only multi-owner spans
+  double slic_messages_per_rank = 2.6; // measured ~21 messages at P=8
+  double rle_ratio = 0.27;             // active-pixel RLE ratio, sparse frames
+  double pixel_cost = 6e-9;            // local blend cost per pixel
+};
+
+struct CompositePoint {
+  double seconds = 0;   // busiest-rank compositing time per frame
+  double mb_moved = 0;  // total bytes exchanged, all ranks
+  double messages = 0;  // total messages, all ranks
+  int rounds = 0;       // exchange rounds (radix-k only)
+};
+
+CompositePoint model_composite(CompositeAlgorithm algo, int ranks, int width,
+                               int k, bool compress, const Machine& machine,
+                               const CompositingModel& model = {});
+
+}  // namespace qv::pipesim

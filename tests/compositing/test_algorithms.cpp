@@ -1,9 +1,9 @@
 // End-to-end equivalence of the parallel compositing algorithms: for any
 // distribution of ordered partial images across ranks, SLIC, direct-send
-// (with and without compression), and — for convex plane-separable
-// partitions — binary-swap must all reproduce the serial reference
-// compositor bit-for-bit (same front-to-back float operations) or within
-// float tolerance.
+// (with and without compression), and binary-swap (now the deferred-blend
+// k=2 radix-k) must all reproduce the serial reference compositor within
+// float tolerance. The bit-exact radix-k vs direct-send wall lives in
+// test_radix_k.cpp.
 #include <gtest/gtest.h>
 
 #include <mutex>
@@ -120,38 +120,18 @@ INSTANTIATE_TEST_SUITE_P(
                       Param{4, false}, Param{8, false}, Param{2, true},
                       Param{4, true}, Param{8, true}));
 
-// Binary swap needs convex plane-separable per-rank regions: carve the
-// screen into vertical strips of partials and give each rank one strip,
-// with world-space boxes arranged left-to-right along x.
-TEST(BinarySwap, MatchesReferenceOnPlaneSeparablePartition) {
+// Binary swap is now the k=2 radix-k specialization with deferred blending,
+// so it matches the reference on ANY distribution — including the shuffled
+// scattered one that used to require plane-separable regions.
+TEST(BinarySwap, MatchesReferenceOnScatteredPartition) {
   for (int ranks : {2, 4, 8}) {
-    Rng rng(std::uint64_t(ranks) * 5 + 3);
-    std::vector<std::vector<PartialImage>> dist(static_cast<std::size_t>(ranks));
-    std::vector<Box3> bounds(static_cast<std::size_t>(ranks));
-    for (int r = 0; r < ranks; ++r) {
-      int x0 = kW * r / ranks;
-      int x1 = kW * (r + 1) / ranks;
-      PartialImage p;
-      p.rect = {x0, 0, x1, kH};
-      p.order = std::uint32_t(r);  // matches left-to-right depth for an eye at -x
-      p.pixels = img::Image(p.rect.width(), kH);
-      for (auto& px : p.pixels.pixels()) {
-        if (rng.next_double() < 0.4) continue;
-        float a = 0.1f + 0.8f * rng.next_float();
-        px = {rng.next_float() * a, rng.next_float() * a, rng.next_float() * a,
-              a};
-      }
-      dist[std::size_t(r)].push_back(std::move(p));
-      bounds[std::size_t(r)] = {{float(r), 0, 0}, {float(r + 1), 1, 1}};
-    }
+    auto dist = make_distribution(ranks, 3, std::uint64_t(ranks) * 5 + 3);
     img::Image expect = reference(dist);
 
     img::Image got;
     vmpi::Runtime::run(ranks, [&](vmpi::Comm& comm) {
-      Vec3 eye{-10, 0.5f, 0.5f};  // rank 0's box is nearest
       auto result =
-          binary_swap(comm, dist[std::size_t(comm.rank())], kW, kH,
-                      bounds[std::size_t(comm.rank())], eye, false, 0);
+          binary_swap(comm, dist[std::size_t(comm.rank())], kW, kH, false, 0);
       if (comm.rank() == 0) got = std::move(result.image);
     });
     EXPECT_LT(img::rmse(expect, got), 1e-6) << "ranks " << ranks;
@@ -159,14 +139,11 @@ TEST(BinarySwap, MatchesReferenceOnPlaneSeparablePartition) {
 }
 
 TEST(BinarySwap, RejectsNonPowerOfTwo) {
-  EXPECT_THROW(
-      vmpi::Runtime::run(3,
-                         [&](vmpi::Comm& comm) {
-                           binary_swap(comm, {}, kW, kH,
-                                       {{0, 0, 0}, {1, 1, 1}}, {5, 5, 5},
-                                       false, 0);
-                         }),
-      std::runtime_error);
+  EXPECT_THROW(vmpi::Runtime::run(3,
+                                  [&](vmpi::Comm& comm) {
+                                    binary_swap(comm, {}, kW, kH, false, 0);
+                                  }),
+               std::runtime_error);
 }
 
 TEST(Compression, ReducesTrafficOnSparsePartials) {

@@ -9,6 +9,7 @@
 #include <filesystem>
 
 #include "core/serial.hpp"
+#include "metrics/metrics.hpp"
 #include "quake/synthetic.hpp"
 #include "util/stats.hpp"
 
@@ -162,56 +163,73 @@ TEST_F(PipelineTest, DirectSendCompositorAgreesWithSlic) {
   }
 }
 
-TEST_F(PipelineTest, BinarySwapCompositorApproximatesSlic) {
-  // Binary swap composites whole rank footprints in a single bounding-box
-  // visibility order, which is exact only for depth-separable renderer
-  // partitions (the compositing unit tests cover that case). The pipeline's
-  // morton-contiguous assignment interleaves ranks in depth, so at pipeline
-  // granularity swap is an approximation of the exactly-ordered SLIC
-  // result: bound the error instead of demanding bit equality.
-  std::vector<img::Image> slic_frames, bs_frames;
+TEST_F(PipelineTest, BinarySwapCompositorMatchesDirectSendExactly) {
+  // Binary swap is now the deferred-blend k=2 radix-k: identical per-pixel
+  // float sequence as direct-send, so the frames must be bit-equal at
+  // pipeline granularity too (the old eager swap was only approximate on
+  // the pipeline's depth-interleaved morton assignment).
+  std::vector<img::Image> ds_frames, bs_frames;
   auto cfg = base_config();
   cfg.render_procs = 4;  // power of two, as binary swap requires
-  cfg.compositor = Compositor::kSlic;
-  run_pipeline(cfg, &slic_frames);
+  cfg.compositor = Compositor::kDirectSend;
+  run_pipeline(cfg, &ds_frames);
   cfg.compositor = Compositor::kBinarySwap;
   auto rep = run_pipeline(cfg, &bs_frames);
   EXPECT_EQ(rep.steps, kSteps);
-  ASSERT_EQ(slic_frames.size(), bs_frames.size());
-  for (std::size_t s = 0; s < slic_frames.size(); ++s) {
-    EXPECT_LT(img::rmse(slic_frames[s], bs_frames[s]), 0.1) << "frame " << s;
-  }
-
-  // A single renderer is trivially separable: swap degenerates to the local
-  // flatten and must match SLIC exactly.
-  slic_frames.clear();
-  bs_frames.clear();
-  cfg.render_procs = 1;
-  cfg.compositor = Compositor::kSlic;
-  run_pipeline(cfg, &slic_frames);
-  cfg.compositor = Compositor::kBinarySwap;
-  run_pipeline(cfg, &bs_frames);
-  ASSERT_EQ(slic_frames.size(), bs_frames.size());
-  for (std::size_t s = 0; s < slic_frames.size(); ++s) {
-    EXPECT_LT(img::rmse(slic_frames[s], bs_frames[s]), 1e-9) << "frame " << s;
+  EXPECT_EQ(rep.compositor, "binary-swap");
+  ASSERT_EQ(ds_frames.size(), bs_frames.size());
+  for (std::size_t s = 0; s < ds_frames.size(); ++s) {
+    EXPECT_EQ(img::rmse(ds_frames[s], bs_frames[s]), 0.0) << "frame " << s;
   }
 }
 
-TEST_F(PipelineTest, BinarySwapFallsBackOnNonPowerOfTwoRenderers) {
-  // render_procs = 3 cannot run binary swap; the pipeline must warn and
-  // complete via direct-send instead of aborting the world.
+TEST_F(PipelineTest, RadixKCompositorMatchesDirectSendExactly) {
+  std::vector<img::Image> ds_frames, rk_frames;
+  auto cfg = base_config();
+  ASSERT_EQ(cfg.render_procs, 3);  // not a power of two, not 3-smooth-free
+  cfg.compositor = Compositor::kDirectSend;
+  run_pipeline(cfg, &ds_frames);
+  cfg.compositor = Compositor::kRadixK;
+  cfg.composite_k = 3;
+  auto rep = run_pipeline(cfg, &rk_frames);
+  EXPECT_EQ(rep.compositor, "radix-k(k=3)");
+  ASSERT_EQ(ds_frames.size(), rk_frames.size());
+  for (std::size_t s = 0; s < ds_frames.size(); ++s) {
+    EXPECT_EQ(img::rmse(ds_frames[s], rk_frames[s]), 0.0) << "frame " << s;
+  }
+}
+
+TEST_F(PipelineTest, BinarySwapRoutesToRadixKOnNonPowerOfTwoRenderers) {
+  // render_procs = 3 cannot run binary swap; the pipeline must reroute to
+  // radix-k with k=2 (not degrade to direct-send) and say so in the report.
   std::vector<img::Image> bs_frames, ds_frames;
   auto cfg = base_config();
   ASSERT_EQ(cfg.render_procs, 3);
   cfg.compositor = Compositor::kBinarySwap;
   auto rep = run_pipeline(cfg, &bs_frames);
   EXPECT_EQ(rep.steps, kSteps);
+  EXPECT_EQ(rep.compositor, "radix-k(k=2)");
   cfg.compositor = Compositor::kDirectSend;
-  run_pipeline(cfg, &ds_frames);
+  auto ds_rep = run_pipeline(cfg, &ds_frames);
+  EXPECT_EQ(ds_rep.compositor, "direct-send");
   ASSERT_EQ(bs_frames.size(), ds_frames.size());
   for (std::size_t s = 0; s < bs_frames.size(); ++s) {
-    EXPECT_LT(img::rmse(bs_frames[s], ds_frames[s]), 1e-9) << "frame " << s;
+    EXPECT_EQ(img::rmse(bs_frames[s], ds_frames[s]), 0.0) << "frame " << s;
   }
+}
+
+TEST_F(PipelineTest, SelectedCompositorLandsInMetricsRegistry) {
+  // qv-run-report carries the selected algorithm via the
+  // compositing.algo.* counters in the metrics snapshot.
+  metrics::enable();
+  auto cfg = base_config();
+  cfg.compositor = Compositor::kBinarySwap;  // 3 renderers -> radix-k(k=2)
+  run_pipeline(cfg);
+  auto snap = metrics::collect();
+  metrics::disable();
+  ASSERT_TRUE(snap.counters.count("compositing.algo.radix_k"));
+  EXPECT_GE(snap.counters.at("compositing.algo.radix_k"), 1u);
+  EXPECT_GT(snap.counters.at("compositing.bytes_sent"), 0u);
 }
 
 TEST_F(PipelineTest, SingleFrameRunHasZeroInterframe) {

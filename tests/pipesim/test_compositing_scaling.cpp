@@ -1,0 +1,104 @@
+// Regression tests for the paper's compositing scaling claim (SC'04 §7):
+// at 512-3072 processors, a round-structured exchange keeps compositing
+// time roughly flat while a direct/serial scheme grows linearly with P.
+// The analytic model is shared with bench_compositing_scaling so the curve
+// shape is asserted on every CI run, not just plotted once.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pipesim/compositing_model.hpp"
+
+namespace qv::pipesim {
+namespace {
+
+constexpr int kWidth = 1024;  // the paper's frame size
+const std::vector<int> kSweep{512, 1024, 2048, 3072};
+
+CompositePoint direct(int ranks, bool compress = false) {
+  return model_composite(CompositeAlgorithm::kDirectSend, ranks, kWidth, 4,
+                         compress, Machine{});
+}
+
+CompositePoint radix(int ranks, int k = 4, bool compress = false) {
+  return model_composite(CompositeAlgorithm::kRadixK, ranks, kWidth, k,
+                         compress, Machine{});
+}
+
+TEST(CompositingScaling, RadixKBeatsDirectSendAtEverySweepCount) {
+  for (int ranks : kSweep) {
+    SCOPED_TRACE(ranks);
+    EXPECT_LT(radix(ranks).seconds, direct(ranks).seconds);
+    EXPECT_LT(radix(ranks, 4, true).seconds, direct(ranks, true).seconds);
+  }
+}
+
+TEST(CompositingScaling, DirectSendLatencyGrowsLinearlyWithRanks) {
+  double prev = 0.0;
+  for (int ranks : kSweep) {
+    SCOPED_TRACE(ranks);
+    const double t = direct(ranks).seconds;
+    EXPECT_GT(t, prev);  // strictly increasing across the sweep
+    prev = t;
+  }
+  // 6x the ranks should cost well over 4x the time (latency-dominated).
+  EXPECT_GT(direct(3072).seconds / direct(512).seconds, 4.0);
+}
+
+TEST(CompositingScaling, RadixKCurveStaysFlatAcrossTheSweep) {
+  double lo = 1e30, hi = 0.0;
+  for (int ranks : kSweep) {
+    const double t = radix(ranks).seconds;
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+    // The paper reports compositing as a small fraction of a frame's time
+    // at terascale; the modeled machine keeps it in the millisecond range.
+    EXPECT_LT(t, 0.02) << ranks;
+  }
+  EXPECT_LT(hi / lo, 2.0);  // near-constant, unlike direct-send's 6x
+}
+
+TEST(CompositingScaling, CompressionReducesTimeAndTrafficAtEveryCount) {
+  for (int ranks : kSweep) {
+    SCOPED_TRACE(ranks);
+    const CompositePoint raw = radix(ranks);
+    const CompositePoint rle = radix(ranks, 4, true);
+    EXPECT_LT(rle.seconds, raw.seconds);
+    EXPECT_LT(rle.mb_moved, raw.mb_moved);
+    EXPECT_GT(rle.mb_moved, 0.0);
+  }
+}
+
+TEST(CompositingScaling, RadixKUsesFarFewerMessagesThanDirectSend) {
+  for (int ranks : kSweep) {
+    SCOPED_TRACE(ranks);
+    EXPECT_LT(radix(ranks).messages, direct(ranks).messages / 10.0);
+  }
+}
+
+TEST(CompositingScaling, RoundCountMatchesThePlan) {
+  EXPECT_EQ(radix(512).rounds, 5);    // 4*4*4*4*2
+  EXPECT_EQ(radix(1024).rounds, 5);   // 4^5
+  EXPECT_EQ(radix(3072).rounds, 6);   // 4^5 * 3
+  EXPECT_EQ(radix(1024, 2).rounds, 10);
+}
+
+TEST(CompositingScaling, RemainderFoldKeepsNonSmoothCountsCompetitive) {
+  // 3072 is not 2-smooth: k=2 folds 1024 ranks onto the 2048 active ones.
+  const compositing::RadixPlan plan = compositing::plan_radix_rounds(3072, 2);
+  EXPECT_EQ(plan.active, 2048);
+  EXPECT_EQ(plan.folded(), 1024);
+  const CompositePoint pt = radix(3072, 2);
+  EXPECT_GT(pt.seconds, 0.0);
+  EXPECT_LT(pt.seconds, direct(3072).seconds);
+}
+
+TEST(CompositingScaling, DegenerateSingleRankIsFree) {
+  const CompositePoint pt = radix(1);
+  EXPECT_EQ(pt.rounds, 0);
+  EXPECT_EQ(pt.messages, 0.0);
+  EXPECT_LT(pt.seconds, 0.05);  // just the local blend, no wire terms
+}
+
+}  // namespace
+}  // namespace qv::pipesim

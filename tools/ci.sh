@@ -167,7 +167,7 @@ tsan() {
   echo "== tsan: vmpi runtime + fault layer + tracing + renderer under ThreadSanitizer =="
   cmake -B build-tsan -S . -DQV_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-tsan -j "$JOBS" --target test_vmpi test_pipeline test_trace test_metrics \
-      test_util test_render test_stream test_server test_cache test_lineage
+      test_util test_render test_stream test_server test_cache test_lineage test_compositing
   # TSAN_OPTIONS halt_on_error makes a data-race report a hard failure.
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_vmpi
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_pipeline \
@@ -193,6 +193,10 @@ tsan() {
   # The lineage flight recorder, hammered from every rank thread at once
   # and dumped from a fault observer while peers still record.
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_lineage
+  # The radix-k exchange (threads-as-ranks) with the race detector watching
+  # every round's send/recv handoff; small rank counts keep TSan tractable.
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_compositing \
+      --gtest_filter='Small/RadixKEquivalence.*:RadixKEdge.*:ActivePixel*'
 }
 
 slo_gate() {
@@ -227,7 +231,7 @@ slo_gate() {
 determinism() {
   echo "== determinism/fuzz: seeded property suites under two seeds =="
   cmake -B build -S . >/dev/null
-  cmake --build build -j "$JOBS" --target test_render test_vmpi test_io test_util test_stream test_server
+  cmake --build build -j "$JOBS" --target test_render test_vmpi test_io test_util test_stream test_server test_compositing
   local seed
   for seed in 1 2; do
     echo "-- QV_FUZZ_SEED=$seed --"
@@ -237,6 +241,9 @@ determinism() {
     QV_FUZZ_SEED=$seed ./build/tests/test_io --gtest_filter='Rle8Fuzz.*'
     QV_FUZZ_SEED=$seed ./build/tests/test_stream --gtest_filter='FrameCodecFuzz.*'
     QV_FUZZ_SEED=$seed ./build/tests/test_server --gtest_filter='ControlCodecFuzz.*'
+    # The radix-k equivalence wall + the active-pixel corrupt-input fuzzers.
+    QV_FUZZ_SEED=$seed ./build/tests/test_compositing \
+        --gtest_filter='*RadixK*:RadixPlan*:ActivePixel*'
   done
   ./build/tests/test_util --gtest_filter='ThreadPool.*:Sha256.*'
 }

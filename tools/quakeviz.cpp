@@ -20,7 +20,8 @@
 //            [--render-threads=T] [--width=W] [--height=H] [--steps=K]
 //            [--level=L] [--lic]
 //            [--enhance] [--orbit=DEG] [--rebalance=E] [--compositor=
-//            slic|direct|swap] [--compress] [--compress-blocks] [--tf=FILE]
+//            slic|direct|swap|radix] [--composite-k=K] [--compress]
+//            [--compress-blocks] [--tf=FILE]
 //            [--vmax=X] [--recv-timeout-ms=T] [--trace=FILE.json]
 //            [--metrics-json=FILE.json] [--metrics-prom=FILE.txt]
 //            [--fault-seed=S]
@@ -618,7 +619,7 @@ int cmd_pipeline(const Args& args) {
        "render-threads", "width",
        "height", "steps", "level", "lic", "enhance", "lighting", "variable",
        "vmax", "orbit", "rebalance", "compress", "compress-blocks", "tf",
-       "compositor", "recv-timeout-ms", "trace", "metrics-json",
+       "compositor", "composite-k", "recv-timeout-ms", "trace", "metrics-json",
        "metrics-prom", "fault-seed", "fault-read-rate",
        "fault-short-read-rate", "fault-corrupt-rate", "fault-lose",
        "fault-read-delay-ms", "fault-kill-rank", "fault-kill-step",
@@ -667,8 +668,16 @@ int cmd_pipeline(const Args& args) {
     cfg.compositor = core::Compositor::kDirectSend;
   } else if (compositor == "swap") {
     cfg.compositor = core::Compositor::kBinarySwap;
+  } else if (compositor == "radix") {
+    cfg.compositor = core::Compositor::kRadixK;
   } else if (compositor != "slic") {
     std::fprintf(stderr, "unknown compositor: %s\n", compositor.c_str());
+    return 2;
+  }
+  cfg.composite_k = args.num("composite-k", 4);
+  if (cfg.composite_k < 2) {
+    std::fprintf(stderr, "--composite-k must be >= 2 (got %d)\n",
+                 cfg.composite_k);
     return 2;
   }
 
@@ -773,9 +782,10 @@ int cmd_pipeline(const Args& args) {
   if (cfg.stream.enabled) print_stream_report(report.stream);
   if (cfg.serve.enabled) print_server_report(report.server);
   std::printf("per step: fetch %.4f s | preprocess %.4f s | send %.4f s | "
-              "render %.4f s | composite %.4f s (%.2f MB exchanged)\n",
+              "render %.4f s | composite %.4f s (%s, %.2f MB exchanged)\n",
               report.avg_fetch, report.avg_preprocess, report.avg_send,
               report.avg_render, report.avg_composite,
+              report.compositor.c_str(),
               double(report.composite_bytes) / 1e6);
   for (std::size_t e = 0; e < report.epoch_imbalance.size(); ++e) {
     std::printf("epoch %zu imbalance %.3f -> replanned %.3f\n", e,
