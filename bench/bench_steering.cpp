@@ -1,0 +1,139 @@
+// Interactive steering: edit-to-first-fresh-frame latency with and without
+// in-flight render cancellation, across fleet sizes.
+//
+// Each cell runs the live steered serve loop (src/stream/steer.hpp): a
+// monitor thread posts scripted edits partway through a render; with
+// cancellation the stale render aborts at the next tile boundary and the
+// fresh view starts immediately, without it the loop finishes rendering
+// pixels nobody will see and only then starts over. The measured
+// edit-to-fresh latency is wall-clock from post to the first SUBMITTED
+// frame whose epoch echo covers the edit.
+//
+// The headline contract (the PR's acceptance gate, enforced here, not just
+// tracked): cancellation must beat no-cancellation on p95 edit-to-fresh by
+// at least 1.3x at every fleet size. The arithmetic says ~1.75x (an edit
+// fires 25% into a render; without cancellation the stale frame's remaining
+// 75% is pure queueing delay ahead of the fresh render), so 1.3x leaves
+// headroom for scheduler noise while still catching a cancellation path
+// that silently stopped aborting.
+#include <cstdio>
+#include <vector>
+
+#include "metrics/report.hpp"
+#include "stream/control.hpp"
+#include "stream/steer.hpp"
+#include "util/stats.hpp"
+
+using namespace qv;
+
+namespace {
+
+constexpr double kRequiredSpeedup = 1.3;
+
+struct Cell {
+  double p50_s = 0.0;
+  double p95_s = 0.0;
+  double wasted_ratio = 0.0;  // cancelled renders / render attempts
+  std::uint64_t edits = 0;
+  std::uint64_t violations = 0;
+};
+
+Cell run_cell(int clients, bool cancellation) {
+  // Pool edit-to-fresh samples over several loop runs (different traces):
+  // each run applies ~8 edits, and a p95 over a single run's handful of
+  // samples is effectively a max — one scheduler hiccup would decide the
+  // gate. ~24 pooled samples keep the tail estimate honest.
+  constexpr int kReps = 3;
+  Cell cell;
+  Samples lat;
+  std::uint64_t renders = 0, cancelled = 0;
+  for (int r = 0; r < kReps; ++r) {
+    stream::SteerLoopConfig cfg;
+    cfg.width = 160;
+    cfg.height = 120;
+    cfg.level = 3;
+    cfg.block_level = 1;
+    cfg.frames = 16;
+    cfg.render_threads = 2;
+    cfg.seed = 7 + std::uint64_t(r);
+    cfg.live = true;
+    cfg.cancellation = cancellation;
+    cfg.fire_fraction = 0.25;
+    cfg.fleet.count = clients;
+    // Timing cells: the property wall owns pixel verification; per-client
+    // decode across 64 viewers would dominate the timed section.
+    cfg.check_invariants = false;
+    cfg.fleet.server.verify_clients = false;
+    cfg.trace = stream::make_steer_trace(/*seed=*/41 + std::uint64_t(r),
+                                         cfg.frames, /*edits=*/8,
+                                         /*allow_scrub=*/false);
+    auto rep = stream::run_steer_loop(cfg);
+    for (double s : rep.edit_to_fresh_s) lat.add(s);
+    renders += rep.renders;
+    cancelled += rep.cancelled_renders;
+    cell.edits += rep.edits_applied;
+    cell.violations += rep.violations.size();
+    for (const auto& v : rep.violations)
+      std::fprintf(stderr, "bench_steering: INVARIANT VIOLATION: %s\n",
+                   v.c_str());
+  }
+  cell.p50_s = lat.count() ? lat.percentile(50) : 0.0;
+  cell.p95_s = lat.count() ? lat.percentile(95) : 0.0;
+  cell.wasted_ratio = renders ? double(cancelled) / double(renders) : 0.0;
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  qv::metrics::BenchReporter rep("bench_steering", argc, argv);
+  qv::WallTimer bench_timer;
+
+  std::printf("Steered serve loop, live mode (160x120, 3x16 frames, 8 edits "
+              "per run, monitor fires 25%% into a render)\n\n");
+  std::printf("%-8s %-12s %-14s %-14s %-10s %-12s\n", "clients",
+              "cancellation", "fresh p50 (s)", "fresh p95 (s)", "wasted",
+              "p95 speedup");
+  int rc = 0;
+  for (int clients : {1, 16, 64}) {
+    const Cell off = run_cell(clients, /*cancellation=*/false);
+    const Cell on = run_cell(clients, /*cancellation=*/true);
+    const double speedup = on.p95_s > 0.0 ? off.p95_s / on.p95_s : 0.0;
+    std::printf("%-8d %-12s %-14.4f %-14.4f %-10.2f %-12s\n", clients, "off",
+                off.p50_s, off.p95_s, off.wasted_ratio, "");
+    std::printf("%-8d %-12s %-14.4f %-14.4f %-10.2f %-12.2f\n", clients, "on",
+                on.p50_s, on.p95_s, on.wasted_ratio, speedup);
+    if (off.violations + on.violations > 0) rc = 1;
+    if (on.edits == 0 || off.edits == 0) {
+      std::fprintf(stderr,
+                   "bench_steering: no edits applied at %d clients; "
+                   "cells are vacuous\n",
+                   clients);
+      rc = 1;
+    }
+    if (speedup < kRequiredSpeedup) {
+      std::fprintf(stderr,
+                   "bench_steering: cancellation speedup %.2fx < required "
+                   "%.2fx at %d clients (p95 %.4fs vs %.4fs)\n",
+                   speedup, kRequiredSpeedup, clients, on.p95_s, off.p95_s);
+      rc = 1;
+    }
+    char name[64];
+    std::snprintf(name, sizeof name, "fresh_p50_s_cancel_%d", clients);
+    rep.track(name, on.p50_s, "s");
+    std::snprintf(name, sizeof name, "fresh_p95_s_cancel_%d", clients);
+    rep.track(name, on.p95_s, "s");
+    std::snprintf(name, sizeof name, "fresh_p95_s_nocancel_%d", clients);
+    rep.track(name, off.p95_s, "s");
+    // Lower is better for the gate: track the inverse of the speedup so a
+    // cancellation regression (ratio rising toward 1/1.3) trips it.
+    std::snprintf(name, sizeof name, "p95_cancel_over_nocancel_%d", clients);
+    rep.track(name, speedup > 0.0 ? 1.0 / speedup : 1.0, "ratio");
+    std::snprintf(name, sizeof name, "wasted_render_ratio_%d", clients);
+    rep.track(name, on.wasted_ratio, "ratio");
+  }
+
+  rep.track("total_s", bench_timer.seconds(), "s");
+  const int finish_rc = rep.finish();
+  return rc ? rc : finish_rc;
+}

@@ -38,6 +38,24 @@ enum class Colormap {
   kGrayscale,  // simple ramp (hand-checkable compositing in tests)
 };
 
+// Interactive steering (viewer→renderer control channel, ROADMAP item 3):
+// a scripted edit trace — camera moves and transfer-function window edits —
+// folded at step boundaries. Config-distributed: every rank numbers the
+// same trace (stream::number_steer_trace) and derives the same view-at-step
+// fold, so renderers, the output processor, and any offline check agree on
+// the (step, epoch) frame id with no runtime broadcast. The view epoch IS
+// the newest applied request id; each fold invalidates the delivery delta
+// chains (stream apply_view_change), so the first frame a client sees after
+// an edit is a keyframe. Exclusive with rebalance-driven epochs and with
+// the content-addressed frame cache (an edit changes pixels the cache
+// identity cannot see) — run_pipeline rejects both combinations.
+struct SteeringConfig {
+  bool enabled = false;
+  std::uint64_t seed = 1;  // generated-trace seed (used when path empty)
+  int edits = 4;           // events in the generated trace
+  std::string trace_path;  // explicit scripted trace; overrides seed/edits
+};
+
 struct PipelineConfig {
   std::string dataset_dir;
 
@@ -101,6 +119,9 @@ struct PipelineConfig {
   // src/stream/server.hpp). Independent of — and composable with — the
   // single-session `stream` path above.
   stream::ServeFleetConfig serve;
+
+  // Interactive steering over the run (see SteeringConfig above).
+  SteeringConfig steer;
 
   // --- robustness ---------------------------------------------------------
   // Deterministic fault injection (tests/benches); null = no faults and

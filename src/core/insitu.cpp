@@ -49,6 +49,10 @@ struct Setup {
   io::BlockNodeIndex index;
   render::TransferFunction tf;
 
+  // Numbered steering trace (empty unless cfg.steer.enabled); identical on
+  // every rank, so all roles agree on the view-at-snapshot fold.
+  std::vector<stream::SteerEvent> steer_trace;
+
   explicit Setup(const InsituConfig& cfg)
       : mesh(build_insitu_mesh(cfg)),
         tf(cfg.colormap == Colormap::kSeismic
@@ -59,11 +63,41 @@ struct Setup {
                                octree::WorkloadModel::kCellCount);
     owners = octree::assign_blocks(blocks, cfg.render_procs, cfg.assign);
     index = io::BlockNodeIndex(mesh, blocks);
+    if (cfg.steer.enabled) {
+      std::vector<stream::SteerEvent> trace;
+      if (!cfg.steer.trace_path.empty()) {
+        std::string err;
+        auto loaded = stream::load_steer_trace(cfg.steer.trace_path, &err);
+        if (!loaded) throw std::runtime_error("insitu: steering trace: " + err);
+        trace = std::move(*loaded);
+      } else {
+        trace = stream::make_steer_trace(cfg.steer.seed, cfg.snapshots,
+                                         cfg.steer.edits);
+      }
+      for (const auto& ev : trace) {
+        if (ev.msg.kind == stream::SteerKind::kScrub)
+          throw std::runtime_error(
+              "insitu: scrub edits are serve-loop only — the solver's "
+              "snapshots arrive in simulation order");
+      }
+      steer_trace = stream::number_steer_trace(std::move(trace));
+    }
+  }
+
+  stream::SteeringState steer_view(const InsituConfig& cfg, int snap) const {
+    stream::SteeringState base;
+    base.value_lo = cfg.render.value_lo;
+    base.value_hi = cfg.render.value_hi;
+    return stream::fold_steer_trace(steer_trace, snap, base);
+  }
+  std::uint32_t epoch_of(const InsituConfig& cfg, int snap) const {
+    return cfg.steer.enabled ? steer_view(cfg, snap).epoch : 0;
   }
 
   render::Camera camera(const InsituConfig& cfg, int snap) const {
-    return render::Camera::orbit(mesh.domain(), cfg.width, cfg.height,
-                                 cfg.orbit_deg_per_step * float(snap));
+    float az = cfg.orbit_deg_per_step * float(snap);
+    if (cfg.steer.enabled) az += steer_view(cfg, snap).azimuth_deg;
+    return render::Camera::orbit(mesh.domain(), cfg.width, cfg.height, az);
   }
 };
 
@@ -139,6 +173,9 @@ void run_render(Shared& sh, const Setup& st, vmpi::Comm& world,
   }
 
   render::Raycaster rc(st.tf, cfg.render, st.mesh.domain().extent().x);
+  // Steering: a folded TF edit rebuilds the raycaster (the camera is
+  // already refreshed per snapshot below).
+  std::uint32_t steer_epoch = 0;
   util::ThreadPool render_pool(
       std::max(1, cfg.render_threads), [rr](int w) {
         if (!trace::enabled()) return;
@@ -166,6 +203,15 @@ void run_render(Shared& sh, const Setup& st, vmpi::Comm& world,
       }
     }
 
+    if (cfg.steer.enabled &&
+        st.epoch_of(cfg, snap) != steer_epoch) {
+      const stream::SteeringState v = st.steer_view(cfg, snap);
+      render::RenderOptions opt = cfg.render;
+      opt.value_lo = v.value_lo;
+      opt.value_hi = v.value_hi;
+      rc = render::Raycaster(st.tf, opt, st.mesh.domain().extent().x);
+      steer_epoch = v.epoch;
+    }
     render::Camera camera = st.camera(cfg, snap);
     auto order = render::visibility_order(st.blocks, st.mesh.domain(),
                                           camera.eye());
@@ -173,7 +219,7 @@ void run_render(Shared& sh, const Setup& st, vmpi::Comm& world,
       rank_of[order[i]] = std::uint32_t(i);
 
     std::vector<render::PartialImage> partials;
-    // In-situ monitoring never rebalances, so the view epoch is always 0.
+    // The view epoch: 0 forever unless steering folds edits in.
     const std::int64_t render_t0 =
         obs::lineage::enabled() ? trace::now_since_epoch_ns() : 0;
     {
@@ -188,7 +234,7 @@ void run_render(Shared& sh, const Setup& st, vmpi::Comm& world,
     }
     if (obs::lineage::enabled()) {
       obs::lineage::record_wall(
-          obs::lineage::Stage::kRender, snap, /*epoch=*/0,
+          obs::lineage::Stage::kRender, snap, st.epoch_of(cfg, snap),
           obs::lineage::ChannelKind::kRank, world.rank(),
           double(trace::now_since_epoch_ns() - render_t0) * 1e-9);
     }
@@ -202,7 +248,7 @@ void run_render(Shared& sh, const Setup& st, vmpi::Comm& world,
     }
     if (obs::lineage::enabled()) {
       obs::lineage::record_wall(
-          obs::lineage::Stage::kComposite, snap, /*epoch=*/0,
+          obs::lineage::Stage::kComposite, snap, st.epoch_of(cfg, snap),
           obs::lineage::ChannelKind::kRank, world.rank(),
           double(trace::now_since_epoch_ns() - comp_t0) * 1e-9);
     }
@@ -213,7 +259,7 @@ void run_render(Shared& sh, const Setup& st, vmpi::Comm& world,
   }
 }
 
-void run_output(Shared& sh, const Setup&, vmpi::Comm& world) {
+void run_output(Shared& sh, const Setup& st, vmpi::Comm& world) {
   const InsituConfig& cfg = sh.cfg;
   WallTimer clock;
   std::vector<double> frame_seconds;
@@ -246,6 +292,7 @@ void run_output(Shared& sh, const Setup&, vmpi::Comm& world) {
     server.emplace(scfg, cfg.width, cfg.height);
     for (const auto& lc : stream::make_fleet(cfg.serve)) server->join(0.0, lc);
   }
+  int last_epoch = 0;
   for (int snap = 0; snap < cfg.snapshots; ++snap) {
     std::vector<std::uint8_t> msg;
     {
@@ -255,6 +302,20 @@ void run_output(Shared& sh, const Setup&, vmpi::Comm& world) {
     trace::Span frame_span("pipeline", "frame", snap);
     const std::int64_t frame_t0 =
         obs::lineage::enabled() ? trace::now_since_epoch_ns() : 0;
+    const std::uint32_t epoch = st.epoch_of(cfg, snap);
+    if (int(epoch) != last_epoch) {
+      // Steering epoch: stamp the new frame id AND reset every delta chain
+      // (first post-edit frame per client is a keyframe); per-client
+      // controller state survives — an edit is not a network event.
+      if (session) session->apply_view_change(epoch);
+      if (server) server->apply_view_change(epoch);
+      if (obs::lineage::enabled()) {
+        obs::lineage::record_wall(obs::lineage::Stage::kSteerApply, snap,
+                                  epoch, obs::lineage::ChannelKind::kRank,
+                                  world.rank());
+      }
+      last_epoch = int(epoch);
+    }
     img::Image frame(cfg.width, cfg.height);
     auto view = parse_frame_msg(msg, frame.pixels().size());
     if (!view) throw std::runtime_error("insitu: bad frame message");
@@ -273,7 +334,7 @@ void run_output(Shared& sh, const Setup&, vmpi::Comm& world) {
     }
     if (obs::lineage::enabled()) {
       obs::lineage::record_wall(
-          obs::lineage::Stage::kFrame, snap, /*epoch=*/0,
+          obs::lineage::Stage::kFrame, snap, epoch,
           obs::lineage::ChannelKind::kRank, world.rank(),
           double(trace::now_since_epoch_ns() - frame_t0) * 1e-9);
     }
@@ -302,6 +363,10 @@ InsituReport run_insitu(const InsituConfig& config,
   if (config.render_procs < 1 || config.snapshots < 1 ||
       config.sim_procs < 1)
     throw std::runtime_error("insitu: bad configuration");
+  if (config.steer.enabled && config.serve.cache_bytes > 0)
+    throw std::runtime_error(
+        "insitu: steering edits change pixels outside the frame-cache "
+        "identity (camera/TF move mid-run); disable --cache-bytes");
   Shared sh{config, frames_out, {}, {}};
 
   vmpi::Runtime::run(config.world_size(), [&sh, &config](vmpi::Comm& world) {

@@ -54,6 +54,11 @@ struct InsituConfig {
   // Multi-viewer fan-out (see PipelineConfig::serve).
   stream::ServeFleetConfig serve;
 
+  // Interactive steering over the monitored run (same semantics as
+  // PipelineConfig::steer; snapshots take the role of steps). Exclusive
+  // with the frame cache for the same identity reason.
+  SteeringConfig steer;
+
   int world_size() const { return sim_procs + render_procs + 1; }
 };
 

@@ -248,6 +248,9 @@ struct Setup {
   io::BlockNodeIndex index;
   render::TransferFunction tf;
   int num_steps;
+  // Numbered steering trace (empty unless cfg.steer.enabled): ids 1..N in
+  // step order, identical on every rank (config-distributed).
+  std::vector<stream::SteerEvent> steer_trace;
 
   explicit Setup(const PipelineConfig& config)
       : cfg(config),
@@ -268,13 +271,47 @@ struct Setup {
     num_steps = cfg.num_steps < 0
                     ? reader.meta().num_steps
                     : std::min(cfg.num_steps, reader.meta().num_steps);
+    if (cfg.steer.enabled) {
+      std::vector<stream::SteerEvent> trace;
+      if (!cfg.steer.trace_path.empty()) {
+        std::string err;
+        auto loaded = stream::load_steer_trace(cfg.steer.trace_path, &err);
+        if (!loaded)
+          throw std::runtime_error("pipeline: steering trace: " + err);
+        trace = std::move(*loaded);
+      } else {
+        trace = stream::make_steer_trace(cfg.steer.seed, num_steps,
+                                         cfg.steer.edits);
+      }
+      for (const auto& ev : trace) {
+        if (ev.msg.kind == stream::SteerKind::kScrub)
+          throw std::runtime_error(
+              "pipeline: scrub edits are serve-loop only — the batch "
+              "pipeline reads dataset steps in order");
+      }
+      steer_trace = stream::number_steer_trace(std::move(trace));
+    }
+  }
+
+  // The base (un-steered) view the steering fold starts from.
+  stream::SteeringState steer_base() const {
+    stream::SteeringState v;
+    v.value_lo = cfg.render.value_lo;
+    v.value_hi = cfg.render.value_hi;
+    return v;
+  }
+  stream::SteeringState steer_view(int step) const {
+    return stream::fold_steer_trace(steer_trace, step, steer_base());
   }
 
   render::Camera camera(int step) const {
+    float az = cfg.orbit_deg_per_step * float(step);
+    if (cfg.steer.enabled) az += steer_view(step).azimuth_deg;
     return render::Camera::orbit(reader.meta().domain, cfg.width, cfg.height,
-                                 cfg.orbit_deg_per_step * float(step));
+                                 az);
   }
   int epoch_of(int step) const {
+    if (cfg.steer.enabled) return int(steer_view(step).epoch);
     return cfg.rebalance_every > 0 ? step / cfg.rebalance_every : 0;
   }
 
@@ -494,8 +531,9 @@ void run_input_1dip(Shared& sh, const Setup& st, vmpi::Comm& world,
   for (int s = input_index; s < st.num_steps; s += m) {
     world.fault_checkpoint(s);
     // Dynamic redistribution: pick up the assignment of this step's epoch
-    // (the render group publishes one per epoch boundary).
-    while (st.epoch_of(s) > cur_epoch) {
+    // (the render group publishes one per epoch boundary). Rebalance epochs
+    // only — steering epochs never reassign blocks.
+    while (cfg.rebalance_every > 0 && st.epoch_of(s) > cur_epoch) {
       ++cur_epoch;
       owners = ctl.await_assignment(cur_epoch);
     }
@@ -864,6 +902,20 @@ void run_render(Shared& sh, const Setup& st, vmpi::Comm& world,
   }
 
   render::Raycaster rc(st.tf, cfg.render, st.mesh->domain().extent().x);
+  // Steering: the transfer-function window lives in the Raycaster, so a
+  // folded edit rebuilds it (camera/order are refreshed by the same path).
+  const bool steering = cfg.steer.enabled;
+  std::uint32_t steer_epoch = 0;
+  auto apply_steer = [&](int s) {
+    const stream::SteeringState v = st.steer_view(s);
+    render::RenderOptions opt = cfg.render;
+    opt.value_lo = v.value_lo;
+    opt.value_hi = v.value_hi;
+    rc = render::Raycaster(st.tf, opt, st.mesh->domain().extent().x);
+    camera = st.camera(s);
+    recompute_order();
+    steer_epoch = v.epoch;
+  };
 
   // Intra-rank render pool: cfg.render_threads workers (including this
   // rank's own thread) share each step's (block x tile) task list. With 1
@@ -997,6 +1049,10 @@ void run_render(Shared& sh, const Setup& st, vmpi::Comm& world,
       camera = st.camera(s);
       recompute_order();
     }
+    // Steering edits fold in at the step boundary: the first step rendered
+    // at a new epoch picks up the edited camera and TF window everywhere.
+    if (steering && std::uint32_t(st.epoch_of(s)) != steer_epoch)
+      apply_steer(s);
     WallTimer t;
     std::vector<render::PartialImage> partials;
     {
@@ -1193,8 +1249,24 @@ void run_output(Shared& sh, const Setup& st, vmpi::Comm& world) {
     if (int(epoch) != last_epoch) {
       // (step, epoch) is the end-to-end frame id; the encoders stamp it
       // into every wire header from here on.
-      if (session) session->set_epoch(epoch);
-      if (server) server->set_epoch(epoch);
+      if (cfg.steer.enabled) {
+        // A steering epoch means the view changed: invalidate every delta
+        // chain too, so no delta crosses the edit (first post-edit frame
+        // each client sees is a keyframe) — and leave per-client controller
+        // state alone (an edit is not a network event).
+        if (session) session->apply_view_change(epoch);
+        if (server) server->apply_view_change(epoch);
+        if (obs::lineage::enabled()) {
+          // epoch == the newest applied request id: this event records
+          // request_id -> first-serving-step for the flight recorder.
+          obs::lineage::record_wall(obs::lineage::Stage::kSteerApply, s,
+                                    epoch, obs::lineage::ChannelKind::kRank,
+                                    world.rank());
+        }
+      } else {
+        if (session) session->set_epoch(epoch);
+        if (server) server->set_epoch(epoch);
+      }
       last_epoch = int(epoch);
     }
     img::Image frame(cfg.width, cfg.height);
@@ -1278,6 +1350,16 @@ PipelineReport run_pipeline(const PipelineConfig& config_in,
         "pipeline: dynamic load redistribution requires the 1DIP strategy");
   if (config.render_procs < 1 || config.input_procs < 1 || config.groups < 1)
     throw std::runtime_error("pipeline: bad processor counts");
+  if (config.steer.enabled) {
+    if (config.rebalance_every > 0)
+      throw std::runtime_error(
+          "pipeline: steering and dynamic load redistribution both own the "
+          "view-epoch field; enable one or the other");
+    if (config.serve.cache_bytes > 0)
+      throw std::runtime_error(
+          "pipeline: steering edits change pixels outside the frame-cache "
+          "identity (camera/TF move mid-run); disable --cache-bytes");
+  }
   if (config.fault_plan && config.fault_plan->kill_rank >= 0) {
     // A rank death is only survivable when the victim's peers never enter a
     // collective with it — exactly the 1DIP input side (mirroring what a

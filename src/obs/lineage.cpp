@@ -26,6 +26,7 @@ const char* stage_name(Stage s) noexcept {
     case Stage::kDecode: return "decode";
     case Stage::kDrop: return "drop";
     case Stage::kEvict: return "evict";
+    case Stage::kSteerApply: return "steer_apply";
   }
   return "unknown";
 }

@@ -54,6 +54,8 @@ enum class Stage : std::uint8_t {
   kDecode,          // viewer-side decode of a delivered frame
   kDrop,            // frame dropped for a client (budget / controller)
   kEvict,           // client evicted (stalled queue)
+  kSteerApply,      // steering edit applied: epoch = the request id, so the
+                    // event records request_id -> first-serving-epoch
 };
 
 enum class ChannelKind : std::uint8_t { kRank = 0, kClient = 1 };

@@ -172,6 +172,19 @@ std::vector<PartialImage> render_blocks(
     std::span<const RenderBlock> blocks,
     std::span<const std::uint32_t> orders, util::ThreadPool* pool,
     int tile_size, RenderStats* stats, double* per_block_seconds) {
+  auto out = render_blocks_cancellable(camera, rc, blocks, orders, pool,
+                                       /*cancel=*/nullptr, tile_size, stats,
+                                       per_block_seconds);
+  // Without a token a render can never be cancelled.
+  return std::move(*out);
+}
+
+std::optional<std::vector<PartialImage>> render_blocks_cancellable(
+    const Camera& camera, const Raycaster& rc,
+    std::span<const RenderBlock> blocks,
+    std::span<const std::uint32_t> orders, util::ThreadPool* pool,
+    const util::CancelToken* cancel, int tile_size, RenderStats* stats,
+    double* per_block_seconds) {
   if (tile_size < 1) tile_size = 1;
   std::vector<PartialImage> out(blocks.size());
   std::vector<std::vector<std::uint8_t>> empty(blocks.size());
@@ -213,6 +226,10 @@ std::vector<PartialImage> render_blocks(
     wsecs.assign(workers, std::vector<double>(blocks.size(), 0.0));
 
   auto run_task = [&](std::size_t ti, int w) {
+    // Per-tile cancellation poll: the pool also skips queued tasks once the
+    // token fires, but this check covers the serial path and a task popped
+    // in the race window.
+    if (cancel && cancel->requested()) return;
     const Task& tk = tasks[ti];
     trace::Span tsp("render", "render_tile", orders[tk.block]);
     WallTimer timer;
@@ -225,9 +242,26 @@ std::vector<PartialImage> render_blocks(
   };
 
   if (pool && pool->thread_count() > 1) {
-    pool->parallel_for(tasks.size(), run_task);
+    pool->parallel_for(tasks.size(), run_task, cancel);
   } else {
-    for (std::size_t i = 0; i < tasks.size(); ++i) run_task(i, 0);
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      if (cancel && cancel->requested()) break;
+      run_task(i, 0);
+    }
+  }
+
+  if (cancel && cancel->requested()) {
+    // The frame is trash: discard the partials AND the per-worker stats /
+    // timings so nothing from the aborted render can reach RenderStats or
+    // the rebalancer's cost signal.
+    static auto& cancelled_ctr = metrics::counter("render.cancelled");
+    static auto& cancelled_tiles_ctr =
+        metrics::counter("render.cancelled_tiles");
+    cancelled_ctr.add();
+    cancelled_tiles_ctr.add(tasks.size());
+    trace::instant("render", "render_cancelled",
+                   blocks.empty() ? 0 : orders[0]);
+    return std::nullopt;
   }
 
   if (stats) {

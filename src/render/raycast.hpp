@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -101,6 +102,22 @@ std::vector<PartialImage> render_blocks(
     std::span<const std::uint32_t> orders, util::ThreadPool* pool,
     int tile_size = kRenderTile, RenderStats* stats = nullptr,
     double* per_block_seconds = nullptr);
+
+// Cancellable variant for interactive steering: the token is polled once
+// per (block x tile) task, so an in-flight render of a stale view aborts
+// within one tile's worth of work per worker instead of completing into the
+// trash. Returns nullopt when cancelled; the partial frame, the per-worker
+// stats, and the per-block timings of the aborted render are all discarded
+// — `stats` and `per_block_seconds` are only ever touched by a COMPLETED
+// render, so a cancellation can never leak half a frame's counters into
+// RenderStats (the TSan cancellation stress pins this). Bumps the
+// render.cancelled / render.cancelled_tiles counters on abort.
+std::optional<std::vector<PartialImage>> render_blocks_cancellable(
+    const Camera& camera, const Raycaster& rc,
+    std::span<const RenderBlock> blocks,
+    std::span<const std::uint32_t> orders, util::ThreadPool* pool,
+    const util::CancelToken* cancel, int tile_size = kRenderTile,
+    RenderStats* stats = nullptr, double* per_block_seconds = nullptr);
 
 // Serial reference: order the blocks, render each, compose. This is what a
 // 1-processor configuration computes; the distributed pipeline must produce

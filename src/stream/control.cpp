@@ -1,0 +1,355 @@
+#include "stream/control.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "metrics/metrics.hpp"
+#include "util/crc32.hpp"
+#include "util/rng.hpp"
+
+namespace qv::stream {
+
+// --- wire codec -------------------------------------------------------------
+
+namespace {
+
+struct SteerWire {
+  std::uint32_t magic;
+  std::uint16_t version;
+  std::uint8_t kind;
+  std::uint8_t pad0;
+  std::uint32_t request_id;
+  std::int32_t client_id;
+  float f0, f1, f2;
+  std::uint32_t crc;  // CRC-32 of the 28 bytes preceding this field
+};
+static_assert(sizeof(SteerWire) == kSteerWireSize);
+constexpr std::size_t kSteerCrcSpan = offsetof(SteerWire, crc);
+
+struct SteerMetrics {
+  metrics::Counter& posted = metrics::counter("steer.posted");
+  metrics::Counter& coalesced = metrics::counter("steer.coalesced");
+  metrics::Counter& rejected = metrics::counter("steer.rejected");
+  metrics::Counter& applied = metrics::counter("steer.applied");
+  static SteerMetrics& get() {
+    static SteerMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_steer(const SteerMsg& m) {
+  SteerWire w{};
+  w.magic = kSteerMagic;
+  w.version = kSteerVersion;
+  w.kind = std::uint8_t(m.kind);
+  w.request_id = m.request_id;
+  w.client_id = m.client_id;
+  w.f0 = m.f0;
+  w.f1 = m.f1;
+  w.f2 = m.f2;
+  std::vector<std::uint8_t> out(sizeof(SteerWire));
+  std::memcpy(out.data(), &w, sizeof(w));
+  w.crc = util::crc32({out.data(), kSteerCrcSpan});
+  std::memcpy(out.data(), &w, sizeof(w));
+  return out;
+}
+
+std::optional<SteerMsg> decode_steer(std::span<const std::uint8_t> wire) {
+  if (wire.size() != kSteerWireSize) return std::nullopt;
+  SteerWire w;
+  std::memcpy(&w, wire.data(), sizeof(w));
+  if (w.magic != kSteerMagic || w.version != kSteerVersion)
+    return std::nullopt;
+  if (w.kind > std::uint8_t(SteerKind::kScrub)) return std::nullopt;
+  // Strict zero pad, same policy as the frame and QVSC headers: corruption
+  // has nowhere to hide and the byte stays reserved for a future version.
+  if (w.pad0) return std::nullopt;
+  if (util::crc32({wire.data(), kSteerCrcSpan}) != w.crc) return std::nullopt;
+  // A steering payload feeds the camera and the transfer function directly;
+  // a non-finite value that slipped past the CRC must die here, not inside
+  // the raycaster.
+  if (!std::isfinite(w.f0) || !std::isfinite(w.f1) || !std::isfinite(w.f2))
+    return std::nullopt;
+  SteerMsg m;
+  m.kind = SteerKind(w.kind);
+  m.request_id = w.request_id;
+  m.client_id = w.client_id;
+  m.f0 = w.f0;
+  m.f1 = w.f1;
+  m.f2 = w.f2;
+  return m;
+}
+
+bool is_steer_wire(std::span<const std::uint8_t> wire) {
+  if (wire.size() < sizeof(std::uint32_t)) return false;
+  std::uint32_t magic;
+  std::memcpy(&magic, wire.data(), sizeof(magic));
+  return magic == kSteerMagic;
+}
+
+// --- the inbox --------------------------------------------------------------
+
+std::optional<std::uint32_t> SteerInbox::post_wire(
+    std::span<const std::uint8_t> wire) {
+  auto m = decode_steer(wire);
+  if (!m) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++rejected_;
+    SteerMetrics::get().rejected.add();
+    return std::nullopt;
+  }
+  return post(*m);
+}
+
+std::uint32_t SteerInbox::post(SteerMsg m) {
+  std::lock_guard<std::mutex> lk(mu_);
+  m.request_id = next_id_++;
+  auto& slot = slots_[std::size_t(m.kind)];
+  if (slot) {
+    ++coalesced_;
+    SteerMetrics::get().coalesced.add();
+  }
+  slot = m;
+  ++posted_;
+  SteerMetrics::get().posted.add();
+  return m.request_id;
+}
+
+bool SteerInbox::pending() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& s : slots_)
+    if (s) return true;
+  return false;
+}
+
+std::vector<SteerMsg> SteerInbox::drain() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<SteerMsg> out;
+  for (auto& s : slots_) {
+    if (s) {
+      out.push_back(*s);
+      s.reset();
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SteerMsg& a, const SteerMsg& b) {
+              return a.request_id < b.request_id;
+            });
+  return out;
+}
+
+std::uint32_t SteerInbox::last_assigned() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return next_id_ - 1;
+}
+
+std::uint64_t SteerInbox::posted() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return posted_;
+}
+
+std::uint64_t SteerInbox::coalesced() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return coalesced_;
+}
+
+std::uint64_t SteerInbox::rejected() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return rejected_;
+}
+
+// --- driver-side steering state ---------------------------------------------
+
+bool SteeringState::apply(const SteerMsg& m) {
+  epoch = std::max(epoch, m.request_id);
+  ++applied;
+  SteerMetrics::get().applied.add();
+  switch (m.kind) {
+    case SteerKind::kCamera:
+      azimuth_deg = m.f0;
+      return true;
+    case SteerKind::kTransfer: {
+      // Degenerate windows would blow up the raycaster's 1/(hi-lo); order
+      // and separate defensively rather than trusting the viewer.
+      float lo = std::min(m.f0, m.f1);
+      float hi = std::max(m.f0, m.f1);
+      if (hi - lo < 1e-6f) hi = lo + 1e-6f;
+      value_lo = lo;
+      value_hi = hi;
+      return true;
+    }
+    case SteerKind::kScrub:
+      scrub_step = std::int32_t(std::max(0.0f, m.f0));
+      return false;  // which step we show changes; the view does not
+  }
+  return false;
+}
+
+std::int32_t SteeringState::take_scrub() {
+  std::int32_t s = scrub_step;
+  scrub_step = -1;
+  return s;
+}
+
+// --- scripted traces --------------------------------------------------------
+
+std::vector<SteerEvent> make_steer_trace(std::uint64_t seed, int steps,
+                                         int edits, bool allow_scrub) {
+  std::vector<SteerEvent> trace;
+  if (steps <= 1 || edits <= 0) return trace;
+  std::uint64_t sm = seed ^ 0x53544545524e4743ULL;  // "STEERNGC"
+  Rng rng(splitmix64(sm));
+  for (int i = 0; i < edits; ++i) {
+    SteerEvent ev;
+    // Never step 0: the first frame establishes the pre-edit baseline.
+    ev.step = 1 + int(rng.next_below(std::uint64_t(steps - 1)));
+    const int kinds = allow_scrub ? 3 : 2;
+    switch (int(rng.next_below(std::uint64_t(kinds)))) {
+      case 0:
+        ev.msg.kind = SteerKind::kCamera;
+        ev.msg.f0 = rng.next_float() * 360.0f;
+        break;
+      case 1: {
+        ev.msg.kind = SteerKind::kTransfer;
+        float lo = rng.next_float() * 0.4f;
+        ev.msg.f0 = lo;
+        ev.msg.f1 = lo + 0.5f + rng.next_float() * 2.0f;
+        break;
+      }
+      default:
+        ev.msg.kind = SteerKind::kScrub;
+        ev.msg.f0 = float(rng.next_below(std::uint64_t(steps)));
+        break;
+    }
+    trace.push_back(ev);
+  }
+  std::stable_sort(trace.begin(), trace.end(),
+                   [](const SteerEvent& a, const SteerEvent& b) {
+                     return a.step < b.step;
+                   });
+  return trace;
+}
+
+std::optional<std::vector<SteerEvent>> load_steer_trace(
+    const std::string& path, std::string* err) {
+  auto fail = [&](const std::string& why)
+      -> std::optional<std::vector<SteerEvent>> {
+    if (err) *err = why;
+    return std::nullopt;
+  };
+  std::ifstream f(path);
+  if (!f) return fail("cannot open " + path);
+  std::vector<SteerEvent> trace;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(f, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream is(line);
+    int step;
+    std::string kind;
+    if (!(is >> step)) {
+      // Blank or comment-only line.
+      std::istringstream probe(line);
+      std::string tok;
+      if (probe >> tok)
+        return fail(path + ":" + std::to_string(lineno) + ": bad step");
+      continue;
+    }
+    if (step < 0)
+      return fail(path + ":" + std::to_string(lineno) + ": negative step");
+    if (!(is >> kind))
+      return fail(path + ":" + std::to_string(lineno) + ": missing kind");
+    SteerEvent ev;
+    ev.step = step;
+    float a, b;
+    if (kind == "camera") {
+      if (!(is >> a))
+        return fail(path + ":" + std::to_string(lineno) +
+                    ": camera needs <azimuth_deg>");
+      ev.msg.kind = SteerKind::kCamera;
+      ev.msg.f0 = a;
+    } else if (kind == "transfer") {
+      if (!(is >> a >> b))
+        return fail(path + ":" + std::to_string(lineno) +
+                    ": transfer needs <value_lo> <value_hi>");
+      ev.msg.kind = SteerKind::kTransfer;
+      ev.msg.f0 = a;
+      ev.msg.f1 = b;
+    } else if (kind == "scrub") {
+      if (!(is >> a))
+        return fail(path + ":" + std::to_string(lineno) +
+                    ": scrub needs <target_step>");
+      ev.msg.kind = SteerKind::kScrub;
+      ev.msg.f0 = a;
+    } else {
+      return fail(path + ":" + std::to_string(lineno) + ": unknown kind '" +
+                  kind + "'");
+    }
+    if (!std::isfinite(ev.msg.f0) || !std::isfinite(ev.msg.f1))
+      return fail(path + ":" + std::to_string(lineno) + ": non-finite value");
+    std::string extra;
+    if (is >> extra)
+      return fail(path + ":" + std::to_string(lineno) +
+                  ": trailing token '" + extra + "'");
+    trace.push_back(ev);
+  }
+  std::stable_sort(trace.begin(), trace.end(),
+                   [](const SteerEvent& a, const SteerEvent& b) {
+                     return a.step < b.step;
+                   });
+  return trace;
+}
+
+bool save_steer_trace(const std::string& path,
+                      std::span<const SteerEvent> trace) {
+  std::ofstream f(path);
+  if (!f) return false;
+  // max_digits10: every finite float survives the text roundtrip exactly,
+  // so a saved trace replays the same view fold bit-for-bit.
+  f.precision(std::numeric_limits<float>::max_digits10);
+  f << "# quakeviz steering trace: <step> camera <azimuth_deg> | "
+       "<step> transfer <lo> <hi> | <step> scrub <target>\n";
+  for (const auto& ev : trace) {
+    switch (ev.msg.kind) {
+      case SteerKind::kCamera:
+        f << ev.step << " camera " << ev.msg.f0 << "\n";
+        break;
+      case SteerKind::kTransfer:
+        f << ev.step << " transfer " << ev.msg.f0 << " " << ev.msg.f1 << "\n";
+        break;
+      case SteerKind::kScrub:
+        f << ev.step << " scrub " << ev.msg.f0 << "\n";
+        break;
+    }
+  }
+  return bool(f);
+}
+
+std::vector<SteerEvent> number_steer_trace(std::vector<SteerEvent> trace) {
+  std::stable_sort(trace.begin(), trace.end(),
+                   [](const SteerEvent& a, const SteerEvent& b) {
+                     return a.step < b.step;
+                   });
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    trace[i].msg.request_id = std::uint32_t(i + 1);
+  return trace;
+}
+
+SteeringState fold_steer_trace(std::span<const SteerEvent> trace, int step,
+                               SteeringState base) {
+  for (const auto& ev : trace) {
+    if (ev.step <= step) base.apply(ev.msg);
+  }
+  return base;
+}
+
+}  // namespace qv::stream

@@ -1,0 +1,151 @@
+// Viewer→renderer steering: the reverse control channel of the delivery
+// path (ROADMAP item 3; the MovieMaker paper's interactive mode).
+//
+// Three edit kinds arrive mid-run — camera moves, transfer-function window
+// edits, and timestep scrubs — each framed as a fixed 32-byte QVCT wire
+// message, CRC-protected like every other wire header in the pipeline.
+// decode_steer is a hostile-input boundary (see the SteerCodecFuzz wall):
+// malformed, truncated, or bit-flipped input comes back std::nullopt —
+// never a crash, never a repaired message.
+//
+// Request ids and the view epoch. Every admitted edit gets a monotonically
+// assigned request_id (1, 2, 3, ...). The driver folds edits in id order
+// and stamps the NEWEST applied id into the frame-header `epoch` field, so
+// the on-wire frames themselves echo which edits they reflect: a frame with
+// epoch >= R provably renders the view with edit R (and everything before
+// it) applied. Because the inbox coalesces latest-wins PER KIND and the
+// fold is order-preserving, "the view at epoch E" is well defined: fold all
+// admitted edits with id <= E. The stale/fresh property wall
+// (tests/stream/test_steer.cpp) holds the whole stack to that contract.
+//
+// Edits and view epochs are exclusive with rebalance-driven epochs: a run
+// steers OR rebalances, never both (run_pipeline rejects the combination),
+// so the epoch field has a single owner.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace qv::stream {
+
+inline constexpr std::uint32_t kSteerMagic = 0x54435651u;  // "QVCT"
+inline constexpr std::uint16_t kSteerVersion = 1;
+
+enum class SteerKind : std::uint8_t {
+  kCamera = 0,    // f0 = absolute orbit azimuth, degrees
+  kTransfer = 1,  // f0 = value_lo, f1 = value_hi (normalization window)
+  kScrub = 2,     // f0 = target timestep (serve loop only)
+};
+inline constexpr int kSteerKinds = 3;
+
+struct SteerMsg {
+  SteerKind kind = SteerKind::kCamera;
+  std::uint32_t request_id = 0;  // 0 on the client side; assigned on admit
+  std::int32_t client_id = -1;   // requesting viewer (-1: local/scripted)
+  float f0 = 0.0f, f1 = 0.0f, f2 = 0.0f;  // payload, meaning per kind
+};
+
+inline constexpr std::size_t kSteerWireSize = 32;
+
+std::vector<std::uint8_t> encode_steer(const SteerMsg& m);
+std::optional<SteerMsg> decode_steer(std::span<const std::uint8_t> wire);
+// Cheap dispatch: does this buffer claim to be a steering message?
+bool is_steer_wire(std::span<const std::uint8_t> wire);
+
+// --- the inbox --------------------------------------------------------------
+// Where viewer edits land on the server/session. Admission decodes at the
+// hostile boundary, assigns the monotone request_id, and coalesces bursts
+// latest-wins per kind: a viewer dragging the camera through 500 positions
+// between two frames costs one pending camera edit, not 500 renders. The
+// driver drains at frame boundaries and folds in id order.
+//
+// Thread-safe: the live serve loop posts from a monitor/ingest thread while
+// the render thread drains (the TSan cancellation stress exercises this).
+class SteerInbox {
+ public:
+  // Decode + admit one wire message. Returns the assigned request id;
+  // nullopt if the wire is malformed (rejected, inbox untouched).
+  std::optional<std::uint32_t> post_wire(std::span<const std::uint8_t> wire);
+  // Already-decoded path (scripted traces, tests). Returns the assigned id.
+  std::uint32_t post(SteerMsg m);
+
+  bool pending() const;
+  // The newest pending message per kind, sorted by request_id ascending
+  // (fold order), and clears the slots. Ids keep advancing across drains.
+  std::vector<SteerMsg> drain();
+
+  // Newest id ever assigned (0 = none yet).
+  std::uint32_t last_assigned() const;
+  std::uint64_t posted() const;     // admitted edits
+  std::uint64_t coalesced() const;  // admitted edits superseded before drain
+  std::uint64_t rejected() const;   // malformed wires refused at the boundary
+
+ private:
+  mutable std::mutex mu_;
+  std::uint32_t next_id_ = 1;
+  std::array<std::optional<SteerMsg>, kSteerKinds> slots_{};
+  std::uint64_t posted_ = 0, coalesced_ = 0, rejected_ = 0;
+};
+
+// --- driver-side steering state ---------------------------------------------
+// The fold: current camera/TF/scrub targets plus the newest applied request
+// id (== the view epoch to stamp into frame headers). apply() returns true
+// when the VIEW changed (camera or TF), i.e. in-flight renders of older
+// epochs are stale and the delta chains must be reset before the next frame.
+struct SteeringState {
+  float azimuth_deg = 0.0f;
+  float value_lo = 0.0f;
+  float value_hi = 1.0f;
+  std::int32_t scrub_step = -1;  // -1: no pending scrub
+  std::uint32_t epoch = 0;       // newest applied request id
+  std::uint64_t applied = 0;     // edits folded in so far
+
+  bool apply(const SteerMsg& m);
+  // Consume a pending scrub target (returns -1 if none).
+  std::int32_t take_scrub();
+};
+
+// --- scripted traces --------------------------------------------------------
+// Deterministic edit schedules for replay, benches, and CI: event `step`
+// names the frame boundary the edit arrives at (scripted mode) or the frame
+// whose render it interrupts (live mode).
+struct SteerEvent {
+  int step = 0;
+  SteerMsg msg;
+};
+
+// Seeded synthetic trace: `edits` camera/TF edits (plus scrubs when
+// `allow_scrub`) spread over (0, steps). Same seed, same trace — the CI
+// smoke and the property wall replay these byte-for-byte.
+std::vector<SteerEvent> make_steer_trace(std::uint64_t seed, int steps,
+                                         int edits, bool allow_scrub = false);
+
+// Text format for `--steer-trace=F`: one event per line,
+//   <step> camera <azimuth_deg>
+//   <step> transfer <value_lo> <value_hi>
+//   <step> scrub <target_step>
+// '#' comments and blank lines ignored. Strict: any malformed line fails
+// the whole load (err names the line).
+std::optional<std::vector<SteerEvent>> load_steer_trace(
+    const std::string& path, std::string* err = nullptr);
+bool save_steer_trace(const std::string& path,
+                      std::span<const SteerEvent> trace);
+
+// Stable-sort by step and assign request ids 1, 2, 3, ... in that order —
+// exactly the ids a SteerInbox would hand the same events posted at their
+// step boundaries. Config-distributed steering (the pipeline drivers)
+// numbers the trace once so EVERY rank derives the same id→view map with no
+// runtime broadcast.
+std::vector<SteerEvent> number_steer_trace(std::vector<SteerEvent> trace);
+
+// The view at step `s`: fold every numbered event with ev.step <= s into
+// `base` in trace order. base carries the run's un-steered camera/TF window.
+SteeringState fold_steer_trace(std::span<const SteerEvent> trace, int step,
+                               SteeringState base);
+
+}  // namespace qv::stream

@@ -149,6 +149,20 @@ void FrameEncoderBank::note_emitted(int tier) {
   stage(tier).emitted = true;
 }
 
+void FrameEncoderBank::invalidate_chains() {
+  for (auto& t : tiers_) {
+    t.ref.clear();
+    t.ref_step = -1;
+    // Anything staged or cached for the current step codes the pre-edit
+    // view; the emitted flag must die with it or begin_step would commit
+    // stale planes as the post-edit reference.
+    t.staged = false;
+    t.emitted = false;
+    t.key_wire.reset();
+    t.delta_wire.reset();
+  }
+}
+
 std::optional<DecodedFrame> FrameDecoder::decode(
     std::span<const std::uint8_t> wire) {
   if (wire.size() < sizeof(FrameHeader)) return std::nullopt;
@@ -191,6 +205,7 @@ std::optional<DecodedFrame> FrameDecoder::decode(
   out.step = h.step;
   out.epoch = h.epoch;
   out.tier = h.tier;
+  out.base_step = key ? -1 : h.base_step;
   out.kind = FrameKind(h.kind);
   out.image = img::Image8(h.width, h.height);
   img::interleave_rgb(scratch_, {out.image.data(), n});

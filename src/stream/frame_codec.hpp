@@ -87,6 +87,10 @@ class FrameEncoder {
   void set_epoch(std::uint32_t epoch) { epoch_ = epoch; }
   std::uint32_t epoch() const { return epoch_; }
 
+  // View change: forget the delta reference so the next encode is forced to
+  // a keyframe — a delta can never be coded across the edit.
+  void invalidate_chain() { ref_step_ = -1; }
+
  private:
   int w_, h_;
   std::vector<std::uint8_t> ref_;  // quantized planes of the last sent frame
@@ -138,6 +142,13 @@ class FrameEncoderBank {
   void set_epoch(std::uint32_t epoch) { epoch_ = epoch; }
   std::uint32_t epoch() const { return epoch_; }
 
+  // View change: drop every tier's delta reference (and any cached wires of
+  // the staged step — they encode the pre-edit view). Until a tier re-emits
+  // a keyframe, ref_step(t) is -1 and delta(t) throws, so a delta coded
+  // across the edit is structurally impossible, for every client at once.
+  // Call between steps, before begin_step of the first post-edit frame.
+  void invalidate_chains();
+
   std::uint64_t encodes() const { return encodes_; }  // actual encode work
   std::uint64_t reuses() const { return reuses_; }    // served from cache
 
@@ -165,6 +176,7 @@ struct DecodedFrame {
   int step = 0;
   std::uint32_t epoch = 0;  // view epoch from the header ((step, epoch) = frame id)
   int tier = 0;
+  int base_step = -1;  // delta: the reference frame's step; key: -1
   FrameKind kind = FrameKind::kKey;
   img::Image8 image;
 };

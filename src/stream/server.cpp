@@ -304,6 +304,7 @@ void DeliveryServer::handle_batch(Client& c,
     }
     ClientReport::Delivery rec;
     rec.step = d.step;
+    rec.epoch = frame_epoch;
     rec.bytes = std::uint32_t(d.bytes);
     rec.latency_s = d.delivered_at - d.sent_at;
     if (obs::lineage::enabled()) {
@@ -344,11 +345,19 @@ void DeliveryServer::handle_batch(Client& c,
       }
       rec.tier = frame->tier;
       rec.keyframe = frame->kind == FrameKind::kKey;
+      rec.base_step = frame->base_step;
+      if (cfg_.capture) {
+        cfg_.capture->frames.push_back({c.rep.id, frame->step, frame->epoch,
+                                        frame->tier, frame->base_step,
+                                        rec.keyframe,
+                                        std::move(frame->image)});
+      }
     } else if (d.wire.size() >= sizeof(FrameHeader)) {
       FrameHeader h;
       std::memcpy(&h, d.wire.data(), sizeof(h));
       rec.tier = h.tier;
       rec.keyframe = h.kind == std::uint8_t(FrameKind::kKey);
+      rec.base_step = rec.keyframe ? -1 : h.base_step;
     }
     if (c.expect_key) {
       // The first frame after every (re)join must be self-contained.
@@ -414,6 +423,18 @@ void DeliveryServer::set_epoch(std::uint32_t epoch) {
 }
 
 std::uint32_t DeliveryServer::epoch() const { return epoch_; }
+
+void DeliveryServer::apply_view_change(std::uint32_t epoch) {
+  epoch_ = epoch;
+  bank_.set_epoch(epoch);
+  // Dropping every tier reference makes ref_step(t) < 0, and the keyframe
+  // decision in submit() already re-anchors on that — the keyframe-on-edit
+  // invariant rides the same rule that protects joins and drops. Client
+  // controllers, decoders, and chain bookkeeping are left alone: their next
+  // keyframe re-anchors them at whatever tier they had earned.
+  bank_.invalidate_chains();
+  trace::instant("server", "view_change", int(epoch));
+}
 
 void DeliveryServer::submit(double now, int step, const img::Image8& frame) {
   auto& m = ServerMetrics::get();

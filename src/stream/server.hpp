@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "stream/cache.hpp"
+#include "stream/control.hpp"
 #include "stream/controller.hpp"
 #include "stream/frame_codec.hpp"
 #include "stream/link.hpp"
@@ -80,6 +81,22 @@ struct ClientLinkConfig {
   sim::BandwidthFaultConfig fault;  // seeded outage windows (optional)
 };
 
+// Test/harness hook: every frame a verified client successfully decodes, in
+// delivery order, with the client id attached — the stale/fresh property
+// wall compares these pixels and epoch echoes against reference renders.
+struct ServerCapture {
+  struct Frame {
+    int client = -1;
+    int step = 0;
+    std::uint32_t epoch = 0;
+    int tier = 0;
+    int base_step = -1;
+    bool keyframe = false;
+    img::Image8 image;
+  };
+  std::vector<Frame> frames;
+};
+
 struct ServerConfig {
   // Per-client cap on queued (in-flight) wire bytes. A frame that would
   // push a client past it is dropped for that client and the client
@@ -103,6 +120,9 @@ struct ServerConfig {
   // input that affects pixels — see the trust contract in stream/cache.hpp.
   std::shared_ptr<FrameCache> cache;
   CacheIdentity identity;
+  // When set, every decoded client frame is appended here (verify_clients
+  // only). Tests/harness only; never in a bench's timed section.
+  ServerCapture* capture = nullptr;
 };
 
 // --- reports ----------------------------------------------------------------
@@ -129,6 +149,8 @@ struct ClientReport {
     int step = 0;
     int tier = 0;
     bool keyframe = false;
+    std::uint32_t epoch = 0;  // view epoch echoed by the frame header
+    std::int32_t base_step = -1;  // delta reference step; -1 for keyframes
     std::uint32_t bytes = 0;
     double latency_s = 0.0;
   };
@@ -189,6 +211,20 @@ class DeliveryServer {
   void set_epoch(std::uint32_t epoch);
   std::uint32_t epoch() const;
 
+  // A steering edit was applied: stamp the new epoch AND invalidate every
+  // tier's delta chain, so the first frame every client receives after the
+  // edit is forced to a keyframe by the existing ref_step < 0 re-anchor
+  // rule — no delta can cross the view change. Unlike reconnect(), this
+  // deliberately does NOT touch per-client DegradationController or decoder
+  // state: an edit is not a network event, so a client's earned tier level
+  // and recovery credit survive (the tier-continuity regression pins this).
+  void apply_view_change(std::uint32_t epoch);
+
+  // Where viewer steering edits land (hostile boundary + latest-wins
+  // coalescing; see stream/control.hpp). The serve loop drains this at
+  // frame boundaries and answers with apply_view_change.
+  SteerInbox& steer_inbox() { return steer_inbox_; }
+
   // Advance every client's link to `now` without a new frame (delivers
   // stragglers, detects stalls/evictions between frames).
   void poll(double now);
@@ -213,6 +249,7 @@ class DeliveryServer {
   ServerConfig cfg_;
   int w_, h_;
   FrameEncoderBank bank_;
+  SteerInbox steer_inbox_;
   std::vector<std::unique_ptr<Client>> clients_;
   ServerReport rep_;
   int last_step_ = -1;

@@ -69,6 +69,14 @@ void StreamSession::set_epoch(std::uint32_t epoch) {
   encoder_.set_epoch(epoch);
 }
 
+void StreamSession::apply_view_change(std::uint32_t epoch) {
+  epoch_ = epoch;
+  encoder_.set_epoch(epoch);
+  // A forgotten reference forces the next encode to a keyframe; the
+  // controller's earned level and recovery credit are deliberately kept.
+  encoder_.invalidate_chain();
+}
+
 void StreamSession::handle_deliveries(std::vector<DeliveredFrame> delivered) {
   auto& m = StreamMetrics::get();
   for (auto& d : delivered) {
@@ -118,7 +126,7 @@ void StreamSession::handle_deliveries(std::vector<DeliveredFrame> delivered) {
     if (cfg_.capture) {
       cfg_.capture->frames.push_back({frame->step, frame->tier,
                                       frame->kind == FrameKind::kKey, lat,
-                                      std::move(frame->image)});
+                                      std::move(frame->image), frame->epoch});
     }
     if (!cfg_.record_path.empty()) record_.push_back(std::move(d.wire));
   }

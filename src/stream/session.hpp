@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "stream/control.hpp"
 #include "stream/controller.hpp"
 #include "stream/frame_codec.hpp"
 #include "stream/link.hpp"
@@ -34,6 +35,7 @@ struct StreamCapture {
     bool keyframe = false;
     double latency_s = 0.0;  // delivered_at - sent_at on the link clock
     img::Image8 image;
+    std::uint32_t epoch = 0;  // view epoch echoed by the frame header
   };
   std::vector<Frame> frames;
   std::vector<int> dropped_steps;
@@ -78,6 +80,16 @@ class StreamSession {
   // encode on ((step, epoch) is the end-to-end frame id).
   void set_epoch(std::uint32_t epoch);
 
+  // A steering edit was applied: stamp the new epoch and drop the encoder's
+  // delta reference, forcing the next frame to a keyframe — same contract
+  // as DeliveryServer::apply_view_change, for the point-to-point path. The
+  // degradation controller's level/credit survive (an edit is not a
+  // network event).
+  void apply_view_change(std::uint32_t epoch);
+
+  // Where the remote viewer's steering edits land (see stream/control.hpp).
+  SteerInbox& steer_inbox() { return steer_inbox_; }
+
   // Drain the link, write the record file if configured, return the report.
   StreamReport finish();
 
@@ -86,6 +98,7 @@ class StreamSession {
 
   std::uint32_t epoch_ = 0;
   StreamConfig cfg_;
+  SteerInbox steer_inbox_;
   FrameEncoder encoder_;
   FrameDecoder viewer_;  // in-process viewer: decode + verify + latency
   WanLink link_;

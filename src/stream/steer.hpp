@@ -1,0 +1,116 @@
+// The steered serve loop: a single-process render→deliver loop with the
+// viewer→renderer control channel closed end to end.
+//
+// This is the harness behind `quakeviz serve --steer-*`, the stale/fresh
+// property wall, the TSan cancellation stress, and bench_steering. One
+// synthetic scene (deterministic from the seed) is rendered frame after
+// frame and fanned out through a DeliveryServer over the virtual-time WAN;
+// steering edits arrive through the QVCT hostile boundary into the server's
+// inbox, are drained and folded at frame boundaries, and every fold bumps
+// the view epoch, invalidates the delta chains, and emits a steer_apply
+// lineage event. Two modes:
+//
+//   scripted (live=false) — trace events post at the frame boundary their
+//     `step` names. No threads, no wall clock in the loop: byte-identical
+//     runs per seed, which is what the property wall and the CI smoke
+//     replay.
+//   live (live=true) — a monitor thread posts each event partway through
+//     the render of frame `step` and (when cancellation is on) fires the
+//     CancelToken, so the renderer aborts the now-stale frame instead of
+//     completing it into the trash. This is where edit-to-first-fresh-frame
+//     latency is real and bench_steering measures it.
+//
+// Invariants checked per run (check_invariants): every delivered frame's
+// epoch echo matches the epoch its step was rendered under, its pixels are
+// exactly the tier-quantized submitted frame (SHA-256), no delta's base
+// crosses an epoch boundary, and the first frame a client sees after an
+// epoch change is a keyframe — for every client, including mid-run joiners.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "img/image.hpp"
+#include "stream/control.hpp"
+#include "stream/server.hpp"
+#include "util/thread_pool.hpp"
+
+namespace qv::render {
+class Raycaster;
+}
+
+namespace qv::stream {
+
+struct SteerLoopConfig {
+  int width = 160;
+  int height = 120;
+  int frames = 30;       // frames to submit
+  int level = 3;         // synthetic octree refinement
+  int block_level = 1;   // block decomposition depth
+  int render_threads = 2;
+  std::uint64_t seed = 1;
+  bool live = false;         // monitor thread + mid-render posting
+  bool cancellation = true;  // live mode: honor the CancelToken
+  // Live mode: post each event after this fraction of a calibrated render.
+  double fire_fraction = 0.25;
+  double frame_interval_s = 0.05;  // virtual time between submits
+  std::vector<SteerEvent> trace;
+  // Clients with index % 3 == 2 join at this frame instead of 0 when >= 0
+  // (mid-run joiners for the property wall).
+  int late_join_frame = -1;
+  ServeFleetConfig fleet;  // fleet.count / bandwidths / fleet.server
+  bool check_invariants = true;
+};
+
+struct SteerLoopReport {
+  ServerReport server;
+  std::uint64_t renders = 0;            // render attempts (incl. cancelled)
+  std::uint64_t cancelled_renders = 0;  // aborted mid-flight, never submitted
+  std::uint64_t edits_applied = 0;
+  std::uint32_t final_epoch = 0;
+  // Per submitted frame, in order: the epoch it was rendered under, the
+  // field timestep it showed, and the SHA-256 of its 8-bit pixels.
+  std::vector<std::uint32_t> epochs;
+  std::vector<int> field_steps;
+  std::vector<std::string> submitted_sha256;
+  // The fold history: (epoch, view after applying it), starting at (0,
+  // the base view). The view serving epoch E is the last entry <= E.
+  std::vector<std::pair<std::uint32_t, SteeringState>> views;
+  // Per applied edit: latency from post to the first SUBMITTED frame whose
+  // epoch covers it — wall seconds in live mode, virtual in scripted.
+  std::vector<double> edit_to_fresh_s;
+  std::vector<std::string> violations;  // empty = all invariants held
+};
+
+// The deterministic synthetic scene the loop renders: a seeded block
+// decomposition with a time-varying analytic field. Public so tests can
+// re-render a (view, step) reference independently of the loop.
+class SteerScene {
+ public:
+  SteerScene(const SteerLoopConfig& cfg);
+  ~SteerScene();
+  SteerScene(const SteerScene&) = delete;
+  SteerScene& operator=(const SteerScene&) = delete;
+
+  // Serial reference render of `view` at field timestep `step`.
+  img::Image8 render(const SteeringState& view, int step);
+
+  // Cancellable render on `pool` (bit-identical to render() when it
+  // completes); nullopt when the token fired mid-frame.
+  std::optional<img::Image8> render_cancellable(const SteeringState& view,
+                                                int step,
+                                                util::ThreadPool* pool,
+                                                const util::CancelToken* cancel);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+SteerLoopReport run_steer_loop(const SteerLoopConfig& cfg);
+
+}  // namespace qv::stream

@@ -33,7 +33,8 @@ void ThreadPool::complete_one() {
 }
 
 bool ThreadPool::run_one(int worker, std::uint64_t job,
-                         const std::function<void(std::size_t, int)>* fn) {
+                         const std::function<void(std::size_t, int)>* fn,
+                         const CancelToken* cancel) {
   std::size_t task = 0;
   bool got = false;
   // Own queue first (front: the contiguous chunk dealt to this worker)...
@@ -57,17 +58,22 @@ bool ThreadPool::run_one(int worker, std::uint64_t job,
     }
   }
   if (!got) return false;
-  exec_task(task, worker, fn);
+  exec_task(task, worker, fn, cancel);
   return true;
 }
 
 void ThreadPool::exec_task(std::size_t task, int worker,
-                           const std::function<void(std::size_t, int)>* fn) {
+                           const std::function<void(std::size_t, int)>* fn,
+                           const CancelToken* cancel) {
   bool poisoned;
   {
     std::lock_guard<std::mutex> lk(error_mu_);
     poisoned = error_ != nullptr;
   }
+  // A cancelled job drains exactly like a poisoned one: remaining tasks
+  // count toward completion without running, so the join below stays the
+  // single exit path and abort latency is bounded by one in-flight task.
+  if (cancel && cancel->requested()) poisoned = true;
   if (!poisoned) {
     try {
       (*fn)(task, worker);
@@ -84,6 +90,7 @@ void ThreadPool::worker_main(int worker) {
   std::uint64_t seen = 0;
   for (;;) {
     const std::function<void(std::size_t, int)>* fn = nullptr;
+    const CancelToken* cancel = nullptr;
     std::uint64_t job = 0;
     {
       std::unique_lock<std::mutex> lk(mu_);
@@ -92,18 +99,23 @@ void ThreadPool::worker_main(int worker) {
       });
       if (stop_) return;
       fn = job_fn_;
+      cancel = job_cancel_;
       job = seen = job_id_;
     }
-    while (run_one(worker, job, fn)) {
+    while (run_one(worker, job, fn, cancel)) {
     }
   }
 }
 
 void ThreadPool::parallel_for(
-    std::size_t n, const std::function<void(std::size_t, int)>& fn) {
+    std::size_t n, const std::function<void(std::size_t, int)>& fn,
+    const CancelToken* cancel) {
   if (n == 0) return;
   if (threads_ == 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cancel && cancel->requested()) return;
+      fn(i, 0);
+    }
     return;
   }
 
@@ -129,6 +141,7 @@ void ThreadPool::parallel_for(
     }
     remaining_.store(n, std::memory_order_relaxed);
     job_fn_ = &fn;
+    job_cancel_ = cancel;
     // Reserve the caller's first owned task while the helpers are still
     // parked (observing the new job requires mu_, which we hold): the
     // documented contract is that the caller participates as worker 0, and
@@ -146,8 +159,8 @@ void ThreadPool::parallel_for(
   work_cv_.notify_all();
 
   // The caller is worker 0.
-  if (have_first) exec_task(first, 0, &fn);
-  while (run_one(0, job, &fn)) {
+  if (have_first) exec_task(first, 0, &fn, cancel);
+  while (run_one(0, job, &fn, cancel)) {
   }
   {
     std::unique_lock<std::mutex> lk(mu_);

@@ -37,6 +37,24 @@
 
 namespace qv::util {
 
+// Cooperative cancellation for a pool job (and for serial loops that want
+// the same protocol). Any thread may request(); tasks poll requested() at
+// their natural granularity — e.g. the raycaster per image tile — so an
+// in-flight computation aborts within one task's worth of work, never
+// mid-write. reset() re-arms the token for the next job; the owner must not
+// reset while a job that observes the token is still running.
+class CancelToken {
+ public:
+  void request() noexcept { flag_.store(true, std::memory_order_release); }
+  bool requested() const noexcept {
+    return flag_.load(std::memory_order_acquire);
+  }
+  void reset() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
 class ThreadPool {
  public:
   // `threads` is the total worker count including the calling thread; the
@@ -58,8 +76,15 @@ class ThreadPool {
   // because its first task is reserved before the helpers wake). The first
   // exception thrown by a task is rethrown here after all tasks finish
   // (remaining tasks are drained without running).
+  //
+  // When `cancel` is non-null and fires, every not-yet-started task of this
+  // job drains as a no-op — the same mechanism that drains a poisoned job —
+  // so the call returns within one in-flight task's worth of work. Tasks
+  // that already ran are NOT undone; the caller decides what a partially
+  // executed job means (the raycaster discards the whole frame).
   void parallel_for(std::size_t n,
-                    const std::function<void(std::size_t, int)>& fn);
+                    const std::function<void(std::size_t, int)>& fn,
+                    const CancelToken* cancel = nullptr);
 
  private:
   struct Queue {
@@ -76,11 +101,13 @@ class ThreadPool {
   // Pop one task (own queue first, then steal) and run it. Returns false
   // when no task of generation `job` is available anywhere.
   bool run_one(int worker, std::uint64_t job,
-               const std::function<void(std::size_t, int)>* fn);
-  // Execute one already-popped task: skip if the job is poisoned, capture
-  // the first exception, count completion.
+               const std::function<void(std::size_t, int)>* fn,
+               const CancelToken* cancel);
+  // Execute one already-popped task: skip if the job is poisoned or
+  // cancelled, capture the first exception, count completion.
   void exec_task(std::size_t task, int worker,
-                 const std::function<void(std::size_t, int)>* fn);
+                 const std::function<void(std::size_t, int)>* fn,
+                 const CancelToken* cancel);
   void complete_one();
 
   int threads_ = 1;
@@ -92,6 +119,7 @@ class ThreadPool {
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
   const std::function<void(std::size_t, int)>* job_fn_ = nullptr;
+  const CancelToken* job_cancel_ = nullptr;  // published with job_fn_ under mu_
   std::uint64_t job_id_ = 0;
   std::atomic<std::size_t> remaining_{0};
   bool stop_ = false;

@@ -1,0 +1,378 @@
+// Steering control channel: QVCT wire codec fuzz wall, inbox coalescing,
+// the fold, and the scripted-trace helpers.
+//
+// decode_steer is the hostile viewer→renderer boundary; every test feeding
+// it garbage asserts the same contract as the frame codec wall: malformed
+// input comes back std::nullopt — never a crash, never a repaired message —
+// and anything that DOES decode re-encodes bit-identical (no silent fixup).
+#include "stream/control.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "util/crc32.hpp"
+#include "util/rng.hpp"
+
+namespace qv::stream {
+namespace {
+
+std::uint64_t fuzz_seed() {
+  if (const char* s = std::getenv("QV_FUZZ_SEED")) {
+    return std::strtoull(s, nullptr, 10);
+  }
+  return 1;
+}
+
+SteerMsg sample_msg(SteerKind kind) {
+  SteerMsg m;
+  m.kind = kind;
+  m.request_id = 42;
+  m.client_id = 7;
+  m.f0 = 123.5f;
+  m.f1 = 0.25f;
+  m.f2 = -3.0f;
+  return m;
+}
+
+bool msgs_equal(const SteerMsg& a, const SteerMsg& b) {
+  return a.kind == b.kind && a.request_id == b.request_id &&
+         a.client_id == b.client_id && a.f0 == b.f0 && a.f1 == b.f1 &&
+         a.f2 == b.f2;
+}
+
+// Recompute the trailing CRC over the first 28 bytes — the "attacker fixed
+// the checksum" path the structural checks must still survive.
+void fix_crc(std::vector<std::uint8_t>& wire) {
+  ASSERT_EQ(wire.size(), kSteerWireSize);
+  const std::uint32_t crc =
+      util::crc32({wire.data(), kSteerWireSize - sizeof(std::uint32_t)});
+  std::memcpy(wire.data() + kSteerWireSize - sizeof(std::uint32_t), &crc,
+              sizeof(crc));
+}
+
+TEST(SteerCodec, RoundtripEveryKindBitExact) {
+  for (SteerKind kind :
+       {SteerKind::kCamera, SteerKind::kTransfer, SteerKind::kScrub}) {
+    const SteerMsg m = sample_msg(kind);
+    auto wire = encode_steer(m);
+    ASSERT_EQ(wire.size(), kSteerWireSize);
+    EXPECT_TRUE(is_steer_wire(wire));
+    auto got = decode_steer(wire);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_TRUE(msgs_equal(*got, m));
+    // Decode success implies re-encode is byte-identical: the codec never
+    // normalizes, clamps, or otherwise repairs what it accepted.
+    EXPECT_EQ(encode_steer(*got), wire);
+  }
+}
+
+// --- fuzz wall --------------------------------------------------------------
+
+TEST(SteerCodecFuzz, EveryTruncationRejected) {
+  auto wire = encode_steer(sample_msg(SteerKind::kCamera));
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    SCOPED_TRACE(::testing::Message() << "truncated to " << cut << " bytes");
+    std::span<const std::uint8_t> trunc(wire.data(), cut);
+    EXPECT_FALSE(decode_steer(trunc).has_value());
+  }
+  // Oversize is just as malformed as truncated: the frame is fixed-size.
+  std::vector<std::uint8_t> fat = wire;
+  fat.push_back(0);
+  EXPECT_FALSE(decode_steer(fat).has_value());
+}
+
+TEST(SteerCodecFuzz, EverySingleBitFlipRejected) {
+  // Exhaustive: all 32 bytes x 8 bits. The CRC spans the first 28 bytes and
+  // CRC-32 detects every single-bit error; a flip inside the CRC field
+  // itself mismatches the recomputed value. So every flip must be rejected —
+  // there is no "harmlessly flipped" bit in this frame.
+  auto wire = encode_steer(sample_msg(SteerKind::kTransfer));
+  for (std::size_t byte = 0; byte < wire.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      SCOPED_TRACE(::testing::Message()
+                   << "flip byte " << byte << " bit " << bit);
+      auto bad = wire;
+      bad[byte] ^= std::uint8_t(1u << bit);
+      EXPECT_FALSE(decode_steer(bad).has_value());
+    }
+  }
+}
+
+TEST(SteerCodecFuzz, LyingHeadersWithFixedCrcRejectedByStructure) {
+  // Fixing up the CRC must not buy a malformed header anything: magic,
+  // version, kind range, the strict zero pad, and payload finiteness are
+  // each validated independently.
+  const auto good = encode_steer(sample_msg(SteerKind::kCamera));
+
+  {  // wrong magic
+    auto bad = good;
+    bad[0] ^= 0xFF;
+    fix_crc(bad);
+    EXPECT_FALSE(decode_steer(bad).has_value());
+  }
+  {  // future version
+    auto bad = good;
+    bad[4] = 0xFF;
+    fix_crc(bad);
+    EXPECT_FALSE(decode_steer(bad).has_value());
+  }
+  {  // kind out of range
+    auto bad = good;
+    bad[6] = std::uint8_t(kSteerKinds);
+    fix_crc(bad);
+    EXPECT_FALSE(decode_steer(bad).has_value());
+  }
+  {  // nonzero pad byte
+    auto bad = good;
+    bad[7] = 0x01;
+    fix_crc(bad);
+    EXPECT_FALSE(decode_steer(bad).has_value());
+  }
+  {  // non-finite payload floats: NaN and +inf in each float slot
+    for (std::size_t off : {16u, 20u, 24u}) {
+      for (float v : {std::nanf(""), HUGE_VALF}) {
+        auto bad = good;
+        std::memcpy(bad.data() + off, &v, sizeof(v));
+        fix_crc(bad);
+        EXPECT_FALSE(decode_steer(bad).has_value())
+            << "float at offset " << off;
+      }
+    }
+  }
+  {  // a re-CRC'd request_id edit is a VALID different message — it must
+     // decode as exactly what the bytes say, not be repaired back.
+    auto bad = good;
+    bad[8] = 0x99;
+    fix_crc(bad);
+    auto got = decode_steer(bad);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_NE(got->request_id, sample_msg(SteerKind::kCamera).request_id);
+    EXPECT_EQ(encode_steer(*got), bad);
+  }
+}
+
+TEST(SteerCodecFuzz, SeededGarbageNeverCrashesNeverLies) {
+  const std::uint64_t base = fuzz_seed();
+  const auto good = encode_steer(sample_msg(SteerKind::kScrub));
+  for (int trial = 0; trial < 500; ++trial) {
+    SCOPED_TRACE(::testing::Message() << "trial " << trial
+                                      << " (QV_FUZZ_SEED=" << base << ")");
+    Rng rng(base + std::uint64_t(trial) * 7919);
+    std::vector<std::uint8_t> junk;
+    if (trial % 3 == 0) {
+      // Random length, random bytes: the easy rejects.
+      junk.resize(rng.next_below(128));
+      for (auto& b : junk) b = std::uint8_t(rng.next_below(256));
+    } else {
+      // Correct length, mutated from a valid frame: the hard rejects.
+      junk = good;
+      const int flips = 1 + int(rng.next_below(6));
+      for (int f = 0; f < flips; ++f) {
+        std::size_t pos = rng.next_below(std::uint64_t(junk.size()));
+        junk[pos] ^= std::uint8_t(1u << rng.next_below(8));
+      }
+    }
+    auto got = decode_steer(junk);
+    if (got.has_value()) {
+      // Flips cancelled out or mutated into another valid frame; either
+      // way, what decoded is exactly what the bytes say.
+      EXPECT_EQ(encode_steer(*got), junk);
+    }
+  }
+}
+
+// --- the inbox --------------------------------------------------------------
+
+TEST(SteerInboxTest, AssignsMonotoneIdsAndCoalescesLatestWinsPerKind) {
+  SteerInbox inbox;
+  EXPECT_FALSE(inbox.pending());
+  EXPECT_EQ(inbox.last_assigned(), 0u);
+
+  SteerMsg cam = sample_msg(SteerKind::kCamera);
+  cam.f0 = 10.0f;
+  EXPECT_EQ(inbox.post(cam), 1u);
+  cam.f0 = 20.0f;
+  EXPECT_EQ(inbox.post(cam), 2u);  // supersedes id 1
+  SteerMsg tf = sample_msg(SteerKind::kTransfer);
+  EXPECT_EQ(inbox.post(tf), 3u);
+  EXPECT_TRUE(inbox.pending());
+  EXPECT_EQ(inbox.posted(), 3u);
+  EXPECT_EQ(inbox.coalesced(), 1u);
+
+  auto drained = inbox.drain();
+  ASSERT_EQ(drained.size(), 2u);  // one slot per kind, id 1 coalesced away
+  EXPECT_EQ(drained[0].request_id, 2u);
+  EXPECT_EQ(drained[0].kind, SteerKind::kCamera);
+  EXPECT_FLOAT_EQ(drained[0].f0, 20.0f);
+  EXPECT_EQ(drained[1].request_id, 3u);
+  EXPECT_EQ(drained[1].kind, SteerKind::kTransfer);
+  EXPECT_FALSE(inbox.pending());
+
+  // Ids keep advancing across drains — an epoch echo can never repeat.
+  EXPECT_EQ(inbox.post(tf), 4u);
+  EXPECT_EQ(inbox.last_assigned(), 4u);
+}
+
+TEST(SteerInboxTest, PostWireRejectsMalformedAndCountsIt) {
+  SteerInbox inbox;
+  std::vector<std::uint8_t> junk(kSteerWireSize, 0xAB);
+  EXPECT_FALSE(inbox.post_wire(junk).has_value());
+  EXPECT_EQ(inbox.rejected(), 1u);
+  EXPECT_EQ(inbox.posted(), 0u);
+  EXPECT_FALSE(inbox.pending());
+
+  auto id = inbox.post_wire(encode_steer(sample_msg(SteerKind::kCamera)));
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(*id, 1u);
+  EXPECT_TRUE(inbox.pending());
+}
+
+// --- the fold ---------------------------------------------------------------
+
+TEST(SteeringStateTest, ApplySemanticsPerKind) {
+  SteeringState st;
+  SteerMsg cam = sample_msg(SteerKind::kCamera);
+  cam.request_id = 5;
+  cam.f0 = 77.0f;
+  EXPECT_TRUE(st.apply(cam));  // view changed
+  EXPECT_FLOAT_EQ(st.azimuth_deg, 77.0f);
+  EXPECT_EQ(st.epoch, 5u);
+
+  // Transfer edit: window is ordered and de-degenerated defensively.
+  SteerMsg tf;
+  tf.kind = SteerKind::kTransfer;
+  tf.request_id = 6;
+  tf.f0 = 0.9f;
+  tf.f1 = 0.1f;  // reversed on purpose
+  EXPECT_TRUE(st.apply(tf));
+  EXPECT_FLOAT_EQ(st.value_lo, 0.1f);
+  EXPECT_FLOAT_EQ(st.value_hi, 0.9f);
+  EXPECT_EQ(st.epoch, 6u);
+
+  // Scrub changes WHICH step shows, not the view: apply returns false and
+  // the target is consumed exactly once.
+  SteerMsg sc;
+  sc.kind = SteerKind::kScrub;
+  sc.request_id = 7;
+  sc.f0 = 12.0f;
+  EXPECT_FALSE(st.apply(sc));
+  EXPECT_EQ(st.epoch, 7u);
+  EXPECT_EQ(st.take_scrub(), 12);
+  EXPECT_EQ(st.take_scrub(), -1);
+  EXPECT_EQ(st.applied, 3u);
+}
+
+// --- scripted traces --------------------------------------------------------
+
+TEST(SteerTraceTest, MakeTraceIsDeterministicAndSorted) {
+  auto a = make_steer_trace(9, 40, 8, /*allow_scrub=*/true);
+  auto b = make_steer_trace(9, 40, 8, /*allow_scrub=*/true);
+  ASSERT_EQ(a.size(), 8u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].step, b[i].step);
+    EXPECT_EQ(a[i].msg.kind, b[i].msg.kind);
+    EXPECT_EQ(a[i].msg.f0, b[i].msg.f0);
+    EXPECT_GE(a[i].step, 1);  // never step 0: frame 0 is the baseline
+    EXPECT_LT(a[i].step, 40);
+    if (i > 0) EXPECT_GE(a[i].step, a[i - 1].step);
+  }
+  // A different seed yields a different trace (not a fixed schedule).
+  auto c = make_steer_trace(10, 40, 8, /*allow_scrub=*/true);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < c.size(); ++i)
+    any_diff |= c[i].step != a[i].step || c[i].msg.f0 != a[i].msg.f0;
+  EXPECT_TRUE(any_diff);
+  // Without scrubs, no scrub events appear.
+  for (const auto& ev : make_steer_trace(9, 40, 16, /*allow_scrub=*/false))
+    EXPECT_NE(ev.msg.kind, SteerKind::kScrub);
+}
+
+TEST(SteerTraceTest, NumberAndFoldMatchAnInboxDrivenRun) {
+  // Config-distributed steering hinges on this: numbering the trace offline
+  // assigns exactly the ids a SteerInbox hands the same events posted at
+  // their step boundaries, and the fold at step s equals applying every
+  // drained batch with step <= s.
+  auto trace = number_steer_trace(make_steer_trace(3, 30, 6, false));
+  ASSERT_EQ(trace.size(), 6u);
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    EXPECT_EQ(trace[i].msg.request_id, std::uint32_t(i + 1));
+
+  SteerInbox inbox;
+  SteeringState inbox_view;
+  std::size_t next = 0;
+  for (int s = 0; s < 30; ++s) {
+    while (next < trace.size() && trace[next].step <= s) {
+      SteerMsg m = trace[next].msg;
+      m.request_id = 0;  // client side never picks its own id
+      EXPECT_EQ(inbox.post(m), trace[next].msg.request_id);
+      ++next;
+    }
+    for (const auto& m : inbox.drain()) inbox_view.apply(m);
+    SteeringState folded = fold_steer_trace(trace, s, SteeringState{});
+    EXPECT_EQ(folded.epoch, inbox_view.epoch) << "step " << s;
+    EXPECT_FLOAT_EQ(folded.azimuth_deg, inbox_view.azimuth_deg);
+    EXPECT_FLOAT_EQ(folded.value_lo, inbox_view.value_lo);
+    EXPECT_FLOAT_EQ(folded.value_hi, inbox_view.value_hi);
+  }
+  EXPECT_EQ(fold_steer_trace(trace, 30, SteeringState{}).applied, 6u);
+}
+
+class SteerTraceFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("qv_steer_trace_" + std::to_string(::getpid()) + ".txt"))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path_;
+};
+
+TEST_F(SteerTraceFileTest, SaveLoadRoundtrip) {
+  auto trace = make_steer_trace(4, 25, 5, /*allow_scrub=*/true);
+  ASSERT_TRUE(save_steer_trace(path_, trace));
+  std::string err;
+  auto got = load_steer_trace(path_, &err);
+  ASSERT_TRUE(got.has_value()) << err;
+  ASSERT_EQ(got->size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ((*got)[i].step, trace[i].step);
+    EXPECT_EQ((*got)[i].msg.kind, trace[i].msg.kind);
+    EXPECT_FLOAT_EQ((*got)[i].msg.f0, trace[i].msg.f0);
+    EXPECT_FLOAT_EQ((*got)[i].msg.f1, trace[i].msg.f1);
+  }
+}
+
+TEST_F(SteerTraceFileTest, MalformedLinesFailTheWholeLoadWithTheLine) {
+  const char* bad[] = {
+      "3 camera",                 // missing azimuth
+      "3 transfer 0.1",           // missing hi
+      "3 warp 1.0",               // unknown kind
+      "-1 camera 10",             // negative step
+      "x camera 10",              // non-numeric step
+      "3 camera 10 extra",        // trailing token
+      "3 scrub",                  // missing target
+  };
+  for (const char* line : bad) {
+    SCOPED_TRACE(line);
+    {
+      std::ofstream f(path_);
+      f << "# header comment\n1 camera 45\n" << line << "\n";
+    }
+    std::string err;
+    EXPECT_FALSE(load_steer_trace(path_, &err).has_value());
+    EXPECT_NE(err.find(":3:"), std::string::npos) << err;
+  }
+  std::string err2;
+  EXPECT_FALSE(load_steer_trace(path_ + ".missing", &err2).has_value());
+  EXPECT_NE(err2.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qv::stream

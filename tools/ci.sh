@@ -10,7 +10,8 @@
 # stage run under two seeds, and the benchmark gate.
 # Usage: tools/ci.sh [--tier1-only|--trace-only|--stream-only|
 #                     --server-chaos-only|--cache-replay-only|slo-gate|
-#                     --tsan-only|--determinism-only|--bench-gate-only]
+#                     --steer-smoke-only|--tsan-only|--determinism-only|
+#                     --bench-gate-only]
 #        tools/ci.sh --bench-update    # re-baseline BENCH_*.json
 # BENCH_THRESHOLD (default 0.15) sets the gate's relative regression bound.
 set -euo pipefail
@@ -163,11 +164,59 @@ cache_replay() {
   echo "cache replay: digests stable, hits byte-verified, strict parsing enforced"
 }
 
+steer_smoke() {
+  echo "== steer smoke: scripted steering through the CLI, two seeds =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS" --target quakeviz
+  local work seed
+  work=$(mktemp -d)
+  trap 'rm -rf "$work"' RETURN
+  for seed in 1 2; do
+    echo "-- --steer-seed=$seed --"
+    # Scripted steered serve: non-zero exit on any stale/fresh invariant
+    # violation (epoch echo, pixel SHA, delta-across-epoch, post-edit
+    # keyframe). Late joiners included.
+    ./build/tools/quakeviz serve --steer --steer-seed="$seed" \
+        --steer-edits=5 --steer-late-join=6 --clients=5 --steps=16 \
+        >"$work/steer_$seed.txt"
+    grep -q 'all invariants held' "$work/steer_$seed.txt" \
+        || { echo "steer smoke: invariants line missing at seed $seed" >&2
+             return 1; }
+    # Live mode with in-flight cancellation through the same entry point.
+    ./build/tools/quakeviz serve --steer --steer-live --steer-seed="$seed" \
+        --clients=3 --steps=10 >/dev/null
+  done
+  # A steering trace file round-trips: edits land at their scripted steps.
+  cat >"$work/trace.txt" <<'EOF'
+# steering trace smoke
+2 camera 135
+4 transfer 0.1 0.8
+6 scrub 3
+EOF
+  ./build/tools/quakeviz serve --steer --steer-trace="$work/trace.txt" \
+      --clients=2 --steps=10 >/dev/null
+  # Steering a pipeline run: every rank folds the same trace; exclusive
+  # with --rebalance (single epoch owner), which must be rejected.
+  ./build/tools/quakeviz generate --out="$work/ds" --mode=synthetic \
+      --steps=6 --max-level=3 >/dev/null
+  ./build/tools/quakeviz pipeline --dataset="$work/ds" --inputs=2 \
+      --renderers=2 --width=96 --height=72 --vmax=3 \
+      --steer --steer-edits=3 >/dev/null
+  if ./build/tools/quakeviz pipeline --dataset="$work/ds" --inputs=2 \
+      --renderers=2 --width=96 --height=72 --vmax=3 \
+      --steer --rebalance=2 >/dev/null 2>&1; then
+    echo "steer smoke: --steer --rebalance combination was not rejected" >&2
+    return 1
+  fi
+  echo "steer smoke: invariants held under both seeds; trace + pipeline paths OK"
+}
+
 tsan() {
   echo "== tsan: vmpi runtime + fault layer + tracing + renderer under ThreadSanitizer =="
   cmake -B build-tsan -S . -DQV_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-tsan -j "$JOBS" --target test_vmpi test_pipeline test_trace test_metrics \
-      test_util test_render test_stream test_server test_cache test_lineage test_compositing
+      test_util test_render test_stream test_server test_cache test_lineage test_compositing \
+      test_control test_steer
   # TSAN_OPTIONS halt_on_error makes a data-race report a hard failure.
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_vmpi
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_pipeline \
@@ -197,6 +246,12 @@ tsan() {
   # every round's send/recv handoff; small rank counts keep TSan tractable.
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_compositing \
       --gtest_filter='Small/RadixKEquivalence.*:RadixKEdge.*:ActivePixel*'
+  # The steering inbox (posted from a monitor thread while the render loop
+  # drains) and the cancellation stress: cancels fired mid-render into the
+  # worker pool at thread counts {1,2,4,7}.
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_control
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_steer \
+      --gtest_filter='SteerCancellation.*'
 }
 
 slo_gate() {
@@ -231,7 +286,7 @@ slo_gate() {
 determinism() {
   echo "== determinism/fuzz: seeded property suites under two seeds =="
   cmake -B build -S . >/dev/null
-  cmake --build build -j "$JOBS" --target test_render test_vmpi test_io test_util test_stream test_server test_compositing
+  cmake --build build -j "$JOBS" --target test_render test_vmpi test_io test_util test_stream test_server test_compositing test_control test_steer
   local seed
   for seed in 1 2; do
     echo "-- QV_FUZZ_SEED=$seed --"
@@ -241,6 +296,9 @@ determinism() {
     QV_FUZZ_SEED=$seed ./build/tests/test_io --gtest_filter='Rle8Fuzz.*'
     QV_FUZZ_SEED=$seed ./build/tests/test_stream --gtest_filter='FrameCodecFuzz.*'
     QV_FUZZ_SEED=$seed ./build/tests/test_server --gtest_filter='ControlCodecFuzz.*'
+    # The QVCT steering codec wall + the stale/fresh property wall.
+    QV_FUZZ_SEED=$seed ./build/tests/test_control --gtest_filter='SteerCodecFuzz.*'
+    QV_FUZZ_SEED=$seed ./build/tests/test_steer --gtest_filter='SteerPropertyWall.*'
     # The radix-k equivalence wall + the active-pixel corrupt-input fuzzers.
     QV_FUZZ_SEED=$seed ./build/tests/test_compositing \
         --gtest_filter='*RadixK*:RadixPlan*:ActivePixel*'
@@ -249,7 +307,7 @@ determinism() {
 }
 
 # The tracked benches and where their committed baselines live.
-BENCH_NAMES=(pipeline io compositing stream server cache)
+BENCH_NAMES=(pipeline io compositing stream server cache steering)
 bench_binary() {
   case "$1" in
     pipeline) echo bench_pipeline_small ;;
@@ -258,13 +316,14 @@ bench_binary() {
     stream) echo bench_stream ;;
     server) echo bench_server ;;
     cache) echo bench_cache ;;
+    steering) echo bench_steering ;;
   esac
 }
 
 bench_build() {
   cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
   cmake --build build-bench -j "$JOBS" \
-      --target bench_pipeline_small bench_io_readers bench_compositing bench_stream bench_server bench_cache bench_report
+      --target bench_pipeline_small bench_io_readers bench_compositing bench_stream bench_server bench_cache bench_steering bench_report
 }
 
 bench_gate() {
@@ -314,11 +373,12 @@ case "$MODE" in
   --server-chaos-only) server_chaos ;;
   --cache-replay-only) cache_replay ;;
   slo-gate|--slo-gate-only) slo_gate ;;
+  --steer-smoke-only) steer_smoke ;;
   --tsan-only) tsan ;;
   --determinism-only) determinism ;;
   --bench-gate-only) bench_gate ;;
   --bench-update) bench_update ;;
-  all|--all) tier1; trace_smoke; stream_smoke; server_chaos; cache_replay; slo_gate; determinism; tsan; bench_gate ;;
-  *) echo "usage: tools/ci.sh [--tier1-only|--trace-only|--stream-only|--server-chaos-only|--cache-replay-only|slo-gate|--tsan-only|--determinism-only|--bench-gate-only|--bench-update]" >&2; exit 2 ;;
+  all|--all) tier1; trace_smoke; stream_smoke; server_chaos; cache_replay; slo_gate; steer_smoke; determinism; tsan; bench_gate ;;
+  *) echo "usage: tools/ci.sh [--tier1-only|--trace-only|--stream-only|--server-chaos-only|--cache-replay-only|slo-gate|--steer-smoke-only|--tsan-only|--determinism-only|--bench-gate-only|--bench-update]" >&2; exit 2 ;;
 esac
 echo "ci: OK"

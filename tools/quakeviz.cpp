@@ -70,6 +70,17 @@
 //       a content-addressed keyframe cache (LRU over the byte budget)
 //       keyed on (dataset, step, camera, transfer function, tier).
 //
+//   Both also accept the interactive-steering flags:
+//            [--steer] [--steer-seed=S] [--steer-edits=N]
+//            [--steer-trace=FILE]
+//       Any --steer* flag folds a scripted edit trace (camera moves and
+//       transfer-function window edits; see --steer-trace format in
+//       src/stream/control.hpp) into the run at step boundaries. Every
+//       applied edit bumps the view epoch stamped into frame headers (the
+//       epoch echoes the newest applied request id) and resets every
+//       client's delta chain, so the first post-edit frame each viewer
+//       sees is a keyframe. Exclusive with --rebalance and --cache-bytes.
+//
 //   pipeline, insitu, serve, and replay also accept the observability flags:
 //            [--lineage=FILE.json] [--slo-p95=S] [--slo-drop=R]
 //       --lineage arms the frame-lineage flight recorder: every frame id
@@ -95,6 +106,20 @@
 //       (re)join re-anchors on a keyframe, no client exceeds its byte
 //       budget. Prints the per-seed SHA-256 run digest; exits non-zero
 //       on any invariant violation.
+//
+//       With any --steer* flag, serve instead runs the steered render loop
+//       (src/stream/steer.hpp): a deterministic synthetic scene rendered
+//       frame-by-frame while a scripted edit trace ([--steer-trace=FILE]
+//       or seeded via [--steer-seed=S] [--steer-edits=N], scrubs allowed)
+//       posts camera/TF/scrub edits through the QVCT wire boundary into
+//       the server's inbox. [--steer-live] posts mid-render from a monitor
+//       thread and cancels the in-flight stale render ([--steer-no-cancel]
+//       lets stale renders complete, for comparison);
+//       [--steer-late-join=K] makes every third client join at frame K.
+//       Checks the stale/fresh invariants (epoch echo + pixel SHA, no
+//       delta across an epoch boundary, keyframe after every edit) and
+//       exits non-zero on any violation. Prints edit-to-first-fresh-frame
+//       latency p50/p95 and the wasted-render ratio.
 //
 //   quakeviz replay [--requests=N] [--zipf-s=S] [--seed=S] [--clients=N]
 //            [--steps=N] [--tiers=N] [--width=W] [--height=H]
@@ -141,8 +166,10 @@
 #include "obs/lineage.hpp"
 #include "quake/solver.hpp"
 #include "quake/synthetic.hpp"
+#include "stream/control.hpp"
 #include "stream/frame_codec.hpp"
 #include "stream/replay.hpp"
+#include "stream/steer.hpp"
 #include "trace/analysis.hpp"
 #include "trace/trace.hpp"
 #include "util/parse.hpp"
@@ -332,6 +359,25 @@ void parse_serve_flags(const Args& args, stream::ServeFleetConfig& cfg) {
     std::exit(2);
   }
   cfg.cache_bytes = std::size_t(cache_bytes);
+}
+
+// Interactive steering flags shared by `pipeline` and `insitu` (and, with a
+// different loop, `serve`). Any of them enables the steering path.
+constexpr const char* kSteerFlags[] = {"steer", "steer-seed", "steer-edits",
+                                       "steer-trace"};
+
+void parse_steer_flags(const Args& args, core::SteeringConfig& cfg) {
+  for (const char* f : kSteerFlags)
+    if (args.flag(f)) cfg.enabled = true;
+  if (!cfg.enabled) return;
+  cfg.seed = std::uint64_t(args.num("steer-seed", 1));
+  cfg.edits = args.num("steer-edits", 4);
+  if (cfg.edits < 0) {
+    std::fprintf(stderr, "invalid value for --steer-edits: %d (must be >= 0)\n",
+                 cfg.edits);
+    std::exit(2);
+  }
+  cfg.trace_path = args.str("steer-trace", "");
 }
 
 void print_server_report(const stream::ServerReport& sr) {
@@ -628,7 +674,8 @@ int cmd_pipeline(const Args& args) {
        "stream-fault-down", "stream-fault-factor",
        "serve-clients", "serve-bandwidth-hi", "serve-bandwidth-lo",
        "serve-latency-ms", "serve-outage-seed", "serve-budget",
-       "serve-evict-timeout", "cache-bytes", "lineage", "slo-p95",
+       "serve-evict-timeout", "cache-bytes", "steer", "steer-seed",
+       "steer-edits", "steer-trace", "lineage", "slo-p95",
        "slo-drop"});
   core::PipelineConfig cfg;
   cfg.output_dir = args.str("out", "");
@@ -683,6 +730,7 @@ int cmd_pipeline(const Args& args) {
 
   parse_stream_flags(args, cfg.stream);
   parse_serve_flags(args, cfg.serve);
+  parse_steer_flags(args, cfg.steer);
 
   // Fault injection: any --fault-* option installs a seeded plan.
   cfg.recv_timeout_ms = args.num("recv-timeout-ms", 0);
@@ -816,7 +864,8 @@ int cmd_insitu(const Args& args) {
                    "stream-fault-factor",
                    "serve-clients", "serve-bandwidth-hi", "serve-bandwidth-lo",
                    "serve-latency-ms", "serve-outage-seed", "serve-budget",
-                   "serve-evict-timeout", "cache-bytes", "lineage", "slo-p95",
+                   "serve-evict-timeout", "cache-bytes", "steer", "steer-seed",
+                   "steer-edits", "steer-trace", "lineage", "slo-p95",
                    "slo-drop"});
   core::InsituConfig cfg;
   cfg.basin = default_basin(cfg.domain);
@@ -836,6 +885,7 @@ int cmd_insitu(const Args& args) {
     std::filesystem::create_directories(cfg.output_dir);
   parse_stream_flags(args, cfg.stream);
   parse_serve_flags(args, cfg.serve);
+  parse_steer_flags(args, cfg.steer);
   const std::string trace_path = args.str("trace", "");
   const std::string metrics_json = args.str("metrics-json", "");
   const std::string metrics_prom = args.str("metrics-prom", "");
@@ -891,15 +941,109 @@ int cmd_insitu(const Args& args) {
   return 0;
 }
 
+// The steered serve loop (src/stream/steer.hpp): render→deliver with the
+// viewer→renderer control channel closed end to end. Scripted or live
+// (mid-render posting + in-flight cancellation); checks the stale/fresh
+// invariants and exits non-zero if any is violated.
+int cmd_serve_steered(const Args& args) {
+  stream::SteerLoopConfig cfg;
+  cfg.width = args.num("width", cfg.width);
+  cfg.height = args.num("height", cfg.height);
+  cfg.frames = args.num("steps", cfg.frames);
+  cfg.render_threads = args.num("render-threads", cfg.render_threads);
+  cfg.seed = std::uint64_t(args.num("seed", 1));
+  cfg.live = args.flag("steer-live");
+  cfg.cancellation = !args.flag("steer-no-cancel");
+  cfg.late_join_frame = args.num("steer-late-join", -1);
+  cfg.fleet.count = args.num("clients", 4);
+  cfg.fleet.server.queue_budget_bytes =
+      std::size_t(args.real("budget", double(1u << 20)));
+  cfg.fleet.server.evict_timeout_s = args.real("evict-timeout", 10.0);
+
+  const std::string trace_file = args.str("steer-trace", "");
+  if (!trace_file.empty()) {
+    std::string err;
+    auto trace = stream::load_steer_trace(trace_file, &err);
+    if (!trace) {
+      std::fprintf(stderr, "cannot load steering trace: %s\n", err.c_str());
+      return 2;
+    }
+    cfg.trace = std::move(*trace);
+  } else {
+    cfg.trace = stream::make_steer_trace(
+        std::uint64_t(args.num("steer-seed", 1)), cfg.frames,
+        args.num("steer-edits", 4), /*allow_scrub=*/true);
+  }
+
+  const std::string metrics_json = args.str("metrics-json", "");
+  const std::string lineage_path = args.str("lineage", "");
+  if (!metrics_json.empty()) metrics::enable();
+  arm_lineage(lineage_path);
+
+  auto rep = stream::run_steer_loop(cfg);
+
+  const double wasted =
+      rep.renders > 0 ? double(rep.cancelled_renders) / double(rep.renders)
+                      : 0.0;
+  auto fresh = rep.edit_to_fresh_s;
+  const double p50 = pooled_percentile(fresh, 50);
+  const double p95 = pooled_percentile(fresh, 95);
+  if (!metrics_json.empty()) {
+    metrics::RunReport rr;
+    rr.kind = "serve-steer";
+    track_server_report(rr, rep.server);
+    rr.track("steer_edits_applied", double(rep.edits_applied), "edits");
+    rr.track("steer_renders", double(rep.renders), "frames");
+    rr.track("steer_cancelled_renders", double(rep.cancelled_renders),
+             "frames");
+    rr.track("steer_wasted_render_ratio", wasted, "ratio");
+    rr.track("steer_edit_to_fresh_p50_s", p50, "s");
+    rr.track("steer_edit_to_fresh_p95_s", p95, "s");
+    rr.snapshot = metrics::collect();
+    metrics::disable();
+    if (!metrics::write_json_file(metrics_json, rr)) return 1;
+    std::printf("metrics: run report -> %s\n", metrics_json.c_str());
+  }
+  if (finish_lineage(lineage_path) != 0) return 1;
+  print_server_report(rep.server);
+  std::printf(
+      "steer: %llu edits applied | %llu renders (%llu cancelled, %.0f%% "
+      "wasted) | final epoch %u\n",
+      static_cast<unsigned long long>(rep.edits_applied),
+      static_cast<unsigned long long>(rep.renders),
+      static_cast<unsigned long long>(rep.cancelled_renders), 100.0 * wasted,
+      rep.final_epoch);
+  std::printf("steer: edit-to-fresh p50 %.4f s p95 %.4f s (%s, cancellation "
+              "%s)\n",
+              p50, p95, cfg.live ? "live" : "scripted",
+              cfg.cancellation ? "on" : "off");
+  if (!rep.violations.empty()) {
+    for (const auto& v : rep.violations)
+      std::fprintf(stderr, "steer: INVARIANT VIOLATION: %s\n", v.c_str());
+    return 1;
+  }
+  std::printf("steer: all invariants held\n");
+  return 0;
+}
+
 // Standalone delivery-server run against a synthetic frame sequence, in
 // pure virtual time — the chaos harness behind a command. With --chaos the
 // fleet gains slow, flapping, and churning populations and the run fails
-// (non-zero exit) if any server invariant is violated.
+// (non-zero exit) if any server invariant is violated. With any --steer*
+// flag the run is the steered loop above instead.
 int cmd_serve(const Args& args) {
   args.allow_only("serve",
                   {"clients", "steps", "seed", "chaos", "slow", "flappers",
                    "churners", "budget", "evict-timeout", "width", "height",
+                   "render-threads", "steer", "steer-seed", "steer-edits",
+                   "steer-trace", "steer-live", "steer-no-cancel",
+                   "steer-late-join",
                    "metrics-json", "lineage", "slo-p95", "slo-drop"});
+  for (const char* f : kSteerFlags)
+    if (args.flag(f)) return cmd_serve_steered(args);
+  if (args.flag("steer-live") || args.flag("steer-no-cancel") ||
+      args.flag("steer-late-join"))
+    return cmd_serve_steered(args);
   stream::ChaosConfig cfg;
   cfg.seed = std::uint64_t(args.num("seed", 1));
   cfg.steps = args.num("steps", 60);
